@@ -1,0 +1,60 @@
+// E5 — Theorem 3: acyclic conjunctive queries with comparisons are
+// W[1]-complete.
+//
+// The [i,j,b] clique encoding produces acyclic path queries with only <
+// atoms; evaluating them costs n^{Θ(k)} (that is the hardness). Series:
+//   * CliqueComparisonQuery/n/k: naive evaluation time on no-instance
+//     graphs — k in the exponent of n;
+//   * ComparisonClosure: the Klug consistency/collapse preprocessing is
+//     cheap (polynomial), so the hardness is in evaluation, not closure.
+#include <benchmark/benchmark.h>
+
+#include "eval/naive.hpp"
+#include "graph/generators.hpp"
+#include "query/comparison_closure.hpp"
+#include "reductions/clique_to_comparisons.hpp"
+
+namespace paraquery {
+namespace {
+
+void BM_CliqueComparisonQuery(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int k = static_cast<int>(state.range(1));
+  // No-instance: Turán graph with max clique k-1.
+  Graph g = TuranGraph(k - 1, n / (k - 1));
+  auto red = CliqueToComparisons(g, k).ValueOrDie();
+  for (auto _ : state) {
+    auto r = NaiveCqNonempty(red.db, red.query);
+    benchmark::DoNotOptimize(r);
+    if (!r.ok() || r.value()) state.SkipWithError("unexpected witness");
+  }
+  state.counters["n"] = n;
+  state.counters["k"] = k;
+  RelId rr = red.db.FindRelation("R").ValueOrDie();
+  state.counters["db_tuples"] = static_cast<double>(red.db.relation(rr).size());
+}
+BENCHMARK(BM_CliqueComparisonQuery)
+    ->ArgsProduct({{6, 9, 12}, {2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ComparisonClosure(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  Graph g = GnpRandom(10, 0.5, /*seed=*/3);
+  auto red = CliqueToComparisons(g, k).ValueOrDie();
+  for (auto _ : state) {
+    auto closure = CollapseComparisons(red.query);
+    benchmark::DoNotOptimize(closure);
+    if (!closure.ok() || !closure.value().consistent) {
+      state.SkipWithError("closure failed");
+    }
+  }
+  state.counters["k"] = k;
+  state.counters["comparisons"] =
+      static_cast<double>(red.query.comparisons.size());
+}
+BENCHMARK(BM_ComparisonClosure)
+    ->DenseRange(2, 8, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace paraquery

@@ -1,0 +1,91 @@
+// A guided tour of the Theorem 1 reductions: clique -> conjunctive query ->
+// weighted 2-CNF -> clique again (footnote 2), plus the weighted-formula ->
+// positive-query and monotone-circuit -> first-order constructions.
+//
+//   ./clique_reduction_demo
+#include <iostream>
+
+#include "circuit/weighted_sat.hpp"
+#include "eval/fo.hpp"
+#include "eval/naive.hpp"
+#include "eval/ucq.hpp"
+#include "graph/clique.hpp"
+#include "graph/generators.hpp"
+#include "reductions/circuit_to_fo.hpp"
+#include "reductions/clique_to_cq.hpp"
+#include "reductions/cq_to_clique.hpp"
+#include "reductions/cq_to_w2cnf.hpp"
+#include "reductions/wformula_to_positive.hpp"
+
+using namespace paraquery;
+
+int main() {
+  const int n = 30, k = 4;
+  Graph g = PlantedClique(n, 0.25, k, /*seed=*/123);
+  std::cout << "graph: " << n << " vertices, " << g.num_edges()
+            << " edges, planted " << k << "-clique\n\n";
+
+  // Step 1: clique -> conjunctive query (Theorem 1 lower bound).
+  CliqueToCqResult cq = CliqueToCq(g, k);
+  std::cout << "clique->CQ: " << cq.query.ToString() << "\n";
+  std::cout << "  q = " << cq.query.QuerySize()
+            << ", v = " << cq.query.NumVariables() << "\n";
+  bool nonempty = NaiveCqNonempty(cq.db, cq.query).ValueOrDie();
+  std::cout << "  query nonempty: " << (nonempty ? "yes" : "no")
+            << " (clique exists: "
+            << (FindCliqueBb(g, k).has_value() ? "yes" : "no") << ")\n\n";
+
+  // Step 2: CQ decision -> weighted 2-CNF (Theorem 1 upper bound).
+  auto w2 = CqToW2Cnf(cq.db, cq.query).ValueOrDie();
+  std::cout << "CQ->weighted 2-CNF: " << w2.instance.num_vars
+            << " variables in " << w2.instance.groups.size() << " groups, "
+            << w2.instance.clauses.size() << " clauses, weight k = " << w2.k
+            << "\n";
+  auto sol = SolveGroupedW2Cnf(w2.instance);
+  std::cout << "  weight-" << w2.k
+            << " satisfiable: " << (sol.has_value() ? "yes" : "no") << "\n\n";
+
+  // Step 3: back to clique (footnote 2) — the compatibility graph.
+  auto clique_again = CqDecisionToClique(cq.db, cq.query).ValueOrDie();
+  std::cout << "CQ->clique: compatibility graph with "
+            << clique_again.graph.num_vertices() << " vertices, target k = "
+            << clique_again.k << "\n";
+  std::cout << "  clique found: "
+            << (FindCliqueBb(clique_again.graph, clique_again.k).has_value()
+                    ? "yes"
+                    : "no")
+            << "\n\n";
+
+  // Step 4: weighted formula -> positive query (parameter v).
+  Circuit formula(5);
+  int or1 = formula.AddGate(GateKind::kOr, {0, 1});
+  int nand = formula.AddGate(GateKind::kNot, {2});
+  int and1 = formula.AddGate(GateKind::kAnd, {or1, nand, 3});
+  formula.SetOutput(formula.AddGate(GateKind::kOr, {and1, 4}));
+  auto pos = WFormulaToPositive(formula, /*k=*/2).ValueOrDie();
+  std::cout << "weighted formula -> positive query over EQ/NEQ: v = "
+            << pos.query.NumVariables() << " variables\n";
+  std::cout << "  formula weight-2 satisfiable: "
+            << (WeightedCircuitSat(formula, 2).has_value() ? "yes" : "no")
+            << ", query true: "
+            << (PositiveNonempty(pos.db, pos.query).ValueOrDie() ? "yes"
+                                                                  : "no")
+            << "\n\n";
+
+  // Step 5: monotone circuit -> first-order query (W[P] lower bound).
+  Circuit mono(6);
+  int g1 = mono.AddGate(GateKind::kOr, {0, 1, 2});
+  int g2 = mono.AddGate(GateKind::kOr, {3, 4});
+  mono.SetOutput(mono.AddGate(GateKind::kAnd, {g1, g2, 5}));
+  auto fo = MonotoneCircuitToFo(mono, /*k=*/3).ValueOrDie();
+  std::cout << "monotone circuit -> FO query: v = "
+            << fo.query.NumVariables() << " (= k + 2), alternation depth 2t = "
+            << fo.top_level << "\n";
+  std::cout << "  circuit weight-3 satisfiable: "
+            << (WeightedMonotoneCircuitSat(mono, 3).has_value() ? "yes" : "no")
+            << ", FO query true: "
+            << (FirstOrderNonempty(fo.db, fo.query).ValueOrDie() ? "yes"
+                                                                  : "no")
+            << "\n";
+  return 0;
+}

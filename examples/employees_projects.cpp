@@ -1,0 +1,62 @@
+// The paper's first motivating example for Theorem 2: "find the employees
+// that work on more than one project":
+//
+//   G(e) :- EP(e, p), EP(e, p'), p != p'.
+//
+// The inequality p != p' would destroy acyclicity if treated as a hyperedge;
+// the Theorem 2 engine handles it by color coding instead. This example runs
+// the query at increasing database sizes with the FPT engine and the naive
+// evaluator and prints the timings side by side.
+//
+//   ./employees_projects
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "eval/inequality.hpp"
+#include "eval/naive.hpp"
+#include "workload/generators.hpp"
+
+using namespace paraquery;
+
+int main() {
+  ConjunctiveQuery query = MultiProjectQuery();
+  std::printf("query: %s\n", query.ToString().c_str());
+  std::printf("%10s %12s %14s %14s %10s\n", "employees", "EP tuples",
+              "theorem2 (ms)", "naive (ms)", "answers");
+  for (int employees : {1000, 4000, 16000, 64000}) {
+    Database db = EmployeeProjects(employees, /*projects=*/employees / 10,
+                                   /*min_assignments=*/1,
+                                   /*max_assignments=*/4, /*seed=*/7);
+    IneqOptions options;
+    options.driver = IneqOptions::Driver::kCertified;
+    // The witness values (projects) are plentiful; certification over all
+    // of them is infeasible, but k = 2 needs only a tiny Monte Carlo
+    // family. Fall back automatically.
+    options.driver = IneqOptions::Driver::kAuto;
+    options.mc_error_exponent = 8.0;
+
+    Timer t1;
+    auto fpt = IneqEvaluate(db, query, options);
+    double fpt_ms = t1.Millis();
+    fpt.status().Expect("theorem 2 engine");
+
+    Timer t2;
+    auto naive = NaiveEvaluateCq(db, query);
+    double naive_ms = t2.Millis();
+    naive.status().Expect("naive engine");
+
+    RelId ep = db.FindRelation("EP").ValueOrDie();
+    std::printf("%10d %12zu %14.2f %14.2f %10zu\n", employees,
+                db.relation(ep).size(), fpt_ms, naive_ms,
+                fpt.value().size());
+    if (!fpt.value().EqualsAsSet(naive.value())) {
+      std::printf("!! engines disagree\n");
+      return 1;
+    }
+  }
+  std::printf(
+      "\nBoth engines are polynomial here (k = 2), but the FPT engine's\n"
+      "advantage grows with the number of inequality variables; see\n"
+      "bench_theorem2_fpt for the full parameter sweep.\n");
+  return 0;
+}

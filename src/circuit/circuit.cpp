@@ -1,0 +1,132 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace paraquery {
+
+Circuit::Circuit(int num_inputs) : num_inputs_(num_inputs) {
+  PQ_CHECK(num_inputs >= 0, "Circuit: negative input count");
+  gates_.resize(num_inputs);
+  for (int i = 0; i < num_inputs; ++i) gates_[i] = {GateKind::kInput, {}};
+}
+
+int Circuit::AddGate(GateKind kind, std::vector<int> inputs) {
+  PQ_CHECK(kind != GateKind::kInput, "AddGate: cannot add input gates");
+  if (kind == GateKind::kNot) {
+    PQ_CHECK(inputs.size() == 1, "NOT gate requires fan-in 1");
+  } else {
+    PQ_CHECK(!inputs.empty(), "AND/OR gate requires fan-in >= 1");
+  }
+  int id = num_gates();
+  for (int in : inputs) {
+    PQ_CHECK(in >= 0 && in < id, "AddGate: input id out of range");
+  }
+  gates_.push_back({kind, std::move(inputs)});
+  return id;
+}
+
+void Circuit::SetOutput(int gate_id) {
+  PQ_CHECK(gate_id >= 0 && gate_id < num_gates(), "SetOutput: bad gate id");
+  output_ = gate_id;
+}
+
+bool Circuit::Evaluate(const std::vector<bool>& input_values) const {
+  PQ_CHECK(static_cast<int>(input_values.size()) == num_inputs_,
+           "Evaluate: wrong number of inputs");
+  PQ_CHECK(output_ >= 0, "Evaluate: output not set");
+  std::vector<bool> value(gates_.size(), false);
+  for (size_t id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    switch (g.kind) {
+      case GateKind::kInput:
+        value[id] = input_values[id];
+        break;
+      case GateKind::kNot:
+        value[id] = !value[g.inputs[0]];
+        break;
+      case GateKind::kAnd: {
+        bool v = true;
+        for (int in : g.inputs) v = v && value[in];
+        value[id] = v;
+        break;
+      }
+      case GateKind::kOr: {
+        bool v = false;
+        for (int in : g.inputs) v = v || value[in];
+        value[id] = v;
+        break;
+      }
+    }
+  }
+  return value[output_];
+}
+
+bool Circuit::IsMonotone() const {
+  for (const Gate& g : gates_) {
+    if (g.kind == GateKind::kNot) return false;
+  }
+  return true;
+}
+
+int Circuit::Depth() const {
+  PQ_CHECK(output_ >= 0, "Depth: output not set");
+  std::vector<int> depth(gates_.size(), 0);
+  for (size_t id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    int d = 0;
+    for (int in : g.inputs) d = std::max(d, depth[in]);
+    if (g.kind == GateKind::kAnd || g.kind == GateKind::kOr) d += 1;
+    depth[id] = d;
+  }
+  return depth[output_];
+}
+
+std::string Circuit::ToString() const {
+  std::ostringstream oss;
+  for (size_t id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    if (g.kind == GateKind::kInput) continue;
+    oss << "g" << id << " = ";
+    switch (g.kind) {
+      case GateKind::kAnd:
+        oss << "AND";
+        break;
+      case GateKind::kOr:
+        oss << "OR";
+        break;
+      case GateKind::kNot:
+        oss << "NOT";
+        break;
+      case GateKind::kInput:
+        break;
+    }
+    oss << "(";
+    for (size_t i = 0; i < g.inputs.size(); ++i) {
+      if (i > 0) oss << ",";
+      oss << "g" << g.inputs[i];
+    }
+    oss << ")";
+    if (static_cast<int>(id) == output_) oss << " [output]";
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+Circuit AndOfInputs(int num_inputs) {
+  Circuit c(num_inputs);
+  std::vector<int> all(num_inputs);
+  for (int i = 0; i < num_inputs; ++i) all[i] = i;
+  c.SetOutput(c.AddGate(GateKind::kAnd, all));
+  return c;
+}
+
+Circuit OrOfInputs(int num_inputs) {
+  Circuit c(num_inputs);
+  std::vector<int> all(num_inputs);
+  for (int i = 0; i < num_inputs; ++i) all[i] = i;
+  c.SetOutput(c.AddGate(GateKind::kOr, all));
+  return c;
+}
+
+}  // namespace paraquery

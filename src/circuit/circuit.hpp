@@ -1,0 +1,67 @@
+// Boolean circuits with unbounded fan-in AND/OR and NOT gates — the
+// computational model underlying the W hierarchy (Section 2 of the paper):
+// W[t] is defined by weighted satisfiability of depth-t circuits, W[SAT] by
+// weighted formula satisfiability (fan-out 1), W[P] by unrestricted weighted
+// circuit satisfiability.
+#ifndef PARAQUERY_CIRCUIT_CIRCUIT_H_
+#define PARAQUERY_CIRCUIT_CIRCUIT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace paraquery {
+
+/// Gate kinds. Inputs are gates 0..num_inputs-1 of kind kInput.
+enum class GateKind { kInput, kAnd, kOr, kNot };
+
+/// One gate: kind plus fan-in list (ids of strictly smaller gates).
+struct Gate {
+  GateKind kind = GateKind::kInput;
+  std::vector<int> inputs;
+};
+
+/// A combinational circuit in topological order (gate inputs have smaller
+/// ids), with a single designated output gate.
+class Circuit {
+ public:
+  /// Creates a circuit with `num_inputs` input gates (ids 0..num_inputs-1).
+  explicit Circuit(int num_inputs);
+
+  int num_inputs() const { return num_inputs_; }
+  int num_gates() const { return static_cast<int>(gates_.size()); }
+  const Gate& gate(int id) const { return gates_[id]; }
+
+  /// Adds a gate; all ids in `inputs` must already exist. AND/OR require
+  /// fan-in >= 1; NOT requires fan-in == 1. Returns the new gate id.
+  int AddGate(GateKind kind, std::vector<int> inputs);
+
+  int output() const { return output_; }
+  void SetOutput(int gate_id);
+
+  /// Evaluates the circuit on the given input assignment.
+  bool Evaluate(const std::vector<bool>& input_values) const;
+
+  /// True if the circuit contains no NOT gate.
+  bool IsMonotone() const;
+
+  /// Depth as defined in the paper: the maximum number of AND/OR gates on a
+  /// path from an input to the output; NOT gates do not count.
+  int Depth() const;
+
+  std::string ToString() const;
+
+ private:
+  int num_inputs_;
+  std::vector<Gate> gates_;
+  int output_ = -1;
+};
+
+/// Builders for common shapes (used heavily in tests).
+Circuit AndOfInputs(int num_inputs);
+Circuit OrOfInputs(int num_inputs);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_CIRCUIT_CIRCUIT_H_

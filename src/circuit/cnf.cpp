@@ -1,0 +1,96 @@
+#include "circuit/cnf.hpp"
+
+#include <sstream>
+
+#include "common/status.hpp"
+
+namespace paraquery {
+
+bool Cnf::HasWidth(int width) const {
+  for (const auto& cl : clauses) {
+    if (static_cast<int>(cl.size()) > width) return false;
+  }
+  return true;
+}
+
+bool Cnf::Evaluate(const std::vector<bool>& assignment) const {
+  PQ_CHECK(static_cast<int>(assignment.size()) == num_vars,
+           "Cnf::Evaluate: wrong assignment size");
+  for (const auto& cl : clauses) {
+    bool sat = false;
+    for (Lit l : cl) {
+      bool v = assignment[LitVar(l)];
+      if (LitNegated(l) ? !v : v) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+Circuit Cnf::ToCircuit() const {
+  Circuit c(num_vars);
+  // Shared NOT gates per variable, created lazily.
+  std::vector<int> not_gate(num_vars, -1);
+  std::vector<int> clause_gates;
+  for (const auto& cl : clauses) {
+    std::vector<int> lits;
+    for (Lit l : cl) {
+      int var = LitVar(l);
+      if (LitNegated(l)) {
+        if (not_gate[var] < 0) {
+          not_gate[var] = c.AddGate(GateKind::kNot, {var});
+        }
+        lits.push_back(not_gate[var]);
+      } else {
+        lits.push_back(var);
+      }
+    }
+    clause_gates.push_back(c.AddGate(GateKind::kOr, lits));
+  }
+  if (clause_gates.empty()) {
+    // Empty CNF is TRUE: OR of (x, NOT x) ANDed — simplest: single input
+    // tautology gate over input 0 if present, else a 1-input circuit.
+    if (num_vars == 0) {
+      Circuit trivial(1);
+      int n = trivial.AddGate(GateKind::kNot, {0});
+      trivial.SetOutput(trivial.AddGate(GateKind::kOr, {0, n}));
+      return trivial;
+    }
+    int n = c.AddGate(GateKind::kNot, {0});
+    c.SetOutput(c.AddGate(GateKind::kOr, {0, n}));
+    return c;
+  }
+  c.SetOutput(c.AddGate(GateKind::kAnd, clause_gates));
+  return c;
+}
+
+std::string Cnf::ToString() const {
+  std::ostringstream oss;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    if (i > 0) oss << " & ";
+    oss << "(";
+    for (size_t j = 0; j < clauses[i].size(); ++j) {
+      if (j > 0) oss << "|";
+      Lit l = clauses[i][j];
+      if (LitNegated(l)) oss << "~";
+      oss << "x" << LitVar(l);
+    }
+    oss << ")";
+  }
+  if (clauses.empty()) oss << "TRUE";
+  return oss.str();
+}
+
+Cnf GroupedW2Cnf::ToCnf() const {
+  Cnf f;
+  f.num_vars = num_vars;
+  for (auto [a, b] : clauses) {
+    f.clauses.push_back({NegLit(a), NegLit(b)});
+  }
+  return f;
+}
+
+}  // namespace paraquery

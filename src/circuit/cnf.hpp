@@ -1,0 +1,58 @@
+// CNF formulas and the weighted-2CNF instance type produced by the paper's
+// Theorem 1 upper-bound reduction (conjunctive query decision -> weighted
+// satisfiability of an all-negative 2-CNF with one variable group per atom).
+#ifndef PARAQUERY_CIRCUIT_CNF_H_
+#define PARAQUERY_CIRCUIT_CNF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace paraquery {
+
+/// Literal: variable index v (0-based) encoded as +(v+1), negation as -(v+1).
+using Lit = int;
+
+inline Lit PosLit(int var) { return var + 1; }
+inline Lit NegLit(int var) { return -(var + 1); }
+inline int LitVar(Lit l) { return (l > 0 ? l : -l) - 1; }
+inline bool LitNegated(Lit l) { return l < 0; }
+
+/// A CNF formula: conjunction of clauses, each a disjunction of literals.
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+
+  /// True iff every clause has at most `width` literals.
+  bool HasWidth(int width) const;
+
+  /// Evaluates under a full assignment.
+  bool Evaluate(const std::vector<bool>& assignment) const;
+
+  /// Equivalent circuit (AND of ORs of possibly-negated inputs); depth 2.
+  Circuit ToCircuit() const;
+
+  std::string ToString() const;
+};
+
+/// Weighted all-negative 2-CNF with group structure, as produced by the
+/// CQ -> weighted-2CNF reduction: variables are (atom, tuple) pairs; groups
+/// partition variables by atom; clauses are all of the form (¬a ∨ ¬b).
+/// A solution is an assignment with exactly k = groups.size() true
+/// variables; by construction it must pick exactly one variable per group.
+struct GroupedW2Cnf {
+  int num_vars = 0;
+  /// Pairs (a, b) meaning clause (¬a ∨ ¬b), a != b.
+  std::vector<std::pair<int, int>> clauses;
+  /// Disjoint variable groups covering 0..num_vars-1.
+  std::vector<std::vector<int>> groups;
+
+  /// Plain CNF view (clauses only; the cardinality constraint is external).
+  Cnf ToCnf() const;
+};
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_CIRCUIT_CNF_H_

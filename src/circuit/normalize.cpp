@@ -1,0 +1,101 @@
+#include "circuit/normalize.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace paraquery {
+
+namespace {
+// Required gate kind at a level: OR on even levels, AND on odd levels.
+GateKind KindAt(int level) {
+  return (level % 2 == 0) ? GateKind::kOr : GateKind::kAnd;
+}
+}  // namespace
+
+Result<AlternatingCircuit> NormalizeMonotone(const Circuit& c) {
+  if (!c.IsMonotone()) {
+    return Status::InvalidArgument("NormalizeMonotone: circuit has NOT gates");
+  }
+  if (c.output() < 0) {
+    return Status::InvalidArgument("NormalizeMonotone: output not set");
+  }
+
+  // Pass 1: assign every original gate a level of the correct parity.
+  // Inputs sit at level 0; an AND goes to the smallest odd level above all
+  // its children, an OR to the smallest even level above all its children
+  // (but at least 1, so no gate shares level 0 with the inputs).
+  std::vector<int> orig_level(c.num_gates(), 0);
+  for (int id = 0; id < c.num_gates(); ++id) {
+    const Gate& g = c.gate(id);
+    if (g.kind == GateKind::kInput) continue;
+    int lmin = 1;
+    for (int in : g.inputs) lmin = std::max(lmin, orig_level[in] + 1);
+    bool want_odd = (g.kind == GateKind::kAnd);
+    if ((lmin % 2 == 1) != want_odd) ++lmin;
+    orig_level[id] = lmin;
+  }
+  int out_level = orig_level[c.output()];
+  // The output must be an OR at an even level >= 2.
+  int top = out_level;
+  if (c.gate(c.output()).kind == GateKind::kAnd || out_level % 2 == 1) {
+    top = out_level + 1;
+  }
+  if (top % 2 == 1) ++top;
+  if (top < 2) top = 2;
+
+  // Pass 2: rebuild, inserting pass-through chains so every wire connects
+  // adjacent levels. pass_through[(gate, level)] = id of the copy of `gate`
+  // lifted to `level` in the new circuit.
+  AlternatingCircuit out;
+  out.circuit = Circuit(c.num_inputs());
+  out.level.assign(c.num_inputs(), 0);
+
+  std::map<std::pair<int, int>, int> lifted;  // (orig gate, level) -> new id
+  std::vector<int> new_id(c.num_gates(), -1);
+  for (int i = 0; i < c.num_inputs(); ++i) {
+    new_id[i] = i;
+    lifted[{i, 0}] = i;
+  }
+
+  // Lifts `orig` (already materialized at orig_level[orig]) to `level` via
+  // single-input pass-through gates of alternating kinds.
+  auto Lift = [&](int orig, int level) -> int {
+    int base_level = orig_level[orig];
+    PQ_DCHECK(level >= base_level, "Lift below base level");
+    auto it = lifted.find({orig, level});
+    if (it != lifted.end()) return it->second;
+    PQ_CHECK(lifted.count({orig, base_level}) == 1,
+             "Lift: base gate not materialized");
+    int cur = lifted[{orig, base_level}];
+    for (int l = base_level + 1; l <= level; ++l) {
+      auto step = lifted.find({orig, l});
+      if (step != lifted.end()) {
+        cur = step->second;
+        continue;
+      }
+      cur = out.circuit.AddGate(KindAt(l), {cur});
+      out.level.push_back(l);
+      lifted[{orig, l}] = cur;
+    }
+    return cur;
+  };
+
+  for (int id = 0; id < c.num_gates(); ++id) {
+    const Gate& g = c.gate(id);
+    if (g.kind == GateKind::kInput) continue;
+    int level = orig_level[id];
+    std::vector<int> ins;
+    ins.reserve(g.inputs.size());
+    for (int in : g.inputs) ins.push_back(Lift(in, level - 1));
+    new_id[id] = out.circuit.AddGate(g.kind, std::move(ins));
+    out.level.push_back(level);
+    lifted[{id, level}] = new_id[id];
+  }
+
+  int output_new = Lift(c.output(), top);
+  out.circuit.SetOutput(output_new);
+  out.top_level = top;
+  return out;
+}
+
+}  // namespace paraquery

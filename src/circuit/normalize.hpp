@@ -1,0 +1,42 @@
+// Normalization of monotone circuits into strictly leveled, alternating form:
+// level 0 holds the inputs, odd levels hold AND gates, even levels hold OR
+// gates, every wire connects adjacent levels, and the output is the unique
+// OR gate on the top (even) level 2t. This is the preprocessing the paper
+// assumes for the Theorem 1 first-order reduction ("We can assume that the
+// given circuit alternates between OR and AND gates and that the output is
+// an OR gate at level 2t").
+#ifndef PARAQUERY_CIRCUIT_NORMALIZE_H_
+#define PARAQUERY_CIRCUIT_NORMALIZE_H_
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/status.hpp"
+
+namespace paraquery {
+
+/// A leveled alternating monotone circuit.
+struct AlternatingCircuit {
+  /// Underlying circuit (all wires connect adjacent levels).
+  Circuit circuit = Circuit(0);
+  /// level[g] for every gate id; inputs are level 0.
+  std::vector<int> level;
+  /// Number of the top level; always even and >= 2. The output gate is the
+  /// only gate at this level and is an OR.
+  int top_level = 0;
+
+  int num_inputs() const { return circuit.num_inputs(); }
+
+  bool Evaluate(const std::vector<bool>& inputs) const {
+    return circuit.Evaluate(inputs);
+  }
+};
+
+/// Converts a monotone circuit into alternating leveled form computing the
+/// same function. Fails with InvalidArgument if `c` is not monotone or has
+/// no output. Pass-through gates (fan-in 1) are inserted as needed.
+Result<AlternatingCircuit> NormalizeMonotone(const Circuit& c);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_CIRCUIT_NORMALIZE_H_

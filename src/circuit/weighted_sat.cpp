@@ -1,0 +1,112 @@
+#include "circuit/weighted_sat.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/combinatorics.hpp"
+#include "common/status.hpp"
+
+namespace paraquery {
+
+std::optional<std::vector<int>> WeightedCircuitSat(const Circuit& c, int k) {
+  int n = c.num_inputs();
+  if (k < 0 || k > n) return std::nullopt;
+  std::optional<std::vector<int>> found;
+  std::vector<bool> assignment(n, false);
+  ForEachKSubset(n, k, [&](const std::vector<int>& subset) {
+    std::fill(assignment.begin(), assignment.end(), false);
+    for (int v : subset) assignment[v] = true;
+    if (c.Evaluate(assignment)) {
+      found = subset;
+      return false;  // stop
+    }
+    return true;
+  });
+  return found;
+}
+
+std::optional<std::vector<int>> WeightedCnfSat(const Cnf& f, int k) {
+  int n = f.num_vars;
+  if (k < 0 || k > n) return std::nullopt;
+  std::optional<std::vector<int>> found;
+  std::vector<bool> assignment(n, false);
+  ForEachKSubset(n, k, [&](const std::vector<int>& subset) {
+    std::fill(assignment.begin(), assignment.end(), false);
+    for (int v : subset) assignment[v] = true;
+    if (f.Evaluate(assignment)) {
+      found = subset;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+std::optional<std::vector<int>> WeightedMonotoneCircuitSat(const Circuit& c,
+                                                           int k) {
+  PQ_DCHECK(c.IsMonotone(), "WeightedMonotoneCircuitSat: circuit not monotone");
+  return WeightedCircuitSat(c, k);
+}
+
+namespace {
+
+struct GroupedSearch {
+  const GroupedW2Cnf& inst;
+  // conflicts[v] = sorted vector of variables conflicting with v.
+  std::vector<std::vector<int>> conflicts;
+  std::vector<int> group_order;  // groups sorted by size, smallest first
+  std::vector<int> chosen;       // chosen[v-position] by group_order index
+  std::vector<int> blocked;      // blocked[v] = #chosen vars conflicting with v
+
+  explicit GroupedSearch(const GroupedW2Cnf& instance) : inst(instance) {
+    conflicts.resize(inst.num_vars);
+    for (auto [a, b] : inst.clauses) {
+      conflicts[a].push_back(b);
+      conflicts[b].push_back(a);
+    }
+    for (auto& cs : conflicts) {
+      std::sort(cs.begin(), cs.end());
+      cs.erase(std::unique(cs.begin(), cs.end()), cs.end());
+    }
+    group_order.resize(inst.groups.size());
+    for (size_t i = 0; i < inst.groups.size(); ++i) {
+      group_order[i] = static_cast<int>(i);
+    }
+    std::sort(group_order.begin(), group_order.end(), [this](int a, int b) {
+      return inst.groups[a].size() < inst.groups[b].size();
+    });
+    blocked.assign(inst.num_vars, 0);
+  }
+
+  bool Dfs(size_t pos) {
+    if (pos == group_order.size()) return true;
+    const auto& group = inst.groups[group_order[pos]];
+    for (int v : group) {
+      if (blocked[v] > 0) continue;
+      chosen.push_back(v);
+      for (int w : conflicts[v]) ++blocked[w];
+      if (blocked[v] == 0 && Dfs(pos + 1)) return true;
+      for (int w : conflicts[v]) --blocked[w];
+      chosen.pop_back();
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<int>> SolveGroupedW2Cnf(const GroupedW2Cnf& instance) {
+  for (const auto& g : instance.groups) {
+    if (g.empty()) return std::nullopt;  // a group with no candidates
+  }
+  GroupedSearch search(instance);
+  if (!search.Dfs(0)) return std::nullopt;
+  // Report in original group order.
+  std::vector<int> result(instance.groups.size(), -1);
+  for (size_t i = 0; i < search.group_order.size(); ++i) {
+    result[search.group_order[i]] = search.chosen[i];
+  }
+  return result;
+}
+
+}  // namespace paraquery

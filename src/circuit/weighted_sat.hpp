@@ -1,0 +1,40 @@
+// Weighted satisfiability solvers: the right-hand side of every W-hierarchy
+// membership reduction in the paper. "Weight k" means exactly k inputs set
+// to 1. The exhaustive solvers are the canonical n^k algorithms (used as
+// ground truth and to exhibit that scaling in benches); the grouped 2-CNF
+// solver exploits the structure produced by the CQ -> 2CNF reduction.
+#ifndef PARAQUERY_CIRCUIT_WEIGHTED_SAT_H_
+#define PARAQUERY_CIRCUIT_WEIGHTED_SAT_H_
+
+#include <optional>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/cnf.hpp"
+
+namespace paraquery {
+
+/// Finds an assignment with exactly `k` true inputs satisfying `c`
+/// (exhaustive over C(n, k) subsets). Returns the sorted true-variable set.
+std::optional<std::vector<int>> WeightedCircuitSat(const Circuit& c, int k);
+
+/// Weighted satisfiability of a CNF formula (exhaustive).
+std::optional<std::vector<int>> WeightedCnfSat(const Cnf& f, int k);
+
+/// Weighted satisfiability of a *monotone* circuit: satisfiable with weight
+/// exactly k iff satisfiable with weight <= k (monotonicity) — solved by the
+/// same exhaustive search but with subset-pruning on failures disabled;
+/// provided separately for clarity at call sites.
+std::optional<std::vector<int>> WeightedMonotoneCircuitSat(const Circuit& c,
+                                                           int k);
+
+/// Solves a grouped all-negative weighted 2-CNF: choose exactly one variable
+/// per group such that no clause (¬a ∨ ¬b) has both endpoints chosen.
+/// Equivalent to multicolored independent set / clique in the conflict
+/// complement; solved by DFS over groups with conflict propagation.
+/// Returns the chosen variables (one per group, in group order).
+std::optional<std::vector<int>> SolveGroupedW2Cnf(const GroupedW2Cnf& instance);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_CIRCUIT_WEIGHTED_SAT_H_

@@ -1,0 +1,108 @@
+#include "common/combinatorics.hpp"
+
+#include <limits>
+
+namespace paraquery {
+
+namespace {
+constexpr uint64_t kSaturated = std::numeric_limits<uint64_t>::max();
+
+// a*b with saturation.
+uint64_t MulSat(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kSaturated / b) return kSaturated;
+  return a * b;
+}
+
+uint64_t AddSat(uint64_t a, uint64_t b) {
+  if (a > kSaturated - b) return kSaturated;
+  return a + b;
+}
+}  // namespace
+
+uint64_t Binomial(uint64_t n, uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  uint64_t result = 1;
+  for (uint64_t i = 1; i <= k; ++i) {
+    // result * (n-k+i) / i is always integral when applied in this order,
+    // but the intermediate product may overflow; saturate.
+    uint64_t num = n - k + i;
+    if (result > kSaturated / num) return kSaturated;
+    result = result * num / i;
+  }
+  return result;
+}
+
+uint64_t Bell(uint64_t n) {
+  // Bell triangle with saturation; B(25) already exceeds 4e18.
+  std::vector<uint64_t> row = {1};
+  uint64_t bell = 1;
+  for (uint64_t i = 1; i <= n; ++i) {
+    std::vector<uint64_t> next(i + 1);
+    next[0] = row.back();
+    for (uint64_t j = 0; j + 1 <= i; ++j) next[j + 1] = AddSat(next[j], row[j]);
+    row = std::move(next);
+    bell = row[0];
+    if (bell == kSaturated) return kSaturated;
+  }
+  return bell;
+}
+
+bool ForEachKSubset(int n, int k,
+                    const std::function<bool(const std::vector<int>&)>& fn) {
+  if (k < 0 || k > n) return true;
+  std::vector<int> idx(k);
+  for (int i = 0; i < k; ++i) idx[i] = i;
+  if (k == 0) return fn(idx);
+  for (;;) {
+    if (!fn(idx)) return false;
+    // Advance to the next combination.
+    int i = k - 1;
+    while (i >= 0 && idx[i] == n - k + i) --i;
+    if (i < 0) return true;
+    ++idx[i];
+    for (int j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+bool ForEachSetPartition(
+    int n, const std::function<bool(const std::vector<int>&)>& fn) {
+  if (n == 0) {
+    std::vector<int> empty;
+    return fn(empty);
+  }
+  // Restricted-growth strings: blocks[i] <= 1 + max(blocks[0..i-1]).
+  std::vector<int> blocks(n, 0);
+  std::vector<int> maxes(n, 0);  // maxes[i] = max(blocks[0..i])
+  for (;;) {
+    if (!fn(blocks)) return false;
+    int i = n - 1;
+    while (i > 0 && blocks[i] == maxes[i - 1] + 1) --i;
+    if (i == 0) return true;
+    ++blocks[i];
+    maxes[i] = std::max(maxes[i - 1], blocks[i]);
+    for (int j = i + 1; j < n; ++j) {
+      blocks[j] = 0;
+      maxes[j] = maxes[i];
+    }
+  }
+}
+
+uint64_t StirlingPartialSum(uint64_t n, uint64_t k) {
+  // S(n, j) via the triangle S(n, j) = j*S(n-1, j) + S(n-1, j-1).
+  std::vector<uint64_t> row(n + 1, 0);
+  row[0] = 1;  // S(0,0) = 1
+  for (uint64_t i = 1; i <= n; ++i) {
+    std::vector<uint64_t> next(n + 1, 0);
+    for (uint64_t j = 1; j <= i; ++j) {
+      next[j] = AddSat(MulSat(j, row[j]), row[j - 1]);
+    }
+    row = std::move(next);
+  }
+  uint64_t total = 0;
+  for (uint64_t j = 0; j <= k && j <= n; ++j) total = AddSat(total, row[j]);
+  return total;
+}
+
+}  // namespace paraquery

@@ -1,0 +1,35 @@
+// Small combinatorial helpers shared by solvers and the color-coding driver.
+#ifndef PARAQUERY_COMMON_COMBINATORICS_H_
+#define PARAQUERY_COMMON_COMBINATORICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace paraquery {
+
+/// Binomial coefficient C(n, k), saturating at UINT64_MAX on overflow.
+uint64_t Binomial(uint64_t n, uint64_t k);
+
+/// Bell number B(n) (number of set partitions), saturating on overflow.
+uint64_t Bell(uint64_t n);
+
+/// Iterates over all k-element subsets of {0,...,n-1} in lexicographic order,
+/// invoking `fn` with the current subset. Stops early if `fn` returns false.
+/// Returns false iff stopped early.
+bool ForEachKSubset(int n, int k,
+                    const std::function<bool(const std::vector<int>&)>& fn);
+
+/// Iterates over all set partitions of {0,...,n-1}, presented as a block-id
+/// vector (partition[i] = block index of element i, blocks numbered in order
+/// of first appearance). Stops early if `fn` returns false; returns false iff
+/// stopped early.
+bool ForEachSetPartition(int n,
+                         const std::function<bool(const std::vector<int>&)>& fn);
+
+/// Number of set partitions of an n-set into at most k blocks.
+uint64_t StirlingPartialSum(uint64_t n, uint64_t k);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_COMMON_COMBINATORICS_H_

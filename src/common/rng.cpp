@@ -1,0 +1,3 @@
+#include "common/rng.hpp"
+
+// Header-only; this TU anchors the library target.

@@ -1,0 +1,47 @@
+#include "common/status.hpp"
+
+namespace paraquery {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+void Status::Expect(const char* context) const {
+  if (ok()) return;
+  std::cerr << "Fatal status";
+  if (context != nullptr && context[0] != '\0') std::cerr << " in " << context;
+  std::cerr << ": " << ToString() << "\n";
+  std::abort();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& st) {
+  return os << st.ToString();
+}
+
+}  // namespace paraquery

@@ -1,0 +1,170 @@
+// Status / Result error model, following the Arrow/RocksDB idiom: no exceptions
+// cross library boundaries; fallible functions return Status or Result<T>.
+#ifndef PARAQUERY_COMMON_STATUS_H_
+#define PARAQUERY_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace paraquery {
+
+/// Machine-readable error category carried by a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: either OK or a code plus message.
+///
+/// Cheap to copy in the OK case (single enum); error details are stored in an
+/// inline string. Follows the Google/Arrow convention: functions that can fail
+/// return Status (or Result<T>), and callers propagate with PQ_RETURN_NOT_OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process if not OK; used at the edges (examples, benches).
+  void Expect(const char* context = "") const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& st);
+
+/// A value-or-error sum type: holds either a T or a non-OK Status.
+///
+/// The moved-from accessors follow Arrow's Result: `ValueOrDie()` aborts on
+/// error (edge use only); library code uses PQ_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (OK result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. Aborts if `status` is OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      std::cerr << "Result constructed from OK status without a value\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; undefined if !ok() (checked in debug).
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Returns the value or aborts with the error message.
+  T ValueOrDie() && {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status_ << "\n";
+      std::abort();
+    }
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+namespace internal {
+/// Builds an error message from stream-style fragments.
+template <typename... Args>
+std::string StrCat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  return oss.str();
+}
+}  // namespace internal
+
+}  // namespace paraquery
+
+/// Propagates a non-OK Status from the current function.
+#define PQ_RETURN_NOT_OK(expr)                   \
+  do {                                           \
+    ::paraquery::Status _pq_st = (expr);         \
+    if (!_pq_st.ok()) return _pq_st;             \
+  } while (false)
+
+#define PQ_CONCAT_IMPL(a, b) a##b
+#define PQ_CONCAT(a, b) PQ_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a Result<T> expression to `lhs` or propagates error.
+#define PQ_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  auto PQ_CONCAT(_pq_result_, __LINE__) = (rexpr);              \
+  if (!PQ_CONCAT(_pq_result_, __LINE__).ok())                   \
+    return PQ_CONCAT(_pq_result_, __LINE__).status();           \
+  lhs = std::move(PQ_CONCAT(_pq_result_, __LINE__)).value()
+
+/// Invariant check active in all build types (cheap conditions only).
+#define PQ_CHECK(cond, msg)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::cerr << "PQ_CHECK failed at " << __FILE__ << ":" << __LINE__  \
+                << ": " << (msg) << "\n";                                \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#ifndef NDEBUG
+#define PQ_DCHECK(cond, msg) PQ_CHECK(cond, msg)
+#else
+#define PQ_DCHECK(cond, msg) \
+  do {                       \
+  } while (false)
+#endif
+
+#endif  // PARAQUERY_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+// Wall-clock timer for examples and ad-hoc measurements (benchmarks use
+// google-benchmark's own timing).
+#ifndef PARAQUERY_COMMON_TIMER_H_
+#define PARAQUERY_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace paraquery {
+
+/// Monotonic stopwatch started at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_COMMON_TIMER_H_

@@ -1,0 +1,176 @@
+#include "core/classifier.hpp"
+
+#include <sstream>
+
+namespace paraquery {
+
+const char* QueryLanguageName(QueryLanguage lang) {
+  switch (lang) {
+    case QueryLanguage::kConjunctive:
+      return "conjunctive";
+    case QueryLanguage::kPositive:
+      return "positive";
+    case QueryLanguage::kFirstOrder:
+      return "first-order";
+    case QueryLanguage::kDatalog:
+      return "Datalog";
+  }
+  return "?";
+}
+
+const char* EngineChoiceName(EngineChoice engine) {
+  switch (engine) {
+    case EngineChoice::kAcyclic:
+      return "acyclic (Yannakakis)";
+    case EngineChoice::kInequality:
+      return "acyclic+inequality (Theorem 2 color coding)";
+    case EngineChoice::kNaive:
+      return "naive backtracking";
+    case EngineChoice::kUcq:
+      return "union-of-CQs expansion";
+    case EngineChoice::kFo:
+      return "active-domain relational calculus";
+    case EngineChoice::kDatalog:
+      return "semi-naive fixpoint";
+  }
+  return "?";
+}
+
+Classification ClassifyConjunctive(const ConjunctiveQuery& q) {
+  Classification c;
+  c.language = QueryLanguage::kConjunctive;
+  c.q = q.QuerySize();
+  c.v = q.NumVariables();
+  c.acyclic = q.IsAcyclic();
+  c.has_inequalities = q.HasComparisons() && q.HasOnlyInequalities();
+  c.has_order = q.HasOrderComparisons();
+  if (q.HasComparisons() && !q.HasOnlyInequalities() && !c.has_order) {
+    // Only = atoms beyond relational ones; closure removes them.
+    c.has_inequalities = false;
+  }
+
+  if (c.acyclic && !q.HasComparisons()) {
+    c.fixed_parameter_tractable = true;
+    c.class_under_q = "PTIME (combined complexity)";
+    c.class_under_v = "PTIME (combined complexity)";
+    c.basis = "Yannakakis 1981; cited as the classical acyclic tractability";
+    c.engine = EngineChoice::kAcyclic;
+  } else if (c.acyclic && q.HasOnlyInequalities()) {
+    c.fixed_parameter_tractable = true;
+    c.class_under_q = "FPT: O(g(q) * n log n)";
+    c.class_under_v = "FPT: O(2^{O(v log v)} * q * n log n)";
+    c.basis = "Theorem 2 (acyclic conjunctive queries with !=)";
+    c.engine = EngineChoice::kInequality;
+  } else if (c.acyclic && c.has_order) {
+    c.fixed_parameter_tractable = false;
+    c.class_under_q = "W[1]-complete";
+    c.class_under_v = "W[1]-complete";
+    c.basis = "Theorem 3 (acyclic conjunctive queries with comparisons)";
+    c.engine = EngineChoice::kNaive;
+  } else {
+    c.fixed_parameter_tractable = false;
+    c.class_under_q = "W[1]-complete";
+    c.class_under_v = "W[1]-complete";
+    c.basis = "Theorem 1, row 1 (conjunctive queries)";
+    c.engine = EngineChoice::kNaive;
+  }
+  return c;
+}
+
+namespace {
+bool IsPrenexPositive(const FirstOrderQuery& fo) {
+  if (fo.root < 0) return false;
+  const auto& root = fo.nodes[fo.root];
+  if (root.kind != FirstOrderQuery::NodeKind::kExists) return false;
+  std::vector<int> stack = {root.children[0]};
+  while (!stack.empty()) {
+    const auto& n = fo.nodes[stack.back()];
+    stack.pop_back();
+    if (n.kind == FirstOrderQuery::NodeKind::kExists ||
+        n.kind == FirstOrderQuery::NodeKind::kForall) {
+      return false;
+    }
+    for (int c : n.children) stack.push_back(c);
+  }
+  return true;
+}
+}  // namespace
+
+Classification ClassifyPositive(const PositiveQuery& q) {
+  Classification c;
+  c.language = QueryLanguage::kPositive;
+  c.q = q.QuerySize();
+  c.v = q.NumVariables();
+  c.prenex = IsPrenexPositive(q.fo());
+  c.fixed_parameter_tractable = false;
+  c.class_under_q = "W[1]-complete";
+  c.class_under_v =
+      c.prenex ? "W[SAT]-complete (prenex)" : "W[SAT]-hard";
+  c.basis = "Theorem 1, row 2 (positive queries)";
+  c.engine = EngineChoice::kUcq;
+  return c;
+}
+
+Classification ClassifyFirstOrder(const FirstOrderQuery& q) {
+  Classification c;
+  c.language = QueryLanguage::kFirstOrder;
+  c.q = q.QuerySize();
+  c.v = q.NumVariables();
+  if (q.IsPositive()) {
+    auto pos = PositiveQuery::FromFirstOrder(q);
+    if (pos.ok()) return ClassifyPositive(pos.value());
+  }
+  c.fixed_parameter_tractable = false;
+  c.class_under_q = "W[t]-hard for all t (AW[*]-complete per Downey-Fellows-Taylor)";
+  c.class_under_v = "W[P]-hard (AW[P]-hard with alternation)";
+  c.basis = "Theorem 1, row 3 (first-order queries)";
+  c.engine = EngineChoice::kFo;
+  return c;
+}
+
+Classification ClassifyDatalog(const DatalogProgram& p) {
+  Classification c;
+  c.language = QueryLanguage::kDatalog;
+  c.q = p.QuerySize();
+  c.v = p.MaxRuleVariables();
+  c.max_idb_arity = p.MaxIdbArity();
+  c.fixed_parameter_tractable = false;
+  // The bounded-arity remark of Section 4.
+  std::ostringstream basis;
+  if (c.max_idb_arity <= 2) {
+    c.class_under_q = "W[1]-complete (bounded-arity Datalog)";
+    c.class_under_v = "W[1]-complete (bounded-arity Datalog)";
+    basis << "Section 4 remark: fixed-arity Datalog is in W[1]";
+  } else {
+    c.class_under_q =
+        "query size provably in the exponent for unbounded arity (Vardi)";
+    c.class_under_v = c.class_under_q;
+    basis << "Section 4: Vardi's lower bound for fixpoint/Datalog";
+  }
+  c.basis = basis.str();
+  c.engine = EngineChoice::kDatalog;
+  return c;
+}
+
+std::string Classification::ToString() const {
+  std::ostringstream oss;
+  oss << "language: " << QueryLanguageName(language) << "\n";
+  oss << "q (query size): " << q << ", v (variables): " << v << "\n";
+  if (language == QueryLanguage::kConjunctive) {
+    oss << "acyclic: " << (acyclic ? "yes" : "no")
+        << ", inequalities: " << (has_inequalities ? "yes" : "no")
+        << ", order comparisons: " << (has_order ? "yes" : "no") << "\n";
+  }
+  if (language == QueryLanguage::kDatalog) {
+    oss << "max IDB arity: " << max_idb_arity << "\n";
+  }
+  oss << "parametrized class (parameter q): " << class_under_q << "\n";
+  oss << "parametrized class (parameter v): " << class_under_v << "\n";
+  oss << "fixed-parameter tractable here: "
+      << (fixed_parameter_tractable ? "yes" : "no") << "\n";
+  oss << "basis: " << basis << "\n";
+  oss << "engine: " << EngineChoiceName(engine) << "\n";
+  return oss.str();
+}
+
+}  // namespace paraquery

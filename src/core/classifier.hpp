@@ -1,0 +1,69 @@
+// Query classification according to the paper's results: given a query,
+// report its language class, the parameters q and v, structural properties
+// (acyclicity, inequality/comparison usage), the parametrized-complexity
+// verdict of Theorem 1/2/3 for both parameters, and the evaluation engine
+// this library would pick.
+#ifndef PARAQUERY_CORE_CLASSIFIER_H_
+#define PARAQUERY_CORE_CLASSIFIER_H_
+
+#include <string>
+
+#include "query/conjunctive_query.hpp"
+#include "query/datalog.hpp"
+#include "query/first_order_query.hpp"
+#include "query/positive_query.hpp"
+
+namespace paraquery {
+
+/// Query language classes of the paper (Section 3).
+enum class QueryLanguage { kConjunctive, kPositive, kFirstOrder, kDatalog };
+
+/// Engines this library can route a query to.
+enum class EngineChoice {
+  kAcyclic,     // Yannakakis (acyclic, comparison-free)
+  kInequality,  // Theorem 2 color-coding engine (acyclic + ≠)
+  kNaive,       // backtracking (anything conjunctive)
+  kUcq,         // positive via union of CQs
+  kFo,          // active-domain relational calculus
+  kDatalog,     // semi-naive fixpoint
+};
+
+const char* QueryLanguageName(QueryLanguage lang);
+const char* EngineChoiceName(EngineChoice engine);
+
+/// The classification verdict.
+struct Classification {
+  QueryLanguage language = QueryLanguage::kConjunctive;
+  size_t q = 0;  // query size
+  int v = 0;     // number of variables
+
+  bool acyclic = false;          // hypergraph of relational atoms
+  bool has_inequalities = false; // ≠ atoms
+  bool has_order = false;        // < / ≤ atoms
+  bool prenex = false;           // for positive/FO queries
+  int max_idb_arity = 0;         // for Datalog
+
+  /// True if this library evaluates the query in f.p. polynomial time
+  /// (g(parameter) · poly(n)).
+  bool fixed_parameter_tractable = false;
+
+  /// Theorem 1/2/3 verdict under each parameter, e.g. "W[1]-complete".
+  std::string class_under_q;
+  std::string class_under_v;
+
+  /// Citation within the paper backing the verdict.
+  std::string basis;
+
+  EngineChoice engine = EngineChoice::kNaive;
+
+  std::string ToString() const;
+};
+
+Classification ClassifyConjunctive(const ConjunctiveQuery& q);
+Classification ClassifyPositive(const PositiveQuery& q);
+Classification ClassifyFirstOrder(const FirstOrderQuery& q);
+Classification ClassifyDatalog(const DatalogProgram& p);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_CORE_CLASSIFIER_H_

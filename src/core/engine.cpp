@@ -1,0 +1,114 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+
+#include "core/explain.hpp"
+#include "eval/acyclic.hpp"
+#include "query/comparison_closure.hpp"
+#include "query/parser.hpp"
+
+namespace paraquery {
+
+namespace {
+
+// Heuristic syntax dispatch for RunText/ExplainText.
+enum class TextKind { kRule, kDatalogProgram, kFormula };
+
+TextKind SniffKind(const std::string& text) {
+  if (text.find(":=") != std::string::npos) return TextKind::kFormula;
+  // Count rule arrows outside comments: two or more (or a @goal directive)
+  // means a Datalog program.
+  size_t arrows = 0;
+  for (size_t pos = 0; (pos = text.find(":-", pos)) != std::string::npos;
+       pos += 2) {
+    ++arrows;
+  }
+  if (arrows >= 2 || text.find("@goal") != std::string::npos) {
+    return TextKind::kDatalogProgram;
+  }
+  return TextKind::kRule;
+}
+
+}  // namespace
+
+Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
+  PQ_RETURN_NOT_OK(q.Validate());
+  const ConjunctiveQuery* effective = &q;
+  ComparisonClosure closure;
+  if (q.HasComparisons() && !q.HasOnlyInequalities()) {
+    PQ_ASSIGN_OR_RETURN(closure, CollapseComparisons(q));
+    if (!closure.consistent) return Relation(q.head.size());
+    effective = &closure.rewritten;
+  }
+  if (effective->body.empty()) {
+    // No relational atoms: the head must be constant-only (safety).
+    Relation out(effective->head.size());
+    ValueVec row;
+    for (const Term& t : effective->head) row.push_back(t.value());
+    out.Add(row);
+    return out;
+  }
+  if (effective->IsAcyclic()) {
+    if (!effective->HasComparisons()) {
+      return AcyclicEvaluate(*db_, *effective);
+    }
+    if (effective->HasOnlyInequalities()) {
+      return IneqEvaluate(*db_, *effective, options_.inequality);
+    }
+  }
+  return NaiveEvaluateCq(*db_, *effective, options_.naive);
+}
+
+Result<Relation> Engine::Run(const PositiveQuery& q) const {
+  return EvaluatePositive(*db_, q, options_.ucq);
+}
+
+Result<Relation> Engine::Run(const FirstOrderQuery& q) const {
+  if (q.IsPositive()) {
+    auto positive = PositiveQuery::FromFirstOrder(q);
+    if (positive.ok()) return Run(positive.value());
+  }
+  return EvaluateFirstOrder(*db_, q, options_.fo);
+}
+
+Result<Relation> Engine::Run(const DatalogProgram& p) const {
+  return EvaluateDatalog(*db_, p, options_.datalog);
+}
+
+Result<Relation> Engine::RunText(const std::string& text, Dictionary* dict) {
+  switch (SniffKind(text)) {
+    case TextKind::kFormula: {
+      PQ_ASSIGN_OR_RETURN(FirstOrderQuery q, ParseFirstOrder(text, dict));
+      return Run(q);
+    }
+    case TextKind::kDatalogProgram: {
+      PQ_ASSIGN_OR_RETURN(DatalogProgram p, ParseDatalog(text, dict));
+      return Run(p);
+    }
+    case TextKind::kRule: {
+      PQ_ASSIGN_OR_RETURN(ConjunctiveQuery q, ParseConjunctive(text, dict));
+      return Run(q);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<std::string> Engine::ExplainText(const std::string& text) {
+  switch (SniffKind(text)) {
+    case TextKind::kFormula: {
+      PQ_ASSIGN_OR_RETURN(FirstOrderQuery q, ParseFirstOrder(text, nullptr));
+      return ExplainFirstOrder(q);
+    }
+    case TextKind::kDatalogProgram: {
+      PQ_ASSIGN_OR_RETURN(DatalogProgram p, ParseDatalog(text, nullptr));
+      return ExplainDatalog(p);
+    }
+    case TextKind::kRule: {
+      PQ_ASSIGN_OR_RETURN(ConjunctiveQuery q, ParseConjunctive(text, nullptr));
+      return ExplainConjunctive(q);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace paraquery

@@ -1,0 +1,76 @@
+// The ParaQuery engine facade: parse -> classify -> plan -> evaluate.
+//
+// Routing policy (the operational content of the paper):
+//   * conjunctive, acyclic, comparison-free      -> Yannakakis
+//   * conjunctive, acyclic, only ≠ atoms         -> Theorem 2 color coding
+//   * conjunctive with order comparisons         -> Klug closure, then the
+//     best applicable engine on the rewritten query (naive if < / ≤ remain:
+//     Theorem 3 says nothing better exists in general)
+//   * cyclic conjunctive                         -> naive backtracking
+//   * positive                                   -> union-of-CQs expansion
+//   * first-order                                -> active-domain algebra
+//   * Datalog                                    -> semi-naive fixpoint
+#ifndef PARAQUERY_CORE_ENGINE_H_
+#define PARAQUERY_CORE_ENGINE_H_
+
+#include <string>
+
+#include "core/classifier.hpp"
+#include "eval/datalog_eval.hpp"
+#include "eval/fo.hpp"
+#include "eval/inequality.hpp"
+#include "eval/naive.hpp"
+#include "eval/ucq.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+
+/// Engine-wide options (forwarded to the individual evaluators).
+struct EngineOptions {
+  IneqOptions inequality;
+  NaiveOptions naive;
+  FoOptions fo;
+  UcqOptions ucq;
+  DatalogOptions datalog;
+};
+
+/// Facade bound to one database instance (not owned).
+class Engine {
+ public:
+  explicit Engine(const Database& db, EngineOptions options = {})
+      : db_(&db), options_(std::move(options)) {}
+
+  /// Evaluates a conjunctive query (with any comparison atoms) using the
+  /// best applicable algorithm.
+  Result<Relation> Run(const ConjunctiveQuery& q) const;
+
+  /// Evaluates a positive query.
+  Result<Relation> Run(const PositiveQuery& q) const;
+
+  /// Evaluates a first-order query.
+  Result<Relation> Run(const FirstOrderQuery& q) const;
+
+  /// Evaluates a Datalog program.
+  Result<Relation> Run(const DatalogProgram& p) const;
+
+  /// Parses `text` (rule syntax with ":-", formula syntax with ":=",
+  /// multiple rules = Datalog) and evaluates it. String constants in the
+  /// query require `dict` (usually the database's own dictionary) so they
+  /// can be interned to value codes; without it they are a parse error.
+  Result<Relation> RunText(const std::string& text,
+                           Dictionary* dict = nullptr);
+
+  /// Classification + plan for a query, as a human-readable report.
+  Result<std::string> ExplainText(const std::string& text);
+
+  const Database& db() const { return *db_; }
+  EngineOptions& options() { return options_; }
+
+ private:
+  const Database* db_;
+  EngineOptions options_;
+};
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_CORE_ENGINE_H_

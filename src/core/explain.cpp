@@ -1,0 +1,51 @@
+#include "core/explain.hpp"
+
+#include <sstream>
+
+#include "query/comparison_closure.hpp"
+
+namespace paraquery {
+
+std::string ExplainConjunctive(const ConjunctiveQuery& q) {
+  std::ostringstream oss;
+  oss << "query: " << q.ToString() << "\n";
+  if (q.HasComparisons() && !q.HasOnlyInequalities()) {
+    auto closure = CollapseComparisons(q);
+    if (closure.ok() && !closure.value().consistent) {
+      oss << "comparison closure: INCONSISTENT — the answer is empty on "
+             "every database (Section 5 / Klug)\n";
+      return oss.str();
+    }
+    if (closure.ok()) {
+      oss << "comparison closure: collapsed to "
+          << closure.value().rewritten.ToString() << "\n";
+      oss << ClassifyConjunctive(closure.value().rewritten).ToString();
+      return oss.str();
+    }
+  }
+  oss << ClassifyConjunctive(q).ToString();
+  return oss.str();
+}
+
+std::string ExplainPositive(const PositiveQuery& q) {
+  std::ostringstream oss;
+  oss << "query: " << q.ToString() << "\n";
+  oss << ClassifyPositive(q).ToString();
+  return oss.str();
+}
+
+std::string ExplainFirstOrder(const FirstOrderQuery& q) {
+  std::ostringstream oss;
+  oss << "query: " << q.ToString() << "\n";
+  oss << ClassifyFirstOrder(q).ToString();
+  return oss.str();
+}
+
+std::string ExplainDatalog(const DatalogProgram& p) {
+  std::ostringstream oss;
+  oss << "program:\n" << p.ToString();
+  oss << ClassifyDatalog(p).ToString();
+  return oss.str();
+}
+
+}  // namespace paraquery

@@ -1,0 +1,23 @@
+// Human-readable classification reports ("EXPLAIN" for parametrized
+// complexity): what the paper says about this query, and what the engine
+// will do about it.
+#ifndef PARAQUERY_CORE_EXPLAIN_H_
+#define PARAQUERY_CORE_EXPLAIN_H_
+
+#include <string>
+
+#include "core/classifier.hpp"
+
+namespace paraquery {
+
+/// Renders a report for a conjunctive query (runs the comparison closure
+/// first when order/equality atoms are present, and reports both views).
+std::string ExplainConjunctive(const ConjunctiveQuery& q);
+
+std::string ExplainPositive(const PositiveQuery& q);
+std::string ExplainFirstOrder(const FirstOrderQuery& q);
+std::string ExplainDatalog(const DatalogProgram& p);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_CORE_EXPLAIN_H_

@@ -1,0 +1,48 @@
+// Yannakakis' algorithm for acyclic conjunctive queries (no comparisons):
+// the classical tractability result the paper's Theorem 2 generalizes.
+// Decision in O(q · n log n); full evaluation in time polynomial in input
+// plus output via a semijoin full-reducer followed by an upward
+// join-and-project pass.
+#ifndef PARAQUERY_EVAL_ACYCLIC_H_
+#define PARAQUERY_EVAL_ACYCLIC_H_
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "query/conjunctive_query.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+
+/// Options for the acyclic evaluator.
+struct AcyclicOptions {
+  /// Abort joins whose output exceeds this many rows (0 = off). The
+  /// output-sensitive bound makes this a guard against misuse, not a
+  /// correctness knob.
+  uint64_t max_rows = 0;
+  /// Run the downward semijoin pass before the upward join pass. Disabling
+  /// it (ablation E7b) keeps correctness but loses the output-sensitivity
+  /// guarantee: dangling tuples inflate intermediate joins.
+  bool full_reducer = true;
+};
+
+/// Statistics reported by the evaluator.
+struct AcyclicStats {
+  size_t semijoins = 0;
+  size_t joins = 0;
+  size_t peak_intermediate_rows = 0;
+};
+
+/// Decides Q(d) != {} for an acyclic comparison-free conjunctive query.
+Result<bool> AcyclicNonempty(const Database& db, const ConjunctiveQuery& q,
+                             const AcyclicOptions& options = {},
+                             AcyclicStats* stats = nullptr);
+
+/// Computes Q(d) for an acyclic comparison-free conjunctive query.
+Result<Relation> AcyclicEvaluate(const Database& db, const ConjunctiveQuery& q,
+                                 const AcyclicOptions& options = {},
+                                 AcyclicStats* stats = nullptr);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_EVAL_ACYCLIC_H_

@@ -1,0 +1,160 @@
+#include "eval/common.hpp"
+
+#include <algorithm>
+
+#include "relational/ops.hpp"
+
+namespace paraquery {
+
+namespace {
+
+// Builds a constraint over the *projected* relation (columns = distinct
+// variables) for a comparison atom. Variables must be present.
+Result<Constraint> FilterToConstraint(const NamedRelation& projected,
+                                      const CompareAtom& cmp) {
+  auto col_of = [&projected](const Term& t) -> int {
+    return t.is_var() ? projected.ColumnOf(t.var()) : -1;
+  };
+  bool lv = cmp.lhs.is_var(), rv = cmp.rhs.is_var();
+  if (lv && rv) {
+    int a = col_of(cmp.lhs), b = col_of(cmp.rhs);
+    if (a < 0 || b < 0) {
+      return Status::InvalidArgument(
+          "filter variable does not occur in the atom");
+    }
+    switch (cmp.op) {
+      case CompareOp::kNeq:
+        return Constraint::NeqCols(a, b);
+      case CompareOp::kLt:
+        return Constraint::LtCols(a, b);
+      case CompareOp::kLe:
+        return Constraint::LeCols(a, b);
+      case CompareOp::kEq:
+        return Constraint::EqCols(a, b);
+    }
+  }
+  if (lv != rv) {
+    // Normalize to var OP const.
+    Term var = lv ? cmp.lhs : cmp.rhs;
+    Value c = lv ? cmp.rhs.value() : cmp.lhs.value();
+    int col = col_of(var);
+    if (col < 0) {
+      return Status::InvalidArgument(
+          "filter variable does not occur in the atom");
+    }
+    CompareOp op = cmp.op;
+    if (!lv) {
+      // c OP x  ->  x OP' c with the mirrored operator.
+      if (op == CompareOp::kLt) {
+        return Constraint::GtConst(col, c);
+      }
+      if (op == CompareOp::kLe) {
+        return Constraint::GeConst(col, c);
+      }
+    }
+    switch (op) {
+      case CompareOp::kNeq:
+        return Constraint::NeqConst(col, c);
+      case CompareOp::kLt:
+        return Constraint::LtConst(col, c);
+      case CompareOp::kLe:
+        return Constraint::LeConst(col, c);
+      case CompareOp::kEq:
+        return Constraint::EqConst(col, c);
+    }
+  }
+  return Status::InvalidArgument(
+      "constant/constant comparison cannot be pushed into an atom");
+}
+
+}  // namespace
+
+bool ComparisonWithin(const CompareAtom& cmp,
+                      const std::vector<VarId>& atom_vars) {
+  auto in = [&atom_vars](const Term& t) {
+    return t.is_const() || std::find(atom_vars.begin(), atom_vars.end(),
+                                     t.var()) != atom_vars.end();
+  };
+  // At least one side must be a variable of the atom for pushing to make
+  // sense; constant/constant pairs are resolved by the caller.
+  if (cmp.lhs.is_const() && cmp.rhs.is_const()) return false;
+  return in(cmp.lhs) && in(cmp.rhs);
+}
+
+Result<NamedRelation> AtomToRelation(const Relation& rel, const Atom& atom,
+                                     const std::vector<CompareAtom>& filters) {
+  if (rel.arity() != atom.terms.size()) {
+    return Status::InvalidArgument(internal::StrCat(
+        "atom ", atom.relation, "/", atom.terms.size(),
+        " does not match stored arity ", rel.arity()));
+  }
+  // Selection on raw positions: constants and repeated variables.
+  Predicate raw;
+  std::vector<VarId> vars;       // distinct, first-occurrence order
+  std::vector<int> first_col;    // column of first occurrence
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& t = atom.terms[i];
+    if (t.is_const()) {
+      raw.Add(Constraint::EqConst(static_cast<int>(i), t.value()));
+      continue;
+    }
+    auto it = std::find(vars.begin(), vars.end(), t.var());
+    if (it == vars.end()) {
+      vars.push_back(t.var());
+      first_col.push_back(static_cast<int>(i));
+    } else {
+      raw.Add(Constraint::EqCols(first_col[it - vars.begin()],
+                                 static_cast<int>(i)));
+    }
+  }
+  // Select and project in one scan.
+  NamedRelation out{vars};
+  out.rel().Reserve(rel.size());
+  ValueVec row(vars.size());
+  for (size_t r = 0; r < rel.size(); ++r) {
+    auto raw_row = rel.Row(r);
+    if (!raw.Eval(raw_row)) continue;
+    for (size_t i = 0; i < vars.size(); ++i) row[i] = raw_row[first_col[i]];
+    out.rel().Add(row);
+  }
+  if (!filters.empty()) {
+    Predicate post;
+    for (const CompareAtom& cmp : filters) {
+      PQ_ASSIGN_OR_RETURN(Constraint c, FilterToConstraint(out, cmp));
+      post.Add(c);
+    }
+    out = Select(out, post);
+  }
+  out.rel().SortAndDedup();
+  return out;
+}
+
+Result<NamedRelation> AtomToRelation(const Database& db, const Atom& atom,
+                                     const std::vector<CompareAtom>& filters) {
+  PQ_ASSIGN_OR_RETURN(RelId id, db.FindRelation(atom.relation));
+  return AtomToRelation(db.relation(id), atom, filters);
+}
+
+Relation BindingsToAnswers(const NamedRelation& bindings,
+                           const std::vector<Term>& head) {
+  Relation out(head.size());
+  std::vector<int> cols(head.size(), -1);
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (head[i].is_var()) {
+      cols[i] = bindings.ColumnOf(head[i].var());
+      PQ_CHECK(cols[i] >= 0, "BindingsToAnswers: head variable not bound");
+    }
+  }
+  ValueVec row(head.size());
+  for (size_t r = 0; r < bindings.size(); ++r) {
+    for (size_t i = 0; i < head.size(); ++i) {
+      row[i] = head[i].is_var() ? bindings.rel().At(r, cols[i])
+                                : head[i].value();
+    }
+    out.Add(row);
+  }
+  out.SortAndDedup();
+  return out;
+}
+
+}  // namespace paraquery

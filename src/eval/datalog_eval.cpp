@@ -1,0 +1,186 @@
+#include "eval/datalog_eval.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "eval/common.hpp"
+#include "relational/ops.hpp"
+
+namespace paraquery {
+
+namespace {
+
+// Evaluates one rule body against the given atom relations via left-deep
+// joins, returning the derived head tuples.
+Result<Relation> FireRule(const DatalogRule& rule,
+                          const std::vector<NamedRelation>& atom_rels) {
+  // Start from TRUE and join every atom relation (constants/repeated vars
+  // were handled when the atom relations were built).
+  NamedRelation acc = BooleanTrue();
+  // Join smaller relations first (static heuristic).
+  std::vector<size_t> order(atom_rels.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&atom_rels](size_t a, size_t b) {
+    return atom_rels[a].size() < atom_rels[b].size();
+  });
+  for (size_t i : order) {
+    PQ_ASSIGN_OR_RETURN(acc, NaturalJoin(acc, atom_rels[i]));
+    if (acc.empty()) break;
+  }
+  if (acc.empty()) return Relation(rule.head.terms.size());
+  // Keep only head variables before mapping to head tuples.
+  std::vector<AttrId> head_vars;
+  for (const Term& t : rule.head.terms) {
+    if (t.is_var() && std::find(head_vars.begin(), head_vars.end(),
+                                t.var()) == head_vars.end()) {
+      head_vars.push_back(t.var());
+    }
+  }
+  NamedRelation bindings = Project(acc, head_vars);
+  return BindingsToAnswers(bindings, rule.head.terms);
+}
+
+}  // namespace
+
+Result<Relation> EvaluateDatalog(const Database& db,
+                                 const DatalogProgram& program,
+                                 const DatalogOptions& options,
+                                 DatalogStats* stats) {
+  PQ_RETURN_NOT_OK(program.Validate());
+
+  // IDB state: full relations and the last iteration's deltas.
+  std::unordered_map<std::string, Relation> idb;
+  std::unordered_map<std::string, Relation> delta;
+  for (const std::string& name : program.IdbRelations()) {
+    size_t arity = static_cast<size_t>(program.ArityOf(name));
+    idb.emplace(name, Relation(arity));
+    delta.emplace(name, Relation(arity));
+  }
+
+  // Resolves an atom against EDB (db) or the given IDB snapshot.
+  auto atom_rel =
+      [&](const Atom& a,
+          const std::unordered_map<std::string, Relation>& idb_src)
+      -> Result<NamedRelation> {
+    if (program.IsIdb(a.relation)) {
+      return AtomToRelation(idb_src.at(a.relation), a);
+    }
+    auto found = db.FindRelation(a.relation);
+    if (!found.ok()) {
+      return Status::NotFound(internal::StrCat(
+          "EDB relation '", a.relation, "' not found in database"));
+    }
+    if (db.relation(found.value()).arity() != a.terms.size()) {
+      return Status::InvalidArgument(internal::StrCat(
+          "EDB relation '", a.relation, "' arity mismatch"));
+    }
+    return AtomToRelation(db.relation(found.value()), a);
+  };
+
+  // Iteration 0: fire every rule on the (empty) IDB state so EDB-only rules
+  // seed the deltas. `idb` relations are kept sorted between calls so the
+  // membership checks stay logarithmic.
+  auto add_new = [&](const std::string& rel_name, const Relation& tuples,
+                     std::unordered_map<std::string, Relation>* next_delta,
+                     bool* changed) {
+    Relation& full = idb.at(rel_name);
+    Relation fresh(tuples.arity());
+    for (size_t r = 0; r < tuples.size(); ++r) {
+      if (!full.Contains(tuples.Row(r))) fresh.Add(tuples.Row(r));
+    }
+    fresh.SortAndDedup();
+    if (fresh.empty()) return;
+    *changed = true;
+    for (size_t r = 0; r < fresh.size(); ++r) {
+      full.Add(fresh.Row(r));
+      next_delta->at(rel_name).Add(fresh.Row(r));
+    }
+    full.SortAndDedup();
+  };
+
+  bool changed = false;
+  std::unordered_map<std::string, Relation> next_delta;
+  for (const auto& [name, rel] : delta) {
+    next_delta.emplace(name, Relation(rel.arity()));
+  }
+  for (const DatalogRule& rule : program.rules) {
+    std::vector<NamedRelation> atom_rels;
+    bool feasible = true;
+    for (const Atom& a : rule.body) {
+      PQ_ASSIGN_OR_RETURN(NamedRelation rel, atom_rel(a, idb));
+      if (rel.empty()) {
+        feasible = false;
+        break;
+      }
+      atom_rels.push_back(std::move(rel));
+    }
+    if (stats != nullptr) ++stats->rule_firings;
+    if (!feasible && !rule.body.empty()) continue;
+    PQ_ASSIGN_OR_RETURN(Relation derived, FireRule(rule, atom_rels));
+    add_new(rule.head.relation, derived, &next_delta, &changed);
+  }
+  delta = std::move(next_delta);
+  size_t iterations = 1;
+
+  // Semi-naive loop: a rule with IDB body atoms re-fires once per IDB body
+  // position, substituting the delta at that position.
+  while (changed) {
+    if (options.max_iterations != 0 && iterations >= options.max_iterations) {
+      return Status::ResourceExhausted("Datalog iteration limit exceeded");
+    }
+    changed = false;
+    next_delta.clear();
+    for (const auto& [name, rel] : delta) {
+      next_delta.emplace(name, Relation(rel.arity()));
+    }
+    for (const DatalogRule& rule : program.rules) {
+      // Positions of IDB atoms in the body.
+      std::vector<size_t> idb_positions;
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (program.IsIdb(rule.body[i].relation)) idb_positions.push_back(i);
+      }
+      if (idb_positions.empty()) continue;  // already saturated at round 0
+      for (size_t dpos : idb_positions) {
+        if (delta.at(rule.body[dpos].relation).empty()) continue;
+        std::vector<NamedRelation> atom_rels;
+        bool feasible = true;
+        for (size_t i = 0; i < rule.body.size(); ++i) {
+          const Atom& a = rule.body[i];
+          Result<NamedRelation> rel =
+              (i == dpos) ? AtomToRelation(delta.at(a.relation), a)
+                          : atom_rel(a, idb);
+          PQ_RETURN_NOT_OK(rel.status());
+          if (rel.value().empty()) {
+            feasible = false;
+            break;
+          }
+          atom_rels.push_back(std::move(rel).value());
+        }
+        if (stats != nullptr) ++stats->rule_firings;
+        if (!feasible) continue;
+        PQ_ASSIGN_OR_RETURN(Relation derived, FireRule(rule, atom_rels));
+        add_new(rule.head.relation, derived, &next_delta, &changed);
+      }
+    }
+    delta = std::move(next_delta);
+    ++iterations;
+    if (options.max_rows != 0) {
+      size_t total = 0;
+      for (const auto& [name, rel] : idb) total += rel.size();
+      if (total > options.max_rows) {
+        return Status::ResourceExhausted("Datalog derived-tuple limit");
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->iterations = iterations;
+    stats->derived_tuples = 0;
+    for (const auto& [name, rel] : idb) stats->derived_tuples += rel.size();
+  }
+  Relation goal = idb.at(program.goal);
+  goal.SortAndDedup();
+  return goal;
+}
+
+}  // namespace paraquery

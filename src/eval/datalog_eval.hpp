@@ -1,0 +1,40 @@
+// Bottom-up (semi-naive) Datalog evaluation. With EDB/IDB arities bounded by
+// r, the fixpoint is reached within n^r stages and each stage evaluates
+// conjunctive queries — the structure behind the paper's remark that
+// bounded-arity Datalog is W[1]-complete, while unbounded IDB arity provably
+// forces the query size into the exponent (Vardi).
+#ifndef PARAQUERY_EVAL_DATALOG_EVAL_H_
+#define PARAQUERY_EVAL_DATALOG_EVAL_H_
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "query/datalog.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+
+/// Options for the Datalog engine.
+struct DatalogOptions {
+  /// Abort after this many fixpoint iterations (0 = off).
+  uint64_t max_iterations = 0;
+  /// Abort when total derived tuples exceed this (0 = off).
+  uint64_t max_rows = 0;
+};
+
+/// Instrumentation.
+struct DatalogStats {
+  size_t iterations = 0;
+  size_t derived_tuples = 0;  // total IDB tuples at fixpoint
+  size_t rule_firings = 0;    // rule evaluations across all iterations
+};
+
+/// Computes the goal relation of `program` over `db` (semi-naive fixpoint).
+Result<Relation> EvaluateDatalog(const Database& db,
+                                 const DatalogProgram& program,
+                                 const DatalogOptions& options = {},
+                                 DatalogStats* stats = nullptr);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_EVAL_DATALOG_EVAL_H_

@@ -1,0 +1,559 @@
+#include "eval/inequality.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "eval/common.hpp"
+#include "hashing/coloring.hpp"
+#include "hypergraph/join_tree.hpp"
+#include "query/ineq_formula.hpp"
+#include "relational/ops.hpp"
+
+namespace paraquery {
+
+namespace {
+
+// Primed attribute id for variable x (hash column): ids above the variable
+// range are free.
+AttrId Prime(const ConjunctiveQuery& q, VarId x) { return q.NumVariables() + x; }
+
+struct Plan {
+  const ConjunctiveQuery* q = nullptr;
+  bool always_false = false;            // refuted during normalization
+  std::vector<CompareAtom> i1;          // var != var, no co-occurrence
+  std::vector<VarId> v1;                // sorted distinct vars of I1
+  int k = 0;                            // |V1|
+  int hash_range = 0;                   // colors: k, or #vars+#consts of φ
+  std::vector<NamedRelation> base;      // S_j (I2 pushed into selections)
+  JoinTree tree;
+  std::vector<std::vector<AttrId>> y;   // Y_j per node (sorted)
+  // partners[x] = I1 partners of x (VarIds).
+  std::vector<std::vector<VarId>> partners;
+  size_t i2_count = 0;
+  // Formula mode (the Section 5 parameter-q extension): the ∧/∨ formula
+  // over ≠ atoms, applied as a selection at the root; every φ-variable's
+  // primed attribute is propagated all the way up.
+  const IneqFormula* formula = nullptr;
+  std::vector<Value> formula_constants;
+};
+
+bool IsV1(const Plan& p, VarId x) {
+  return std::binary_search(p.v1.begin(), p.v1.end(), x);
+}
+
+void BuildYSets(Plan& p, const Hypergraph& h);
+
+Result<Plan> BuildPlan(const Database& db, const ConjunctiveQuery& q) {
+  PQ_RETURN_NOT_OK(q.Validate());
+  if (q.body.empty()) {
+    return Status::InvalidArgument("query has no relational atoms");
+  }
+  Plan p;
+  p.q = &q;
+
+  // Normalize comparisons; reject anything but ≠.
+  std::vector<CompareAtom> var_var;     // both sides variables, distinct
+  std::vector<CompareAtom> var_const;   // x != c
+  for (const CompareAtom& c : q.comparisons) {
+    if (c.op != CompareOp::kNeq) {
+      return Status::InvalidArgument(
+          "inequality evaluator accepts only != atoms; run the comparison "
+          "closure / use another engine for <, <=, =");
+    }
+    if (c.lhs.is_const() && c.rhs.is_const()) {
+      if (c.lhs.value() == c.rhs.value()) p.always_false = true;
+      continue;  // trivially true otherwise
+    }
+    if (c.lhs.is_var() && c.rhs.is_var()) {
+      if (c.lhs.var() == c.rhs.var()) {
+        p.always_false = true;
+        continue;
+      }
+      var_var.push_back(c);
+    } else if (c.lhs.is_var()) {
+      var_const.push_back(c);
+    } else {
+      var_const.push_back({CompareOp::kNeq, c.rhs, c.lhs});
+    }
+  }
+  if (p.always_false) return p;
+
+  // Split var/var inequalities by co-occurrence.
+  Hypergraph h = q.BuildHypergraph();
+  std::vector<CompareAtom> i2_var_var;
+  for (const CompareAtom& c : var_var) {
+    if (h.CoOccur(c.lhs.var(), c.rhs.var())) {
+      i2_var_var.push_back(c);
+    } else {
+      p.i1.push_back(c);
+    }
+  }
+  p.i2_count = i2_var_var.size() + var_const.size();
+  for (const CompareAtom& c : p.i1) {
+    p.v1.push_back(c.lhs.var());
+    p.v1.push_back(c.rhs.var());
+  }
+  std::sort(p.v1.begin(), p.v1.end());
+  p.v1.erase(std::unique(p.v1.begin(), p.v1.end()), p.v1.end());
+  p.k = static_cast<int>(p.v1.size());
+  p.hash_range = p.k;
+  p.partners.assign(q.NumVariables(), {});
+  for (const CompareAtom& c : p.i1) {
+    p.partners[c.lhs.var()].push_back(c.rhs.var());
+    p.partners[c.rhs.var()].push_back(c.lhs.var());
+  }
+
+  // Join tree.
+  auto tree = BuildJoinTree(h);
+  if (!tree.ok()) {
+    return Status::InvalidArgument(internal::StrCat(
+        "query is not acyclic: ", tree.status().message()));
+  }
+  p.tree = std::move(tree).value();
+
+  // S_j with I2 pushed into the selections F_j.
+  for (const Atom& a : q.body) {
+    std::vector<VarId> uj = a.Variables();
+    std::vector<CompareAtom> filters;
+    for (const CompareAtom& c : var_const) {
+      if (ComparisonWithin(c, uj)) filters.push_back(c);
+    }
+    for (const CompareAtom& c : i2_var_var) {
+      if (ComparisonWithin(c, uj)) filters.push_back(c);
+    }
+    PQ_ASSIGN_OR_RETURN(NamedRelation s, AtomToRelation(db, a, filters));
+    p.base.push_back(std::move(s));
+  }
+
+  BuildYSets(p, h);
+  return p;
+}
+
+// Computes the present[][] matrix and the Y_j attribute sets for a plan
+// whose v1 / partners / tree / base are already in place.
+void BuildYSets(Plan& p, const Hypergraph& h) {
+  const ConjunctiveQuery& q = *p.q;
+  // present[j] = set of V1 vars occurring in subtree T[j] (as index into v1).
+  size_t m = p.tree.size();
+  std::vector<std::vector<bool>> present(m,
+                                         std::vector<bool>(p.v1.size(), false));
+  for (int j : p.tree.bottom_up) {
+    for (size_t vi = 0; vi < p.v1.size(); ++vi) {
+      const auto& edge = h.edge(j);
+      if (std::binary_search(edge.begin(), edge.end(), p.v1[vi])) {
+        present[j][vi] = true;
+      }
+    }
+    for (int c : p.tree.children[j]) {
+      for (size_t vi = 0; vi < p.v1.size(); ++vi) {
+        if (present[c][vi]) present[j][vi] = true;
+      }
+    }
+  }
+
+  // Y_j = U_j ∪ U'_j ∪ W'_j.
+  p.y.resize(m);
+  for (size_t j = 0; j < m; ++j) {
+    const auto& uj = h.edge(static_cast<int>(j));
+    std::vector<AttrId> y(uj.begin(), uj.end());
+    for (VarId x : uj) {
+      if (IsV1(p, x)) y.push_back(Prime(q, x));
+    }
+    for (size_t vi = 0; vi < p.v1.size(); ++vi) {
+      VarId x = p.v1[vi];
+      if (std::binary_search(uj.begin(), uj.end(), x)) continue;  // x ∈ U_j
+      if (!present[j][vi]) continue;  // x not in T[j]
+      // x lives under exactly one child of j.
+      int child = -1;
+      for (int c : p.tree.children[j]) {
+        if (present[c][vi]) {
+          child = c;
+          break;
+        }
+      }
+      PQ_CHECK(child >= 0, "V1 variable present in subtree but not in a child");
+      // x ∈ W_j iff some partner does not occur in that same child subtree.
+      // In formula mode every φ-variable is propagated to the root (the
+      // selection cannot be pushed below an ∨), so x is always separated.
+      bool separated = (p.formula != nullptr);
+      for (VarId l : p.partners[x]) {
+        if (separated) break;
+        auto li = std::lower_bound(p.v1.begin(), p.v1.end(), l) - p.v1.begin();
+        if (!present[child][li]) separated = true;
+      }
+      if (separated) y.push_back(Prime(q, x));
+    }
+    std::sort(y.begin(), y.end());
+    y.erase(std::unique(y.begin(), y.end()), y.end());
+    p.y[j] = std::move(y);
+  }
+}
+
+// Plan for the Section 5 parameter-q extension: a comparison-free acyclic
+// body plus an arbitrary ∧/∨ formula over ≠ atoms, evaluated at the root.
+Result<Plan> BuildFormulaPlan(const Database& db, const ConjunctiveQuery& q,
+                              const IneqFormula& phi) {
+  PQ_RETURN_NOT_OK(q.Validate());
+  PQ_RETURN_NOT_OK(phi.Validate());
+  // The paper's parameter-v refinement: conjunctive x != c atoms in the
+  // body are allowed — they are pushed into the per-atom selections and do
+  // not enter the hash range. Everything else must live in the formula.
+  std::vector<CompareAtom> var_const;
+  bool always_false = false;
+  for (const CompareAtom& c : q.comparisons) {
+    if (c.op != CompareOp::kNeq) {
+      return Status::InvalidArgument(
+          "formula mode accepts only != comparisons in the body");
+    }
+    if (c.lhs.is_const() && c.rhs.is_const()) {
+      if (c.lhs.value() == c.rhs.value()) always_false = true;
+      continue;
+    }
+    if (c.lhs.is_var() && c.rhs.is_var()) {
+      return Status::InvalidArgument(
+          "formula mode: move variable/variable != atoms into the formula");
+    }
+    var_const.push_back(c.lhs.is_var() ? c
+                                       : CompareAtom{CompareOp::kNeq, c.rhs,
+                                                     c.lhs});
+  }
+  if (q.body.empty()) {
+    return Status::InvalidArgument("query has no relational atoms");
+  }
+  Plan p;
+  p.q = &q;
+  p.formula = &phi;
+  p.always_false = always_false;
+  p.i2_count = var_const.size();
+  p.v1 = phi.Variables();
+  std::vector<VarId> body_vars = q.BodyVariables();
+  for (VarId x : p.v1) {
+    if (x < 0 || x >= q.NumVariables() ||
+        std::find(body_vars.begin(), body_vars.end(), x) == body_vars.end()) {
+      std::string name = (x >= 0 && x < q.NumVariables())
+                             ? q.vars.name(x)
+                             : internal::StrCat("#", x);
+      return Status::InvalidArgument(internal::StrCat(
+          "formula variable '", name,
+          "' does not occur in any relational atom"));
+    }
+  }
+  p.formula_constants = phi.Constants();
+  p.k = static_cast<int>(p.v1.size());
+  p.hash_range = p.k + static_cast<int>(p.formula_constants.size());
+  p.partners.assign(q.NumVariables(), {});
+
+  Hypergraph h = q.BuildHypergraph();
+  auto tree = BuildJoinTree(h);
+  if (!tree.ok()) {
+    return Status::InvalidArgument(internal::StrCat(
+        "query is not acyclic: ", tree.status().message()));
+  }
+  p.tree = std::move(tree).value();
+  for (const Atom& a : q.body) {
+    std::vector<VarId> uj = a.Variables();
+    std::vector<CompareAtom> filters;
+    for (const CompareAtom& c : var_const) {
+      if (ComparisonWithin(c, uj)) filters.push_back(c);
+    }
+    PQ_ASSIGN_OR_RETURN(NamedRelation s, AtomToRelation(db, a, filters));
+    p.base.push_back(std::move(s));
+  }
+  BuildYSets(p, h);
+  return p;
+}
+
+// Values the V1 variables can take (union over nodes of the S_j columns of
+// V1 variables), plus the formula constants in formula mode. This is the
+// ground set the certified family must cover.
+std::vector<Value> GroundSet(const Plan& p) {
+  std::set<Value> ground(p.formula_constants.begin(),
+                         p.formula_constants.end());
+  for (const NamedRelation& s : p.base) {
+    for (size_t i = 0; i < s.attrs().size(); ++i) {
+      if (!IsV1(p, s.attrs()[i])) continue;
+      for (size_t r = 0; r < s.size(); ++r) {
+        ground.insert(s.rel().At(r, i));
+      }
+    }
+  }
+  return std::vector<Value>(ground.begin(), ground.end());
+}
+
+Result<ColoringFamily> MakeFamily(const Plan& p, const IneqOptions& options,
+                                  IneqStats* stats) {
+  ColoringFamily family = ColoringFamily::MonteCarlo(
+      p.hash_range, options.mc_error_exponent, options.seed);
+  if (p.hash_range > 1 && options.driver != IneqOptions::Driver::kMonteCarlo) {
+    auto certified = ColoringFamily::Certified(
+        GroundSet(p), p.hash_range, options.seed,
+        options.certified_max_subsets, options.certified_max_members);
+    if (certified.ok()) {
+      family = std::move(certified).value();
+    } else if (options.driver == IneqOptions::Driver::kCertified) {
+      return certified.status();
+    }
+  }
+  if (stats != nullptr) {
+    stats->k = p.hash_range;
+    stats->i1_atoms = p.i1.size();
+    stats->i2_atoms = p.i2_count;
+    stats->family_size = family.size();
+    stats->certified = family.certified();
+  }
+  return family;
+}
+
+// S'_j: extends S_j with primed columns x' = h(x) for x ∈ U_j ∩ V1.
+NamedRelation ExtendHashed(const Plan& p, const NamedRelation& s,
+                           const ColoringFamily& family, size_t member) {
+  std::vector<int> v1_cols;
+  std::vector<AttrId> attrs = s.attrs();
+  for (size_t i = 0; i < s.attrs().size(); ++i) {
+    if (IsV1(p, s.attrs()[i])) {
+      v1_cols.push_back(static_cast<int>(i));
+      attrs.push_back(Prime(*p.q, s.attrs()[i]));
+    }
+  }
+  NamedRelation out{attrs};
+  out.rel().Reserve(s.size());
+  ValueVec row(attrs.size());
+  for (size_t r = 0; r < s.size(); ++r) {
+    for (size_t i = 0; i < s.arity(); ++i) row[i] = s.rel().At(r, i);
+    for (size_t i = 0; i < v1_cols.size(); ++i) {
+      row[s.arity() + i] = family.Color(member, s.rel().At(r, v1_cols[i]));
+    }
+    out.rel().Add(row);
+  }
+  return out;
+}
+
+// Whether (a, b) or (b, a) is an I1 pair.
+bool IsI1Pair(const Plan& p, VarId a, VarId b) {
+  for (VarId l : p.partners[a]) {
+    if (l == b) return true;
+  }
+  return false;
+}
+
+// Algorithm 1 for one coloring. On success, `rels` holds the final P_u's.
+// Returns false if some P_u became empty (Q_h(d) = {}).
+Result<bool> Algorithm1(const Plan& p, const ColoringFamily& family,
+                        size_t member, const IneqOptions& options,
+                        IneqStats* stats, std::vector<NamedRelation>* rels) {
+  int nv = p.q->NumVariables();
+  rels->clear();
+  for (const NamedRelation& s : p.base) {
+    rels->push_back(ExtendHashed(p, s, family, member));
+    if (rels->back().empty()) return false;
+  }
+  for (int j : p.tree.bottom_up) {
+    int u = p.tree.parent[j];
+    if (u < 0) continue;
+    NamedRelation& pj = (*rels)[j];
+    NamedRelation& pu = (*rels)[u];
+#ifndef NDEBUG
+    {
+      std::vector<AttrId> cur = pj.attrs();
+      std::sort(cur.begin(), cur.end());
+      PQ_DCHECK(cur == p.y[j], "P_j attributes must equal Y_j after children");
+    }
+#endif
+    // π_{Y_j ∩ Y_u}(P_j).
+    std::vector<AttrId> shared;
+    std::set_intersection(p.y[j].begin(), p.y[j].end(), p.y[u].begin(),
+                          p.y[u].end(), std::back_inserter(shared));
+    NamedRelation projected = Project(pj, shared);
+
+    // Selection F: primed pairs x'_i != x'_l with (x_i, x_l) ∈ I1,
+    // x'_i ∈ Y_j − U'_u (arriving from j) and x'_l in P_u's current
+    // attributes but not in Y_j.
+    std::vector<AttrId> out_attrs = pu.attrs();
+    for (AttrId a : projected.attrs()) {
+      if (!pu.HasAttr(a)) out_attrs.push_back(a);
+    }
+    auto col_of = [&out_attrs](AttrId a) {
+      for (size_t i = 0; i < out_attrs.size(); ++i) {
+        if (out_attrs[i] == a) return static_cast<int>(i);
+      }
+      return -1;
+    };
+    JoinOptions join_options;
+    join_options.max_output_rows = options.max_rows;
+    if (p.formula == nullptr) {
+      const std::vector<VarId> u_vars = p.q->body[u].Variables();
+      auto in_uprime_u = [&](AttrId primed) {
+        // x' ∈ U'_u iff its base variable lies in U_u.
+        VarId base = primed - nv;
+        return std::find(u_vars.begin(), u_vars.end(), base) != u_vars.end();
+      };
+      for (AttrId aj : shared) {
+        if (aj < nv) continue;  // only primed attrs carry I1 checks
+        if (in_uprime_u(aj)) continue;  // x'_i ∈ U'_u: checked elsewhere
+        VarId xi = aj - nv;
+        for (AttrId al : pu.attrs()) {
+          if (al < nv) continue;
+          if (std::binary_search(p.y[j].begin(), p.y[j].end(), al)) continue;
+          VarId xl = al - nv;
+          if (!IsI1Pair(p, xi, xl)) continue;
+          join_options.post_filter.Add(
+              Constraint::NeqCols(col_of(al), col_of(aj)));
+        }
+      }
+    }
+    PQ_ASSIGN_OR_RETURN(pu, NaturalJoin(pu, projected, join_options));
+    if (stats != nullptr) {
+      stats->peak_rows = std::max(stats->peak_rows, pu.size());
+    }
+    if (pu.empty()) return false;
+  }
+  if (p.formula != nullptr) {
+    // Formula mode: apply φ at the root, on the primed (color) columns.
+    NamedRelation& root = (*rels)[p.tree.root];
+    std::vector<int> col_of_var(p.q->NumVariables(), -1);
+    for (VarId x : p.v1) {
+      col_of_var[x] = root.ColumnOf(Prime(*p.q, x));
+      PQ_CHECK(col_of_var[x] >= 0,
+               "formula variable's primed attribute missing at the root");
+    }
+    NamedRelation filtered{root.attrs()};
+    for (size_t r = 0; r < root.size(); ++r) {
+      auto row = root.rel().Row(r);
+      auto value_of = [&](const Term& t) -> Value {
+        return t.is_var() ? row[col_of_var[t.var()]]
+                          : family.Color(member, t.value());
+      };
+      if (p.formula->Evaluate(value_of)) filtered.rel().Add(row);
+    }
+    root = std::move(filtered);
+    return !root.empty();
+  }
+  return true;
+}
+
+// Algorithm 2 for one coloring: assumes Algorithm 1 succeeded on `rels`.
+Result<Relation> Algorithm2(const Plan& p, const IneqOptions& options,
+                            std::vector<NamedRelation>* rels) {
+  const ConjunctiveQuery& q = *p.q;
+  // Step 1: downward semijoins.
+  for (int j : p.tree.top_down) {
+    int u = p.tree.parent[j];
+    if (u < 0) continue;
+    (*rels)[j] = Semijoin((*rels)[j], (*rels)[u]);
+  }
+  // Head variables per subtree (unprimed).
+  std::vector<VarId> head_vars = q.HeadVariables();
+  size_t m = p.tree.size();
+  std::vector<std::vector<AttrId>> subtree_head(m);
+  Hypergraph h = q.BuildHypergraph();
+  for (int j : p.tree.bottom_up) {
+    std::vector<AttrId> acc;
+    for (VarId x : h.edge(j)) {
+      if (std::find(head_vars.begin(), head_vars.end(), x) != head_vars.end()) {
+        acc.push_back(x);
+      }
+    }
+    for (int c : p.tree.children[j]) {
+      acc.insert(acc.end(), subtree_head[c].begin(), subtree_head[c].end());
+    }
+    std::sort(acc.begin(), acc.end());
+    acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
+    subtree_head[j] = std::move(acc);
+  }
+  // Step 2: upward join-and-project with Z_j = (Y_j ∩ Y_u) ∪ (Z ∩ at(T[j])).
+  JoinOptions join_options;
+  join_options.max_output_rows = options.max_rows;
+  for (int j : p.tree.bottom_up) {
+    int u = p.tree.parent[j];
+    if (u < 0) continue;
+    std::vector<AttrId> zj;
+    for (AttrId a : (*rels)[j].attrs()) {
+      if ((*rels)[u].HasAttr(a)) zj.push_back(a);
+    }
+    for (AttrId a : subtree_head[j]) {
+      if (std::find(zj.begin(), zj.end(), a) == zj.end()) zj.push_back(a);
+    }
+    NamedRelation projected = Project((*rels)[j], zj);
+    PQ_ASSIGN_OR_RETURN((*rels)[u],
+                        NaturalJoin((*rels)[u], projected, join_options));
+  }
+  // Step 3: project the root onto Z and map through the head.
+  NamedRelation bindings = Project((*rels)[p.tree.root], head_vars);
+  return BindingsToAnswers(bindings, q.head);
+}
+
+// Shared decision driver: try colorings until one succeeds.
+Result<bool> DriveNonempty(const Plan& p, const IneqOptions& options,
+                           IneqStats* stats) {
+  if (p.always_false) return false;
+  PQ_ASSIGN_OR_RETURN(ColoringFamily family, MakeFamily(p, options, stats));
+  std::vector<NamedRelation> rels;
+  for (size_t m = 0; m < family.size(); ++m) {
+    if (stats != nullptr) stats->trials = m + 1;
+    PQ_ASSIGN_OR_RETURN(bool nonempty,
+                        Algorithm1(p, family, m, options, stats, &rels));
+    if (nonempty) return true;
+  }
+  return false;
+}
+
+// Shared evaluation driver: union Q_h(d) over the whole family.
+Result<Relation> DriveEvaluate(const Plan& p, const IneqOptions& options,
+                               IneqStats* stats) {
+  Relation answers(p.q->head.size());
+  if (p.always_false) return answers;
+  PQ_ASSIGN_OR_RETURN(ColoringFamily family, MakeFamily(p, options, stats));
+  std::vector<NamedRelation> rels;
+  for (size_t m = 0; m < family.size(); ++m) {
+    if (stats != nullptr) stats->trials = m + 1;
+    PQ_ASSIGN_OR_RETURN(bool nonempty,
+                        Algorithm1(p, family, m, options, stats, &rels));
+    if (!nonempty) continue;
+    PQ_ASSIGN_OR_RETURN(Relation qh, Algorithm2(p, options, &rels));
+    for (size_t r = 0; r < qh.size(); ++r) answers.Add(qh.Row(r));
+  }
+  answers.SortAndDedup();
+  return answers;
+}
+
+}  // namespace
+
+Result<bool> IneqNonempty(const Database& db, const ConjunctiveQuery& q,
+                          const IneqOptions& options, IneqStats* stats) {
+  PQ_ASSIGN_OR_RETURN(Plan p, BuildPlan(db, q));
+  return DriveNonempty(p, options, stats);
+}
+
+Result<Relation> IneqEvaluate(const Database& db, const ConjunctiveQuery& q,
+                              const IneqOptions& options, IneqStats* stats) {
+  PQ_ASSIGN_OR_RETURN(Plan p, BuildPlan(db, q));
+  return DriveEvaluate(p, options, stats);
+}
+
+Result<bool> IneqFormulaNonempty(const Database& db, const ConjunctiveQuery& q,
+                                 const IneqFormula& phi,
+                                 const IneqOptions& options,
+                                 IneqStats* stats) {
+  PQ_ASSIGN_OR_RETURN(Plan p, BuildFormulaPlan(db, q, phi));
+  return DriveNonempty(p, options, stats);
+}
+
+Result<Relation> IneqFormulaEvaluate(const Database& db,
+                                     const ConjunctiveQuery& q,
+                                     const IneqFormula& phi,
+                                     const IneqOptions& options,
+                                     IneqStats* stats) {
+  PQ_ASSIGN_OR_RETURN(Plan p, BuildFormulaPlan(db, q, phi));
+  return DriveEvaluate(p, options, stats);
+}
+
+Result<bool> IneqContains(const Database& db, const ConjunctiveQuery& q,
+                          const std::vector<Value>& tuple,
+                          const IneqOptions& options, IneqStats* stats) {
+  if (tuple.size() != q.head.size()) {
+    return Status::InvalidArgument("tuple arity does not match query head");
+  }
+  return IneqNonempty(db, q.BindHead(tuple), options, stats);
+}
+
+}  // namespace paraquery

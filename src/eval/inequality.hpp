@@ -1,0 +1,114 @@
+// Theorem 2: fixed-parameter tractable evaluation of acyclic conjunctive
+// queries with inequality (≠) atoms.
+//
+// Pipeline (exactly the paper's construction, Section 5):
+//   1. Split the inequality atoms into I2 (x ≠ c, and x ≠ y whose endpoints
+//      co-occur in some relational atom) and I1 (the rest). I2 is folded into
+//      the per-atom selections F_j; I1 — the inequalities that would destroy
+//      acyclicity — is handled by color coding.
+//   2. Let V1 = vars(I1), k = |V1|. For a coloring h : D -> {1..k}, extend
+//      each S_j with primed attributes x' = h(x) for x ∈ U_j ∩ V1.
+//   3. Compute the attribute sets Y_j = U_j ∪ U'_j ∪ W'_j, where W_j pulls
+//      x' up the join tree until the inequality partners meet (Lemma 1: the
+//      Y_j form an acyclic hypergraph with the same join tree).
+//   4. Algorithm 1 (emptiness): bottom-up pass
+//      P_u := σ_F(P_u ⋈ π_{Y_j ∩ Y_u}(P_j)); each I1 atom is checked by F at
+//      the least common ancestor of its endpoints' subtrees.
+//   5. Algorithm 2 (evaluation): downward semijoin pass, then upward
+//      join-and-project computing π_Z without materializing the full join.
+//   6. Drive over a family of colorings: Monte Carlo (c·e^k trials, the
+//      paper's randomized analysis) or a family certified k-perfect on the
+//      values V1 can take (deterministic, exact).
+//
+// Complexity: O(g(k) · q · n log n) per coloring for the decision problem,
+// and output-sensitive for evaluation — the parameter never multiplies into
+// the exponent of n.
+#ifndef PARAQUERY_EVAL_INEQUALITY_H_
+#define PARAQUERY_EVAL_INEQUALITY_H_
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "query/conjunctive_query.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+
+/// Options for the Theorem 2 engine.
+struct IneqOptions {
+  enum class Driver {
+    /// Certified family when feasible on the ground set, else Monte Carlo.
+    kAuto,
+    /// The paper's randomized algorithm: c·e^k random colorings.
+    kMonteCarlo,
+    /// Deterministic family certified k-perfect on the active values of V1;
+    /// fails with ResourceExhausted when certification is infeasible.
+    kCertified,
+  };
+
+  Driver driver = Driver::kAuto;
+  /// Error exponent c for Monte Carlo: failure probability <= e^-c per
+  /// witness.
+  double mc_error_exponent = 4.0;
+  uint64_t seed = 0xC0FFEE;
+  /// Join-size guard (0 = off).
+  uint64_t max_rows = 0;
+  /// Certification budget: max number of k-subsets of the ground set.
+  uint64_t certified_max_subsets = 2'000'000;
+  size_t certified_max_members = 100'000;
+};
+
+/// Instrumentation reported by the engine.
+struct IneqStats {
+  int k = 0;                  // |V1|
+  size_t i1_atoms = 0;        // inequalities handled by color coding
+  size_t i2_atoms = 0;        // inequalities pushed into selections
+  size_t family_size = 0;     // colorings available
+  size_t trials = 0;          // colorings actually run
+  bool certified = false;     // family certified k-perfect (exact result)
+  size_t peak_rows = 0;       // largest intermediate P_u
+};
+
+/// Decides Q(d) != {} for an acyclic conjunctive query with ≠ atoms.
+/// With a certified family the answer is exact; with Monte Carlo a `false`
+/// is wrong with probability <= e^-c (a `true` is always sound).
+Result<bool> IneqNonempty(const Database& db, const ConjunctiveQuery& q,
+                          const IneqOptions& options = {},
+                          IneqStats* stats = nullptr);
+
+/// Computes Q(d). With a certified family the result is exact; with Monte
+/// Carlo each answer tuple is missed with probability <= e^-c.
+Result<Relation> IneqEvaluate(const Database& db, const ConjunctiveQuery& q,
+                              const IneqOptions& options = {},
+                              IneqStats* stats = nullptr);
+
+/// Decides t ∈ Q(d).
+Result<bool> IneqContains(const Database& db, const ConjunctiveQuery& q,
+                          const std::vector<Value>& tuple,
+                          const IneqOptions& options = {},
+                          IneqStats* stats = nullptr);
+
+class IneqFormula;
+
+/// The Section 5 parameter-q extension: an acyclic comparison-free body
+/// plus an arbitrary ∧/∨ formula over ≠ atoms. The hash range grows to
+/// k = #variables + #constants of the formula, every formula variable's
+/// primed attribute is carried to the root, and φ is applied there as a
+/// selection over colors (it cannot be pushed below an ∨). Soundness is
+/// unconditional; completeness follows from a coloring injective on the
+/// witness values and formula constants, exactly as in Theorem 2.
+Result<bool> IneqFormulaNonempty(const Database& db, const ConjunctiveQuery& q,
+                                 const IneqFormula& phi,
+                                 const IneqOptions& options = {},
+                                 IneqStats* stats = nullptr);
+
+/// Full evaluation under the formula extension.
+Result<Relation> IneqFormulaEvaluate(const Database& db,
+                                     const ConjunctiveQuery& q,
+                                     const IneqFormula& phi,
+                                     const IneqOptions& options = {},
+                                     IneqStats* stats = nullptr);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_EVAL_INEQUALITY_H_

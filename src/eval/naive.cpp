@@ -1,0 +1,228 @@
+#include "eval/naive.hpp"
+
+#include <algorithm>
+
+#include "eval/common.hpp"
+#include "relational/ops.hpp"
+
+namespace paraquery {
+
+namespace {
+
+// Backtracking search state over atom relations.
+struct Search {
+  const ConjunctiveQuery& q;
+  std::vector<NamedRelation> atom_rels;  // S_j per body atom
+  std::vector<Value> binding;            // VarId -> value
+  std::vector<bool> bound;
+  uint64_t steps = 0;
+  uint64_t max_steps;
+  bool stop_at_first;
+  Status status = Status::OK();
+
+  // Bindings accumulated for the full-evaluation mode.
+  NamedRelation* out_bindings;
+  std::vector<VarId> out_vars;
+
+  bool CompareOk(const CompareAtom& c) const {
+    auto value_of = [this](const Term& t, Value* v) {
+      if (t.is_const()) {
+        *v = t.value();
+        return true;
+      }
+      if (bound[t.var()]) {
+        *v = binding[t.var()];
+        return true;
+      }
+      return false;
+    };
+    Value a, b;
+    if (!value_of(c.lhs, &a) || !value_of(c.rhs, &b)) return true;  // deferred
+    return CompareAtom::Apply(c.op, a, b);
+  }
+
+  bool AllComparesOk() const {
+    for (const CompareAtom& c : q.comparisons) {
+      if (!CompareOk(c)) return false;
+    }
+    return true;
+  }
+
+  // Returns true when the search should stop (witness found in decision
+  // mode, or abort).
+  bool Dfs(size_t atom_idx) {
+    if (max_steps != 0 && ++steps > max_steps) {
+      status = Status::ResourceExhausted("naive evaluation step limit");
+      return true;
+    }
+    if (atom_idx == atom_rels.size()) {
+      if (out_bindings != nullptr) {
+        ValueVec row(out_vars.size());
+        for (size_t i = 0; i < out_vars.size(); ++i) {
+          row[i] = binding[out_vars[i]];
+        }
+        out_bindings->rel().Add(row);
+      }
+      return stop_at_first;
+    }
+    const NamedRelation& rel = atom_rels[atom_idx];
+    const auto& attrs = rel.attrs();
+    // Restrict the scan to the rows matching the bound prefix (relations are
+    // kept lexicographically sorted): the classical index-assisted
+    // backtracking — still n^{O(q)} worst case, but without a full-relation
+    // scan at every search node.
+    size_t prefix = 0;
+    while (prefix < attrs.size() && bound[attrs[prefix]]) ++prefix;
+    size_t lo = 0, hi = rel.size();
+    if (prefix > 0) {
+      auto cmp_prefix = [&](size_t row) {
+        // <0 if row-prefix < binding, 0 if equal, >0 if greater.
+        for (size_t i = 0; i < prefix; ++i) {
+          Value v = rel.rel().At(row, i);
+          Value b = binding[attrs[i]];
+          if (v < b) return -1;
+          if (v > b) return 1;
+        }
+        return 0;
+      };
+      size_t a = 0, b = rel.size();
+      while (a < b) {  // first row with prefix >= binding
+        size_t mid = a + (b - a) / 2;
+        if (cmp_prefix(mid) < 0) {
+          a = mid + 1;
+        } else {
+          b = mid;
+        }
+      }
+      lo = a;
+      b = rel.size();
+      while (a < b) {  // first row with prefix > binding
+        size_t mid = a + (b - a) / 2;
+        if (cmp_prefix(mid) <= 0) {
+          a = mid + 1;
+        } else {
+          b = mid;
+        }
+      }
+      hi = a;
+    }
+    for (size_t r = lo; r < hi; ++r) {
+      // Check consistency with current binding; bind new variables.
+      std::vector<VarId> newly_bound;
+      bool ok = true;
+      for (size_t i = prefix; i < attrs.size(); ++i) {
+        Value v = rel.rel().At(r, i);
+        VarId var = attrs[i];
+        if (bound[var]) {
+          if (binding[var] != v) {
+            ok = false;
+            break;
+          }
+        } else {
+          bound[var] = true;
+          binding[var] = v;
+          newly_bound.push_back(var);
+        }
+      }
+      if (ok) ok = AllComparesOk();
+      if (ok && Dfs(atom_idx + 1)) return true;
+      for (VarId var : newly_bound) bound[var] = false;
+    }
+    return false;
+  }
+};
+
+Result<Search> Prepare(const Database& db, const ConjunctiveQuery& q,
+                       const NaiveOptions& options, bool stop_at_first,
+                       NamedRelation* out_bindings) {
+  PQ_RETURN_NOT_OK(q.Validate());
+  Search s{q,
+           {},
+           {},
+           {},
+           0,
+           options.max_steps,
+           stop_at_first,
+           Status::OK(),
+           out_bindings,
+           {}};
+  for (const Atom& a : q.body) {
+    PQ_ASSIGN_OR_RETURN(NamedRelation rel, AtomToRelation(db, a));
+    s.atom_rels.push_back(std::move(rel));
+  }
+  // Static join order: start from the smallest relation, then repeatedly
+  // take the atom sharing a variable with the atoms chosen so far (smallest
+  // first), falling back to the smallest remaining atom when the query is
+  // disconnected. Avoids accidental cross products in the backtracking.
+  {
+    std::vector<NamedRelation>& rels = s.atom_rels;
+    std::vector<bool> used(rels.size(), false);
+    std::vector<bool> bound_var(std::max(1, q.NumVariables()), false);
+    std::vector<NamedRelation> ordered;
+    ordered.reserve(rels.size());
+    for (size_t step = 0; step < rels.size(); ++step) {
+      int best = -1;
+      bool best_connected = false;
+      for (size_t i = 0; i < rels.size(); ++i) {
+        if (used[i]) continue;
+        bool connected = false;
+        for (AttrId a : rels[i].attrs()) {
+          if (bound_var[a]) {
+            connected = true;
+            break;
+          }
+        }
+        if (best < 0 || (connected && !best_connected) ||
+            (connected == best_connected &&
+             rels[i].size() < rels[best].size())) {
+          best = static_cast<int>(i);
+          best_connected = connected;
+        }
+      }
+      used[best] = true;
+      for (AttrId a : rels[best].attrs()) bound_var[a] = true;
+      ordered.push_back(std::move(rels[best]));
+    }
+    rels = std::move(ordered);
+  }
+  s.binding.assign(std::max(1, q.NumVariables()), 0);
+  s.bound.assign(std::max(1, q.NumVariables()), false);
+  return s;
+}
+
+}  // namespace
+
+Result<Relation> NaiveEvaluateCq(const Database& db, const ConjunctiveQuery& q,
+                                 const NaiveOptions& options) {
+  NamedRelation bindings{q.HeadVariables()};
+  PQ_ASSIGN_OR_RETURN(
+      Search s, Prepare(db, q, options, /*stop_at_first=*/false, &bindings));
+  s.out_vars = q.HeadVariables();
+  // Constant/constant comparisons may already refute the query.
+  if (!s.AllComparesOk()) return Relation(q.head.size());
+  s.Dfs(0);
+  PQ_RETURN_NOT_OK(s.status);
+  bindings.rel().SortAndDedup();
+  return BindingsToAnswers(bindings, q.head);
+}
+
+Result<bool> NaiveCqNonempty(const Database& db, const ConjunctiveQuery& q,
+                             const NaiveOptions& options) {
+  PQ_ASSIGN_OR_RETURN(
+      Search s, Prepare(db, q, options, /*stop_at_first=*/true, nullptr));
+  if (!s.AllComparesOk()) return false;
+  bool found = s.Dfs(0);
+  PQ_RETURN_NOT_OK(s.status);
+  return found;
+}
+
+Result<bool> NaiveCqContains(const Database& db, const ConjunctiveQuery& q,
+                             const std::vector<Value>& tuple,
+                             const NaiveOptions& options) {
+  if (tuple.size() != q.head.size()) {
+    return Status::InvalidArgument("tuple arity does not match query head");
+  }
+  return NaiveCqNonempty(db, q.BindHead(tuple), options);
+}
+
+}  // namespace paraquery

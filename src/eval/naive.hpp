@@ -1,0 +1,38 @@
+// Naive backtracking evaluation of conjunctive queries (with arbitrary
+// comparison atoms). This is the textbook combined-complexity algorithm the
+// paper's analysis targets: worst case n^{O(q)}. It serves as ground truth
+// for every other engine and as the baseline exhibiting "parameter in the
+// exponent" in the benchmarks.
+#ifndef PARAQUERY_EVAL_NAIVE_H_
+#define PARAQUERY_EVAL_NAIVE_H_
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "query/conjunctive_query.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+
+/// Options for the naive evaluator.
+struct NaiveOptions {
+  /// Abort with ResourceExhausted after this many search steps (0 = off).
+  uint64_t max_steps = 0;
+};
+
+/// Computes the full answer Q(d) as a relation of head-arity tuples.
+Result<Relation> NaiveEvaluateCq(const Database& db, const ConjunctiveQuery& q,
+                                 const NaiveOptions& options = {});
+
+/// Decides Q(d) != {} (stops at the first witness).
+Result<bool> NaiveCqNonempty(const Database& db, const ConjunctiveQuery& q,
+                             const NaiveOptions& options = {});
+
+/// Decides t ∈ Q(d) by binding the head and testing nonemptiness.
+Result<bool> NaiveCqContains(const Database& db, const ConjunctiveQuery& q,
+                             const std::vector<Value>& tuple,
+                             const NaiveOptions& options = {});
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_EVAL_NAIVE_H_

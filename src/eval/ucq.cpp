@@ -1,0 +1,55 @@
+#include "eval/ucq.hpp"
+
+#include "eval/acyclic.hpp"
+#include "eval/naive.hpp"
+
+namespace paraquery {
+
+namespace {
+
+Result<Relation> EvaluateDisjunct(const Database& db,
+                                  const ConjunctiveQuery& cq,
+                                  const UcqOptions& options) {
+  if (options.use_acyclic_evaluator && !cq.body.empty() && cq.IsAcyclic()) {
+    return AcyclicEvaluate(db, cq);
+  }
+  NaiveOptions naive;
+  naive.max_steps = options.naive_max_steps;
+  return NaiveEvaluateCq(db, cq, naive);
+}
+
+Result<bool> DisjunctNonempty(const Database& db, const ConjunctiveQuery& cq,
+                              const UcqOptions& options) {
+  if (options.use_acyclic_evaluator && !cq.body.empty() && cq.IsAcyclic()) {
+    return AcyclicNonempty(db, cq);
+  }
+  NaiveOptions naive;
+  naive.max_steps = options.naive_max_steps;
+  return NaiveCqNonempty(db, cq, naive);
+}
+
+}  // namespace
+
+Result<Relation> EvaluatePositive(const Database& db, const PositiveQuery& q,
+                                  const UcqOptions& options) {
+  PQ_ASSIGN_OR_RETURN(auto cqs, q.ToUnionOfCqs(options.max_disjuncts));
+  Relation answers(q.fo().head.size());
+  for (const ConjunctiveQuery& cq : cqs) {
+    PQ_ASSIGN_OR_RETURN(Relation part, EvaluateDisjunct(db, cq, options));
+    for (size_t r = 0; r < part.size(); ++r) answers.Add(part.Row(r));
+  }
+  answers.SortAndDedup();
+  return answers;
+}
+
+Result<bool> PositiveNonempty(const Database& db, const PositiveQuery& q,
+                              const UcqOptions& options) {
+  PQ_ASSIGN_OR_RETURN(auto cqs, q.ToUnionOfCqs(options.max_disjuncts));
+  for (const ConjunctiveQuery& cq : cqs) {
+    PQ_ASSIGN_OR_RETURN(bool nonempty, DisjunctNonempty(db, cq, options));
+    if (nonempty) return true;
+  }
+  return false;
+}
+
+}  // namespace paraquery

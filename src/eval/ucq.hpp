@@ -1,0 +1,36 @@
+// Positive-query evaluation via expansion into a union of conjunctive
+// queries (the paper's Theorem 1 upper-bound route for parameter q: the
+// expansion is exponential in q but each disjunct is a plain CQ).
+#ifndef PARAQUERY_EVAL_UCQ_H_
+#define PARAQUERY_EVAL_UCQ_H_
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "query/positive_query.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+
+/// Options for the UCQ evaluator.
+struct UcqOptions {
+  /// Cap on the number of disjuncts produced by the expansion.
+  uint64_t max_disjuncts = 100'000;
+  /// Route acyclic disjuncts through the Yannakakis evaluator instead of
+  /// naive backtracking.
+  bool use_acyclic_evaluator = true;
+  /// Step limit handed to the naive evaluator for cyclic disjuncts (0=off).
+  uint64_t naive_max_steps = 0;
+};
+
+/// Computes Q(d) for a positive query.
+Result<Relation> EvaluatePositive(const Database& db, const PositiveQuery& q,
+                                  const UcqOptions& options = {});
+
+/// Decides Q(d) != {} (short-circuits across disjuncts).
+Result<bool> PositiveNonempty(const Database& db, const PositiveQuery& q,
+                              const UcqOptions& options = {});
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_EVAL_UCQ_H_

@@ -1,0 +1,136 @@
+#include "graph/clique.hpp"
+
+#include <algorithm>
+
+namespace paraquery {
+
+namespace {
+
+// Shared DFS: extends `current` with vertices greater than `start`, adjacent
+// to everything chosen so far. Returns true when size k is reached.
+bool ExtendClique(const Graph& g, int k, int start, std::vector<int>* current) {
+  if (static_cast<int>(current->size()) == k) return true;
+  int need = k - static_cast<int>(current->size());
+  for (int v = start; v + need <= g.num_vertices(); ++v) {
+    bool ok = true;
+    for (int u : *current) {
+      if (!g.HasEdge(u, v)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    current->push_back(v);
+    if (ExtendClique(g, k, v + 1, current)) return true;
+    current->pop_back();
+  }
+  return false;
+}
+
+uint64_t CountExtend(const Graph& g, int k, int start, std::vector<int>* current,
+                     uint64_t cap, uint64_t count) {
+  if (static_cast<int>(current->size()) == k) return count + 1;
+  int need = k - static_cast<int>(current->size());
+  for (int v = start; v + need <= g.num_vertices(); ++v) {
+    bool ok = true;
+    for (int u : *current) {
+      if (!g.HasEdge(u, v)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    current->push_back(v);
+    count = CountExtend(g, k, v + 1, current, cap, count);
+    current->pop_back();
+    if (cap != 0 && count >= cap) return count;
+  }
+  return count;
+}
+
+// Greedy coloring of the candidate set; the number of colors bounds the
+// largest clique within it (classic Tomita-style bound).
+int ColorBound(const Graph& g, const std::vector<int>& candidates) {
+  std::vector<int> color(candidates.size(), -1);
+  int colors = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    std::vector<bool> used(colors, false);
+    for (size_t j = 0; j < i; ++j) {
+      if (color[j] >= 0 && g.HasEdge(candidates[i], candidates[j])) {
+        used[color[j]] = true;
+      }
+    }
+    int c = 0;
+    while (c < colors && used[c]) ++c;
+    if (c == colors) ++colors;
+    color[i] = c;
+  }
+  return colors;
+}
+
+bool BbExtend(const Graph& g, int k, std::vector<int>* current,
+              std::vector<int> candidates) {
+  if (static_cast<int>(current->size()) == k) return true;
+  int need = k - static_cast<int>(current->size());
+  if (static_cast<int>(candidates.size()) < need) return false;
+  if (ColorBound(g, candidates) < need) return false;
+  while (!candidates.empty()) {
+    if (static_cast<int>(candidates.size()) < need) return false;
+    int v = candidates.back();
+    candidates.pop_back();
+    std::vector<int> next;
+    for (int u : candidates) {
+      if (g.HasEdge(u, v)) next.push_back(u);
+    }
+    current->push_back(v);
+    if (BbExtend(g, k, current, std::move(next))) return true;
+    current->pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> FindCliqueNaive(const Graph& g, int k) {
+  if (k < 0) return std::nullopt;
+  std::vector<int> current;
+  if (k == 0) return current;
+  if (ExtendClique(g, k, 0, &current)) return current;
+  return std::nullopt;
+}
+
+std::optional<std::vector<int>> FindCliqueBb(const Graph& g, int k) {
+  if (k < 0) return std::nullopt;
+  std::vector<int> current;
+  if (k == 0) return current;
+  std::vector<int> candidates(g.num_vertices());
+  for (int i = 0; i < g.num_vertices(); ++i) candidates[i] = i;
+  // Order by degree ascending so the high-degree vertices are tried first
+  // (candidates are consumed from the back).
+  std::sort(candidates.begin(), candidates.end(), [&g](int a, int b) {
+    return g.Degree(a) < g.Degree(b);
+  });
+  if (BbExtend(g, k, &current, std::move(candidates))) return current;
+  return std::nullopt;
+}
+
+uint64_t CountCliques(const Graph& g, int k, uint64_t cap) {
+  if (k < 0) return 0;
+  std::vector<int> current;
+  if (k == 0) return 1;
+  return CountExtend(g, k, 0, &current, cap, 0);
+}
+
+int MaxCliqueSize(const Graph& g) {
+  int lo = 0;
+  for (int k = 1; k <= g.num_vertices(); ++k) {
+    if (FindCliqueBb(g, k).has_value()) {
+      lo = k;
+    } else {
+      break;
+    }
+  }
+  return lo;
+}
+
+}  // namespace paraquery

@@ -1,0 +1,34 @@
+// k-clique solvers. The paper's Theorem 1 lower bound rests on clique being
+// W[1]-complete: all known algorithms take n^Θ(k). We provide the canonical
+// n^k enumerator (used by benches to exhibit exactly that scaling) and a
+// pruned branch-and-bound used as ground truth in tests.
+#ifndef PARAQUERY_GRAPH_CLIQUE_H_
+#define PARAQUERY_GRAPH_CLIQUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace paraquery {
+
+/// Finds a k-clique by ordered DFS extension (vertices in increasing order,
+/// each adjacent to all chosen). Worst case O(n^k); this is the textbook
+/// "parameter in the exponent" algorithm the paper refers to.
+std::optional<std::vector<int>> FindCliqueNaive(const Graph& g, int k);
+
+/// Branch-and-bound with greedy-coloring upper bound; much faster in
+/// practice, same worst case. Used as the reference solver in tests.
+std::optional<std::vector<int>> FindCliqueBb(const Graph& g, int k);
+
+/// Counts k-cliques (ordered DFS; may be exponential). Capped at `cap`
+/// (0 = unlimited).
+uint64_t CountCliques(const Graph& g, int k, uint64_t cap = 0);
+
+/// Size of a maximum clique (branch-and-bound).
+int MaxCliqueSize(const Graph& g);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_GRAPH_CLIQUE_H_

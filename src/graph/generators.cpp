@@ -1,0 +1,69 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace paraquery {
+
+Graph GnpRandom(int n, double p, uint64_t seed) {
+  Rng rng(seed);
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.Chance(p)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph PlantedClique(int n, double p, int k, uint64_t seed) {
+  Rng rng(seed);
+  Graph g = GnpRandom(n, p, rng.Next());
+  std::vector<int> vertices(n);
+  std::iota(vertices.begin(), vertices.end(), 0);
+  // Fisher-Yates prefix shuffle to pick k distinct vertices.
+  for (int i = 0; i < k && i < n; ++i) {
+    int j = i + static_cast<int>(rng.Below(static_cast<uint64_t>(n - i)));
+    std::swap(vertices[i], vertices[j]);
+  }
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) g.AddEdge(vertices[i], vertices[j]);
+  }
+  return g;
+}
+
+Graph PathGraph(int n) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+Graph CycleGraph(int n) {
+  Graph g = PathGraph(n);
+  if (n >= 3) g.AddEdge(n - 1, 0);
+  return g;
+}
+
+Graph CompleteGraph(int n) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph TuranGraph(int k, int class_size) {
+  int n = k * class_size;
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (u / class_size != v / class_size) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+}  // namespace paraquery

@@ -1,0 +1,33 @@
+// Deterministic graph generators for tests and benchmark workloads.
+#ifndef PARAQUERY_GRAPH_GENERATORS_H_
+#define PARAQUERY_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace paraquery {
+
+/// Erdős–Rényi G(n, p).
+Graph GnpRandom(int n, double p, uint64_t seed);
+
+/// G(n, p) with a planted clique on `k` random vertices (guaranteed yes
+/// instance for k-clique).
+Graph PlantedClique(int n, double p, int k, uint64_t seed);
+
+/// Path 0-1-...-n-1.
+Graph PathGraph(int n);
+
+/// Cycle 0-1-...-n-1-0.
+Graph CycleGraph(int n);
+
+/// Complete graph K_n.
+Graph CompleteGraph(int n);
+
+/// Complete k-partite graph with classes of size `class_size`: the canonical
+/// graph whose max clique is exactly k (one vertex per class).
+Graph TuranGraph(int k, int class_size);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_GRAPH_GENERATORS_H_

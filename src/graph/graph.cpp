@@ -1,0 +1,43 @@
+#include "graph/graph.hpp"
+
+#include "common/status.hpp"
+
+namespace paraquery {
+
+Graph::Graph(int n) : n_(n), words_(static_cast<size_t>((n + 63) / 64)) {
+  PQ_CHECK(n >= 0, "Graph size must be non-negative");
+  matrix_.assign(static_cast<size_t>(n_) * words_, 0);
+  adj_.resize(n_);
+}
+
+void Graph::AddEdge(int u, int v) {
+  PQ_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_, "AddEdge: vertex out of range");
+  if (u == v || HasEdge(u, v)) return;
+  matrix_[static_cast<size_t>(u) * words_ + (v >> 6)] |= uint64_t{1} << (v & 63);
+  matrix_[static_cast<size_t>(v) * words_ + (u >> 6)] |= uint64_t{1} << (u & 63);
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  ++num_edges_;
+}
+
+Graph Graph::Complement() const {
+  Graph out(n_);
+  for (int u = 0; u < n_; ++u) {
+    for (int v = u + 1; v < n_; ++v) {
+      if (!HasEdge(u, v)) out.AddEdge(u, v);
+    }
+  }
+  return out;
+}
+
+bool Graph::IsClique(const std::vector<int>& vertices) const {
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (size_t j = i + 1; j < vertices.size(); ++j) {
+      if (vertices[i] == vertices[j]) return false;
+      if (!HasEdge(vertices[i], vertices[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace paraquery

@@ -1,0 +1,49 @@
+// Undirected simple graphs with O(1) adjacency tests (bit-matrix) plus
+// adjacency lists. Used by the clique/Hamiltonian solvers and all the
+// graph-based reductions in the paper (Theorem 1 lower bound, footnote 2,
+// Theorem 3, the Hamiltonian-path construction of Section 5).
+#ifndef PARAQUERY_GRAPH_GRAPH_H_
+#define PARAQUERY_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace paraquery {
+
+/// Undirected simple graph on vertices 0..n-1.
+class Graph {
+ public:
+  explicit Graph(int n);
+
+  int num_vertices() const { return n_; }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Adds the undirected edge {u, v}; self-loops and duplicates are ignored.
+  void AddEdge(int u, int v);
+
+  bool HasEdge(int u, int v) const {
+    return (matrix_[static_cast<size_t>(u) * words_ + (v >> 6)] >>
+            (v & 63)) & 1;
+  }
+
+  const std::vector<int>& Neighbors(int v) const { return adj_[v]; }
+  int Degree(int v) const { return static_cast<int>(adj_[v].size()); }
+
+  /// Complement graph (no self-loops).
+  Graph Complement() const;
+
+  /// True if every pair in `vertices` is adjacent (a clique witness check).
+  bool IsClique(const std::vector<int>& vertices) const;
+
+ private:
+  int n_;
+  size_t words_;                  // 64-bit words per matrix row
+  size_t num_edges_ = 0;
+  std::vector<uint64_t> matrix_;  // n_ rows of `words_` words
+  std::vector<std::vector<int>> adj_;
+};
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_GRAPH_GRAPH_H_

@@ -1,0 +1,50 @@
+#include "graph/hamiltonian.hpp"
+
+#include "common/status.hpp"
+
+namespace paraquery {
+
+std::optional<std::vector<int>> FindHamiltonianPath(const Graph& g) {
+  int n = g.num_vertices();
+  PQ_CHECK(n <= kMaxHamiltonianVertices,
+           "FindHamiltonianPath: graph too large for bitmask DP");
+  if (n == 0) return std::vector<int>{};
+  if (n == 1) return std::vector<int>{0};
+  size_t full = size_t{1} << n;
+  // reach[mask][v]: a path visiting exactly `mask` can end at v.
+  std::vector<uint32_t> reach(full, 0);
+  for (int v = 0; v < n; ++v) reach[size_t{1} << v] = uint32_t{1} << v;
+  for (size_t mask = 1; mask < full; ++mask) {
+    uint32_t ends = reach[mask];
+    if (ends == 0) continue;
+    for (int v = 0; v < n; ++v) {
+      if (!((ends >> v) & 1)) continue;
+      for (int u : g.Neighbors(v)) {
+        if ((mask >> u) & 1) continue;
+        reach[mask | (size_t{1} << u)] |= uint32_t{1} << u;
+      }
+    }
+  }
+  size_t all = full - 1;
+  if (reach[all] == 0) return std::nullopt;
+  // Reconstruct backwards.
+  std::vector<int> path;
+  size_t mask = all;
+  int end = 0;
+  while (!((reach[all] >> end) & 1)) ++end;
+  path.push_back(end);
+  while (mask != (size_t{1} << path.back())) {
+    int v = path.back();
+    size_t prev_mask = mask & ~(size_t{1} << v);
+    for (int u : g.Neighbors(v)) {
+      if (((prev_mask >> u) & 1) && ((reach[prev_mask] >> u) & 1)) {
+        path.push_back(u);
+        mask = prev_mask;
+        break;
+      }
+    }
+  }
+  return std::vector<int>(path.rbegin(), path.rend());
+}
+
+}  // namespace paraquery

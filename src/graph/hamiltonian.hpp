@@ -1,0 +1,23 @@
+// Hamiltonian path decision via Held-Karp bitmask dynamic programming.
+// Ground truth for the Section 5 reduction (acyclic ≠-queries have
+// NP-complete combined complexity via Hamiltonian path).
+#ifndef PARAQUERY_GRAPH_HAMILTONIAN_H_
+#define PARAQUERY_GRAPH_HAMILTONIAN_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace paraquery {
+
+/// Maximum vertex count accepted by FindHamiltonianPath (2^n DP table).
+inline constexpr int kMaxHamiltonianVertices = 24;
+
+/// Returns a Hamiltonian path (vertex sequence) if one exists.
+/// Requires g.num_vertices() <= kMaxHamiltonianVertices.
+std::optional<std::vector<int>> FindHamiltonianPath(const Graph& g);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_GRAPH_HAMILTONIAN_H_

@@ -1,0 +1,67 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+namespace paraquery {
+
+SccResult StronglyConnectedComponents(const Digraph& g) {
+  int n = g.num_vertices();
+  SccResult result;
+  result.component.assign(n, -1);
+  std::vector<int> index(n, -1), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int next_index = 0;
+
+  // Explicit DFS stack: (vertex, next child position).
+  struct Frame {
+    int v;
+    size_t child;
+  };
+  std::vector<Frame> frames;
+
+  for (int root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& out = g.Out(f.v);
+      if (f.child < out.size()) {
+        int w = out[f.child++];
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        int v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().v] = std::min(lowlink[frames.back().v],
+                                              lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          // v roots an SCC; pop it.
+          int comp = result.num_components++;
+          for (;;) {
+            int w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component[w] = comp;
+            if (w == v) break;
+          }
+        }
+      }
+    }
+  }
+  // Tarjan emits components in reverse topological order already.
+  return result;
+}
+
+}  // namespace paraquery

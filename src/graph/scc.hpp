@@ -1,0 +1,38 @@
+// Directed graphs and strongly connected components (iterative Tarjan).
+// Used by the comparison-constraint closure of Section 5 (Klug's consistency
+// test: a system of </<= constraints is consistent iff no SCC contains a
+// strict arc).
+#ifndef PARAQUERY_GRAPH_SCC_H_
+#define PARAQUERY_GRAPH_SCC_H_
+
+#include <vector>
+
+namespace paraquery {
+
+/// Directed graph on vertices 0..n-1 (parallel arcs allowed).
+class Digraph {
+ public:
+  explicit Digraph(int n) : adj_(n) {}
+
+  int num_vertices() const { return static_cast<int>(adj_.size()); }
+  void AddArc(int from, int to) { adj_[from].push_back(to); }
+  const std::vector<int>& Out(int v) const { return adj_[v]; }
+
+ private:
+  std::vector<std::vector<int>> adj_;
+};
+
+/// Result of an SCC decomposition.
+struct SccResult {
+  /// component[v] = id of v's SCC; ids are in reverse topological order
+  /// (component 0 is a source component of the condensation).
+  std::vector<int> component;
+  int num_components = 0;
+};
+
+/// Tarjan's algorithm, iterative (no recursion depth limits).
+SccResult StronglyConnectedComponents(const Digraph& g);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_GRAPH_SCC_H_

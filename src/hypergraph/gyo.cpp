@@ -1,0 +1,60 @@
+#include "hypergraph/gyo.hpp"
+
+#include <algorithm>
+
+namespace paraquery {
+
+GyoResult GyoReduce(const Hypergraph& h) {
+  size_t m = h.num_edges();
+  GyoResult result;
+  result.witness.assign(m, -1);
+  // Working copies of edge contents (sorted).
+  std::vector<std::vector<int>> contents(m);
+  std::vector<bool> alive(m, true);
+  for (size_t e = 0; e < m; ++e) contents[e] = h.edge(static_cast<int>(e));
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Rule (a): drop vertices occurring in exactly one alive edge.
+    std::vector<int> occ(h.num_vertices(), 0);
+    for (size_t e = 0; e < m; ++e) {
+      if (!alive[e]) continue;
+      for (int v : contents[e]) ++occ[v];
+    }
+    for (size_t e = 0; e < m; ++e) {
+      if (!alive[e]) continue;
+      auto& c = contents[e];
+      size_t before = c.size();
+      c.erase(std::remove_if(c.begin(), c.end(),
+                             [&occ](int v) { return occ[v] == 1; }),
+              c.end());
+      if (c.size() != before) changed = true;
+    }
+    // Rule (b): remove edges contained in another alive edge.
+    for (size_t e = 0; e < m; ++e) {
+      if (!alive[e]) continue;
+      for (size_t f = 0; f < m; ++f) {
+        if (e == f || !alive[f]) continue;
+        // Tie-break equal contents by id so only one of a duplicate pair dies.
+        if (contents[e] == contents[f] && e < f) continue;
+        if (std::includes(contents[f].begin(), contents[f].end(),
+                          contents[e].begin(), contents[e].end())) {
+          alive[e] = false;
+          result.witness[e] = static_cast<int>(f);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  for (size_t e = 0; e < m; ++e) {
+    if (alive[e]) result.alive.push_back(static_cast<int>(e));
+  }
+  result.acyclic = result.alive.size() <= 1;
+  return result;
+}
+
+bool IsAcyclic(const Hypergraph& h) { return GyoReduce(h).acyclic; }
+
+}  // namespace paraquery

@@ -1,0 +1,33 @@
+// GYO (Graham / Yu-Ozsoyoglu) reduction: the classical acyclicity test for
+// hypergraphs. Repeatedly (a) delete vertices occurring in exactly one edge
+// and (b) delete edges contained in another edge. The hypergraph is acyclic
+// iff the fixpoint retains at most one (empty) edge. Containment witnesses
+// recorded along the way yield a join forest (join_tree.hpp).
+#ifndef PARAQUERY_HYPERGRAPH_GYO_H_
+#define PARAQUERY_HYPERGRAPH_GYO_H_
+
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace paraquery {
+
+/// Outcome of a GYO reduction run.
+struct GyoResult {
+  bool acyclic = false;
+  /// witness[e] = edge that absorbed e (e's contents were contained in it
+  /// at removal time), or -1 for edges never removed by containment.
+  std::vector<int> witness;
+  /// Ids of edges still alive at the fixpoint (≤1 iff acyclic).
+  std::vector<int> alive;
+};
+
+/// Runs GYO to fixpoint.
+GyoResult GyoReduce(const Hypergraph& h);
+
+/// Convenience: true iff `h` is an acyclic hypergraph.
+bool IsAcyclic(const Hypergraph& h);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_HYPERGRAPH_GYO_H_

@@ -1,0 +1,69 @@
+#include "query/builder.hpp"
+
+namespace paraquery {
+
+CqBuilder& CqBuilder::Head(std::initializer_list<Term> terms) {
+  PQ_CHECK(!head_set_, "CqBuilder::Head called twice");
+  q_.head.assign(terms.begin(), terms.end());
+  head_set_ = true;
+  return *this;
+}
+
+CqBuilder& CqBuilder::Atom(const std::string& relation,
+                           std::initializer_list<Term> ts) {
+  paraquery::Atom atom;
+  atom.relation = relation;
+  atom.terms.assign(ts.begin(), ts.end());
+  q_.body.push_back(std::move(atom));
+  return *this;
+}
+
+CqBuilder& CqBuilder::Compare(CompareOp op, Term a, Term b) {
+  q_.comparisons.push_back({op, a, b});
+  return *this;
+}
+
+Result<ConjunctiveQuery> CqBuilder::Build() {
+  PQ_RETURN_NOT_OK(q_.Validate());
+  return q_;
+}
+
+DatalogBuilder::RuleBuilder& DatalogBuilder::RuleBuilder::Head(
+    const std::string& relation, std::initializer_list<Term> ts) {
+  rule_.head.relation = relation;
+  rule_.head.terms.assign(ts.begin(), ts.end());
+  return *this;
+}
+
+DatalogBuilder::RuleBuilder& DatalogBuilder::RuleBuilder::Atom(
+    const std::string& relation, std::initializer_list<Term> ts) {
+  paraquery::Atom atom;
+  atom.relation = relation;
+  atom.terms.assign(ts.begin(), ts.end());
+  rule_.body.push_back(std::move(atom));
+  return *this;
+}
+
+DatalogBuilder::RuleBuilder& DatalogBuilder::Rule() {
+  rules_.emplace_back();
+  return rules_.back();
+}
+
+DatalogBuilder& DatalogBuilder::Goal(const std::string& relation) {
+  goal_ = relation;
+  return *this;
+}
+
+Result<DatalogProgram> DatalogBuilder::Build() {
+  DatalogProgram program;
+  for (RuleBuilder& rb : rules_) program.rules.push_back(std::move(rb.rule_));
+  if (!goal_.empty()) {
+    program.goal = goal_;
+  } else if (!program.rules.empty()) {
+    program.goal = program.rules.front().head.relation;
+  }
+  PQ_RETURN_NOT_OK(program.Validate());
+  return program;
+}
+
+}  // namespace paraquery

@@ -1,0 +1,89 @@
+// Fluent C++ builders for constructing queries programmatically without
+// going through the text parser — the API a library user embeds.
+//
+//   CqBuilder b;
+//   auto e = b.Var("e"); auto p = b.Var("p"); auto q = b.Var("q");
+//   ConjunctiveQuery query = b.Head({e})
+//                             .Atom("EP", {e, p})
+//                             .Atom("EP", {e, q})
+//                             .Neq(p, q)
+//                             .Build()
+//                             .ValueOrDie();
+#ifndef PARAQUERY_QUERY_BUILDER_H_
+#define PARAQUERY_QUERY_BUILDER_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "query/conjunctive_query.hpp"
+#include "query/datalog.hpp"
+
+namespace paraquery {
+
+/// Builder for conjunctive queries (with ≠ / < / ≤ atoms).
+class CqBuilder {
+ public:
+  /// Returns the term for variable `name` (interned on first use).
+  Term Var(const std::string& name) { return Term::Var(q_.vars.Intern(name)); }
+
+  /// Convenience for constants.
+  static Term Const(Value v) { return Term::Const(v); }
+
+  /// Sets the head tuple; call once.
+  CqBuilder& Head(std::initializer_list<Term> terms);
+
+  /// Appends a relational atom.
+  CqBuilder& Atom(const std::string& relation, std::initializer_list<Term> ts);
+
+  CqBuilder& Neq(Term a, Term b) { return Compare(CompareOp::kNeq, a, b); }
+  CqBuilder& Lt(Term a, Term b) { return Compare(CompareOp::kLt, a, b); }
+  CqBuilder& Le(Term a, Term b) { return Compare(CompareOp::kLe, a, b); }
+  CqBuilder& Eq(Term a, Term b) { return Compare(CompareOp::kEq, a, b); }
+  CqBuilder& Compare(CompareOp op, Term a, Term b);
+
+  /// Validates and returns the query. The builder can be reused afterwards
+  /// only by constructing a new one.
+  Result<ConjunctiveQuery> Build();
+
+ private:
+  ConjunctiveQuery q_;
+  bool head_set_ = false;
+};
+
+/// Builder for Datalog programs: one RuleBuilder per rule.
+class DatalogBuilder {
+ public:
+  class RuleBuilder {
+   public:
+    Term Var(const std::string& name) {
+      return Term::Var(rule_.vars.Intern(name));
+    }
+    RuleBuilder& Head(const std::string& relation,
+                      std::initializer_list<Term> ts);
+    RuleBuilder& Atom(const std::string& relation,
+                      std::initializer_list<Term> ts);
+
+   private:
+    friend class DatalogBuilder;
+    DatalogRule rule_;
+  };
+
+  /// Starts a new rule; the returned reference is valid until the next
+  /// Rule() or Build() call.
+  RuleBuilder& Rule();
+
+  /// Sets the goal relation (defaults to the first rule's head).
+  DatalogBuilder& Goal(const std::string& relation);
+
+  Result<DatalogProgram> Build();
+
+ private:
+  std::vector<RuleBuilder> rules_;
+  std::string goal_;
+};
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_QUERY_BUILDER_H_

@@ -1,0 +1,152 @@
+#include "query/comparison_closure.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "graph/scc.hpp"
+
+namespace paraquery {
+
+namespace {
+
+// Graph node ids: variables 0..V-1, then one node per distinct constant.
+struct NodeSpace {
+  int num_vars;
+  std::vector<Value> constants;  // sorted distinct
+
+  int NodeOfConst(Value c) const {
+    auto it = std::lower_bound(constants.begin(), constants.end(), c);
+    return num_vars + static_cast<int>(it - constants.begin());
+  }
+  int NodeOf(const Term& t) const {
+    return t.is_var() ? t.var() : NodeOfConst(t.value());
+  }
+  int total() const { return num_vars + static_cast<int>(constants.size()); }
+  bool IsConstNode(int n) const { return n >= num_vars; }
+  Value ConstOf(int n) const { return constants[n - num_vars]; }
+};
+
+}  // namespace
+
+Result<ComparisonClosure> CollapseComparisons(const ConjunctiveQuery& query) {
+  ComparisonClosure out;
+
+  // Collect constants appearing in order/equality comparisons.
+  std::set<Value> const_set;
+  for (const CompareAtom& c : query.comparisons) {
+    if (c.op == CompareOp::kNeq) continue;
+    if (c.lhs.is_const()) const_set.insert(c.lhs.value());
+    if (c.rhs.is_const()) const_set.insert(c.rhs.value());
+  }
+  NodeSpace space{query.NumVariables(),
+                  std::vector<Value>(const_set.begin(), const_set.end())};
+
+  // Build the constraint digraph; remember strict arcs for the SCC test.
+  Digraph g(space.total());
+  std::vector<std::pair<int, int>> strict_arcs;
+  for (const CompareAtom& c : query.comparisons) {
+    int u = space.NodeOf(c.lhs);
+    int w = space.NodeOf(c.rhs);
+    switch (c.op) {
+      case CompareOp::kLt:
+        g.AddArc(u, w);
+        strict_arcs.push_back({u, w});
+        break;
+      case CompareOp::kLe:
+        g.AddArc(u, w);
+        break;
+      case CompareOp::kEq:
+        g.AddArc(u, w);
+        g.AddArc(w, u);
+        break;
+      case CompareOp::kNeq:
+        break;
+    }
+  }
+  // Dense order between the constants themselves.
+  for (size_t i = 0; i + 1 < space.constants.size(); ++i) {
+    int u = space.num_vars + static_cast<int>(i);
+    g.AddArc(u, u + 1);
+    strict_arcs.push_back({u, u + 1});
+  }
+
+  SccResult scc = StronglyConnectedComponents(g);
+  for (auto [u, w] : strict_arcs) {
+    if (scc.component[u] == scc.component[w]) {
+      out.consistent = false;
+      return out;  // a strict arc inside an SCC: u < ... < u
+    }
+  }
+
+  // Representative term per SCC: the constant if the component has one
+  // (two constants in one SCC is impossible here: the chain arcs between
+  // distinct constants are strict), else the smallest variable id.
+  std::vector<Term> rep(scc.num_components, Term::Var(-1));
+  std::vector<bool> rep_set(scc.num_components, false);
+  for (int n = space.total() - 1; n >= 0; --n) {
+    int comp = scc.component[n];
+    if (space.IsConstNode(n)) {
+      rep[comp] = Term::Const(space.ConstOf(n));
+      rep_set[comp] = true;
+    } else if (!rep_set[comp] || rep[comp].is_var()) {
+      rep[comp] = Term::Var(n);
+      rep_set[comp] = true;
+    }
+  }
+
+  out.var_mapping.resize(query.NumVariables(), Term::Var(-1));
+  for (int v = 0; v < query.NumVariables(); ++v) {
+    out.var_mapping[v] = rep[scc.component[v]];
+  }
+
+  // Rewrite the query through the mapping.
+  auto subst = [&](const Term& t) -> Term {
+    return t.is_var() ? out.var_mapping[t.var()] : t;
+  };
+  ConjunctiveQuery& rq = out.rewritten;
+  rq.vars = query.vars;
+  for (const Term& t : query.head) rq.head.push_back(subst(t));
+  for (const Atom& a : query.body) {
+    Atom na;
+    na.relation = a.relation;
+    for (const Term& t : a.terms) na.terms.push_back(subst(t));
+    rq.body.push_back(std::move(na));
+  }
+
+  // Rebuild the comparison set on representatives.
+  std::set<std::tuple<int, bool, long long, bool, long long>> seen;
+  auto key = [](CompareOp op, const Term& a, const Term& b) {
+    return std::make_tuple(static_cast<int>(op), a.is_var(),
+                           a.is_var() ? static_cast<long long>(a.var())
+                                      : static_cast<long long>(a.value()),
+                           b.is_var(),
+                           b.is_var() ? static_cast<long long>(b.var())
+                                      : static_cast<long long>(b.value()));
+  };
+  for (const CompareAtom& c : query.comparisons) {
+    Term a = subst(c.lhs);
+    Term b = subst(c.rhs);
+    if (c.op == CompareOp::kEq) continue;  // guaranteed by the collapse
+    if (a.is_const() && b.is_const()) {
+      if (!CompareAtom::Apply(c.op, a.value(), b.value())) {
+        out.consistent = false;
+        return out;
+      }
+      continue;  // trivially true; drop
+    }
+    if (a == b) {
+      if (c.op == CompareOp::kLe) continue;  // x <= x holds
+      out.consistent = false;  // x != x or x < x
+      return out;
+    }
+    if (seen.insert(key(c.op, a, b)).second) {
+      rq.comparisons.push_back({c.op, a, b});
+    }
+  }
+
+  out.consistent = true;
+  return out;
+}
+
+}  // namespace paraquery

@@ -1,0 +1,43 @@
+// Comparison-constraint preprocessing (Section 5, "Comparison Constraints").
+//
+// Given a conjunctive query with < / ≤ atoms, the paper (following Klug)
+// first checks consistency and collapses implied equalities: build the
+// directed constraint graph over variables and constants with an arc u → w
+// for u < w or u ≤ w (and between ordered constants); the system is
+// consistent iff no strongly connected component contains a strict arc, and
+// all members of an SCC are equal and are collapsed. Acyclicity of a
+// comparison query (Theorem 3) is defined on the *collapsed* query.
+#ifndef PARAQUERY_QUERY_COMPARISON_CLOSURE_H_
+#define PARAQUERY_QUERY_COMPARISON_CLOSURE_H_
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "query/conjunctive_query.hpp"
+
+namespace paraquery {
+
+/// Result of collapsing the comparison constraints of a query.
+struct ComparisonClosure {
+  /// False if the constraints are unsatisfiable (an SCC contains a strict
+  /// arc, two distinct constants are forced equal, or a ≠ atom collapses to
+  /// x ≠ x). An inconsistent query has empty answer on every database.
+  bool consistent = false;
+
+  /// The rewritten query: equal variables merged, variables equal to a
+  /// constant substituted, comparisons deduplicated, and the comparison
+  /// graph now acyclic. Only meaningful when `consistent`.
+  ConjunctiveQuery rewritten;
+
+  /// For each original variable: the term it was mapped to in `rewritten`.
+  std::vector<Term> var_mapping;
+};
+
+/// Computes the closure. The input query may contain =, ≠, <, ≤ atoms; the
+/// output contains only ≠, <, ≤ atoms (and is inconsistency-free).
+/// Constants are ordered as integers over a dense order, per the paper.
+Result<ComparisonClosure> CollapseComparisons(const ConjunctiveQuery& query);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_QUERY_COMPARISON_CLOSURE_H_

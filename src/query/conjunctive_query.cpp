@@ -1,0 +1,147 @@
+#include "query/conjunctive_query.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "hypergraph/gyo.hpp"
+
+namespace paraquery {
+
+size_t ConjunctiveQuery::QuerySize() const {
+  size_t q = 1 + head.size();
+  for (const Atom& a : body) q += 1 + a.terms.size();
+  q += 3 * comparisons.size();
+  return q;
+}
+
+std::vector<VarId> ConjunctiveQuery::HeadVariables() const {
+  std::vector<VarId> out;
+  for (const Term& t : head) {
+    if (t.is_var() &&
+        std::find(out.begin(), out.end(), t.var()) == out.end()) {
+      out.push_back(t.var());
+    }
+  }
+  return out;
+}
+
+std::vector<VarId> ConjunctiveQuery::BodyVariables() const {
+  std::vector<VarId> out;
+  for (const Atom& a : body) {
+    for (const Term& t : a.terms) {
+      if (t.is_var() &&
+          std::find(out.begin(), out.end(), t.var()) == out.end()) {
+        out.push_back(t.var());
+      }
+    }
+  }
+  return out;
+}
+
+Hypergraph ConjunctiveQuery::BuildHypergraph() const {
+  Hypergraph h(vars.size());
+  for (const Atom& a : body) h.AddEdge(a.Variables());
+  return h;
+}
+
+bool ConjunctiveQuery::IsAcyclic() const {
+  if (body.empty()) return true;
+  return paraquery::IsAcyclic(BuildHypergraph());
+}
+
+bool ConjunctiveQuery::HasOnlyInequalities() const {
+  for (const CompareAtom& c : comparisons) {
+    if (c.op != CompareOp::kNeq) return false;
+  }
+  return true;
+}
+
+bool ConjunctiveQuery::HasOrderComparisons() const {
+  for (const CompareAtom& c : comparisons) {
+    if (c.op == CompareOp::kLt || c.op == CompareOp::kLe) return true;
+  }
+  return false;
+}
+
+Status ConjunctiveQuery::Validate() const {
+  std::set<VarId> body_vars;
+  auto check_var = [this](const Term& t) -> Status {
+    if (t.is_var() && (t.var() < 0 || t.var() >= vars.size())) {
+      return Status::InvalidArgument("variable id out of range");
+    }
+    return Status::OK();
+  };
+  for (const Atom& a : body) {
+    if (a.relation.empty()) {
+      return Status::InvalidArgument("atom with empty relation name");
+    }
+    for (const Term& t : a.terms) {
+      PQ_RETURN_NOT_OK(check_var(t));
+      if (t.is_var()) body_vars.insert(t.var());
+    }
+  }
+  for (const Term& t : head) {
+    PQ_RETURN_NOT_OK(check_var(t));
+    if (t.is_var() && body_vars.count(t.var()) == 0) {
+      return Status::InvalidArgument(internal::StrCat(
+          "unsafe query: head variable '", vars.name(t.var()),
+          "' does not occur in any relational atom"));
+    }
+  }
+  for (const CompareAtom& c : comparisons) {
+    PQ_RETURN_NOT_OK(check_var(c.lhs));
+    PQ_RETURN_NOT_OK(check_var(c.rhs));
+    for (const Term* t : {&c.lhs, &c.rhs}) {
+      if (t->is_var() && body_vars.count(t->var()) == 0) {
+        return Status::InvalidArgument(internal::StrCat(
+            "unsafe query: comparison variable '", vars.name(t->var()),
+            "' does not occur in any relational atom"));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+ConjunctiveQuery ConjunctiveQuery::BindHead(
+    const std::vector<Value>& tuple) const {
+  PQ_CHECK(tuple.size() == head.size(),
+           "BindHead: tuple arity does not match head arity");
+  // Map head variables to the constants of `tuple`.
+  std::vector<bool> bound(vars.size(), false);
+  std::vector<Value> binding(vars.size(), 0);
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (head[i].is_var()) {
+      bound[head[i].var()] = true;
+      binding[head[i].var()] = tuple[i];
+    }
+    // A constant head term must match the tuple; if it cannot, the caller
+    // notices via an atom that can never be satisfied — encode by leaving it
+    // to the evaluator (we add a contradiction below).
+  }
+  ConjunctiveQuery out;
+  out.vars = vars;
+  auto subst = [&](const Term& t) {
+    if (t.is_var() && bound[t.var()]) return Term::Const(binding[t.var()]);
+    return t;
+  };
+  for (const Atom& a : body) {
+    Atom na;
+    na.relation = a.relation;
+    for (const Term& t : a.terms) na.terms.push_back(subst(t));
+    out.body.push_back(std::move(na));
+  }
+  for (const CompareAtom& c : comparisons) {
+    out.comparisons.push_back({c.op, subst(c.lhs), subst(c.rhs)});
+  }
+  // Constant head positions that disagree with `tuple` make Q(t) false;
+  // encode as an always-false comparison.
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (head[i].is_const() && head[i].value() != tuple[i]) {
+      out.comparisons.push_back(
+          {CompareOp::kNeq, Term::Const(0), Term::Const(0)});
+    }
+  }
+  return out;
+}
+
+}  // namespace paraquery

@@ -1,0 +1,233 @@
+#include "query/first_order_query.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace paraquery {
+
+namespace {
+std::vector<VarId> SortedUnique(std::vector<VarId> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+}  // namespace
+
+int FirstOrderQuery::AddAtomNode(Atom atom) {
+  atoms.push_back(std::move(atom));
+  Node n;
+  n.kind = NodeKind::kAtom;
+  n.atom = static_cast<int>(atoms.size()) - 1;
+  nodes.push_back(std::move(n));
+  return static_cast<int>(nodes.size()) - 1;
+}
+
+int FirstOrderQuery::AddCompareNode(CompareAtom compare) {
+  Node n;
+  n.kind = NodeKind::kCompare;
+  n.compare = compare;
+  nodes.push_back(std::move(n));
+  return static_cast<int>(nodes.size()) - 1;
+}
+
+int FirstOrderQuery::AddAnd(std::vector<int> children) {
+  PQ_CHECK(!children.empty(), "AND requires children");
+  Node n;
+  n.kind = NodeKind::kAnd;
+  n.children = std::move(children);
+  nodes.push_back(std::move(n));
+  return static_cast<int>(nodes.size()) - 1;
+}
+
+int FirstOrderQuery::AddOr(std::vector<int> children) {
+  PQ_CHECK(!children.empty(), "OR requires children");
+  Node n;
+  n.kind = NodeKind::kOr;
+  n.children = std::move(children);
+  nodes.push_back(std::move(n));
+  return static_cast<int>(nodes.size()) - 1;
+}
+
+int FirstOrderQuery::AddNot(int child) {
+  Node n;
+  n.kind = NodeKind::kNot;
+  n.children = {child};
+  nodes.push_back(std::move(n));
+  return static_cast<int>(nodes.size()) - 1;
+}
+
+int FirstOrderQuery::AddExists(std::vector<VarId> bound, int child) {
+  PQ_CHECK(!bound.empty(), "EXISTS requires bound variables");
+  Node n;
+  n.kind = NodeKind::kExists;
+  n.bound = std::move(bound);
+  n.children = {child};
+  nodes.push_back(std::move(n));
+  return static_cast<int>(nodes.size()) - 1;
+}
+
+int FirstOrderQuery::AddForall(std::vector<VarId> bound, int child) {
+  PQ_CHECK(!bound.empty(), "FORALL requires bound variables");
+  Node n;
+  n.kind = NodeKind::kForall;
+  n.bound = std::move(bound);
+  n.children = {child};
+  nodes.push_back(std::move(n));
+  return static_cast<int>(nodes.size()) - 1;
+}
+
+size_t FirstOrderQuery::QuerySize() const {
+  size_t q = 1 + head.size();
+  for (const Node& n : nodes) {
+    q += 1 + n.bound.size();
+    if (n.kind == NodeKind::kAtom) q += atoms[n.atom].terms.size();
+    if (n.kind == NodeKind::kCompare) q += 2;
+  }
+  return q;
+}
+
+std::vector<VarId> FirstOrderQuery::FreeVariables(int n) const {
+  // Memoized over node ids: the AST is a DAG (the paper's θ_{2t} chain shares
+  // each θ_{2i-2} subformula), so plain recursion could revisit nodes.
+  std::vector<std::vector<VarId>> memo(nodes.size());
+  std::vector<char> done(nodes.size(), 0);
+  auto compute = [&](auto&& self, int id) -> const std::vector<VarId>& {
+    if (done[id]) return memo[id];
+    const Node& node = nodes[id];
+    std::vector<VarId> out;
+    switch (node.kind) {
+      case NodeKind::kAtom:
+        out = atoms[node.atom].Variables();
+        break;
+      case NodeKind::kCompare:
+        if (node.compare.lhs.is_var()) out.push_back(node.compare.lhs.var());
+        if (node.compare.rhs.is_var()) out.push_back(node.compare.rhs.var());
+        break;
+      case NodeKind::kAnd:
+      case NodeKind::kOr:
+        for (int c : node.children) {
+          const auto& sub = self(self, c);
+          out.insert(out.end(), sub.begin(), sub.end());
+        }
+        break;
+      case NodeKind::kNot:
+        out = self(self, node.children[0]);
+        break;
+      case NodeKind::kExists:
+      case NodeKind::kForall: {
+        const auto& sub = self(self, node.children[0]);
+        for (VarId v : sub) {
+          if (std::find(node.bound.begin(), node.bound.end(), v) ==
+              node.bound.end()) {
+            out.push_back(v);
+          }
+        }
+        break;
+      }
+    }
+    memo[id] = SortedUnique(std::move(out));
+    done[id] = 1;
+    return memo[id];
+  };
+  return compute(compute, n);
+}
+
+std::vector<VarId> FirstOrderQuery::FreeVariables() const {
+  PQ_CHECK(root >= 0, "FreeVariables: root not set");
+  return FreeVariables(root);
+}
+
+Status FirstOrderQuery::Validate() const {
+  if (root < 0 || root >= static_cast<int>(nodes.size())) {
+    return Status::InvalidArgument("first-order query: root not set");
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    for (int c : n.children) {
+      if (c < 0 || c >= static_cast<int>(nodes.size())) {
+        return Status::InvalidArgument("first-order query: bad child id");
+      }
+    }
+    switch (n.kind) {
+      case NodeKind::kAtom:
+        if (n.atom < 0 || n.atom >= static_cast<int>(atoms.size())) {
+          return Status::InvalidArgument("first-order query: bad atom index");
+        }
+        break;
+      case NodeKind::kNot:
+        if (n.children.size() != 1) {
+          return Status::InvalidArgument("NOT requires exactly one child");
+        }
+        break;
+      case NodeKind::kExists:
+      case NodeKind::kForall:
+        if (n.children.size() != 1 || n.bound.empty()) {
+          return Status::InvalidArgument(
+              "quantifier requires one child and bound variables");
+        }
+        break;
+      case NodeKind::kAnd:
+      case NodeKind::kOr:
+        if (n.children.empty()) {
+          return Status::InvalidArgument("AND/OR requires children");
+        }
+        break;
+      case NodeKind::kCompare:
+        break;
+    }
+    for (VarId v : n.bound) {
+      if (v < 0 || v >= vars.size()) {
+        return Status::InvalidArgument("bound variable id out of range");
+      }
+    }
+  }
+  // DAG check: DFS from root detecting cycles.
+  std::vector<int> state(nodes.size(), 0);  // 0=unseen, 1=open, 2=done
+  std::vector<std::pair<int, size_t>> stack = {{root, 0}};
+  state[root] = 1;
+  while (!stack.empty()) {
+    auto& [n, child] = stack.back();
+    if (child < nodes[n].children.size()) {
+      int c = nodes[n].children[child++];
+      if (state[c] == 1) {
+        return Status::InvalidArgument("first-order query AST has a cycle");
+      }
+      if (state[c] == 0) {
+        state[c] = 1;
+        stack.push_back({c, 0});
+      }
+    } else {
+      state[n] = 2;
+      stack.pop_back();
+    }
+  }
+  // Head covers the free variables of the root.
+  std::set<VarId> head_vars;
+  for (const Term& t : head) {
+    if (t.is_var()) {
+      if (t.var() < 0 || t.var() >= vars.size()) {
+        return Status::InvalidArgument("head variable id out of range");
+      }
+      head_vars.insert(t.var());
+    }
+  }
+  for (VarId v : FreeVariables(root)) {
+    if (head_vars.count(v) == 0) {
+      return Status::InvalidArgument(internal::StrCat(
+          "free variable '", vars.name(v), "' missing from the head"));
+    }
+  }
+  return Status::OK();
+}
+
+bool FirstOrderQuery::IsPositive() const {
+  for (const Node& n : nodes) {
+    if (n.kind == NodeKind::kNot || n.kind == NodeKind::kForall ||
+        n.kind == NodeKind::kCompare) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace paraquery

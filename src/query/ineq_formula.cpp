@@ -1,0 +1,207 @@
+#include "query/ineq_formula.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace paraquery {
+
+int IneqFormula::AddAtom(CompareAtom atom) {
+  PQ_CHECK(atom.op == CompareOp::kNeq, "IneqFormula accepts only != atoms");
+  Node n;
+  n.kind = NodeKind::kAtom;
+  n.atom = atom;
+  nodes.push_back(std::move(n));
+  return static_cast<int>(nodes.size()) - 1;
+}
+
+int IneqFormula::AddAnd(std::vector<int> children) {
+  PQ_CHECK(!children.empty(), "AND requires children");
+  Node n;
+  n.kind = NodeKind::kAnd;
+  n.children = std::move(children);
+  nodes.push_back(std::move(n));
+  return static_cast<int>(nodes.size()) - 1;
+}
+
+int IneqFormula::AddOr(std::vector<int> children) {
+  PQ_CHECK(!children.empty(), "OR requires children");
+  Node n;
+  n.kind = NodeKind::kOr;
+  n.children = std::move(children);
+  nodes.push_back(std::move(n));
+  return static_cast<int>(nodes.size()) - 1;
+}
+
+std::vector<VarId> IneqFormula::Variables() const {
+  std::set<VarId> vars;
+  for (const Node& n : nodes) {
+    if (n.kind != NodeKind::kAtom) continue;
+    if (n.atom.lhs.is_var()) vars.insert(n.atom.lhs.var());
+    if (n.atom.rhs.is_var()) vars.insert(n.atom.rhs.var());
+  }
+  return std::vector<VarId>(vars.begin(), vars.end());
+}
+
+std::vector<Value> IneqFormula::Constants() const {
+  std::set<Value> consts;
+  for (const Node& n : nodes) {
+    if (n.kind != NodeKind::kAtom) continue;
+    if (n.atom.lhs.is_const()) consts.insert(n.atom.lhs.value());
+    if (n.atom.rhs.is_const()) consts.insert(n.atom.rhs.value());
+  }
+  return std::vector<Value>(consts.begin(), consts.end());
+}
+
+int IneqFormula::HashRange() const {
+  return static_cast<int>(Variables().size() + Constants().size());
+}
+
+bool IneqFormula::Evaluate(
+    const std::function<Value(const Term&)>& value_of) const {
+  PQ_CHECK(root >= 0, "IneqFormula::Evaluate: root not set");
+  auto eval = [&](auto&& self, int id) -> bool {
+    const Node& n = nodes[id];
+    switch (n.kind) {
+      case NodeKind::kAtom:
+        return value_of(n.atom.lhs) != value_of(n.atom.rhs);
+      case NodeKind::kAnd:
+        for (int c : n.children) {
+          if (!self(self, c)) return false;
+        }
+        return true;
+      case NodeKind::kOr:
+        for (int c : n.children) {
+          if (self(self, c)) return true;
+        }
+        return false;
+    }
+    return false;
+  };
+  return eval(eval, root);
+}
+
+Result<std::vector<std::vector<CompareAtom>>> IneqFormula::ToDnf(
+    uint64_t max_disjuncts) const {
+  PQ_RETURN_NOT_OK(Validate());
+  auto expand = [&](auto&& self,
+                    int id) -> Result<std::vector<std::vector<CompareAtom>>> {
+    const Node& n = nodes[id];
+    switch (n.kind) {
+      case NodeKind::kAtom:
+        return std::vector<std::vector<CompareAtom>>{{n.atom}};
+      case NodeKind::kOr: {
+        std::vector<std::vector<CompareAtom>> out;
+        for (int c : n.children) {
+          PQ_ASSIGN_OR_RETURN(auto sub, self(self, c));
+          out.insert(out.end(), sub.begin(), sub.end());
+          if (out.size() > max_disjuncts) {
+            return Status::ResourceExhausted("DNF expansion too large");
+          }
+        }
+        return out;
+      }
+      case NodeKind::kAnd: {
+        std::vector<std::vector<CompareAtom>> acc = {{}};
+        for (int c : n.children) {
+          PQ_ASSIGN_OR_RETURN(auto sub, self(self, c));
+          if (acc.size() * sub.size() > max_disjuncts) {
+            return Status::ResourceExhausted("DNF expansion too large");
+          }
+          std::vector<std::vector<CompareAtom>> next;
+          next.reserve(acc.size() * sub.size());
+          for (const auto& a : acc) {
+            for (const auto& b : sub) {
+              auto merged = a;
+              merged.insert(merged.end(), b.begin(), b.end());
+              next.push_back(std::move(merged));
+            }
+          }
+          acc = std::move(next);
+        }
+        return acc;
+      }
+    }
+    return Status::Internal("unreachable");
+  };
+  return expand(expand, root);
+}
+
+Status IneqFormula::Validate() const {
+  if (root < 0 || root >= static_cast<int>(nodes.size())) {
+    return Status::InvalidArgument("inequality formula: root not set");
+  }
+  for (const Node& n : nodes) {
+    if (n.kind == NodeKind::kAtom) {
+      if (n.atom.op != CompareOp::kNeq) {
+        return Status::InvalidArgument("inequality formula: non-!= atom");
+      }
+    } else if (n.children.empty()) {
+      return Status::InvalidArgument("inequality formula: empty connective");
+    }
+    for (int c : n.children) {
+      if (c < 0 || c >= static_cast<int>(nodes.size())) {
+        return Status::InvalidArgument("inequality formula: bad child id");
+      }
+    }
+  }
+  // Cycle check via DFS.
+  std::vector<int> state(nodes.size(), 0);
+  std::vector<std::pair<int, size_t>> stack = {{root, 0}};
+  state[root] = 1;
+  while (!stack.empty()) {
+    auto& [id, child] = stack.back();
+    if (child < nodes[id].children.size()) {
+      int c = nodes[id].children[child++];
+      if (state[c] == 1) {
+        return Status::InvalidArgument("inequality formula: cyclic AST");
+      }
+      if (state[c] == 0) {
+        state[c] = 1;
+        stack.push_back({c, 0});
+      }
+    } else {
+      state[id] = 2;
+      stack.pop_back();
+    }
+  }
+  return Status::OK();
+}
+
+std::string IneqFormula::ToString(const VarTable& vars) const {
+  if (root < 0) return "<empty>";
+  std::ostringstream oss;
+  auto print = [&](auto&& self, int id) -> void {
+    const Node& n = nodes[id];
+    auto term = [&](const Term& t) {
+      if (t.is_var()) {
+        oss << (t.var() >= 0 && t.var() < vars.size() ? vars.name(t.var())
+                                                      : "?");
+      } else {
+        oss << t.value();
+      }
+    };
+    switch (n.kind) {
+      case NodeKind::kAtom:
+        term(n.atom.lhs);
+        oss << " != ";
+        term(n.atom.rhs);
+        break;
+      case NodeKind::kAnd:
+      case NodeKind::kOr: {
+        const char* op = n.kind == NodeKind::kAnd ? " and " : " or ";
+        oss << "(";
+        for (size_t i = 0; i < n.children.size(); ++i) {
+          if (i > 0) oss << op;
+          self(self, n.children[i]);
+        }
+        oss << ")";
+        break;
+      }
+    }
+  };
+  print(print, root);
+  return oss.str();
+}
+
+}  // namespace paraquery

@@ -1,0 +1,64 @@
+// Boolean combinations of inequality atoms — the parameter-q extension the
+// paper sketches after Theorem 2: "instead of a conjunction of inequalities
+// in the body, we have an arbitrary Boolean formula φ built from inequality
+// atoms using ∨ and ∧". The hash range becomes k = #variables + #constants
+// of φ, and the selection is applied at the root of the join tree (it cannot
+// be pushed down past an ∨).
+#ifndef PARAQUERY_QUERY_INEQ_FORMULA_H_
+#define PARAQUERY_QUERY_INEQ_FORMULA_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "query/term.hpp"
+
+namespace paraquery {
+
+/// An ∧/∨ tree over ≠ atoms.
+class IneqFormula {
+ public:
+  enum class NodeKind { kAtom, kAnd, kOr };
+
+  struct Node {
+    NodeKind kind = NodeKind::kAtom;
+    CompareAtom atom;            // kAtom (op must be kNeq)
+    std::vector<int> children;   // kAnd / kOr, nonempty
+  };
+
+  std::vector<Node> nodes;
+  int root = -1;
+
+  int AddAtom(CompareAtom atom);
+  int AddAnd(std::vector<int> children);
+  int AddOr(std::vector<int> children);
+
+  bool empty() const { return root < 0; }
+
+  /// Distinct variables / constants appearing in the formula (sorted).
+  std::vector<VarId> Variables() const;
+  std::vector<Value> Constants() const;
+
+  /// The parameter of the extension: #variables + #constants.
+  int HashRange() const;
+
+  /// Evaluates the formula; `value_of` resolves a term to a value (either
+  /// the real value of a variable or its color — the caller decides).
+  bool Evaluate(const std::function<Value(const Term&)>& value_of) const;
+
+  /// Expands to DNF: each disjunct is a conjunction of ≠ atoms (used as
+  /// ground truth in tests; exponential in the formula size). Fails with
+  /// ResourceExhausted beyond `max_disjuncts`.
+  Result<std::vector<std::vector<CompareAtom>>> ToDnf(
+      uint64_t max_disjuncts = 100'000) const;
+
+  /// Structural checks: root set, ≠ atoms only, children in range, acyclic.
+  Status Validate() const;
+
+  std::string ToString(const VarTable& vars) const;
+};
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_QUERY_INEQ_FORMULA_H_

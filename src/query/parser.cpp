@@ -1,0 +1,477 @@
+#include "query/parser.hpp"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace paraquery {
+
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kInt,
+  kString,
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kRuleArrow,  // :-
+  kDefArrow,   // :=
+  kEq,         // =
+  kNeq,        // !=
+  kLt,         // <
+  kLe,         // <=
+  kAtGoal,     // @goal
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int64_t number = 0;
+  size_t pos = 0;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '\'';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    while (i < text_.size()) {
+      char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '%' || c == '#') {
+        while (i < text_.size() && text_[i] != '\n') ++i;
+        continue;
+      }
+      size_t start = i;
+      if (IsIdentStart(c)) {
+        while (i < text_.size() && IsIdentChar(text_[i])) ++i;
+        out.push_back({TokKind::kIdent,
+                       std::string(text_.substr(start, i - start)), 0, start});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[i + 1])))) {
+        ++i;
+        while (i < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[i]))) {
+          ++i;
+        }
+        Token t{TokKind::kInt, std::string(text_.substr(start, i - start)), 0,
+                start};
+        t.number = std::stoll(t.text);
+        out.push_back(std::move(t));
+        continue;
+      }
+      switch (c) {
+        case '\'': {
+          ++i;
+          size_t body = i;
+          while (i < text_.size() && text_[i] != '\'') ++i;
+          if (i == text_.size()) {
+            return Status::InvalidArgument(
+                Err(start, "unterminated string literal"));
+          }
+          out.push_back({TokKind::kString,
+                         std::string(text_.substr(body, i - body)), 0, start});
+          ++i;
+          break;
+        }
+        case '(':
+          out.push_back({TokKind::kLParen, "(", 0, start});
+          ++i;
+          break;
+        case ')':
+          out.push_back({TokKind::kRParen, ")", 0, start});
+          ++i;
+          break;
+        case ',':
+          out.push_back({TokKind::kComma, ",", 0, start});
+          ++i;
+          break;
+        case '.':
+          out.push_back({TokKind::kDot, ".", 0, start});
+          ++i;
+          break;
+        case ':':
+          if (i + 1 < text_.size() && text_[i + 1] == '-') {
+            out.push_back({TokKind::kRuleArrow, ":-", 0, start});
+            i += 2;
+          } else if (i + 1 < text_.size() && text_[i + 1] == '=') {
+            out.push_back({TokKind::kDefArrow, ":=", 0, start});
+            i += 2;
+          } else {
+            return Status::InvalidArgument(Err(start, "expected ':-' or ':='"));
+          }
+          break;
+        case '=':
+          out.push_back({TokKind::kEq, "=", 0, start});
+          ++i;
+          break;
+        case '!':
+          if (i + 1 < text_.size() && text_[i + 1] == '=') {
+            out.push_back({TokKind::kNeq, "!=", 0, start});
+            i += 2;
+          } else {
+            return Status::InvalidArgument(Err(start, "expected '!='"));
+          }
+          break;
+        case '<':
+          if (i + 1 < text_.size() && text_[i + 1] == '=') {
+            out.push_back({TokKind::kLe, "<=", 0, start});
+            i += 2;
+          } else {
+            out.push_back({TokKind::kLt, "<", 0, start});
+            ++i;
+          }
+          break;
+        case '@': {
+          ++i;
+          size_t ws = i;
+          while (i < text_.size() && IsIdentChar(text_[i])) ++i;
+          std::string word(text_.substr(ws, i - ws));
+          if (word != "goal") {
+            return Status::InvalidArgument(
+                Err(start, "unknown directive '@" + word + "'"));
+          }
+          out.push_back({TokKind::kAtGoal, "@goal", 0, start});
+          break;
+        }
+        default:
+          return Status::InvalidArgument(
+              Err(start, std::string("unexpected character '") + c + "'"));
+      }
+    }
+    out.push_back({TokKind::kEnd, "", 0, text_.size()});
+    return out;
+  }
+
+ private:
+  std::string Err(size_t pos, const std::string& msg) const {
+    return internal::StrCat("parse error at offset ", pos, ": ", msg);
+  }
+  std::string_view text_;
+};
+
+bool IsKeyword(const std::string& s) {
+  return s == "and" || s == "or" || s == "not" || s == "exists" ||
+         s == "forall";
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Dictionary* dict)
+      : tokens_(std::move(tokens)), dict_(dict) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool At(TokKind k) const { return Peek().kind == k; }
+  bool Accept(TokKind k) {
+    if (At(k)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokKind k, const char* what) {
+    if (!Accept(k)) {
+      return Status::InvalidArgument(internal::StrCat(
+          "parse error at offset ", Peek().pos, ": expected ", what,
+          ", found '", Peek().text, "'"));
+    }
+    return Status::OK();
+  }
+
+  // term := IDENT | INT | STRING — variables interned into `vars`.
+  Result<Term> ParseTerm(VarTable* vars) {
+    if (At(TokKind::kIdent)) {
+      const Token& t = Next();
+      if (IsKeyword(t.text)) {
+        return Status::InvalidArgument(internal::StrCat(
+            "parse error at offset ", t.pos, ": keyword '", t.text,
+            "' cannot be a term"));
+      }
+      return Term::Var(vars->Intern(t.text));
+    }
+    if (At(TokKind::kInt)) {
+      return Term::Const(Next().number);
+    }
+    if (At(TokKind::kString)) {
+      const Token& t = Next();
+      if (dict_ == nullptr) {
+        return Status::InvalidArgument(internal::StrCat(
+            "parse error at offset ", t.pos,
+            ": string constant requires a Dictionary"));
+      }
+      return Term::Const(dict_->Intern(t.text));
+    }
+    return Status::InvalidArgument(internal::StrCat(
+        "parse error at offset ", Peek().pos, ": expected a term, found '",
+        Peek().text, "'"));
+  }
+
+  // atom := IDENT '(' [term (',' term)*] ')'
+  Result<Atom> ParseAtom(VarTable* vars) {
+    Atom atom;
+    if (!At(TokKind::kIdent)) {
+      return Status::InvalidArgument(internal::StrCat(
+          "parse error at offset ", Peek().pos, ": expected relation name"));
+    }
+    atom.relation = Next().text;
+    PQ_RETURN_NOT_OK(Expect(TokKind::kLParen, "'('"));
+    if (!Accept(TokKind::kRParen)) {
+      for (;;) {
+        PQ_ASSIGN_OR_RETURN(Term t, ParseTerm(vars));
+        atom.terms.push_back(t);
+        if (Accept(TokKind::kRParen)) break;
+        PQ_RETURN_NOT_OK(Expect(TokKind::kComma, "','"));
+      }
+    }
+    return atom;
+  }
+
+  // Comparison operator lookahead after a term.
+  static bool IsCompare(TokKind k) {
+    return k == TokKind::kEq || k == TokKind::kNeq || k == TokKind::kLt ||
+           k == TokKind::kLe;
+  }
+  static CompareOp OpOf(TokKind k) {
+    switch (k) {
+      case TokKind::kEq:
+        return CompareOp::kEq;
+      case TokKind::kNeq:
+        return CompareOp::kNeq;
+      case TokKind::kLt:
+        return CompareOp::kLt;
+      default:
+        return CompareOp::kLe;
+    }
+  }
+
+  // body item: atom or comparison (term OP term).
+  // Returns true if an atom was parsed, false for a comparison.
+  Result<bool> ParseBodyItem(VarTable* vars, Atom* atom, CompareAtom* cmp) {
+    // Atom iff IDENT followed by '('.
+    if (At(TokKind::kIdent) && tokens_[pos_ + 1].kind == TokKind::kLParen) {
+      PQ_ASSIGN_OR_RETURN(*atom, ParseAtom(vars));
+      return true;
+    }
+    PQ_ASSIGN_OR_RETURN(Term lhs, ParseTerm(vars));
+    if (!IsCompare(Peek().kind)) {
+      return Status::InvalidArgument(internal::StrCat(
+          "parse error at offset ", Peek().pos,
+          ": expected comparison operator"));
+    }
+    CompareOp op = OpOf(Next().kind);
+    PQ_ASSIGN_OR_RETURN(Term rhs, ParseTerm(vars));
+    *cmp = {op, lhs, rhs};
+    return false;
+  }
+
+  // rule := atom ':-' bodyitem (',' bodyitem)* '.'  (body may be empty)
+  Result<ConjunctiveQuery> ParseRule() {
+    ConjunctiveQuery q;
+    PQ_ASSIGN_OR_RETURN(Atom head, ParseAtom(&q.vars));
+    q.head = head.terms;
+    head_relation_ = head.relation;
+    PQ_RETURN_NOT_OK(Expect(TokKind::kRuleArrow, "':-'"));
+    if (!Accept(TokKind::kDot)) {
+      for (;;) {
+        Atom atom;
+        CompareAtom cmp;
+        PQ_ASSIGN_OR_RETURN(bool is_atom, ParseBodyItem(&q.vars, &atom, &cmp));
+        if (is_atom) {
+          q.body.push_back(std::move(atom));
+        } else {
+          q.comparisons.push_back(cmp);
+        }
+        if (Accept(TokKind::kDot)) break;
+        PQ_RETURN_NOT_OK(Expect(TokKind::kComma, "','"));
+      }
+    }
+    return q;
+  }
+
+  // -- first-order formulas --
+  // or := and ('or' and)* ; and := unary ('and' unary)* ;
+  // unary := 'not' unary | ('exists'|'forall') varlist '.' or
+  //        | '(' or ')' | atom | comparison
+  Result<int> ParseOr(FirstOrderQuery* q) {
+    PQ_ASSIGN_OR_RETURN(int first, ParseAnd(q));
+    std::vector<int> children = {first};
+    while (AtKeyword("or")) {
+      Next();
+      PQ_ASSIGN_OR_RETURN(int next, ParseAnd(q));
+      children.push_back(next);
+    }
+    if (children.size() == 1) return children[0];
+    return q->AddOr(std::move(children));
+  }
+
+  Result<int> ParseAnd(FirstOrderQuery* q) {
+    PQ_ASSIGN_OR_RETURN(int first, ParseUnary(q));
+    std::vector<int> children = {first};
+    while (AtKeyword("and")) {
+      Next();
+      PQ_ASSIGN_OR_RETURN(int next, ParseUnary(q));
+      children.push_back(next);
+    }
+    if (children.size() == 1) return children[0];
+    return q->AddAnd(std::move(children));
+  }
+
+  bool AtKeyword(const char* kw) const {
+    return At(TokKind::kIdent) && Peek().text == kw;
+  }
+
+  Result<int> ParseUnary(FirstOrderQuery* q) {
+    if (AtKeyword("not")) {
+      Next();
+      PQ_ASSIGN_OR_RETURN(int child, ParseUnary(q));
+      return q->AddNot(child);
+    }
+    if (AtKeyword("exists") || AtKeyword("forall")) {
+      bool is_exists = Peek().text == "exists";
+      Next();
+      std::vector<VarId> bound;
+      for (;;) {
+        if (!At(TokKind::kIdent) || IsKeyword(Peek().text)) {
+          return Status::InvalidArgument(internal::StrCat(
+              "parse error at offset ", Peek().pos,
+              ": expected quantified variable name"));
+        }
+        bound.push_back(q->vars.Intern(Next().text));
+        if (!Accept(TokKind::kComma)) break;
+      }
+      PQ_RETURN_NOT_OK(Expect(TokKind::kDot, "'.' after quantifier"));
+      PQ_ASSIGN_OR_RETURN(int child, ParseOr(q));
+      return is_exists ? q->AddExists(std::move(bound), child)
+                       : q->AddForall(std::move(bound), child);
+    }
+    if (Accept(TokKind::kLParen)) {
+      PQ_ASSIGN_OR_RETURN(int inner, ParseOr(q));
+      PQ_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+      return inner;
+    }
+    // Atom or comparison.
+    if (At(TokKind::kIdent) && !IsKeyword(Peek().text) &&
+        tokens_[pos_ + 1].kind == TokKind::kLParen) {
+      PQ_ASSIGN_OR_RETURN(Atom atom, ParseAtom(&q->vars));
+      return q->AddAtomNode(std::move(atom));
+    }
+    PQ_ASSIGN_OR_RETURN(Term lhs, ParseTerm(&q->vars));
+    if (!IsCompare(Peek().kind)) {
+      return Status::InvalidArgument(internal::StrCat(
+          "parse error at offset ", Peek().pos,
+          ": expected comparison operator"));
+    }
+    CompareOp op = OpOf(Next().kind);
+    PQ_ASSIGN_OR_RETURN(Term rhs, ParseTerm(&q->vars));
+    return q->AddCompareNode({op, lhs, rhs});
+  }
+
+  Result<FirstOrderQuery> ParseFoQuery() {
+    FirstOrderQuery q;
+    PQ_ASSIGN_OR_RETURN(Atom head, ParseAtom(&q.vars));
+    q.head = head.terms;
+    PQ_RETURN_NOT_OK(Expect(TokKind::kDefArrow, "':='"));
+    PQ_ASSIGN_OR_RETURN(q.root, ParseOr(&q));
+    PQ_RETURN_NOT_OK(Expect(TokKind::kDot, "'.'"));
+    PQ_RETURN_NOT_OK(Expect(TokKind::kEnd, "end of input"));
+    PQ_RETURN_NOT_OK(q.Validate());
+    return q;
+  }
+
+  const std::string& head_relation() const { return head_relation_; }
+  bool AtEnd() const { return At(TokKind::kEnd); }
+
+  Result<std::string> ParseGoalDirective() {
+    PQ_RETURN_NOT_OK(Expect(TokKind::kAtGoal, "'@goal'"));
+    if (!At(TokKind::kIdent)) {
+      return Status::InvalidArgument("expected relation name after @goal");
+    }
+    std::string goal = Next().text;
+    PQ_RETURN_NOT_OK(Expect(TokKind::kDot, "'.'"));
+    return goal;
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  Dictionary* dict_;
+  size_t pos_ = 0;
+  std::string head_relation_;
+};
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseConjunctive(std::string_view text,
+                                          Dictionary* dict) {
+  PQ_ASSIGN_OR_RETURN(auto tokens, Lexer(text).Tokenize());
+  Parser p(std::move(tokens), dict);
+  PQ_ASSIGN_OR_RETURN(ConjunctiveQuery q, p.ParseRule());
+  if (!p.AtEnd()) {
+    return Status::InvalidArgument(
+        "trailing input after rule (use ParseDatalog for programs)");
+  }
+  PQ_RETURN_NOT_OK(q.Validate());
+  return q;
+}
+
+Result<DatalogProgram> ParseDatalog(std::string_view text, Dictionary* dict) {
+  PQ_ASSIGN_OR_RETURN(auto tokens, Lexer(text).Tokenize());
+  Parser p(std::move(tokens), dict);
+  DatalogProgram program;
+  bool goal_set = false;
+  while (!p.AtEnd()) {
+    if (p.Peek().kind == TokKind::kAtGoal) {
+      PQ_ASSIGN_OR_RETURN(program.goal, p.ParseGoalDirective());
+      goal_set = true;
+      continue;
+    }
+    PQ_ASSIGN_OR_RETURN(ConjunctiveQuery cq, p.ParseRule());
+    if (!cq.comparisons.empty()) {
+      return Status::Unimplemented(
+          "comparison atoms are not supported in Datalog rules");
+    }
+    DatalogRule rule;
+    rule.head.relation = p.head_relation();
+    rule.head.terms = cq.head;
+    rule.body = std::move(cq.body);
+    rule.vars = std::move(cq.vars);
+    if (!goal_set && program.rules.empty()) {
+      program.goal = rule.head.relation;
+    }
+    program.rules.push_back(std::move(rule));
+  }
+  PQ_RETURN_NOT_OK(program.Validate());
+  return program;
+}
+
+Result<FirstOrderQuery> ParseFirstOrder(std::string_view text,
+                                        Dictionary* dict) {
+  PQ_ASSIGN_OR_RETURN(auto tokens, Lexer(text).Tokenize());
+  Parser p(std::move(tokens), dict);
+  return p.ParseFoQuery();
+}
+
+Result<PositiveQuery> ParsePositive(std::string_view text, Dictionary* dict) {
+  PQ_ASSIGN_OR_RETURN(FirstOrderQuery fo, ParseFirstOrder(text, dict));
+  return PositiveQuery::FromFirstOrder(std::move(fo));
+}
+
+}  // namespace paraquery

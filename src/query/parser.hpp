@@ -1,0 +1,50 @@
+// Text syntax for queries.
+//
+// Rule syntax (conjunctive queries, Datalog):
+//     ans(x, y) :- E(x, z), E(z, y), x != y, z < 5.
+//     tc(x, y)  :- E(x, y).
+//     tc(x, y)  :- E(x, z), tc(z, y).
+//     @goal tc.
+//
+// First-order / positive syntax:
+//     q(x) := exists y . (E(x, y) and not forall z . (E(y, z) or z = x)).
+//
+// Identifiers in term position are variables; integers (and 'quoted strings',
+// interned through the supplied Dictionary) are constants. `and`, `or`,
+// `not`, `exists`, `forall` are reserved words. `%` and `#` start comments.
+// Quantifier scope extends as far right as possible; parenthesize to limit.
+#ifndef PARAQUERY_QUERY_PARSER_H_
+#define PARAQUERY_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.hpp"
+#include "query/conjunctive_query.hpp"
+#include "query/datalog.hpp"
+#include "query/first_order_query.hpp"
+#include "query/positive_query.hpp"
+#include "relational/dictionary.hpp"
+
+namespace paraquery {
+
+/// Parses a single rule with optional comparison atoms.
+/// `dict` may be null if the text contains no string constants.
+Result<ConjunctiveQuery> ParseConjunctive(std::string_view text,
+                                          Dictionary* dict = nullptr);
+
+/// Parses a Datalog program (one or more rules plus optional `@goal r.`;
+/// the default goal is the head relation of the first rule).
+Result<DatalogProgram> ParseDatalog(std::string_view text,
+                                    Dictionary* dict = nullptr);
+
+/// Parses `head := formula.` into a first-order query.
+Result<FirstOrderQuery> ParseFirstOrder(std::string_view text,
+                                        Dictionary* dict = nullptr);
+
+/// Parses a first-order text and validates it is positive.
+Result<PositiveQuery> ParsePositive(std::string_view text,
+                                    Dictionary* dict = nullptr);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_QUERY_PARSER_H_

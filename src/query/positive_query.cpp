@@ -1,0 +1,161 @@
+#include "query/positive_query.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace paraquery {
+
+Result<PositiveQuery> PositiveQuery::FromFirstOrder(FirstOrderQuery fo) {
+  PQ_RETURN_NOT_OK(fo.Validate());
+  if (!fo.IsPositive()) {
+    return Status::InvalidArgument(
+        "positive query may not contain NOT, FORALL, or comparison atoms");
+  }
+  PositiveQuery q;
+  q.fo_ = std::move(fo);
+  return q;
+}
+
+namespace {
+
+// A partial disjunct during expansion: a list of atoms with variables
+// already renamed apart into the output variable table.
+using AtomList = std::vector<Atom>;
+
+struct Expander {
+  const FirstOrderQuery& fo;
+  uint64_t max_disjuncts;
+  VarTable out_vars;  // variable table of the expanded CQs
+
+  // Environment: fo VarId -> renamed VarId. Free (head) variables map to
+  // themselves; quantifiers push fresh bindings.
+  std::unordered_map<VarId, VarId> env;
+
+  Status status = Status::OK();
+
+  // Renames the variables of an atom through env. Unbound variables are an
+  // internal error (Validate guarantees free(root) ⊆ head).
+  Atom Rename(const Atom& a) {
+    Atom out;
+    out.relation = a.relation;
+    for (const Term& t : a.terms) {
+      if (t.is_const()) {
+        out.terms.push_back(t);
+        continue;
+      }
+      auto it = env.find(t.var());
+      PQ_CHECK(it != env.end(), "expansion: unbound variable in atom");
+      out.terms.push_back(Term::Var(it->second));
+    }
+    return out;
+  }
+
+  // Returns the disjunct expansion of node `n` (each AtomList is one CQ
+  // body). Resets `status` on resource exhaustion.
+  std::vector<AtomList> Expand(int n) {
+    if (!status.ok()) return {};
+    const auto& node = fo.nodes[n];
+    using Kind = FirstOrderQuery::NodeKind;
+    switch (node.kind) {
+      case Kind::kAtom:
+        return {{Rename(fo.atoms[node.atom])}};
+      case Kind::kOr: {
+        std::vector<AtomList> out;
+        for (int c : node.children) {
+          auto sub = Expand(c);
+          out.insert(out.end(), std::make_move_iterator(sub.begin()),
+                     std::make_move_iterator(sub.end()));
+          if (out.size() > max_disjuncts) {
+            status = Status::ResourceExhausted(
+                "positive query expansion exceeds disjunct limit");
+            return {};
+          }
+        }
+        return out;
+      }
+      case Kind::kAnd: {
+        std::vector<AtomList> acc = {{}};
+        for (int c : node.children) {
+          auto sub = Expand(c);
+          if (!status.ok()) return {};
+          std::vector<AtomList> next;
+          if (acc.size() * sub.size() > max_disjuncts) {
+            status = Status::ResourceExhausted(
+                "positive query expansion exceeds disjunct limit");
+            return {};
+          }
+          next.reserve(acc.size() * sub.size());
+          for (const AtomList& a : acc) {
+            for (const AtomList& b : sub) {
+              AtomList merged = a;
+              merged.insert(merged.end(), b.begin(), b.end());
+              next.push_back(std::move(merged));
+            }
+          }
+          acc = std::move(next);
+        }
+        return acc;
+      }
+      case Kind::kExists: {
+        // Standardize apart: bind each quantified variable to a fresh name.
+        std::vector<std::pair<VarId, bool>> saved;  // (old mapping, had one)
+        std::vector<VarId> old_values;
+        for (VarId v : node.bound) {
+          auto it = env.find(v);
+          saved.push_back({v, it != env.end()});
+          old_values.push_back(it != env.end() ? it->second : -1);
+          env[v] = out_vars.Fresh(fo.vars.name(v));
+        }
+        auto out = Expand(node.children[0]);
+        for (size_t i = 0; i < saved.size(); ++i) {
+          if (saved[i].second) {
+            env[saved[i].first] = old_values[i];
+          } else {
+            env.erase(saved[i].first);
+          }
+        }
+        return out;
+      }
+      case Kind::kCompare:
+      case Kind::kNot:
+      case Kind::kForall:
+        PQ_CHECK(false, "non-positive node in positive query expansion");
+    }
+    return {};
+  }
+};
+
+}  // namespace
+
+Result<std::vector<ConjunctiveQuery>> PositiveQuery::ToUnionOfCqs(
+    uint64_t max_disjuncts) const {
+  Expander ex{fo_, max_disjuncts, {}, {}, Status::OK()};
+  // Free (head) variables keep their names.
+  for (const Term& t : fo_.head) {
+    if (t.is_var()) {
+      ex.env[t.var()] = ex.out_vars.Intern(fo_.vars.name(t.var()));
+    }
+  }
+  auto disjuncts = ex.Expand(fo_.root);
+  PQ_RETURN_NOT_OK(ex.status);
+
+  std::vector<ConjunctiveQuery> out;
+  out.reserve(disjuncts.size());
+  for (AtomList& atoms : disjuncts) {
+    ConjunctiveQuery cq;
+    cq.vars = ex.out_vars;
+    for (const Term& t : fo_.head) {
+      cq.head.push_back(t.is_var() ? Term::Var(ex.env[t.var()]) : t);
+    }
+    cq.body = std::move(atoms);
+    Status safe = cq.Validate();
+    if (!safe.ok()) {
+      return Status::InvalidArgument(internal::StrCat(
+          "positive query has an unsafe disjunct: ", safe.message()));
+    }
+    out.push_back(std::move(cq));
+  }
+  return out;
+}
+
+}  // namespace paraquery

@@ -1,0 +1,47 @@
+// Positive queries: first-order queries restricted to atoms, ∧, ∨, ∃.
+// Theorem 1 classifies them W[1]-complete under parameter q (via the
+// exponential expansion into a union of conjunctive queries implemented
+// here) and W[SAT]-hard under parameter v.
+#ifndef PARAQUERY_QUERY_POSITIVE_QUERY_H_
+#define PARAQUERY_QUERY_POSITIVE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "query/conjunctive_query.hpp"
+#include "query/first_order_query.hpp"
+
+namespace paraquery {
+
+/// A positive query, represented as a validated positive FO AST.
+class PositiveQuery {
+ public:
+  /// Wraps `fo` after checking positivity (no ¬, ∀, or comparison nodes)
+  /// and well-formedness.
+  static Result<PositiveQuery> FromFirstOrder(FirstOrderQuery fo);
+
+  const FirstOrderQuery& fo() const { return fo_; }
+
+  size_t QuerySize() const { return fo_.QuerySize(); }
+  int NumVariables() const { return fo_.NumVariables(); }
+
+  /// Expands into an equivalent union of conjunctive queries by
+  /// standardizing variables apart and distributing ∧ over ∨ — the paper's
+  /// "union of (exponentially many in q) conjunctive queries". Fails with
+  /// ResourceExhausted if more than `max_disjuncts` disjuncts arise, and
+  /// with InvalidArgument if some disjunct is unsafe (a head variable not
+  /// covered by a relational atom in that disjunct).
+  Result<std::vector<ConjunctiveQuery>> ToUnionOfCqs(
+      uint64_t max_disjuncts = 1'000'000) const;
+
+  std::string ToString() const { return fo_.ToString(); }
+
+ private:
+  FirstOrderQuery fo_;
+};
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_QUERY_POSITIVE_QUERY_H_

@@ -1,0 +1,128 @@
+// ToString implementations for query types (round-trips through the parser
+// syntax in parser.hpp).
+
+#include <sstream>
+
+#include "query/conjunctive_query.hpp"
+#include "query/first_order_query.hpp"
+
+namespace paraquery {
+
+namespace {
+
+const char* OpText(CompareOp op) {
+  switch (op) {
+    case CompareOp::kNeq:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kEq:
+      return "=";
+  }
+  return "?";
+}
+
+void PrintTerm(std::ostringstream& oss, const VarTable& vars, const Term& t) {
+  if (t.is_var()) {
+    oss << (t.var() >= 0 && t.var() < vars.size() ? vars.name(t.var())
+                                                  : "?badvar");
+  } else {
+    oss << t.value();
+  }
+}
+
+void PrintAtom(std::ostringstream& oss, const VarTable& vars, const Atom& a) {
+  oss << a.relation << "(";
+  for (size_t i = 0; i < a.terms.size(); ++i) {
+    if (i > 0) oss << ",";
+    PrintTerm(oss, vars, a.terms[i]);
+  }
+  oss << ")";
+}
+
+}  // namespace
+
+std::string ConjunctiveQuery::ToString() const {
+  std::ostringstream oss;
+  oss << "ans(";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) oss << ",";
+    PrintTerm(oss, vars, head[i]);
+  }
+  oss << ") :- ";
+  bool first = true;
+  for (const Atom& a : body) {
+    if (!first) oss << ", ";
+    first = false;
+    PrintAtom(oss, vars, a);
+  }
+  for (const CompareAtom& c : comparisons) {
+    if (!first) oss << ", ";
+    first = false;
+    PrintTerm(oss, vars, c.lhs);
+    oss << " " << OpText(c.op) << " ";
+    PrintTerm(oss, vars, c.rhs);
+  }
+  oss << ".";
+  return oss.str();
+}
+
+std::string FirstOrderQuery::ToString() const {
+  std::ostringstream oss;
+  oss << "q(";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) oss << ",";
+    PrintTerm(oss, vars, head[i]);
+  }
+  oss << ") := ";
+  auto print = [&](auto&& self, int id) -> void {
+    const Node& n = nodes[id];
+    switch (n.kind) {
+      case NodeKind::kAtom:
+        PrintAtom(oss, vars, atoms[n.atom]);
+        break;
+      case NodeKind::kCompare:
+        PrintTerm(oss, vars, n.compare.lhs);
+        oss << " " << OpText(n.compare.op) << " ";
+        PrintTerm(oss, vars, n.compare.rhs);
+        break;
+      case NodeKind::kAnd:
+      case NodeKind::kOr: {
+        const char* op = n.kind == NodeKind::kAnd ? " and " : " or ";
+        oss << "(";
+        for (size_t i = 0; i < n.children.size(); ++i) {
+          if (i > 0) oss << op;
+          self(self, n.children[i]);
+        }
+        oss << ")";
+        break;
+      }
+      case NodeKind::kNot:
+        oss << "not ";
+        self(self, n.children[0]);
+        break;
+      case NodeKind::kExists:
+      case NodeKind::kForall:
+        oss << (n.kind == NodeKind::kExists ? "exists " : "forall ");
+        for (size_t i = 0; i < n.bound.size(); ++i) {
+          if (i > 0) oss << ",";
+          oss << vars.name(n.bound[i]);
+        }
+        oss << " . (";
+        self(self, n.children[0]);
+        oss << ")";
+        break;
+    }
+  };
+  if (root >= 0) {
+    print(print, root);
+  } else {
+    oss << "<unset>";
+  }
+  oss << ".";
+  return oss.str();
+}
+
+}  // namespace paraquery

@@ -1,0 +1,45 @@
+#include "query/term.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace paraquery {
+
+std::vector<VarId> Atom::Variables() const {
+  std::vector<VarId> vars;
+  for (const Term& t : terms) {
+    if (t.is_var() && std::find(vars.begin(), vars.end(), t.var()) ==
+                          vars.end()) {
+      vars.push_back(t.var());
+    }
+  }
+  return vars;
+}
+
+VarId VarTable::Intern(const std::string& name) {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<VarId>(i);
+  }
+  names_.push_back(name);
+  return static_cast<VarId>(names_.size()) - 1;
+}
+
+VarId VarTable::Find(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<VarId>(i);
+  }
+  return -1;
+}
+
+VarId VarTable::Fresh(const std::string& hint) {
+  std::string name = hint;
+  int suffix = static_cast<int>(names_.size());
+  while (Find(name) != -1) {
+    name = hint + "#" + std::to_string(suffix++);
+  }
+  names_.push_back(name);
+  return static_cast<VarId>(names_.size()) - 1;
+}
+
+}  // namespace paraquery

@@ -1,0 +1,109 @@
+// Terms (variables / constants) and relational atoms — the shared vocabulary
+// of every query language in the paper (Section 3).
+#ifndef PARAQUERY_QUERY_TERM_H_
+#define PARAQUERY_QUERY_TERM_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/value.hpp"
+
+namespace paraquery {
+
+/// Dense variable id within one query (index into its variable table).
+using VarId = int;
+
+/// A term: either a query variable or a domain constant.
+class Term {
+ public:
+  static Term Var(VarId v) {
+    Term t;
+    t.is_var_ = true;
+    t.var_ = v;
+    return t;
+  }
+  static Term Const(Value c) {
+    Term t;
+    t.is_var_ = false;
+    t.value_ = c;
+    return t;
+  }
+
+  bool is_var() const { return is_var_; }
+  bool is_const() const { return !is_var_; }
+  VarId var() const { return var_; }
+  Value value() const { return value_; }
+
+  bool operator==(const Term& o) const {
+    if (is_var_ != o.is_var_) return false;
+    return is_var_ ? var_ == o.var_ : value_ == o.value_;
+  }
+
+ private:
+  bool is_var_ = true;
+  VarId var_ = -1;
+  Value value_ = 0;
+};
+
+/// A relational atom R(t1, ..., tr). The relation is referenced by name and
+/// resolved against a Database at evaluation time.
+struct Atom {
+  std::string relation;
+  std::vector<Term> terms;
+
+  size_t arity() const { return terms.size(); }
+
+  /// Distinct variables occurring in the atom, in order of first occurrence.
+  std::vector<VarId> Variables() const;
+};
+
+/// Comparison operators allowed in query bodies. The paper distinguishes
+/// inequalities (≠, Theorem 2: f.p. tractable for acyclic queries) from order
+/// comparisons (<, ≤, Theorem 3: W[1]-complete already for acyclic queries).
+enum class CompareOp { kNeq, kLt, kLe, kEq };
+
+/// A comparison atom `lhs op rhs` between terms.
+struct CompareAtom {
+  CompareOp op = CompareOp::kNeq;
+  Term lhs = Term::Var(-1);
+  Term rhs = Term::Var(-1);
+
+  /// Evaluates the comparison on concrete values.
+  static bool Apply(CompareOp op, Value a, Value b) {
+    switch (op) {
+      case CompareOp::kNeq:
+        return a != b;
+      case CompareOp::kLt:
+        return a < b;
+      case CompareOp::kLe:
+        return a <= b;
+      case CompareOp::kEq:
+        return a == b;
+    }
+    return false;
+  }
+};
+
+/// Symbol table mapping variable names to dense ids.
+class VarTable {
+ public:
+  /// Id for `name`, creating it on first use.
+  VarId Intern(const std::string& name);
+
+  /// Id for `name` or -1.
+  VarId Find(const std::string& name) const;
+
+  /// Creates a fresh variable with a unique generated name.
+  VarId Fresh(const std::string& hint = "v");
+
+  int size() const { return static_cast<int>(names_.size()); }
+  const std::string& name(VarId v) const { return names_[v]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_QUERY_TERM_H_

@@ -1,0 +1,205 @@
+#include "reductions/alternating.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "circuit/normalize.hpp"
+#include "common/combinatorics.hpp"
+
+namespace paraquery {
+
+Status AlternatingInstance::Validate() const {
+  if (circuit.output() < 0) {
+    return Status::InvalidArgument("alternating instance: output not set");
+  }
+  if (!circuit.IsMonotone()) {
+    return Status::InvalidArgument("alternating instance: circuit not monotone");
+  }
+  if (blocks.empty() || blocks.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "alternating instance: blocks/weights mismatch or empty");
+  }
+  std::set<int> seen;
+  for (const auto& block : blocks) {
+    for (int v : block) {
+      if (v < 0 || v >= circuit.num_inputs()) {
+        return Status::InvalidArgument("alternating instance: input out of range");
+      }
+      if (!seen.insert(v).second) {
+        return Status::InvalidArgument("alternating instance: blocks overlap");
+      }
+    }
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] < 0) {
+      return Status::InvalidArgument("alternating instance: negative weight");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Recursion over blocks: existential blocks need SOME k-subset to succeed,
+// universal blocks need ALL k-subsets to succeed. A weight larger than the
+// block makes ∃ false and ∀ vacuously true.
+bool Recurse(const AlternatingInstance& inst, size_t block,
+             std::vector<bool>* assignment) {
+  if (block == inst.blocks.size()) {
+    return inst.circuit.Evaluate(*assignment);
+  }
+  const auto& vs = inst.blocks[block];
+  int k = inst.weights[block];
+  bool exists = inst.IsExistential(block);
+  if (k > static_cast<int>(vs.size())) return !exists;
+  bool result = !exists;  // ∃: until found false; ∀: until refuted true
+  ForEachKSubset(static_cast<int>(vs.size()), k,
+                 [&](const std::vector<int>& subset) {
+                   for (int idx : subset) (*assignment)[vs[idx]] = true;
+                   bool sub = Recurse(inst, block + 1, assignment);
+                   for (int idx : subset) (*assignment)[vs[idx]] = false;
+                   if (exists && sub) {
+                     result = true;
+                     return false;  // stop: witness found
+                   }
+                   if (!exists && !sub) {
+                     result = false;
+                     return false;  // stop: counterexample found
+                   }
+                   return true;
+                 });
+  return result;
+}
+
+}  // namespace
+
+Result<bool> SolveAlternatingWeightedSat(const AlternatingInstance& instance) {
+  PQ_RETURN_NOT_OK(instance.Validate());
+  std::vector<bool> assignment(instance.circuit.num_inputs(), false);
+  return Recurse(instance, 0, &assignment);
+}
+
+Result<AlternatingToFoResult> AlternatingToFo(const AlternatingInstance& inst) {
+  PQ_RETURN_NOT_OK(inst.Validate());
+  for (size_t i = 0; i < inst.weights.size(); ++i) {
+    if (inst.weights[i] < 1) {
+      return Status::InvalidArgument("alternating reduction: weights must be >= 1");
+    }
+  }
+  PQ_ASSIGN_OR_RETURN(AlternatingCircuit alt, NormalizeMonotone(inst.circuit));
+  AlternatingToFoResult out;
+  out.top_level = alt.top_level;
+  const Circuit& cc = alt.circuit;
+
+  // Wiring relation with input self-loops.
+  RelId c_rel = out.db.AddRelation("C", 2).ValueOrDie();
+  for (int g = 0; g < cc.num_gates(); ++g) {
+    const Gate& gate = cc.gate(g);
+    if (gate.kind == GateKind::kInput) {
+      out.db.relation(c_rel).Add({g, g});
+      continue;
+    }
+    for (int in : gate.inputs) out.db.relation(c_rel).Add({g, in});
+  }
+  // Partition relation P = {(a, c*_i)} with c*_i = first input of block i.
+  // (Input gate ids are preserved by the normalizer: inputs are 0..n-1.)
+  RelId p_rel = out.db.AddRelation("P", 2).ValueOrDie();
+  std::vector<Value> reps;
+  for (const auto& block : inst.blocks) {
+    if (block.empty()) {
+      return Status::InvalidArgument("alternating reduction: empty block");
+    }
+    reps.push_back(block.front());
+    for (int a : block) out.db.relation(p_rel).Add({a, block.front()});
+  }
+
+  FirstOrderQuery& fo = out.query;
+  // Variables x_ij per block, plus the shared hole w and child y.
+  std::vector<std::vector<VarId>> xs(inst.blocks.size());
+  for (size_t i = 0; i < inst.blocks.size(); ++i) {
+    for (int j = 0; j < inst.weights[i]; ++j) {
+      std::string name = "x";
+      name += std::to_string(i + 1);
+      name += "_";
+      name += std::to_string(j + 1);
+      xs[i].push_back(fo.vars.Intern(name));
+    }
+  }
+  VarId w = fo.vars.Intern("w");
+  VarId y = fo.vars.Intern("y");
+
+  auto c_atom = [&fo](Term a, Term b) {
+    Atom atom;
+    atom.relation = "C";
+    atom.terms = {a, b};
+    return fo.AddAtomNode(std::move(atom));
+  };
+  auto p_atom = [&fo](Term a, Term b) {
+    Atom atom;
+    atom.relation = "P";
+    atom.terms = {a, b};
+    return fo.AddAtomNode(std::move(atom));
+  };
+
+  // θ chain over ALL chosen variables (both block kinds).
+  std::vector<int> theta0;
+  for (const auto& block_vars : xs) {
+    for (VarId x : block_vars) {
+      theta0.push_back(c_atom(Term::Var(w), Term::Var(x)));
+    }
+  }
+  int theta = theta0.size() == 1 ? theta0[0] : fo.AddOr(std::move(theta0));
+  auto wrap = [&](int inner, Term arg) {
+    int guard = fo.AddNot(c_atom(Term::Var(y), Term::Var(w)));
+    int body = fo.AddForall({w}, fo.AddOr({guard, inner}));
+    int conj = fo.AddAnd({c_atom(arg, Term::Var(y)), body});
+    return fo.AddExists({y}, conj);
+  };
+  for (int level = 2; level < alt.top_level; level += 2) {
+    theta = wrap(theta, Term::Var(w));
+  }
+  int theta_top = wrap(theta, Term::Const(cc.output()));
+
+  // ψ_i: block-i variables denote distinct input gates of V_i.
+  auto psi = [&](size_t i) {
+    std::vector<int> conj;
+    for (size_t j = 0; j < xs[i].size(); ++j) {
+      conj.push_back(p_atom(Term::Var(xs[i][j]), Term::Const(reps[i])));
+      for (size_t l = 0; l < xs[i].size(); ++l) {
+        if (l == j) continue;
+        conj.push_back(
+            fo.AddNot(c_atom(Term::Var(xs[i][j]), Term::Var(xs[i][l]))));
+      }
+    }
+    return conj.size() == 1 ? conj[0] : fo.AddAnd(std::move(conj));
+  };
+
+  std::vector<int> exist_psis, forall_psis;
+  for (size_t i = 0; i < inst.blocks.size(); ++i) {
+    (inst.IsExistential(i) ? exist_psis : forall_psis).push_back(psi(i));
+  }
+  std::vector<int> first_disjunct = {theta_top};
+  first_disjunct.insert(first_disjunct.end(), exist_psis.begin(),
+                        exist_psis.end());
+  int body = first_disjunct.size() == 1 ? first_disjunct[0]
+                                        : fo.AddAnd(std::move(first_disjunct));
+  if (!forall_psis.empty()) {
+    int all_proper = forall_psis.size() == 1
+                         ? forall_psis[0]
+                         : fo.AddAnd(std::move(forall_psis));
+    body = fo.AddOr({body, fo.AddNot(all_proper)});
+  }
+
+  // Quantifier prefix, innermost block first.
+  int node = body;
+  for (size_t i = inst.blocks.size(); i-- > 0;) {
+    node = inst.IsExistential(i) ? fo.AddExists(xs[i], node)
+                                 : fo.AddForall(xs[i], node);
+  }
+  fo.root = node;
+  PQ_RETURN_NOT_OK(fo.Validate());
+  return out;
+}
+
+}  // namespace paraquery

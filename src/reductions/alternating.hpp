@@ -1,0 +1,65 @@
+// Section 4's alternating extension: AW[P]-hardness of first-order queries
+// under parameter v.
+//
+// The alternating weighted satisfiability problem partitions the inputs of
+// a monotone circuit into blocks V_1..V_r with weights k_1..k_r and asks
+//   ∃ S_1 ⊆ V_1, |S_1| = k_1, ∀ S_2 ⊆ V_2, |S_2| = k_2, ... (alternating)
+//   such that C accepts the input setting exactly ∪S_i to true.
+//
+// The paper adapts the Theorem 1 reduction: the database gains a partition
+// relation P = {(a, c*_i) : a ∈ V_i} (c*_i an arbitrary representative of
+// block i), the query prefix becomes Q_1 x_11..x_1k_1 ... Q_r x_r1..x_rk_r,
+// and the body is
+//   [ θ_2t(o) ∧ ⋀_{i : Q_i = ∃} ψ_i ] ∨ ¬[ ⋀_{i : Q_i = ∀} ψ_i ],
+// where ψ_i = ⋀_j [ P(x_ij, c*_i) ∧ ⋀_{l != j} ¬C(x_ij, x_il) ] states that
+// the i-th block's variables denote distinct input gates of V_i (the input
+// self-loops make ¬C(a, b) equivalent to a != b on input gates).
+#ifndef PARAQUERY_REDUCTIONS_ALTERNATING_H_
+#define PARAQUERY_REDUCTIONS_ALTERNATING_H_
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/status.hpp"
+#include "query/first_order_query.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+
+/// An alternating weighted satisfiability instance. Block i is existential
+/// for even i (0-based) and universal for odd i — the paper's Q_1 = ∃
+/// convention.
+struct AlternatingInstance {
+  Circuit circuit = Circuit(0);
+  /// Disjoint input blocks V_1..V_r (need not cover all inputs; inputs
+  /// outside every block are fixed to 0).
+  std::vector<std::vector<int>> blocks;
+  /// Weights k_1..k_r (parallel to blocks).
+  std::vector<int> weights;
+
+  bool IsExistential(size_t block) const { return block % 2 == 0; }
+
+  /// Structural checks: monotone circuit with output, disjoint in-range
+  /// blocks, 0 <= k_i <= |V_i| would be allowed to fail (then the quantifier
+  /// is vacuous), r >= 1.
+  Status Validate() const;
+};
+
+/// Ground-truth solver: direct recursion over k-subsets per block.
+/// Exponential; intended for small instances (tests, examples).
+Result<bool> SolveAlternatingWeightedSat(const AlternatingInstance& instance);
+
+/// Output of the alternating reduction.
+struct AlternatingToFoResult {
+  Database db;            // wiring relation C plus partition relation P
+  FirstOrderQuery query;  // alternating-prefix Boolean query
+  int top_level = 0;
+};
+
+/// Builds the reduction; the instance must validate and every weight must
+/// be >= 1.
+Result<AlternatingToFoResult> AlternatingToFo(const AlternatingInstance& inst);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_REDUCTIONS_ALTERNATING_H_

@@ -1,0 +1,68 @@
+#include "reductions/circuit_to_fo.hpp"
+
+#include <string>
+#include <vector>
+
+#include "circuit/normalize.hpp"
+
+namespace paraquery {
+
+Result<CircuitToFoResult> MonotoneCircuitToFo(const Circuit& circuit, int k) {
+  if (k < 1) return Status::InvalidArgument("weight k must be >= 1");
+  PQ_ASSIGN_OR_RETURN(AlternatingCircuit alt, NormalizeMonotone(circuit));
+  CircuitToFoResult out;
+  out.top_level = alt.top_level;
+
+  // Wiring relation over gate ids.
+  RelId c_rel = out.db.AddRelation("C", 2).ValueOrDie();
+  const Circuit& cc = alt.circuit;
+  for (int g = 0; g < cc.num_gates(); ++g) {
+    const Gate& gate = cc.gate(g);
+    if (gate.kind == GateKind::kInput) {
+      out.db.relation(c_rel).Add({g, g});  // self-loop convention
+      continue;
+    }
+    for (int in : gate.inputs) out.db.relation(c_rel).Add({g, in});
+  }
+
+  FirstOrderQuery& fo = out.query;
+  std::vector<VarId> xs;
+  for (int i = 1; i <= k; ++i) {
+    std::string name = "x";
+    name += std::to_string(i);
+    xs.push_back(fo.vars.Intern(name));
+  }
+  VarId w = fo.vars.Intern("w");  // the reused "hole" variable
+  VarId y = fo.vars.Intern("y");
+
+  auto c_atom = [&fo](Term a, Term b) {
+    Atom atom;
+    atom.relation = "C";
+    atom.terms = {a, b};
+    return fo.AddAtomNode(std::move(atom));
+  };
+
+  // θ_0(w) = ⋁_j C(w, x_j).
+  std::vector<int> disj;
+  for (VarId x : xs) disj.push_back(c_atom(Term::Var(w), Term::Var(x)));
+  int theta = disj.size() == 1 ? disj[0] : fo.AddOr(std::move(disj));
+
+  // θ_2i(arg) = ∃y [C(arg, y) ∧ ∀w (¬C(y, w) ∨ θ_{2i-2}(w))].
+  auto wrap = [&](int inner, Term arg) {
+    int guard = fo.AddNot(c_atom(Term::Var(y), Term::Var(w)));
+    int body = fo.AddForall({w}, fo.AddOr({guard, inner}));
+    int conj = fo.AddAnd({c_atom(arg, Term::Var(y)), body});
+    return fo.AddExists({y}, conj);
+  };
+  int t2 = alt.top_level;  // even, >= 2
+  for (int level = 2; level < t2; level += 2) {
+    theta = wrap(theta, Term::Var(w));
+  }
+  // Top level: argument is the constant output gate o.
+  int top = wrap(theta, Term::Const(cc.output()));
+  fo.root = fo.AddExists(xs, top);
+  PQ_RETURN_NOT_OK(fo.Validate());
+  return out;
+}
+
+}  // namespace paraquery

@@ -1,0 +1,39 @@
+// Theorem 1 lower bound (first-order queries): monotone weighted circuit
+// satisfiability ≤ first-order query evaluation.
+//
+// The monotone circuit is normalized to alternating leveled form with an OR
+// output at even level 2t (circuit/normalize.hpp). The database stores the
+// wiring relation C = {(a, b) : gate a has input b} ∪ {(c, c) : c level-0},
+// over the domain of gates. The query chain
+//   θ_0(x)  = C(x, x_1) ∨ ... ∨ C(x, x_k)
+//   θ_2i(x) = ∃y [ C(x, y) ∧ ∀x (¬C(y, x) ∨ θ_{2i-2}(x)) ]
+//   Q       = ∃x_1 ... ∃x_k θ_2t(o)
+// uses k + 2 variables (x is deliberately reused under the ∀ — the AST
+// supports shadowing) and has size O(t + k). The circuit has a weight-k
+// satisfying input iff Q is true — W[P]-hardness under parameter v, and
+// since monotone depth-t weighted satisfiability is W[t]-complete,
+// W[t]-hardness for every t under parameter q.
+#ifndef PARAQUERY_REDUCTIONS_CIRCUIT_TO_FO_H_
+#define PARAQUERY_REDUCTIONS_CIRCUIT_TO_FO_H_
+
+#include "circuit/circuit.hpp"
+#include "common/status.hpp"
+#include "query/first_order_query.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+
+/// Output of the reduction.
+struct CircuitToFoResult {
+  Database db;           // binary wiring relation "C" over gate ids
+  FirstOrderQuery query; // Boolean query with k + 2 variables
+  int top_level = 0;     // 2t of the normalized circuit
+};
+
+/// Builds the reduction. `circuit` must be monotone with an output set;
+/// k >= 1.
+Result<CircuitToFoResult> MonotoneCircuitToFo(const Circuit& circuit, int k);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_REDUCTIONS_CIRCUIT_TO_FO_H_

@@ -1,0 +1,69 @@
+#include "reductions/clique_to_comparisons.hpp"
+
+#include <string>
+
+namespace paraquery {
+
+Result<CliqueToComparisonsResult> CliqueToComparisons(const Graph& g, int k) {
+  int n = g.num_vertices();
+  if (k < 2 || n < 1) {
+    return Status::InvalidArgument(
+        "CliqueToComparisons requires k >= 2 and a nonempty graph");
+  }
+  CliqueToComparisonsResult out;
+  RelId p = out.db.AddRelation("P", 2).ValueOrDie();
+  RelId r = out.db.AddRelation("R", 2).ValueOrDie();
+  // P over edges plus self-loops (the paper assumes every node has one).
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j || g.HasEdge(i, j)) {
+        out.db.relation(p).Add(
+            {EncodeTriple(n, i, j, 0), EncodeTriple(n, i, j, 1)});
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int j2 = 0; j2 < n; ++j2) {
+        out.db.relation(r).Add(
+            {EncodeTriple(n, i, j, 1), EncodeTriple(n, i, j2, 0)});
+      }
+    }
+  }
+
+  // Variables x_ij and x'_ij, 1-based in names, 0-based indices here.
+  ConjunctiveQuery& q = out.query;
+  std::vector<std::vector<VarId>> x(k, std::vector<VarId>(k));
+  std::vector<std::vector<VarId>> xp(k, std::vector<VarId>(k));
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      std::string base = "x";
+      base += std::to_string(i + 1);
+      base += "_";
+      base += std::to_string(j + 1);
+      x[i][j] = q.vars.Intern(base);
+      xp[i][j] = q.vars.Intern(base + "'");
+    }
+  }
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      q.body.push_back(Atom{"P", {Term::Var(x[i][j]), Term::Var(xp[i][j])}});
+      if (j + 1 < k) {
+        q.body.push_back(
+            Atom{"R", {Term::Var(xp[i][j]), Term::Var(x[i][j + 1])}});
+      }
+    }
+  }
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      q.comparisons.push_back(
+          {CompareOp::kLt, Term::Var(x[i][j]), Term::Var(x[j][i])});
+      q.comparisons.push_back(
+          {CompareOp::kLt, Term::Var(x[j][i]), Term::Var(xp[i][j])});
+    }
+  }
+  PQ_RETURN_NOT_OK(q.Validate());
+  return out;
+}
+
+}  // namespace paraquery

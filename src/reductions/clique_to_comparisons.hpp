@@ -1,0 +1,43 @@
+// Theorem 3: clique ≤ acyclic conjunctive queries with comparisons —
+// order constraints (<) make even acyclic path queries W[1]-complete.
+//
+// For (G, k) with n vertices (self-loops assumed on every vertex), encode
+//   [i, j, b] = (i + j)·n³ + |i − j|·n² + b·n + i.
+// The database holds
+//   P = {([i,j,0], [i,j,1]) : (i,j) ∈ E ∪ self-loops}
+//   R = {([i,j,1], [i,j',0]) : all i, j, j'}
+// and the query (k alternating P/R paths x_i1 x'_i1 x_i2 ... x_ik x'_ik)
+//   S :- ⋀_{i,j} P(x_ij, x'_ij), ⋀_{i, j<k} R(x'_ij, x_{i,j+1}),
+//        ⋀_{i<j} x_ij < x_ji < x'_ij.
+// G has a k-clique iff the query is nonempty; the query hypergraph is a
+// disjoint union of paths (acyclic) and the comparison graph is acyclic.
+#ifndef PARAQUERY_REDUCTIONS_CLIQUE_TO_COMPARISONS_H_
+#define PARAQUERY_REDUCTIONS_CLIQUE_TO_COMPARISONS_H_
+
+#include "common/status.hpp"
+#include "graph/graph.hpp"
+#include "query/conjunctive_query.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+
+/// Output of the Theorem 3 reduction.
+struct CliqueToComparisonsResult {
+  Database db;             // relations P and R (R has n·n·n tuples)
+  ConjunctiveQuery query;  // acyclic, only < comparisons
+};
+
+/// Encodes [i, j, b] for an n-vertex graph.
+inline Value EncodeTriple(int n, int i, int j, int b) {
+  Value nn = n;
+  return (Value{i} + j) * nn * nn * nn +
+         (i > j ? Value{i} - j : Value{j} - i) * nn * nn + Value{b} * nn + i;
+}
+
+/// Builds the reduction. Requires k >= 2 and n >= 1; the R relation has n³
+/// tuples, so keep n moderate.
+Result<CliqueToComparisonsResult> CliqueToComparisons(const Graph& g, int k);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_REDUCTIONS_CLIQUE_TO_COMPARISONS_H_

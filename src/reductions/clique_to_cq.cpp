@@ -1,0 +1,44 @@
+#include "reductions/clique_to_cq.hpp"
+
+#include <string>
+
+#include "common/status.hpp"
+
+namespace paraquery {
+
+CliqueToCqResult CliqueToCq(const Graph& g, int k) {
+  PQ_CHECK(k >= 0, "CliqueToCq: negative k");
+  CliqueToCqResult out;
+  RelId rel = out.db.AddRelation("G", 2).ValueOrDie();
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    for (int v : g.Neighbors(u)) {
+      out.db.relation(rel).Add({u, v});  // both directions via adjacency
+    }
+  }
+  std::vector<VarId> vars;
+  for (int i = 1; i <= k; ++i) {
+    std::string name = "x";
+    name += std::to_string(i);
+    vars.push_back(out.query.vars.Intern(name));
+  }
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      out.query.body.push_back(
+          Atom{"G", {Term::Var(vars[i]), Term::Var(vars[j])}});
+    }
+  }
+  // k <= 1: no pairs to check; the query must still be satisfiable exactly
+  // when a clique of size k exists (any vertex for k = 1, trivially for 0).
+  if (k == 1) {
+    out.query.body.push_back(Atom{"G", {Term::Var(vars[0]), Term::Var(vars[0])}});
+    // A single vertex forms a 1-clique regardless of edges; a self-join atom
+    // would wrongly require a self-loop, so instead use a unary "V" relation.
+    out.query.body.pop_back();
+    RelId vrel = out.db.AddRelation("V", 1).ValueOrDie();
+    for (int u = 0; u < g.num_vertices(); ++u) out.db.relation(vrel).Add({u});
+    out.query.body.push_back(Atom{"V", {Term::Var(vars[0])}});
+  }
+  return out;
+}
+
+}  // namespace paraquery

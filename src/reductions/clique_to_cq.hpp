@@ -1,0 +1,27 @@
+// Theorem 1 lower bound: clique ≤ conjunctive-query evaluation.
+//
+// For an instance (G, k) of clique, build a database holding the edge
+// relation and the Boolean query  P :- ⋀_{1<=i<j<=k} G(x_i, x_j).
+// The query has size q = O(k²) and v = k variables, so the reduction
+// establishes W[1]-hardness for both parameters (clique is W[1]-complete).
+#ifndef PARAQUERY_REDUCTIONS_CLIQUE_TO_CQ_H_
+#define PARAQUERY_REDUCTIONS_CLIQUE_TO_CQ_H_
+
+#include "graph/graph.hpp"
+#include "query/conjunctive_query.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+
+/// Output of the clique -> CQ reduction.
+struct CliqueToCqResult {
+  Database db;          // one binary relation "G" (both edge directions)
+  ConjunctiveQuery query;  // Boolean clique query with k variables
+};
+
+/// Builds the reduction. G has a k-clique iff `query` is nonempty on `db`.
+CliqueToCqResult CliqueToCq(const Graph& g, int k);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_REDUCTIONS_CLIQUE_TO_CQ_H_

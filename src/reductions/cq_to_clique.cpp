@@ -1,0 +1,73 @@
+#include "reductions/cq_to_clique.hpp"
+
+#include <set>
+
+#include "reductions/cq_to_w2cnf.hpp"
+
+namespace paraquery {
+
+Result<CliqueInstance> CqDecisionToClique(const Database& db,
+                                          const ConjunctiveQuery& q) {
+  PQ_ASSIGN_OR_RETURN(CqToW2CnfResult red, CqToW2Cnf(db, q));
+  CliqueInstance out;
+  out.k = red.k;
+  int n = red.instance.num_vars;
+  out.graph = Graph(n);
+  // Edge iff the pair shares no clause (compatible choices).
+  std::set<std::pair<int, int>> conflicts;
+  for (auto [a, b] : red.instance.clauses) {
+    conflicts.insert({std::min(a, b), std::max(a, b)});
+  }
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (conflicts.count({u, v}) == 0) out.graph.AddEdge(u, v);
+    }
+  }
+  return out;
+}
+
+Result<CliqueInstance> PositiveToClique(const Database& db,
+                                        const PositiveQuery& q,
+                                        uint64_t max_disjuncts) {
+  if (!q.fo().head.empty()) {
+    return Status::InvalidArgument(
+        "PositiveToClique requires a closed (Boolean) query");
+  }
+  PQ_ASSIGN_OR_RETURN(auto cqs, q.ToUnionOfCqs(max_disjuncts));
+  std::vector<CliqueInstance> parts;
+  int k = 0;
+  for (const ConjunctiveQuery& cq : cqs) {
+    PQ_ASSIGN_OR_RETURN(CliqueInstance inst, CqDecisionToClique(db, cq));
+    k = std::max(k, inst.k);
+    parts.push_back(std::move(inst));
+  }
+  if (parts.empty()) return CliqueInstance{Graph(0), 0};
+  // Normalize: pad each part with (k - k_i) universal vertices, then take
+  // the disjoint union.
+  int total = 0;
+  for (const CliqueInstance& part : parts) {
+    total += part.graph.num_vertices() + (k - part.k);
+  }
+  CliqueInstance out;
+  out.k = k;
+  out.graph = Graph(total);
+  int offset = 0;
+  for (const CliqueInstance& part : parts) {
+    int n = part.graph.num_vertices();
+    for (int u = 0; u < n; ++u) {
+      for (int v : part.graph.Neighbors(u)) {
+        if (u < v) out.graph.AddEdge(offset + u, offset + v);
+      }
+    }
+    // Universal pad vertices: adjacent to everything in this part.
+    int pad = k - part.k;
+    for (int i = 0; i < pad; ++i) {
+      int pv = offset + n + i;
+      for (int u = 0; u < n + i; ++u) out.graph.AddEdge(pv, offset + u);
+    }
+    offset += n + pad;
+  }
+  return out;
+}
+
+}  // namespace paraquery

@@ -1,0 +1,43 @@
+// Footnote 2 of the paper: transforming query evaluation back into clique,
+// making the positive-query upper bound a parametric *transformation*.
+//
+// CQ decision -> clique: run the 2-CNF construction (cq_to_w2cnf.hpp), then
+// build the compatibility graph — one node per variable z_{a,s}, an edge
+// between nodes not sharing a clause. Q nonempty iff the graph has a clique
+// of size k = #atoms.
+//
+// Positive query -> clique: expand into a union of CQs, transform each
+// disjunct Q_i to (G_i, k_i), pad every G_i to the common k = max k_i by
+// adding k - k_i universal vertices, and take the disjoint union.
+#ifndef PARAQUERY_REDUCTIONS_CQ_TO_CLIQUE_H_
+#define PARAQUERY_REDUCTIONS_CQ_TO_CLIQUE_H_
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "graph/graph.hpp"
+#include "query/conjunctive_query.hpp"
+#include "query/positive_query.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+
+/// A clique decision instance.
+struct CliqueInstance {
+  Graph graph = Graph(0);
+  int k = 0;
+};
+
+/// Builds the compatibility-graph instance for a Boolean comparison-free CQ.
+Result<CliqueInstance> CqDecisionToClique(const Database& db,
+                                          const ConjunctiveQuery& q);
+
+/// Builds a single clique instance for a closed positive query via UCQ
+/// expansion (bounded by `max_disjuncts`) and padded disjoint union.
+Result<CliqueInstance> PositiveToClique(const Database& db,
+                                        const PositiveQuery& q,
+                                        uint64_t max_disjuncts = 10'000);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_REDUCTIONS_CQ_TO_CLIQUE_H_

@@ -1,0 +1,135 @@
+#include "reductions/cq_to_w2cnf.hpp"
+
+#include <algorithm>
+
+namespace paraquery {
+
+namespace {
+
+// True if tuple `row` of the stored relation is consistent with `atom`
+// (constants match; repeated variables receive equal values).
+bool Consistent(const Atom& atom, std::span<const Value> row) {
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& t = atom.terms[i];
+    if (t.is_const() && row[i] != t.value()) return false;
+    if (t.is_var()) {
+      for (size_t j = 0; j < i; ++j) {
+        if (atom.terms[j].is_var() && atom.terms[j].var() == t.var() &&
+            row[j] != row[i]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<CqToW2CnfResult> CqToW2Cnf(const Database& db,
+                                  const ConjunctiveQuery& q) {
+  PQ_RETURN_NOT_OK(q.Validate());
+  if (q.HasComparisons()) {
+    return Status::InvalidArgument(
+        "CqToW2Cnf requires a comparison-free conjunctive query");
+  }
+  CqToW2CnfResult out;
+  out.k = static_cast<int>(q.body.size());
+
+  // Enumerate consistent (atom, tuple) pairs.
+  std::vector<const Relation*> rels;
+  for (const Atom& a : q.body) {
+    PQ_ASSIGN_OR_RETURN(RelId id, db.FindRelation(a.relation));
+    if (db.relation(id).arity() != a.terms.size()) {
+      return Status::InvalidArgument(internal::StrCat(
+          "atom ", a.relation, " arity mismatch with stored relation"));
+    }
+    rels.push_back(&db.relation(id));
+  }
+  for (size_t ai = 0; ai < q.body.size(); ++ai) {
+    std::vector<int> group;
+    for (size_t r = 0; r < rels[ai]->size(); ++r) {
+      if (!Consistent(q.body[ai], rels[ai]->Row(r))) continue;
+      group.push_back(out.instance.num_vars);
+      out.var_origin.push_back({static_cast<int>(ai), r});
+      ++out.instance.num_vars;
+    }
+    out.instance.groups.push_back(std::move(group));
+  }
+
+  // Clause set (i): at most one tuple per atom.
+  for (const auto& group : out.instance.groups) {
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        out.instance.clauses.push_back({group[i], group[j]});
+      }
+    }
+  }
+  // Clause set (ii): conflicting variable assignments across atoms.
+  // Precompute, per atom, the columns of each variable.
+  std::vector<std::vector<std::pair<VarId, int>>> var_cols(q.body.size());
+  for (size_t ai = 0; ai < q.body.size(); ++ai) {
+    for (size_t c = 0; c < q.body[ai].terms.size(); ++c) {
+      if (q.body[ai].terms[c].is_var()) {
+        var_cols[ai].push_back({q.body[ai].terms[c].var(),
+                                static_cast<int>(c)});
+      }
+    }
+  }
+  for (size_t a = 0; a < q.body.size(); ++a) {
+    for (size_t b = a + 1; b < q.body.size(); ++b) {
+      // Shared variables and their column pairs.
+      std::vector<std::pair<int, int>> shared;
+      for (auto [va, ca] : var_cols[a]) {
+        for (auto [vb, cb] : var_cols[b]) {
+          if (va == vb) shared.push_back({ca, cb});
+        }
+      }
+      if (shared.empty()) continue;
+      for (int za : out.instance.groups[a]) {
+        auto sa = rels[a]->Row(out.var_origin[za].second);
+        for (int zb : out.instance.groups[b]) {
+          auto sb = rels[b]->Row(out.var_origin[zb].second);
+          for (auto [ca, cb] : shared) {
+            if (sa[ca] != sb[cb]) {
+              out.instance.clauses.push_back({za, zb});
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Value>> DecodeW2CnfSolution(
+    const Database& db, const ConjunctiveQuery& q, const CqToW2CnfResult& red,
+    const std::vector<int>& chosen) {
+  if (chosen.size() != q.body.size()) {
+    return Status::InvalidArgument("solution must pick one tuple per atom");
+  }
+  std::vector<Value> binding(std::max(1, q.NumVariables()), 0);
+  std::vector<bool> bound(std::max(1, q.NumVariables()), false);
+  for (size_t ai = 0; ai < q.body.size(); ++ai) {
+    int z = chosen[ai];
+    if (z < 0 || z >= red.instance.num_vars ||
+        red.var_origin[z].first != static_cast<int>(ai)) {
+      return Status::InvalidArgument("chosen variable not in the atom group");
+    }
+    PQ_ASSIGN_OR_RETURN(RelId id, db.FindRelation(q.body[ai].relation));
+    auto row = db.relation(id).Row(red.var_origin[z].second);
+    for (size_t c = 0; c < q.body[ai].terms.size(); ++c) {
+      const Term& t = q.body[ai].terms[c];
+      if (!t.is_var()) continue;
+      if (bound[t.var()] && binding[t.var()] != row[c]) {
+        return Status::Internal("inconsistent decoded binding");
+      }
+      bound[t.var()] = true;
+      binding[t.var()] = row[c];
+    }
+  }
+  return binding;
+}
+
+}  // namespace paraquery

@@ -1,0 +1,46 @@
+// Theorem 1 upper bound (parameter q): conjunctive-query decision ≤
+// weighted 2-CNF satisfiability.
+//
+// For each atom a of Q and each tuple s of the corresponding database
+// relation *consistent* with a (constants match, repeated variables equal),
+// introduce a Boolean variable z_{a,s} ("atom a maps to tuple s"). Clauses:
+//   (¬z_{a,s} ∨ ¬z_{a,s'})   for every atom a and distinct tuples s ≠ s';
+//   (¬z_{a,s} ∨ ¬z_{a',s'})  whenever atoms a, a' share a variable in
+//                            columns j, j' but s[j] != s'[j'].
+// Q is nonempty on d iff the 2-CNF has a satisfying assignment with exactly
+// k = (number of atoms) true variables.
+#ifndef PARAQUERY_REDUCTIONS_CQ_TO_W2CNF_H_
+#define PARAQUERY_REDUCTIONS_CQ_TO_W2CNF_H_
+
+#include <vector>
+
+#include "circuit/cnf.hpp"
+#include "common/status.hpp"
+#include "query/conjunctive_query.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+
+/// Output of the CQ -> weighted 2-CNF reduction.
+struct CqToW2CnfResult {
+  GroupedW2Cnf instance;
+  /// var_origin[z] = (atom index, row index within that atom's relation in
+  /// `db`) — used to decode a solution back into an instantiation.
+  std::vector<std::pair<int, size_t>> var_origin;
+  int k = 0;  // number of atoms (the weight)
+};
+
+/// Builds the reduction for a Boolean (or head-bound) comparison-free query.
+Result<CqToW2CnfResult> CqToW2Cnf(const Database& db,
+                                  const ConjunctiveQuery& q);
+
+/// Decodes a solution (one chosen variable per group) into a variable
+/// binding for the query. Returns one Value per query VarId (unconstrained
+/// variables keep 0).
+Result<std::vector<Value>> DecodeW2CnfSolution(
+    const Database& db, const ConjunctiveQuery& q, const CqToW2CnfResult& red,
+    const std::vector<int>& chosen);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_REDUCTIONS_CQ_TO_W2CNF_H_

@@ -1,0 +1,45 @@
+#include "reductions/hampath_to_neq.hpp"
+
+#include <string>
+
+#include "common/status.hpp"
+
+namespace paraquery {
+
+HamPathToNeqResult HamPathToNeq(const Graph& g) {
+  int n = g.num_vertices();
+  PQ_CHECK(n >= 1, "HamPathToNeq: graph must have at least one vertex");
+  HamPathToNeqResult out;
+  RelId e = out.db.AddRelation("E", 2).ValueOrDie();
+  for (int u = 0; u < n; ++u) {
+    for (int v : g.Neighbors(u)) out.db.relation(e).Add({u, v});
+  }
+  // Vertex relation so the n = 1 query stays well-formed (and isolated
+  // vertices appear in the domain).
+  RelId vr = out.db.AddRelation("V", 1).ValueOrDie();
+  for (int u = 0; u < n; ++u) out.db.relation(vr).Add({u});
+
+  std::vector<VarId> xs;
+  for (int i = 1; i <= n; ++i) {
+    std::string name = "x";
+    name += std::to_string(i);
+    xs.push_back(out.query.vars.Intern(name));
+  }
+  if (n == 1) {
+    out.query.body.push_back(Atom{"V", {Term::Var(xs[0])}});
+    return out;
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    out.query.body.push_back(
+        Atom{"E", {Term::Var(xs[i]), Term::Var(xs[i + 1])}});
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      out.query.comparisons.push_back(
+          {CompareOp::kNeq, Term::Var(xs[i]), Term::Var(xs[j])});
+    }
+  }
+  return out;
+}
+
+}  // namespace paraquery

@@ -1,0 +1,30 @@
+// Section 5: the combined complexity of acyclic conjunctive queries with
+// inequalities is NP-complete — shown by reducing Hamiltonian path.
+//
+// For a graph (V, E) with n vertices, the database stores E (both
+// directions) and the query is
+//   G :- E(x_1, x_2), ..., E(x_{n-1}, x_n), ⋀_{i<j} x_i != x_j.
+// The query hypergraph is a path (acyclic), every inequality is in I1, and
+// the query is as large as the database — exactly the regime where
+// Theorem 2's f(k) factor blows up.
+#ifndef PARAQUERY_REDUCTIONS_HAMPATH_TO_NEQ_H_
+#define PARAQUERY_REDUCTIONS_HAMPATH_TO_NEQ_H_
+
+#include "graph/graph.hpp"
+#include "query/conjunctive_query.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+
+/// Output of the Hamiltonian-path reduction.
+struct HamPathToNeqResult {
+  Database db;
+  ConjunctiveQuery query;  // Boolean; n variables, n-1 atoms, C(n,2) ≠ atoms
+};
+
+/// Builds the reduction; the graph must have at least one vertex.
+HamPathToNeqResult HamPathToNeq(const Graph& g);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_REDUCTIONS_HAMPATH_TO_NEQ_H_

@@ -1,0 +1,157 @@
+#include "reductions/positive_to_wformula.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace paraquery {
+
+Result<PositiveToWFormulaResult> PrenexPositiveToWFormula(
+    const Database& db, const PositiveQuery& q) {
+  const FirstOrderQuery& fo = q.fo();
+  if (!fo.head.empty()) {
+    return Status::InvalidArgument(
+        "reduction requires a closed (Boolean) query; bind the head first");
+  }
+  using Kind = FirstOrderQuery::NodeKind;
+  const auto& root = fo.nodes[fo.root];
+  if (root.kind != Kind::kExists) {
+    return Status::InvalidArgument(
+        "reduction requires prenex form: root must be an ∃ block");
+  }
+  // The body must be quantifier-free.
+  std::vector<int> stack = {root.children[0]};
+  while (!stack.empty()) {
+    int id = stack.back();
+    stack.pop_back();
+    const auto& n = fo.nodes[id];
+    if (n.kind == Kind::kExists || n.kind == Kind::kForall) {
+      return Status::InvalidArgument(
+          "reduction requires prenex form: quantifier inside the body");
+    }
+    for (int c : n.children) stack.push_back(c);
+  }
+  const std::vector<VarId>& ys = root.bound;
+  int k = static_cast<int>(ys.size());
+  auto index_of = [&ys](VarId v) -> int {
+    auto it = std::find(ys.begin(), ys.end(), v);
+    return it == ys.end() ? -1 : static_cast<int>(it - ys.begin());
+  };
+
+  std::vector<Value> adom = db.ActiveDomain();
+  if (adom.empty() || k == 0) {
+    return Status::InvalidArgument(
+        "reduction requires a nonempty active domain and k >= 1");
+  }
+  PositiveToWFormulaResult out;
+  out.k = k;
+  // Inputs z_{i,c}: dense layout i * |adom| + index(c).
+  out.formula = Circuit(k * static_cast<int>(adom.size()));
+  std::map<Value, int> adom_index;
+  for (size_t i = 0; i < adom.size(); ++i) {
+    adom_index[adom[i]] = static_cast<int>(i);
+  }
+  for (int i = 0; i < k; ++i) {
+    for (Value c : adom) out.input_origin.push_back({i, c});
+  }
+  auto z = [&](int i, int c_idx) {
+    return i * static_cast<int>(adom.size()) + c_idx;
+  };
+
+  Circuit& f = out.formula;
+  // θ_a per atom node; memoized translation of the body.
+  std::map<int, int> memo;
+  auto translate = [&](auto&& self, int id) -> Result<int> {
+    auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
+    const auto& n = fo.nodes[id];
+    int gate = -1;
+    switch (n.kind) {
+      case Kind::kAtom: {
+        const Atom& a = fo.atoms[n.atom];
+        PQ_ASSIGN_OR_RETURN(RelId rid, db.FindRelation(a.relation));
+        const Relation& rel = db.relation(rid);
+        if (rel.arity() != a.terms.size()) {
+          return Status::InvalidArgument(
+              internal::StrCat("atom ", a.relation, " arity mismatch"));
+        }
+        std::vector<int> disjuncts;
+        for (size_t r = 0; r < rel.size(); ++r) {
+          auto row = rel.Row(r);
+          bool consistent = true;
+          std::vector<int> lits;
+          for (size_t c = 0; c < a.terms.size() && consistent; ++c) {
+            const Term& t = a.terms[c];
+            if (t.is_const()) {
+              consistent = (row[c] == t.value());
+            } else {
+              int yi = index_of(t.var());
+              if (yi < 0) {
+                return Status::InvalidArgument(
+                    "body variable not bound by the prenex block");
+              }
+              lits.push_back(z(yi, adom_index.at(row[c])));
+            }
+          }
+          if (!consistent) continue;
+          if (lits.empty()) {
+            // Ground atom matched: θ_a is TRUE — represent as
+            // (z_{0,c0} OR NOT z_{0,c0}).
+            int first = z(0, 0);
+            int neg = f.AddGate(GateKind::kNot, {first});
+            disjuncts.push_back(f.AddGate(GateKind::kOr, {first, neg}));
+          } else if (lits.size() == 1) {
+            disjuncts.push_back(lits[0]);
+          } else {
+            disjuncts.push_back(f.AddGate(GateKind::kAnd, std::move(lits)));
+          }
+        }
+        if (disjuncts.empty()) {
+          // No consistent tuple: FALSE = (z AND NOT z).
+          int first = z(0, 0);
+          int neg = f.AddGate(GateKind::kNot, {first});
+          gate = f.AddGate(GateKind::kAnd, {first, neg});
+        } else if (disjuncts.size() == 1) {
+          gate = disjuncts[0];
+        } else {
+          gate = f.AddGate(GateKind::kOr, std::move(disjuncts));
+        }
+        break;
+      }
+      case Kind::kAnd:
+      case Kind::kOr: {
+        std::vector<int> kids;
+        for (int c : n.children) {
+          PQ_ASSIGN_OR_RETURN(int kid, self(self, c));
+          kids.push_back(kid);
+        }
+        gate = n.kind == Kind::kAnd ? f.AddGate(GateKind::kAnd, std::move(kids))
+                                    : f.AddGate(GateKind::kOr, std::move(kids));
+        break;
+      }
+      default:
+        return Status::Internal("non-positive node in prenex body");
+    }
+    memo[id] = gate;
+    return gate;
+  };
+  PQ_ASSIGN_OR_RETURN(int body_gate, translate(translate, root.children[0]));
+
+  // At-most-one constant per variable.
+  std::vector<int> conjuncts;
+  for (int i = 0; i < k; ++i) {
+    for (size_t c1 = 0; c1 < adom.size(); ++c1) {
+      for (size_t c2 = c1 + 1; c2 < adom.size(); ++c2) {
+        int n1 = f.AddGate(GateKind::kNot, {z(i, static_cast<int>(c1))});
+        int n2 = f.AddGate(GateKind::kNot, {z(i, static_cast<int>(c2))});
+        conjuncts.push_back(f.AddGate(GateKind::kOr, {n1, n2}));
+      }
+    }
+  }
+  conjuncts.push_back(body_gate);
+  f.SetOutput(conjuncts.size() == 1
+                  ? conjuncts[0]
+                  : f.AddGate(GateKind::kAnd, std::move(conjuncts)));
+  return out;
+}
+
+}  // namespace paraquery

@@ -1,0 +1,39 @@
+// Theorem 1 upper bound (parameter v, prenex case): prenex positive query
+// evaluation ≤ weighted formula satisfiability.
+//
+// For a closed prenex positive query Q = ∃y_1..y_k ψ (ψ quantifier-free)
+// and a database d, introduce Boolean variables z_{i,c} ("y_i maps to
+// constant c") for every i and every active-domain constant c. The formula
+// is the conjunction of at-most-one clauses (¬z_{i,c} ∨ ¬z_{i,c'}) with ψ
+// where each atom a = R(τ) is replaced by
+//     θ_a = ⋁_{s ∈ R consistent with τ's constants} ⋀_j z_{i_j, s[j]},
+// the conjunction ranging over the positions j holding variable y_{i_j}.
+// Q is true on d iff the formula has a weight-k satisfying assignment.
+#ifndef PARAQUERY_REDUCTIONS_POSITIVE_TO_WFORMULA_H_
+#define PARAQUERY_REDUCTIONS_POSITIVE_TO_WFORMULA_H_
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/status.hpp"
+#include "query/positive_query.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+
+/// Output of the reduction.
+struct PositiveToWFormulaResult {
+  Circuit formula = Circuit(0);
+  int k = 0;  // required weight = number of quantified variables
+  /// input_origin[b] = (variable index i, constant) for formula input b.
+  std::vector<std::pair<int, Value>> input_origin;
+};
+
+/// Builds the reduction. The query must be closed (Boolean head) and
+/// prenex: a single outermost ∃ block over a quantifier-free positive body.
+Result<PositiveToWFormulaResult> PrenexPositiveToWFormula(
+    const Database& db, const PositiveQuery& q);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_REDUCTIONS_POSITIVE_TO_WFORMULA_H_

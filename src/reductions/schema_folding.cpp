@@ -1,0 +1,59 @@
+#include "reductions/schema_folding.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "eval/common.hpp"
+#include "relational/ops.hpp"
+
+namespace paraquery {
+
+Result<SchemaFoldingResult> FoldSchema(const Database& db,
+                                       const ConjunctiveQuery& q) {
+  PQ_RETURN_NOT_OK(q.Validate());
+  if (q.HasComparisons()) {
+    return Status::InvalidArgument(
+        "FoldSchema requires a comparison-free conjunctive query");
+  }
+  SchemaFoldingResult out;
+  out.query.vars = q.vars;
+  out.query.head = q.head;
+
+  // Group atoms by their (sorted) variable set.
+  std::map<std::vector<VarId>, std::vector<size_t>> classes;
+  for (size_t i = 0; i < q.body.size(); ++i) {
+    std::vector<VarId> s = q.body[i].Variables();
+    std::sort(s.begin(), s.end());
+    classes[s].push_back(i);
+  }
+
+  for (const auto& [vars, atom_ids] : classes) {
+    // Intersection of the per-atom relations, aligned to `vars` order.
+    NamedRelation acc{std::vector<AttrId>(vars.begin(), vars.end())};
+    bool first = true;
+    for (size_t ai : atom_ids) {
+      PQ_ASSIGN_OR_RETURN(NamedRelation pa, AtomToRelation(db, q.body[ai]));
+      NamedRelation aligned =
+          Project(pa, std::vector<AttrId>(vars.begin(), vars.end()));
+      acc = first ? std::move(aligned) : Intersect(acc, aligned);
+      first = false;
+    }
+    // Store R_S and emit the folded atom.
+    std::string name = "FOLD";
+    for (VarId v : vars) {
+      name += "_";
+      name += q.vars.name(v);
+    }
+    PQ_ASSIGN_OR_RETURN(RelId id, out.db.AddRelation(name, vars.size()));
+    for (size_t r = 0; r < acc.size(); ++r) {
+      out.db.relation(id).Add(acc.rel().Row(r));
+    }
+    Atom folded;
+    folded.relation = name;
+    for (VarId v : vars) folded.terms.push_back(Term::Var(v));
+    out.query.body.push_back(std::move(folded));
+  }
+  return out;
+}
+
+}  // namespace paraquery

@@ -1,0 +1,31 @@
+// Theorem 1 upper bound (parameter v): folding a query of unbounded size
+// into one of size <= 2^v over a derived database.
+//
+// For each set S of variables such that some atoms use exactly the variable
+// set S, the folded database stores R_S = ⋂_{a ∈ A_S} P_a, where P_a is the
+// relation of instantiations of S satisfying atom a. The folded query has
+// one atom R_S(S) per nonempty class, hence at most 2^v atoms, and the same
+// variables — reducing the parameter-v problem to the parameter-q problem.
+#ifndef PARAQUERY_REDUCTIONS_SCHEMA_FOLDING_H_
+#define PARAQUERY_REDUCTIONS_SCHEMA_FOLDING_H_
+
+#include "common/status.hpp"
+#include "query/conjunctive_query.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+
+/// Output of the folding transformation.
+struct SchemaFoldingResult {
+  Database db;             // relations R_S, named "FOLD_<vars>"
+  ConjunctiveQuery query;  // one atom per class; same head, same variables
+};
+
+/// Builds the folded instance. Q(d) = Q'(d') tuple-for-tuple.
+/// Requires a comparison-free query.
+Result<SchemaFoldingResult> FoldSchema(const Database& db,
+                                       const ConjunctiveQuery& q);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_REDUCTIONS_SCHEMA_FOLDING_H_

@@ -1,0 +1,92 @@
+#include "reductions/wformula_to_positive.hpp"
+
+#include <string>
+#include <vector>
+
+namespace paraquery {
+
+Result<WFormulaToPositiveResult> WFormulaToPositive(const Circuit& formula,
+                                                    int k) {
+  if (formula.output() < 0) {
+    return Status::InvalidArgument("formula has no output gate");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("weight k must be >= 1");
+  }
+  int n = formula.num_inputs();
+  WFormulaToPositiveResult out;
+  RelId eq = out.db.AddRelation("EQ", 2).ValueOrDie();
+  RelId neq = out.db.AddRelation("NEQ", 2).ValueOrDie();
+  for (Value i = 1; i <= n; ++i) {
+    out.db.relation(eq).Add({i, i});
+    for (Value j = 1; j <= n; ++j) {
+      if (i != j) out.db.relation(neq).Add({i, j});
+    }
+  }
+
+  FirstOrderQuery fo;
+  std::vector<VarId> ys;
+  for (int i = 1; i <= k; ++i) {
+    std::string name = "y";
+    name += std::to_string(i);
+    ys.push_back(fo.vars.Intern(name));
+  }
+
+  // ψ: NNF translation of the formula. polarity=true for positive context.
+  // Memoized per (gate, polarity) since formulas may share subtrees.
+  std::vector<int> memo_pos(formula.num_gates(), -1);
+  std::vector<int> memo_neg(formula.num_gates(), -1);
+  auto translate = [&](auto&& self, int gate, bool pos) -> int {
+    int& slot = pos ? memo_pos[gate] : memo_neg[gate];
+    if (slot >= 0) return slot;
+    const Gate& g = formula.gate(gate);
+    int node = -1;
+    switch (g.kind) {
+      case GateKind::kInput: {
+        // Positive occurrence of x_i: ⋁_j EQ(i, y_j); negative: ⋀_j NEQ.
+        std::vector<int> kids;
+        for (VarId y : ys) {
+          Atom a;
+          a.relation = pos ? "EQ" : "NEQ";
+          a.terms = {Term::Const(gate + 1), Term::Var(y)};
+          kids.push_back(fo.AddAtomNode(std::move(a)));
+        }
+        node = pos ? fo.AddOr(std::move(kids)) : fo.AddAnd(std::move(kids));
+        break;
+      }
+      case GateKind::kNot:
+        node = self(self, g.inputs[0], !pos);
+        break;
+      case GateKind::kAnd:
+      case GateKind::kOr: {
+        std::vector<int> kids;
+        for (int in : g.inputs) kids.push_back(self(self, in, pos));
+        bool make_and = (g.kind == GateKind::kAnd) == pos;  // De Morgan
+        node = make_and ? fo.AddAnd(std::move(kids))
+                        : fo.AddOr(std::move(kids));
+        break;
+      }
+    }
+    slot = node;
+    return node;
+  };
+  int psi = translate(translate, formula.output(), /*pos=*/true);
+
+  std::vector<int> conjuncts;
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      Atom a;
+      a.relation = "NEQ";
+      a.terms = {Term::Var(ys[i]), Term::Var(ys[j])};
+      conjuncts.push_back(fo.AddAtomNode(std::move(a)));
+    }
+  }
+  conjuncts.push_back(psi);
+  int body = conjuncts.size() == 1 ? conjuncts[0]
+                                   : fo.AddAnd(std::move(conjuncts));
+  fo.root = fo.AddExists(ys, body);
+  PQ_ASSIGN_OR_RETURN(out.query, PositiveQuery::FromFirstOrder(std::move(fo)));
+  return out;
+}
+
+}  // namespace paraquery

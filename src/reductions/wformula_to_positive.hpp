@@ -1,0 +1,38 @@
+// Theorem 1 lower bound (parameter v): weighted formula satisfiability ≤
+// positive-query evaluation.
+//
+// For a Boolean formula φ over x_1..x_n and weight k, the database holds
+//   EQ  = {(i, i)   : 1 <= i <= n}
+//   NEQ = {(i, j)   : 1 <= i != j <= n}
+// and the positive query is
+//   Q = ∃y_1..y_k [ ⋀_{i<j} NEQ(y_i, y_j) ] ∧ ψ,
+// where ψ replaces each positive occurrence of x_i by ⋁_j EQ(i, y_j) and
+// each negative occurrence by ⋀_j NEQ(i, y_j). φ has a weight-k satisfying
+// assignment iff Q is true on the database. The query uses k variables, so
+// the reduction gives W[SAT]-hardness under parameter v.
+#ifndef PARAQUERY_REDUCTIONS_WFORMULA_TO_POSITIVE_H_
+#define PARAQUERY_REDUCTIONS_WFORMULA_TO_POSITIVE_H_
+
+#include "circuit/circuit.hpp"
+#include "common/status.hpp"
+#include "query/positive_query.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+
+/// Output of the reduction.
+struct WFormulaToPositiveResult {
+  Database db;          // EQ and NEQ over {1..n}
+  PositiveQuery query;  // Boolean positive query with k variables
+};
+
+/// Builds the reduction for a formula given as a circuit (NOT gates are
+/// pushed to the leaves during the translation, so any circuit shape is
+/// accepted; for the W[SAT] statement the input is a fan-out-1 formula).
+/// Requires k >= 1 and an output gate.
+Result<WFormulaToPositiveResult> WFormulaToPositive(const Circuit& formula,
+                                                    int k);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_REDUCTIONS_WFORMULA_TO_POSITIVE_H_

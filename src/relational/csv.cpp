@@ -1,0 +1,110 @@
+#include "relational/csv.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace paraquery {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool IsInteger(std::string_view s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<RelId> LoadCsv(Database* db, const std::string& name,
+                      std::string_view csv_text) {
+  std::vector<ValueVec> rows;
+  size_t arity = 0;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= csv_text.size()) {
+    size_t end = csv_text.find('\n', start);
+    if (end == std::string_view::npos) end = csv_text.size();
+    std::string_view line = Trim(csv_text.substr(start, end - start));
+    start = end + 1;
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      if (end == csv_text.size()) break;
+      continue;
+    }
+    ValueVec row;
+    size_t cell_start = 0;
+    for (;;) {
+      size_t comma = line.find(',', cell_start);
+      std::string_view cell =
+          Trim(line.substr(cell_start, comma == std::string_view::npos
+                                           ? std::string_view::npos
+                                           : comma - cell_start));
+      if (IsInteger(cell)) {
+        row.push_back(std::stoll(std::string(cell)));
+      } else {
+        row.push_back(db->dict().Intern(cell));
+      }
+      if (comma == std::string_view::npos) break;
+      cell_start = comma + 1;
+    }
+    if (rows.empty()) {
+      arity = row.size();
+    } else if (row.size() != arity) {
+      return Status::InvalidArgument(internal::StrCat(
+          "CSV line ", line_no, " has ", row.size(), " cells, expected ",
+          arity));
+    }
+    rows.push_back(std::move(row));
+    if (end == csv_text.size()) break;
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV contains no data rows");
+  }
+  PQ_ASSIGN_OR_RETURN(RelId id, db->AddRelation(name, arity));
+  for (const ValueVec& row : rows) db->relation(id).Add(row);
+  return id;
+}
+
+Result<RelId> LoadCsvFile(Database* db, const std::string& name,
+                          const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(internal::StrCat("cannot open '", path, "'"));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadCsv(db, name, buffer.str());
+}
+
+void WriteCsv(const Database& db, RelId rel, std::ostream* out,
+              bool use_dict) {
+  const Relation& r = db.relation(rel);
+  for (size_t row = 0; row < r.size(); ++row) {
+    for (size_t col = 0; col < r.arity(); ++col) {
+      if (col > 0) *out << ",";
+      Value v = r.At(row, col);
+      if (use_dict && db.dict().Contains(v)) {
+        *out << db.dict().Lookup(v);
+      } else {
+        *out << v;
+      }
+    }
+    *out << "\n";
+  }
+}
+
+}  // namespace paraquery

@@ -1,0 +1,37 @@
+// CSV import/export for relations: integer cells are stored directly,
+// anything else is interned through the database dictionary. This is the
+// data-on-disk edge of the library (examples, the shell tool, user data).
+#ifndef PARAQUERY_RELATIONAL_CSV_H_
+#define PARAQUERY_RELATIONAL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+
+/// Parses CSV text into a new relation `name` of `db`. The arity is taken
+/// from the first row; all rows must agree. Empty lines and lines starting
+/// with '#' are skipped. Cells are trimmed; purely numeric cells (optional
+/// leading '-') become integer values, all others are dictionary-interned.
+/// Fails with AlreadyExists if the relation exists, InvalidArgument on
+/// ragged rows.
+Result<RelId> LoadCsv(Database* db, const std::string& name,
+                      std::string_view csv_text);
+
+/// Reads a whole file and delegates to LoadCsv.
+Result<RelId> LoadCsvFile(Database* db, const std::string& name,
+                          const std::string& path);
+
+/// Writes `rel` as CSV; values that are dictionary codes are exported as
+/// their strings when `use_dict` is set (codes outside the dictionary are
+/// written as integers).
+void WriteCsv(const Database& db, RelId rel, std::ostream* out,
+              bool use_dict = false);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_RELATIONAL_CSV_H_

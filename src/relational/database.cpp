@@ -1,0 +1,62 @@
+#include "relational/database.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace paraquery {
+
+Result<RelId> Database::AddRelation(const std::string& name, size_t arity) {
+  if (index_.count(name) != 0) {
+    return Status::AlreadyExists(
+        internal::StrCat("relation '", name, "' already exists"));
+  }
+  RelId id = static_cast<RelId>(relations_.size());
+  relations_.emplace_back(arity);
+  names_.push_back(name);
+  index_.emplace(name, id);
+  return id;
+}
+
+Result<RelId> Database::FindRelation(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound(internal::StrCat("relation '", name, "' not found"));
+  }
+  return it->second;
+}
+
+bool Database::HasRelation(const std::string& name) const {
+  return index_.count(name) != 0;
+}
+
+DatabaseSchema Database::GetSchema() const {
+  DatabaseSchema schema;
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    schema.relations.push_back({names_[i], relations_[i].arity(), {}});
+  }
+  return schema;
+}
+
+std::vector<Value> Database::ActiveDomain() const {
+  std::set<Value> dom;
+  for (const Relation& rel : relations_) {
+    for (Value v : rel.data()) dom.insert(v);
+  }
+  return std::vector<Value>(dom.begin(), dom.end());
+}
+
+size_t Database::TotalTuples() const {
+  size_t total = 0;
+  for (const Relation& rel : relations_) total += rel.size();
+  return total;
+}
+
+size_t Database::SizeMeasure() const {
+  size_t total = relations_.size();
+  for (const Relation& rel : relations_) {
+    total += rel.size() * std::max<size_t>(1, rel.arity());
+  }
+  return total;
+}
+
+}  // namespace paraquery

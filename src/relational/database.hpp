@@ -1,0 +1,64 @@
+// Database instance: a catalog of named relations plus a string dictionary.
+// This is the object d = [D; R_1, ..., R_m] of the paper.
+#ifndef PARAQUERY_RELATIONAL_DATABASE_H_
+#define PARAQUERY_RELATIONAL_DATABASE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "relational/dictionary.hpp"
+#include "relational/relation.hpp"
+#include "relational/schema.hpp"
+
+namespace paraquery {
+
+/// Dense id of a relation within its Database.
+using RelId = int;
+
+/// In-memory relational database instance.
+class Database {
+ public:
+  /// Creates an empty relation; fails with AlreadyExists on duplicate name.
+  Result<RelId> AddRelation(const std::string& name, size_t arity);
+
+  /// Relation id for `name`, or NotFound.
+  Result<RelId> FindRelation(const std::string& name) const;
+
+  bool HasRelation(const std::string& name) const;
+
+  size_t relation_count() const { return relations_.size(); }
+  Relation& relation(RelId id) { return relations_[id]; }
+  const Relation& relation(RelId id) const { return relations_[id]; }
+  const std::string& relation_name(RelId id) const { return names_[id]; }
+  size_t relation_arity(RelId id) const { return relations_[id].arity(); }
+
+  /// The database schema (names + arities).
+  DatabaseSchema GetSchema() const;
+
+  /// Mutable dictionary for interning string values.
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+
+  /// Sorted distinct values appearing anywhere in the database (the active
+  /// domain adom(d), used for first-order evaluation and color coding).
+  std::vector<Value> ActiveDomain() const;
+
+  /// Total number of stored tuples, summed over relations.
+  size_t TotalTuples() const;
+
+  /// Size measure n = |d|: total number of value slots (tuples × arity),
+  /// plus one per relation so empty databases have nonzero size.
+  size_t SizeMeasure() const;
+
+ private:
+  Dictionary dict_;
+  std::vector<Relation> relations_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, RelId> index_;
+};
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_RELATIONAL_DATABASE_H_

@@ -1,0 +1,26 @@
+#include "relational/dictionary.hpp"
+
+#include "common/status.hpp"
+
+namespace paraquery {
+
+Value Dictionary::Intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  Value code = static_cast<Value>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), code);
+  return code;
+}
+
+Value Dictionary::Find(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& Dictionary::Lookup(Value code) const {
+  PQ_CHECK(Contains(code), "Dictionary::Lookup: invalid code");
+  return strings_[static_cast<size_t>(code)];
+}
+
+}  // namespace paraquery

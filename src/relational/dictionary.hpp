@@ -1,0 +1,44 @@
+// String interning: maps strings to dense Value codes and back.
+#ifndef PARAQUERY_RELATIONAL_DICTIONARY_H_
+#define PARAQUERY_RELATIONAL_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/value.hpp"
+
+namespace paraquery {
+
+/// Bidirectional string <-> code mapping owned by a Database.
+///
+/// Codes are assigned densely from 0. Columns holding interned strings and
+/// columns holding raw integers share the Value type; which interpretation
+/// applies is schema-level knowledge held by the caller.
+class Dictionary {
+ public:
+  /// Returns the code for `s`, interning it on first use.
+  Value Intern(std::string_view s);
+
+  /// Returns the code for `s` or -1 if it was never interned.
+  Value Find(std::string_view s) const;
+
+  /// Returns the string for `code`; code must be a valid interned code.
+  const std::string& Lookup(Value code) const;
+
+  /// True if `code` names an interned string.
+  bool Contains(Value code) const {
+    return code >= 0 && static_cast<size_t>(code) < strings_.size();
+  }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, Value> index_;
+};
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_RELATIONAL_DICTIONARY_H_

@@ -1,0 +1,84 @@
+#include "relational/named_relation.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/status.hpp"
+
+namespace paraquery {
+
+namespace {
+void CheckDistinct(const std::vector<AttrId>& attrs) {
+  std::set<AttrId> seen(attrs.begin(), attrs.end());
+  PQ_CHECK(seen.size() == attrs.size(),
+           "NamedRelation attributes must be distinct");
+}
+}  // namespace
+
+NamedRelation::NamedRelation(std::vector<AttrId> attrs)
+    : attrs_(std::move(attrs)), rel_(attrs_.size()) {
+  CheckDistinct(attrs_);
+}
+
+NamedRelation::NamedRelation(std::vector<AttrId> attrs, Relation rel)
+    : attrs_(std::move(attrs)), rel_(std::move(rel)) {
+  CheckDistinct(attrs_);
+  PQ_CHECK(attrs_.size() == rel_.arity(),
+           "NamedRelation: attribute count != relation arity");
+}
+
+int NamedRelation::ColumnOf(AttrId attr) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i] == attr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void NamedRelation::RenameAttr(AttrId from, AttrId to) {
+  int col = ColumnOf(from);
+  PQ_CHECK(col >= 0, "RenameAttr: attribute not present");
+  PQ_CHECK(ColumnOf(to) < 0, "RenameAttr: target attribute already present");
+  attrs_[col] = to;
+}
+
+bool NamedRelation::EquivalentTo(const NamedRelation& other) const {
+  if (attrs_.size() != other.attrs_.size()) return false;
+  std::vector<int> perm(attrs_.size());
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    int col = other.ColumnOf(attrs_[i]);
+    if (col < 0) return false;
+    perm[i] = col;
+  }
+  // Re-order other's columns to match ours, then compare as sets.
+  Relation reordered(attrs_.size());
+  for (size_t r = 0; r < other.size(); ++r) {
+    ValueVec row(attrs_.size());
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+      row[i] = other.rel().At(r, perm[i]);
+    }
+    reordered.Add(row);
+  }
+  return rel_.EqualsAsSet(reordered);
+}
+
+std::string NamedRelation::ToString() const {
+  std::ostringstream oss;
+  oss << "[";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) oss << ",";
+    oss << attrs_[i];
+  }
+  oss << "]" << rel_.ToString();
+  return oss.str();
+}
+
+NamedRelation BooleanTrue() {
+  NamedRelation out{std::vector<AttrId>{}};
+  out.rel().AddEmptyRow();
+  return out;
+}
+
+NamedRelation BooleanFalse() { return NamedRelation{std::vector<AttrId>{}}; }
+
+}  // namespace paraquery

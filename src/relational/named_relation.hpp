@@ -1,0 +1,64 @@
+// Attribute-labelled relation: a Relation whose columns carry integer
+// attribute ids (in query evaluation these are variable ids). All relational
+// algebra in ops.hpp is defined over NamedRelation.
+#ifndef PARAQUERY_RELATIONAL_NAMED_RELATION_H_
+#define PARAQUERY_RELATIONAL_NAMED_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/relation.hpp"
+
+namespace paraquery {
+
+/// Attribute id; semantics (query variable, primed hash copy, ...) are owned
+/// by the caller. Ids within one NamedRelation are distinct.
+using AttrId = int;
+
+/// A relation together with its ordered list of distinct attribute ids.
+class NamedRelation {
+ public:
+  /// Empty 0-ary relation (no attributes, no rows: Boolean FALSE).
+  NamedRelation() : rel_(0) {}
+
+  /// Empty relation with the given attribute list.
+  explicit NamedRelation(std::vector<AttrId> attrs);
+
+  /// Wraps an existing relation; `attrs.size()` must equal `rel.arity()`.
+  NamedRelation(std::vector<AttrId> attrs, Relation rel);
+
+  const std::vector<AttrId>& attrs() const { return attrs_; }
+  Relation& rel() { return rel_; }
+  const Relation& rel() const { return rel_; }
+
+  size_t arity() const { return attrs_.size(); }
+  size_t size() const { return rel_.size(); }
+  bool empty() const { return rel_.empty(); }
+
+  /// Column index of `attr`, or -1 if absent. O(arity).
+  int ColumnOf(AttrId attr) const;
+  bool HasAttr(AttrId attr) const { return ColumnOf(attr) >= 0; }
+
+  /// Replaces attribute ids via parallel old->new lists (for renaming).
+  void RenameAttr(AttrId from, AttrId to);
+
+  /// True if both hold the same attribute set and, after aligning column
+  /// order, the same set of rows.
+  bool EquivalentTo(const NamedRelation& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<AttrId> attrs_;
+  Relation rel_;
+};
+
+/// Returns a NamedRelation with one row of zero arity (Boolean TRUE).
+NamedRelation BooleanTrue();
+
+/// Returns the 0-ary empty relation (Boolean FALSE).
+NamedRelation BooleanFalse();
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_RELATIONAL_NAMED_RELATION_H_

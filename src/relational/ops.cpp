@@ -1,0 +1,282 @@
+#include "relational/ops.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "relational/value.hpp"
+
+namespace paraquery {
+
+namespace {
+
+// Positions of the common attributes, as (left column, right column) pairs in
+// left-attribute order.
+std::vector<std::pair<int, int>> CommonColumns(const NamedRelation& left,
+                                               const NamedRelation& right) {
+  std::vector<std::pair<int, int>> out;
+  for (size_t i = 0; i < left.attrs().size(); ++i) {
+    int rc = right.ColumnOf(left.attrs()[i]);
+    if (rc >= 0) out.emplace_back(static_cast<int>(i), rc);
+  }
+  return out;
+}
+
+uint64_t HashKey(const Relation& rel, size_t row, const std::vector<int>& cols) {
+  uint64_t h = 0x243f6a8885a308d3ull;
+  for (int c : cols) h = (h ^ HashValue(rel.At(row, c))) * 0x100000001b3ull;
+  return h;
+}
+
+bool KeysEqual(const Relation& a, size_t ra, const std::vector<int>& ca,
+               const Relation& b, size_t rb, const std::vector<int>& cb) {
+  for (size_t i = 0; i < ca.size(); ++i) {
+    if (a.At(ra, ca[i]) != b.At(rb, cb[i])) return false;
+  }
+  return true;
+}
+
+// Hash index: key hash -> row indices (collisions resolved by the caller via
+// KeysEqual). Values verified on probe, so hash collisions are benign.
+std::unordered_map<uint64_t, std::vector<uint32_t>> BuildIndex(
+    const Relation& rel, const std::vector<int>& cols) {
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+  index.reserve(rel.size() * 2);
+  for (size_t r = 0; r < rel.size(); ++r) {
+    index[HashKey(rel, r, cols)].push_back(static_cast<uint32_t>(r));
+  }
+  return index;
+}
+
+}  // namespace
+
+NamedRelation Select(const NamedRelation& in, const Predicate& pred) {
+  NamedRelation out{in.attrs()};
+  out.rel().Reserve(in.size() / 2);
+  for (size_t r = 0; r < in.size(); ++r) {
+    auto row = in.rel().Row(r);
+    if (pred.Eval(row)) out.rel().Add(row);
+  }
+  return out;
+}
+
+NamedRelation Project(const NamedRelation& in, const std::vector<AttrId>& attrs,
+                      bool dedup) {
+  std::vector<int> cols(attrs.size());
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    int c = in.ColumnOf(attrs[i]);
+    PQ_CHECK(c >= 0, "Project: attribute not present in input");
+    cols[i] = c;
+  }
+  NamedRelation out{attrs};
+  out.rel().Reserve(in.size());
+  ValueVec row(attrs.size());
+  for (size_t r = 0; r < in.size(); ++r) {
+    for (size_t i = 0; i < cols.size(); ++i) row[i] = in.rel().At(r, cols[i]);
+    out.rel().Add(row);
+  }
+  if (dedup) out.rel().SortAndDedup();
+  return out;
+}
+
+Result<NamedRelation> NaturalJoin(const NamedRelation& left,
+                                  const NamedRelation& right,
+                                  const JoinOptions& options) {
+  auto common = CommonColumns(left, right);
+  std::vector<int> lcols, rcols;
+  for (auto [lc, rc] : common) {
+    lcols.push_back(lc);
+    rcols.push_back(rc);
+  }
+  // Output schema: all of left, then right-only columns.
+  std::vector<AttrId> out_attrs = left.attrs();
+  std::vector<int> right_extra;  // right columns not in left
+  for (size_t i = 0; i < right.attrs().size(); ++i) {
+    if (!left.HasAttr(right.attrs()[i])) {
+      out_attrs.push_back(right.attrs()[i]);
+      right_extra.push_back(static_cast<int>(i));
+    }
+  }
+  NamedRelation out{out_attrs};
+
+  auto index = BuildIndex(right.rel(), rcols);
+  ValueVec row(out_attrs.size());
+  uint64_t emitted = 0;
+  for (size_t lr = 0; lr < left.size(); ++lr) {
+    auto it = index.find(HashKey(left.rel(), lr, lcols));
+    if (it == index.end()) continue;
+    for (uint32_t rr : it->second) {
+      if (!KeysEqual(left.rel(), lr, lcols, right.rel(), rr, rcols)) continue;
+      for (size_t i = 0; i < left.arity(); ++i) row[i] = left.rel().At(lr, i);
+      for (size_t i = 0; i < right_extra.size(); ++i) {
+        row[left.arity() + i] = right.rel().At(rr, right_extra[i]);
+      }
+      if (!options.post_filter.Eval(row)) continue;
+      if (options.max_output_rows != 0 && emitted >= options.max_output_rows) {
+        return Status::ResourceExhausted(internal::StrCat(
+            "NaturalJoin output exceeds limit of ", options.max_output_rows,
+            " rows"));
+      }
+      out.rel().Add(row);
+      ++emitted;
+    }
+  }
+  return out;
+}
+
+NamedRelation Semijoin(const NamedRelation& left, const NamedRelation& right) {
+  auto common = CommonColumns(left, right);
+  std::vector<int> lcols, rcols;
+  for (auto [lc, rc] : common) {
+    lcols.push_back(lc);
+    rcols.push_back(rc);
+  }
+  NamedRelation out{left.attrs()};
+  if (common.empty()) {
+    // Degenerate semijoin: keep left iff right is nonempty.
+    if (!right.empty()) out = left;
+    return out;
+  }
+  auto index = BuildIndex(right.rel(), rcols);
+  for (size_t lr = 0; lr < left.size(); ++lr) {
+    auto it = index.find(HashKey(left.rel(), lr, lcols));
+    if (it == index.end()) continue;
+    bool matched = false;
+    for (uint32_t rr : it->second) {
+      if (KeysEqual(left.rel(), lr, lcols, right.rel(), rr, rcols)) {
+        matched = true;
+        break;
+      }
+    }
+    if (matched) out.rel().Add(left.rel().Row(lr));
+  }
+  return out;
+}
+
+namespace {
+// Aligns `right` rows to `left`'s attribute order; both must have the same
+// attribute set.
+Relation AlignTo(const NamedRelation& left, const NamedRelation& right) {
+  PQ_CHECK(left.attrs().size() == right.attrs().size(),
+           "set operation requires identical attribute sets");
+  std::vector<int> perm(left.attrs().size());
+  for (size_t i = 0; i < left.attrs().size(); ++i) {
+    int c = right.ColumnOf(left.attrs()[i]);
+    PQ_CHECK(c >= 0, "set operation requires identical attribute sets");
+    perm[i] = c;
+  }
+  Relation out(left.arity());
+  ValueVec row(left.arity());
+  for (size_t r = 0; r < right.size(); ++r) {
+    for (size_t i = 0; i < perm.size(); ++i) row[i] = right.rel().At(r, perm[i]);
+    out.Add(row);
+  }
+  return out;
+}
+}  // namespace
+
+NamedRelation UnionSet(const NamedRelation& left, const NamedRelation& right) {
+  Relation merged = left.rel();
+  Relation aligned = AlignTo(left, right);
+  for (size_t r = 0; r < aligned.size(); ++r) merged.Add(aligned.Row(r));
+  if (left.arity() == 0) {
+    // Zero-ary: nonempty iff either side nonempty.
+    NamedRelation out = (left.empty() && right.empty()) ? BooleanFalse()
+                                                        : BooleanTrue();
+    return out;
+  }
+  merged.SortAndDedup();
+  return NamedRelation{left.attrs(), std::move(merged)};
+}
+
+NamedRelation Difference(const NamedRelation& left, const NamedRelation& right) {
+  Relation aligned = AlignTo(left, right);
+  aligned.SortAndDedup();
+  NamedRelation out{left.attrs()};
+  if (left.arity() == 0) {
+    if (!left.empty() && aligned.empty()) return BooleanTrue();
+    return BooleanFalse();
+  }
+  for (size_t r = 0; r < left.size(); ++r) {
+    if (!aligned.Contains(left.rel().Row(r))) out.rel().Add(left.rel().Row(r));
+  }
+  out.rel().SortAndDedup();
+  return out;
+}
+
+NamedRelation Intersect(const NamedRelation& left, const NamedRelation& right) {
+  Relation aligned = AlignTo(left, right);
+  aligned.SortAndDedup();
+  NamedRelation out{left.attrs()};
+  if (left.arity() == 0) {
+    if (!left.empty() && !aligned.empty()) return BooleanTrue();
+    return BooleanFalse();
+  }
+  Relation left_sorted = left.rel();
+  left_sorted.SortAndDedup();
+  for (size_t r = 0; r < left_sorted.size(); ++r) {
+    if (aligned.Contains(left_sorted.Row(r))) out.rel().Add(left_sorted.Row(r));
+  }
+  return out;
+}
+
+Result<NamedRelation> CrossProduct(const NamedRelation& left,
+                                   const NamedRelation& right,
+                                   uint64_t max_output_rows) {
+  for (AttrId a : right.attrs()) {
+    PQ_CHECK(!left.HasAttr(a), "CrossProduct requires disjoint attributes");
+  }
+  JoinOptions options;
+  options.max_output_rows = max_output_rows;
+  return NaturalJoin(left, right, options);
+}
+
+Result<NamedRelation> DomainPower(const std::vector<AttrId>& attrs,
+                                  const std::vector<Value>& domain,
+                                  uint64_t max_rows) {
+  uint64_t rows = 1;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (domain.empty() || rows > max_rows / domain.size() + 1) {
+      rows = max_rows + 1;
+      break;
+    }
+    rows *= domain.size();
+  }
+  if (max_rows != 0 && rows > max_rows) {
+    return Status::ResourceExhausted(internal::StrCat(
+        "DomainPower of |D|=", domain.size(), " over ", attrs.size(),
+        " attributes exceeds limit of ", max_rows, " rows"));
+  }
+  NamedRelation out{attrs};
+  if (attrs.empty()) {
+    out.rel().AddEmptyRow();
+    return out;
+  }
+  if (domain.empty()) return out;
+  ValueVec row(attrs.size(), domain[0]);
+  std::vector<size_t> idx(attrs.size(), 0);
+  for (;;) {
+    out.rel().Add(row);
+    // Odometer increment.
+    size_t pos = attrs.size();
+    while (pos > 0) {
+      --pos;
+      if (++idx[pos] < domain.size()) {
+        row[pos] = domain[idx[pos]];
+        break;
+      }
+      idx[pos] = 0;
+      row[pos] = domain[0];
+      if (pos == 0) return out;
+    }
+  }
+}
+
+Result<NamedRelation> Complement(const NamedRelation& in,
+                                 const std::vector<Value>& domain,
+                                 uint64_t max_rows) {
+  PQ_ASSIGN_OR_RETURN(NamedRelation all, DomainPower(in.attrs(), domain,
+                                                     max_rows));
+  return Difference(all, in);
+}
+
+}  // namespace paraquery

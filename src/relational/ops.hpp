@@ -1,0 +1,73 @@
+// Relational algebra over NamedRelation: selection, projection, natural join,
+// semijoin, union, difference, intersection, cross product, active-domain
+// complement. These are the operators the paper's algorithms are stated in
+// (S_j = π_{U_j} σ_{F_j}(R_{i_j}), P_u := σ_F(P_u ⋈ π_{Y_j∩Y_u}(P_j)), ...).
+#ifndef PARAQUERY_RELATIONAL_OPS_H_
+#define PARAQUERY_RELATIONAL_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "relational/named_relation.hpp"
+#include "relational/predicate.hpp"
+
+namespace paraquery {
+
+/// σ: rows of `in` satisfying `pred` (columns indexed by position in `in`).
+NamedRelation Select(const NamedRelation& in, const Predicate& pred);
+
+/// π: keeps `attrs` (each must exist in `in`) in the given order.
+/// Deduplicates the result when `dedup` is true (set semantics).
+NamedRelation Project(const NamedRelation& in, const std::vector<AttrId>& attrs,
+                      bool dedup = true);
+
+/// Options for joins.
+struct JoinOptions {
+  /// Applied to each output row before it is materialized; column indices
+  /// refer to the OUTPUT schema (left attrs then right-only attrs).
+  Predicate post_filter;
+  /// Abort (ResourceExhausted) if the output would exceed this many rows.
+  /// 0 means unlimited.
+  uint64_t max_output_rows = 0;
+};
+
+/// ⋈: natural join on the common attributes. Output schema is `left.attrs()`
+/// followed by the attributes of `right` not present in `left`.
+Result<NamedRelation> NaturalJoin(const NamedRelation& left,
+                                  const NamedRelation& right,
+                                  const JoinOptions& options = {});
+
+/// ⋉: rows of `left` that join with at least one row of `right` on the
+/// common attributes. Output schema equals `left.attrs()`.
+NamedRelation Semijoin(const NamedRelation& left, const NamedRelation& right);
+
+/// ∪ over identical attribute sets (column order of `right` is aligned to
+/// `left`). Result is deduplicated.
+NamedRelation UnionSet(const NamedRelation& left, const NamedRelation& right);
+
+/// Set difference left − right over identical attribute sets.
+NamedRelation Difference(const NamedRelation& left, const NamedRelation& right);
+
+/// Set intersection over identical attribute sets.
+NamedRelation Intersect(const NamedRelation& left, const NamedRelation& right);
+
+/// × over disjoint attribute sets.
+Result<NamedRelation> CrossProduct(const NamedRelation& left,
+                                   const NamedRelation& right,
+                                   uint64_t max_output_rows = 0);
+
+/// All |domain|^|attrs| rows over `attrs` (used by active-domain complement).
+/// Fails with ResourceExhausted if the result exceeds `max_rows`.
+Result<NamedRelation> DomainPower(const std::vector<AttrId>& attrs,
+                                  const std::vector<Value>& domain,
+                                  uint64_t max_rows);
+
+/// Active-domain complement: DomainPower(attrs, domain) − in.
+Result<NamedRelation> Complement(const NamedRelation& in,
+                                 const std::vector<Value>& domain,
+                                 uint64_t max_rows);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_RELATIONAL_OPS_H_

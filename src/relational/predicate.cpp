@@ -1,0 +1,80 @@
+#include "relational/predicate.hpp"
+
+#include <sstream>
+
+namespace paraquery {
+
+bool Constraint::Eval(std::span<const Value> row) const {
+  switch (kind) {
+    case Kind::kEqConst:
+      return row[lhs] == value;
+    case Kind::kNeqConst:
+      return row[lhs] != value;
+    case Kind::kLtConst:
+      return row[lhs] < value;
+    case Kind::kLeConst:
+      return row[lhs] <= value;
+    case Kind::kGtConst:
+      return row[lhs] > value;
+    case Kind::kGeConst:
+      return row[lhs] >= value;
+    case Kind::kEqCols:
+      return row[lhs] == row[rhs];
+    case Kind::kNeqCols:
+      return row[lhs] != row[rhs];
+    case Kind::kLtCols:
+      return row[lhs] < row[rhs];
+    case Kind::kLeCols:
+      return row[lhs] <= row[rhs];
+  }
+  return false;
+}
+
+std::string Constraint::ToString() const {
+  std::ostringstream oss;
+  switch (kind) {
+    case Kind::kEqConst:
+      oss << "$" << lhs << "=" << value;
+      break;
+    case Kind::kNeqConst:
+      oss << "$" << lhs << "!=" << value;
+      break;
+    case Kind::kLtConst:
+      oss << "$" << lhs << "<" << value;
+      break;
+    case Kind::kLeConst:
+      oss << "$" << lhs << "<=" << value;
+      break;
+    case Kind::kGtConst:
+      oss << "$" << lhs << ">" << value;
+      break;
+    case Kind::kGeConst:
+      oss << "$" << lhs << ">=" << value;
+      break;
+    case Kind::kEqCols:
+      oss << "$" << lhs << "=$" << rhs;
+      break;
+    case Kind::kNeqCols:
+      oss << "$" << lhs << "!=$" << rhs;
+      break;
+    case Kind::kLtCols:
+      oss << "$" << lhs << "<$" << rhs;
+      break;
+    case Kind::kLeCols:
+      oss << "$" << lhs << "<=$" << rhs;
+      break;
+  }
+  return oss.str();
+}
+
+std::string Predicate::ToString() const {
+  std::ostringstream oss;
+  for (size_t i = 0; i < constraints_.size(); ++i) {
+    if (i > 0) oss << " AND ";
+    oss << constraints_[i].ToString();
+  }
+  if (constraints_.empty()) oss << "TRUE";
+  return oss.str();
+}
+
+}  // namespace paraquery

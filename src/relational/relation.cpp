@@ -1,0 +1,115 @@
+#include "relational/relation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/status.hpp"
+
+namespace paraquery {
+
+void Relation::Add(std::span<const Value> row) {
+  PQ_DCHECK(row.size() == arity_, "Relation::Add: arity mismatch");
+  if (arity_ == 0) {
+    ++zero_ary_rows_;
+    sorted_ = false;
+    return;
+  }
+  data_.insert(data_.end(), row.begin(), row.end());
+  sorted_ = false;
+}
+
+void Relation::AddEmptyRow() {
+  PQ_DCHECK(arity_ == 0, "AddEmptyRow requires arity 0");
+  ++zero_ary_rows_;
+  sorted_ = false;
+}
+
+void Relation::SortAndDedup() {
+  if (arity_ == 0) {
+    zero_ary_rows_ = zero_ary_rows_ > 0 ? 1 : 0;
+    sorted_ = true;
+    return;
+  }
+  size_t n = size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const Value* base = data_.data();
+  size_t arity = arity_;
+  auto cmp = [base, arity](size_t a, size_t b) {
+    return std::lexicographical_compare(base + a * arity, base + (a + 1) * arity,
+                                        base + b * arity, base + (b + 1) * arity);
+  };
+  auto eq = [base, arity](size_t a, size_t b) {
+    return std::equal(base + a * arity, base + (a + 1) * arity,
+                      base + b * arity);
+  };
+  std::sort(order.begin(), order.end(), cmp);
+  std::vector<Value> out;
+  out.reserve(data_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && eq(order[i], order[i - 1])) continue;
+    out.insert(out.end(), base + order[i] * arity, base + (order[i] + 1) * arity);
+  }
+  data_ = std::move(out);
+  sorted_ = true;
+}
+
+bool Relation::Contains(std::span<const Value> row) const {
+  PQ_DCHECK(row.size() == arity_, "Relation::Contains: arity mismatch");
+  if (arity_ == 0) return zero_ary_rows_ > 0;
+  size_t n = size();
+  if (sorted_) {
+    size_t lo = 0, hi = n;
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      auto mid_row = Row(mid);
+      if (std::lexicographical_compare(mid_row.begin(), mid_row.end(),
+                                       row.begin(), row.end())) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo < n && std::equal(Row(lo).begin(), Row(lo).end(), row.begin());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (std::equal(Row(i).begin(), Row(i).end(), row.begin())) return true;
+  }
+  return false;
+}
+
+bool Relation::EqualsAsSet(const Relation& other) const {
+  if (arity_ != other.arity_) return false;
+  Relation a = *this;
+  Relation b = other;
+  a.SortAndDedup();
+  b.SortAndDedup();
+  if (arity_ == 0) return a.zero_ary_rows_ == b.zero_ary_rows_;
+  return a.data_ == b.data_;
+}
+
+void Relation::Clear() {
+  data_.clear();
+  zero_ary_rows_ = 0;
+  sorted_ = false;
+}
+
+std::string Relation::ToString() const {
+  std::ostringstream oss;
+  oss << "{";
+  size_t n = size();
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) oss << ",";
+    oss << "(";
+    for (size_t j = 0; j < arity_; ++j) {
+      if (j > 0) oss << ",";
+      oss << At(i, j);
+    }
+    oss << ")";
+  }
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace paraquery

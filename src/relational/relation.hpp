@@ -1,0 +1,81 @@
+// Positional (unnamed-column) relation: a multiset of fixed-arity rows stored
+// row-major in a single contiguous buffer.
+#ifndef PARAQUERY_RELATIONAL_RELATION_H_
+#define PARAQUERY_RELATIONAL_RELATION_H_
+
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "relational/value.hpp"
+
+namespace paraquery {
+
+/// A fixed-arity table of Values with set or multiset semantics.
+///
+/// Storage is row-major (`data_[row * arity + col]`), the layout used for the
+/// tuple-at-a-time operators in this library. Set semantics are obtained by
+/// calling SortAndDedup(); operators that require sortedness check the
+/// `sorted()` flag in debug builds.
+class Relation {
+ public:
+  /// Creates an empty relation of the given arity. Arity 0 is allowed and
+  /// models Boolean (goal) relations: such a relation has either zero rows
+  /// (false) or one empty row (true).
+  explicit Relation(size_t arity) : arity_(arity) {}
+
+  size_t arity() const { return arity_; }
+
+  /// Number of rows.
+  size_t size() const { return arity_ == 0 ? zero_ary_rows_ : data_.size() / arity_; }
+  bool empty() const { return size() == 0; }
+
+  /// Appends a row; `row.size()` must equal arity().
+  void Add(std::span<const Value> row);
+  void Add(std::initializer_list<Value> row) {
+    Add(std::span<const Value>(row.begin(), row.size()));
+  }
+
+  /// Appends the empty row to an arity-0 relation (sets it "true").
+  void AddEmptyRow();
+
+  Value At(size_t row, size_t col) const { return data_[row * arity_ + col]; }
+  std::span<const Value> Row(size_t row) const {
+    return std::span<const Value>(data_.data() + row * arity_, arity_);
+  }
+
+  /// Raw row-major buffer (size() * arity() values).
+  const std::vector<Value>& data() const { return data_; }
+
+  /// Sorts rows lexicographically and removes duplicates (set semantics).
+  void SortAndDedup();
+
+  /// True if SortAndDedup has run and no row was added since.
+  bool sorted() const { return sorted_; }
+
+  /// Membership test. O(log n) when sorted, O(n·arity) otherwise.
+  bool Contains(std::span<const Value> row) const;
+
+  /// Set equality (sorts copies of both sides; duplicates ignored).
+  bool EqualsAsSet(const Relation& other) const;
+
+  /// Removes all rows.
+  void Clear();
+
+  /// Reserves space for `rows` rows.
+  void Reserve(size_t rows) { data_.reserve(rows * arity_); }
+
+  /// Debug rendering: "{(1,2),(3,4)}".
+  std::string ToString() const;
+
+ private:
+  size_t arity_;
+  std::vector<Value> data_;
+  size_t zero_ary_rows_ = 0;  // row count for arity-0 relations
+  bool sorted_ = false;
+};
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_RELATIONAL_RELATION_H_

@@ -1,0 +1,36 @@
+#include "relational/schema.hpp"
+
+#include <sstream>
+
+namespace paraquery {
+
+std::string RelationSchema::ToString() const {
+  std::ostringstream oss;
+  oss << name << "/" << arity;
+  if (!columns.empty()) {
+    oss << "(";
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i > 0) oss << ",";
+      oss << columns[i];
+    }
+    oss << ")";
+  }
+  return oss.str();
+}
+
+size_t DatabaseSchema::MaxArity() const {
+  size_t max_arity = 0;
+  for (const auto& r : relations) max_arity = std::max(max_arity, r.arity);
+  return max_arity;
+}
+
+std::string DatabaseSchema::ToString() const {
+  std::ostringstream oss;
+  for (size_t i = 0; i < relations.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << relations[i].ToString();
+  }
+  return oss.str();
+}
+
+}  // namespace paraquery

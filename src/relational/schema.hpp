@@ -1,0 +1,36 @@
+// Catalog metadata: relation names and arities (and optional column names).
+#ifndef PARAQUERY_RELATIONAL_SCHEMA_H_
+#define PARAQUERY_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+namespace paraquery {
+
+/// Schema of one stored relation.
+struct RelationSchema {
+  std::string name;
+  size_t arity = 0;
+  /// Optional human-readable column names; empty or arity-sized.
+  std::vector<std::string> columns;
+
+  std::string ToString() const;
+};
+
+/// Schema of a database: the list of relation schemas. The paper
+/// distinguishes fixed-schema from variable-schema parametrizations
+/// (Figure 1); DatabaseSchema is the object those statements quantify over.
+struct DatabaseSchema {
+  std::vector<RelationSchema> relations;
+
+  /// Largest arity over all relations (0 for an empty schema). The
+  /// bounded-arity condition in the paper's Datalog discussion is a bound on
+  /// this quantity.
+  size_t MaxArity() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_RELATIONAL_SCHEMA_H_

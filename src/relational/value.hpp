@@ -1,0 +1,40 @@
+// Scalar value representation.
+//
+// All database values are 64-bit integers. String data is supported through
+// per-database dictionary interning (see dictionary.hpp): a string column
+// stores the interned codes, and the Dictionary maps codes back to strings at
+// the edges. This keeps the hot paths (joins, selections, hashing) branch-free
+// over a single POD type, which is the standard design in analytic engines.
+#ifndef PARAQUERY_RELATIONAL_VALUE_H_
+#define PARAQUERY_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace paraquery {
+
+/// A database value: either a plain integer or a dictionary code.
+using Value = int64_t;
+
+/// A materialized tuple (row) of values.
+using ValueVec = std::vector<Value>;
+
+/// 64-bit mixing hash for a single value (SplitMix64 finalizer).
+inline uint64_t HashValue(Value v) {
+  uint64_t z = static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Order-dependent hash of a row fragment (for join keys).
+inline uint64_t HashRow(std::span<const Value> row) {
+  uint64_t h = 0x243f6a8885a308d3ull;
+  for (Value v : row) h = (h ^ HashValue(v)) * 0x100000001b3ull;
+  return h;
+}
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_RELATIONAL_VALUE_H_

@@ -1,0 +1,230 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "query/parser.hpp"
+
+namespace paraquery {
+
+Database GraphDatabase(const Graph& g) {
+  Database db;
+  RelId e = db.AddRelation("E", 2).ValueOrDie();
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    for (int v : g.Neighbors(u)) db.relation(e).Add({u, v});
+  }
+  RelId vr = db.AddRelation("V", 1).ValueOrDie();
+  for (int u = 0; u < g.num_vertices(); ++u) db.relation(vr).Add({u});
+  return db;
+}
+
+Database EmployeeProjects(int employees, int projects, int min_assignments,
+                          int max_assignments, uint64_t seed) {
+  PQ_CHECK(min_assignments >= 0 && max_assignments >= min_assignments &&
+               projects >= 1,
+           "EmployeeProjects: bad parameters");
+  Rng rng(seed);
+  Database db;
+  RelId ep = db.AddRelation("EP", 2).ValueOrDie();
+  for (int e = 0; e < employees; ++e) {
+    int count = static_cast<int>(
+        rng.Range(min_assignments, max_assignments));
+    // Sample `count` distinct projects (rejection; count is small).
+    std::vector<Value> chosen;
+    while (static_cast<int>(chosen.size()) < count) {
+      Value p = rng.Range(0, projects - 1);
+      if (std::find(chosen.begin(), chosen.end(), p) == chosen.end()) {
+        chosen.push_back(p);
+      }
+    }
+    for (Value p : chosen) db.relation(ep).Add({e, 1'000'000 + p});
+  }
+  return db;
+}
+
+ConjunctiveQuery MultiProjectQuery() {
+  return ParseConjunctive("g(e) :- EP(e, p), EP(e, q), p != q.").ValueOrDie();
+}
+
+Database StudentCourses(int students, int courses, int departments,
+                        int courses_per_student, double outside_fraction,
+                        uint64_t seed) {
+  PQ_CHECK(departments >= 2 && courses >= departments,
+           "StudentCourses: need >= 2 departments and enough courses");
+  Rng rng(seed);
+  Database db;
+  RelId sd = db.AddRelation("SD", 2).ValueOrDie();
+  RelId sc = db.AddRelation("SC", 2).ValueOrDie();
+  RelId cd = db.AddRelation("CD", 2).ValueOrDie();
+  // Courses are assigned round-robin to departments.
+  const Value kCourseBase = 10'000'000;
+  const Value kDeptBase = 20'000'000;
+  for (int c = 0; c < courses; ++c) {
+    db.relation(cd).Add({kCourseBase + c, kDeptBase + (c % departments)});
+  }
+  for (int s = 0; s < students; ++s) {
+    Value dept = rng.Range(0, departments - 1);
+    db.relation(sd).Add({s, kDeptBase + dept});
+    bool forced_outside = rng.Chance(outside_fraction);
+    for (int i = 0; i < courses_per_student; ++i) {
+      Value course;
+      if (forced_outside && i == 0) {
+        // A course from a different department (exists since courses are
+        // round-robin over >= 2 departments).
+        do {
+          course = rng.Range(0, courses - 1);
+        } while (course % departments == dept);
+      } else {
+        // A course from the student's own department.
+        Value per_dept = (courses + departments - 1) / departments;
+        Value idx = rng.Range(0, per_dept - 1);
+        course = idx * departments + dept;
+        if (course >= courses) course = dept;  // wrap to a valid course
+      }
+      db.relation(sc).Add({s, kCourseBase + course});
+    }
+  }
+  return db;
+}
+
+ConjunctiveQuery OutsideDepartmentQuery() {
+  return ParseConjunctive(
+             "g(s) :- SD(s, d), SC(s, c), CD(c, e), d != e.")
+      .ValueOrDie();
+}
+
+Database EmployeeSalaries(int employees, Value max_salary, uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+  RelId em = db.AddRelation("EM", 2).ValueOrDie();
+  RelId es = db.AddRelation("ES", 2).ValueOrDie();
+  const Value kSalaryBase = 30'000'000;
+  for (int e = 0; e < employees; ++e) {
+    int manager = e == 0 ? 0 : static_cast<int>(rng.Below(e));  // tree
+    if (e != 0) db.relation(em).Add({e, manager});
+    db.relation(es).Add({e, kSalaryBase + rng.Range(1, max_salary)});
+  }
+  return db;
+}
+
+ConjunctiveQuery HigherPaidThanManagerQuery() {
+  return ParseConjunctive(
+             "g(e) :- EM(e, m), ES(e, s), ES(m, t), t < s.")
+      .ValueOrDie();
+}
+
+ConjunctiveQuery ChainQuery(int length, bool boolean_head) {
+  PQ_CHECK(length >= 1, "ChainQuery: length must be >= 1");
+  ConjunctiveQuery q;
+  std::vector<VarId> xs;
+  for (int i = 0; i <= length; ++i) {
+    std::string name = "x";
+    name += std::to_string(i + 1);
+    xs.push_back(q.vars.Intern(name));
+  }
+  for (int i = 0; i < length; ++i) {
+    q.body.push_back(Atom{"E", {Term::Var(xs[i]), Term::Var(xs[i + 1])}});
+  }
+  if (!boolean_head) {
+    q.head = {Term::Var(xs.front()), Term::Var(xs.back())};
+  }
+  return q;
+}
+
+ConjunctiveQuery SimplePathQuery(int k) {
+  ConjunctiveQuery q = ChainQuery(k);
+  for (int i = 0; i <= k; ++i) {
+    for (int j = i + 1; j <= k; ++j) {
+      q.comparisons.push_back(
+          {CompareOp::kNeq, Term::Var(i), Term::Var(j)});
+    }
+  }
+  return q;
+}
+
+DatalogProgram TransitiveClosureProgram() {
+  return ParseDatalog(
+             "tc(x, y) :- E(x, y).\n"
+             "tc(x, y) :- E(x, z), tc(z, y).\n")
+      .ValueOrDie();
+}
+
+DatalogProgram ArityRWalkProgram(int r) {
+  PQ_CHECK(r >= 2, "ArityRWalkProgram: arity must be >= 2");
+  auto var = [](int i) {
+    std::string name = "x";
+    name += std::to_string(i);
+    return name;
+  };
+  std::string base = "p(";
+  for (int i = 1; i <= r; ++i) {
+    if (i > 1) base += ", ";
+    base += var(i);
+  }
+  base += ") :- ";
+  for (int i = 1; i < r; ++i) {
+    if (i > 1) base += ", ";
+    base += "E(" + var(i) + ", " + var(i + 1) + ")";
+  }
+  base += ".\n";
+  std::string step = "p(";
+  for (int i = 1; i <= r; ++i) {
+    if (i > 1) step += ", ";
+    step += var(i);
+  }
+  step += ") :- p(";
+  for (int i = 0; i < r; ++i) {
+    if (i > 0) step += ", ";
+    step += var(i);
+  }
+  step += "), E(" + var(r - 1) + ", " + var(r) + ").\n";
+  return ParseDatalog(base + step).ValueOrDie();
+}
+
+Database RandomBinaryDatabase(int count, int rows_each, Value domain,
+                              uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+  for (int i = 0; i < count; ++i) {
+    std::string name = "R";
+    name += std::to_string(i);
+    RelId id = db.AddRelation(name, 2).ValueOrDie();
+    for (int r = 0; r < rows_each; ++r) {
+      db.relation(id).Add({rng.Range(0, domain - 1), rng.Range(0, domain - 1)});
+    }
+  }
+  return db;
+}
+
+ConjunctiveQuery RandomAcyclicNeqQuery(int relations, int atoms, int neq_atoms,
+                                       uint64_t seed) {
+  PQ_CHECK(relations >= 1 && atoms >= 1, "RandomAcyclicNeqQuery: bad shape");
+  Rng rng(seed);
+  ConjunctiveQuery q;
+  std::vector<VarId> pool = {q.vars.Intern("v0")};
+  for (int i = 0; i < atoms; ++i) {
+    VarId shared = pool[rng.Below(pool.size())];
+    std::string name = "v";
+    name += std::to_string(i + 1);
+    VarId fresh = q.vars.Intern(name);
+    std::string rel = "R";
+    rel += std::to_string(rng.Below(static_cast<uint64_t>(relations)));
+    Atom a{rel, {Term::Var(shared), Term::Var(fresh)}};
+    if (rng.Chance(0.5)) std::swap(a.terms[0], a.terms[1]);
+    q.body.push_back(std::move(a));
+    pool.push_back(fresh);
+  }
+  int added = 0, attempts = 0;
+  while (added < neq_atoms && attempts < neq_atoms * 10) {
+    ++attempts;
+    VarId x = pool[rng.Below(pool.size())];
+    VarId y = pool[rng.Below(pool.size())];
+    if (x == y) continue;
+    q.comparisons.push_back({CompareOp::kNeq, Term::Var(x), Term::Var(y)});
+    ++added;
+  }
+  return q;
+}
+
+}  // namespace paraquery

@@ -1,0 +1,80 @@
+// Workload generators for the examples and benchmarks: the paper's
+// motivating scenarios (employee-project, student-course-department,
+// salary/manager), graph databases, path/clique queries, and random acyclic
+// queries with inequalities.
+#ifndef PARAQUERY_WORKLOAD_GENERATORS_H_
+#define PARAQUERY_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "query/conjunctive_query.hpp"
+#include "query/datalog.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+
+/// A database with a binary relation "E" holding both directions of every
+/// edge of `g`, plus a unary "V" with all vertices.
+Database GraphDatabase(const Graph& g);
+
+/// Employee-project database: EP(employee, project). Employees get between
+/// `min_assignments` and `max_assignments` random projects each.
+Database EmployeeProjects(int employees, int projects, int min_assignments,
+                          int max_assignments, uint64_t seed);
+
+/// The paper's query "employees that work on more than one project":
+/// g(e) :- EP(e, p), EP(e, p'), p != p'.
+ConjunctiveQuery MultiProjectQuery();
+
+/// Students/courses/departments: SD(student, dept), SC(student, course),
+/// CD(course, dept). Each student takes `courses_per_student` random
+/// courses; a fraction `outside_fraction` of students provably takes some
+/// course outside their department.
+Database StudentCourses(int students, int courses, int departments,
+                        int courses_per_student, double outside_fraction,
+                        uint64_t seed);
+
+/// The paper's query "students that take courses outside their department":
+/// g(s) :- SD(s, d), SC(s, c), CD(c, d'), d != d'.
+ConjunctiveQuery OutsideDepartmentQuery();
+
+/// Employees with manager and salary: EM(employee, manager),
+/// ES(employee, salary).
+Database EmployeeSalaries(int employees, Value max_salary, uint64_t seed);
+
+/// The paper's comparison example "employees with a higher salary than
+/// their manager": g(e) :- EM(e, m), ES(e, s), ES(m, t), t < s.
+ConjunctiveQuery HigherPaidThanManagerQuery();
+
+/// Chain query ans() :- E(x1,x2), ..., E(x_{k}, x_{k+1}) — acyclic,
+/// comparison-free.
+ConjunctiveQuery ChainQuery(int length, bool boolean_head = true);
+
+/// Simple-path query of length `k` (edges): the chain query plus all-pairs
+/// ≠ atoms — the color-coding workload (Monien / Alon-Yuster-Zwick).
+ConjunctiveQuery SimplePathQuery(int k);
+
+/// The transitive-closure Datalog program over "E" with goal "tc".
+DatalogProgram TransitiveClosureProgram();
+
+/// Datalog program whose IDB has arity `r`, walking r-tuples of a graph:
+///   p(x_1..x_r)  :- E(x_1, x_2), E(x_2, x_3), ..., E(x_{r-1}, x_r).
+///   p(x_1..x_r)  :- p(x_0, x_1, ..., x_{r-1}), E(x_{r-1}, x_r).
+/// Used to exhibit the arity-in-the-exponent behavior (Vardi).
+DatalogProgram ArityRWalkProgram(int r);
+
+/// Random database with `count` binary relations named R0..R{count-1}.
+Database RandomBinaryDatabase(int count, int rows_each, Value domain,
+                              uint64_t seed);
+
+/// Random acyclic conjunctive query over R0..R{relations-1} with
+/// `atoms` binary atoms arranged in a random tree, plus `neq_atoms`
+/// random ≠ atoms.
+ConjunctiveQuery RandomAcyclicNeqQuery(int relations, int atoms, int neq_atoms,
+                                       uint64_t seed);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "circuit/cnf.hpp"
+#include "circuit/normalize.hpp"
+#include "circuit/weighted_sat.hpp"
+#include "common/rng.hpp"
+
+namespace paraquery {
+namespace {
+
+TEST(CircuitTest, EvaluateAndOr) {
+  Circuit c(2);
+  int a = c.AddGate(GateKind::kAnd, {0, 1});
+  int o = c.AddGate(GateKind::kOr, {0, a});
+  c.SetOutput(o);
+  EXPECT_FALSE(c.Evaluate({false, false}));
+  EXPECT_FALSE(c.Evaluate({false, true}));
+  EXPECT_TRUE(c.Evaluate({true, false}));
+  EXPECT_TRUE(c.Evaluate({true, true}));
+}
+
+TEST(CircuitTest, EvaluateNot) {
+  Circuit c(1);
+  c.SetOutput(c.AddGate(GateKind::kNot, {0}));
+  EXPECT_TRUE(c.Evaluate({false}));
+  EXPECT_FALSE(c.Evaluate({true}));
+  EXPECT_FALSE(c.IsMonotone());
+}
+
+TEST(CircuitTest, DepthCountsAndOrOnly) {
+  Circuit c(2);
+  int n = c.AddGate(GateKind::kNot, {0});
+  int a = c.AddGate(GateKind::kAnd, {n, 1});
+  int o = c.AddGate(GateKind::kOr, {a, 1});
+  c.SetOutput(o);
+  EXPECT_EQ(c.Depth(), 2);  // NOT does not count
+}
+
+TEST(CircuitTest, BuildersAreCorrect) {
+  Circuit a = AndOfInputs(3);
+  EXPECT_TRUE(a.Evaluate({true, true, true}));
+  EXPECT_FALSE(a.Evaluate({true, false, true}));
+  Circuit o = OrOfInputs(3);
+  EXPECT_TRUE(o.Evaluate({false, false, true}));
+  EXPECT_FALSE(o.Evaluate({false, false, false}));
+  EXPECT_TRUE(a.IsMonotone());
+  EXPECT_EQ(a.Depth(), 1);
+}
+
+TEST(CnfTest, EvaluateAndWidth) {
+  Cnf f;
+  f.num_vars = 3;
+  f.clauses = {{PosLit(0), NegLit(1)}, {PosLit(2)}};
+  EXPECT_TRUE(f.HasWidth(2));
+  EXPECT_FALSE(f.HasWidth(1));
+  EXPECT_TRUE(f.Evaluate({true, false, true}));
+  EXPECT_FALSE(f.Evaluate({false, true, true}));
+  EXPECT_FALSE(f.Evaluate({true, false, false}));
+}
+
+TEST(CnfTest, LiteralHelpers) {
+  EXPECT_EQ(LitVar(PosLit(4)), 4);
+  EXPECT_EQ(LitVar(NegLit(4)), 4);
+  EXPECT_FALSE(LitNegated(PosLit(4)));
+  EXPECT_TRUE(LitNegated(NegLit(4)));
+}
+
+TEST(CnfTest, ToCircuitMatchesOnAllAssignments) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    Cnf f;
+    f.num_vars = 4;
+    int num_clauses = 1 + static_cast<int>(rng.Below(5));
+    for (int c = 0; c < num_clauses; ++c) {
+      std::vector<Lit> clause;
+      int width = 1 + static_cast<int>(rng.Below(3));
+      for (int l = 0; l < width; ++l) {
+        int var = static_cast<int>(rng.Below(4));
+        clause.push_back(rng.Chance(0.5) ? PosLit(var) : NegLit(var));
+      }
+      f.clauses.push_back(clause);
+    }
+    Circuit c = f.ToCircuit();
+    for (int mask = 0; mask < 16; ++mask) {
+      std::vector<bool> assign(4);
+      for (int i = 0; i < 4; ++i) assign[i] = (mask >> i) & 1;
+      EXPECT_EQ(f.Evaluate(assign), c.Evaluate(assign)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(WeightedSatTest, CircuitExactWeight) {
+  // AND(x0, x1): only weight-2 solutions containing {0,1}.
+  Circuit c = AndOfInputs(2);
+  EXPECT_FALSE(WeightedCircuitSat(c, 0).has_value());
+  EXPECT_FALSE(WeightedCircuitSat(c, 1).has_value());
+  auto w2 = WeightedCircuitSat(c, 2);
+  ASSERT_TRUE(w2.has_value());
+  EXPECT_EQ(*w2, (std::vector<int>{0, 1}));
+}
+
+TEST(WeightedSatTest, OrAnyWeightAboveZero) {
+  Circuit c = OrOfInputs(3);
+  EXPECT_FALSE(WeightedCircuitSat(c, 0).has_value());
+  for (int k = 1; k <= 3; ++k) {
+    EXPECT_TRUE(WeightedCircuitSat(c, k).has_value()) << k;
+  }
+  EXPECT_FALSE(WeightedCircuitSat(c, 4).has_value());
+}
+
+TEST(WeightedSatTest, CnfWeighted) {
+  // (x0 | x1) & (~x0 | ~x1): exactly one of x0,x1 — weight 1 yes, weight 2
+  // no (if only 2 vars).
+  Cnf f;
+  f.num_vars = 2;
+  f.clauses = {{PosLit(0), PosLit(1)}, {NegLit(0), NegLit(1)}};
+  EXPECT_TRUE(WeightedCnfSat(f, 1).has_value());
+  EXPECT_FALSE(WeightedCnfSat(f, 2).has_value());
+  EXPECT_FALSE(WeightedCnfSat(f, 0).has_value());
+}
+
+TEST(WeightedSatTest, MonotoneThresholdProperty) {
+  // Monotone circuit satisfiable at weight j is satisfiable at all k >= j.
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Circuit c(5);
+    int g1 = c.AddGate(GateKind::kOr,
+                       {static_cast<int>(rng.Below(5)),
+                        static_cast<int>(rng.Below(5))});
+    int g2 = c.AddGate(GateKind::kAnd,
+                       {static_cast<int>(rng.Below(5)), g1});
+    c.SetOutput(c.AddGate(GateKind::kOr, {g2, static_cast<int>(rng.Below(5))}));
+    int first_sat = -1;
+    for (int k = 0; k <= 5; ++k) {
+      if (WeightedMonotoneCircuitSat(c, k).has_value()) {
+        first_sat = k;
+        break;
+      }
+    }
+    if (first_sat >= 0) {
+      for (int k = first_sat; k <= 5; ++k) {
+        EXPECT_TRUE(WeightedMonotoneCircuitSat(c, k).has_value());
+      }
+    }
+  }
+}
+
+TEST(GroupedW2CnfTest, PicksOnePerGroupAvoidingConflicts) {
+  GroupedW2Cnf inst;
+  inst.num_vars = 4;
+  inst.groups = {{0, 1}, {2, 3}};
+  inst.clauses = {{0, 2}, {0, 3}};  // var 0 conflicts with both of group 2
+  auto sol = SolveGroupedW2Cnf(inst);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ((*sol)[0], 1);  // must pick 1 from the first group
+}
+
+TEST(GroupedW2CnfTest, InfeasibleWhenAllPairsConflict) {
+  GroupedW2Cnf inst;
+  inst.num_vars = 4;
+  inst.groups = {{0, 1}, {2, 3}};
+  inst.clauses = {{0, 2}, {0, 3}, {1, 2}, {1, 3}};
+  EXPECT_FALSE(SolveGroupedW2Cnf(inst).has_value());
+}
+
+TEST(GroupedW2CnfTest, EmptyGroupInfeasible) {
+  GroupedW2Cnf inst;
+  inst.num_vars = 2;
+  inst.groups = {{0, 1}, {}};
+  EXPECT_FALSE(SolveGroupedW2Cnf(inst).has_value());
+}
+
+TEST(GroupedW2CnfTest, AgreesWithExhaustiveCnfSolver) {
+  Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    GroupedW2Cnf inst;
+    int k = 2 + static_cast<int>(rng.Below(2));  // 2..3 groups
+    int per_group = 2 + static_cast<int>(rng.Below(2));
+    inst.num_vars = k * per_group;
+    for (int g = 0; g < k; ++g) {
+      std::vector<int> group;
+      for (int i = 0; i < per_group; ++i) group.push_back(g * per_group + i);
+      inst.groups.push_back(group);
+      // Intra-group conflicts (at-most-one), as the reduction emits.
+      for (int i = 0; i < per_group; ++i) {
+        for (int j = i + 1; j < per_group; ++j) {
+          inst.clauses.push_back({group[i], group[j]});
+        }
+      }
+    }
+    // Random cross-group conflicts.
+    int extra = static_cast<int>(rng.Below(6));
+    for (int e = 0; e < extra; ++e) {
+      int a = static_cast<int>(rng.Below(inst.num_vars));
+      int b = static_cast<int>(rng.Below(inst.num_vars));
+      if (a != b) inst.clauses.push_back({a, b});
+    }
+    bool grouped = SolveGroupedW2Cnf(inst).has_value();
+    bool exhaustive = WeightedCnfSat(inst.ToCnf(), k).has_value();
+    EXPECT_EQ(grouped, exhaustive) << "trial " << trial;
+  }
+}
+
+TEST(NormalizeTest, RejectsNonMonotone) {
+  Circuit c(1);
+  c.SetOutput(c.AddGate(GateKind::kNot, {0}));
+  EXPECT_FALSE(NormalizeMonotone(c).ok());
+}
+
+TEST(NormalizeTest, RejectsNoOutput) {
+  Circuit c(2);
+  EXPECT_FALSE(NormalizeMonotone(c).ok());
+}
+
+TEST(NormalizeTest, StructureIsAlternatingAndLeveled) {
+  Circuit c(3);
+  int a = c.AddGate(GateKind::kAnd, {0, 1});
+  int o = c.AddGate(GateKind::kOr, {a, 2});
+  c.SetOutput(o);
+  auto alt = NormalizeMonotone(c).ValueOrDie();
+  EXPECT_EQ(alt.top_level % 2, 0);
+  EXPECT_GE(alt.top_level, 2);
+  const Circuit& cc = alt.circuit;
+  EXPECT_EQ(alt.level[cc.output()], alt.top_level);
+  EXPECT_EQ(cc.gate(cc.output()).kind, GateKind::kOr);
+  for (int g = 0; g < cc.num_gates(); ++g) {
+    const Gate& gate = cc.gate(g);
+    if (gate.kind == GateKind::kInput) {
+      EXPECT_EQ(alt.level[g], 0);
+      continue;
+    }
+    EXPECT_EQ(gate.kind,
+              alt.level[g] % 2 == 0 ? GateKind::kOr : GateKind::kAnd);
+    for (int in : gate.inputs) {
+      EXPECT_EQ(alt.level[in], alt.level[g] - 1) << "wire must be adjacent";
+    }
+  }
+}
+
+// Property: normalization preserves the computed function.
+class NormalizePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NormalizePropertyTest, PreservesFunction) {
+  Rng rng(GetParam());
+  int inputs = 3 + static_cast<int>(rng.Below(3));  // 3..5
+  Circuit c(inputs);
+  int extra = 2 + static_cast<int>(rng.Below(5));
+  for (int i = 0; i < extra; ++i) {
+    GateKind kind = rng.Chance(0.5) ? GateKind::kAnd : GateKind::kOr;
+    int fan_in = 1 + static_cast<int>(rng.Below(3));
+    std::vector<int> ins;
+    for (int j = 0; j < fan_in; ++j) {
+      ins.push_back(static_cast<int>(rng.Below(
+          static_cast<uint64_t>(c.num_gates()))));
+    }
+    c.AddGate(kind, ins);
+  }
+  c.SetOutput(c.num_gates() - 1);
+  auto alt = NormalizeMonotone(c).ValueOrDie();
+  for (int mask = 0; mask < (1 << inputs); ++mask) {
+    std::vector<bool> assign(inputs);
+    for (int i = 0; i < inputs; ++i) assign[i] = (mask >> i) & 1;
+    EXPECT_EQ(c.Evaluate(assign), alt.Evaluate(assign)) << "mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizePropertyTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace paraquery

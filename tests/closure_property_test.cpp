@@ -1,0 +1,142 @@
+// Property tests for the comparison closure (Section 5 / Klug): on random
+// systems of order constraints over a small domain, the closure's
+// consistency verdict must match brute-force satisfiability, and the
+// collapsed query must preserve the answer set.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "eval/naive.hpp"
+#include "query/builder.hpp"
+#include "query/comparison_closure.hpp"
+#include "workload/generators.hpp"
+
+namespace paraquery {
+namespace {
+
+// Brute force: does an assignment of variables to values in [lo, hi)
+// satisfying all comparison atoms exist? The closure reasons over an
+// unbounded dense order, so the test keeps constants spaced 10 apart and
+// the brute-force range extending well past them on both sides — then
+// integer assignments witness exactly the dense-order-satisfiable systems.
+bool BruteForceSatisfiable(int num_vars, Value lo, Value hi,
+                           const std::vector<CompareAtom>& atoms) {
+  std::vector<Value> assign(num_vars, lo);
+  auto value_of = [&assign](const Term& t) {
+    return t.is_var() ? assign[t.var()] : t.value();
+  };
+  for (;;) {
+    bool ok = true;
+    for (const CompareAtom& c : atoms) {
+      if (!CompareAtom::Apply(c.op, value_of(c.lhs), value_of(c.rhs))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+    int pos = num_vars - 1;
+    while (pos >= 0 && ++assign[pos] == hi) assign[pos--] = lo;
+    if (pos < 0) return false;
+  }
+}
+
+class ClosurePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClosurePropertyTest, ConsistencyMatchesBruteForce) {
+  Rng rng(GetParam());
+  const int num_vars = 4;
+  // Random constraint system over 4 variables and constants in [0, 3).
+  CqBuilder builder;
+  Term vs[num_vars] = {builder.Var("a"), builder.Var("b"), builder.Var("c"),
+                       builder.Var("d")};
+  builder.Head({});
+  // One relational atom covering all variables keeps the query safe.
+  builder.Atom("R", {vs[0], vs[1], vs[2], vs[3]});
+  std::vector<CompareAtom> atoms;
+  int count = 2 + static_cast<int>(rng.Below(6));
+  for (int i = 0; i < count; ++i) {
+    CompareOp op = static_cast<CompareOp>(rng.Below(4));  // Neq/Lt/Le/Eq
+    // Constants spaced 10 apart (0/10/20) so dense-order gaps between them
+    // contain integers.
+    Term lhs = rng.Chance(0.8) ? vs[rng.Below(num_vars)]
+                               : Term::Const(10 * rng.Range(0, 2));
+    Term rhs = rng.Chance(0.8) ? vs[rng.Below(num_vars)]
+                               : Term::Const(10 * rng.Range(0, 2));
+    builder.Compare(op, lhs, rhs);
+    atoms.push_back({op, lhs, rhs});
+  }
+  ConjunctiveQuery q = builder.Build().ValueOrDie();
+
+  auto closure = CollapseComparisons(q).ValueOrDie();
+  bool satisfiable = BruteForceSatisfiable(num_vars, -6, 27, atoms);
+  EXPECT_EQ(closure.consistent, satisfiable) << q.ToString();
+
+  if (closure.consistent) {
+    // Answer preservation on a universal relation: Q and the collapsed Q'
+    // have the same (Boolean) answer when R holds every 4-tuple over a
+    // small value set.
+    Database db;
+    RelId r = db.AddRelation("R", 4).ValueOrDie();
+    for (Value w = 0; w < 5; ++w) {
+      for (Value x = 0; x < 5; ++x) {
+        for (Value y = 0; y < 5; ++y) {
+          for (Value z = 0; z < 5; ++z) db.relation(r).Add({w, x, y, z});
+        }
+      }
+    }
+    auto original = NaiveCqNonempty(db, q).ValueOrDie();
+    auto collapsed = NaiveCqNonempty(db, closure.rewritten).ValueOrDie();
+    EXPECT_EQ(original, collapsed) << q.ToString() << "\n-> "
+                                   << closure.rewritten.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosurePropertyTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+TEST(BuilderTest, CqBuilderProducesPaperQuery) {
+  CqBuilder b;
+  Term e = b.Var("e"), p = b.Var("p"), q = b.Var("q");
+  auto query =
+      b.Head({e}).Atom("EP", {e, p}).Atom("EP", {e, q}).Neq(p, q).Build()
+          .ValueOrDie();
+  EXPECT_EQ(query.ToString(), MultiProjectQuery().ToString());
+}
+
+TEST(BuilderTest, CqBuilderRejectsUnsafe) {
+  CqBuilder b;
+  Term x = b.Var("x"), y = b.Var("y");
+  auto bad = b.Head({x, y}).Atom("R", {x}).Build();
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, DatalogBuilderTransitiveClosure) {
+  DatalogBuilder b;
+  {
+    auto& rule = b.Rule();
+    Term x = rule.Var("x"), y = rule.Var("y");
+    rule.Head("tc", {x, y}).Atom("E", {x, y});
+  }
+  {
+    auto& rule = b.Rule();
+    Term x = rule.Var("x"), y = rule.Var("y"), z = rule.Var("z");
+    rule.Head("tc", {x, y}).Atom("E", {x, z}).Atom("tc", {z, y});
+  }
+  auto program = b.Build().ValueOrDie();
+  EXPECT_EQ(program.goal, "tc");
+  EXPECT_EQ(program.rules.size(), 2u);
+  EXPECT_EQ(program.ToString(), TransitiveClosureProgram().ToString());
+}
+
+TEST(BuilderTest, DatalogBuilderExplicitGoalAndValidation) {
+  DatalogBuilder b;
+  {
+    auto& rule = b.Rule();
+    Term x = rule.Var("x");
+    rule.Head("a", {x}).Atom("E", {x, x});
+  }
+  b.Goal("ghost");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+}  // namespace
+}  // namespace paraquery

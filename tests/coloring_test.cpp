@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "hashing/coloring.hpp"
+
+namespace paraquery {
+namespace {
+
+TEST(ColoringTest, MonteCarloSizeMatchesFormula) {
+  auto fam = ColoringFamily::MonteCarlo(4, 2.0, 1);
+  EXPECT_EQ(fam.size(),
+            static_cast<size_t>(std::ceil(2.0 * std::exp(4.0))));
+  EXPECT_EQ(fam.k(), 4);
+  EXPECT_FALSE(fam.certified());
+}
+
+TEST(ColoringTest, TrivialKIsSingleMemberCertified) {
+  auto fam0 = ColoringFamily::MonteCarlo(0, 1.0, 1);
+  EXPECT_EQ(fam0.size(), 1u);
+  EXPECT_TRUE(fam0.certified());
+  auto fam1 = ColoringFamily::MonteCarlo(1, 1.0, 1);
+  EXPECT_EQ(fam1.size(), 1u);
+  EXPECT_EQ(fam1.Color(0, 12345), 1);
+}
+
+TEST(ColoringTest, ColorsInRange) {
+  auto fam = ColoringFamily::MonteCarlo(5, 1.0, 7);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    Value v = static_cast<Value>(rng.Next());
+    for (size_t m = 0; m < 3; ++m) {
+      Value c = fam.Color(m, v);
+      EXPECT_GE(c, 1);
+      EXPECT_LE(c, 5);
+    }
+  }
+}
+
+TEST(ColoringTest, ColorIsDeterministic) {
+  auto a = ColoringFamily::MonteCarlo(3, 1.0, 42);
+  auto b = ColoringFamily::MonteCarlo(3, 1.0, 42);
+  for (Value v = 0; v < 100; ++v) EXPECT_EQ(a.Color(0, v), b.Color(0, v));
+}
+
+TEST(ColoringTest, CertifiedIsPerfectOnGround) {
+  std::vector<Value> ground;
+  for (Value v = 100; v < 130; ++v) ground.push_back(v * 7919);
+  for (int k = 2; k <= 4; ++k) {
+    auto fam = ColoringFamily::Certified(ground, k, /*seed=*/5).ValueOrDie();
+    EXPECT_TRUE(fam.certified());
+    EXPECT_TRUE(fam.IsPerfectOn(ground)) << "k=" << k;
+    EXPECT_GE(fam.size(), 1u);
+  }
+}
+
+TEST(ColoringTest, CertifiedRejectsHugeGround) {
+  std::vector<Value> ground(100);
+  for (int i = 0; i < 100; ++i) ground[i] = i;
+  auto fam = ColoringFamily::Certified(ground, 5, 1, /*max_subsets=*/1000);
+  EXPECT_EQ(fam.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ColoringTest, CertifiedTinyGround) {
+  // Ground smaller than k: no k-subsets, trivially certified.
+  std::vector<Value> ground = {10, 20};
+  auto fam = ColoringFamily::Certified(ground, 3, 1).ValueOrDie();
+  EXPECT_TRUE(fam.certified());
+  // Ground exactly k: needs one injective member.
+  std::vector<Value> ground3 = {10, 20, 30};
+  auto fam3 = ColoringFamily::Certified(ground3, 3, 1).ValueOrDie();
+  EXPECT_TRUE(fam3.IsPerfectOn(ground3));
+}
+
+TEST(ColoringTest, InjectiveOnDetectsCollisions) {
+  auto fam = ColoringFamily::MonteCarlo(2, 1.0, 9);
+  // With k=2 and 3 values, injectivity is impossible.
+  EXPECT_FALSE(fam.InjectiveOn(0, {1, 2, 3}));
+}
+
+TEST(ColoringTest, MonteCarloHitsWitnessWithHighProbability) {
+  // Empirical sanity check of the paper's probability bound: for a fixed
+  // witness set of size k, at least one member of a c=3 family should be
+  // injective on it (failure probability <= e^-3 ~ 0.05; seeds chosen fixed).
+  for (int k = 2; k <= 5; ++k) {
+    std::vector<Value> witness;
+    for (int i = 0; i < k; ++i) witness.push_back(1000 + i * 31337);
+    auto fam = ColoringFamily::MonteCarlo(k, 3.0, 1234 + k);
+    bool hit = false;
+    for (size_t m = 0; m < fam.size() && !hit; ++m) {
+      hit = fam.InjectiveOn(m, witness);
+    }
+    EXPECT_TRUE(hit) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace paraquery

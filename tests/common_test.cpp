@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/combinatorics.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace paraquery {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad arity");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad arity");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+Result<int> ReturnsValue() { return 42; }
+Result<int> ReturnsError() { return Status::NotFound("nope"); }
+Result<int> Chains() {
+  PQ_ASSIGN_OR_RETURN(int v, ReturnsValue());
+  return v + 1;
+}
+Result<int> ChainsError() {
+  PQ_ASSIGN_OR_RETURN(int v, ReturnsError());
+  return v + 1;
+}
+
+TEST(ResultTest, ValuePath) {
+  auto r = ReturnsValue();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, ErrorPath) {
+  auto r = ReturnsError();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Chains().value(), 43);
+  EXPECT_EQ(ChainsError().status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, BelowIsInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Below(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(RngTest, BelowCoversRange) {
+  Rng rng(2);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(CombinatoricsTest, BinomialSmall) {
+  EXPECT_EQ(Binomial(0, 0), 1u);
+  EXPECT_EQ(Binomial(5, 0), 1u);
+  EXPECT_EQ(Binomial(5, 5), 1u);
+  EXPECT_EQ(Binomial(5, 2), 10u);
+  EXPECT_EQ(Binomial(10, 3), 120u);
+  EXPECT_EQ(Binomial(3, 5), 0u);
+  EXPECT_EQ(Binomial(52, 5), 2598960u);
+}
+
+TEST(CombinatoricsTest, BinomialSaturates) {
+  EXPECT_EQ(Binomial(1000, 500), UINT64_MAX);
+}
+
+TEST(CombinatoricsTest, BellNumbers) {
+  EXPECT_EQ(Bell(0), 1u);
+  EXPECT_EQ(Bell(1), 1u);
+  EXPECT_EQ(Bell(2), 2u);
+  EXPECT_EQ(Bell(3), 5u);
+  EXPECT_EQ(Bell(4), 15u);
+  EXPECT_EQ(Bell(5), 52u);
+  EXPECT_EQ(Bell(10), 115975u);
+}
+
+TEST(CombinatoricsTest, KSubsetEnumerationCount) {
+  int count = 0;
+  ForEachKSubset(6, 3, [&](const std::vector<int>& s) {
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_TRUE(s[0] < s[1] && s[1] < s[2]);
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 20);
+}
+
+TEST(CombinatoricsTest, KSubsetEarlyStop) {
+  int count = 0;
+  bool completed = ForEachKSubset(6, 3, [&](const std::vector<int>&) {
+    return ++count < 5;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(CombinatoricsTest, KSubsetEdgeCases) {
+  int count = 0;
+  ForEachKSubset(4, 0, [&](const std::vector<int>& s) {
+    EXPECT_TRUE(s.empty());
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+  count = 0;
+  ForEachKSubset(3, 4, [&](const std::vector<int>&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(CombinatoricsTest, SetPartitionCountsMatchBell) {
+  for (int n = 0; n <= 7; ++n) {
+    uint64_t count = 0;
+    ForEachSetPartition(n, [&](const std::vector<int>&) {
+      ++count;
+      return true;
+    });
+    EXPECT_EQ(count, Bell(n)) << "n=" << n;
+  }
+}
+
+TEST(CombinatoricsTest, SetPartitionsAreRestrictedGrowth) {
+  ForEachSetPartition(5, [&](const std::vector<int>& blocks) {
+    int max_seen = -1;
+    for (int b : blocks) {
+      EXPECT_LE(b, max_seen + 1);
+      max_seen = std::max(max_seen, b);
+    }
+    return true;
+  });
+}
+
+TEST(CombinatoricsTest, StirlingPartialSum) {
+  // Partitions of 4 elements into at most 2 blocks: S(4,1)+S(4,2) = 1+7 = 8.
+  EXPECT_EQ(StirlingPartialSum(4, 2), 8u);
+  // At most n blocks = Bell(n).
+  EXPECT_EQ(StirlingPartialSum(6, 6), Bell(6));
+}
+
+}  // namespace
+}  // namespace paraquery

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "relational/csv.hpp"
+
+namespace paraquery {
+namespace {
+
+TEST(CsvTest, LoadsIntegersAndStrings) {
+  Database db;
+  RelId id = LoadCsv(&db,
+                     "EP",
+                     "# employee,project\n"
+                     "1, kernel\n"
+                     "1, compiler\n"
+                     "2, kernel\n")
+                 .ValueOrDie();
+  const Relation& rel = db.relation(id);
+  EXPECT_EQ(rel.arity(), 2u);
+  EXPECT_EQ(rel.size(), 3u);
+  Value kernel = db.dict().Find("kernel");
+  ASSERT_NE(kernel, -1);
+  EXPECT_TRUE(rel.Contains(std::vector<Value>{1, kernel}));
+}
+
+TEST(CsvTest, NegativeAndLargeNumbers) {
+  Database db;
+  RelId id = LoadCsv(&db, "R", "-5, 9223372036854775807\n").ValueOrDie();
+  EXPECT_EQ(db.relation(id).At(0, 0), -5);
+  EXPECT_EQ(db.relation(id).At(0, 1), 9223372036854775807LL);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  Database db;
+  auto r = LoadCsv(&db, "R", "1,2\n3\n");
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsEmptyAndDuplicate) {
+  Database db;
+  EXPECT_FALSE(LoadCsv(&db, "R", "# only comments\n").ok());
+  LoadCsv(&db, "R", "1\n").ValueOrDie();
+  EXPECT_EQ(LoadCsv(&db, "R", "2\n").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CsvTest, SkipsBlankLinesAndTrimsCells) {
+  Database db;
+  RelId id = LoadCsv(&db, "R", "\n  1 ,  2  \n\n  3,4\n\n").ValueOrDie();
+  EXPECT_EQ(db.relation(id).size(), 2u);
+  EXPECT_EQ(db.relation(id).At(0, 1), 2);
+}
+
+TEST(CsvTest, MixedCellTypesWithinColumn) {
+  // '12a' is not numeric: interned as a string; '12' is numeric.
+  Database db;
+  RelId id = LoadCsv(&db, "R", "12\n12a\n").ValueOrDie();
+  EXPECT_EQ(db.relation(id).At(0, 0), 12);
+  EXPECT_EQ(db.relation(id).At(1, 0), db.dict().Find("12a"));
+}
+
+TEST(CsvTest, RoundTripThroughWriteCsv) {
+  Database db;
+  RelId id = LoadCsv(&db, "R", "1,alpha\n2,beta\n").ValueOrDie();
+  std::ostringstream out;
+  WriteCsv(db, id, &out, /*use_dict=*/true);
+  Database db2;
+  RelId id2 = LoadCsv(&db2, "R", out.str()).ValueOrDie();
+  EXPECT_EQ(db2.relation(id2).size(), 2u);
+  EXPECT_NE(db2.dict().Find("alpha"), -1);
+  // Numeric export path (codes as integers).
+  std::ostringstream raw;
+  WriteCsv(db, id, &raw, /*use_dict=*/false);
+  EXPECT_NE(raw.str().find("0"), std::string::npos);
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  Database db;
+  EXPECT_EQ(LoadCsvFile(&db, "R", "/nonexistent/file.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace paraquery

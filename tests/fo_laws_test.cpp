@@ -1,0 +1,155 @@
+// First-order equivalence laws, checked semantically on random databases:
+// a torture suite for the active-domain evaluator. Every test evaluates two
+// syntactically different but logically equivalent queries and demands
+// identical answers.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "eval/fo.hpp"
+#include "query/parser.hpp"
+#include "workload/generators.hpp"
+
+namespace paraquery {
+namespace {
+
+Database RandomDb(uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+  RelId a = db.AddRelation("A", 1).ValueOrDie();
+  RelId r = db.AddRelation("R", 2).ValueOrDie();
+  int n = 4 + static_cast<int>(rng.Below(4));
+  for (int i = 0; i < n; ++i) {
+    if (rng.Chance(0.6)) db.relation(a).Add({rng.Range(0, 5)});
+    db.relation(r).Add({rng.Range(0, 5), rng.Range(0, 5)});
+    db.relation(r).Add({rng.Range(0, 5), rng.Range(0, 5)});
+  }
+  // Guarantee a nonempty active domain.
+  db.relation(a).Add({0});
+  return db;
+}
+
+void ExpectEquivalent(const Database& db, const std::string& lhs,
+                      const std::string& rhs) {
+  auto lq = ParseFirstOrder(lhs).ValueOrDie();
+  auto rq = ParseFirstOrder(rhs).ValueOrDie();
+  auto lv = EvaluateFirstOrder(db, lq).ValueOrDie();
+  auto rv = EvaluateFirstOrder(db, rq).ValueOrDie();
+  EXPECT_TRUE(lv.EqualsAsSet(rv)) << lhs << "   vs   " << rhs;
+}
+
+class FoLawsTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Database db_ = RandomDb(GetParam());
+};
+
+TEST_P(FoLawsTest, DoubleNegation) {
+  ExpectEquivalent(db_, "ans(x) := not not A(x).", "ans(x) := A(x).");
+}
+
+TEST_P(FoLawsTest, DeMorganAnd) {
+  ExpectEquivalent(db_,
+                   "ans(x) := not (A(x) and R(x, x)).",
+                   "ans(x) := not A(x) or not R(x, x).");
+}
+
+TEST_P(FoLawsTest, DeMorganOr) {
+  ExpectEquivalent(db_,
+                   "ans(x) := not (A(x) or R(x, x)).",
+                   "ans(x) := not A(x) and not R(x, x).");
+}
+
+TEST_P(FoLawsTest, QuantifierDuality) {
+  ExpectEquivalent(db_,
+                   "ans(x) := forall y . R(x, y).",
+                   "ans(x) := not (exists y . not R(x, y)).");
+  ExpectEquivalent(db_,
+                   "ans(x) := exists y . R(x, y).",
+                   "ans(x) := not (forall y . not R(x, y)).");
+}
+
+TEST_P(FoLawsTest, ExistsDistributesOverOr) {
+  ExpectEquivalent(db_,
+                   "ans(x) := exists y . (R(x, y) or R(y, x)).",
+                   "ans(x) := (exists y . R(x, y)) or (exists y . R(y, x)).");
+}
+
+TEST_P(FoLawsTest, ForallDistributesOverAnd) {
+  ExpectEquivalent(
+      db_,
+      "ans(x) := forall y . (R(x, y) and R(y, y)).",
+      "ans(x) := (forall y . R(x, y)) and (forall y . R(y, y)).");
+}
+
+TEST_P(FoLawsTest, ExistsCommute) {
+  ExpectEquivalent(db_,
+                   "p() := exists y . exists z . (R(y, z) and A(z)).",
+                   "p() := exists z . exists y . (R(y, z) and A(z)).");
+  ExpectEquivalent(db_,
+                   "p() := exists y, z . (R(y, z) and A(z)).",
+                   "p() := exists z . exists y . (R(y, z) and A(z)).");
+}
+
+TEST_P(FoLawsTest, ForallCommute) {
+  ExpectEquivalent(db_,
+                   "p() := forall y . forall z . (R(y, z) or R(z, y)).",
+                   "p() := forall z . forall y . (R(y, z) or R(z, y)).");
+}
+
+TEST_P(FoLawsTest, PushExistsPastIndependentConjunct) {
+  // A(x) does not mention y: ∃y (A(x) ∧ R(x,y)) == A(x) ∧ ∃y R(x,y).
+  ExpectEquivalent(db_,
+                   "ans(x) := exists y . (A(x) and R(x, y)).",
+                   "ans(x) := A(x) and (exists y . R(x, y)).");
+}
+
+TEST_P(FoLawsTest, VacuousQuantifiers) {
+  // Nonempty active domain: binding an unused variable changes nothing.
+  ExpectEquivalent(db_, "ans(x) := exists y . A(x).", "ans(x) := A(x).");
+  ExpectEquivalent(db_, "ans(x) := forall y . A(x).", "ans(x) := A(x).");
+}
+
+TEST_P(FoLawsTest, ShadowingInnerBinderWins) {
+  // ∃x (A(x) ∧ ∃x R(x,x)): the inner ∃x is independent of the outer.
+  ExpectEquivalent(db_,
+                   "p() := exists x . (A(x) and exists x . R(x, x)).",
+                   "p() := (exists x . A(x)) and (exists x . R(x, x)).");
+}
+
+TEST_P(FoLawsTest, ComparisonNegations) {
+  ExpectEquivalent(db_, "ans(x) := A(x) and not (x = 3).",
+                   "ans(x) := A(x) and x != 3.");
+  ExpectEquivalent(db_, "ans(x) := A(x) and not (x < 3).",
+                   "ans(x) := A(x) and (3 < x or x = 3).");
+  ExpectEquivalent(db_, "ans(x) := A(x) and not (x <= 3).",
+                   "ans(x) := A(x) and 3 < x.");
+}
+
+TEST_P(FoLawsTest, AbsorptionAndIdempotence) {
+  ExpectEquivalent(db_, "ans(x) := A(x) and A(x).", "ans(x) := A(x).");
+  ExpectEquivalent(db_, "ans(x) := A(x) or (A(x) and R(x, x)).",
+                   "ans(x) := A(x).");
+  ExpectEquivalent(db_, "ans(x) := A(x) and (A(x) or R(x, x)).",
+                   "ans(x) := A(x).");
+}
+
+TEST_P(FoLawsTest, DistributivityAndOverOr) {
+  ExpectEquivalent(
+      db_,
+      "ans(x) := A(x) and (R(x, x) or exists y . R(x, y)).",
+      "ans(x) := (A(x) and R(x, x)) or (A(x) and exists y . R(x, y)).");
+}
+
+TEST_P(FoLawsTest, RelativizedForallEqualsSetInclusion) {
+  // ∀y (¬R(x,y) ∨ A(y)): successors of x all in A — equals
+  // ¬∃y (R(x,y) ∧ ¬A(y)).
+  ExpectEquivalent(db_,
+                   "ans(x) := forall y . (not R(x, y) or A(y)).",
+                   "ans(x) := not (exists y . (R(x, y) and not A(y))).");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FoLawsTest, ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace paraquery

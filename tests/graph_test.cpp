@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "graph/clique.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/hamiltonian.hpp"
+#include "graph/scc.hpp"
+
+namespace paraquery {
+namespace {
+
+TEST(GraphTest, AddEdgeBasics) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 2);  // duplicate ignored
+  g.AddEdge(3, 3);  // self-loop ignored
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.Degree(1), 2);
+}
+
+TEST(GraphTest, LargeVertexIdsCrossWordBoundary) {
+  Graph g(130);
+  g.AddEdge(0, 129);
+  g.AddEdge(63, 64);
+  EXPECT_TRUE(g.HasEdge(129, 0));
+  EXPECT_TRUE(g.HasEdge(64, 63));
+  EXPECT_FALSE(g.HasEdge(128, 1));
+}
+
+TEST(GraphTest, ComplementInverts) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  Graph c = g.Complement();
+  EXPECT_FALSE(c.HasEdge(0, 1));
+  EXPECT_TRUE(c.HasEdge(0, 2));
+  EXPECT_EQ(c.num_edges(), 5u);  // C(4,2) - 1
+}
+
+TEST(GraphTest, IsCliqueChecksAllPairsAndDistinctness) {
+  Graph g = CompleteGraph(4);
+  EXPECT_TRUE(g.IsClique({0, 1, 2, 3}));
+  EXPECT_FALSE(g.IsClique({0, 0, 1}));
+  Graph h = PathGraph(3);
+  EXPECT_TRUE(h.IsClique({0, 1}));
+  EXPECT_FALSE(h.IsClique({0, 1, 2}));
+}
+
+TEST(CliqueTest, FindsPlantedClique) {
+  Graph g = PlantedClique(40, 0.2, 5, /*seed=*/11);
+  auto naive = FindCliqueNaive(g, 5);
+  ASSERT_TRUE(naive.has_value());
+  EXPECT_TRUE(g.IsClique(*naive));
+  auto bb = FindCliqueBb(g, 5);
+  ASSERT_TRUE(bb.has_value());
+  EXPECT_TRUE(g.IsClique(*bb));
+}
+
+TEST(CliqueTest, TuranGraphHasNoLargerClique) {
+  // Complete 3-partite with classes of 4: max clique is exactly 3.
+  Graph g = TuranGraph(3, 4);
+  EXPECT_TRUE(FindCliqueBb(g, 3).has_value());
+  EXPECT_FALSE(FindCliqueBb(g, 4).has_value());
+  EXPECT_FALSE(FindCliqueNaive(g, 4).has_value());
+  EXPECT_EQ(MaxCliqueSize(g), 3);
+}
+
+TEST(CliqueTest, EdgeCases) {
+  Graph g(3);
+  EXPECT_TRUE(FindCliqueNaive(g, 0).has_value());
+  EXPECT_TRUE(FindCliqueNaive(g, 1).has_value());
+  EXPECT_FALSE(FindCliqueNaive(g, 2).has_value());
+  EXPECT_FALSE(FindCliqueNaive(g, 5).has_value());
+  EXPECT_EQ(MaxCliqueSize(g), 1);
+  Graph empty(0);
+  EXPECT_EQ(MaxCliqueSize(empty), 0);
+}
+
+TEST(CliqueTest, CountCliques) {
+  Graph g = CompleteGraph(5);
+  EXPECT_EQ(CountCliques(g, 3), 10u);  // C(5,3)
+  EXPECT_EQ(CountCliques(g, 5), 1u);
+  EXPECT_EQ(CountCliques(g, 3, /*cap=*/4), 4u);
+  Graph cycle = CycleGraph(5);
+  EXPECT_EQ(CountCliques(cycle, 3), 0u);
+  EXPECT_EQ(CountCliques(cycle, 2), 5u);
+}
+
+// Naive and branch-and-bound agree on random graphs across densities.
+class CliqueAgreementTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(CliqueAgreementTest, SolversAgree) {
+  auto [seed, p] = GetParam();
+  Graph g = GnpRandom(25, p, seed);
+  for (int k = 2; k <= 6; ++k) {
+    bool naive = FindCliqueNaive(g, k).has_value();
+    bool bb = FindCliqueBb(g, k).has_value();
+    EXPECT_EQ(naive, bb) << "k=" << k << " seed=" << seed << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CliqueAgreementTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(0.2, 0.5, 0.8)));
+
+TEST(HamiltonianTest, PathGraphHasPath) {
+  auto path = FindHamiltonianPath(PathGraph(6));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 6u);
+}
+
+TEST(HamiltonianTest, WitnessIsValidPath) {
+  Graph g = GnpRandom(10, 0.5, 3);
+  auto path = FindHamiltonianPath(g);
+  if (path.has_value()) {
+    EXPECT_EQ(path->size(), 10u);
+    std::vector<bool> seen(10, false);
+    for (size_t i = 0; i < path->size(); ++i) {
+      EXPECT_FALSE(seen[(*path)[i]]);
+      seen[(*path)[i]] = true;
+      if (i > 0) {
+        EXPECT_TRUE(g.HasEdge((*path)[i - 1], (*path)[i]));
+      }
+    }
+  }
+}
+
+TEST(HamiltonianTest, StarHasNoPath) {
+  Graph g(5);
+  for (int i = 1; i < 5; ++i) g.AddEdge(0, i);
+  EXPECT_FALSE(FindHamiltonianPath(g).has_value());
+}
+
+TEST(HamiltonianTest, DisconnectedHasNoPath) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  EXPECT_FALSE(FindHamiltonianPath(g).has_value());
+}
+
+TEST(HamiltonianTest, TinyGraphs) {
+  EXPECT_TRUE(FindHamiltonianPath(Graph(0)).has_value());
+  EXPECT_TRUE(FindHamiltonianPath(Graph(1)).has_value());
+  Graph two(2);
+  EXPECT_FALSE(FindHamiltonianPath(two).has_value());
+  two.AddEdge(0, 1);
+  EXPECT_TRUE(FindHamiltonianPath(two).has_value());
+}
+
+TEST(SccTest, DagHasSingletonComponents) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(2, 3);
+  auto scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 4);
+}
+
+TEST(SccTest, CycleIsOneComponent) {
+  Digraph g(3);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(2, 0);
+  auto scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 1);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+}
+
+TEST(SccTest, MixedComponentsAndTopologicalOrder) {
+  // 0 <-> 1 -> 2 <-> 3, and 4 isolated.
+  Digraph g(5);
+  g.AddArc(0, 1);
+  g.AddArc(1, 0);
+  g.AddArc(1, 2);
+  g.AddArc(2, 3);
+  g.AddArc(3, 2);
+  auto scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 3);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[2], scc.component[3]);
+  EXPECT_NE(scc.component[0], scc.component[2]);
+  // Tarjan ids are reverse-topological: the {2,3} sink comes before {0,1}.
+  EXPECT_LT(scc.component[2], scc.component[0]);
+}
+
+TEST(SccTest, DeepChainNoStackOverflow) {
+  int n = 200000;
+  Digraph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddArc(i, i + 1);
+  auto scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, n);
+}
+
+TEST(GeneratorsTest, GnpRespectsExtremes) {
+  Graph empty = GnpRandom(10, 0.0, 1);
+  EXPECT_EQ(empty.num_edges(), 0u);
+  Graph full = GnpRandom(10, 1.0, 1);
+  EXPECT_EQ(full.num_edges(), 45u);
+}
+
+TEST(GeneratorsTest, GnpDeterministicInSeed) {
+  Graph a = GnpRandom(20, 0.3, 42);
+  Graph b = GnpRandom(20, 0.3, 42);
+  for (int u = 0; u < 20; ++u) {
+    for (int v = 0; v < 20; ++v) EXPECT_EQ(a.HasEdge(u, v), b.HasEdge(u, v));
+  }
+}
+
+TEST(GeneratorsTest, PlantedCliqueIsPresent) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Graph g = PlantedClique(30, 0.1, 6, seed);
+    EXPECT_TRUE(FindCliqueBb(g, 6).has_value()) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace paraquery

@@ -1,0 +1,271 @@
+// Tests for the Theorem 2 engine: acyclic conjunctive queries with ≠.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "eval/inequality.hpp"
+#include "eval/naive.hpp"
+#include "graph/generators.hpp"
+#include "query/parser.hpp"
+
+namespace paraquery {
+namespace {
+
+Database GraphDb(const Graph& g) {
+  Database db;
+  RelId e = db.AddRelation("E", 2).ValueOrDie();
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    for (int v : g.Neighbors(u)) db.relation(e).Add({u, v});
+  }
+  return db;
+}
+
+IneqOptions Certified() {
+  IneqOptions o;
+  o.driver = IneqOptions::Driver::kCertified;
+  return o;
+}
+
+TEST(IneqTest, PaperEmployeeProjectExample) {
+  // G(e) :- EP(e,p), EP(e,p'), p != p' — employees on more than one project.
+  Database db;
+  RelId ep = db.AddRelation("EP", 2).ValueOrDie();
+  db.relation(ep).Add({1, 100});
+  db.relation(ep).Add({1, 101});
+  db.relation(ep).Add({2, 100});
+  db.relation(ep).Add({3, 102});
+  db.relation(ep).Add({3, 102});  // duplicate row: still one project
+  auto q = ParseConjunctive("g(e) :- EP(e, p), EP(e, q), p != q.")
+               .ValueOrDie();
+  IneqStats stats;
+  auto out = IneqEvaluate(db, q, Certified(), &stats).ValueOrDie();
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains(std::vector<Value>{1}));
+  EXPECT_TRUE(stats.certified);
+  // p, q do not co-occur in one atom: the inequality is in I1, k = 2.
+  EXPECT_EQ(stats.k, 2);
+  EXPECT_EQ(stats.i1_atoms, 1u);
+}
+
+TEST(IneqTest, PaperStudentCourseExample) {
+  // G(s) :- SD(s,d), SC(s,c), CD(c,d'), d != d' — students taking a course
+  // outside their department.
+  Database db;
+  RelId sd = db.AddRelation("SD", 2).ValueOrDie();
+  RelId sc = db.AddRelation("SC", 2).ValueOrDie();
+  RelId cd = db.AddRelation("CD", 2).ValueOrDie();
+  // Student 1 in dept 10 takes course 20 (dept 11): outside.
+  // Student 2 in dept 11 takes course 21 (dept 11): inside.
+  db.relation(sd).Add({1, 10});
+  db.relation(sd).Add({2, 11});
+  db.relation(sc).Add({1, 20});
+  db.relation(sc).Add({2, 21});
+  db.relation(cd).Add({20, 11});
+  db.relation(cd).Add({21, 11});
+  auto q = ParseConjunctive(
+               "g(s) :- SD(s, d), SC(s, c), CD(c, e), d != e.")
+               .ValueOrDie();
+  auto out = IneqEvaluate(db, q, Certified()).ValueOrDie();
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains(std::vector<Value>{1}));
+}
+
+TEST(IneqTest, CoOccurringInequalityGoesToI2) {
+  Database db = GraphDb(CycleGraph(4));
+  auto q = ParseConjunctive("ans(x, y) :- E(x, y), x != y.").ValueOrDie();
+  IneqStats stats;
+  auto out = IneqEvaluate(db, q, Certified(), &stats).ValueOrDie();
+  EXPECT_EQ(stats.k, 0);  // handled entirely by selections
+  EXPECT_EQ(stats.i2_atoms, 1u);
+  auto naive = NaiveEvaluateCq(db, q).ValueOrDie();
+  EXPECT_TRUE(out.EqualsAsSet(naive));
+}
+
+TEST(IneqTest, VarConstInequalitiesPushed) {
+  Database db = GraphDb(PathGraph(5));
+  auto q = ParseConjunctive("ans(x) :- E(x, y), x != 0, y != 3.")
+               .ValueOrDie();
+  IneqStats stats;
+  auto out = IneqEvaluate(db, q, Certified(), &stats).ValueOrDie();
+  EXPECT_EQ(stats.k, 0);
+  auto naive = NaiveEvaluateCq(db, q).ValueOrDie();
+  EXPECT_TRUE(out.EqualsAsSet(naive));
+}
+
+TEST(IneqTest, PureAcyclicDegeneratesToYannakakis) {
+  Database db = GraphDb(GnpRandom(10, 0.3, 7));
+  auto q = ParseConjunctive("ans(a, c) :- E(a,b), E(b,c).").ValueOrDie();
+  IneqStats stats;
+  auto out = IneqEvaluate(db, q, Certified(), &stats).ValueOrDie();
+  EXPECT_EQ(stats.k, 0);
+  EXPECT_EQ(stats.family_size, 1u);
+  auto naive = NaiveEvaluateCq(db, q).ValueOrDie();
+  EXPECT_TRUE(out.EqualsAsSet(naive));
+}
+
+TEST(IneqTest, RejectsOrderComparisonsAndCyclicQueries) {
+  Database db = GraphDb(PathGraph(3));
+  auto lt = ParseConjunctive("p() :- E(x, y), x < y.").ValueOrDie();
+  EXPECT_FALSE(IneqNonempty(db, lt).ok());
+  auto cyc =
+      ParseConjunctive("p() :- E(x,y), E(y,z), E(z,x), x != y.").ValueOrDie();
+  EXPECT_FALSE(IneqNonempty(db, cyc).ok());
+}
+
+TEST(IneqTest, TriviallyFalseComparisons) {
+  Database db = GraphDb(PathGraph(3));
+  auto q = ParseConjunctive("p() :- E(x, y), x != x.").ValueOrDie();
+  EXPECT_FALSE(IneqNonempty(db, q, Certified()).ValueOrDie());
+  auto q2 = ParseConjunctive("p() :- E(x, y), 3 != 3.").ValueOrDie();
+  EXPECT_FALSE(IneqNonempty(db, q2, Certified()).ValueOrDie());
+  auto q3 = ParseConjunctive("p() :- E(x, y), 3 != 4.").ValueOrDie();
+  EXPECT_TRUE(IneqNonempty(db, q3, Certified()).ValueOrDie());
+}
+
+TEST(IneqTest, SimplePathsOfLengthK) {
+  // Simple paths via all-pairs ≠: the color-coding special case the paper
+  // cites (Monien / Alon-Yuster-Zwick). Path graph has simple 3-paths;
+  // star graph does not.
+  const char* text =
+      "p() :- E(a,b), E(b,c), E(c,d), a != b, a != c, a != d, b != c, "
+      "b != d, c != d.";
+  auto q = ParseConjunctive(text).ValueOrDie();
+
+  Database path = GraphDb(PathGraph(5));
+  EXPECT_TRUE(IneqNonempty(path, q, Certified()).ValueOrDie());
+
+  Graph star(6);
+  for (int i = 1; i < 6; ++i) star.AddEdge(0, i);
+  Database stardb = GraphDb(star);
+  EXPECT_FALSE(IneqNonempty(stardb, q, Certified()).ValueOrDie());
+}
+
+TEST(IneqTest, DisconnectedQueryComponentsWithCrossInequality) {
+  // A(x), B(y), x != y across components of the query hypergraph.
+  Database db;
+  RelId a = db.AddRelation("A", 1).ValueOrDie();
+  RelId b = db.AddRelation("B", 1).ValueOrDie();
+  db.relation(a).Add({1});
+  db.relation(b).Add({1});
+  auto q = ParseConjunctive("p() :- A(x), B(y), x != y.").ValueOrDie();
+  EXPECT_FALSE(IneqNonempty(db, q, Certified()).ValueOrDie());
+  db.relation(b).Add({2});
+  EXPECT_TRUE(IneqNonempty(db, q, Certified()).ValueOrDie());
+  auto out = IneqEvaluate(db, q, Certified()).ValueOrDie();
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(IneqTest, ContainsDecision) {
+  Database db = GraphDb(PathGraph(4));
+  auto q = ParseConjunctive("ans(x, z) :- E(x, y), E(y, z), x != z.")
+               .ValueOrDie();
+  EXPECT_TRUE(IneqContains(db, q, {0, 2}, Certified()).ValueOrDie());
+  EXPECT_FALSE(IneqContains(db, q, {0, 0}, Certified()).ValueOrDie());
+}
+
+TEST(IneqTest, MonteCarloIsSoundAndUsuallyComplete) {
+  // Monte Carlo: positives always sound; with c = 6 the failure rate is
+  // ~e^-6, so these fixed seeds must find the witness.
+  Database db = GraphDb(PathGraph(6));
+  auto q = ParseConjunctive(
+               "p() :- E(a,b), E(b,c), a != c, a != b, b != c.")
+               .ValueOrDie();
+  IneqOptions mc;
+  mc.driver = IneqOptions::Driver::kMonteCarlo;
+  mc.mc_error_exponent = 6.0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    mc.seed = seed;
+    EXPECT_TRUE(IneqNonempty(db, q, mc).ValueOrDie()) << "seed=" << seed;
+  }
+}
+
+TEST(IneqTest, StatsReportFamilyAndTrials) {
+  Database db = GraphDb(PathGraph(6));
+  auto q = ParseConjunctive("p() :- E(a,b), E(c,d), a != c.").ValueOrDie();
+  IneqStats stats;
+  ASSERT_TRUE(IneqNonempty(db, q, Certified(), &stats).ValueOrDie());
+  EXPECT_EQ(stats.k, 2);
+  EXPECT_GE(stats.family_size, 1u);
+  EXPECT_GE(stats.trials, 1u);
+  EXPECT_LE(stats.trials, stats.family_size);
+}
+
+// The main property: on random acyclic ≠-queries the certified engine
+// matches naive backtracking exactly.
+class IneqPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IneqPropertyTest, MatchesNaiveOnRandomAcyclicNeqQueries) {
+  Rng rng(GetParam());
+  Database db;
+  const char* names[] = {"R0", "R1"};
+  for (const char* name : names) {
+    RelId id = db.AddRelation(name, 2).ValueOrDie();
+    int rows = 8 + static_cast<int>(rng.Below(18));
+    for (int i = 0; i < rows; ++i) {
+      db.relation(id).Add({rng.Range(0, 6), rng.Range(0, 6)});
+    }
+  }
+  // Random acyclic query as a random tree of binary atoms.
+  ConjunctiveQuery q;
+  int num_atoms = 2 + static_cast<int>(rng.Below(4));
+  std::vector<VarId> pool = {q.vars.Intern("v0")};
+  for (int i = 0; i < num_atoms; ++i) {
+    VarId shared = pool[rng.Below(pool.size())];
+    std::string fresh_name = std::string("v") + std::to_string(i + 1);
+    VarId fresh = q.vars.Intern(fresh_name);
+    Atom a{names[rng.Below(2)], {Term::Var(shared), Term::Var(fresh)}};
+    if (rng.Chance(0.5)) std::swap(a.terms[0], a.terms[1]);
+    q.body.push_back(a);
+    pool.push_back(fresh);
+  }
+  // Random ≠ atoms over the variable pool (some co-occur -> I2, some not
+  // -> I1), plus occasionally a var != const atom.
+  int num_neq = 1 + static_cast<int>(rng.Below(4));
+  for (int i = 0; i < num_neq; ++i) {
+    VarId x = pool[rng.Below(pool.size())];
+    if (rng.Chance(0.2)) {
+      q.comparisons.push_back(
+          {CompareOp::kNeq, Term::Var(x), Term::Const(rng.Range(0, 6))});
+    } else {
+      VarId y = pool[rng.Below(pool.size())];
+      if (x == y) continue;
+      q.comparisons.push_back({CompareOp::kNeq, Term::Var(x), Term::Var(y)});
+    }
+  }
+  q.head = {Term::Var(pool[0]), Term::Var(pool[pool.size() / 2])};
+  ASSERT_TRUE(q.IsAcyclic());
+
+  IneqStats stats;
+  auto fpt = IneqEvaluate(db, q, Certified(), &stats).ValueOrDie();
+  auto naive = NaiveEvaluateCq(db, q).ValueOrDie();
+  EXPECT_TRUE(fpt.EqualsAsSet(naive))
+      << q.ToString() << "\nk=" << stats.k << " i1=" << stats.i1_atoms;
+  EXPECT_EQ(IneqNonempty(db, q, Certified()).ValueOrDie(), !naive.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IneqPropertyTest,
+                         ::testing::Range<uint64_t>(1, 61));
+
+// Deeper trees with several I1 inequalities crossing subtrees.
+TEST(IneqTest, DeepTreeCrossSubtreeInequalities) {
+  Rng rng(99);
+  Database db;
+  RelId r = db.AddRelation("R", 2).ValueOrDie();
+  for (int i = 0; i < 60; ++i) {
+    db.relation(r).Add({rng.Range(0, 9), rng.Range(0, 9)});
+  }
+  // Star of paths: center v0 with three 2-edge arms; inequalities between
+  // the arm tips (never co-occurring).
+  auto q = ParseConjunctive(
+               "ans(c) :- R(c, a1), R(a1, a2), R(c, b1), R(b1, b2), "
+               "R(c, d1), R(d1, d2), a2 != b2, b2 != d2, a2 != d2.")
+               .ValueOrDie();
+  ASSERT_TRUE(q.IsAcyclic());
+  IneqStats stats;
+  auto fpt = IneqEvaluate(db, q, Certified(), &stats).ValueOrDie();
+  EXPECT_EQ(stats.k, 3);
+  auto naive = NaiveEvaluateCq(db, q).ValueOrDie();
+  EXPECT_TRUE(fpt.EqualsAsSet(naive));
+}
+
+}  // namespace
+}  // namespace paraquery

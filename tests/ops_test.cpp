@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "relational/ops.hpp"
+
+namespace paraquery {
+namespace {
+
+NamedRelation Make(std::vector<AttrId> attrs,
+                   std::vector<std::vector<Value>> rows) {
+  NamedRelation r(std::move(attrs));
+  for (const auto& row : rows) r.rel().Add(row);
+  return r;
+}
+
+TEST(OpsTest, SelectFiltersRows) {
+  auto r = Make({0, 1}, {{1, 2}, {2, 2}, {3, 4}});
+  Predicate p;
+  p.Add(Constraint::EqCols(0, 1));
+  auto out = Select(r, p);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.rel().At(0, 0), 2);
+}
+
+TEST(OpsTest, ProjectReordersAndDedups) {
+  auto r = Make({0, 1}, {{1, 9}, {2, 9}, {1, 8}});
+  auto out = Project(r, {1});
+  EXPECT_EQ(out.attrs(), (std::vector<AttrId>{1}));
+  EXPECT_EQ(out.size(), 2u);  // {8, 9}
+  auto swapped = Project(r, {1, 0}, /*dedup=*/false);
+  EXPECT_EQ(swapped.size(), 3u);
+  EXPECT_EQ(swapped.rel().At(0, 0), 9);
+  EXPECT_EQ(swapped.rel().At(0, 1), 1);
+}
+
+TEST(OpsTest, NaturalJoinOnSharedAttr) {
+  auto r = Make({0, 1}, {{1, 2}, {2, 3}});
+  auto s = Make({1, 2}, {{2, 10}, {2, 11}, {9, 12}});
+  auto out = NaturalJoin(r, s).ValueOrDie();
+  EXPECT_EQ(out.attrs(), (std::vector<AttrId>{0, 1, 2}));
+  EXPECT_EQ(out.size(), 2u);  // (1,2,10), (1,2,11)
+  EXPECT_TRUE(out.rel().Contains(std::vector<Value>{1, 2, 10}));
+  EXPECT_TRUE(out.rel().Contains(std::vector<Value>{1, 2, 11}));
+}
+
+TEST(OpsTest, NaturalJoinDisjointIsCrossProduct) {
+  auto r = Make({0}, {{1}, {2}});
+  auto s = Make({1}, {{7}, {8}});
+  auto out = NaturalJoin(r, s).ValueOrDie();
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(OpsTest, NaturalJoinPostFilter) {
+  auto r = Make({0}, {{1}, {2}});
+  auto s = Make({1}, {{1}, {2}});
+  JoinOptions opt;
+  opt.post_filter.Add(Constraint::NeqCols(0, 1));
+  auto out = NaturalJoin(r, s, opt).ValueOrDie();
+  EXPECT_EQ(out.size(), 2u);  // (1,2) and (2,1)
+  EXPECT_FALSE(out.rel().Contains(std::vector<Value>{1, 1}));
+}
+
+TEST(OpsTest, NaturalJoinRowLimit) {
+  auto r = Make({0}, {{1}, {2}, {3}});
+  auto s = Make({1}, {{1}, {2}, {3}});
+  JoinOptions opt;
+  opt.max_output_rows = 4;
+  auto out = NaturalJoin(r, s, opt);
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(OpsTest, JoinWithBooleanTrue) {
+  auto r = Make({0}, {{1}, {2}});
+  auto out = NaturalJoin(r, BooleanTrue()).ValueOrDie();
+  EXPECT_EQ(out.size(), 2u);
+  auto out2 = NaturalJoin(r, BooleanFalse()).ValueOrDie();
+  EXPECT_TRUE(out2.empty());
+}
+
+TEST(OpsTest, SemijoinKeepsMatchingRows) {
+  auto r = Make({0, 1}, {{1, 2}, {2, 3}, {4, 5}});
+  auto s = Make({1}, {{2}, {5}});
+  auto out = Semijoin(r, s);
+  EXPECT_EQ(out.attrs(), r.attrs());
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out.rel().Contains(std::vector<Value>{1, 2}));
+  EXPECT_TRUE(out.rel().Contains(std::vector<Value>{4, 5}));
+}
+
+TEST(OpsTest, SemijoinNoCommonAttrs) {
+  auto r = Make({0}, {{1}});
+  auto s_nonempty = Make({1}, {{9}});
+  auto s_empty = Make({1}, {});
+  EXPECT_EQ(Semijoin(r, s_nonempty).size(), 1u);
+  EXPECT_TRUE(Semijoin(r, s_empty).empty());
+}
+
+TEST(OpsTest, UnionDifferenceIntersect) {
+  auto a = Make({0}, {{1}, {2}});
+  auto b = Make({0}, {{2}, {3}});
+  EXPECT_EQ(UnionSet(a, b).size(), 3u);
+  auto diff = Difference(a, b);
+  EXPECT_EQ(diff.size(), 1u);
+  EXPECT_TRUE(diff.rel().Contains(std::vector<Value>{1}));
+  auto inter = Intersect(a, b);
+  EXPECT_EQ(inter.size(), 1u);
+  EXPECT_TRUE(inter.rel().Contains(std::vector<Value>{2}));
+}
+
+TEST(OpsTest, SetOpsAlignColumnOrder) {
+  auto a = Make({0, 1}, {{1, 2}});
+  auto b = Make({1, 0}, {{2, 1}});  // same tuple, columns swapped
+  EXPECT_EQ(UnionSet(a, b).size(), 1u);
+  EXPECT_TRUE(Difference(a, b).empty());
+}
+
+TEST(OpsTest, ZeroArySetOps) {
+  EXPECT_FALSE(UnionSet(BooleanFalse(), BooleanTrue()).empty());
+  EXPECT_TRUE(UnionSet(BooleanFalse(), BooleanFalse()).empty());
+  EXPECT_TRUE(Difference(BooleanTrue(), BooleanTrue()).empty());
+  EXPECT_FALSE(Difference(BooleanTrue(), BooleanFalse()).empty());
+  EXPECT_FALSE(Intersect(BooleanTrue(), BooleanTrue()).empty());
+}
+
+TEST(OpsTest, CrossProduct) {
+  auto a = Make({0}, {{1}, {2}});
+  auto b = Make({5}, {{7}});
+  auto out = CrossProduct(a, b).ValueOrDie();
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.attrs(), (std::vector<AttrId>{0, 5}));
+}
+
+TEST(OpsTest, DomainPowerEnumeratesAllTuples) {
+  auto out = DomainPower({0, 1}, {1, 2, 3}, 100).ValueOrDie();
+  EXPECT_EQ(out.size(), 9u);
+  EXPECT_TRUE(out.rel().Contains(std::vector<Value>{3, 1}));
+}
+
+TEST(OpsTest, DomainPowerRespectsLimit) {
+  auto out = DomainPower({0, 1, 2}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 100);
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(OpsTest, DomainPowerZeroAttrs) {
+  auto out = DomainPower({}, {1, 2}, 10).ValueOrDie();
+  EXPECT_EQ(out.size(), 1u);  // one empty tuple
+}
+
+TEST(OpsTest, ComplementOverDomain) {
+  auto r = Make({0}, {{1}, {3}});
+  auto out = Complement(r, {1, 2, 3}, 100).ValueOrDie();
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.rel().Contains(std::vector<Value>{2}));
+}
+
+// Property sweep: join algebra invariants on random relations.
+class JoinPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinPropertyTest, JoinCommutesAndSemijoinBounds) {
+  Rng rng(GetParam());
+  auto random_rel = [&rng](std::vector<AttrId> attrs, int rows, int dom) {
+    NamedRelation r(std::move(attrs));
+    for (int i = 0; i < rows; ++i) {
+      ValueVec row(r.attrs().size());
+      for (auto& v : row) v = rng.Range(0, dom - 1);
+      r.rel().Add(row);
+    }
+    r.rel().SortAndDedup();
+    return r;
+  };
+  auto a = random_rel({0, 1}, 20, 5);
+  auto b = random_rel({1, 2}, 20, 5);
+
+  auto ab = NaturalJoin(a, b).ValueOrDie();
+  auto ba = NaturalJoin(b, a).ValueOrDie();
+  EXPECT_TRUE(ab.EquivalentTo(ba));
+
+  // Semijoin = projection of join onto left attrs.
+  auto semi = Semijoin(a, b);
+  auto proj = Project(ab, a.attrs());
+  semi.rel().SortAndDedup();
+  EXPECT_TRUE(semi.EquivalentTo(proj));
+
+  // Join with self is identity (on deduped input).
+  auto self = NaturalJoin(a, a).ValueOrDie();
+  self.rel().SortAndDedup();
+  EXPECT_TRUE(self.EquivalentTo(a));
+
+  // Union/difference partition: (a−b) ∪ (a∩b) = a over same schema.
+  auto c = random_rel({0, 1}, 15, 4);
+  auto left = Difference(a, c);
+  auto mid = Intersect(a, c);
+  EXPECT_TRUE(UnionSet(left, mid).EquivalentTo(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace paraquery

@@ -1,0 +1,358 @@
+#include <gtest/gtest.h>
+
+#include "query/comparison_closure.hpp"
+#include "query/conjunctive_query.hpp"
+#include "query/datalog.hpp"
+#include "query/first_order_query.hpp"
+#include "query/parser.hpp"
+#include "query/positive_query.hpp"
+
+namespace paraquery {
+namespace {
+
+TEST(TermTest, VariablesAndConstants) {
+  Term v = Term::Var(3);
+  Term c = Term::Const(42);
+  EXPECT_TRUE(v.is_var());
+  EXPECT_TRUE(c.is_const());
+  EXPECT_EQ(v.var(), 3);
+  EXPECT_EQ(c.value(), 42);
+  EXPECT_EQ(v, Term::Var(3));
+  EXPECT_NE(v == c, true);
+  EXPECT_FALSE(Term::Const(1) == Term::Var(1));
+}
+
+TEST(TermTest, AtomVariablesDeduped) {
+  Atom a{"R", {Term::Var(1), Term::Const(5), Term::Var(0), Term::Var(1)}};
+  EXPECT_EQ(a.Variables(), (std::vector<VarId>{1, 0}));
+}
+
+TEST(VarTableTest, InternFindFresh) {
+  VarTable t;
+  VarId x = t.Intern("x");
+  EXPECT_EQ(t.Intern("x"), x);
+  EXPECT_EQ(t.Find("x"), x);
+  EXPECT_EQ(t.Find("y"), -1);
+  VarId f = t.Fresh("x");
+  EXPECT_NE(f, x);
+  EXPECT_NE(t.name(f), "x");
+}
+
+TEST(ParseConjunctiveTest, BasicRule) {
+  auto q = ParseConjunctive("ans(x, y) :- E(x, z), E(z, y).").ValueOrDie();
+  EXPECT_EQ(q.head.size(), 2u);
+  EXPECT_EQ(q.body.size(), 2u);
+  EXPECT_EQ(q.NumVariables(), 3);
+  EXPECT_EQ(q.body[0].relation, "E");
+  EXPECT_TRUE(q.IsAcyclic());
+  EXPECT_FALSE(q.HasComparisons());
+}
+
+TEST(ParseConjunctiveTest, ComparisonsAndConstants) {
+  auto q =
+      ParseConjunctive("g(e) :- EP(e, p), EP(e, q), p != q, e < 100.")
+          .ValueOrDie();
+  EXPECT_EQ(q.comparisons.size(), 2u);
+  EXPECT_EQ(q.comparisons[0].op, CompareOp::kNeq);
+  EXPECT_EQ(q.comparisons[1].op, CompareOp::kLt);
+  EXPECT_TRUE(q.comparisons[1].rhs.is_const());
+  EXPECT_EQ(q.comparisons[1].rhs.value(), 100);
+  EXPECT_FALSE(q.HasOnlyInequalities());
+  EXPECT_TRUE(q.HasOrderComparisons());
+}
+
+TEST(ParseConjunctiveTest, BooleanQuery) {
+  auto q = ParseConjunctive("p() :- E(x, y).").ValueOrDie();
+  EXPECT_TRUE(q.IsBoolean());
+  EXPECT_EQ(q.NumVariables(), 2);
+}
+
+TEST(ParseConjunctiveTest, StringConstantsNeedDictionary) {
+  EXPECT_FALSE(ParseConjunctive("p() :- R(x, 'alice').").ok());
+  Dictionary dict;
+  auto q = ParseConjunctive("p() :- R(x, 'alice').", &dict).ValueOrDie();
+  EXPECT_EQ(q.body[0].terms[1].value(), dict.Find("alice"));
+}
+
+TEST(ParseConjunctiveTest, UnsafeHeadRejected) {
+  auto q = ParseConjunctive("ans(x, w) :- E(x, y).");
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseConjunctiveTest, UnsafeComparisonRejected) {
+  auto q = ParseConjunctive("p() :- E(x, y), z < x.");
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseConjunctiveTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseConjunctive("ans(x :- E(x).").ok());
+  EXPECT_FALSE(ParseConjunctive("ans(x) : E(x).").ok());
+  EXPECT_FALSE(ParseConjunctive("ans(x) :- E(x)").ok());  // missing dot
+  EXPECT_FALSE(ParseConjunctive("ans(x) :- E(x). extra").ok());
+  EXPECT_FALSE(ParseConjunctive("ans(x) :- E(x), y ! z.").ok());
+}
+
+TEST(ParseConjunctiveTest, CommentsIgnored) {
+  auto q = ParseConjunctive(
+      "% full comment line\n"
+      "ans(x) :- E(x, y). # trailing comment");
+  EXPECT_TRUE(q.ok());
+}
+
+TEST(ConjunctiveQueryTest, QuerySizeCountsSymbols) {
+  auto q = ParseConjunctive("ans(x) :- E(x, y), F(y), x != y.").ValueOrDie();
+  // head: 1+1, E: 1+2, F: 1+1, comparison: 3.
+  EXPECT_EQ(q.QuerySize(), 2u + 3u + 2u + 3u);
+}
+
+TEST(ConjunctiveQueryTest, HeadAndBodyVariables) {
+  auto q = ParseConjunctive("ans(x, x) :- E(x, y), F(z).").ValueOrDie();
+  EXPECT_EQ(q.HeadVariables().size(), 1u);
+  EXPECT_EQ(q.BodyVariables().size(), 3u);
+}
+
+TEST(ConjunctiveQueryTest, CyclicQueryDetected) {
+  auto q = ParseConjunctive("p() :- E(x, y), E(y, z), E(x, z).").ValueOrDie();
+  EXPECT_FALSE(q.IsAcyclic());
+}
+
+TEST(ConjunctiveQueryTest, InequalityNotPartOfHypergraph) {
+  // The paper's point: the ≠ atom does not add a hyperedge.
+  auto q =
+      ParseConjunctive("g(e) :- EP(e, p), EP(e, q), p != q.").ValueOrDie();
+  EXPECT_TRUE(q.IsAcyclic());
+  Hypergraph h = q.BuildHypergraph();
+  EXPECT_EQ(h.num_edges(), 2u);
+}
+
+TEST(ConjunctiveQueryTest, BindHeadSubstitutesConstants) {
+  auto q = ParseConjunctive("ans(x, y) :- E(x, y), x != y.").ValueOrDie();
+  ConjunctiveQuery bound = q.BindHead({7, 8});
+  EXPECT_TRUE(bound.IsBoolean());
+  EXPECT_TRUE(bound.body[0].terms[0].is_const());
+  EXPECT_EQ(bound.body[0].terms[0].value(), 7);
+  EXPECT_TRUE(bound.comparisons[0].lhs.is_const());
+  EXPECT_EQ(bound.comparisons[0].rhs.value(), 8);
+}
+
+TEST(ConjunctiveQueryTest, ToStringRoundTrips) {
+  const char* text = "ans(x) :- E(x,y), x != y.";
+  auto q = ParseConjunctive(text).ValueOrDie();
+  auto q2 = ParseConjunctive(q.ToString()).ValueOrDie();
+  EXPECT_EQ(q.ToString(), q2.ToString());
+}
+
+TEST(ParseFirstOrderTest, QuantifiersAndConnectives) {
+  auto q = ParseFirstOrder(
+               "q(x) := exists y . (E(x, y) and not forall z . "
+               "(E(y, z) or z = x)).")
+               .ValueOrDie();
+  EXPECT_EQ(q.head.size(), 1u);
+  EXPECT_EQ(q.FreeVariables(), (std::vector<VarId>{q.vars.Find("x")}));
+  EXPECT_FALSE(q.IsPositive());
+}
+
+TEST(ParseFirstOrderTest, QuantifierScopeIsMaximal) {
+  auto q = ParseFirstOrder("p() := exists x . E(x, x) and F(x).").ValueOrDie();
+  // 'and F(x)' is inside the quantifier: no free variables.
+  EXPECT_TRUE(q.FreeVariables().empty());
+}
+
+TEST(ParseFirstOrderTest, FreeVariableMustBeInHead) {
+  auto q = ParseFirstOrder("p() := E(x, y).");
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseFirstOrderTest, ShadowingIsRepresentable) {
+  // Inner 'forall x' rebinds x; outer x stays free.
+  auto q = ParseFirstOrder(
+               "q(x) := exists y . (E(x, y) and forall x . E(y, x)).")
+               .ValueOrDie();
+  EXPECT_EQ(q.FreeVariables().size(), 1u);
+  EXPECT_EQ(q.NumVariables(), 2);  // x and y only, reuse counted once
+}
+
+TEST(ParseFirstOrderTest, MultiVarQuantifier) {
+  auto q =
+      ParseFirstOrder("p() := exists x, y . E(x, y).").ValueOrDie();
+  EXPECT_TRUE(q.FreeVariables().empty());
+  EXPECT_EQ(q.QuerySize(), 1u + (1u + 2u) + (1u + 2u));  // head + atom + ∃xy
+}
+
+TEST(PositiveQueryTest, AcceptsPositive) {
+  auto q = ParsePositive("p() := exists x . (E(x, x) or F(x)).");
+  EXPECT_TRUE(q.ok());
+}
+
+TEST(PositiveQueryTest, RejectsNegation) {
+  EXPECT_FALSE(ParsePositive("p() := not E(1, 2).").ok());
+  EXPECT_FALSE(ParsePositive("p() := forall x . E(x, x).").ok());
+  EXPECT_FALSE(ParsePositive("p() := exists x . x != 1.").ok());
+}
+
+TEST(PositiveQueryTest, UcqExpansionDistributes) {
+  // (A or B) and (C or D) -> 4 disjuncts.
+  auto q = ParsePositive(
+               "p() := exists x . ((A(x) or B(x)) and (C(x) or D(x))).")
+               .ValueOrDie();
+  auto cqs = q.ToUnionOfCqs().ValueOrDie();
+  EXPECT_EQ(cqs.size(), 4u);
+  for (const auto& cq : cqs) EXPECT_EQ(cq.body.size(), 2u);
+}
+
+TEST(PositiveQueryTest, UcqStandardizesApart) {
+  // The same variable name x is quantified twice; the disjunct must use two
+  // distinct variables after expansion.
+  auto q = ParsePositive(
+               "p() := (exists x . A(x)) and (exists x . B(x)).")
+               .ValueOrDie();
+  auto cqs = q.ToUnionOfCqs().ValueOrDie();
+  ASSERT_EQ(cqs.size(), 1u);
+  const auto& cq = cqs[0];
+  ASSERT_EQ(cq.body.size(), 2u);
+  EXPECT_NE(cq.body[0].terms[0].var(), cq.body[1].terms[0].var());
+}
+
+TEST(PositiveQueryTest, UcqRespectsDisjunctLimit) {
+  std::string text = "p() := exists x . (";
+  for (int i = 0; i < 12; ++i) {
+    if (i > 0) text += " and ";
+    text += "(A(x) or B(x))";
+  }
+  text += ").";
+  auto q = ParsePositive(text).ValueOrDie();
+  auto cqs = q.ToUnionOfCqs(/*max_disjuncts=*/100);
+  EXPECT_EQ(cqs.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(q.ToUnionOfCqs().ValueOrDie().size(), 4096u);
+}
+
+TEST(PositiveQueryTest, HeadVariablesSurviveExpansion) {
+  auto q = ParsePositive("ans(x) := A(x) or (exists y . R(x, y)).")
+               .ValueOrDie();
+  auto cqs = q.ToUnionOfCqs().ValueOrDie();
+  ASSERT_EQ(cqs.size(), 2u);
+  for (const auto& cq : cqs) {
+    ASSERT_EQ(cq.head.size(), 1u);
+    EXPECT_TRUE(cq.head[0].is_var());
+  }
+}
+
+TEST(ParseDatalogTest, TransitiveClosure) {
+  auto prog = ParseDatalog(
+                  "tc(x, y) :- E(x, y).\n"
+                  "tc(x, y) :- E(x, z), tc(z, y).\n")
+                  .ValueOrDie();
+  EXPECT_EQ(prog.rules.size(), 2u);
+  EXPECT_EQ(prog.goal, "tc");
+  EXPECT_EQ(prog.IdbRelations(), (std::vector<std::string>{"tc"}));
+  EXPECT_TRUE(prog.IsIdb("tc"));
+  EXPECT_FALSE(prog.IsIdb("E"));
+  EXPECT_EQ(prog.MaxIdbArity(), 2);
+  EXPECT_EQ(prog.MaxRuleVariables(), 3);
+}
+
+TEST(ParseDatalogTest, ExplicitGoal) {
+  auto prog = ParseDatalog(
+                  "a(x) :- E(x, x).\n"
+                  "b(x) :- a(x).\n"
+                  "@goal b.\n")
+                  .ValueOrDie();
+  EXPECT_EQ(prog.goal, "b");
+}
+
+TEST(ParseDatalogTest, ArityMismatchRejected) {
+  auto prog = ParseDatalog(
+      "a(x) :- E(x, y).\n"
+      "b(x) :- E(x).\n");
+  EXPECT_EQ(prog.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseDatalogTest, GoalMustBeIdb) {
+  auto prog = ParseDatalog("a(x) :- E(x, x). @goal E.");
+  EXPECT_FALSE(prog.ok());
+}
+
+TEST(ParseDatalogTest, UnsafeRuleRejected) {
+  auto prog = ParseDatalog("a(x, w) :- E(x, x).");
+  EXPECT_FALSE(prog.ok());
+}
+
+TEST(ComparisonClosureTest, ConsistentChainUntouched) {
+  auto q = ParseConjunctive("p() :- R(x, y, z), x < y, y < z.").ValueOrDie();
+  auto closure = CollapseComparisons(q).ValueOrDie();
+  EXPECT_TRUE(closure.consistent);
+  EXPECT_EQ(closure.rewritten.comparisons.size(), 2u);
+}
+
+TEST(ComparisonClosureTest, StrictCycleInconsistent) {
+  auto q =
+      ParseConjunctive("p() :- R(x, y), x < y, y < x.").ValueOrDie();
+  auto closure = CollapseComparisons(q).ValueOrDie();
+  EXPECT_FALSE(closure.consistent);
+}
+
+TEST(ComparisonClosureTest, WeakCycleCollapsesToEquality) {
+  auto q = ParseConjunctive("ans(x, y) :- R(x, y), x <= y, y <= x.")
+               .ValueOrDie();
+  auto closure = CollapseComparisons(q).ValueOrDie();
+  ASSERT_TRUE(closure.consistent);
+  EXPECT_TRUE(closure.rewritten.comparisons.empty());
+  // Both head terms map to the same variable.
+  EXPECT_EQ(closure.rewritten.head[0], closure.rewritten.head[1]);
+}
+
+TEST(ComparisonClosureTest, EqualityWithConstantSubstitutes) {
+  auto q = ParseConjunctive("p() :- R(x, y), x = 5, y <= x.").ValueOrDie();
+  auto closure = CollapseComparisons(q).ValueOrDie();
+  ASSERT_TRUE(closure.consistent);
+  EXPECT_TRUE(closure.rewritten.body[0].terms[0].is_const());
+  EXPECT_EQ(closure.rewritten.body[0].terms[0].value(), 5);
+  // y <= 5 survives.
+  ASSERT_EQ(closure.rewritten.comparisons.size(), 1u);
+  EXPECT_EQ(closure.rewritten.comparisons[0].op, CompareOp::kLe);
+}
+
+TEST(ComparisonClosureTest, ConstantsAreOrdered) {
+  // x <= 3 and 5 <= x forces 5 <= x <= 3: inconsistent.
+  auto q =
+      ParseConjunctive("p() :- R(x), x <= 3, 5 <= x.").ValueOrDie();
+  auto closure = CollapseComparisons(q).ValueOrDie();
+  EXPECT_FALSE(closure.consistent);
+}
+
+TEST(ComparisonClosureTest, NeqCollapsedToSelfInconsistent) {
+  auto q = ParseConjunctive("p() :- R(x, y), x <= y, y <= x, x != y.")
+               .ValueOrDie();
+  auto closure = CollapseComparisons(q).ValueOrDie();
+  EXPECT_FALSE(closure.consistent);
+}
+
+TEST(ComparisonClosureTest, TrivialConstantComparisonsDropped) {
+  auto q = ParseConjunctive("p() :- R(x), 1 < 2, x != 9.").ValueOrDie();
+  auto closure = CollapseComparisons(q).ValueOrDie();
+  ASSERT_TRUE(closure.consistent);
+  ASSERT_EQ(closure.rewritten.comparisons.size(), 1u);
+  EXPECT_EQ(closure.rewritten.comparisons[0].op, CompareOp::kNeq);
+}
+
+TEST(ComparisonClosureTest, DuplicateComparisonsDeduped) {
+  auto q =
+      ParseConjunctive("p() :- R(x, y), x < y, x < y, x != y, x != y.")
+          .ValueOrDie();
+  auto closure = CollapseComparisons(q).ValueOrDie();
+  ASSERT_TRUE(closure.consistent);
+  EXPECT_EQ(closure.rewritten.comparisons.size(), 2u);
+}
+
+TEST(ComparisonClosureTest, PaperSalaryExampleIsConsistent) {
+  // Find employees with higher salary than their manager.
+  auto q = ParseConjunctive(
+               "g(e) :- EM(e, m), ES(e, s), ES(m, t), t < s.")
+               .ValueOrDie();
+  auto closure = CollapseComparisons(q).ValueOrDie();
+  EXPECT_TRUE(closure.consistent);
+  EXPECT_TRUE(closure.rewritten.IsAcyclic());
+}
+
+}  // namespace
+}  // namespace paraquery

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "relational/database.hpp"
+#include "relational/dictionary.hpp"
+#include "relational/named_relation.hpp"
+#include "relational/predicate.hpp"
+#include "relational/relation.hpp"
+
+namespace paraquery {
+namespace {
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  Value a = d.Intern("alice");
+  Value b = d.Intern("bob");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.Intern("alice"), a);
+  EXPECT_EQ(d.Lookup(a), "alice");
+  EXPECT_EQ(d.Lookup(b), "bob");
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DictionaryTest, FindMissing) {
+  Dictionary d;
+  EXPECT_EQ(d.Find("ghost"), -1);
+  d.Intern("x");
+  EXPECT_EQ(d.Find("x"), 0);
+  EXPECT_FALSE(d.Contains(5));
+}
+
+TEST(RelationTest, AddAndAccess) {
+  Relation r(2);
+  r.Add({1, 2});
+  r.Add({3, 4});
+  EXPECT_EQ(r.arity(), 2u);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.At(0, 0), 1);
+  EXPECT_EQ(r.At(1, 1), 4);
+}
+
+TEST(RelationTest, SortAndDedup) {
+  Relation r(2);
+  r.Add({3, 4});
+  r.Add({1, 2});
+  r.Add({3, 4});
+  r.Add({1, 1});
+  r.SortAndDedup();
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_TRUE(r.sorted());
+  EXPECT_EQ(r.At(0, 0), 1);
+  EXPECT_EQ(r.At(0, 1), 1);
+  EXPECT_EQ(r.At(2, 0), 3);
+}
+
+TEST(RelationTest, ContainsSortedAndUnsorted) {
+  Relation r(2);
+  r.Add({5, 6});
+  r.Add({1, 2});
+  EXPECT_TRUE(r.Contains(std::vector<Value>{5, 6}));
+  EXPECT_FALSE(r.Contains(std::vector<Value>{6, 5}));
+  r.SortAndDedup();
+  EXPECT_TRUE(r.Contains(std::vector<Value>{5, 6}));
+  EXPECT_TRUE(r.Contains(std::vector<Value>{1, 2}));
+  EXPECT_FALSE(r.Contains(std::vector<Value>{0, 0}));
+}
+
+TEST(RelationTest, ZeroAryBooleanSemantics) {
+  Relation r(0);
+  EXPECT_TRUE(r.empty());
+  r.AddEmptyRow();
+  EXPECT_EQ(r.size(), 1u);
+  r.AddEmptyRow();
+  EXPECT_EQ(r.size(), 2u);
+  r.SortAndDedup();
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains(std::vector<Value>{}));
+}
+
+TEST(RelationTest, EqualsAsSetIgnoresOrderAndDuplicates) {
+  Relation a(1), b(1);
+  a.Add({1});
+  a.Add({2});
+  a.Add({1});
+  b.Add({2});
+  b.Add({1});
+  EXPECT_TRUE(a.EqualsAsSet(b));
+  b.Add({3});
+  EXPECT_FALSE(a.EqualsAsSet(b));
+}
+
+TEST(RelationTest, ClearResets) {
+  Relation r(3);
+  r.Add({1, 2, 3});
+  r.Clear();
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.arity(), 3u);
+}
+
+TEST(NamedRelationTest, ColumnLookup) {
+  NamedRelation r({10, 20, 30});
+  EXPECT_EQ(r.ColumnOf(20), 1);
+  EXPECT_EQ(r.ColumnOf(99), -1);
+  EXPECT_TRUE(r.HasAttr(30));
+}
+
+TEST(NamedRelationTest, RenameAttr) {
+  NamedRelation r({1, 2});
+  r.RenameAttr(2, 7);
+  EXPECT_EQ(r.ColumnOf(7), 1);
+  EXPECT_EQ(r.ColumnOf(2), -1);
+}
+
+TEST(NamedRelationTest, EquivalentToHandlesColumnOrder) {
+  NamedRelation a({1, 2});
+  a.rel().Add({10, 20});
+  NamedRelation b({2, 1});
+  b.rel().Add({20, 10});
+  EXPECT_TRUE(a.EquivalentTo(b));
+  b.rel().Add({1, 1});
+  EXPECT_FALSE(a.EquivalentTo(b));
+}
+
+TEST(NamedRelationTest, BooleanConstructors) {
+  EXPECT_FALSE(BooleanTrue().empty());
+  EXPECT_TRUE(BooleanFalse().empty());
+  EXPECT_EQ(BooleanTrue().arity(), 0u);
+}
+
+TEST(PredicateTest, ConstraintKinds) {
+  ValueVec row = {5, 5, 7};
+  EXPECT_TRUE(Constraint::EqConst(0, 5).Eval(row));
+  EXPECT_FALSE(Constraint::EqConst(2, 5).Eval(row));
+  EXPECT_TRUE(Constraint::NeqConst(2, 5).Eval(row));
+  EXPECT_TRUE(Constraint::LtConst(0, 6).Eval(row));
+  EXPECT_FALSE(Constraint::LtConst(2, 7).Eval(row));
+  EXPECT_TRUE(Constraint::LeConst(2, 7).Eval(row));
+  EXPECT_TRUE(Constraint::GtConst(2, 6).Eval(row));
+  EXPECT_TRUE(Constraint::GeConst(2, 7).Eval(row));
+  EXPECT_TRUE(Constraint::EqCols(0, 1).Eval(row));
+  EXPECT_FALSE(Constraint::EqCols(0, 2).Eval(row));
+  EXPECT_TRUE(Constraint::NeqCols(1, 2).Eval(row));
+  EXPECT_TRUE(Constraint::LtCols(1, 2).Eval(row));
+  EXPECT_FALSE(Constraint::LtCols(0, 1).Eval(row));
+  EXPECT_TRUE(Constraint::LeCols(0, 1).Eval(row));
+}
+
+TEST(PredicateTest, ConjunctionSemantics) {
+  Predicate p;
+  EXPECT_TRUE(p.Eval(ValueVec{1}));  // empty predicate accepts
+  p.Add(Constraint::EqConst(0, 1));
+  p.Add(Constraint::NeqConst(0, 2));
+  EXPECT_TRUE(p.Eval(ValueVec{1}));
+  p.Add(Constraint::EqConst(0, 3));
+  EXPECT_FALSE(p.Eval(ValueVec{1}));
+}
+
+TEST(DatabaseTest, AddAndFindRelations) {
+  Database db;
+  auto r1 = db.AddRelation("E", 2);
+  ASSERT_TRUE(r1.ok());
+  auto dup = db.AddRelation("E", 3);
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+  auto found = db.FindRelation("E");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), r1.value());
+  EXPECT_EQ(db.FindRelation("F").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.relation_arity(r1.value()), 2u);
+  EXPECT_EQ(db.relation_name(r1.value()), "E");
+}
+
+TEST(DatabaseTest, ActiveDomainAndSizes) {
+  Database db;
+  RelId e = db.AddRelation("E", 2).ValueOrDie();
+  RelId u = db.AddRelation("U", 1).ValueOrDie();
+  db.relation(e).Add({1, 2});
+  db.relation(e).Add({2, 3});
+  db.relation(u).Add({9});
+  auto dom = db.ActiveDomain();
+  EXPECT_EQ(dom, (std::vector<Value>{1, 2, 3, 9}));
+  EXPECT_EQ(db.TotalTuples(), 3u);
+  EXPECT_EQ(db.SizeMeasure(), 2u + 2 * 2 + 1 * 1);
+}
+
+TEST(DatabaseTest, SchemaReflectsRelations) {
+  Database db;
+  db.AddRelation("R", 3).ValueOrDie();
+  db.AddRelation("S", 1).ValueOrDie();
+  DatabaseSchema schema = db.GetSchema();
+  ASSERT_EQ(schema.relations.size(), 2u);
+  EXPECT_EQ(schema.relations[0].name, "R");
+  EXPECT_EQ(schema.relations[0].arity, 3u);
+  EXPECT_EQ(schema.MaxArity(), 3u);
+}
+
+}  // namespace
+}  // namespace paraquery

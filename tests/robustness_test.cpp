@@ -1,0 +1,240 @@
+// Failure injection and edge cases: every engine must degrade into a clean
+// Status, never a crash or a wrong answer.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "eval/acyclic.hpp"
+#include "eval/datalog_eval.hpp"
+#include "eval/fo.hpp"
+#include "eval/inequality.hpp"
+#include "eval/naive.hpp"
+#include "graph/generators.hpp"
+#include "hashing/coloring.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "query/parser.hpp"
+#include "relational/named_relation.hpp"
+#include "relational/predicate.hpp"
+#include "workload/generators.hpp"
+
+namespace paraquery {
+namespace {
+
+TEST(RobustnessTest, MissingRelationIsNotFoundEverywhere) {
+  Database db;
+  db.AddRelation("A", 1).ValueOrDie();
+  auto q = ParseConjunctive("p() :- Ghost(x).").ValueOrDie();
+  EXPECT_EQ(NaiveCqNonempty(db, q).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(AcyclicNonempty(db, q).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(IneqNonempty(db, q).status().code(), StatusCode::kNotFound);
+  Engine engine(db);
+  EXPECT_EQ(engine.Run(q).status().code(), StatusCode::kNotFound);
+}
+
+TEST(RobustnessTest, ArityMismatchRejected) {
+  Database db;
+  db.AddRelation("R", 2).ValueOrDie();
+  auto q = ParseConjunctive("p() :- R(x).").ValueOrDie();
+  EXPECT_FALSE(NaiveCqNonempty(db, q).ok());
+  EXPECT_FALSE(AcyclicNonempty(db, q).ok());
+}
+
+TEST(RobustnessTest, EmptyDatabaseEverywhere) {
+  Database db;
+  db.AddRelation("E", 2).ValueOrDie();
+  auto q = ParseConjunctive("ans(x, y) :- E(x, y).").ValueOrDie();
+  EXPECT_TRUE(NaiveEvaluateCq(db, q).ValueOrDie().empty());
+  EXPECT_TRUE(AcyclicEvaluate(db, q).ValueOrDie().empty());
+  EXPECT_TRUE(IneqEvaluate(db, q).ValueOrDie().empty());
+  auto prog = ParseDatalog("tc(x,y) :- E(x,y). tc(x,y) :- E(x,z), tc(z,y).")
+                  .ValueOrDie();
+  EXPECT_TRUE(EvaluateDatalog(db, prog).ValueOrDie().empty());
+}
+
+TEST(RobustnessTest, ExtremeValuesSurviveHashingAndJoins) {
+  Database db;
+  RelId r = db.AddRelation("R", 2).ValueOrDie();
+  Value lo = std::numeric_limits<Value>::min();
+  Value hi = std::numeric_limits<Value>::max();
+  db.relation(r).Add({lo, hi});
+  db.relation(r).Add({hi, lo});
+  db.relation(r).Add({0, lo});
+  auto q = ParseConjunctive("ans(x, z) :- R(x, y), R(y, z), x != z.")
+               .ValueOrDie();
+  IneqOptions certified;
+  certified.driver = IneqOptions::Driver::kCertified;
+  auto fpt = IneqEvaluate(db, q, certified).ValueOrDie();
+  auto naive = NaiveEvaluateCq(db, q).ValueOrDie();
+  EXPECT_TRUE(fpt.EqualsAsSet(naive));
+}
+
+TEST(RobustnessTest, ParserNeverCrashesOnGarbage) {
+  const char* cases[] = {
+      "", ".", ":-", "ans(", "ans(x) :-", "ans(x) :- R(x",
+      "ans(x) :- R(x))", "ans(x) := exists", "p() := not", "@goal",
+      "p() :- R(x), !", "p() :- R(x) R(y).", "((((", "p(x :- y)",
+      "ans(x) := forall . E(x, x).", "p() :- 5(x).",
+      "p() := exists and . E(and, or).",
+  };
+  for (const char* text : cases) {
+    auto cq = ParseConjunctive(text);
+    auto fo = ParseFirstOrder(text);
+    auto dl = ParseDatalog(text);
+    EXPECT_FALSE(cq.ok() && fo.ok() && dl.ok()) << text;
+    // No crash is the actual assertion; statuses carry messages.
+    if (!cq.ok()) {
+      EXPECT_FALSE(cq.status().message().empty());
+    }
+  }
+}
+
+TEST(RobustnessTest, ParserFuzzMutations) {
+  Rng rng(31337);
+  std::string base = "ans(x, y) :- R(x, z), S(z, y), x != y, z < 5.";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = base;
+    int edits = 1 + static_cast<int>(rng.Below(4));
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = rng.Below(mutated.size());
+      char c = static_cast<char>(32 + rng.Below(95));
+      if (rng.Chance(0.3)) {
+        mutated.erase(pos, 1);
+      } else {
+        mutated[pos] = c;
+      }
+      if (mutated.empty()) break;
+    }
+    auto result = ParseConjunctive(mutated);  // must not crash
+    if (result.ok()) {
+      EXPECT_TRUE(result.value().Validate().ok()) << mutated;
+    }
+  }
+}
+
+TEST(RobustnessTest, RowLimitsSurfaceAsResourceExhausted) {
+  Database db = GraphDatabase(CompleteGraph(40));
+  auto q = ParseConjunctive("ans(a, c) :- E(a, b), E(b, c).").ValueOrDie();
+  AcyclicOptions tight;
+  tight.max_rows = 100;
+  EXPECT_EQ(AcyclicEvaluate(db, q, tight).status().code(),
+            StatusCode::kResourceExhausted);
+  IneqOptions itight;
+  itight.max_rows = 100;
+  itight.driver = IneqOptions::Driver::kMonteCarlo;
+  auto q2 = ParseConjunctive("ans(a, c) :- E(a, b), E(b, c), a != c.")
+                .ValueOrDie();
+  EXPECT_EQ(IneqEvaluate(db, q2, itight).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(RobustnessTest, CertifiedDriverFailsCleanlyOnHugeDomain) {
+  // 5 inequality variables over a large domain: certification infeasible
+  // within the given budget; the driver must report, not hang.
+  Database db = RandomBinaryDatabase(1, 2000, 100000, 3);
+  ConjunctiveQuery q = RandomAcyclicNeqQuery(1, 5, 6, 3);
+  IneqOptions certified;
+  certified.driver = IneqOptions::Driver::kCertified;
+  certified.certified_max_subsets = 1000;
+  auto result = IneqNonempty(db, q, certified);
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(RobustnessTest, CertifiedFamilyDeterministicInSeed) {
+  std::vector<Value> ground;
+  for (Value v = 0; v < 20; ++v) ground.push_back(v * 101);
+  auto a = ColoringFamily::Certified(ground, 3, 42).ValueOrDie();
+  auto b = ColoringFamily::Certified(ground, 3, 42).ValueOrDie();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t m = 0; m < a.size(); ++m) {
+    for (Value v : ground) EXPECT_EQ(a.Color(m, v), b.Color(m, v));
+  }
+}
+
+TEST(RobustnessTest, DictionaryOddStrings) {
+  Dictionary d;
+  Value empty = d.Intern("");
+  Value spaces = d.Intern("  ");
+  Value unicode = d.Intern("héllo wörld");
+  EXPECT_NE(empty, spaces);
+  EXPECT_EQ(d.Lookup(unicode), "héllo wörld");
+  EXPECT_EQ(d.Intern(""), empty);
+}
+
+TEST(RobustnessTest, ToStringSmoke) {
+  Relation r(2);
+  r.Add({1, 2});
+  EXPECT_EQ(r.ToString(), "{(1,2)}");
+  NamedRelation nr({7, 8}, r);
+  EXPECT_EQ(nr.ToString(), "[7,8]{(1,2)}");
+  Predicate p;
+  p.Add(Constraint::LtCols(0, 1));
+  p.Add(Constraint::NeqConst(0, 5));
+  EXPECT_EQ(p.ToString(), "$0<$1 AND $0!=5");
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  EXPECT_EQ(h.ToString(), "H(V=3; {0,1})");
+}
+
+TEST(RobustnessTest, SelfJoinHeavyQuery) {
+  // The same relation appearing five times with overlapping variables.
+  Database db = GraphDatabase(GnpRandom(10, 0.4, 8));
+  auto q = ParseConjunctive(
+               "ans(a) :- E(a, b), E(b, a), E(a, c), E(c, a), E(b, c).")
+               .ValueOrDie();
+  auto naive = NaiveEvaluateCq(db, q).ValueOrDie();
+  // Cyclic query: engine should still produce the same result via naive.
+  Engine engine(db);
+  auto via_engine = engine.Run(q).ValueOrDie();
+  EXPECT_TRUE(via_engine.EqualsAsSet(naive));
+}
+
+TEST(RobustnessTest, DuplicateAtomsAndComparisons) {
+  Database db = GraphDatabase(PathGraph(4));
+  auto q = ParseConjunctive(
+               "ans(x, y) :- E(x, y), E(x, y), E(x, y), x != y, x != y.")
+               .ValueOrDie();
+  IneqOptions certified;
+  certified.driver = IneqOptions::Driver::kCertified;
+  auto fpt = IneqEvaluate(db, q, certified).ValueOrDie();
+  auto naive = NaiveEvaluateCq(db, q).ValueOrDie();
+  EXPECT_TRUE(fpt.EqualsAsSet(naive));
+}
+
+TEST(RobustnessTest, HeadConstantsAndRepeatedHeadVars) {
+  Database db = GraphDatabase(PathGraph(4));
+  auto q = ParseConjunctive("ans(x, x, 42) :- E(x, y).").ValueOrDie();
+  auto out = NaiveEvaluateCq(db, q).ValueOrDie();
+  for (size_t r = 0; r < out.size(); ++r) {
+    EXPECT_EQ(out.At(r, 0), out.At(r, 1));
+    EXPECT_EQ(out.At(r, 2), 42);
+  }
+  auto acyclic = AcyclicEvaluate(db, q).ValueOrDie();
+  EXPECT_TRUE(acyclic.EqualsAsSet(out));
+}
+
+TEST(RobustnessTest, DatalogDeepRecursionTerminates) {
+  // A long chain: TC needs many iterations but must terminate.
+  Database db;
+  RelId e = db.AddRelation("E", 2).ValueOrDie();
+  for (Value v = 0; v < 200; ++v) db.relation(e).Add({v, v + 1});
+  DatalogStats stats;
+  auto out =
+      EvaluateDatalog(db, TransitiveClosureProgram(), {}, &stats).ValueOrDie();
+  EXPECT_EQ(out.size(), 200u * 201u / 2u);
+  EXPECT_GT(stats.iterations, 2u);
+}
+
+TEST(RobustnessTest, FoWithConstantsInAtoms) {
+  Database db = GraphDatabase(PathGraph(4));
+  auto q = ParseFirstOrder("ans(x) := E(0, x) or E(x, 3).").ValueOrDie();
+  auto out = EvaluateFirstOrder(db, q).ValueOrDie();
+  EXPECT_TRUE(out.Contains(std::vector<Value>{1}));  // E(0,1)
+  EXPECT_TRUE(out.Contains(std::vector<Value>{2}));  // E(2,3)
+}
+
+}  // namespace
+}  // namespace paraquery

@@ -1,0 +1,24 @@
+// Compile-and-run check for the umbrella header: one include gives the
+// whole public API.
+#include "paraquery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraquery {
+namespace {
+
+TEST(UmbrellaTest, EndToEndThroughSingleInclude) {
+  Database db = GraphDatabase(CycleGraph(5));
+  Engine engine(db);
+  auto out = engine.RunText("ans(x, z) :- E(x, y), E(y, z), x != z.");
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out.value().empty());
+
+  CqBuilder b;
+  Term x = b.Var("x"), y = b.Var("y");
+  auto q = b.Head({x}).Atom("E", {x, y}).Neq(x, y).Build().ValueOrDie();
+  EXPECT_EQ(ClassifyConjunctive(q).engine, EngineChoice::kInequality);
+}
+
+}  // namespace
+}  // namespace paraquery

@@ -1,0 +1,191 @@
+// paraquery_shell — an interactive/batch front end for the library.
+//
+// Commands (one per line; anything else is parsed as a query):
+//   .load NAME FILE     load a CSV file as relation NAME
+//   .rel NAME ARITY     create an empty relation
+//   .insert NAME v...   insert a tuple (integers or strings)
+//   .rels               list relations
+//   .dump NAME          print a relation as CSV
+//   .explain QUERY      parametrized-complexity report for a query
+//   .help               this text
+//   .quit               exit
+//
+// Queries use the library syntax:
+//   ans(x, y) :- E(x, z), E(z, y), x != y.       (rules; multiple = Datalog)
+//   ans(x) := exists y . (E(x, y) and not A(y)). (first-order)
+//
+// Example session:
+//   .rel EP 2
+//   .insert EP 1 100
+//   .insert EP 1 101
+//   g(e) :- EP(e, p), EP(e, q), p != q.
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "relational/csv.hpp"
+
+using namespace paraquery;
+
+namespace {
+
+void PrintRelation(const Database& db, const Relation& rel) {
+  if (rel.arity() == 0) {
+    std::cout << (rel.empty() ? "false" : "true") << "\n";
+    return;
+  }
+  size_t limit = 50;
+  for (size_t r = 0; r < rel.size() && r < limit; ++r) {
+    for (size_t c = 0; c < rel.arity(); ++c) {
+      if (c > 0) std::cout << ", ";
+      Value v = rel.At(r, c);
+      if (db.dict().Contains(v)) {
+        std::cout << "'" << db.dict().Lookup(v) << "'";
+      } else {
+        std::cout << v;
+      }
+    }
+    std::cout << "\n";
+  }
+  if (rel.size() > limit) {
+    std::cout << "... (" << rel.size() - limit << " more rows)\n";
+  }
+  std::cout << "(" << rel.size() << " rows)\n";
+}
+
+std::vector<std::string> Split(const std::string& line) {
+  std::istringstream iss(line);
+  std::vector<std::string> out;
+  std::string tok;
+  while (iss >> tok) out.push_back(tok);
+  return out;
+}
+
+const char* kHelp =
+    ".load NAME FILE | .rel NAME ARITY | .insert NAME v... | .rels |\n"
+    ".dump NAME | .explain QUERY | .help | .quit\n"
+    "Anything else is evaluated as a query (':-' rules or ':=' formulas).\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Database db;
+  Engine engine(db);
+  bool interactive = true;
+  std::istream* in = &std::cin;
+  std::ifstream script;
+  if (argc > 1) {
+    script.open(argv[1]);
+    if (!script) {
+      std::cerr << "cannot open script '" << argv[1] << "'\n";
+      return 1;
+    }
+    in = &script;
+    interactive = false;
+  }
+
+  std::string line;
+  std::string pending;  // multi-line query buffer (Datalog programs)
+  auto flush_pending = [&]() {
+    if (pending.empty()) return;
+    auto result = engine.RunText(pending, &db.dict());
+    if (result.ok()) {
+      PrintRelation(db, result.value());
+    } else {
+      std::cout << "error: " << result.status() << "\n";
+    }
+    pending.clear();
+  };
+
+  if (interactive) std::cout << "paraquery> " << std::flush;
+  while (std::getline(*in, line)) {
+    std::string trimmed = line;
+    while (!trimmed.empty() && std::isspace(
+               static_cast<unsigned char>(trimmed.front()))) {
+      trimmed.erase(trimmed.begin());
+    }
+    if (trimmed.empty() || trimmed[0] == '%' || trimmed[0] == '#') {
+      if (interactive) std::cout << "paraquery> " << std::flush;
+      continue;
+    }
+    if (trimmed[0] == '.') {
+      flush_pending();
+      auto args = Split(trimmed);
+      const std::string& cmd = args[0];
+      if (cmd == ".quit" || cmd == ".exit") break;
+      if (cmd == ".help") {
+        std::cout << kHelp;
+      } else if (cmd == ".rels") {
+        for (size_t i = 0; i < db.relation_count(); ++i) {
+          std::cout << db.relation_name(static_cast<RelId>(i)) << "/"
+                    << db.relation_arity(static_cast<RelId>(i)) << " ("
+                    << db.relation(static_cast<RelId>(i)).size()
+                    << " rows)\n";
+        }
+      } else if (cmd == ".rel" && args.size() == 3) {
+        auto r = db.AddRelation(args[1], std::stoul(args[2]));
+        if (!r.ok()) std::cout << "error: " << r.status() << "\n";
+      } else if (cmd == ".insert" && args.size() >= 2) {
+        auto found = db.FindRelation(args[1]);
+        if (!found.ok()) {
+          std::cout << "error: " << found.status() << "\n";
+        } else if (args.size() - 2 != db.relation_arity(found.value())) {
+          std::cout << "error: arity mismatch\n";
+        } else {
+          ValueVec row;
+          for (size_t i = 2; i < args.size(); ++i) {
+            const std::string& cell = args[i];
+            bool numeric = !cell.empty() &&
+                           (std::isdigit(static_cast<unsigned char>(cell[0])) ||
+                            (cell[0] == '-' && cell.size() > 1));
+            row.push_back(numeric ? std::stoll(cell)
+                                  : db.dict().Intern(cell));
+          }
+          db.relation(found.value()).Add(row);
+        }
+      } else if (cmd == ".load" && args.size() == 3) {
+        auto r = LoadCsvFile(&db, args[1], args[2]);
+        if (r.ok()) {
+          std::cout << "loaded " << db.relation(r.value()).size()
+                    << " rows into " << args[1] << "\n";
+        } else {
+          std::cout << "error: " << r.status() << "\n";
+        }
+      } else if (cmd == ".dump" && args.size() == 2) {
+        auto found = db.FindRelation(args[1]);
+        if (found.ok()) {
+          WriteCsv(db, found.value(), &std::cout, /*use_dict=*/true);
+        } else {
+          std::cout << "error: " << found.status() << "\n";
+        }
+      } else if (cmd == ".explain") {
+        std::string query = trimmed.substr(8);
+        auto report = engine.ExplainText(query);
+        std::cout << (report.ok() ? report.value()
+                                  : "error: " + report.status().ToString())
+                  << "\n";
+      } else {
+        std::cout << "unknown command; try .help\n";
+      }
+    } else {
+      // Query text: accumulate rules (Datalog programs span lines); execute
+      // once the statement list seems complete (line ends with '.').
+      pending += line;
+      pending += "\n";
+      // Heuristic: run when the next line is blank or input style is
+      // single-statement. Here: run immediately for ':=' formulas, and for
+      // rules when the buffered text parses as a program.
+      if (pending.find(":=") != std::string::npos ||
+          (interactive && trimmed.back() == '.')) {
+        flush_pending();
+      }
+    }
+    if (interactive) std::cout << "paraquery> " << std::flush;
+  }
+  flush_pending();
+  return 0;
+}

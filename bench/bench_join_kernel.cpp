@@ -1,0 +1,273 @@
+// Join-kernel microbenchmarks with machine-readable JSON output.
+//
+// Measures rows/sec for the flat RowIndex kernel (NaturalJoin, Semijoin,
+// HashDedup, naive-DFS probing) against the seed's unordered_map-based join,
+// which is preserved below as `legacy` so every run reports both numbers and
+// future perf PRs have a trajectory. Output is a single JSON array; each
+// entry is {"bench", "impl", "rows", "seconds", "output_rows", "rows_per_sec"}.
+//
+// Usage: bench_join_kernel [--quick]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "eval/naive.hpp"
+#include "query/builder.hpp"
+#include "relational/database.hpp"
+#include "relational/ops.hpp"
+#include "relational/row_index.hpp"
+
+namespace paraquery {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Legacy kernel: the seed's per-key-vector unordered_map join, preserved in
+// structure (hash -> vector<row>, key re-verified on every probe candidate).
+// ---------------------------------------------------------------------------
+
+uint64_t LegacyHashKey(const Relation& rel, size_t row,
+                       const std::vector<int>& cols) {
+  uint64_t h = 0x243f6a8885a308d3ull;
+  for (int c : cols) h = (h ^ HashValue(rel.At(row, c))) * 0x100000001b3ull;
+  return h;
+}
+
+bool LegacyKeysEqual(const Relation& a, size_t ra, const std::vector<int>& ca,
+                     const Relation& b, size_t rb, const std::vector<int>& cb) {
+  for (size_t i = 0; i < ca.size(); ++i) {
+    if (a.At(ra, ca[i]) != b.At(rb, cb[i])) return false;
+  }
+  return true;
+}
+
+std::unordered_map<uint64_t, std::vector<uint32_t>> LegacyBuildIndex(
+    const Relation& rel, const std::vector<int>& cols) {
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+  index.reserve(rel.size() * 2);
+  for (size_t r = 0; r < rel.size(); ++r) {
+    index[LegacyHashKey(rel, r, cols)].push_back(static_cast<uint32_t>(r));
+  }
+  return index;
+}
+
+NamedRelation LegacyNaturalJoin(const NamedRelation& left,
+                                const NamedRelation& right) {
+  std::vector<int> lcols, rcols;
+  for (size_t i = 0; i < left.attrs().size(); ++i) {
+    int rc = right.ColumnOf(left.attrs()[i]);
+    if (rc >= 0) {
+      lcols.push_back(static_cast<int>(i));
+      rcols.push_back(rc);
+    }
+  }
+  std::vector<AttrId> out_attrs = left.attrs();
+  std::vector<int> right_extra;
+  for (size_t i = 0; i < right.attrs().size(); ++i) {
+    if (!left.HasAttr(right.attrs()[i])) {
+      out_attrs.push_back(right.attrs()[i]);
+      right_extra.push_back(static_cast<int>(i));
+    }
+  }
+  NamedRelation out{out_attrs};
+  auto index = LegacyBuildIndex(right.rel(), rcols);
+  ValueVec row(out_attrs.size());
+  for (size_t lr = 0; lr < left.size(); ++lr) {
+    auto it = index.find(LegacyHashKey(left.rel(), lr, lcols));
+    if (it == index.end()) continue;
+    for (uint32_t rr : it->second) {
+      if (!LegacyKeysEqual(left.rel(), lr, lcols, right.rel(), rr, rcols)) {
+        continue;
+      }
+      for (size_t i = 0; i < left.arity(); ++i) row[i] = left.rel().At(lr, i);
+      for (size_t i = 0; i < right_extra.size(); ++i) {
+        row[left.arity() + i] = right.rel().At(rr, right_extra[i]);
+      }
+      out.rel().Add(row);
+    }
+  }
+  return out;
+}
+
+NamedRelation LegacySemijoin(const NamedRelation& left,
+                             const NamedRelation& right) {
+  std::vector<int> lcols, rcols;
+  for (size_t i = 0; i < left.attrs().size(); ++i) {
+    int rc = right.ColumnOf(left.attrs()[i]);
+    if (rc >= 0) {
+      lcols.push_back(static_cast<int>(i));
+      rcols.push_back(rc);
+    }
+  }
+  NamedRelation out{left.attrs()};
+  auto index = LegacyBuildIndex(right.rel(), rcols);
+  for (size_t lr = 0; lr < left.size(); ++lr) {
+    auto it = index.find(LegacyHashKey(left.rel(), lr, lcols));
+    if (it == index.end()) continue;
+    bool matched = false;
+    for (uint32_t rr : it->second) {
+      if (LegacyKeysEqual(left.rel(), lr, lcols, right.rel(), rr, rcols)) {
+        matched = true;
+        break;
+      }
+    }
+    if (matched) out.rel().Add(left.rel().Row(lr));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+struct Entry {
+  std::string bench;
+  std::string impl;
+  size_t rows;
+  double seconds;
+  size_t output_rows;
+  double rows_per_sec;
+};
+
+std::vector<Entry> g_entries;
+
+// Times fn() (returning its output-row count) over `reps` runs, keeping the
+// best wall time; throughput is input rows processed per second.
+template <typename Fn>
+void Measure(const std::string& bench, const std::string& impl, size_t rows,
+             int reps, Fn fn) {
+  double best = 1e100;
+  size_t out_rows = 0;
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    out_rows = fn();
+    best = std::min(best, t.Seconds());
+  }
+  g_entries.push_back(
+      Entry{bench, impl, rows, best, out_rows,
+            best > 0 ? static_cast<double>(rows) / best : 0.0});
+}
+
+NamedRelation RandomRel(Rng& rng, std::vector<AttrId> attrs, size_t rows,
+                        int64_t domain) {
+  NamedRelation rel(std::move(attrs));
+  rel.rel().Reserve(rows);
+  ValueVec row(rel.attrs().size());
+  for (size_t i = 0; i < rows; ++i) {
+    for (auto& v : row) v = rng.Range(0, domain - 1);
+    rel.rel().Add(row);
+  }
+  return rel;
+}
+
+void BenchJoin(size_t n, int reps) {
+  Rng rng(7);
+  // Keys drawn from n/4 values: ~4 matches per probe, join output ~4n rows.
+  int64_t dom = std::max<int64_t>(1, static_cast<int64_t>(n) / 4);
+  NamedRelation left = RandomRel(rng, {0, 1}, n, dom);
+  NamedRelation right = RandomRel(rng, {1, 2}, n, dom);
+
+  NamedRelation legacy_out, flat_out;
+  Measure("join", "legacy_unordered_map", n, reps, [&] {
+    legacy_out = LegacyNaturalJoin(left, right);
+    return legacy_out.size();
+  });
+  Measure("join", "row_index", n, reps, [&] {
+    flat_out = NaturalJoin(left, right).ValueOrDie();
+    return flat_out.size();
+  });
+  if (!legacy_out.rel().EqualsAsSet(flat_out.rel())) {
+    std::fprintf(stderr, "FATAL: join kernels disagree at n=%zu\n", n);
+    std::exit(1);
+  }
+
+  Measure("semijoin", "legacy_unordered_map", n, reps,
+          [&] { return LegacySemijoin(left, right).size(); });
+  Measure("semijoin", "row_index", n, reps,
+          [&] { return Semijoin(left, right).size(); });
+}
+
+void BenchDedup(size_t n, int reps) {
+  Rng rng(11);
+  // Dense domain: roughly half the rows are duplicates.
+  NamedRelation rel = RandomRel(rng, {0, 1}, n,
+                                std::max<int64_t>(1, (int64_t)n / 8));
+  Measure("dedup", "sort_and_dedup", n, reps, [&] {
+    Relation copy = rel.rel();
+    copy.SortAndDedup();
+    return copy.size();
+  });
+  Measure("dedup", "hash_dedup", n, reps, [&] {
+    Relation copy = rel.rel();
+    copy.HashDedup();
+    return copy.size();
+  });
+}
+
+void BenchNaiveDfs(size_t n, int reps) {
+  // Path query path(x,w) :- E(x,y), E(y,z), E(z,w) on a random sparse graph:
+  // the DFS probes a per-atom index at every level.
+  Rng rng(13);
+  int64_t nodes = std::max<int64_t>(2, static_cast<int64_t>(n) / 4);
+  Database db;
+  RelId e = db.AddRelation("E", 2).ValueOrDie();
+  ValueVec row(2);
+  for (size_t i = 0; i < n; ++i) {
+    row[0] = rng.Range(0, nodes - 1);
+    row[1] = rng.Range(0, nodes - 1);
+    db.relation(e).Add(row);
+  }
+  CqBuilder qb;
+  auto x = qb.Var("x"), y = qb.Var("y"), z = qb.Var("z"), w = qb.Var("w");
+  ConjunctiveQuery q = qb.Head({x, w})
+                          .Atom("E", {x, y})
+                          .Atom("E", {y, z})
+                          .Atom("E", {z, w})
+                          .Build()
+                          .ValueOrDie();
+  Measure("naive_dfs", "row_index", n, reps, [&] {
+    return NaiveEvaluateCq(db, q).ValueOrDie().size();
+  });
+}
+
+void RunAll(size_t n, int reps) {
+  BenchJoin(n, reps);
+  BenchDedup(n, reps);
+  // The path query's output is ~16x the edge count; scale the DFS input down
+  // so the benchmark stays memory-bounded at the largest scale.
+  BenchNaiveDfs(n / 10, reps);
+}
+
+void PrintJson() {
+  std::printf("[\n");
+  for (size_t i = 0; i < g_entries.size(); ++i) {
+    const Entry& e = g_entries[i];
+    std::printf("  {\"bench\": \"%s\", \"impl\": \"%s\", \"rows\": %zu, "
+                "\"seconds\": %.6f, \"output_rows\": %zu, "
+                "\"rows_per_sec\": %.0f}%s\n",
+                e.bench.c_str(), e.impl.c_str(), e.rows, e.seconds,
+                e.output_rows, e.rows_per_sec,
+                i + 1 < g_entries.size() ? "," : "");
+  }
+  std::printf("]\n");
+}
+
+}  // namespace
+}  // namespace paraquery
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  std::vector<size_t> scales =
+      quick ? std::vector<size_t>{10000}
+            : std::vector<size_t>{10000, 100000, 1000000};
+  for (size_t n : scales) {
+    paraquery::RunAll(n, n >= 1000000 ? 3 : 5);
+  }
+  paraquery::PrintJson();
+  return 0;
+}

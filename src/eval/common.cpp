@@ -125,7 +125,9 @@ Result<NamedRelation> AtomToRelation(const Relation& rel, const Atom& atom,
     }
     out = Select(out, post);
   }
-  out.rel().SortAndDedup();
+  // Set semantics only: evaluators probe S_j through hash indexes, so the
+  // sorted order a SortAndDedup would impose is never exploited.
+  out.rel().HashDedup();
   return out;
 }
 
@@ -136,7 +138,7 @@ Result<NamedRelation> AtomToRelation(const Database& db, const Atom& atom,
 }
 
 Relation BindingsToAnswers(const NamedRelation& bindings,
-                           const std::vector<Term>& head) {
+                           const std::vector<Term>& head, bool sort_output) {
   Relation out(head.size());
   std::vector<int> cols(head.size(), -1);
   for (size_t i = 0; i < head.size(); ++i) {
@@ -153,7 +155,7 @@ Relation BindingsToAnswers(const NamedRelation& bindings,
     }
     out.Add(row);
   }
-  out.SortAndDedup();
+  if (sort_output) out.SortAndDedup();
   return out;
 }
 

@@ -31,9 +31,13 @@ Result<NamedRelation> AtomToRelation(const Database& db, const Atom& atom,
 
 /// Converts variable bindings (a relation whose attributes are VarIds
 /// covering every head variable) into answer tuples through `head`:
-/// variables are looked up, constants copied. The result is deduplicated.
+/// variables are looked up, constants copied. With `sort_output` true (the
+/// default, used for user-facing answers) the result is sorted and
+/// deduplicated; with false it may contain duplicates — fixpoint-internal
+/// callers deduplicate downstream and sort once at the end.
 Relation BindingsToAnswers(const NamedRelation& bindings,
-                           const std::vector<Term>& head);
+                           const std::vector<Term>& head,
+                           bool sort_output = true);
 
 /// True if every variable of `cmp` occurs in `atom_vars`.
 bool ComparisonWithin(const CompareAtom& cmp, const std::vector<VarId>& atom_vars);

@@ -1,30 +1,66 @@
 #include "eval/datalog_eval.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <unordered_map>
 
 #include "eval/common.hpp"
 #include "relational/ops.hpp"
+#include "relational/row_index.hpp"
 
 namespace paraquery {
 
 namespace {
 
+// Cached materialization of one EDB body atom: its S_j relation plus lazily
+// built join indexes, one per distinct probe-column list. EDB relations never
+// change during the fixpoint, so both survive across semi-naive iterations —
+// rules stop re-selecting, re-projecting, and re-indexing static data on
+// every firing. (The probe columns can differ between firings because the
+// left-deep join order ranks the varying delta sizes, hence the small memo
+// rather than a single index.)
+struct EdbAtomCache {
+  NamedRelation rel;
+  std::deque<std::pair<std::vector<int>, RowIndex>> indexes;
+
+  const RowIndex& GetOrBuild(const std::vector<int>& rcols) {
+    for (const auto& [cols, idx] : indexes) {
+      if (cols == rcols) return idx;
+    }
+    indexes.emplace_back(rcols, RowIndex(rel.rel(), rcols));
+    return indexes.back().second;
+  }
+};
+
+// One body atom's input to a rule firing: the relation to join, plus the
+// index cache when the atom is EDB (null for IDB/delta atoms, whose contents
+// change between firings).
+struct BodyInput {
+  const NamedRelation* rel;
+  EdbAtomCache* cache;
+};
+
 // Evaluates one rule body against the given atom relations via left-deep
 // joins, returning the derived head tuples.
 Result<Relation> FireRule(const DatalogRule& rule,
-                          const std::vector<NamedRelation>& atom_rels) {
+                          const std::vector<BodyInput>& body) {
   // Start from TRUE and join every atom relation (constants/repeated vars
   // were handled when the atom relations were built).
   NamedRelation acc = BooleanTrue();
   // Join smaller relations first (static heuristic).
-  std::vector<size_t> order(atom_rels.size());
+  std::vector<size_t> order(body.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&atom_rels](size_t a, size_t b) {
-    return atom_rels[a].size() < atom_rels[b].size();
+  std::sort(order.begin(), order.end(), [&body](size_t a, size_t b) {
+    return body[a].rel->size() < body[b].rel->size();
   });
   for (size_t i : order) {
-    PQ_ASSIGN_OR_RETURN(acc, NaturalJoin(acc, atom_rels[i]));
+    const NamedRelation& r = *body[i].rel;
+    if (body[i].cache != nullptr) {
+      const RowIndex& idx = body[i].cache->GetOrBuild(JoinKeyColumns(acc, r));
+      PQ_ASSIGN_OR_RETURN(acc, NaturalJoin(acc, r, idx));
+    } else {
+      PQ_ASSIGN_OR_RETURN(acc, NaturalJoin(acc, r));
+    }
     if (acc.empty()) break;
   }
   if (acc.empty()) return Relation(rule.head.terms.size());
@@ -37,7 +73,7 @@ Result<Relation> FireRule(const DatalogRule& rule,
     }
   }
   NamedRelation bindings = Project(acc, head_vars);
-  return BindingsToAnswers(bindings, rule.head.terms);
+  return BindingsToAnswers(bindings, rule.head.terms, /*sort_output=*/false);
 }
 
 }  // namespace
@@ -48,23 +84,29 @@ Result<Relation> EvaluateDatalog(const Database& db,
                                  DatalogStats* stats) {
   PQ_RETURN_NOT_OK(program.Validate());
 
-  // IDB state: full relations and the last iteration's deltas.
-  std::unordered_map<std::string, Relation> idb;
+  // IDB state: incrementally deduplicated full relations (a hash set each,
+  // so membership and insertion stay O(1) amortized with no re-sorting
+  // between iterations) and the last iteration's deltas.
+  std::unordered_map<std::string, RowHashSet> idb;
   std::unordered_map<std::string, Relation> delta;
   for (const std::string& name : program.IdbRelations()) {
     size_t arity = static_cast<size_t>(program.ArityOf(name));
-    idb.emplace(name, Relation(arity));
+    idb.emplace(name, RowHashSet(arity));
     delta.emplace(name, Relation(arity));
   }
 
-  // Resolves an atom against EDB (db) or the given IDB snapshot.
-  auto atom_rel =
-      [&](const Atom& a,
-          const std::unordered_map<std::string, Relation>& idb_src)
-      -> Result<NamedRelation> {
-    if (program.IsIdb(a.relation)) {
-      return AtomToRelation(idb_src.at(a.relation), a);
-    }
+  // EDB body atoms are materialized once on first use and cached for the
+  // rest of the fixpoint. Resolution stays lazy (body order, short-circuited
+  // by empty earlier atoms) so that rules which can never fire do not turn a
+  // dangling EDB reference into an error — matching per-firing resolution.
+  std::deque<EdbAtomCache> edb_storage;
+  std::vector<std::vector<EdbAtomCache*>> edb_atoms(program.rules.size());
+  for (size_t ri = 0; ri < program.rules.size(); ++ri) {
+    edb_atoms[ri].assign(program.rules[ri].body.size(), nullptr);
+  }
+  auto resolve_edb = [&](size_t ri, size_t pi) -> Result<EdbAtomCache*> {
+    if (edb_atoms[ri][pi] != nullptr) return edb_atoms[ri][pi];
+    const Atom& a = program.rules[ri].body[pi];
     auto found = db.FindRelation(a.relation);
     if (!found.ok()) {
       return Status::NotFound(internal::StrCat(
@@ -74,49 +116,68 @@ Result<Relation> EvaluateDatalog(const Database& db,
       return Status::InvalidArgument(internal::StrCat(
           "EDB relation '", a.relation, "' arity mismatch"));
     }
-    return AtomToRelation(db.relation(found.value()), a);
+    PQ_ASSIGN_OR_RETURN(NamedRelation rel,
+                        AtomToRelation(db.relation(found.value()), a));
+    // The cache lives for the whole fixpoint; drop the full-base-relation
+    // capacity AtomToRelation reserved in case the selection kept few rows.
+    rel.rel().ShrinkToFit();
+    edb_storage.push_back(EdbAtomCache{std::move(rel), {}});
+    edb_atoms[ri][pi] = &edb_storage.back();
+    return edb_atoms[ri][pi];
   };
 
-  // Iteration 0: fire every rule on the (empty) IDB state so EDB-only rules
-  // seed the deltas. `idb` relations are kept sorted between calls so the
-  // membership checks stay logarithmic.
+  // Resolves an IDB atom against the given snapshot.
+  auto idb_atom_rel = [&](const Atom& a, const Relation& src) {
+    return AtomToRelation(src, a);
+  };
+
   auto add_new = [&](const std::string& rel_name, const Relation& tuples,
                      std::unordered_map<std::string, Relation>* next_delta,
                      bool* changed) {
-    Relation& full = idb.at(rel_name);
-    Relation fresh(tuples.arity());
+    RowHashSet& full = idb.at(rel_name);
+    Relation& fresh = next_delta->at(rel_name);
     for (size_t r = 0; r < tuples.size(); ++r) {
-      if (!full.Contains(tuples.Row(r))) fresh.Add(tuples.Row(r));
+      if (full.Insert(tuples.Row(r))) {
+        fresh.Add(tuples.Row(r));
+        *changed = true;
+      }
     }
-    fresh.SortAndDedup();
-    if (fresh.empty()) return;
-    *changed = true;
-    for (size_t r = 0; r < fresh.size(); ++r) {
-      full.Add(fresh.Row(r));
-      next_delta->at(rel_name).Add(fresh.Row(r));
-    }
-    full.SortAndDedup();
   };
 
+  // Iteration 0: fire every rule on the (empty) IDB state so EDB-only rules
+  // seed the deltas.
   bool changed = false;
   std::unordered_map<std::string, Relation> next_delta;
   for (const auto& [name, rel] : delta) {
     next_delta.emplace(name, Relation(rel.arity()));
   }
-  for (const DatalogRule& rule : program.rules) {
-    std::vector<NamedRelation> atom_rels;
+  // Scratch: IDB atom relations materialized for the current firing (kept
+  // alive here because BodyInput borrows them).
+  std::deque<NamedRelation> idb_scratch;
+  for (size_t ri = 0; ri < program.rules.size(); ++ri) {
+    const DatalogRule& rule = program.rules[ri];
+    idb_scratch.clear();
+    std::vector<BodyInput> body;
     bool feasible = true;
-    for (const Atom& a : rule.body) {
-      PQ_ASSIGN_OR_RETURN(NamedRelation rel, atom_rel(a, idb));
-      if (rel.empty()) {
+    for (size_t pi = 0; pi < rule.body.size(); ++pi) {
+      const Atom& a = rule.body[pi];
+      if (program.IsIdb(a.relation)) {
+        PQ_ASSIGN_OR_RETURN(NamedRelation rel,
+                            idb_atom_rel(a, idb.at(a.relation).rel()));
+        idb_scratch.push_back(std::move(rel));
+        body.push_back(BodyInput{&idb_scratch.back(), nullptr});
+      } else {
+        PQ_ASSIGN_OR_RETURN(EdbAtomCache * cache, resolve_edb(ri, pi));
+        body.push_back(BodyInput{&cache->rel, cache});
+      }
+      if (body.back().rel->empty()) {
         feasible = false;
         break;
       }
-      atom_rels.push_back(std::move(rel));
     }
     if (stats != nullptr) ++stats->rule_firings;
     if (!feasible && !rule.body.empty()) continue;
-    PQ_ASSIGN_OR_RETURN(Relation derived, FireRule(rule, atom_rels));
+    PQ_ASSIGN_OR_RETURN(Relation derived, FireRule(rule, body));
     add_new(rule.head.relation, derived, &next_delta, &changed);
   }
   delta = std::move(next_delta);
@@ -133,7 +194,8 @@ Result<Relation> EvaluateDatalog(const Database& db,
     for (const auto& [name, rel] : delta) {
       next_delta.emplace(name, Relation(rel.arity()));
     }
-    for (const DatalogRule& rule : program.rules) {
+    for (size_t ri = 0; ri < program.rules.size(); ++ri) {
+      const DatalogRule& rule = program.rules[ri];
       // Positions of IDB atoms in the body.
       std::vector<size_t> idb_positions;
       for (size_t i = 0; i < rule.body.size(); ++i) {
@@ -142,23 +204,29 @@ Result<Relation> EvaluateDatalog(const Database& db,
       if (idb_positions.empty()) continue;  // already saturated at round 0
       for (size_t dpos : idb_positions) {
         if (delta.at(rule.body[dpos].relation).empty()) continue;
-        std::vector<NamedRelation> atom_rels;
+        idb_scratch.clear();
+        std::vector<BodyInput> body;
         bool feasible = true;
         for (size_t i = 0; i < rule.body.size(); ++i) {
           const Atom& a = rule.body[i];
-          Result<NamedRelation> rel =
-              (i == dpos) ? AtomToRelation(delta.at(a.relation), a)
-                          : atom_rel(a, idb);
-          PQ_RETURN_NOT_OK(rel.status());
-          if (rel.value().empty()) {
+          if (program.IsIdb(a.relation)) {
+            const Relation& src = (i == dpos) ? delta.at(a.relation)
+                                              : idb.at(a.relation).rel();
+            PQ_ASSIGN_OR_RETURN(NamedRelation rel, idb_atom_rel(a, src));
+            idb_scratch.push_back(std::move(rel));
+            body.push_back(BodyInput{&idb_scratch.back(), nullptr});
+          } else {
+            PQ_ASSIGN_OR_RETURN(EdbAtomCache * cache, resolve_edb(ri, i));
+            body.push_back(BodyInput{&cache->rel, cache});
+          }
+          if (body.back().rel->empty()) {
             feasible = false;
             break;
           }
-          atom_rels.push_back(std::move(rel).value());
         }
         if (stats != nullptr) ++stats->rule_firings;
         if (!feasible) continue;
-        PQ_ASSIGN_OR_RETURN(Relation derived, FireRule(rule, atom_rels));
+        PQ_ASSIGN_OR_RETURN(Relation derived, FireRule(rule, body));
         add_new(rule.head.relation, derived, &next_delta, &changed);
       }
     }
@@ -166,7 +234,7 @@ Result<Relation> EvaluateDatalog(const Database& db,
     ++iterations;
     if (options.max_rows != 0) {
       size_t total = 0;
-      for (const auto& [name, rel] : idb) total += rel.size();
+      for (const auto& [name, set] : idb) total += set.size();
       if (total > options.max_rows) {
         return Status::ResourceExhausted("Datalog derived-tuple limit");
       }
@@ -176,9 +244,9 @@ Result<Relation> EvaluateDatalog(const Database& db,
   if (stats != nullptr) {
     stats->iterations = iterations;
     stats->derived_tuples = 0;
-    for (const auto& [name, rel] : idb) stats->derived_tuples += rel.size();
+    for (const auto& [name, set] : idb) stats->derived_tuples += set.size();
   }
-  Relation goal = idb.at(program.goal);
+  Relation goal = idb.at(program.goal).TakeRelation();
   goal.SortAndDedup();
   return goal;
 }

@@ -100,7 +100,10 @@ struct FoEval {
     // the whole active domain.
     std::vector<AttrId> order = rest;
     order.push_back(x);
-    NamedRelation sorted = Project(rel, order, /*dedup=*/true);
+    // The group scan below needs lexicographic order, which Project's
+    // hash-dedup does not provide — sort-dedup the raw projection instead.
+    NamedRelation sorted = Project(rel, order, /*dedup=*/false);
+    sorted.rel().SortAndDedup();
     NamedRelation out{rest};
     size_t n = sorted.size();
     size_t need = adom.size();

@@ -4,24 +4,40 @@
 
 #include "eval/common.hpp"
 #include "relational/ops.hpp"
+#include "relational/row_index.hpp"
 
 namespace paraquery {
 
 namespace {
 
+// One depth of the backtracking search: an atom relation plus a hash index
+// keyed on the columns whose variables are already bound when the search
+// reaches this depth. With the static atom order, the bound-variable set at
+// each depth is known up front, so each level probes its index instead of
+// scanning the relation.
+struct Level {
+  std::vector<int> key_cols;    // columns probed via the index
+  std::vector<VarId> key_vars;  // variable supplying each key column
+  std::vector<int> free_cols;   // columns bound by this level
+  std::vector<VarId> free_vars;
+  RowIndex index;               // over atom_rels[depth], keyed on key_cols
+  ValueVec key_scratch;         // probe key buffer (size = key_cols.size())
+};
+
 // Backtracking search state over atom relations.
 struct Search {
   const ConjunctiveQuery& q;
   std::vector<NamedRelation> atom_rels;  // S_j per body atom
+  std::vector<Level> levels;             // parallel to atom_rels
   std::vector<Value> binding;            // VarId -> value
   std::vector<bool> bound;
   uint64_t steps = 0;
-  uint64_t max_steps;
-  bool stop_at_first;
+  uint64_t max_steps = 0;
+  bool stop_at_first = false;
   Status status = Status::OK();
 
   // Bindings accumulated for the full-evaluation mode.
-  NamedRelation* out_bindings;
+  NamedRelation* out_bindings = nullptr;
   std::vector<VarId> out_vars;
 
   bool CompareOk(const CompareAtom& c) const {
@@ -65,68 +81,24 @@ struct Search {
       }
       return stop_at_first;
     }
-    const NamedRelation& rel = atom_rels[atom_idx];
-    const auto& attrs = rel.attrs();
-    // Restrict the scan to the rows matching the bound prefix (relations are
-    // kept lexicographically sorted): the classical index-assisted
-    // backtracking — still n^{O(q)} worst case, but without a full-relation
-    // scan at every search node.
-    size_t prefix = 0;
-    while (prefix < attrs.size() && bound[attrs[prefix]]) ++prefix;
-    size_t lo = 0, hi = rel.size();
-    if (prefix > 0) {
-      auto cmp_prefix = [&](size_t row) {
-        // <0 if row-prefix < binding, 0 if equal, >0 if greater.
-        for (size_t i = 0; i < prefix; ++i) {
-          Value v = rel.rel().At(row, i);
-          Value b = binding[attrs[i]];
-          if (v < b) return -1;
-          if (v > b) return 1;
-        }
-        return 0;
-      };
-      size_t a = 0, b = rel.size();
-      while (a < b) {  // first row with prefix >= binding
-        size_t mid = a + (b - a) / 2;
-        if (cmp_prefix(mid) < 0) {
-          a = mid + 1;
-        } else {
-          b = mid;
-        }
-      }
-      lo = a;
-      b = rel.size();
-      while (a < b) {  // first row with prefix > binding
-        size_t mid = a + (b - a) / 2;
-        if (cmp_prefix(mid) <= 0) {
-          a = mid + 1;
-        } else {
-          b = mid;
-        }
-      }
-      hi = a;
+    Level& lvl = levels[atom_idx];
+    const Relation& rel = atom_rels[atom_idx].rel();
+    for (size_t i = 0; i < lvl.key_vars.size(); ++i) {
+      lvl.key_scratch[i] = binding[lvl.key_vars[i]];
     }
-    for (size_t r = lo; r < hi; ++r) {
-      // Check consistency with current binding; bind new variables.
-      std::vector<VarId> newly_bound;
-      bool ok = true;
-      for (size_t i = prefix; i < attrs.size(); ++i) {
-        Value v = rel.rel().At(r, i);
-        VarId var = attrs[i];
-        if (bound[var]) {
-          if (binding[var] != v) {
-            ok = false;
-            break;
-          }
-        } else {
-          bound[var] = true;
-          binding[var] = v;
-          newly_bound.push_back(var);
-        }
+    // The index chain enumerates exactly the rows agreeing with the current
+    // binding on every already-bound variable of this atom; the remaining
+    // columns carry fresh variables (distinct within the atom), so every
+    // chained row extends the binding consistently.
+    for (uint32_t r = lvl.index.Find(lvl.key_scratch); r != RowIndex::kNone;
+         r = lvl.index.Next(r)) {
+      for (size_t i = 0; i < lvl.free_cols.size(); ++i) {
+        VarId var = lvl.free_vars[i];
+        bound[var] = true;
+        binding[var] = rel.At(r, lvl.free_cols[i]);
       }
-      if (ok) ok = AllComparesOk();
-      if (ok && Dfs(atom_idx + 1)) return true;
-      for (VarId var : newly_bound) bound[var] = false;
+      if (AllComparesOk() && Dfs(atom_idx + 1)) return true;
+      for (VarId var : lvl.free_vars) bound[var] = false;
     }
     return false;
   }
@@ -136,16 +108,8 @@ Result<Search> Prepare(const Database& db, const ConjunctiveQuery& q,
                        const NaiveOptions& options, bool stop_at_first,
                        NamedRelation* out_bindings) {
   PQ_RETURN_NOT_OK(q.Validate());
-  Search s{q,
-           {},
-           {},
-           {},
-           0,
-           options.max_steps,
-           stop_at_first,
-           Status::OK(),
-           out_bindings,
-           {}};
+  Search s{q, {}, {}, {}, {}, 0, options.max_steps, stop_at_first,
+           Status::OK(), out_bindings, {}};
   for (const Atom& a : q.body) {
     PQ_ASSIGN_OR_RETURN(NamedRelation rel, AtomToRelation(db, a));
     s.atom_rels.push_back(std::move(rel));
@@ -185,6 +149,33 @@ Result<Search> Prepare(const Database& db, const ConjunctiveQuery& q,
     }
     rels = std::move(ordered);
   }
+  // Per-depth indexes: with the order fixed, the variables bound before
+  // depth d are exactly those of atoms 0..d-1, so each atom's columns split
+  // statically into probe-key columns and freshly-bound columns.
+  {
+    std::vector<bool> bound_var(std::max(1, q.NumVariables()), false);
+    s.levels.reserve(s.atom_rels.size());
+    for (const NamedRelation& rel : s.atom_rels) {
+      std::vector<int> key_cols, free_cols;
+      std::vector<VarId> key_vars, free_vars;
+      for (size_t c = 0; c < rel.attrs().size(); ++c) {
+        VarId var = rel.attrs()[c];
+        if (bound_var[var]) {
+          key_cols.push_back(static_cast<int>(c));
+          key_vars.push_back(var);
+        } else {
+          free_cols.push_back(static_cast<int>(c));
+          free_vars.push_back(var);
+          bound_var[var] = true;
+        }
+      }
+      RowIndex index(rel.rel(), key_cols);
+      ValueVec scratch(key_cols.size());
+      s.levels.push_back(Level{std::move(key_cols), std::move(key_vars),
+                               std::move(free_cols), std::move(free_vars),
+                               std::move(index), std::move(scratch)});
+    }
+  }
   s.binding.assign(std::max(1, q.NumVariables()), 0);
   s.bound.assign(std::max(1, q.NumVariables()), false);
   return s;
@@ -202,7 +193,7 @@ Result<Relation> NaiveEvaluateCq(const Database& db, const ConjunctiveQuery& q,
   if (!s.AllComparesOk()) return Relation(q.head.size());
   s.Dfs(0);
   PQ_RETURN_NOT_OK(s.status);
-  bindings.rel().SortAndDedup();
+  bindings.rel().HashDedup();
   return BindingsToAnswers(bindings, q.head);
 }
 

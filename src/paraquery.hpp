@@ -25,6 +25,7 @@
 #include "relational/ops.hpp"
 #include "relational/predicate.hpp"
 #include "relational/relation.hpp"
+#include "relational/row_index.hpp"
 
 // Graphs, hypergraphs, circuits, hashing.
 #include "circuit/circuit.hpp"

@@ -1,8 +1,8 @@
 #include "relational/ops.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
+#include "relational/row_index.hpp"
 #include "relational/value.hpp"
 
 namespace paraquery {
@@ -21,37 +21,25 @@ std::vector<std::pair<int, int>> CommonColumns(const NamedRelation& left,
   return out;
 }
 
-uint64_t HashKey(const Relation& rel, size_t row, const std::vector<int>& cols) {
-  uint64_t h = 0x243f6a8885a308d3ull;
-  for (int c : cols) h = (h ^ HashValue(rel.At(row, c))) * 0x100000001b3ull;
-  return h;
-}
-
-bool KeysEqual(const Relation& a, size_t ra, const std::vector<int>& ca,
-               const Relation& b, size_t rb, const std::vector<int>& cb) {
-  for (size_t i = 0; i < ca.size(); ++i) {
-    if (a.At(ra, ca[i]) != b.At(rb, cb[i])) return false;
-  }
-  return true;
-}
-
-// Hash index: key hash -> row indices (collisions resolved by the caller via
-// KeysEqual). Values verified on probe, so hash collisions are benign.
-std::unordered_map<uint64_t, std::vector<uint32_t>> BuildIndex(
-    const Relation& rel, const std::vector<int>& cols) {
-  std::unordered_map<uint64_t, std::vector<uint32_t>> index;
-  index.reserve(rel.size() * 2);
-  for (size_t r = 0; r < rel.size(); ++r) {
-    index[HashKey(rel, r, cols)].push_back(static_cast<uint32_t>(r));
-  }
-  return index;
+// All column positions of `rel` (identity key: the full row).
+std::vector<int> AllColumns(const Relation& rel) {
+  std::vector<int> cols(rel.arity());
+  for (size_t i = 0; i < cols.size(); ++i) cols[i] = static_cast<int>(i);
+  return cols;
 }
 
 }  // namespace
 
+std::vector<int> JoinKeyColumns(const NamedRelation& left,
+                                const NamedRelation& right) {
+  std::vector<int> rcols;
+  for (auto [lc, rc] : CommonColumns(left, right)) rcols.push_back(rc);
+  return rcols;
+}
+
 NamedRelation Select(const NamedRelation& in, const Predicate& pred) {
   NamedRelation out{in.attrs()};
-  out.rel().Reserve(in.size() / 2);
+  out.rel().Reserve(in.size());
   for (size_t r = 0; r < in.size(); ++r) {
     auto row = in.rel().Row(r);
     if (pred.Eval(row)) out.rel().Add(row);
@@ -74,19 +62,27 @@ NamedRelation Project(const NamedRelation& in, const std::vector<AttrId>& attrs,
     for (size_t i = 0; i < cols.size(); ++i) row[i] = in.rel().At(r, cols[i]);
     out.rel().Add(row);
   }
-  if (dedup) out.rel().SortAndDedup();
+  if (dedup) out.rel().HashDedup();
   return out;
 }
 
 Result<NamedRelation> NaturalJoin(const NamedRelation& left,
                                   const NamedRelation& right,
                                   const JoinOptions& options) {
+  RowIndex index(right.rel(), JoinKeyColumns(left, right));
+  return NaturalJoin(left, right, index, options);
+}
+
+Result<NamedRelation> NaturalJoin(const NamedRelation& left,
+                                  const NamedRelation& right,
+                                  const RowIndex& right_index,
+                                  const JoinOptions& options) {
+  PQ_DCHECK(&right_index.rel() == &right.rel() &&
+                right_index.key_cols() == JoinKeyColumns(left, right),
+            "NaturalJoin: index does not match the join's key columns");
   auto common = CommonColumns(left, right);
-  std::vector<int> lcols, rcols;
-  for (auto [lc, rc] : common) {
-    lcols.push_back(lc);
-    rcols.push_back(rc);
-  }
+  std::vector<int> lcols;
+  for (auto [lc, rc] : common) lcols.push_back(lc);
   // Output schema: all of left, then right-only columns.
   std::vector<AttrId> out_attrs = left.attrs();
   std::vector<int> right_extra;  // right columns not in left
@@ -96,19 +92,51 @@ Result<NamedRelation> NaturalJoin(const NamedRelation& left,
       right_extra.push_back(static_cast<int>(i));
     }
   }
-  NamedRelation out{out_attrs};
+  size_t larity = left.arity();
+  size_t out_arity = out_attrs.size();
 
-  auto index = BuildIndex(right.rel(), rcols);
-  ValueVec row(out_attrs.size());
+  // Fast path: no filter, no row limit — stream matches straight into a flat
+  // row-major buffer, copying the left prefix once per probed row.
+  if (options.post_filter.empty() && options.max_output_rows == 0 &&
+      out_arity > 0) {
+    // Probe pass: remember each left row's chain head and size the output
+    // exactly, so the emit pass is pure pointer writes into one allocation.
+    size_t nl = left.size();
+    std::vector<uint32_t> first(nl);
+    size_t total = 0;
+    for (size_t lr = 0; lr < nl; ++lr) {
+      uint32_t rr = right_index.Find(left.rel(), lr, lcols);
+      first[lr] = rr;
+      if (rr != RowIndex::kNone) total += right_index.MatchCount(rr);
+    }
+    std::vector<Value> out_data(total * out_arity);
+    Value* dst = out_data.data();
+    const std::vector<Value>& ldata = left.rel().data();
+    const std::vector<Value>& rdata = right.rel().data();
+    size_t rarity = right.arity();
+    for (size_t lr = 0; lr < nl; ++lr) {
+      uint32_t rr = first[lr];
+      if (rr == RowIndex::kNone) continue;
+      const Value* lrow = ldata.data() + lr * larity;
+      for (; rr != RowIndex::kNone; rr = right_index.Next(rr)) {
+        for (size_t i = 0; i < larity; ++i) *dst++ = lrow[i];
+        const Value* rrow = rdata.data() + static_cast<size_t>(rr) * rarity;
+        for (int c : right_extra) *dst++ = rrow[c];
+      }
+    }
+    return NamedRelation{std::move(out_attrs),
+                         Relation(out_arity, std::move(out_data))};
+  }
+
+  NamedRelation out{out_attrs};
+  ValueVec row(out_arity);
   uint64_t emitted = 0;
   for (size_t lr = 0; lr < left.size(); ++lr) {
-    auto it = index.find(HashKey(left.rel(), lr, lcols));
-    if (it == index.end()) continue;
-    for (uint32_t rr : it->second) {
-      if (!KeysEqual(left.rel(), lr, lcols, right.rel(), rr, rcols)) continue;
-      for (size_t i = 0; i < left.arity(); ++i) row[i] = left.rel().At(lr, i);
+    for (uint32_t rr = right_index.Find(left.rel(), lr, lcols);
+         rr != RowIndex::kNone; rr = right_index.Next(rr)) {
+      for (size_t i = 0; i < larity; ++i) row[i] = left.rel().At(lr, i);
       for (size_t i = 0; i < right_extra.size(); ++i) {
-        row[left.arity() + i] = right.rel().At(rr, right_extra[i]);
+        row[larity + i] = right.rel().At(rr, right_extra[i]);
       }
       if (!options.post_filter.Eval(row)) continue;
       if (options.max_output_rows != 0 && emitted >= options.max_output_rows) {
@@ -136,18 +164,9 @@ NamedRelation Semijoin(const NamedRelation& left, const NamedRelation& right) {
     if (!right.empty()) out = left;
     return out;
   }
-  auto index = BuildIndex(right.rel(), rcols);
+  RowIndex index(right.rel(), std::move(rcols));
   for (size_t lr = 0; lr < left.size(); ++lr) {
-    auto it = index.find(HashKey(left.rel(), lr, lcols));
-    if (it == index.end()) continue;
-    bool matched = false;
-    for (uint32_t rr : it->second) {
-      if (KeysEqual(left.rel(), lr, lcols, right.rel(), rr, rcols)) {
-        matched = true;
-        break;
-      }
-    }
-    if (matched) out.rel().Add(left.rel().Row(lr));
+    if (index.Contains(left.rel(), lr, lcols)) out.rel().Add(left.rel().Row(lr));
   }
   return out;
 }
@@ -175,48 +194,48 @@ Relation AlignTo(const NamedRelation& left, const NamedRelation& right) {
 }  // namespace
 
 NamedRelation UnionSet(const NamedRelation& left, const NamedRelation& right) {
-  Relation merged = left.rel();
-  Relation aligned = AlignTo(left, right);
-  for (size_t r = 0; r < aligned.size(); ++r) merged.Add(aligned.Row(r));
   if (left.arity() == 0) {
     // Zero-ary: nonempty iff either side nonempty.
-    NamedRelation out = (left.empty() && right.empty()) ? BooleanFalse()
-                                                        : BooleanTrue();
-    return out;
+    return (left.empty() && right.empty()) ? BooleanFalse() : BooleanTrue();
   }
-  merged.SortAndDedup();
-  return NamedRelation{left.attrs(), std::move(merged)};
+  Relation aligned = AlignTo(left, right);
+  RowHashSet merged(left.arity());
+  merged.Reserve(left.size() + aligned.size());
+  for (size_t r = 0; r < left.size(); ++r) merged.Insert(left.rel().Row(r));
+  for (size_t r = 0; r < aligned.size(); ++r) merged.Insert(aligned.Row(r));
+  return NamedRelation{left.attrs(), merged.TakeRelation()};
 }
 
 NamedRelation Difference(const NamedRelation& left, const NamedRelation& right) {
   Relation aligned = AlignTo(left, right);
-  aligned.SortAndDedup();
-  NamedRelation out{left.attrs()};
   if (left.arity() == 0) {
     if (!left.empty() && aligned.empty()) return BooleanTrue();
     return BooleanFalse();
   }
+  RowIndex index(aligned, AllColumns(aligned));
+  std::vector<int> all = AllColumns(left.rel());
+  RowHashSet kept(left.arity());
+  kept.Reserve(left.size());
   for (size_t r = 0; r < left.size(); ++r) {
-    if (!aligned.Contains(left.rel().Row(r))) out.rel().Add(left.rel().Row(r));
+    if (!index.Contains(left.rel(), r, all)) kept.Insert(left.rel().Row(r));
   }
-  out.rel().SortAndDedup();
-  return out;
+  return NamedRelation{left.attrs(), kept.TakeRelation()};
 }
 
 NamedRelation Intersect(const NamedRelation& left, const NamedRelation& right) {
   Relation aligned = AlignTo(left, right);
-  aligned.SortAndDedup();
-  NamedRelation out{left.attrs()};
   if (left.arity() == 0) {
     if (!left.empty() && !aligned.empty()) return BooleanTrue();
     return BooleanFalse();
   }
-  Relation left_sorted = left.rel();
-  left_sorted.SortAndDedup();
-  for (size_t r = 0; r < left_sorted.size(); ++r) {
-    if (aligned.Contains(left_sorted.Row(r))) out.rel().Add(left_sorted.Row(r));
+  RowIndex index(aligned, AllColumns(aligned));
+  std::vector<int> all = AllColumns(left.rel());
+  RowHashSet kept(left.arity());
+  kept.Reserve(std::min(left.size(), aligned.size()));
+  for (size_t r = 0; r < left.size(); ++r) {
+    if (index.Contains(left.rel(), r, all)) kept.Insert(left.rel().Row(r));
   }
-  return out;
+  return NamedRelation{left.attrs(), kept.TakeRelation()};
 }
 
 Result<NamedRelation> CrossProduct(const NamedRelation& left,

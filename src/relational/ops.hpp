@@ -14,6 +14,8 @@
 
 namespace paraquery {
 
+class RowIndex;
+
 /// σ: rows of `in` satisfying `pred` (columns indexed by position in `in`).
 NamedRelation Select(const NamedRelation& in, const Predicate& pred);
 
@@ -36,6 +38,21 @@ struct JoinOptions {
 /// followed by the attributes of `right` not present in `left`.
 Result<NamedRelation> NaturalJoin(const NamedRelation& left,
                                   const NamedRelation& right,
+                                  const JoinOptions& options = {});
+
+/// Key columns of `right` that NaturalJoin(left, right) probes: for each left
+/// attribute present in right, the matching right column, in left-attribute
+/// order. Use to prebuild a RowIndex for the overload below.
+std::vector<int> JoinKeyColumns(const NamedRelation& left,
+                                const NamedRelation& right);
+
+/// NaturalJoin against a caller-owned index over `right.rel()`, for reuse of
+/// one build across many probes (e.g. fixpoint iterations over a static EDB
+/// relation). `right_index` must index `right.rel()` on exactly
+/// JoinKeyColumns(left, right).
+Result<NamedRelation> NaturalJoin(const NamedRelation& left,
+                                  const NamedRelation& right,
+                                  const RowIndex& right_index,
                                   const JoinOptions& options = {});
 
 /// ⋉: rows of `left` that join with at least one row of `right` on the

@@ -5,8 +5,16 @@
 #include <sstream>
 
 #include "common/status.hpp"
+#include "relational/row_index.hpp"
 
 namespace paraquery {
+
+Relation::Relation(size_t arity, std::vector<Value> data)
+    : arity_(arity), data_(std::move(data)) {
+  PQ_CHECK(arity > 0, "Relation buffer constructor requires arity > 0");
+  PQ_CHECK(data_.size() % arity == 0,
+           "Relation buffer size is not a multiple of the arity");
+}
 
 void Relation::Add(std::span<const Value> row) {
   PQ_DCHECK(row.size() == arity_, "Relation::Add: arity mismatch");
@@ -53,6 +61,21 @@ void Relation::SortAndDedup() {
   }
   data_ = std::move(out);
   sorted_ = true;
+}
+
+void Relation::HashDedup() {
+  if (arity_ == 0) {
+    zero_ary_rows_ = zero_ary_rows_ > 0 ? 1 : 0;
+    sorted_ = true;
+    return;
+  }
+  if (sorted_) return;  // already deduplicated (and sorted)
+  size_t n = size();
+  RowHashSet set(arity_);
+  set.Reserve(n);
+  for (size_t r = 0; r < n; ++r) set.Insert(Row(r));
+  if (set.size() != n) data_ = std::move(set.TakeRelation().data_);
+  sorted_ = size() <= 1;
 }
 
 bool Relation::Contains(std::span<const Value> row) const {

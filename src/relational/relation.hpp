@@ -25,6 +25,11 @@ class Relation {
   /// (false) or one empty row (true).
   explicit Relation(size_t arity) : arity_(arity) {}
 
+  /// Wraps a prefilled row-major buffer (`data.size()` must be a multiple of
+  /// `arity`; arity 0 is not supported here). Used by operators that emit
+  /// rows directly into a flat buffer to skip per-row Add calls.
+  Relation(size_t arity, std::vector<Value> data);
+
   size_t arity() const { return arity_; }
 
   /// Number of rows.
@@ -51,6 +56,12 @@ class Relation {
   /// Sorts rows lexicographically and removes duplicates (set semantics).
   void SortAndDedup();
 
+  /// Removes duplicate rows in one hash pass, keeping the first occurrence
+  /// of each row in its original position (no sorting). Preferred over
+  /// SortAndDedup wherever the caller needs only set semantics, not a
+  /// sorted order.
+  void HashDedup();
+
   /// True if SortAndDedup has run and no row was added since.
   bool sorted() const { return sorted_; }
 
@@ -65,6 +76,9 @@ class Relation {
 
   /// Reserves space for `rows` rows.
   void Reserve(size_t rows) { data_.reserve(rows * arity_); }
+
+  /// Releases excess capacity (for relations cached long-term).
+  void ShrinkToFit() { data_.shrink_to_fit(); }
 
   /// Debug rendering: "{(1,2),(3,4)}".
   std::string ToString() const;

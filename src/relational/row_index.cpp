@@ -1,0 +1,163 @@
+#include "relational/row_index.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace paraquery {
+
+namespace {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+uint64_t HashRowAt(const Relation& rel, size_t row, std::span<const int> cols) {
+  uint64_t h = kRowHashSeed;
+  for (int c : cols) h = MixRowHash(h, rel.At(row, c));
+  return h;
+}
+
+}  // namespace
+
+RowIndex::RowIndex(const Relation& rel, std::vector<int> key_cols)
+    : rel_(&rel), key_cols_(std::move(key_cols)) {
+  size_t n = rel.size();
+  if (n == 0) return;
+  hashes_.resize(n);
+  next_.assign(n, kNone);
+  counts_.assign(n, 0);
+  size_t cap = NextPowerOfTwo(std::max<size_t>(n * 2, 8));
+  slots_.assign(cap, kNone);
+  mask_ = cap - 1;
+  // Per-slot chain tail, so same-key rows append in increasing row order.
+  // Scratch only; discarded after the build.
+  std::vector<uint32_t> tails(cap, kNone);
+  for (size_t r = 0; r < n; ++r) {
+    uint64_t h = HashRowAt(rel, r, key_cols_);
+    hashes_[r] = h;
+    size_t s = h & mask_;
+    for (;;) {
+      uint32_t head = slots_[s];
+      if (head == kNone) {
+        slots_[s] = static_cast<uint32_t>(r);
+        tails[s] = static_cast<uint32_t>(r);
+        counts_[r] = 1;
+        ++distinct_;
+        break;
+      }
+      if (hashes_[head] == h && RowKeysEqual(head, static_cast<uint32_t>(r))) {
+        next_[tails[s]] = static_cast<uint32_t>(r);
+        tails[s] = static_cast<uint32_t>(r);
+        ++counts_[head];
+        break;
+      }
+      s = (s + 1) & mask_;
+    }
+  }
+}
+
+bool RowIndex::RowKeysEqual(uint32_t a, uint32_t b) const {
+  for (int c : key_cols_) {
+    if (rel_->At(a, c) != rel_->At(b, c)) return false;
+  }
+  return true;
+}
+
+template <typename KeyEq>
+uint32_t RowIndex::Probe(uint64_t h, KeyEq key_eq) const {
+  size_t s = h & mask_;
+  while (slots_[s] != kNone) {
+    uint32_t head = slots_[s];
+    if (hashes_[head] == h && key_eq(head)) return head;
+    s = (s + 1) & mask_;
+  }
+  return kNone;
+}
+
+uint32_t RowIndex::Find(std::span<const Value> key) const {
+  PQ_DCHECK(key.size() == key_cols_.size(), "RowIndex::Find: key arity");
+  if (slots_.empty()) return kNone;
+  return Probe(HashRow(key), [&](uint32_t head) {
+    for (size_t i = 0; i < key_cols_.size(); ++i) {
+      if (rel_->At(head, key_cols_[i]) != key[i]) return false;
+    }
+    return true;
+  });
+}
+
+uint32_t RowIndex::Find(const Relation& probe, size_t probe_row,
+                        std::span<const int> probe_cols) const {
+  PQ_DCHECK(probe_cols.size() == key_cols_.size(), "RowIndex::Find: key arity");
+  if (slots_.empty()) return kNone;
+  return Probe(HashRowAt(probe, probe_row, probe_cols), [&](uint32_t head) {
+    for (size_t i = 0; i < key_cols_.size(); ++i) {
+      if (rel_->At(head, key_cols_[i]) != probe.At(probe_row, probe_cols[i])) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+RowHashSet::RowHashSet(size_t arity) : rel_(arity) {
+  slots_.assign(16, RowIndex::kNone);
+  mask_ = slots_.size() - 1;
+}
+
+void RowHashSet::Reserve(size_t rows) {
+  size_t cap = NextPowerOfTwo(std::max<size_t>(rows * 2, 16));
+  if (cap <= slots_.size()) return;
+  if (rel_.arity() > 0) rel_.Reserve(rows);
+  hashes_.reserve(rows);
+  Rehash(cap);
+}
+
+size_t RowHashSet::ProbeSlot(std::span<const Value> row, uint64_t h) const {
+  size_t s = h & mask_;
+  while (slots_[s] != RowIndex::kNone) {
+    uint32_t r = slots_[s];
+    if (hashes_[r] == h) {
+      auto stored = rel_.Row(r);
+      if (std::equal(stored.begin(), stored.end(), row.begin())) return s;
+    }
+    s = (s + 1) & mask_;
+  }
+  return s;
+}
+
+bool RowHashSet::Insert(std::span<const Value> row) {
+  PQ_DCHECK(row.size() == rel_.arity(), "RowHashSet::Insert: arity mismatch");
+  uint64_t h = HashRow(row);
+  size_t s = ProbeSlot(row, h);
+  if (slots_[s] != RowIndex::kNone) return false;  // already present
+  uint32_t r = static_cast<uint32_t>(rel_.size());
+  rel_.Add(row);
+  hashes_.push_back(h);
+  slots_[s] = r;
+  // Load factor capped at 1/2; Reserve(n) sizes the table so that exactly n
+  // insertions never trigger this.
+  if (rel_.size() * 2 > slots_.size()) Grow();
+  return true;
+}
+
+bool RowHashSet::Contains(std::span<const Value> row) const {
+  PQ_DCHECK(row.size() == rel_.arity(), "RowHashSet::Contains: arity mismatch");
+  return slots_[ProbeSlot(row, HashRow(row))] != RowIndex::kNone;
+}
+
+void RowHashSet::Grow() { Rehash(slots_.size() * 2); }
+
+void RowHashSet::Rehash(size_t cap) {
+  slots_.assign(cap, RowIndex::kNone);
+  mask_ = cap - 1;
+  for (uint32_t r = 0; r < rel_.size(); ++r) {
+    size_t s = hashes_[r] & mask_;
+    while (slots_[s] != RowIndex::kNone) s = (s + 1) & mask_;
+    slots_[s] = r;
+  }
+}
+
+}  // namespace paraquery

@@ -1,0 +1,141 @@
+// Flat hash index over the rows of a Relation — the shared join/lookup kernel
+// behind NaturalJoin, Semijoin, Difference, Intersect, hash-based dedup, and
+// the naive evaluator's indexed backtracking.
+//
+// Memory layout (RowIndex)
+// ------------------------
+// Three contiguous arrays, no per-key heap allocations:
+//
+//   hashes_[r]  : uint64  cached hash of row r's key columns (one per row)
+//   slots_[s]   : uint32  open-addressing table, power-of-two size, linear
+//                         probing; each occupied slot holds the FIRST row id
+//                         of one distinct key (kNone = empty slot)
+//   next_[r]    : uint32  intrusive chain: next row with the SAME key as row
+//                         r (full key equality, not just equal hash), in
+//                         increasing row order; kNone terminates the chain
+//
+// Invariants:
+//   * slots_.size() is a power of two and at least 2 * rel.size(), so the
+//     load factor never exceeds 1/2 and linear probing terminates.
+//   * Each occupied slot corresponds to exactly one distinct key value; hash
+//     collisions between different keys occupy different slots (probing
+//     continues past a slot whose key differs).
+//   * The chain hanging off a slot's head row enumerates every row with that
+//     key in increasing row order, so probes see rows in insertion order —
+//     the same match order a scan would produce.
+//   * The index borrows `rel`; it must not outlive it, and the relation must
+//     not be modified while the index is in use.
+//
+// Build is one pass over the rows (O(n) expected); a probe is one hash, an
+// expected O(1) slot walk, and a single full-key comparison, after which
+// matches stream off the chain with no further comparisons.
+#ifndef PARAQUERY_RELATIONAL_ROW_INDEX_H_
+#define PARAQUERY_RELATIONAL_ROW_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "relational/relation.hpp"
+#include "relational/value.hpp"
+
+namespace paraquery {
+
+/// Hash index over a Relation's rows keyed on a column subset.
+class RowIndex {
+ public:
+  /// Sentinel row id: "no row" / end of chain.
+  static constexpr uint32_t kNone = UINT32_MAX;
+
+  /// Builds the index over `rel` keyed on `key_cols` (each must be a valid
+  /// column of `rel`). An empty `key_cols` keys every row to the same value,
+  /// which makes Find enumerate all rows — the degenerate cross-product case.
+  RowIndex(const Relation& rel, std::vector<int> key_cols);
+
+  /// First row of `rel` whose key equals `key` (values in key_cols order),
+  /// or kNone. Follow the chain with Next for further matches.
+  uint32_t Find(std::span<const Value> key) const;
+
+  /// As Find(key), but the key is read from `probe`'s row `probe_row` at
+  /// columns `probe_cols` (parallel to this index's key columns) without
+  /// materializing it.
+  uint32_t Find(const Relation& probe, size_t probe_row,
+                std::span<const int> probe_cols) const;
+
+  /// Next row with the same key as `row`, or kNone.
+  uint32_t Next(uint32_t row) const { return next_[row]; }
+
+  /// Number of rows in the chain headed by `head` (a row returned by Find).
+  /// Lets joins size their output exactly before materializing.
+  uint32_t MatchCount(uint32_t head) const { return counts_[head]; }
+
+  bool Contains(const Relation& probe, size_t probe_row,
+                std::span<const int> probe_cols) const {
+    return Find(probe, probe_row, probe_cols) != kNone;
+  }
+
+  /// Number of distinct keys in the indexed relation.
+  size_t distinct_keys() const { return distinct_; }
+
+  const std::vector<int>& key_cols() const { return key_cols_; }
+  const Relation& rel() const { return *rel_; }
+
+ private:
+  bool RowKeysEqual(uint32_t a, uint32_t b) const;
+
+  // Shared probe loop: walks slots from `h` until an empty slot (kNone) or a
+  // head whose hash matches and `key_eq(head)` confirms full key equality.
+  template <typename KeyEq>
+  uint32_t Probe(uint64_t h, KeyEq key_eq) const;
+
+  const Relation* rel_;
+  std::vector<int> key_cols_;
+  std::vector<uint64_t> hashes_;  // per-row key hash
+  std::vector<uint32_t> slots_;   // open-addressing table of chain heads
+  std::vector<uint32_t> next_;    // per-row same-key chain
+  std::vector<uint32_t> counts_;  // chain length, valid at chain-head rows
+  uint64_t mask_ = 0;             // slots_.size() - 1
+  size_t distinct_ = 0;
+};
+
+/// Incrementally grown set of distinct rows, backed by an owned Relation.
+/// Same flat layout as RowIndex minus the chains (members are distinct, so
+/// every slot maps to exactly one stored row). Used for hash-based dedup and
+/// for fixpoint "seen tuple" bookkeeping, replacing re-sorting on every
+/// insertion round.
+class RowHashSet {
+ public:
+  explicit RowHashSet(size_t arity);
+
+  /// Pre-sizes the table and backing storage for `rows` insertions,
+  /// avoiding growth rehashes when the input size is known.
+  void Reserve(size_t rows);
+
+  /// Adds `row` if absent. Returns true iff the row was newly inserted.
+  bool Insert(std::span<const Value> row);
+
+  bool Contains(std::span<const Value> row) const;
+
+  /// The distinct rows inserted so far, in first-insertion order.
+  const Relation& rel() const { return rel_; }
+  size_t size() const { return rel_.size(); }
+
+  /// Moves the backing relation out; the set must not be used afterwards.
+  Relation TakeRelation() { return std::move(rel_); }
+
+ private:
+  // Probes for `row` (with hash `h`): returns the slot holding an equal row,
+  // or the first empty slot.
+  size_t ProbeSlot(std::span<const Value> row, uint64_t h) const;
+  void Grow();
+  void Rehash(size_t cap);
+
+  Relation rel_;
+  std::vector<uint64_t> hashes_;  // per stored row
+  std::vector<uint32_t> slots_;
+  uint64_t mask_ = 0;
+};
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_RELATIONAL_ROW_INDEX_H_

@@ -28,10 +28,18 @@ inline uint64_t HashValue(Value v) {
   return z ^ (z >> 31);
 }
 
+/// Seed and fold step of the row-fragment hash. Exposed so callers hashing
+/// scattered columns (e.g. RowIndex) fold values incrementally yet stay
+/// byte-identical to HashRow over the materialized key.
+inline constexpr uint64_t kRowHashSeed = 0x243f6a8885a308d3ull;
+inline uint64_t MixRowHash(uint64_t h, Value v) {
+  return (h ^ HashValue(v)) * 0x100000001b3ull;
+}
+
 /// Order-dependent hash of a row fragment (for join keys).
 inline uint64_t HashRow(std::span<const Value> row) {
-  uint64_t h = 0x243f6a8885a308d3ull;
-  for (Value v : row) h = (h ^ HashValue(v)) * 0x100000001b3ull;
+  uint64_t h = kRowHashSeed;
+  for (Value v : row) h = MixRowHash(h, v);
   return h;
 }
 

@@ -384,6 +384,21 @@ TEST(DatalogTest, TransitiveClosure) {
   EXPECT_GE(stats.iterations, 3u);
 }
 
+TEST(DatalogTest, MissingEdbBehindEmptyAtomIsNotResolved) {
+  // EDB atoms resolve lazily in body order: Q is empty, so the rule can never
+  // fire and the dangling reference to R must not be an error.
+  Database db;
+  db.AddRelation("Q", 1).ValueOrDie();
+  auto prog = ParseDatalog("g(x) :- Q(x), R(x).").ValueOrDie();
+  auto out = EvaluateDatalog(db, prog).ValueOrDie();
+  EXPECT_TRUE(out.empty());
+
+  // Once the missing atom is reachable, the error surfaces.
+  RelId q = db.FindRelation("Q").ValueOrDie();
+  db.relation(q).Add({1});
+  EXPECT_EQ(EvaluateDatalog(db, prog).status().code(), StatusCode::kNotFound);
+}
+
 TEST(DatalogTest, MatchesFloydWarshallReachability) {
   for (uint64_t seed = 1; seed <= 6; ++seed) {
     Rng rng(seed);

@@ -32,6 +32,7 @@ TextKind SniffKind(const std::string& text) {
 }  // namespace
 
 Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
+  stats_ = EngineStats{};
   PQ_RETURN_NOT_OK(q.Validate());
   const ConjunctiveQuery* effective = &q;
   ComparisonClosure closure;
@@ -50,7 +51,7 @@ Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
   }
   if (effective->IsAcyclic()) {
     if (!effective->HasComparisons()) {
-      return AcyclicEvaluate(*db_, *effective);
+      return AcyclicEvaluate(*db_, *effective, {}, &stats_.acyclic);
     }
     if (effective->HasOnlyInequalities()) {
       return IneqEvaluate(*db_, *effective, options_.inequality);
@@ -60,10 +61,12 @@ Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
 }
 
 Result<Relation> Engine::Run(const PositiveQuery& q) const {
+  stats_ = EngineStats{};
   return EvaluatePositive(*db_, q, options_.ucq);
 }
 
 Result<Relation> Engine::Run(const FirstOrderQuery& q) const {
+  stats_ = EngineStats{};
   if (q.IsPositive()) {
     auto positive = PositiveQuery::FromFirstOrder(q);
     if (positive.ok()) return Run(positive.value());
@@ -72,7 +75,8 @@ Result<Relation> Engine::Run(const FirstOrderQuery& q) const {
 }
 
 Result<Relation> Engine::Run(const DatalogProgram& p) const {
-  return EvaluateDatalog(*db_, p, options_.datalog);
+  stats_ = EngineStats{};
+  return EvaluateDatalog(*db_, p, options_.datalog, &stats_.datalog);
 }
 
 Result<Relation> Engine::RunText(const std::string& text, Dictionary* dict) {

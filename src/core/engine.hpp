@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/classifier.hpp"
+#include "eval/acyclic.hpp"
 #include "eval/datalog_eval.hpp"
 #include "eval/fo.hpp"
 #include "eval/inequality.hpp"
@@ -32,6 +33,15 @@ struct EngineOptions {
   FoOptions fo;
   UcqOptions ucq;
   DatalogOptions datalog;
+};
+
+/// Instrumentation from the most recent Run/RunText call, per evaluator.
+/// Every Run overload zeroes the whole struct up front, then only the
+/// evaluator that actually ran populates its member — so counters never
+/// carry over from an earlier query.
+struct EngineStats {
+  DatalogStats datalog;
+  AcyclicStats acyclic;
 };
 
 /// Facade bound to one database instance (not owned).
@@ -66,9 +76,14 @@ class Engine {
   const Database& db() const { return *db_; }
   EngineOptions& options() { return options_; }
 
+  /// Evaluator instrumentation from the most recent Run/RunText call (e.g.
+  /// the Datalog EDB-cache hit counters, the acyclic zero-copy counters).
+  const EngineStats& last_stats() const { return stats_; }
+
  private:
   const Database* db_;
   EngineOptions options_;
+  mutable EngineStats stats_;
 };
 
 }  // namespace paraquery

@@ -28,10 +28,17 @@ Status CheckSupported(const ConjunctiveQuery& q) {
   return Status::OK();
 }
 
-Result<Prepared> Prepare(const Database& db, const ConjunctiveQuery& q) {
+Result<Prepared> Prepare(const Database& db, const ConjunctiveQuery& q,
+                         AcyclicStats* stats) {
   Prepared p;
   for (const Atom& a : q.body) {
-    PQ_ASSIGN_OR_RETURN(NamedRelation rel, AtomToRelation(db, a));
+    PQ_ASSIGN_OR_RETURN(RelId id, db.FindRelation(a.relation));
+    PQ_ASSIGN_OR_RETURN(NamedRelation rel, AtomToRelation(db.relation(id), a));
+    // Constant-free, repetition-free atoms come back as views over the
+    // stored rows — the cost-free S_j the semijoin pipeline assumes.
+    if (stats != nullptr && rel.rel().SharesStorageWith(db.relation(id))) {
+      ++stats->shared_atom_storage;
+    }
     p.rels.push_back(std::move(rel));
   }
   Hypergraph h = q.BuildHypergraph();
@@ -71,7 +78,7 @@ Result<bool> AcyclicNonempty(const Database& db, const ConjunctiveQuery& q,
                              AcyclicStats* stats) {
   (void)options;
   PQ_RETURN_NOT_OK(CheckSupported(q));
-  PQ_ASSIGN_OR_RETURN(Prepared p, Prepare(db, q));
+  PQ_ASSIGN_OR_RETURN(Prepared p, Prepare(db, q, stats));
   for (const NamedRelation& rel : p.rels) {
     if (rel.empty()) return false;
   }
@@ -82,7 +89,7 @@ Result<Relation> AcyclicEvaluate(const Database& db, const ConjunctiveQuery& q,
                                  const AcyclicOptions& options,
                                  AcyclicStats* stats) {
   PQ_RETURN_NOT_OK(CheckSupported(q));
-  PQ_ASSIGN_OR_RETURN(Prepared p, Prepare(db, q));
+  PQ_ASSIGN_OR_RETURN(Prepared p, Prepare(db, q, stats));
   Relation empty(q.head.size());
   for (const NamedRelation& rel : p.rels) {
     if (rel.empty()) return empty;
@@ -136,6 +143,10 @@ Result<Relation> AcyclicEvaluate(const Database& db, const ConjunctiveQuery& q,
       if (std::find(zj.begin(), zj.end(), a) == zj.end()) zj.push_back(a);
     }
     NamedRelation projected = Project(p.rels[j], zj);
+    if (stats != nullptr &&
+        projected.rel().SharesStorageWith(p.rels[j].rel())) {
+      ++stats->zero_copy_projections;
+    }
     PQ_ASSIGN_OR_RETURN(p.rels[u],
                         NaturalJoin(p.rels[u], projected, join_options));
     if (stats != nullptr) ++stats->joins;
@@ -144,6 +155,10 @@ Result<Relation> AcyclicEvaluate(const Database& db, const ConjunctiveQuery& q,
   }
 
   NamedRelation root_bindings = Project(p.rels[p.tree.root], head_vars);
+  if (stats != nullptr &&
+      root_bindings.rel().SharesStorageWith(p.rels[p.tree.root].rel())) {
+    ++stats->zero_copy_projections;
+  }
   return BindingsToAnswers(root_bindings, q.head);
 }
 

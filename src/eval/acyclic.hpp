@@ -31,6 +31,12 @@ struct AcyclicStats {
   size_t semijoins = 0;
   size_t joins = 0;
   size_t peak_intermediate_rows = 0;
+  /// S_j materializations that came out as zero-copy views over the stored
+  /// relation's row block (atom had no constants/repeated variables).
+  size_t shared_atom_storage = 0;
+  /// Project calls answered by a storage-sharing view instead of a row copy
+  /// (no-op projections in the upward join-and-project pass).
+  size_t zero_copy_projections = 0;
 };
 
 /// Decides Q(d) != {} for an acyclic comparison-free conjunctive query.

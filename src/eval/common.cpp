@@ -107,6 +107,14 @@ Result<NamedRelation> AtomToRelation(const Relation& rel, const Atom& atom,
                                  static_cast<int>(i)));
     }
   }
+  // Fast path: no constants, no repeated variables, no filters — S_j is the
+  // base relation itself under variable labels. Return a zero-copy view over
+  // the stored rows; the HashDedup below copies only if duplicates exist.
+  if (raw.empty() && vars.size() == atom.terms.size() && filters.empty()) {
+    NamedRelation view{vars, rel};
+    view.rel().HashDedup();
+    return view;
+  }
   // Select and project in one scan.
   NamedRelation out{vars};
   out.rel().Reserve(rel.size());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <string>
 #include <unordered_map>
 
 #include "eval/common.hpp"
@@ -12,38 +13,76 @@ namespace paraquery {
 
 namespace {
 
-// Cached materialization of one EDB body atom: its S_j relation plus lazily
-// built join indexes, one per distinct probe-column list. EDB relations never
-// change during the fixpoint, so both survive across semi-naive iterations —
-// rules stop re-selecting, re-projecting, and re-indexing static data on
-// every firing. (The probe columns can differ between firings because the
-// left-deep join order ranks the varying delta sizes, hence the small memo
-// rather than a single index.)
-struct EdbAtomCache {
-  NamedRelation rel;
+// Program-wide cached materialization of one EDB atom shape: its S_j relation
+// plus lazily built join indexes, one per distinct probe-column list. EDB
+// relations never change during the fixpoint, so both survive across
+// semi-naive iterations — rules stop re-selecting, re-projecting, and
+// re-indexing static data on every firing. Entries are keyed by
+// (RelId, selection/projection signature), so the SAME materialization and
+// its indexes are shared by every rule whose atom has that shape, regardless
+// of the variable names it uses: each (rule, position) slot probes the entry
+// through a zero-copy attribute-relabeled view. (The probe columns can differ
+// between firings because the left-deep join order ranks the varying delta
+// sizes, hence the small memo rather than a single index.)
+struct EdbAtomEntry {
+  NamedRelation rel;  // canonical materialization (first resolver's attrs)
   std::deque<std::pair<std::vector<int>, RowIndex>> indexes;
 
-  const RowIndex& GetOrBuild(const std::vector<int>& rcols) {
+  const RowIndex& GetOrBuild(const std::vector<int>& rcols,
+                             DatalogStats* stats) {
     for (const auto& [cols, idx] : indexes) {
-      if (cols == rcols) return idx;
+      if (cols == rcols) {
+        if (stats != nullptr) ++stats->edb_index_hits;
+        return idx;
+      }
     }
+    if (stats != nullptr) ++stats->edb_index_builds;
     indexes.emplace_back(rcols, RowIndex(rel.rel(), rcols));
     return indexes.back().second;
   }
 };
 
+// One (rule, body position)'s binding to the shared cache: the entry plus the
+// atom's own view of it (same rows, this rule's variable names).
+struct RuleAtomView {
+  EdbAtomEntry* entry = nullptr;
+  NamedRelation view;
+};
+
+// Cache key: relation id plus the atom's term shape with variables replaced
+// by their first-occurrence index. Two atoms map to the same key iff they
+// induce the same selection (constants, repeated-variable equalities) and
+// projection (distinct-variable columns) over the same stored relation —
+// i.e. identical S_j up to attribute names.
+std::string AtomSignature(RelId id, const Atom& atom) {
+  std::string sig = internal::StrCat("r", id);
+  std::vector<VarId> seen;
+  for (const Term& t : atom.terms) {
+    if (t.is_const()) {
+      sig += internal::StrCat("|c", t.value());
+      continue;
+    }
+    auto it = std::find(seen.begin(), seen.end(), t.var());
+    size_t idx = static_cast<size_t>(it - seen.begin());
+    if (it == seen.end()) seen.push_back(t.var());
+    sig += internal::StrCat("|v", idx);
+  }
+  return sig;
+}
+
 // One body atom's input to a rule firing: the relation to join, plus the
-// index cache when the atom is EDB (null for IDB/delta atoms, whose contents
-// change between firings).
+// shared index cache when the atom is EDB (null for IDB/delta atoms, whose
+// contents change between firings).
 struct BodyInput {
   const NamedRelation* rel;
-  EdbAtomCache* cache;
+  EdbAtomEntry* cache;
 };
 
 // Evaluates one rule body against the given atom relations via left-deep
 // joins, returning the derived head tuples.
 Result<Relation> FireRule(const DatalogRule& rule,
-                          const std::vector<BodyInput>& body) {
+                          const std::vector<BodyInput>& body,
+                          DatalogStats* stats) {
   // Start from TRUE and join every atom relation (constants/repeated vars
   // were handled when the atom relations were built).
   NamedRelation acc = BooleanTrue();
@@ -56,7 +95,8 @@ Result<Relation> FireRule(const DatalogRule& rule,
   for (size_t i : order) {
     const NamedRelation& r = *body[i].rel;
     if (body[i].cache != nullptr) {
-      const RowIndex& idx = body[i].cache->GetOrBuild(JoinKeyColumns(acc, r));
+      const RowIndex& idx =
+          body[i].cache->GetOrBuild(JoinKeyColumns(acc, r), stats);
       PQ_ASSIGN_OR_RETURN(acc, NaturalJoin(acc, r, idx));
     } else {
       PQ_ASSIGN_OR_RETURN(acc, NaturalJoin(acc, r));
@@ -95,17 +135,22 @@ Result<Relation> EvaluateDatalog(const Database& db,
     delta.emplace(name, Relation(arity));
   }
 
-  // EDB body atoms are materialized once on first use and cached for the
-  // rest of the fixpoint. Resolution stays lazy (body order, short-circuited
-  // by empty earlier atoms) so that rules which can never fire do not turn a
+  // EDB body atoms are materialized once on first use and cached program-wide
+  // for the rest of the fixpoint, keyed by (RelId, atom signature): identical
+  // EDB atoms in different rules share one materialization and its memoized
+  // join indexes, with per-rule variable names applied through zero-copy
+  // relabeled views. Resolution stays lazy (body order, short-circuited by
+  // empty earlier atoms) so that rules which can never fire do not turn a
   // dangling EDB reference into an error — matching per-firing resolution.
-  std::deque<EdbAtomCache> edb_storage;
-  std::vector<std::vector<EdbAtomCache*>> edb_atoms(program.rules.size());
+  std::deque<EdbAtomEntry> edb_storage;
+  std::unordered_map<std::string, EdbAtomEntry*> edb_by_signature;
+  std::vector<std::vector<RuleAtomView>> edb_views(program.rules.size());
   for (size_t ri = 0; ri < program.rules.size(); ++ri) {
-    edb_atoms[ri].assign(program.rules[ri].body.size(), nullptr);
+    edb_views[ri].resize(program.rules[ri].body.size());
   }
-  auto resolve_edb = [&](size_t ri, size_t pi) -> Result<EdbAtomCache*> {
-    if (edb_atoms[ri][pi] != nullptr) return edb_atoms[ri][pi];
+  auto resolve_edb = [&](size_t ri, size_t pi) -> Result<RuleAtomView*> {
+    RuleAtomView& slot = edb_views[ri][pi];
+    if (slot.entry != nullptr) return &slot;
     const Atom& a = program.rules[ri].body[pi];
     auto found = db.FindRelation(a.relation);
     if (!found.ok()) {
@@ -116,14 +161,37 @@ Result<Relation> EvaluateDatalog(const Database& db,
       return Status::InvalidArgument(internal::StrCat(
           "EDB relation '", a.relation, "' arity mismatch"));
     }
-    PQ_ASSIGN_OR_RETURN(NamedRelation rel,
-                        AtomToRelation(db.relation(found.value()), a));
-    // The cache lives for the whole fixpoint; drop the full-base-relation
-    // capacity AtomToRelation reserved in case the selection kept few rows.
-    rel.rel().ShrinkToFit();
-    edb_storage.push_back(EdbAtomCache{std::move(rel), {}});
-    edb_atoms[ri][pi] = &edb_storage.back();
-    return edb_atoms[ri][pi];
+    std::string sig = AtomSignature(found.value(), a);
+    EdbAtomEntry* entry;
+    auto it = edb_by_signature.find(sig);
+    if (it != edb_by_signature.end()) {
+      entry = it->second;
+      if (stats != nullptr) ++stats->edb_cache_hits;
+    } else {
+      PQ_ASSIGN_OR_RETURN(NamedRelation rel,
+                          AtomToRelation(db.relation(found.value()), a));
+      // The cache lives for the whole fixpoint; drop the full-base-relation
+      // capacity AtomToRelation reserved in case the selection kept few rows
+      // (a no-op when the materialization is a view of the stored relation).
+      rel.rel().ShrinkToFit();
+      edb_storage.push_back(EdbAtomEntry{std::move(rel), {}});
+      entry = &edb_storage.back();
+      edb_by_signature.emplace(std::move(sig), entry);
+      if (stats != nullptr) ++stats->edb_materializations;
+    }
+    // This atom's view: same shared rows, this rule's variable names. The
+    // canonical entry and the atom have the same variable pattern, so the
+    // distinct variables map positionally.
+    std::vector<AttrId> vars;
+    for (const Term& t : a.terms) {
+      if (t.is_var() &&
+          std::find(vars.begin(), vars.end(), t.var()) == vars.end()) {
+        vars.push_back(t.var());
+      }
+    }
+    slot.view = entry->rel.WithAttrs(std::move(vars));
+    slot.entry = entry;
+    return &slot;
   };
 
   // Resolves an IDB atom against the given snapshot.
@@ -167,17 +235,24 @@ Result<Relation> EvaluateDatalog(const Database& db,
         idb_scratch.push_back(std::move(rel));
         body.push_back(BodyInput{&idb_scratch.back(), nullptr});
       } else {
-        PQ_ASSIGN_OR_RETURN(EdbAtomCache * cache, resolve_edb(ri, pi));
-        body.push_back(BodyInput{&cache->rel, cache});
+        PQ_ASSIGN_OR_RETURN(RuleAtomView * slot, resolve_edb(ri, pi));
+        body.push_back(BodyInput{&slot->view, slot->entry});
       }
       if (body.back().rel->empty()) {
         feasible = false;
         break;
       }
     }
+    if (!feasible && !rule.body.empty()) {
+      if (stats != nullptr) ++stats->skipped_firings;
+      continue;
+    }
     if (stats != nullptr) ++stats->rule_firings;
-    if (!feasible && !rule.body.empty()) continue;
-    PQ_ASSIGN_OR_RETURN(Relation derived, FireRule(rule, body));
+    PQ_ASSIGN_OR_RETURN(Relation derived, FireRule(rule, body, stats));
+    // Release the IDB views (which may share storage with the IDB state)
+    // before inserting, so add_new never triggers a copy-on-write clone.
+    body.clear();
+    idb_scratch.clear();
     add_new(rule.head.relation, derived, &next_delta, &changed);
   }
   delta = std::move(next_delta);
@@ -216,17 +291,23 @@ Result<Relation> EvaluateDatalog(const Database& db,
             idb_scratch.push_back(std::move(rel));
             body.push_back(BodyInput{&idb_scratch.back(), nullptr});
           } else {
-            PQ_ASSIGN_OR_RETURN(EdbAtomCache * cache, resolve_edb(ri, i));
-            body.push_back(BodyInput{&cache->rel, cache});
+            PQ_ASSIGN_OR_RETURN(RuleAtomView * slot, resolve_edb(ri, i));
+            body.push_back(BodyInput{&slot->view, slot->entry});
           }
           if (body.back().rel->empty()) {
             feasible = false;
             break;
           }
         }
+        if (!feasible) {
+          if (stats != nullptr) ++stats->skipped_firings;
+          continue;
+        }
         if (stats != nullptr) ++stats->rule_firings;
-        if (!feasible) continue;
-        PQ_ASSIGN_OR_RETURN(Relation derived, FireRule(rule, body));
+        PQ_ASSIGN_OR_RETURN(Relation derived, FireRule(rule, body, stats));
+        // As in round 0: drop IDB views before mutating the IDB state.
+        body.clear();
+        idb_scratch.clear();
         add_new(rule.head.relation, derived, &next_delta, &changed);
       }
     }

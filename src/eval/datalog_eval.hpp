@@ -26,7 +26,19 @@ struct DatalogOptions {
 struct DatalogStats {
   size_t iterations = 0;
   size_t derived_tuples = 0;  // total IDB tuples at fixpoint
-  size_t rule_firings = 0;    // rule evaluations across all iterations
+  /// Rules that actually fired (all body atoms nonempty). Firings skipped
+  /// because some body atom was empty are counted separately.
+  size_t rule_firings = 0;
+  size_t skipped_firings = 0;
+  /// Program-wide EDB atom cache (keyed by relation id + the atom's
+  /// selection/projection signature): distinct materializations built vs
+  /// body-atom slots served by an existing one through a relabeled view.
+  size_t edb_materializations = 0;
+  size_t edb_cache_hits = 0;
+  /// Memoized join indexes over cached EDB materializations: builds vs
+  /// probe-column lookups answered by an already-built index.
+  size_t edb_index_builds = 0;
+  size_t edb_index_hits = 0;
 };
 
 /// Computes the goal relation of `program` over `db` (semi-naive fixpoint).

@@ -110,6 +110,11 @@ Result<Search> Prepare(const Database& db, const ConjunctiveQuery& q,
   PQ_RETURN_NOT_OK(q.Validate());
   Search s{q, {}, {}, {}, {}, 0, options.max_steps, stop_at_first,
            Status::OK(), out_bindings, {}};
+  // S_j per atom. Constant-free, repetition-free atoms come back as zero-copy
+  // views over the stored relations (shared row blocks), so a query touching
+  // the same relation k times holds one copy of its rows, not k. The
+  // per-depth RowIndexes below borrow that shared storage; copy-on-write
+  // keeps it stable for the lifetime of the search.
   for (const Atom& a : q.body) {
     PQ_ASSIGN_OR_RETURN(NamedRelation rel, AtomToRelation(db, a));
     s.atom_rels.push_back(std::move(rel));

@@ -1,6 +1,7 @@
 #include "query/parser.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <string>
 #include <vector>
 
@@ -74,7 +75,18 @@ class Lexer {
         }
         Token t{TokKind::kInt, std::string(text_.substr(start, i - start)), 0,
                 start};
-        t.number = std::stoll(t.text);
+        // Same admission rule as the CSV loader: reject literals that
+        // overflow Value (std::stoll would throw out_of_range and abort) or
+        // fall in the dictionary's reserved code range, where they would
+        // alias interned strings' codes.
+        auto [ptr, ec] = std::from_chars(
+            t.text.data(), t.text.data() + t.text.size(), t.number);
+        if (ec != std::errc() || ptr != t.text.data() + t.text.size() ||
+            Dictionary::InCodeRange(t.number)) {
+          return Status::InvalidArgument(
+              Err(start, "integer literal '" + t.text +
+                             "' is out of the representable value range"));
+        }
         out.push_back(std::move(t));
         continue;
       }

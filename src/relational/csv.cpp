@@ -1,6 +1,7 @@
 #include "relational/csv.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -17,17 +18,20 @@ std::string_view Trim(std::string_view s) {
   return s.substr(b, e - b);
 }
 
-bool IsInteger(std::string_view s) {
-  if (s.empty()) return false;
-  size_t i = (s[0] == '-') ? 1 : 0;
-  if (i == s.size()) return false;
-  for (; i < s.size(); ++i) {
-    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
-  }
-  return true;
-}
-
 }  // namespace
+
+// Returns false — the caller then interns the cell as a string — when `s` is
+// not an integer at all, when it overflows Value (e.g.
+// "99999999999999999999", which std::stoll would have turned into an
+// uncaught std::out_of_range), or when it parses but lands in the
+// dictionary's reserved code range (admitting it would make the stored Value
+// indistinguishable from an interned string's code).
+bool ParseIntegerCell(std::string_view s, Value* out) {
+  if (s.empty()) return false;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return false;
+  return !Dictionary::InCodeRange(*out);
+}
 
 Result<RelId> LoadCsv(Database* db, const std::string& name,
                       std::string_view csv_text) {
@@ -53,8 +57,9 @@ Result<RelId> LoadCsv(Database* db, const std::string& name,
           Trim(line.substr(cell_start, comma == std::string_view::npos
                                            ? std::string_view::npos
                                            : comma - cell_start));
-      if (IsInteger(cell)) {
-        row.push_back(std::stoll(std::string(cell)));
+      Value parsed;
+      if (ParseIntegerCell(cell, &parsed)) {
+        row.push_back(parsed);
       } else {
         row.push_back(db->dict().Intern(cell));
       }

@@ -17,6 +17,9 @@ namespace paraquery {
 /// from the first row; all rows must agree. Empty lines and lines starting
 /// with '#' are skipped. Cells are trimmed; purely numeric cells (optional
 /// leading '-') become integer values, all others are dictionary-interned.
+/// Numeric cells that overflow Value or fall into the dictionary's reserved
+/// code range (>= Dictionary::kCodeBase) are interned as strings instead, so
+/// loading never aborts and stored integers stay disjoint from codes.
 /// Fails with AlreadyExists if the relation exists, InvalidArgument on
 /// ragged rows.
 Result<RelId> LoadCsv(Database* db, const std::string& name,
@@ -26,9 +29,16 @@ Result<RelId> LoadCsv(Database* db, const std::string& name,
 Result<RelId> LoadCsvFile(Database* db, const std::string& name,
                           const std::string& path);
 
+/// Parses `cell` as a plain integer value under the loader's admission rule:
+/// returns false (caller should intern the cell as a string) when it is not
+/// an integer, overflows Value, or falls in the dictionary's reserved code
+/// range. Shared by LoadCsv and the shell's .insert command.
+bool ParseIntegerCell(std::string_view cell, Value* out);
+
 /// Writes `rel` as CSV; values that are dictionary codes are exported as
-/// their strings when `use_dict` is set (codes outside the dictionary are
-/// written as integers).
+/// their strings when `use_dict` is set, everything else as integers. Codes
+/// live in a reserved range disjoint from loader-admitted integers, so a
+/// genuine integer cell can never be misprinted as a dictionary string.
 void WriteCsv(const Database& db, RelId rel, std::ostream* out,
               bool use_dict = false);
 

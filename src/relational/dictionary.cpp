@@ -7,7 +7,7 @@ namespace paraquery {
 Value Dictionary::Intern(std::string_view s) {
   auto it = index_.find(std::string(s));
   if (it != index_.end()) return it->second;
-  Value code = static_cast<Value>(strings_.size());
+  Value code = kCodeBase + static_cast<Value>(strings_.size());
   strings_.emplace_back(s);
   index_.emplace(strings_.back(), code);
   return code;
@@ -15,12 +15,12 @@ Value Dictionary::Intern(std::string_view s) {
 
 Value Dictionary::Find(std::string_view s) const {
   auto it = index_.find(std::string(s));
-  return it == index_.end() ? -1 : it->second;
+  return it == index_.end() ? kNotFound : it->second;
 }
 
 const std::string& Dictionary::Lookup(Value code) const {
   PQ_CHECK(Contains(code), "Dictionary::Lookup: invalid code");
-  return strings_[static_cast<size_t>(code)];
+  return strings_[static_cast<size_t>(code - kCodeBase)];
 }
 
 }  // namespace paraquery

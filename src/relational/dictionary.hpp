@@ -1,4 +1,4 @@
-// String interning: maps strings to dense Value codes and back.
+// String interning: maps strings to Value codes in a reserved range and back.
 #ifndef PARAQUERY_RELATIONAL_DICTIONARY_H_
 #define PARAQUERY_RELATIONAL_DICTIONARY_H_
 
@@ -13,15 +13,31 @@ namespace paraquery {
 
 /// Bidirectional string <-> code mapping owned by a Database.
 ///
-/// Codes are assigned densely from 0. Columns holding interned strings and
-/// columns holding raw integers share the Value type; which interpretation
-/// applies is schema-level knowledge held by the caller.
+/// Codes are assigned densely from kCodeBase (2^62) upward, so the code range
+/// is disjoint from any integer a loader admits as a plain value: a stored
+/// Value is a dictionary code iff Contains(v), and consumers like
+/// WriteCsv(use_dict=true) can render codes as strings without ever
+/// misreading a genuine integer cell that happens to equal a code. Loaders
+/// must keep integers out of the reserved range (LoadCsv interns such
+/// out-of-range literals as strings instead).
 class Dictionary {
  public:
+  /// First interned code; everything at or above it is reserved for codes.
+  static constexpr Value kCodeBase = Value{1} << 62;
+
+  /// Sentinel returned by Find for never-interned strings (below kCodeBase,
+  /// so it can never collide with a real code).
+  static constexpr Value kNotFound = -1;
+
+  /// True if `v` lies in the reserved code range [kCodeBase, +inf), whether
+  /// or not a string was actually interned at that slot. Loaders use this to
+  /// keep plain integers disjoint from codes.
+  static constexpr bool InCodeRange(Value v) { return v >= kCodeBase; }
+
   /// Returns the code for `s`, interning it on first use.
   Value Intern(std::string_view s);
 
-  /// Returns the code for `s` or -1 if it was never interned.
+  /// Returns the code for `s` or kNotFound if it was never interned.
   Value Find(std::string_view s) const;
 
   /// Returns the string for `code`; code must be a valid interned code.
@@ -29,7 +45,8 @@ class Dictionary {
 
   /// True if `code` names an interned string.
   bool Contains(Value code) const {
-    return code >= 0 && static_cast<size_t>(code) < strings_.size();
+    return code >= kCodeBase &&
+           static_cast<size_t>(code - kCodeBase) < strings_.size();
   }
 
   size_t size() const { return strings_.size(); }

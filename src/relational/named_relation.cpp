@@ -42,6 +42,13 @@ void NamedRelation::RenameAttr(AttrId from, AttrId to) {
   attrs_[col] = to;
 }
 
+NamedRelation NamedRelation::WithAttrs(std::vector<AttrId> attrs) const {
+  PQ_CHECK(attrs.size() == arity(),
+           "WithAttrs: attribute count != relation arity");
+  // Copying rel_ shares the underlying RowBlock: no row data moves.
+  return NamedRelation{std::move(attrs), rel_};
+}
+
 bool NamedRelation::EquivalentTo(const NamedRelation& other) const {
   if (attrs_.size() != other.attrs_.size()) return false;
   std::vector<int> perm(attrs_.size());

@@ -1,6 +1,12 @@
 // Attribute-labelled relation: a Relation whose columns carry integer
 // attribute ids (in query evaluation these are variable ids). All relational
 // algebra in ops.hpp is defined over NamedRelation.
+//
+// NamedRelation is a cheap view: the rows live in Relation's shared RowBlock,
+// so copying a NamedRelation, relabeling its attributes (WithAttrs /
+// RenameAttr), and whole-relation aliasing never copy row data — only the
+// small attribute vector. Mutation through any alias triggers Relation's
+// copy-on-write, so views stay independent.
 #ifndef PARAQUERY_RELATIONAL_NAMED_RELATION_H_
 #define PARAQUERY_RELATIONAL_NAMED_RELATION_H_
 
@@ -40,7 +46,13 @@ class NamedRelation {
   bool HasAttr(AttrId attr) const { return ColumnOf(attr) >= 0; }
 
   /// Replaces attribute ids via parallel old->new lists (for renaming).
+  /// Touches only the attribute vector; rows stay shared.
   void RenameAttr(AttrId from, AttrId to);
+
+  /// Returns a view of this relation under a different attribute list
+  /// (`attrs.size()` must equal arity()). The view shares row storage with
+  /// this relation — a whole-schema relabeling with no row copies.
+  NamedRelation WithAttrs(std::vector<AttrId> attrs) const;
 
   /// True if both hold the same attribute set and, after aligning column
   /// order, the same set of rows.

@@ -38,6 +38,8 @@ std::vector<int> JoinKeyColumns(const NamedRelation& left,
 }
 
 NamedRelation Select(const NamedRelation& in, const Predicate& pred) {
+  // Identity selection: every row passes, so return a storage-sharing view.
+  if (pred.empty()) return in;
   NamedRelation out{in.attrs()};
   out.rel().Reserve(in.size());
   for (size_t r = 0; r < in.size(); ++r) {
@@ -49,6 +51,13 @@ NamedRelation Select(const NamedRelation& in, const Predicate& pred) {
 
 NamedRelation Project(const NamedRelation& in, const std::vector<AttrId>& attrs,
                       bool dedup) {
+  // No-op projection (same attributes, same order): return a view sharing the
+  // input's row storage. HashDedup only copies if duplicates actually exist.
+  if (attrs == in.attrs()) {
+    NamedRelation out = in;
+    if (dedup) out.rel().HashDedup();
+    return out;
+  }
   std::vector<int> cols(attrs.size());
   for (size_t i = 0; i < attrs.size(); ++i) {
     int c = in.ColumnOf(attrs[i]);
@@ -77,7 +86,12 @@ Result<NamedRelation> NaturalJoin(const NamedRelation& left,
                                   const NamedRelation& right,
                                   const RowIndex& right_index,
                                   const JoinOptions& options) {
-  PQ_DCHECK(&right_index.rel() == &right.rel() &&
+  // The index may have been built over any view sharing `right`'s row
+  // storage (e.g. the Datalog EDB cache's canonical materialization probed
+  // through a relabeled view); key columns are positional, so storage
+  // identity plus column equality is the full validity condition.
+  PQ_DCHECK((right.arity() == 0 ||
+             right_index.rel().SharesStorageWith(right.rel())) &&
                 right_index.key_cols() == JoinKeyColumns(left, right),
             "NaturalJoin: index does not match the join's key columns");
   auto common = CommonColumns(left, right);
@@ -158,17 +172,31 @@ NamedRelation Semijoin(const NamedRelation& left, const NamedRelation& right) {
     lcols.push_back(lc);
     rcols.push_back(rc);
   }
-  NamedRelation out{left.attrs()};
   if (common.empty()) {
-    // Degenerate semijoin: keep left iff right is nonempty.
-    if (!right.empty()) out = left;
-    return out;
+    // Degenerate semijoin: keep left iff right is nonempty (zero-copy).
+    return right.empty() ? NamedRelation{left.attrs()} : left;
   }
   RowIndex index(right.rel(), std::move(rcols));
-  for (size_t lr = 0; lr < left.size(); ++lr) {
-    if (index.Contains(left.rel(), lr, lcols)) out.rel().Add(left.rel().Row(lr));
+  size_t nl = left.size();
+  std::vector<uint32_t> keep;
+  keep.reserve(nl);
+  for (size_t lr = 0; lr < nl; ++lr) {
+    if (index.Contains(left.rel(), lr, lcols)) {
+      keep.push_back(static_cast<uint32_t>(lr));
+    }
   }
-  return out;
+  // Every row survived: the result IS left — share its storage.
+  if (keep.size() == nl) return left;
+  // Emit survivors into one exactly-sized flat buffer.
+  size_t arity = left.arity();
+  std::vector<Value> out_data(keep.size() * arity);
+  Value* dst = out_data.data();
+  const Value* src = left.rel().data().data();
+  for (uint32_t lr : keep) {
+    const Value* row = src + static_cast<size_t>(lr) * arity;
+    for (size_t i = 0; i < arity; ++i) *dst++ = row[i];
+  }
+  return NamedRelation{left.attrs(), Relation(arity, std::move(out_data))};
 }
 
 namespace {

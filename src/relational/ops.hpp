@@ -17,10 +17,12 @@ namespace paraquery {
 class RowIndex;
 
 /// σ: rows of `in` satisfying `pred` (columns indexed by position in `in`).
+/// An empty predicate returns a zero-copy view of `in` (shared row storage).
 NamedRelation Select(const NamedRelation& in, const Predicate& pred);
 
 /// π: keeps `attrs` (each must exist in `in`) in the given order.
 /// Deduplicates the result when `dedup` is true (set semantics).
+/// A no-op projection (attrs == in.attrs()) returns a zero-copy view.
 NamedRelation Project(const NamedRelation& in, const std::vector<AttrId>& attrs,
                       bool dedup = true);
 
@@ -48,8 +50,9 @@ std::vector<int> JoinKeyColumns(const NamedRelation& left,
 
 /// NaturalJoin against a caller-owned index over `right.rel()`, for reuse of
 /// one build across many probes (e.g. fixpoint iterations over a static EDB
-/// relation). `right_index` must index `right.rel()` on exactly
-/// JoinKeyColumns(left, right).
+/// relation). `right_index` must index `right.rel()` — or any Relation view
+/// sharing its row storage, such as an attribute-relabeled view of the same
+/// cached materialization — on exactly JoinKeyColumns(left, right).
 Result<NamedRelation> NaturalJoin(const NamedRelation& left,
                                   const NamedRelation& right,
                                   const RowIndex& right_index,

@@ -9,11 +9,18 @@
 
 namespace paraquery {
 
+const std::shared_ptr<RowBlock>& Relation::EmptyBlock() {
+  static const std::shared_ptr<RowBlock> kEmpty = std::make_shared<RowBlock>();
+  return kEmpty;
+}
+
 Relation::Relation(size_t arity, std::vector<Value> data)
-    : arity_(arity), data_(std::move(data)) {
+    : arity_(arity),
+      block_(std::make_shared<RowBlock>(RowBlock{std::move(data)})) {
   PQ_CHECK(arity > 0, "Relation buffer constructor requires arity > 0");
-  PQ_CHECK(data_.size() % arity == 0,
+  PQ_CHECK(block_->values.size() % arity == 0,
            "Relation buffer size is not a multiple of the arity");
+  Sync();
 }
 
 void Relation::Add(std::span<const Value> row) {
@@ -23,7 +30,9 @@ void Relation::Add(std::span<const Value> row) {
     sorted_ = false;
     return;
   }
-  data_.insert(data_.end(), row.begin(), row.end());
+  std::vector<Value>& values = MutableValues();
+  values.insert(values.end(), row.begin(), row.end());
+  Sync();
   sorted_ = false;
 }
 
@@ -42,7 +51,7 @@ void Relation::SortAndDedup() {
   size_t n = size();
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
-  const Value* base = data_.data();
+  const Value* base = base_;
   size_t arity = arity_;
   auto cmp = [base, arity](size_t a, size_t b) {
     return std::lexicographical_compare(base + a * arity, base + (a + 1) * arity,
@@ -54,12 +63,12 @@ void Relation::SortAndDedup() {
   };
   std::sort(order.begin(), order.end(), cmp);
   std::vector<Value> out;
-  out.reserve(data_.size());
+  out.reserve(block_->values.size());
   for (size_t i = 0; i < n; ++i) {
     if (i > 0 && eq(order[i], order[i - 1])) continue;
     out.insert(out.end(), base + order[i] * arity, base + (order[i] + 1) * arity);
   }
-  data_ = std::move(out);
+  ReplaceValues(std::move(out));
   sorted_ = true;
 }
 
@@ -74,7 +83,11 @@ void Relation::HashDedup() {
   RowHashSet set(arity_);
   set.Reserve(n);
   for (size_t r = 0; r < n; ++r) set.Insert(Row(r));
-  if (set.size() != n) data_ = std::move(set.TakeRelation().data_);
+  // Duplicate-free input keeps its (possibly shared) storage untouched.
+  if (set.size() != n) {
+    block_ = std::move(set.TakeRelation().block_);
+    Sync();
+  }
   sorted_ = size() <= 1;
 }
 
@@ -109,11 +122,16 @@ bool Relation::EqualsAsSet(const Relation& other) const {
   a.SortAndDedup();
   b.SortAndDedup();
   if (arity_ == 0) return a.zero_ary_rows_ == b.zero_ary_rows_;
-  return a.data_ == b.data_;
+  return a.block_->values == b.block_->values;
 }
 
 void Relation::Clear() {
-  data_.clear();
+  if (block_.use_count() == 1) {
+    block_->values.clear();  // keep the exclusive buffer's capacity
+  } else {
+    block_ = EmptyBlock();
+  }
+  Sync();
   zero_ary_rows_ = 0;
   sorted_ = false;
 }

@@ -1,29 +1,57 @@
 // Positional (unnamed-column) relation: a multiset of fixed-arity rows stored
 // row-major in a single contiguous buffer.
+//
+// Shared-storage design
+// ---------------------
+// The row buffer lives in a ref-counted, logically immutable RowBlock shared
+// between Relation instances. Copying a Relation (and therefore a
+// NamedRelation — attribute relabeling, whole-relation aliasing, identity
+// selections/projections) copies only the shared_ptr, never the rows; this is
+// what lets evaluators treat S_j materializations as cheap views (the
+// fixed-query regime of Papadimitriou & Yannakakis makes the data the large
+// object, so views must not duplicate it). Mutation goes through a
+// copy-on-write gate: the first mutating call on a Relation whose block is
+// shared clones the block, so aliases never observe each other's writes.
+// SharesStorageWith() exposes the aliasing relation for tests, stats, and
+// index-validity checks.
 #ifndef PARAQUERY_RELATIONAL_RELATION_H_
 #define PARAQUERY_RELATIONAL_RELATION_H_
 
 #include <initializer_list>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "relational/value.hpp"
 
 namespace paraquery {
 
+/// Ref-counted flat row-major buffer shared between Relation views.
+/// Logically immutable while shared: Relation's copy-on-write gate clones it
+/// before the first mutation through any alias.
+struct RowBlock {
+  std::vector<Value> values;
+};
+
 /// A fixed-arity table of Values with set or multiset semantics.
 ///
-/// Storage is row-major (`data_[row * arity + col]`), the layout used for the
-/// tuple-at-a-time operators in this library. Set semantics are obtained by
-/// calling SortAndDedup(); operators that require sortedness check the
-/// `sorted()` flag in debug builds.
+/// Storage is row-major (`values[row * arity + col]`) inside a shared
+/// RowBlock, the layout used for the tuple-at-a-time operators in this
+/// library. Set semantics are obtained by calling SortAndDedup(); operators
+/// that require sortedness check the `sorted()` flag in debug builds.
 class Relation {
  public:
   /// Creates an empty relation of the given arity. Arity 0 is allowed and
   /// models Boolean (goal) relations: such a relation has either zero rows
-  /// (false) or one empty row (true).
-  explicit Relation(size_t arity) : arity_(arity) {}
+  /// (false) or one empty row (true). Empty relations share one global empty
+  /// block, so construction allocates nothing; the copy-on-write gate
+  /// (which always sees the global block as shared) detaches on first
+  /// mutation.
+  explicit Relation(size_t arity) : arity_(arity), block_(EmptyBlock()) {
+    Sync();
+  }
 
   /// Wraps a prefilled row-major buffer (`data.size()` must be a multiple of
   /// `arity`; arity 0 is not supported here). Used by operators that emit
@@ -33,7 +61,9 @@ class Relation {
   size_t arity() const { return arity_; }
 
   /// Number of rows.
-  size_t size() const { return arity_ == 0 ? zero_ary_rows_ : data_.size() / arity_; }
+  size_t size() const {
+    return arity_ == 0 ? zero_ary_rows_ : nvalues_ / arity_;
+  }
   bool empty() const { return size() == 0; }
 
   /// Appends a row; `row.size()` must equal arity().
@@ -45,13 +75,24 @@ class Relation {
   /// Appends the empty row to an arity-0 relation (sets it "true").
   void AddEmptyRow();
 
-  Value At(size_t row, size_t col) const { return data_[row * arity_ + col]; }
+  // Reads go through base_/nvalues_, a cache of the block's buffer pointer
+  // and length maintained by every mutator: sharing costs no indirection on
+  // the hot paths relative to an owned vector.
+  Value At(size_t row, size_t col) const { return base_[row * arity_ + col]; }
   std::span<const Value> Row(size_t row) const {
-    return std::span<const Value>(data_.data() + row * arity_, arity_);
+    return std::span<const Value>(base_ + row * arity_, arity_);
   }
 
   /// Raw row-major buffer (size() * arity() values).
-  const std::vector<Value>& data() const { return data_; }
+  const std::vector<Value>& data() const { return block_->values; }
+
+  /// True iff this relation and `other` are views over the same RowBlock
+  /// (copies that have not diverged through copy-on-write; all empty
+  /// relations trivially share the global empty block). Arity-0 relations
+  /// never share: their row count lives outside the block.
+  bool SharesStorageWith(const Relation& other) const {
+    return arity_ > 0 && block_ == other.block_;
+  }
 
   /// Sorts rows lexicographically and removes duplicates (set semantics).
   void SortAndDedup();
@@ -59,7 +100,7 @@ class Relation {
   /// Removes duplicate rows in one hash pass, keeping the first occurrence
   /// of each row in its original position (no sorting). Preferred over
   /// SortAndDedup wherever the caller needs only set semantics, not a
-  /// sorted order.
+  /// sorted order. A duplicate-free relation keeps its shared storage.
   void HashDedup();
 
   /// True if SortAndDedup has run and no row was added since.
@@ -71,22 +112,72 @@ class Relation {
   /// Set equality (sorts copies of both sides; duplicates ignored).
   bool EqualsAsSet(const Relation& other) const;
 
-  /// Removes all rows.
+  /// Removes all rows. Detaches from shared storage instead of clearing it.
   void Clear();
 
-  /// Reserves space for `rows` rows.
-  void Reserve(size_t rows) { data_.reserve(rows * arity_); }
+  /// Reserves space for `rows` rows (detaches from shared storage).
+  void Reserve(size_t rows) {
+    if (arity_ == 0) return;
+    MutableValues().reserve(rows * arity_);
+    Sync();
+  }
 
-  /// Releases excess capacity (for relations cached long-term).
-  void ShrinkToFit() { data_.shrink_to_fit(); }
+  /// Releases excess capacity (for relations cached long-term). No-op on
+  /// shared storage: trimming an alias is never worth a full copy.
+  void ShrinkToFit() {
+    if (block_.use_count() == 1) {
+      block_->values.shrink_to_fit();
+      Sync();
+    }
+  }
 
   /// Debug rendering: "{(1,2),(3,4)}".
   std::string ToString() const;
 
  private:
+  /// The block shared by all freshly constructed (empty) relations.
+  static const std::shared_ptr<RowBlock>& EmptyBlock();
+
+  /// Refreshes the read cache after any operation that may have changed the
+  /// block's buffer (COW clone, insert-with-reallocation, replacement).
+  void Sync() {
+    base_ = block_->values.data();
+    nvalues_ = block_->values.size();
+  }
+
+  /// Copy-on-write gate: clones the block if any other view shares it,
+  /// then returns the (now exclusively owned) buffer. Callers must Sync()
+  /// after mutating the returned vector.
+  std::vector<Value>& MutableValues() {
+    if (block_.use_count() > 1) block_ = std::make_shared<RowBlock>(*block_);
+    return block_->values;
+  }
+
+  /// Replaces the storage with a freshly owned buffer (no clone of the old
+  /// contents; other views keep the previous block alive).
+  void ReplaceValues(std::vector<Value> values) {
+    block_ = std::make_shared<RowBlock>(RowBlock{std::move(values)});
+    Sync();
+  }
+
+  /// Append without the copy-on-write check, for owners that know their
+  /// block is exclusive (RowHashSet's backing relation, which detaches from
+  /// the global empty block up front). Arity > 0 only.
+  void AppendRowUnchecked(std::span<const Value> row) {
+    PQ_DCHECK(block_.use_count() == 1,
+              "AppendRowUnchecked requires exclusive storage");
+    block_->values.insert(block_->values.end(), row.begin(), row.end());
+    Sync();
+    sorted_ = false;
+  }
+
+  friend class RowHashSet;
+
   size_t arity_;
-  std::vector<Value> data_;
-  size_t zero_ary_rows_ = 0;  // row count for arity-0 relations
+  std::shared_ptr<RowBlock> block_;  // never null
+  const Value* base_ = nullptr;      // cached block_->values.data()
+  size_t nvalues_ = 0;               // cached block_->values.size()
+  size_t zero_ary_rows_ = 0;         // row count for arity-0 relations
   bool sorted_ = false;
 };
 

@@ -23,7 +23,10 @@ uint64_t HashRowAt(const Relation& rel, size_t row, std::span<const int> cols) {
 }  // namespace
 
 RowIndex::RowIndex(const Relation& rel, std::vector<int> key_cols)
-    : rel_(&rel), key_cols_(std::move(key_cols)) {
+    : rel_(&rel),
+      base_(rel.data().data()),
+      rel_arity_(rel.arity()),
+      key_cols_(std::move(key_cols)) {
   size_t n = rel.size();
   if (n == 0) return;
   hashes_.resize(n);
@@ -61,7 +64,7 @@ RowIndex::RowIndex(const Relation& rel, std::vector<int> key_cols)
 
 bool RowIndex::RowKeysEqual(uint32_t a, uint32_t b) const {
   for (int c : key_cols_) {
-    if (rel_->At(a, c) != rel_->At(b, c)) return false;
+    if (IndexedAt(a, c) != IndexedAt(b, c)) return false;
   }
   return true;
 }
@@ -82,7 +85,7 @@ uint32_t RowIndex::Find(std::span<const Value> key) const {
   if (slots_.empty()) return kNone;
   return Probe(HashRow(key), [&](uint32_t head) {
     for (size_t i = 0; i < key_cols_.size(); ++i) {
-      if (rel_->At(head, key_cols_[i]) != key[i]) return false;
+      if (IndexedAt(head, key_cols_[i]) != key[i]) return false;
     }
     return true;
   });
@@ -94,7 +97,7 @@ uint32_t RowIndex::Find(const Relation& probe, size_t probe_row,
   if (slots_.empty()) return kNone;
   return Probe(HashRowAt(probe, probe_row, probe_cols), [&](uint32_t head) {
     for (size_t i = 0; i < key_cols_.size(); ++i) {
-      if (rel_->At(head, key_cols_[i]) != probe.At(probe_row, probe_cols[i])) {
+      if (IndexedAt(head, key_cols_[i]) != probe.At(probe_row, probe_cols[i])) {
         return false;
       }
     }
@@ -103,6 +106,9 @@ uint32_t RowIndex::Find(const Relation& probe, size_t probe_row,
 }
 
 RowHashSet::RowHashSet(size_t arity) : rel_(arity) {
+  // Detach the backing relation from the global empty block up front so the
+  // AppendRowUnchecked fast path in Insert owns its storage exclusively.
+  if (arity > 0) rel_.Reserve(8);
   slots_.assign(16, RowIndex::kNone);
   mask_ = slots_.size() - 1;
 }
@@ -134,7 +140,13 @@ bool RowHashSet::Insert(std::span<const Value> row) {
   size_t s = ProbeSlot(row, h);
   if (slots_[s] != RowIndex::kNone) return false;  // already present
   uint32_t r = static_cast<uint32_t>(rel_.size());
-  rel_.Add(row);
+  // The backing relation is exclusively owned until TakeRelation, so the
+  // copy-on-write gate in Relation::Add is pure overhead here.
+  if (rel_.arity() == 0) {
+    rel_.AddEmptyRow();
+  } else {
+    rel_.AppendRowUnchecked(row);
+  }
   hashes_.push_back(h);
   slots_[s] = r;
   // Load factor capped at 1/2; Reserve(n) sizes the table so that exactly n

@@ -23,8 +23,13 @@
 //   * The chain hanging off a slot's head row enumerates every row with that
 //     key in increasing row order, so probes see rows in insertion order —
 //     the same match order a scan would produce.
-//   * The index borrows `rel`; it must not outlive it, and the relation must
-//     not be modified while the index is in use.
+//   * The index borrows `rel`'s row storage; it must not outlive it, and the
+//     relation must not be modified while the index is in use. Because row
+//     storage is a shared RowBlock (see relation.hpp), the index is equally
+//     valid for ANY Relation view sharing storage with `rel`
+//     (SharesStorageWith) — e.g. an attribute-relabeled view of a cached EDB
+//     materialization. Copy-on-write keeps borrowed storage alive and
+//     unmodified even if some alias later mutates.
 //
 // Build is one pass over the rows (O(n) expected); a probe is one hash, an
 // expected O(1) slot walk, and a single full-key comparison, after which
@@ -81,6 +86,13 @@ class RowIndex {
   const Relation& rel() const { return *rel_; }
 
  private:
+  // Indexed-row access via the base pointer cached at build time (skips the
+  // RowBlock indirection on every probe; valid because the storage is
+  // immutable while borrowed).
+  Value IndexedAt(uint32_t row, int col) const {
+    return base_[static_cast<size_t>(row) * rel_arity_ + col];
+  }
+
   bool RowKeysEqual(uint32_t a, uint32_t b) const;
 
   // Shared probe loop: walks slots from `h` until an empty slot (kNone) or a
@@ -89,6 +101,8 @@ class RowIndex {
   uint32_t Probe(uint64_t h, KeyEq key_eq) const;
 
   const Relation* rel_;
+  const Value* base_ = nullptr;  // rel_'s row-major buffer
+  size_t rel_arity_ = 0;
   std::vector<int> key_cols_;
   std::vector<uint64_t> hashes_;  // per-row key hash
   std::vector<uint32_t> slots_;   // open-addressing table of chain heads

@@ -132,6 +132,27 @@ TEST(EngineTest, RunTextDispatch) {
   EXPECT_EQ(dl.value().size(), 16u);  // cycle: everything reaches everything
 }
 
+TEST(EngineTest, LastStatsExposeEvaluatorCounters) {
+  Database db;
+  RelId e = db.AddRelation("E", 2).ValueOrDie();
+  db.relation(e).Add({1, 2});
+  db.relation(e).Add({2, 3});
+  Engine engine(db);
+  // Datalog run: the E atom appears in both rules but is materialized once
+  // by the program-wide EDB cache.
+  auto dl = engine.RunText(
+      "tc(x, y) :- E(x, y).\n"
+      "tc(x, y) :- E(x, z), tc(z, y).\n");
+  ASSERT_TRUE(dl.ok());
+  EXPECT_GE(engine.last_stats().datalog.rule_firings, 2u);
+  EXPECT_EQ(engine.last_stats().datalog.edb_materializations, 1u);
+  EXPECT_EQ(engine.last_stats().datalog.edb_cache_hits, 1u);
+  // Acyclic run: the constant-free atom comes back as a zero-copy view.
+  auto cq = engine.RunText("ans(x) :- E(x, y).");
+  ASSERT_TRUE(cq.ok());
+  EXPECT_EQ(engine.last_stats().acyclic.shared_atom_storage, 1u);
+}
+
 TEST(EngineTest, RunTextWithStringConstants) {
   Database db;
   RelId likes = db.AddRelation("Likes", 2).ValueOrDie();

@@ -117,9 +117,56 @@ TEST(OpsTest, SetOpsAlignColumnOrder) {
 TEST(OpsTest, ZeroArySetOps) {
   EXPECT_FALSE(UnionSet(BooleanFalse(), BooleanTrue()).empty());
   EXPECT_TRUE(UnionSet(BooleanFalse(), BooleanFalse()).empty());
+  EXPECT_FALSE(UnionSet(BooleanTrue(), BooleanTrue()).empty());
   EXPECT_TRUE(Difference(BooleanTrue(), BooleanTrue()).empty());
   EXPECT_FALSE(Difference(BooleanTrue(), BooleanFalse()).empty());
+  EXPECT_TRUE(Difference(BooleanFalse(), BooleanTrue()).empty());
+  EXPECT_TRUE(Difference(BooleanFalse(), BooleanFalse()).empty());
   EXPECT_FALSE(Intersect(BooleanTrue(), BooleanTrue()).empty());
+  EXPECT_TRUE(Intersect(BooleanTrue(), BooleanFalse()).empty());
+  EXPECT_TRUE(Intersect(BooleanFalse(), BooleanTrue()).empty());
+  // Zero-ary results stay Boolean: at most one (empty) row.
+  EXPECT_EQ(UnionSet(BooleanTrue(), BooleanTrue()).size(), 1u);
+}
+
+TEST(OpsTest, ProjectToEmptyAttrsIsBoolean) {
+  // π_∅(R) is the Boolean "R nonempty?" — TRUE for a nonempty input, FALSE
+  // for an empty one.
+  auto r = Make({0, 1}, {{1, 2}, {3, 4}});
+  auto some = Project(r, {});
+  EXPECT_EQ(some.arity(), 0u);
+  EXPECT_EQ(some.size(), 1u);
+  auto none = Project(Make({0, 1}, {}), {});
+  EXPECT_EQ(none.arity(), 0u);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(OpsTest, IdentitySelectAndProjectAreZeroCopyViews) {
+  auto r = Make({0, 1}, {{1, 2}, {3, 4}});
+  // Empty predicate: every row passes, so Select returns a view.
+  auto selected = Select(r, Predicate{});
+  EXPECT_EQ(selected.size(), 2u);
+  EXPECT_TRUE(selected.rel().SharesStorageWith(r.rel()));
+  // No-op projection: same attributes in the same order.
+  auto projected = Project(r, {0, 1});
+  EXPECT_EQ(projected.size(), 2u);
+  EXPECT_TRUE(projected.rel().SharesStorageWith(r.rel()));
+  // A reorder is a genuine copy.
+  auto swapped = Project(r, {1, 0});
+  EXPECT_FALSE(swapped.rel().SharesStorageWith(r.rel()));
+}
+
+TEST(OpsTest, SemijoinAllSurvivorsSharesStorage) {
+  auto left = Make({0, 1}, {{1, 2}, {3, 4}});
+  auto right_all = Make({1}, {{2}, {4}});
+  auto kept = Semijoin(left, right_all);
+  EXPECT_EQ(kept.size(), 2u);
+  EXPECT_TRUE(kept.rel().SharesStorageWith(left.rel()));
+  auto right_some = Make({1}, {{2}});
+  auto filtered = Semijoin(left, right_some);
+  EXPECT_EQ(filtered.size(), 1u);
+  EXPECT_FALSE(filtered.rel().SharesStorageWith(left.rel()));
+  EXPECT_EQ(filtered.rel().At(0, 0), 1);
 }
 
 TEST(OpsTest, CrossProduct) {

@@ -74,6 +74,19 @@ TEST(ParseConjunctiveTest, StringConstantsNeedDictionary) {
   EXPECT_EQ(q.body[0].terms[1].value(), dict.Find("alice"));
 }
 
+TEST(ParseConjunctiveTest, OutOfRangeIntegerLiteralRejected) {
+  // Overflowing literals used to reach std::stoll and abort the process
+  // with an uncaught std::out_of_range; literals in the dictionary's
+  // reserved code range would alias interned strings' codes.
+  auto overflow = ParseConjunctive("p(x) :- R(x, 99999999999999999999).");
+  EXPECT_EQ(overflow.status().code(), StatusCode::kInvalidArgument);
+  auto reserved = ParseConjunctive("p(x) :- R(x, 4611686018427387904).");
+  EXPECT_EQ(reserved.status().code(), StatusCode::kInvalidArgument);
+  // The largest admissible literal still parses.
+  auto ok = ParseConjunctive("p(x) :- R(x, 4611686018427387903).");
+  EXPECT_TRUE(ok.ok());
+}
+
 TEST(ParseConjunctiveTest, UnsafeHeadRejected) {
   auto q = ParseConjunctive("ans(x, w) :- E(x, y).");
   EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);

@@ -22,10 +22,84 @@ TEST(DictionaryTest, InternIsIdempotent) {
 
 TEST(DictionaryTest, FindMissing) {
   Dictionary d;
-  EXPECT_EQ(d.Find("ghost"), -1);
+  EXPECT_EQ(d.Find("ghost"), Dictionary::kNotFound);
   d.Intern("x");
-  EXPECT_EQ(d.Find("x"), 0);
+  EXPECT_EQ(d.Find("x"), Dictionary::kCodeBase);
   EXPECT_FALSE(d.Contains(5));
+  EXPECT_FALSE(d.Contains(Dictionary::kCodeBase + 1));
+}
+
+TEST(DictionaryTest, CodesAreDisjointFromSmallIntegers) {
+  // Codes live in the reserved range [kCodeBase, ...): a genuine integer
+  // value can never be mistaken for an interned string (the WriteCsv
+  // use_dict round-trip bug).
+  Dictionary d;
+  Value a = d.Intern("alice");
+  EXPECT_TRUE(Dictionary::InCodeRange(a));
+  EXPECT_TRUE(d.Contains(a));
+  EXPECT_FALSE(d.Contains(0));
+  EXPECT_FALSE(Dictionary::InCodeRange(0));
+  EXPECT_FALSE(Dictionary::InCodeRange(-1));
+  EXPECT_FALSE(Dictionary::InCodeRange((Value{1} << 62) - 1));
+}
+
+TEST(RelationTest, CopySharesStorageUntilMutation) {
+  Relation a(2);
+  a.Add({1, 2});
+  a.Add({3, 4});
+  Relation b = a;  // whole-relation alias: no row copy
+  EXPECT_TRUE(b.SharesStorageWith(a));
+  EXPECT_TRUE(a.SharesStorageWith(b));
+  // Copy-on-write: mutating one side detaches it and leaves the other alone.
+  b.Add({5, 6});
+  EXPECT_FALSE(b.SharesStorageWith(a));
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(a.At(1, 1), 4);
+  EXPECT_EQ(b.At(2, 0), 5);
+}
+
+TEST(RelationTest, ClearDetachesSharedStorage) {
+  Relation a(1);
+  a.Add({7});
+  Relation b = a;
+  b.Clear();
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.At(0, 0), 7);
+}
+
+TEST(RelationTest, HashDedupOnDuplicateFreeAliasKeepsSharing) {
+  Relation a(2);
+  a.Add({1, 2});
+  a.Add({3, 4});
+  Relation b = a;
+  b.HashDedup();  // nothing to remove: must not copy
+  EXPECT_TRUE(b.SharesStorageWith(a));
+  a.Add({1, 2});
+  Relation c = a;
+  c.HashDedup();  // removes the duplicate: detaches, a keeps all 3 rows
+  EXPECT_FALSE(c.SharesStorageWith(a));
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(NamedRelationTest, WithAttrsAndRenameAreZeroCopy) {
+  NamedRelation r({0, 1});
+  r.rel().Add({1, 2});
+  NamedRelation view = r.WithAttrs({7, 9});
+  EXPECT_TRUE(view.rel().SharesStorageWith(r.rel()));
+  EXPECT_EQ(view.ColumnOf(7), 0);
+  EXPECT_EQ(view.ColumnOf(9), 1);
+  EXPECT_EQ(view.rel().At(0, 1), 2);
+  view.RenameAttr(7, 3);
+  EXPECT_TRUE(view.rel().SharesStorageWith(r.rel()));
+  // The original's labels are untouched.
+  EXPECT_EQ(r.ColumnOf(0), 0);
+  // Writing through the view detaches it.
+  view.rel().Add({3, 4});
+  EXPECT_FALSE(view.rel().SharesStorageWith(r.rel()));
+  EXPECT_EQ(r.size(), 1u);
 }
 
 TEST(RelationTest, AddAndAccess) {

@@ -139,11 +139,10 @@ int main(int argc, char** argv) {
           ValueVec row;
           for (size_t i = 2; i < args.size(); ++i) {
             const std::string& cell = args[i];
-            bool numeric = !cell.empty() &&
-                           (std::isdigit(static_cast<unsigned char>(cell[0])) ||
-                            (cell[0] == '-' && cell.size() > 1));
-            row.push_back(numeric ? std::stoll(cell)
-                                  : db.dict().Intern(cell));
+            Value parsed;
+            row.push_back(ParseIntegerCell(cell, &parsed)
+                              ? parsed
+                              : db.dict().Intern(cell));
           }
           db.relation(found.value()).Add(row);
         }

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "core/explain.hpp"
 #include "eval/acyclic.hpp"
@@ -29,7 +30,39 @@ TextKind SniffKind(const std::string& text) {
   return TextKind::kRule;
 }
 
+// Engine-level limits override the per-evaluator options (whose own legacy
+// aliases apply only where the engine sets nothing).
+ResourceLimits Overlay(const ResourceLimits& engine,
+                       const ResourceLimits& evaluator) {
+  return engine.MergedWith(evaluator.max_rows, evaluator.max_steps);
+}
+
 }  // namespace
+
+std::string EngineStats::ToString() const {
+  std::ostringstream oss;
+  oss << "plan: " << plan.ToString() << "\n";
+  if (datalog.iterations > 0) {
+    oss << "datalog: iterations=" << datalog.iterations
+        << " derived_tuples=" << datalog.derived_tuples
+        << " rule_firings=" << datalog.rule_firings
+        << " skipped_firings=" << datalog.skipped_firings
+        << "\n  edb_materializations=" << datalog.edb_materializations
+        << " edb_cache_hits=" << datalog.edb_cache_hits
+        << " edb_index_builds=" << datalog.edb_index_builds
+        << " edb_index_hits=" << datalog.edb_index_hits
+        << "\n  plans_built=" << datalog.plans_built
+        << " plan_reuses=" << datalog.plan_reuses << "\n";
+  }
+  if (ucq.disjuncts_expanded > 0) {
+    oss << "ucq: disjuncts_expanded=" << ucq.disjuncts_expanded
+        << " deduped=" << ucq.disjuncts_deduped
+        << " evaluated=" << ucq.disjuncts_evaluated
+        << " acyclic=" << ucq.acyclic_disjuncts
+        << " naive=" << ucq.naive_disjuncts << "\n";
+  }
+  return oss.str();
+}
 
 Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
   stats_ = EngineStats{};
@@ -51,18 +84,34 @@ Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
   }
   if (effective->IsAcyclic()) {
     if (!effective->HasComparisons()) {
-      return AcyclicEvaluate(*db_, *effective, {}, &stats_.acyclic);
+      AcyclicOptions eff = options_.acyclic;
+      eff.limits = Overlay(options_.limits, eff.EffectiveLimits());
+      eff.max_rows = 0;
+      return AcyclicEvaluate(*db_, *effective, eff, &stats_.acyclic,
+                             &stats_.plan);
     }
     if (effective->HasOnlyInequalities()) {
-      return IneqEvaluate(*db_, *effective, options_.inequality);
+      IneqOptions ineq = options_.inequality;
+      if (options_.limits.max_rows != 0) {
+        ineq.max_rows = options_.limits.max_rows;
+      }
+      return IneqEvaluate(*db_, *effective, ineq);
     }
   }
-  return NaiveEvaluateCq(*db_, *effective, options_.naive);
+  NaiveOptions eff = options_.naive;
+  eff.limits = Overlay(options_.limits, eff.EffectiveLimits());
+  eff.max_steps = 0;
+  return NaiveEvaluateCq(*db_, *effective, eff, &stats_.plan);
 }
 
 Result<Relation> Engine::Run(const PositiveQuery& q) const {
   stats_ = EngineStats{};
-  return EvaluatePositive(*db_, q, options_.ucq);
+  UcqOptions eff = options_.ucq;
+  eff.limits = Overlay(options_.limits, eff.EffectiveLimits());
+  eff.naive_max_steps = 0;
+  auto result = EvaluatePositive(*db_, q, eff, &stats_.ucq);
+  stats_.plan = stats_.ucq.plan;
+  return result;
 }
 
 Result<Relation> Engine::Run(const FirstOrderQuery& q) const {
@@ -71,12 +120,19 @@ Result<Relation> Engine::Run(const FirstOrderQuery& q) const {
     auto positive = PositiveQuery::FromFirstOrder(q);
     if (positive.ok()) return Run(positive.value());
   }
-  return EvaluateFirstOrder(*db_, q, options_.fo);
+  FoOptions fo = options_.fo;
+  if (options_.limits.max_rows != 0) fo.max_rows = options_.limits.max_rows;
+  return EvaluateFirstOrder(*db_, q, fo);
 }
 
 Result<Relation> Engine::Run(const DatalogProgram& p) const {
   stats_ = EngineStats{};
-  return EvaluateDatalog(*db_, p, options_.datalog, &stats_.datalog);
+  DatalogOptions eff = options_.datalog;
+  eff.limits = Overlay(options_.limits, eff.EffectiveLimits());
+  eff.max_rows = 0;
+  auto result = EvaluateDatalog(*db_, p, eff, &stats_.datalog);
+  stats_.plan = stats_.datalog.plan;
+  return result;
 }
 
 Result<Relation> Engine::RunText(const std::string& text, Dictionary* dict) {
@@ -101,15 +157,41 @@ Result<std::string> Engine::ExplainText(const std::string& text) {
   switch (SniffKind(text)) {
     case TextKind::kFormula: {
       PQ_ASSIGN_OR_RETURN(FirstOrderQuery q, ParseFirstOrder(text, nullptr));
-      return ExplainFirstOrder(q);
+      return ExplainFirstOrder(q, db_);
     }
     case TextKind::kDatalogProgram: {
       PQ_ASSIGN_OR_RETURN(DatalogProgram p, ParseDatalog(text, nullptr));
-      return ExplainDatalog(p);
+      return ExplainDatalog(p, db_);
     }
     case TextKind::kRule: {
       PQ_ASSIGN_OR_RETURN(ConjunctiveQuery q, ParseConjunctive(text, nullptr));
-      return ExplainConjunctive(q);
+      return ExplainConjunctive(q, db_);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<std::string> Engine::PlanText(const std::string& text,
+                                     Dictionary* dict) {
+  switch (SniffKind(text)) {
+    case TextKind::kFormula: {
+      PQ_ASSIGN_OR_RETURN(FirstOrderQuery q, ParseFirstOrder(text, dict));
+      if (!q.IsPositive()) {
+        return Status::InvalidArgument(
+            "no physical plan: non-positive first-order queries run on the "
+            "active-domain algebra");
+      }
+      PQ_ASSIGN_OR_RETURN(PositiveQuery pq,
+                          PositiveQuery::FromFirstOrder(std::move(q)));
+      return RenderPositivePlan(*db_, pq);
+    }
+    case TextKind::kDatalogProgram: {
+      PQ_ASSIGN_OR_RETURN(DatalogProgram p, ParseDatalog(text, dict));
+      return RenderDatalogPlan(*db_, p);
+    }
+    case TextKind::kRule: {
+      PQ_ASSIGN_OR_RETURN(ConjunctiveQuery q, ParseConjunctive(text, dict));
+      return RenderConjunctivePlan(*db_, q);
     }
   }
   return Status::Internal("unreachable");

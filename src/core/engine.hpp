@@ -1,15 +1,19 @@
-// The ParaQuery engine facade: parse -> classify -> plan -> evaluate.
+// The ParaQuery engine facade: parse -> classify -> plan -> execute.
 //
 // Routing policy (the operational content of the paper):
-//   * conjunctive, acyclic, comparison-free      -> Yannakakis
+//   * conjunctive, acyclic, comparison-free      -> Yannakakis plan
 //   * conjunctive, acyclic, only ≠ atoms         -> Theorem 2 color coding
 //   * conjunctive with order comparisons         -> Klug closure, then the
 //     best applicable engine on the rewritten query (naive if < / ≤ remain:
 //     Theorem 3 says nothing better exists in general)
-//   * cyclic conjunctive                         -> naive backtracking
+//   * cyclic conjunctive                         -> greedy left-deep plan
 //   * positive                                   -> union-of-CQs expansion
 //   * first-order                                -> active-domain algebra
-//   * Datalog                                    -> semi-naive fixpoint
+//   * Datalog                                    -> semi-naive fixpoint over
+//                                                   cached per-rule plans
+//
+// Every plan-routed query runs through the shared executor in src/plan/;
+// EngineStats::plan carries its counters for the most recent call.
 #ifndef PARAQUERY_CORE_ENGINE_H_
 #define PARAQUERY_CORE_ENGINE_H_
 
@@ -22,12 +26,21 @@
 #include "eval/inequality.hpp"
 #include "eval/naive.hpp"
 #include "eval/ucq.hpp"
+#include "plan/plan.hpp"
 #include "relational/database.hpp"
 
 namespace paraquery {
 
 /// Engine-wide options (forwarded to the individual evaluators).
 struct EngineOptions {
+  /// Unified resource guard, forwarded to every evaluator. Nonzero members
+  /// override the per-evaluator legacy aliases (AcyclicOptions::max_rows,
+  /// NaiveOptions::max_steps, UcqOptions::naive_max_steps,
+  /// DatalogOptions::max_rows); max_rows also overrides the row guards of
+  /// the color-coding (IneqOptions) and active-domain (FoOptions) engines,
+  /// which are not plan-routed and therefore ignore max_steps.
+  ResourceLimits limits;
+  AcyclicOptions acyclic;
   IneqOptions inequality;
   NaiveOptions naive;
   FoOptions fo;
@@ -37,11 +50,17 @@ struct EngineOptions {
 
 /// Instrumentation from the most recent Run/RunText call, per evaluator.
 /// Every Run overload zeroes the whole struct up front, then only the
-/// evaluator that actually ran populates its member — so counters never
+/// evaluator that actually ran populates its members — so counters never
 /// carry over from an earlier query.
 struct EngineStats {
+  /// Shared plan-executor counters for whatever plan(s) the last call ran
+  /// (the unified home of the former per-evaluator operator counters).
+  PlanStats plan;
   DatalogStats datalog;
   AcyclicStats acyclic;
+  UcqStats ucq;
+
+  std::string ToString() const;
 };
 
 /// Facade bound to one database instance (not owned).
@@ -70,14 +89,19 @@ class Engine {
   Result<Relation> RunText(const std::string& text,
                            Dictionary* dict = nullptr);
 
-  /// Classification + plan for a query, as a human-readable report.
+  /// Classification + physical plan for a query, as a human-readable report.
   Result<std::string> ExplainText(const std::string& text);
+
+  /// Renders the physical plan for `text` without executing it (the shell's
+  /// `.plan` command). Cardinalities are planner estimates only.
+  Result<std::string> PlanText(const std::string& text,
+                               Dictionary* dict = nullptr);
 
   const Database& db() const { return *db_; }
   EngineOptions& options() { return options_; }
 
   /// Evaluator instrumentation from the most recent Run/RunText call (e.g.
-  /// the Datalog EDB-cache hit counters, the acyclic zero-copy counters).
+  /// the shared plan-executor counters, the Datalog EDB-cache hit counters).
   const EngineStats& last_stats() const { return stats_; }
 
  private:

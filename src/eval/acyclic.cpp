@@ -3,163 +3,62 @@
 #include <algorithm>
 
 #include "eval/common.hpp"
-#include "hypergraph/join_tree.hpp"
-#include "relational/ops.hpp"
+#include "plan/executor.hpp"
+#include "plan/planner.hpp"
 
 namespace paraquery {
 
 namespace {
 
-struct Prepared {
-  std::vector<NamedRelation> rels;  // S_j per atom (tree node)
-  JoinTree tree;
-};
-
-Status CheckSupported(const ConjunctiveQuery& q) {
-  PQ_RETURN_NOT_OK(q.Validate());
-  if (q.HasComparisons()) {
-    return Status::InvalidArgument(
-        "acyclic evaluator does not accept comparison atoms (use the "
-        "inequality evaluator)");
-  }
-  if (q.body.empty()) {
-    return Status::InvalidArgument("query has no relational atoms");
-  }
-  return Status::OK();
+// Legacy-stat mirror: AcyclicStats predates the plan IR and is kept for
+// existing callers (benches, tests); PlanStats is the authoritative record.
+void MirrorStats(const PlanStats& plan, AcyclicStats* stats) {
+  if (stats == nullptr) return;
+  stats->semijoins += plan.semijoins;
+  stats->joins += plan.joins;
+  stats->peak_intermediate_rows =
+      std::max(stats->peak_intermediate_rows, plan.peak_intermediate_rows);
+  stats->shared_atom_storage += plan.shared_atom_storage;
+  stats->zero_copy_projections += plan.zero_copy_projections;
 }
 
-Result<Prepared> Prepare(const Database& db, const ConjunctiveQuery& q,
-                         AcyclicStats* stats) {
-  Prepared p;
-  for (const Atom& a : q.body) {
-    PQ_ASSIGN_OR_RETURN(RelId id, db.FindRelation(a.relation));
-    PQ_ASSIGN_OR_RETURN(NamedRelation rel, AtomToRelation(db.relation(id), a));
-    // Constant-free, repetition-free atoms come back as views over the
-    // stored rows — the cost-free S_j the semijoin pipeline assumes.
-    if (stats != nullptr && rel.rel().SharesStorageWith(db.relation(id))) {
-      ++stats->shared_atom_storage;
-    }
-    p.rels.push_back(std::move(rel));
-  }
-  Hypergraph h = q.BuildHypergraph();
-  auto tree = BuildJoinTree(h);
-  if (!tree.ok()) {
-    return Status::InvalidArgument(internal::StrCat(
-        "query is not acyclic: ", tree.status().message()));
-  }
-  p.tree = std::move(tree).value();
-  return p;
-}
-
-void Track(AcyclicStats* stats, const NamedRelation& rel) {
-  if (stats != nullptr) {
-    stats->peak_intermediate_rows =
-        std::max(stats->peak_intermediate_rows, rel.size());
-  }
-}
-
-// Bottom-up semijoin pass: after it, the root is empty iff the join is
-// empty. Returns false if some relation became empty.
-bool UpwardSemijoinPass(Prepared* p, AcyclicStats* stats) {
-  for (int j : p->tree.bottom_up) {
-    int u = p->tree.parent[j];
-    if (u < 0) continue;
-    p->rels[u] = Semijoin(p->rels[u], p->rels[j]);
-    if (stats != nullptr) ++stats->semijoins;
-    if (p->rels[u].empty()) return false;
-  }
-  return true;
+Result<NamedRelation> PlanAndExecute(const Database& db,
+                                     const ConjunctiveQuery& q,
+                                     const AcyclicOptions& options,
+                                     bool decision_only, AcyclicStats* stats,
+                                     PlanStats* plan_stats) {
+  PlannerOptions popt;
+  popt.full_reducer = options.full_reducer;
+  PQ_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                      decision_only ? PlanAcyclicDecision(db, q, popt)
+                                    : PlanAcyclicCq(db, q, popt));
+  // Execute into a local so only THIS call's counters are mirrored and
+  // merged — callers may reuse the same out-params across a workload.
+  PlanStats local;
+  auto result = ExecutePhysicalPlan(plan, options.EffectiveLimits(), &local);
+  if (plan_stats != nullptr) plan_stats->Merge(local);
+  MirrorStats(local, stats);
+  return result;
 }
 
 }  // namespace
 
 Result<bool> AcyclicNonempty(const Database& db, const ConjunctiveQuery& q,
                              const AcyclicOptions& options,
-                             AcyclicStats* stats) {
-  (void)options;
-  PQ_RETURN_NOT_OK(CheckSupported(q));
-  PQ_ASSIGN_OR_RETURN(Prepared p, Prepare(db, q, stats));
-  for (const NamedRelation& rel : p.rels) {
-    if (rel.empty()) return false;
-  }
-  return UpwardSemijoinPass(&p, stats);
+                             AcyclicStats* stats, PlanStats* plan_stats) {
+  PQ_ASSIGN_OR_RETURN(NamedRelation root,
+                      PlanAndExecute(db, q, options, /*decision_only=*/true,
+                                     stats, plan_stats));
+  return !root.empty();
 }
 
 Result<Relation> AcyclicEvaluate(const Database& db, const ConjunctiveQuery& q,
                                  const AcyclicOptions& options,
-                                 AcyclicStats* stats) {
-  PQ_RETURN_NOT_OK(CheckSupported(q));
-  PQ_ASSIGN_OR_RETURN(Prepared p, Prepare(db, q, stats));
-  Relation empty(q.head.size());
-  for (const NamedRelation& rel : p.rels) {
-    if (rel.empty()) return empty;
-  }
-
-  if (options.full_reducer) {
-    // Full reduction: upward semijoins, then downward semijoins. Afterwards
-    // the relations are globally consistent (every tuple participates in
-    // some result of the join).
-    if (!UpwardSemijoinPass(&p, stats)) return empty;
-    for (int j : p.tree.top_down) {
-      int u = p.tree.parent[j];
-      if (u < 0) continue;
-      p.rels[j] = Semijoin(p.rels[j], p.rels[u]);
-      if (stats != nullptr) ++stats->semijoins;
-    }
-  }
-
-  // Head variables present in each subtree (for the projection sets Z_j).
-  std::vector<VarId> head_vars = q.HeadVariables();
-  auto is_head = [&head_vars](AttrId a) {
-    return std::find(head_vars.begin(), head_vars.end(), a) != head_vars.end();
-  };
-  size_t m = p.tree.size();
-  std::vector<std::vector<AttrId>> subtree_head(m);
-  for (int j : p.tree.bottom_up) {
-    std::vector<AttrId> acc;
-    for (AttrId a : p.rels[j].attrs()) {
-      if (is_head(a)) acc.push_back(a);
-    }
-    for (int c : p.tree.children[j]) {
-      for (AttrId a : subtree_head[c]) acc.push_back(a);
-    }
-    std::sort(acc.begin(), acc.end());
-    acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
-    subtree_head[j] = std::move(acc);
-  }
-
-  // Upward join-and-project pass: P_u := P_u ⋈ π_{Z_j}(P_j) with
-  // Z_j = (U_j ∩ U_u) ∪ (Z ∩ at(T[j])).
-  JoinOptions join_options;
-  join_options.max_output_rows = options.max_rows;
-  for (int j : p.tree.bottom_up) {
-    int u = p.tree.parent[j];
-    if (u < 0) continue;
-    std::vector<AttrId> zj;
-    for (AttrId a : p.rels[j].attrs()) {
-      if (p.rels[u].HasAttr(a)) zj.push_back(a);
-    }
-    for (AttrId a : subtree_head[j]) {
-      if (std::find(zj.begin(), zj.end(), a) == zj.end()) zj.push_back(a);
-    }
-    NamedRelation projected = Project(p.rels[j], zj);
-    if (stats != nullptr &&
-        projected.rel().SharesStorageWith(p.rels[j].rel())) {
-      ++stats->zero_copy_projections;
-    }
-    PQ_ASSIGN_OR_RETURN(p.rels[u],
-                        NaturalJoin(p.rels[u], projected, join_options));
-    if (stats != nullptr) ++stats->joins;
-    Track(stats, p.rels[u]);
-    if (p.rels[u].empty()) return empty;
-  }
-
-  NamedRelation root_bindings = Project(p.rels[p.tree.root], head_vars);
-  if (stats != nullptr &&
-      root_bindings.rel().SharesStorageWith(p.rels[p.tree.root].rel())) {
-    ++stats->zero_copy_projections;
-  }
-  return BindingsToAnswers(root_bindings, q.head);
+                                 AcyclicStats* stats, PlanStats* plan_stats) {
+  PQ_ASSIGN_OR_RETURN(NamedRelation bindings,
+                      PlanAndExecute(db, q, options, /*decision_only=*/false,
+                                     stats, plan_stats));
+  return BindingsToAnswers(bindings, q.head);
 }
 
 }  // namespace paraquery

@@ -3,12 +3,18 @@
 // Decision in O(q · n log n); full evaluation in time polynomial in input
 // plus output via a semijoin full-reducer followed by an upward
 // join-and-project pass.
+//
+// Since the physical-plan refactor, this evaluator lowers the query through
+// plan/planner.hpp (which reproduces the exact semijoin-then-join schedule
+// as a PlanNode DAG) and runs the shared plan executor; AcyclicStats is kept
+// as a backward-compatible mirror of the PlanStats counters.
 #ifndef PARAQUERY_EVAL_ACYCLIC_H_
 #define PARAQUERY_EVAL_ACYCLIC_H_
 
 #include <cstdint>
 
 #include "common/status.hpp"
+#include "plan/plan.hpp"
 #include "query/conjunctive_query.hpp"
 #include "relational/database.hpp"
 
@@ -16,17 +22,23 @@ namespace paraquery {
 
 /// Options for the acyclic evaluator.
 struct AcyclicOptions {
-  /// Abort joins whose output exceeds this many rows (0 = off). The
-  /// output-sensitive bound makes this a guard against misuse, not a
-  /// correctness knob.
+  /// Unified resource guard (preferred; see ResourceLimits).
+  ResourceLimits limits;
+  /// DEPRECATED alias for limits.max_rows: abort operators whose output
+  /// exceeds this many rows (0 = off). Used only when limits.max_rows == 0.
   uint64_t max_rows = 0;
   /// Run the downward semijoin pass before the upward join pass. Disabling
   /// it (ablation E7b) keeps correctness but loses the output-sensitivity
   /// guarantee: dangling tuples inflate intermediate joins.
   bool full_reducer = true;
+
+  ResourceLimits EffectiveLimits() const {
+    return limits.MergedWith(max_rows, /*legacy_max_steps=*/0);
+  }
 };
 
-/// Statistics reported by the evaluator.
+/// Statistics reported by the evaluator. Mirrors the plan executor's
+/// PlanStats (the authoritative counters surfaced via EngineStats::plan).
 struct AcyclicStats {
   size_t semijoins = 0;
   size_t joins = 0;
@@ -40,14 +52,17 @@ struct AcyclicStats {
 };
 
 /// Decides Q(d) != {} for an acyclic comparison-free conjunctive query.
+/// `plan_stats`, when given, receives the shared executor's counters.
 Result<bool> AcyclicNonempty(const Database& db, const ConjunctiveQuery& q,
                              const AcyclicOptions& options = {},
-                             AcyclicStats* stats = nullptr);
+                             AcyclicStats* stats = nullptr,
+                             PlanStats* plan_stats = nullptr);
 
 /// Computes Q(d) for an acyclic comparison-free conjunctive query.
 Result<Relation> AcyclicEvaluate(const Database& db, const ConjunctiveQuery& q,
                                  const AcyclicOptions& options = {},
-                                 AcyclicStats* stats = nullptr);
+                                 AcyclicStats* stats = nullptr,
+                                 PlanStats* plan_stats = nullptr);
 
 }  // namespace paraquery
 

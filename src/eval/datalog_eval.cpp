@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <deque>
+#include <map>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "eval/common.hpp"
+#include "plan/executor.hpp"
+#include "plan/planner.hpp"
 #include "relational/ops.hpp"
 #include "relational/row_index.hpp"
 
@@ -14,32 +18,17 @@ namespace paraquery {
 namespace {
 
 // Program-wide cached materialization of one EDB atom shape: its S_j relation
-// plus lazily built join indexes, one per distinct probe-column list. EDB
-// relations never change during the fixpoint, so both survive across
-// semi-naive iterations — rules stop re-selecting, re-projecting, and
-// re-indexing static data on every firing. Entries are keyed by
-// (RelId, selection/projection signature), so the SAME materialization and
-// its indexes are shared by every rule whose atom has that shape, regardless
-// of the variable names it uses: each (rule, position) slot probes the entry
-// through a zero-copy attribute-relabeled view. (The probe columns can differ
-// between firings because the left-deep join order ranks the varying delta
-// sizes, hence the small memo rather than a single index.)
+// plus the memoized join indexes (plan/JoinIndexCache), one per distinct
+// probe-column list. EDB relations never change during the fixpoint, so both
+// survive across semi-naive iterations — rules stop re-selecting,
+// re-projecting, and re-indexing static data on every firing. Entries are
+// keyed by (RelId, selection/projection signature), so the SAME
+// materialization and its indexes are shared by every rule whose atom has
+// that shape, regardless of the variable names it uses: each (rule, position)
+// slot probes the entry through a zero-copy attribute-relabeled view.
 struct EdbAtomEntry {
   NamedRelation rel;  // canonical materialization (first resolver's attrs)
-  std::deque<std::pair<std::vector<int>, RowIndex>> indexes;
-
-  const RowIndex& GetOrBuild(const std::vector<int>& rcols,
-                             DatalogStats* stats) {
-    for (const auto& [cols, idx] : indexes) {
-      if (cols == rcols) {
-        if (stats != nullptr) ++stats->edb_index_hits;
-        return idx;
-      }
-    }
-    if (stats != nullptr) ++stats->edb_index_builds;
-    indexes.emplace_back(rcols, RowIndex(rel.rel(), rcols));
-    return indexes.back().second;
-  }
+  JoinIndexCache indexes;
 };
 
 // One (rule, body position)'s binding to the shared cache: the entry plus the
@@ -70,114 +59,128 @@ std::string AtomSignature(RelId id, const Atom& atom) {
   return sig;
 }
 
-// One body atom's input to a rule firing: the relation to join, plus the
-// shared index cache when the atom is EDB (null for IDB/delta atoms, whose
-// contents change between firings).
-struct BodyInput {
-  const NamedRelation* rel;
-  EdbAtomEntry* cache;
-};
+// One semi-naive fixpoint run: IDB state, the EDB atom cache, and the cached
+// per-(rule, delta position) body plans the shared executor re-runs every
+// iteration.
+class DatalogRun {
+ public:
+  DatalogRun(const Database& db, const DatalogProgram& program,
+             const DatalogOptions& options, DatalogStats* stats)
+      : db_(db), program_(program), options_(options), stats_(stats) {}
 
-// Evaluates one rule body against the given atom relations via left-deep
-// joins, returning the derived head tuples.
-Result<Relation> FireRule(const DatalogRule& rule,
-                          const std::vector<BodyInput>& body,
-                          DatalogStats* stats) {
-  // Start from TRUE and join every atom relation (constants/repeated vars
-  // were handled when the atom relations were built).
-  NamedRelation acc = BooleanTrue();
-  // Join smaller relations first (static heuristic).
-  std::vector<size_t> order(body.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&body](size_t a, size_t b) {
-    return body[a].rel->size() < body[b].rel->size();
-  });
-  for (size_t i : order) {
-    const NamedRelation& r = *body[i].rel;
-    if (body[i].cache != nullptr) {
-      const RowIndex& idx =
-          body[i].cache->GetOrBuild(JoinKeyColumns(acc, r), stats);
-      PQ_ASSIGN_OR_RETURN(acc, NaturalJoin(acc, r, idx));
-    } else {
-      PQ_ASSIGN_OR_RETURN(acc, NaturalJoin(acc, r));
+  Result<Relation> Run() {
+    PQ_RETURN_NOT_OK(program_.Validate());
+    for (const std::string& name : program_.IdbRelations()) {
+      size_t arity = static_cast<size_t>(program_.ArityOf(name));
+      idb_.emplace(name, RowHashSet(arity));
+      delta_.emplace(name, Relation(arity));
     }
-    if (acc.empty()) break;
-  }
-  if (acc.empty()) return Relation(rule.head.terms.size());
-  // Keep only head variables before mapping to head tuples.
-  std::vector<AttrId> head_vars;
-  for (const Term& t : rule.head.terms) {
-    if (t.is_var() && std::find(head_vars.begin(), head_vars.end(),
-                                t.var()) == head_vars.end()) {
-      head_vars.push_back(t.var());
+    edb_views_.resize(program_.rules.size());
+    plans_.resize(program_.rules.size());
+    for (size_t ri = 0; ri < program_.rules.size(); ++ri) {
+      edb_views_[ri].resize(program_.rules[ri].body.size());
     }
+    const uint64_t max_total_rows = options_.EffectiveLimits().max_rows;
+
+    // Iteration 0: fire every rule on the (empty) IDB state so EDB-only
+    // rules seed the deltas.
+    bool changed = false;
+    std::unordered_map<std::string, Relation> next_delta;
+    for (const auto& [name, rel] : delta_) {
+      next_delta.emplace(name, Relation(rel.arity()));
+    }
+    for (size_t ri = 0; ri < program_.rules.size(); ++ri) {
+      PQ_RETURN_NOT_OK(FireVariant(ri, /*delta_pos=*/-1, &next_delta,
+                                   &changed));
+    }
+    delta_ = std::move(next_delta);
+    size_t iterations = 1;
+
+    // Semi-naive loop: a rule with IDB body atoms re-fires once per IDB body
+    // position, substituting the delta at that position.
+    while (changed) {
+      if (options_.max_iterations != 0 &&
+          iterations >= options_.max_iterations) {
+        return Status::ResourceExhausted("Datalog iteration limit exceeded");
+      }
+      changed = false;
+      next_delta.clear();
+      for (const auto& [name, rel] : delta_) {
+        next_delta.emplace(name, Relation(rel.arity()));
+      }
+      for (size_t ri = 0; ri < program_.rules.size(); ++ri) {
+        const DatalogRule& rule = program_.rules[ri];
+        std::vector<size_t> idb_positions;
+        for (size_t i = 0; i < rule.body.size(); ++i) {
+          if (program_.IsIdb(rule.body[i].relation)) idb_positions.push_back(i);
+        }
+        if (idb_positions.empty()) continue;  // saturated at round 0
+        for (size_t dpos : idb_positions) {
+          if (delta_.at(rule.body[dpos].relation).empty()) continue;
+          PQ_RETURN_NOT_OK(FireVariant(ri, static_cast<int>(dpos),
+                                       &next_delta, &changed));
+        }
+      }
+      delta_ = std::move(next_delta);
+      ++iterations;
+      if (max_total_rows != 0) {
+        size_t total = 0;
+        for (const auto& [name, set] : idb_) total += set.size();
+        if (total > max_total_rows) {
+          return Status::ResourceExhausted("Datalog derived-tuple limit");
+        }
+      }
+    }
+
+    if (stats_ != nullptr) {
+      stats_->iterations = iterations;
+      stats_->derived_tuples = 0;
+      for (const auto& [name, set] : idb_) {
+        stats_->derived_tuples += set.size();
+      }
+      stats_->edb_index_builds = stats_->plan.index_builds;
+      stats_->edb_index_hits = stats_->plan.index_hits;
+    }
+    Relation goal = idb_.at(program_.goal).TakeRelation();
+    goal.SortAndDedup();
+    return goal;
   }
-  NamedRelation bindings = Project(acc, head_vars);
-  return BindingsToAnswers(bindings, rule.head.terms, /*sort_output=*/false);
-}
 
-}  // namespace
-
-Result<Relation> EvaluateDatalog(const Database& db,
-                                 const DatalogProgram& program,
-                                 const DatalogOptions& options,
-                                 DatalogStats* stats) {
-  PQ_RETURN_NOT_OK(program.Validate());
-
-  // IDB state: incrementally deduplicated full relations (a hash set each,
-  // so membership and insertion stay O(1) amortized with no re-sorting
-  // between iterations) and the last iteration's deltas.
-  std::unordered_map<std::string, RowHashSet> idb;
-  std::unordered_map<std::string, Relation> delta;
-  for (const std::string& name : program.IdbRelations()) {
-    size_t arity = static_cast<size_t>(program.ArityOf(name));
-    idb.emplace(name, RowHashSet(arity));
-    delta.emplace(name, Relation(arity));
-  }
-
-  // EDB body atoms are materialized once on first use and cached program-wide
-  // for the rest of the fixpoint, keyed by (RelId, atom signature): identical
-  // EDB atoms in different rules share one materialization and its memoized
-  // join indexes, with per-rule variable names applied through zero-copy
-  // relabeled views. Resolution stays lazy (body order, short-circuited by
-  // empty earlier atoms) so that rules which can never fire do not turn a
-  // dangling EDB reference into an error — matching per-firing resolution.
-  std::deque<EdbAtomEntry> edb_storage;
-  std::unordered_map<std::string, EdbAtomEntry*> edb_by_signature;
-  std::vector<std::vector<RuleAtomView>> edb_views(program.rules.size());
-  for (size_t ri = 0; ri < program.rules.size(); ++ri) {
-    edb_views[ri].resize(program.rules[ri].body.size());
-  }
-  auto resolve_edb = [&](size_t ri, size_t pi) -> Result<RuleAtomView*> {
-    RuleAtomView& slot = edb_views[ri][pi];
+ private:
+  // Lazily binds (rule, position) to the program-wide EDB cache. Resolution
+  // stays lazy (body order, short-circuited by empty earlier atoms) so that
+  // rules which can never fire do not turn a dangling EDB reference into an
+  // error — matching per-firing resolution.
+  Result<RuleAtomView*> ResolveEdb(size_t ri, size_t pi) {
+    RuleAtomView& slot = edb_views_[ri][pi];
     if (slot.entry != nullptr) return &slot;
-    const Atom& a = program.rules[ri].body[pi];
-    auto found = db.FindRelation(a.relation);
+    const Atom& a = program_.rules[ri].body[pi];
+    auto found = db_.FindRelation(a.relation);
     if (!found.ok()) {
       return Status::NotFound(internal::StrCat(
           "EDB relation '", a.relation, "' not found in database"));
     }
-    if (db.relation(found.value()).arity() != a.terms.size()) {
+    if (db_.relation(found.value()).arity() != a.terms.size()) {
       return Status::InvalidArgument(internal::StrCat(
           "EDB relation '", a.relation, "' arity mismatch"));
     }
     std::string sig = AtomSignature(found.value(), a);
     EdbAtomEntry* entry;
-    auto it = edb_by_signature.find(sig);
-    if (it != edb_by_signature.end()) {
+    auto it = edb_by_signature_.find(sig);
+    if (it != edb_by_signature_.end()) {
       entry = it->second;
-      if (stats != nullptr) ++stats->edb_cache_hits;
+      if (stats_ != nullptr) ++stats_->edb_cache_hits;
     } else {
       PQ_ASSIGN_OR_RETURN(NamedRelation rel,
-                          AtomToRelation(db.relation(found.value()), a));
+                          AtomToRelation(db_.relation(found.value()), a));
       // The cache lives for the whole fixpoint; drop the full-base-relation
       // capacity AtomToRelation reserved in case the selection kept few rows
       // (a no-op when the materialization is a view of the stored relation).
       rel.rel().ShrinkToFit();
-      edb_storage.push_back(EdbAtomEntry{std::move(rel), {}});
-      entry = &edb_storage.back();
-      edb_by_signature.emplace(std::move(sig), entry);
-      if (stats != nullptr) ++stats->edb_materializations;
+      edb_storage_.push_back(EdbAtomEntry{std::move(rel), {}});
+      entry = &edb_storage_.back();
+      edb_by_signature_.emplace(std::move(sig), entry);
+      if (stats_ != nullptr) ++stats_->edb_materializations;
     }
     // This atom's view: same shared rows, this rule's variable names. The
     // canonical entry and the atom have the same variable pattern, so the
@@ -192,17 +195,12 @@ Result<Relation> EvaluateDatalog(const Database& db,
     slot.view = entry->rel.WithAttrs(std::move(vars));
     slot.entry = entry;
     return &slot;
-  };
+  }
 
-  // Resolves an IDB atom against the given snapshot.
-  auto idb_atom_rel = [&](const Atom& a, const Relation& src) {
-    return AtomToRelation(src, a);
-  };
-
-  auto add_new = [&](const std::string& rel_name, const Relation& tuples,
-                     std::unordered_map<std::string, Relation>* next_delta,
-                     bool* changed) {
-    RowHashSet& full = idb.at(rel_name);
+  void AddNew(const std::string& rel_name, const Relation& tuples,
+              std::unordered_map<std::string, Relation>* next_delta,
+              bool* changed) {
+    RowHashSet& full = idb_.at(rel_name);
     Relation& fresh = next_delta->at(rel_name);
     for (size_t r = 0; r < tuples.size(); ++r) {
       if (full.Insert(tuples.Row(r))) {
@@ -210,126 +208,110 @@ Result<Relation> EvaluateDatalog(const Database& db,
         *changed = true;
       }
     }
-  };
-
-  // Iteration 0: fire every rule on the (empty) IDB state so EDB-only rules
-  // seed the deltas.
-  bool changed = false;
-  std::unordered_map<std::string, Relation> next_delta;
-  for (const auto& [name, rel] : delta) {
-    next_delta.emplace(name, Relation(rel.arity()));
   }
-  // Scratch: IDB atom relations materialized for the current firing (kept
-  // alive here because BodyInput borrows them).
-  std::deque<NamedRelation> idb_scratch;
-  for (size_t ri = 0; ri < program.rules.size(); ++ri) {
-    const DatalogRule& rule = program.rules[ri];
-    idb_scratch.clear();
-    std::vector<BodyInput> body;
+
+  // Fires rule `ri`, reading the delta at body position `delta_pos` (or the
+  // full IDB state everywhere when -1). The (rule, delta position) body plan
+  // is built on the variant's first feasible firing and re-executed on the
+  // re-bound input slots afterwards.
+  Status FireVariant(size_t ri, int delta_pos,
+                     std::unordered_map<std::string, Relation>* next_delta,
+                     bool* changed) {
+    const DatalogRule& rule = program_.rules[ri];
+    if (rule.body.empty()) {
+      // Constant-only head (safety): derive it directly.
+      if (stats_ != nullptr) ++stats_->rule_firings;
+      NamedRelation truth = BooleanTrue();
+      Relation derived =
+          BindingsToAnswers(truth, rule.head.terms, /*sort_output=*/false);
+      AddNew(rule.head.relation, derived, next_delta, changed);
+      return Status::OK();
+    }
+    // Resolve the body inputs in order; an empty atom skips the firing (and
+    // leaves later atoms unresolved).
+    idb_scratch_.clear();
+    std::vector<const NamedRelation*> inputs(rule.body.size(), nullptr);
+    std::vector<JoinIndexCache*> caches(rule.body.size(), nullptr);
     bool feasible = true;
-    for (size_t pi = 0; pi < rule.body.size(); ++pi) {
-      const Atom& a = rule.body[pi];
-      if (program.IsIdb(a.relation)) {
-        PQ_ASSIGN_OR_RETURN(NamedRelation rel,
-                            idb_atom_rel(a, idb.at(a.relation).rel()));
-        idb_scratch.push_back(std::move(rel));
-        body.push_back(BodyInput{&idb_scratch.back(), nullptr});
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      const Atom& a = rule.body[i];
+      if (program_.IsIdb(a.relation)) {
+        const Relation& src = (static_cast<int>(i) == delta_pos)
+                                  ? delta_.at(a.relation)
+                                  : idb_.at(a.relation).rel();
+        PQ_ASSIGN_OR_RETURN(NamedRelation rel, AtomToRelation(src, a));
+        idb_scratch_.push_back(std::move(rel));
+        inputs[i] = &idb_scratch_.back();
       } else {
-        PQ_ASSIGN_OR_RETURN(RuleAtomView * slot, resolve_edb(ri, pi));
-        body.push_back(BodyInput{&slot->view, slot->entry});
+        PQ_ASSIGN_OR_RETURN(RuleAtomView * slot, ResolveEdb(ri, i));
+        inputs[i] = &slot->view;
+        caches[i] = &slot->entry->indexes;
       }
-      if (body.back().rel->empty()) {
+      if (inputs[i]->empty()) {
         feasible = false;
         break;
       }
     }
-    if (!feasible && !rule.body.empty()) {
-      if (stats != nullptr) ++stats->skipped_firings;
-      continue;
+    if (!feasible) {
+      if (stats_ != nullptr) ++stats_->skipped_firings;
+      idb_scratch_.clear();
+      return Status::OK();
     }
-    if (stats != nullptr) ++stats->rule_firings;
-    PQ_ASSIGN_OR_RETURN(Relation derived, FireRule(rule, body, stats));
+    PlanNodePtr& plan = plans_[ri][delta_pos];
+    if (plan == nullptr) {
+      std::vector<std::vector<AttrId>> attrs;
+      std::vector<size_t> sizes;
+      for (const NamedRelation* in : inputs) {
+        attrs.push_back(in->attrs());
+        sizes.push_back(in->size());
+      }
+      PQ_ASSIGN_OR_RETURN(plan,
+                          PlanRuleBody(rule, attrs, sizes, caches, delta_pos));
+      if (stats_ != nullptr) ++stats_->plans_built;
+    } else if (stats_ != nullptr) {
+      ++stats_->plan_reuses;
+    }
+    if (stats_ != nullptr) ++stats_->rule_firings;
+    // Both guard members apply inside a firing (per-operator rows and the
+    // step meter); max_rows additionally bounds the total derived tuples,
+    // checked per iteration in Run().
+    ExecContext ctx{inputs, options_.EffectiveLimits(),
+                    stats_ != nullptr ? &stats_->plan : nullptr};
+    PQ_ASSIGN_OR_RETURN(NamedRelation bindings, ExecutePlan(*plan, ctx));
+    Relation derived =
+        BindingsToAnswers(bindings, rule.head.terms, /*sort_output=*/false);
     // Release the IDB views (which may share storage with the IDB state)
-    // before inserting, so add_new never triggers a copy-on-write clone.
-    body.clear();
-    idb_scratch.clear();
-    add_new(rule.head.relation, derived, &next_delta, &changed);
-  }
-  delta = std::move(next_delta);
-  size_t iterations = 1;
-
-  // Semi-naive loop: a rule with IDB body atoms re-fires once per IDB body
-  // position, substituting the delta at that position.
-  while (changed) {
-    if (options.max_iterations != 0 && iterations >= options.max_iterations) {
-      return Status::ResourceExhausted("Datalog iteration limit exceeded");
-    }
-    changed = false;
-    next_delta.clear();
-    for (const auto& [name, rel] : delta) {
-      next_delta.emplace(name, Relation(rel.arity()));
-    }
-    for (size_t ri = 0; ri < program.rules.size(); ++ri) {
-      const DatalogRule& rule = program.rules[ri];
-      // Positions of IDB atoms in the body.
-      std::vector<size_t> idb_positions;
-      for (size_t i = 0; i < rule.body.size(); ++i) {
-        if (program.IsIdb(rule.body[i].relation)) idb_positions.push_back(i);
-      }
-      if (idb_positions.empty()) continue;  // already saturated at round 0
-      for (size_t dpos : idb_positions) {
-        if (delta.at(rule.body[dpos].relation).empty()) continue;
-        idb_scratch.clear();
-        std::vector<BodyInput> body;
-        bool feasible = true;
-        for (size_t i = 0; i < rule.body.size(); ++i) {
-          const Atom& a = rule.body[i];
-          if (program.IsIdb(a.relation)) {
-            const Relation& src = (i == dpos) ? delta.at(a.relation)
-                                              : idb.at(a.relation).rel();
-            PQ_ASSIGN_OR_RETURN(NamedRelation rel, idb_atom_rel(a, src));
-            idb_scratch.push_back(std::move(rel));
-            body.push_back(BodyInput{&idb_scratch.back(), nullptr});
-          } else {
-            PQ_ASSIGN_OR_RETURN(RuleAtomView * slot, resolve_edb(ri, i));
-            body.push_back(BodyInput{&slot->view, slot->entry});
-          }
-          if (body.back().rel->empty()) {
-            feasible = false;
-            break;
-          }
-        }
-        if (!feasible) {
-          if (stats != nullptr) ++stats->skipped_firings;
-          continue;
-        }
-        if (stats != nullptr) ++stats->rule_firings;
-        PQ_ASSIGN_OR_RETURN(Relation derived, FireRule(rule, body, stats));
-        // As in round 0: drop IDB views before mutating the IDB state.
-        body.clear();
-        idb_scratch.clear();
-        add_new(rule.head.relation, derived, &next_delta, &changed);
-      }
-    }
-    delta = std::move(next_delta);
-    ++iterations;
-    if (options.max_rows != 0) {
-      size_t total = 0;
-      for (const auto& [name, set] : idb) total += set.size();
-      if (total > options.max_rows) {
-        return Status::ResourceExhausted("Datalog derived-tuple limit");
-      }
-    }
+    // before inserting, so AddNew never triggers a copy-on-write clone.
+    bindings = NamedRelation();
+    idb_scratch_.clear();
+    AddNew(rule.head.relation, derived, next_delta, changed);
+    return Status::OK();
   }
 
-  if (stats != nullptr) {
-    stats->iterations = iterations;
-    stats->derived_tuples = 0;
-    for (const auto& [name, set] : idb) stats->derived_tuples += set.size();
-  }
-  Relation goal = idb.at(program.goal).TakeRelation();
-  goal.SortAndDedup();
-  return goal;
+  const Database& db_;
+  const DatalogProgram& program_;
+  const DatalogOptions& options_;
+  DatalogStats* stats_;
+
+  std::unordered_map<std::string, RowHashSet> idb_;
+  std::unordered_map<std::string, Relation> delta_;
+
+  std::deque<EdbAtomEntry> edb_storage_;
+  std::unordered_map<std::string, EdbAtomEntry*> edb_by_signature_;
+  std::vector<std::vector<RuleAtomView>> edb_views_;
+  /// plans_[rule][delta_pos] (-1 = the round-0 full-state variant).
+  std::vector<std::map<int, PlanNodePtr>> plans_;
+  std::deque<NamedRelation> idb_scratch_;
+};
+
+}  // namespace
+
+Result<Relation> EvaluateDatalog(const Database& db,
+                                 const DatalogProgram& program,
+                                 const DatalogOptions& options,
+                                 DatalogStats* stats) {
+  DatalogRun run(db, program, options, stats);
+  return run.Run();
 }
 
 }  // namespace paraquery

@@ -3,12 +3,19 @@
 // conjunctive queries — the structure behind the paper's remark that
 // bounded-arity Datalog is W[1]-complete, while unbounded IDB arity provably
 // forces the query size into the exponent (Vardi).
+//
+// Since the physical-plan refactor, each (rule, delta position) variant is
+// lowered once by plan/planner.hpp to a left-deep join plan over slot-bound
+// scans (delta pinned first, then greedy smallest-first) and re-executed by
+// the shared plan executor every iteration; static EDB atoms keep their
+// program-wide cached materializations and memoized join indexes.
 #ifndef PARAQUERY_EVAL_DATALOG_EVAL_H_
 #define PARAQUERY_EVAL_DATALOG_EVAL_H_
 
 #include <cstdint>
 
 #include "common/status.hpp"
+#include "plan/plan.hpp"
 #include "query/datalog.hpp"
 #include "relational/database.hpp"
 
@@ -18,8 +25,15 @@ namespace paraquery {
 struct DatalogOptions {
   /// Abort after this many fixpoint iterations (0 = off).
   uint64_t max_iterations = 0;
-  /// Abort when total derived tuples exceed this (0 = off).
+  /// Unified resource guard: limits.max_rows bounds the total derived IDB
+  /// tuples, and both members are forwarded to every rule-plan execution.
+  ResourceLimits limits;
+  /// DEPRECATED alias for limits.max_rows. Used when limits.max_rows == 0.
   uint64_t max_rows = 0;
+
+  ResourceLimits EffectiveLimits() const {
+    return limits.MergedWith(max_rows, /*legacy_max_steps=*/0);
+  }
 };
 
 /// Instrumentation.
@@ -36,9 +50,16 @@ struct DatalogStats {
   size_t edb_materializations = 0;
   size_t edb_cache_hits = 0;
   /// Memoized join indexes over cached EDB materializations: builds vs
-  /// probe-column lookups answered by an already-built index.
+  /// probe-column lookups answered by an already-built index (mirror of
+  /// plan.index_builds / plan.index_hits).
   size_t edb_index_builds = 0;
   size_t edb_index_hits = 0;
+  /// Rule-body plans built (one per fired (rule, delta position) variant)
+  /// vs firings answered by re-executing a cached plan.
+  size_t plans_built = 0;
+  size_t plan_reuses = 0;
+  /// Shared plan-executor counters aggregated over every rule firing.
+  PlanStats plan;
 };
 
 /// Computes the goal relation of `program` over `db` (semi-naive fixpoint).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "eval/common.hpp"
+#include "plan/planner.hpp"
 #include "relational/ops.hpp"
 #include "relational/row_index.hpp"
 
@@ -108,8 +109,8 @@ Result<Search> Prepare(const Database& db, const ConjunctiveQuery& q,
                        const NaiveOptions& options, bool stop_at_first,
                        NamedRelation* out_bindings) {
   PQ_RETURN_NOT_OK(q.Validate());
-  Search s{q, {}, {}, {}, {}, 0, options.max_steps, stop_at_first,
-           Status::OK(), out_bindings, {}};
+  Search s{q, {}, {}, {}, {}, 0, options.EffectiveLimits().max_steps,
+           stop_at_first, Status::OK(), out_bindings, {}};
   // S_j per atom. Constant-free, repetition-free atoms come back as zero-copy
   // views over the stored relations (shared row blocks), so a query touching
   // the same relation k times holds one copy of its rows, not k. The
@@ -119,39 +120,15 @@ Result<Search> Prepare(const Database& db, const ConjunctiveQuery& q,
     PQ_ASSIGN_OR_RETURN(NamedRelation rel, AtomToRelation(db, a));
     s.atom_rels.push_back(std::move(rel));
   }
-  // Static join order: start from the smallest relation, then repeatedly
-  // take the atom sharing a variable with the atoms chosen so far (smallest
-  // first), falling back to the smallest remaining atom when the query is
-  // disconnected. Avoids accidental cross products in the backtracking.
+  // Static join order: the planner's greedy smallest-relation-first order
+  // with bound-variable propagation (shared with PlanCyclicCq, so the
+  // backtracking search and the plan executor explore atoms identically).
   {
     std::vector<NamedRelation>& rels = s.atom_rels;
-    std::vector<bool> used(rels.size(), false);
-    std::vector<bool> bound_var(std::max(1, q.NumVariables()), false);
+    std::vector<size_t> order = GreedyAtomOrder(rels, q.NumVariables());
     std::vector<NamedRelation> ordered;
     ordered.reserve(rels.size());
-    for (size_t step = 0; step < rels.size(); ++step) {
-      int best = -1;
-      bool best_connected = false;
-      for (size_t i = 0; i < rels.size(); ++i) {
-        if (used[i]) continue;
-        bool connected = false;
-        for (AttrId a : rels[i].attrs()) {
-          if (bound_var[a]) {
-            connected = true;
-            break;
-          }
-        }
-        if (best < 0 || (connected && !best_connected) ||
-            (connected == best_connected &&
-             rels[i].size() < rels[best].size())) {
-          best = static_cast<int>(i);
-          best_connected = connected;
-        }
-      }
-      used[best] = true;
-      for (AttrId a : rels[best].attrs()) bound_var[a] = true;
-      ordered.push_back(std::move(rels[best]));
-    }
+    for (size_t i : order) ordered.push_back(std::move(rels[i]));
     rels = std::move(ordered);
   }
   // Per-depth indexes: with the order fixed, the variables bound before
@@ -189,7 +166,18 @@ Result<Search> Prepare(const Database& db, const ConjunctiveQuery& q,
 }  // namespace
 
 Result<Relation> NaiveEvaluateCq(const Database& db, const ConjunctiveQuery& q,
-                                 const NaiveOptions& options) {
+                                 const NaiveOptions& options,
+                                 PlanStats* plan_stats) {
+  PQ_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanCyclicCq(db, q));
+  PQ_ASSIGN_OR_RETURN(
+      NamedRelation bindings,
+      ExecutePhysicalPlan(plan, options.EffectiveLimits(), plan_stats));
+  return BindingsToAnswers(bindings, q.head);
+}
+
+Result<Relation> BacktrackEvaluateCq(const Database& db,
+                                     const ConjunctiveQuery& q,
+                                     const NaiveOptions& options) {
   NamedRelation bindings{q.HeadVariables()};
   PQ_ASSIGN_OR_RETURN(
       Search s, Prepare(db, q, options, /*stop_at_first=*/false, &bindings));

@@ -1,14 +1,28 @@
-// Naive backtracking evaluation of conjunctive queries (with arbitrary
-// comparison atoms). This is the textbook combined-complexity algorithm the
-// paper's analysis targets: worst case n^{O(q)}. It serves as ground truth
-// for every other engine and as the baseline exhibiting "parameter in the
-// exponent" in the benchmarks.
+// Naive evaluation of conjunctive queries (with arbitrary comparison atoms).
+// This is the textbook combined-complexity algorithm the paper's analysis
+// targets: worst case n^{O(q)}. It serves as ground truth for every other
+// engine and as the baseline exhibiting "parameter in the exponent" in the
+// benchmarks.
+//
+// Since the physical-plan refactor, NaiveEvaluateCq lowers the query through
+// the cyclic planner (greedy smallest-relation-first order with
+// bound-variable propagation) and runs the shared plan executor. Memory
+// profile: the executor MATERIALIZES each intermediate join (memory tracks
+// the largest satisfying-prefix set), where the old DFS enumerated bindings
+// in O(q·n) memory at the same time complexity — set ResourceLimits, or use
+// BacktrackEvaluateCq, when intermediates may dwarf the output. The decision
+// entry points keep the indexed backtracking search: they stop at the first
+// witness, which a materializing executor cannot, and the search consumes
+// the same GreedyAtomOrder the planner uses. The backtracking FULL evaluator
+// remains available (BacktrackEvaluateCq) as the constant-memory path and
+// the plan-independent oracle for differential tests.
 #ifndef PARAQUERY_EVAL_NAIVE_H_
 #define PARAQUERY_EVAL_NAIVE_H_
 
 #include <cstdint>
 
 #include "common/status.hpp"
+#include "plan/plan.hpp"
 #include "query/conjunctive_query.hpp"
 #include "relational/database.hpp"
 
@@ -16,15 +30,32 @@ namespace paraquery {
 
 /// Options for the naive evaluator.
 struct NaiveOptions {
-  /// Abort with ResourceExhausted after this many search steps (0 = off).
+  /// Unified resource guard (preferred; see ResourceLimits). For the
+  /// backtracking entry points max_steps counts search steps; for the
+  /// plan-based evaluator it counts rows produced by operators.
+  ResourceLimits limits;
+  /// DEPRECATED alias for limits.max_steps: abort with ResourceExhausted
+  /// after this many steps (0 = off). Used only when limits.max_steps == 0.
   uint64_t max_steps = 0;
+
+  ResourceLimits EffectiveLimits() const {
+    return limits.MergedWith(/*legacy_max_rows=*/0, max_steps);
+  }
 };
 
-/// Computes the full answer Q(d) as a relation of head-arity tuples.
+/// Computes the full answer Q(d) via the cyclic planner + shared executor.
+/// `plan_stats`, when given, receives the executor's counters.
 Result<Relation> NaiveEvaluateCq(const Database& db, const ConjunctiveQuery& q,
-                                 const NaiveOptions& options = {});
+                                 const NaiveOptions& options = {},
+                                 PlanStats* plan_stats = nullptr);
 
-/// Decides Q(d) != {} (stops at the first witness).
+/// Computes Q(d) with the indexed backtracking search (no plan, no
+/// materialized intermediates). Reference oracle for differential tests.
+Result<Relation> BacktrackEvaluateCq(const Database& db,
+                                     const ConjunctiveQuery& q,
+                                     const NaiveOptions& options = {});
+
+/// Decides Q(d) != {} (backtracking; stops at the first witness).
 Result<bool> NaiveCqNonempty(const Database& db, const ConjunctiveQuery& q,
                              const NaiveOptions& options = {});
 

@@ -1,41 +1,110 @@
 #include "eval/ucq.hpp"
 
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
 #include "eval/acyclic.hpp"
 #include "eval/naive.hpp"
 
 namespace paraquery {
 
+// ToUnionOfCqs standardizes variables apart, so duplicate disjuncts produced
+// by the ∧/∨ distribution differ only in variable ids — exactly what this
+// signature ignores.
+std::string CanonicalCqSignature(const ConjunctiveQuery& cq) {
+  std::vector<VarId> seen;
+  auto canon = [&seen](const Term& t) -> std::string {
+    if (t.is_const()) return internal::StrCat("c", t.value());
+    auto it = std::find(seen.begin(), seen.end(), t.var());
+    size_t idx = static_cast<size_t>(it - seen.begin());
+    if (it == seen.end()) seen.push_back(t.var());
+    return internal::StrCat("v", idx);
+  };
+  std::string sig = "h:";
+  for (const Term& t : cq.head) sig += canon(t) + ",";
+  sig += "|b:";
+  for (const Atom& a : cq.body) {
+    sig += a.relation + "(";
+    for (const Term& t : a.terms) sig += canon(t) + ",";
+    sig += ")";
+  }
+  sig += "|c:";
+  for (const CompareAtom& c : cq.comparisons) {
+    sig += internal::StrCat(static_cast<int>(c.op), ":", canon(c.lhs), ":",
+                            canon(c.rhs), ",");
+  }
+  return sig;
+}
+
+Result<std::vector<ConjunctiveQuery>> ExpandDedupedDisjuncts(
+    const PositiveQuery& q, uint64_t max_disjuncts, UcqStats* stats) {
+  PQ_ASSIGN_OR_RETURN(auto cqs, q.ToUnionOfCqs(max_disjuncts));
+  if (stats != nullptr) stats->disjuncts_expanded = cqs.size();
+  std::unordered_set<std::string> seen;
+  std::vector<ConjunctiveQuery> unique;
+  unique.reserve(cqs.size());
+  for (ConjunctiveQuery& cq : cqs) {
+    if (seen.insert(CanonicalCqSignature(cq)).second) {
+      unique.push_back(std::move(cq));
+    } else if (stats != nullptr) {
+      ++stats->disjuncts_deduped;
+    }
+  }
+  return unique;
+}
+
 namespace {
+
+bool RouteAcyclic(const ConjunctiveQuery& cq, const UcqOptions& options) {
+  return options.use_acyclic_evaluator && !cq.body.empty() &&
+         !cq.HasComparisons() && cq.IsAcyclic();
+}
 
 Result<Relation> EvaluateDisjunct(const Database& db,
                                   const ConjunctiveQuery& cq,
-                                  const UcqOptions& options) {
-  if (options.use_acyclic_evaluator && !cq.body.empty() && cq.IsAcyclic()) {
-    return AcyclicEvaluate(db, cq);
+                                  const UcqOptions& options, UcqStats* stats) {
+  PlanStats* plan = stats != nullptr ? &stats->plan : nullptr;
+  if (stats != nullptr) ++stats->disjuncts_evaluated;
+  if (RouteAcyclic(cq, options)) {
+    if (stats != nullptr) ++stats->acyclic_disjuncts;
+    AcyclicOptions acyclic;
+    acyclic.limits = options.EffectiveLimits();
+    return AcyclicEvaluate(db, cq, acyclic, /*stats=*/nullptr, plan);
   }
+  if (stats != nullptr) ++stats->naive_disjuncts;
   NaiveOptions naive;
-  naive.max_steps = options.naive_max_steps;
-  return NaiveEvaluateCq(db, cq, naive);
+  naive.limits = options.EffectiveLimits();
+  return NaiveEvaluateCq(db, cq, naive, plan);
 }
 
 Result<bool> DisjunctNonempty(const Database& db, const ConjunctiveQuery& cq,
-                              const UcqOptions& options) {
-  if (options.use_acyclic_evaluator && !cq.body.empty() && cq.IsAcyclic()) {
-    return AcyclicNonempty(db, cq);
+                              const UcqOptions& options, UcqStats* stats) {
+  PlanStats* plan = stats != nullptr ? &stats->plan : nullptr;
+  if (stats != nullptr) ++stats->disjuncts_evaluated;
+  if (RouteAcyclic(cq, options)) {
+    if (stats != nullptr) ++stats->acyclic_disjuncts;
+    AcyclicOptions acyclic;
+    acyclic.limits = options.EffectiveLimits();
+    return AcyclicNonempty(db, cq, acyclic, /*stats=*/nullptr, plan);
   }
+  if (stats != nullptr) ++stats->naive_disjuncts;
   NaiveOptions naive;
-  naive.max_steps = options.naive_max_steps;
+  naive.limits = options.EffectiveLimits();
   return NaiveCqNonempty(db, cq, naive);
 }
 
 }  // namespace
 
 Result<Relation> EvaluatePositive(const Database& db, const PositiveQuery& q,
-                                  const UcqOptions& options) {
-  PQ_ASSIGN_OR_RETURN(auto cqs, q.ToUnionOfCqs(options.max_disjuncts));
+                                  const UcqOptions& options, UcqStats* stats) {
+  PQ_ASSIGN_OR_RETURN(auto cqs,
+                      ExpandDedupedDisjuncts(q, options.max_disjuncts, stats));
   Relation answers(q.fo().head.size());
   for (const ConjunctiveQuery& cq : cqs) {
-    PQ_ASSIGN_OR_RETURN(Relation part, EvaluateDisjunct(db, cq, options));
+    PQ_ASSIGN_OR_RETURN(Relation part,
+                        EvaluateDisjunct(db, cq, options, stats));
     for (size_t r = 0; r < part.size(); ++r) answers.Add(part.Row(r));
   }
   answers.SortAndDedup();
@@ -43,10 +112,12 @@ Result<Relation> EvaluatePositive(const Database& db, const PositiveQuery& q,
 }
 
 Result<bool> PositiveNonempty(const Database& db, const PositiveQuery& q,
-                              const UcqOptions& options) {
-  PQ_ASSIGN_OR_RETURN(auto cqs, q.ToUnionOfCqs(options.max_disjuncts));
+                              const UcqOptions& options, UcqStats* stats) {
+  PQ_ASSIGN_OR_RETURN(auto cqs,
+                      ExpandDedupedDisjuncts(q, options.max_disjuncts, stats));
   for (const ConjunctiveQuery& cq : cqs) {
-    PQ_ASSIGN_OR_RETURN(bool nonempty, DisjunctNonempty(db, cq, options));
+    PQ_ASSIGN_OR_RETURN(bool nonempty,
+                        DisjunctNonempty(db, cq, options, stats));
     if (nonempty) return true;
   }
   return false;

@@ -1,12 +1,17 @@
 // Positive-query evaluation via expansion into a union of conjunctive
 // queries (the paper's Theorem 1 upper-bound route for parameter q: the
 // expansion is exponential in q but each disjunct is a plain CQ).
+// Syntactically identical disjuncts (equal up to variable renaming) are
+// evaluated once; every disjunct runs through the shared plan executor with
+// the caller's resource limits, and per-disjunct PlanStats aggregate into
+// UcqStats.
 #ifndef PARAQUERY_EVAL_UCQ_H_
 #define PARAQUERY_EVAL_UCQ_H_
 
 #include <cstdint>
 
 #include "common/status.hpp"
+#include "plan/plan.hpp"
 #include "query/positive_query.hpp"
 #include "relational/database.hpp"
 
@@ -19,17 +24,52 @@ struct UcqOptions {
   /// Route acyclic disjuncts through the Yannakakis evaluator instead of
   /// naive backtracking.
   bool use_acyclic_evaluator = true;
-  /// Step limit handed to the naive evaluator for cyclic disjuncts (0=off).
+  /// Unified resource guard, forwarded to every disjunct evaluation.
+  ResourceLimits limits;
+  /// DEPRECATED alias for limits.max_steps (historically only applied to
+  /// cyclic disjuncts). Used only when limits.max_steps == 0.
   uint64_t naive_max_steps = 0;
+
+  ResourceLimits EffectiveLimits() const {
+    return limits.MergedWith(/*legacy_max_rows=*/0, naive_max_steps);
+  }
+};
+
+/// Instrumentation for one EvaluatePositive/PositiveNonempty call.
+struct UcqStats {
+  /// Disjuncts produced by the expansion / dropped as syntactic duplicates /
+  /// actually evaluated (nonempty-mode short-circuits may stop early).
+  size_t disjuncts_expanded = 0;
+  size_t disjuncts_deduped = 0;
+  size_t disjuncts_evaluated = 0;
+  size_t acyclic_disjuncts = 0;  // routed to the Yannakakis plan
+  size_t naive_disjuncts = 0;    // routed to the cyclic plan
+  /// Plan-executor counters aggregated over all evaluated disjuncts.
+  PlanStats plan;
 };
 
 /// Computes Q(d) for a positive query.
 Result<Relation> EvaluatePositive(const Database& db, const PositiveQuery& q,
-                                  const UcqOptions& options = {});
+                                  const UcqOptions& options = {},
+                                  UcqStats* stats = nullptr);
 
 /// Decides Q(d) != {} (short-circuits across disjuncts).
 Result<bool> PositiveNonempty(const Database& db, const PositiveQuery& q,
-                              const UcqOptions& options = {});
+                              const UcqOptions& options = {},
+                              UcqStats* stats = nullptr);
+
+/// Canonical text of a CQ with variables renamed to first-occurrence
+/// indexes: two queries map to the same string iff they are syntactically
+/// identical up to variable naming. Used to deduplicate UCQ disjuncts (and
+/// by EXPLAIN's plan rendering).
+std::string CanonicalCqSignature(const ConjunctiveQuery& cq);
+
+/// Expands `q` into at most `max_disjuncts` CQs and drops syntactic
+/// duplicates (CanonicalCqSignature). The single expansion path shared by
+/// the evaluator and EXPLAIN's plan rendering; fills the expansion counters
+/// of `stats` when given.
+Result<std::vector<ConjunctiveQuery>> ExpandDedupedDisjuncts(
+    const PositiveQuery& q, uint64_t max_disjuncts, UcqStats* stats = nullptr);
 
 }  // namespace paraquery
 

@@ -53,6 +53,11 @@
 #include "query/positive_query.hpp"
 #include "query/term.hpp"
 
+// Physical plan IR, planner, and the shared executor.
+#include "plan/executor.hpp"
+#include "plan/plan.hpp"
+#include "plan/planner.hpp"
+
 // Evaluation engines.
 #include "eval/acyclic.hpp"
 #include "eval/datalog_eval.hpp"

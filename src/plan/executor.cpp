@@ -1,0 +1,157 @@
+#include "plan/executor.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "relational/ops.hpp"
+#include "relational/row_index.hpp"
+
+namespace paraquery {
+
+namespace {
+
+class Executor {
+ public:
+  explicit Executor(const ExecContext& ctx) : ctx_(ctx) {}
+
+  Result<NamedRelation> Exec(PlanNode& n) {
+    auto it = memo_.find(&n);
+    if (it != memo_.end()) return it->second;
+    PQ_ASSIGN_OR_RETURN(NamedRelation out, Compute(n));
+    n.actual_rows = out.size();
+    memo_.emplace(&n, out);
+    return out;
+  }
+
+ private:
+  // Tallies an executed operator's output against limits and stats.
+  Status Account(size_t* counter, const NamedRelation& out) {
+    if (ctx_.stats != nullptr) {
+      ++*counter;
+      ctx_.stats->peak_intermediate_rows =
+          std::max(ctx_.stats->peak_intermediate_rows, out.size());
+      ctx_.stats->rows_produced += out.size();
+    }
+    rows_produced_ += out.size();
+    if (ctx_.limits.max_steps != 0 && rows_produced_ > ctx_.limits.max_steps) {
+      return Status::ResourceExhausted(
+          "plan execution step limit (rows produced) exceeded");
+    }
+    if (ctx_.limits.max_rows != 0 && out.size() > ctx_.limits.max_rows) {
+      return Status::ResourceExhausted(internal::StrCat(
+          "operator output exceeds limit of ", ctx_.limits.max_rows, " rows"));
+    }
+    return Status::OK();
+  }
+
+  // No-op counter target for ops that only need the row/step accounting.
+  size_t scratch_ = 0;
+
+  Result<NamedRelation> Compute(PlanNode& n) {
+    PlanStats* stats = ctx_.stats;
+    switch (n.op) {
+      case PlanOp::kScan: {
+        if (n.input_slot < 0 ||
+            static_cast<size_t>(n.input_slot) >= ctx_.inputs.size()) {
+          return Status::Internal("plan scan references an unbound slot");
+        }
+        if (stats != nullptr) ++stats->scans;
+        return *ctx_.inputs[n.input_slot];
+      }
+      case PlanOp::kSelect: {
+        PQ_ASSIGN_OR_RETURN(NamedRelation in, Exec(*n.children[0]));
+        NamedRelation out = Select(in, n.predicate);
+        PQ_RETURN_NOT_OK(
+            Account(stats != nullptr ? &stats->selects : &scratch_, out));
+        return out;
+      }
+      case PlanOp::kProject: {
+        PQ_ASSIGN_OR_RETURN(NamedRelation in, Exec(*n.children[0]));
+        NamedRelation out = Project(in, n.attrs, n.dedup);
+        if (stats != nullptr && out.rel().SharesStorageWith(in.rel())) {
+          ++stats->zero_copy_projections;
+        }
+        PQ_RETURN_NOT_OK(
+            Account(stats != nullptr ? &stats->projections : &scratch_, out));
+        return out;
+      }
+      case PlanOp::kHashJoin: {
+        PQ_ASSIGN_OR_RETURN(NamedRelation left, Exec(*n.children[0]));
+        if (left.empty()) return NamedRelation{n.attrs};
+        PQ_ASSIGN_OR_RETURN(NamedRelation right, Exec(*n.children[1]));
+        if (right.empty()) return NamedRelation{n.attrs};
+        JoinOptions jo;
+        jo.max_output_rows = ctx_.limits.max_rows;
+        Result<NamedRelation> joined = [&]() -> Result<NamedRelation> {
+          JoinIndexCache* cache = n.children[1]->index_cache;
+          if (n.children[1]->op == PlanOp::kScan && cache != nullptr) {
+            // Build over the caller-owned slot relation, NOT the local
+            // `right` copy: the cache (and the RowIndex's Relation pointer)
+            // outlives this call, and the slot input is the one relation
+            // guaranteed to outlive the cache.
+            const Relation& stable =
+                ctx_.inputs[n.children[1]->input_slot]->rel();
+            const RowIndex& idx =
+                cache->GetOrBuild(stable, JoinKeyColumns(left, right), stats);
+            return NaturalJoin(left, right, idx, jo);
+          }
+          return NaturalJoin(left, right, jo);
+        }();
+        PQ_RETURN_NOT_OK(joined.status());
+        PQ_RETURN_NOT_OK(Account(stats != nullptr ? &stats->joins : &scratch_,
+                                 joined.value()));
+        return std::move(joined).value();
+      }
+      case PlanOp::kSemijoin: {
+        PQ_ASSIGN_OR_RETURN(NamedRelation left, Exec(*n.children[0]));
+        if (left.empty()) return NamedRelation{n.attrs};
+        PQ_ASSIGN_OR_RETURN(NamedRelation right, Exec(*n.children[1]));
+        if (right.empty()) return NamedRelation{n.attrs};
+        NamedRelation out = Semijoin(left, right);
+        PQ_RETURN_NOT_OK(
+            Account(stats != nullptr ? &stats->semijoins : &scratch_, out));
+        return out;
+      }
+      case PlanOp::kUnion: {
+        if (n.children.empty()) {
+          return Status::Internal("union plan node has no children");
+        }
+        PQ_ASSIGN_OR_RETURN(NamedRelation acc, Exec(*n.children[0]));
+        for (size_t i = 1; i < n.children.size(); ++i) {
+          PQ_ASSIGN_OR_RETURN(NamedRelation next, Exec(*n.children[i]));
+          acc = UnionSet(acc, next);
+        }
+        PQ_RETURN_NOT_OK(
+            Account(stats != nullptr ? &stats->unions : &scratch_, acc));
+        return acc;
+      }
+      case PlanOp::kDedup: {
+        PQ_ASSIGN_OR_RETURN(NamedRelation in, Exec(*n.children[0]));
+        NamedRelation out = in;
+        out.rel().HashDedup();
+        PQ_RETURN_NOT_OK(
+            Account(stats != nullptr ? &stats->dedups : &scratch_, out));
+        return out;
+      }
+      case PlanOp::kFixpoint:
+        return Status::InvalidArgument(
+            "fixpoint plan nodes are driven by the Datalog engine, not the "
+            "plan executor");
+    }
+    return Status::Internal("unknown plan operator");
+  }
+
+  const ExecContext& ctx_;
+  std::unordered_map<const PlanNode*, NamedRelation> memo_;
+  uint64_t rows_produced_ = 0;
+};
+
+}  // namespace
+
+Result<NamedRelation> ExecutePlan(PlanNode& root, const ExecContext& ctx) {
+  root.ResetActuals();
+  Executor ex(ctx);
+  return ex.Exec(root);
+}
+
+}  // namespace paraquery

@@ -1,0 +1,34 @@
+// The one plan executor shared by every evaluator: runs a PlanNode DAG on
+// the RowBlock/RowIndex kernels (relational/ops.hpp), enforcing
+// ResourceLimits and filling PlanStats plus per-node actual row counts.
+#ifndef PARAQUERY_PLAN_EXECUTOR_H_
+#define PARAQUERY_PLAN_EXECUTOR_H_
+
+#include <span>
+
+#include "common/status.hpp"
+#include "plan/plan.hpp"
+#include "relational/named_relation.hpp"
+
+namespace paraquery {
+
+/// Per-execution environment: the scan slot table, limits, and stats sink.
+struct ExecContext {
+  /// Scan nodes read `*inputs[input_slot]`; relations must outlive the call.
+  std::span<const NamedRelation* const> inputs;
+  ResourceLimits limits;
+  PlanStats* stats = nullptr;  // optional
+};
+
+/// Executes `root` once (shared nodes are evaluated a single time) and
+/// returns its result relation. Empty operator inputs short-circuit: the
+/// dependent operator returns its (statically known) empty output without
+/// running — and without counting — downstream kernels, reproducing the
+/// early-exit behavior of the hand-rolled evaluators this replaced.
+/// Fixpoint nodes are rejected (their iteration belongs to the Datalog
+/// engine, which executes the per-rule child plans itself).
+Result<NamedRelation> ExecutePlan(PlanNode& root, const ExecContext& ctx);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_PLAN_EXECUTOR_H_

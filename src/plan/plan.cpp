@@ -1,0 +1,294 @@
+#include "plan/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/status.hpp"
+
+namespace paraquery {
+
+namespace {
+
+// Join cardinality: containment-style guess with V(attr) ≈ relation size.
+// Deliberately coarse — ordering decisions use real input sizes, estimates
+// exist so EXPLAIN can show est vs actual drift.
+double EstimateJoin(double l, double r, size_t common_attrs) {
+  if (l < 0 || r < 0) return -1.0;
+  if (common_attrs == 0) return l * r;
+  double est = l * r / std::max(1.0, std::max(l, r));
+  // Every extra shared attribute filters further.
+  for (size_t i = 1; i < common_attrs; ++i) est *= 0.1;
+  return est;
+}
+
+double EstimateSelect(double in, const Predicate& pred) {
+  if (in < 0) return -1.0;
+  double est = in;
+  for (const Constraint& c : pred.constraints()) {
+    switch (c.kind) {
+      case Constraint::Kind::kEqConst:
+      case Constraint::Kind::kEqCols:
+        est *= 0.1;
+        break;
+      case Constraint::Kind::kNeqConst:
+      case Constraint::Kind::kNeqCols:
+        est *= 0.9;
+        break;
+      default:
+        est *= 0.5;
+        break;
+    }
+  }
+  return est;
+}
+
+}  // namespace
+
+const char* PlanOpName(PlanOp op) {
+  switch (op) {
+    case PlanOp::kScan:
+      return "Scan";
+    case PlanOp::kSelect:
+      return "Select";
+    case PlanOp::kProject:
+      return "Project";
+    case PlanOp::kHashJoin:
+      return "HashJoin";
+    case PlanOp::kSemijoin:
+      return "Semijoin";
+    case PlanOp::kUnion:
+      return "Union";
+    case PlanOp::kDedup:
+      return "Dedup";
+    case PlanOp::kFixpoint:
+      return "Fixpoint";
+  }
+  return "?";
+}
+
+void PlanStats::Merge(const PlanStats& o) {
+  scans += o.scans;
+  selects += o.selects;
+  projections += o.projections;
+  semijoins += o.semijoins;
+  joins += o.joins;
+  unions += o.unions;
+  dedups += o.dedups;
+  peak_intermediate_rows =
+      std::max(peak_intermediate_rows, o.peak_intermediate_rows);
+  rows_produced += o.rows_produced;
+  shared_atom_storage += o.shared_atom_storage;
+  zero_copy_projections += o.zero_copy_projections;
+  index_builds += o.index_builds;
+  index_hits += o.index_hits;
+}
+
+std::string PlanStats::ToString() const {
+  std::ostringstream oss;
+  oss << "scans=" << scans << " selects=" << selects
+      << " projections=" << projections << " semijoins=" << semijoins
+      << " joins=" << joins << " unions=" << unions << " dedups=" << dedups
+      << "\nrows_produced=" << rows_produced
+      << " peak_intermediate_rows=" << peak_intermediate_rows
+      << "\nshared_atom_storage=" << shared_atom_storage
+      << " zero_copy_projections=" << zero_copy_projections
+      << " index_builds=" << index_builds << " index_hits=" << index_hits;
+  return oss.str();
+}
+
+const RowIndex& JoinIndexCache::GetOrBuild(const Relation& rel,
+                                           const std::vector<int>& cols,
+                                           PlanStats* stats) {
+  for (const auto& [key, idx] : indexes_) {
+    if (key == cols) {
+      if (stats != nullptr) ++stats->index_hits;
+      return idx;
+    }
+  }
+  if (stats != nullptr) ++stats->index_builds;
+  indexes_.emplace_back(cols, RowIndex(rel, cols));
+  return indexes_.back().second;
+}
+
+void PlanNode::ResetActuals() {
+  actual_rows = kNotExecuted;
+  for (const PlanNodePtr& c : children) c->ResetActuals();
+}
+
+PlanNodePtr MakeScan(int slot, std::vector<AttrId> attrs, std::string label,
+                     double est_rows, JoinIndexCache* cache) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanOp::kScan;
+  n->attrs = std::move(attrs);
+  n->label = std::move(label);
+  n->est_rows = est_rows;
+  n->input_slot = slot;
+  n->index_cache = cache;
+  return n;
+}
+
+PlanNodePtr MakeSelect(PlanNodePtr child, Predicate predicate) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanOp::kSelect;
+  n->attrs = child->attrs;
+  n->label = predicate.ToString();
+  n->est_rows = EstimateSelect(child->est_rows, predicate);
+  n->predicate = std::move(predicate);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanNodePtr MakeProject(PlanNodePtr child, std::vector<AttrId> attrs,
+                        bool dedup) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanOp::kProject;
+  n->attrs = std::move(attrs);
+  n->est_rows = child->est_rows;
+  n->dedup = dedup;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanNodePtr MakeHashJoin(PlanNodePtr left, PlanNodePtr right) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanOp::kHashJoin;
+  n->attrs = left->attrs;
+  size_t common = 0;
+  for (AttrId a : right->attrs) {
+    if (std::find(n->attrs.begin(), n->attrs.end(), a) != n->attrs.end()) {
+      ++common;
+    } else {
+      n->attrs.push_back(a);
+    }
+  }
+  n->est_rows = EstimateJoin(left->est_rows, right->est_rows, common);
+  n->children.push_back(std::move(left));
+  n->children.push_back(std::move(right));
+  return n;
+}
+
+PlanNodePtr MakeSemijoin(PlanNodePtr left, PlanNodePtr right) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanOp::kSemijoin;
+  n->attrs = left->attrs;
+  n->est_rows = left->est_rows < 0 ? -1.0 : left->est_rows * 0.5;
+  n->children.push_back(std::move(left));
+  n->children.push_back(std::move(right));
+  return n;
+}
+
+PlanNodePtr MakeUnion(std::vector<PlanNodePtr> children,
+                      std::vector<AttrId> attrs) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanOp::kUnion;
+  n->attrs = std::move(attrs);
+  double est = 0;
+  for (const PlanNodePtr& c : children) {
+    if (c->est_rows < 0) {
+      est = -1.0;
+      break;
+    }
+    est += c->est_rows;
+  }
+  n->est_rows = est;
+  n->children = std::move(children);
+  return n;
+}
+
+PlanNodePtr MakeDedup(PlanNodePtr child) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanOp::kDedup;
+  n->attrs = child->attrs;
+  n->est_rows = child->est_rows;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanNodePtr MakeFixpoint(std::vector<PlanNodePtr> rule_plans,
+                         std::string label) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanOp::kFixpoint;
+  n->label = std::move(label);
+  n->children = std::move(rule_plans);
+  return n;
+}
+
+namespace {
+
+void CountRefs(const PlanNode& node,
+               std::unordered_map<const PlanNode*, int>* refs) {
+  if (++(*refs)[&node] > 1) return;  // children already counted once
+  for (const PlanNodePtr& c : node.children) CountRefs(*c, refs);
+}
+
+struct Renderer {
+  const VarTable* vars;
+  const std::unordered_map<const PlanNode*, int>* refs;
+  std::unordered_map<const PlanNode*, int> shown;  // node -> shared id
+  int next_id = 1;
+  std::ostringstream out;
+
+  std::string AttrName(AttrId a) const {
+    if (vars != nullptr && a >= 0 && a < vars->size()) return vars->name(a);
+    return internal::StrCat("$", a);
+  }
+
+  void Line(const PlanNode& n, int depth, bool reference) {
+    for (int i = 0; i < depth; ++i) out << "  ";
+    out << PlanOpName(n.op) << "(";
+    for (size_t i = 0; i < n.attrs.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << AttrName(n.attrs[i]);
+    }
+    out << ")";
+    if (!n.label.empty()) out << " " << n.label;
+    if (reference) {
+      out << " see #" << shown.at(&n) << "\n";
+      return;
+    }
+    if (n.op == PlanOp::kScan) {
+      if (n.est_rows >= 0) {
+        out << " rows=" << static_cast<uint64_t>(n.est_rows);
+      } else {
+        out << " rows=?";
+      }
+    } else if (n.op != PlanOp::kFixpoint) {
+      if (n.est_rows >= 0) {
+        out << " est=" << static_cast<uint64_t>(std::llround(n.est_rows));
+      } else {
+        out << " est=?";
+      }
+      if (n.actual_rows != PlanNode::kNotExecuted) {
+        out << " actual=" << n.actual_rows;
+      }
+    }
+    auto it = refs->find(&n);
+    if (it != refs->end() && it->second > 1) {
+      shown[&n] = next_id;
+      out << " as #" << next_id++;
+    }
+    out << "\n";
+  }
+
+  void Walk(const PlanNode& n, int depth) {
+    bool reference = shown.count(&n) > 0;
+    Line(n, depth, reference);
+    if (reference) return;
+    for (const PlanNodePtr& c : n.children) Walk(*c, depth + 1);
+  }
+};
+
+}  // namespace
+
+std::string RenderPlan(const PlanNode& root, const VarTable* vars) {
+  std::unordered_map<const PlanNode*, int> refs;
+  CountRefs(root, &refs);
+  Renderer r{vars, &refs, {}, 1, {}};
+  r.Walk(root, 0);
+  return r.out.str();
+}
+
+}  // namespace paraquery

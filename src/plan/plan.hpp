@@ -1,0 +1,173 @@
+// Physical plan IR: the one executable representation every evaluator lowers
+// to. A plan is a DAG of PlanNodes (shared subplans are permitted — the
+// Yannakakis schedule reuses reduced relations in several places) over the
+// operators the paper's algorithms are stated in: Scan (an S_j input slot),
+// Select, Project, HashJoin, Semijoin, Union, Dedup, and Fixpoint (a marker
+// node whose iteration is driven by the Datalog engine).
+//
+// The planner (planner.hpp) lowers classified queries to plans; the executor
+// (executor.hpp) runs any plan on the RowBlock/RowIndex kernels and fills in
+// per-node actual row counts next to the planner's estimates. RenderPlan
+// prints the indented tree EXPLAIN shows.
+#ifndef PARAQUERY_PLAN_PLAN_H_
+#define PARAQUERY_PLAN_PLAN_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "query/term.hpp"
+#include "relational/named_relation.hpp"
+#include "relational/predicate.hpp"
+#include "relational/row_index.hpp"
+
+namespace paraquery {
+
+/// Unified resource guard, forwarded from EngineOptions to every evaluator
+/// and plan execution. Replaces the historical AcyclicOptions::max_rows /
+/// NaiveOptions::max_steps / UcqOptions::naive_max_steps trio (those fields
+/// remain as deprecated aliases).
+struct ResourceLimits {
+  /// Abort (ResourceExhausted) when a single operator's output exceeds this
+  /// many rows (0 = off). Scans are inputs and are exempt.
+  uint64_t max_rows = 0;
+  /// Abort (ResourceExhausted) when the total rows produced by all operators
+  /// of one plan execution exceed this (0 = off).
+  uint64_t max_steps = 0;
+
+  /// `legacy` wins only where this struct has no value (legacy-alias merge).
+  ResourceLimits MergedWith(uint64_t legacy_max_rows,
+                            uint64_t legacy_max_steps) const {
+    ResourceLimits out = *this;
+    if (out.max_rows == 0) out.max_rows = legacy_max_rows;
+    if (out.max_steps == 0) out.max_steps = legacy_max_steps;
+    return out;
+  }
+};
+
+/// Physical operators.
+enum class PlanOp {
+  kScan,      // read input slot `input_slot` (an S_j or an IDB/delta view)
+  kSelect,    // filter by `predicate` (columns index the child's attrs)
+  kProject,   // keep `attrs`, optionally deduplicating
+  kHashJoin,  // natural join, right side probed through a RowIndex
+  kSemijoin,  // left ⋉ right
+  kUnion,     // set union of same-attribute children. The UCQ evaluator
+              // currently iterates disjunct plans itself (their head
+              // variables are standardized apart), so this op is executable
+              // but not yet planner-emitted.
+  kDedup,     // explicit set-semantics enforcement
+  kFixpoint,  // Datalog marker: children are per-rule body plans; iteration
+              // is driven by the semi-naive engine, not the plan executor
+};
+
+const char* PlanOpName(PlanOp op);
+
+/// Counters shared by every plan execution. This is the unified home the
+/// per-evaluator AcyclicStats/DatalogStats operator counters folded into;
+/// evaluator-specific structs keep their non-operator counters (fixpoint
+/// iterations, EDB cache hits) and mirror these for backward compatibility.
+struct PlanStats {
+  size_t scans = 0;
+  size_t selects = 0;
+  size_t projections = 0;
+  size_t semijoins = 0;
+  size_t joins = 0;
+  size_t unions = 0;
+  size_t dedups = 0;
+  /// Largest operator output (scans excluded) seen during execution.
+  size_t peak_intermediate_rows = 0;
+  /// Total rows produced by operators (the ResourceLimits::max_steps meter).
+  uint64_t rows_produced = 0;
+  /// S_j scans bound to zero-copy views over stored relations (plan time).
+  size_t shared_atom_storage = 0;
+  /// Project calls answered by a storage-sharing view instead of a row copy.
+  size_t zero_copy_projections = 0;
+  /// JoinIndexCache activity (memoized join indexes over cached scans).
+  size_t index_builds = 0;
+  size_t index_hits = 0;
+
+  void Merge(const PlanStats& o);
+  std::string ToString() const;
+};
+
+/// Memo of RowIndexes over one materialized relation, keyed by probe-column
+/// list. Scan nodes may carry one; HashJoins whose probe side is such a scan
+/// reuse the built index across executions (e.g. semi-naive iterations over
+/// a static EDB atom). The indexed relation must stay alive and unmodified
+/// for the cache's lifetime; any storage-sharing view may probe it.
+class JoinIndexCache {
+ public:
+  const RowIndex& GetOrBuild(const Relation& rel, const std::vector<int>& cols,
+                             PlanStats* stats);
+
+ private:
+  std::deque<std::pair<std::vector<int>, RowIndex>> indexes_;
+};
+
+struct PlanNode;
+using PlanNodePtr = std::shared_ptr<PlanNode>;
+
+/// One physical operator. Nodes may be shared between parents (DAG); the
+/// executor evaluates each node at most once per execution.
+struct PlanNode {
+  static constexpr uint64_t kNotExecuted = ~uint64_t{0};
+
+  PlanOp op = PlanOp::kScan;
+  std::vector<PlanNodePtr> children;
+  /// Output attributes (query variable ids).
+  std::vector<AttrId> attrs;
+  /// Human-readable annotation: relation/atom text for Scan, predicate text
+  /// for Select, rule text for Fixpoint children, ...
+  std::string label;
+  /// Planner's cardinality estimate (< 0: unknown, rendered as "?").
+  double est_rows = -1.0;
+
+  // --- kScan payload ---
+  int input_slot = -1;
+  JoinIndexCache* index_cache = nullptr;
+
+  // --- kSelect payload (columns index this node's attrs) ---
+  Predicate predicate;
+
+  // --- kProject payload ---
+  bool dedup = true;
+
+  /// Filled by the executor (rows of the computed result).
+  uint64_t actual_rows = kNotExecuted;
+
+  /// Clears actual_rows recursively (before re-executing a cached plan).
+  void ResetActuals();
+};
+
+PlanNodePtr MakeScan(int slot, std::vector<AttrId> attrs, std::string label,
+                     double est_rows, JoinIndexCache* cache = nullptr);
+PlanNodePtr MakeSelect(PlanNodePtr child, Predicate predicate);
+PlanNodePtr MakeProject(PlanNodePtr child, std::vector<AttrId> attrs,
+                        bool dedup);
+PlanNodePtr MakeHashJoin(PlanNodePtr left, PlanNodePtr right);
+PlanNodePtr MakeSemijoin(PlanNodePtr left, PlanNodePtr right);
+PlanNodePtr MakeUnion(std::vector<PlanNodePtr> children,
+                      std::vector<AttrId> attrs);
+PlanNodePtr MakeDedup(PlanNodePtr child);
+PlanNodePtr MakeFixpoint(std::vector<PlanNodePtr> rule_plans,
+                         std::string label);
+
+/// Renders the plan as an indented tree, one node per line:
+///
+///   HashJoin(x, y, z) est=40 actual=31
+///     Semijoin(x, y) est=50 actual=44 as #1
+///       Scan E(x, y) rows=50
+///       Scan E(y, z) rows=50
+///     Scan E(y, z) rows=50
+///
+/// Attributes print as variable names when `vars` is given, ids otherwise.
+/// Shared subplans are printed once; later references render as "see #k".
+std::string RenderPlan(const PlanNode& root, const VarTable* vars = nullptr);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_PLAN_PLAN_H_

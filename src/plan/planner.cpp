@@ -1,0 +1,397 @@
+#include "plan/planner.hpp"
+
+#include <algorithm>
+
+#include "eval/common.hpp"
+#include "hypergraph/join_tree.hpp"
+#include "plan/executor.hpp"
+
+namespace paraquery {
+
+namespace {
+
+std::string TermText(const Term& t, const VarTable& vars) {
+  if (t.is_const()) return internal::StrCat(t.value());
+  if (t.var() >= 0 && t.var() < vars.size()) return vars.name(t.var());
+  return internal::StrCat("$", t.var());
+}
+
+std::string AtomText(const Atom& a, const VarTable& vars) {
+  std::string out = a.relation + "(";
+  for (size_t i = 0; i < a.terms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += TermText(a.terms[i], vars);
+  }
+  return out + ")";
+}
+
+// Builds a Constraint for `cmp` against a relation whose columns carry the
+// attribute ids `attrs` (every variable of `cmp` must be present).
+Result<Constraint> CompareToConstraint(const std::vector<AttrId>& attrs,
+                                       const CompareAtom& cmp) {
+  auto col_of = [&attrs](const Term& t) -> int {
+    if (!t.is_var()) return -1;
+    auto it = std::find(attrs.begin(), attrs.end(), t.var());
+    return it == attrs.end() ? -1 : static_cast<int>(it - attrs.begin());
+  };
+  bool lv = cmp.lhs.is_var(), rv = cmp.rhs.is_var();
+  if (lv && rv) {
+    int a = col_of(cmp.lhs), b = col_of(cmp.rhs);
+    if (a < 0 || b < 0) {
+      return Status::InvalidArgument("comparison variable is not bound");
+    }
+    switch (cmp.op) {
+      case CompareOp::kNeq:
+        return Constraint::NeqCols(a, b);
+      case CompareOp::kLt:
+        return Constraint::LtCols(a, b);
+      case CompareOp::kLe:
+        return Constraint::LeCols(a, b);
+      case CompareOp::kEq:
+        return Constraint::EqCols(a, b);
+    }
+  }
+  // var OP const (normalized; const OP var mirrors the operator).
+  Term var = lv ? cmp.lhs : cmp.rhs;
+  Value c = lv ? cmp.rhs.value() : cmp.lhs.value();
+  int col = col_of(var);
+  if (col < 0) {
+    return Status::InvalidArgument("comparison variable is not bound");
+  }
+  if (!lv) {
+    if (cmp.op == CompareOp::kLt) return Constraint::GtConst(col, c);
+    if (cmp.op == CompareOp::kLe) return Constraint::GeConst(col, c);
+  }
+  switch (cmp.op) {
+    case CompareOp::kNeq:
+      return Constraint::NeqConst(col, c);
+    case CompareOp::kLt:
+      return Constraint::LtConst(col, c);
+    case CompareOp::kLe:
+      return Constraint::LeConst(col, c);
+    case CompareOp::kEq:
+      return Constraint::EqConst(col, c);
+  }
+  return Status::Internal("unknown comparison operator");
+}
+
+// True when every variable of `cmp` occurs in `attrs`.
+bool CompareBound(const std::vector<AttrId>& attrs, const CompareAtom& cmp) {
+  auto ok = [&attrs](const Term& t) {
+    return t.is_const() || std::find(attrs.begin(), attrs.end(), t.var()) !=
+                               attrs.end();
+  };
+  return ok(cmp.lhs) && ok(cmp.rhs);
+}
+
+// Builds the slot-bound S_j scan for each body atom. Counts zero-copy views.
+Status BuildAtomScans(const Database& db, const ConjunctiveQuery& q,
+                      PhysicalPlan* plan, std::vector<PlanNodePtr>* scans) {
+  for (const Atom& a : q.body) {
+    PQ_ASSIGN_OR_RETURN(RelId id, db.FindRelation(a.relation));
+    PQ_ASSIGN_OR_RETURN(NamedRelation rel, AtomToRelation(db.relation(id), a));
+    if (rel.rel().SharesStorageWith(db.relation(id))) {
+      ++plan->shared_atom_storage;
+    }
+    int slot = static_cast<int>(plan->inputs.size());
+    scans->push_back(MakeScan(slot, rel.attrs(), AtomText(a, q.vars),
+                              static_cast<double>(rel.size())));
+    plan->inputs.push_back(std::move(rel));
+  }
+  return Status::OK();
+}
+
+Status CheckAcyclicSupported(const ConjunctiveQuery& q) {
+  PQ_RETURN_NOT_OK(q.Validate());
+  if (q.HasComparisons()) {
+    return Status::InvalidArgument(
+        "acyclic plan does not accept comparison atoms (use the inequality "
+        "evaluator or the cyclic planner)");
+  }
+  if (q.body.empty()) {
+    return Status::InvalidArgument("query has no relational atoms");
+  }
+  return Status::OK();
+}
+
+// Shared skeleton of the two acyclic entry points: scans, the join tree, and
+// the semijoin passes. `cur[j]` ends as node j's reduced relation: upward
+// semijoins only for the decision plan, upward + downward (the full reducer)
+// for evaluation, or the raw scans when the reducer is ablated away.
+Status PrepareAcyclic(const Database& db, const ConjunctiveQuery& q,
+                      bool full_reducer, bool decision_only,
+                      PhysicalPlan* plan, std::vector<PlanNodePtr>* cur,
+                      JoinTree* tree) {
+  PQ_RETURN_NOT_OK(CheckAcyclicSupported(q));
+  PQ_RETURN_NOT_OK(BuildAtomScans(db, q, plan, cur));
+  Hypergraph h = q.BuildHypergraph();
+  auto built = BuildJoinTree(h);
+  if (!built.ok()) {
+    return Status::InvalidArgument(internal::StrCat(
+        "query is not acyclic: ", built.status().message()));
+  }
+  *tree = std::move(built).value();
+  if (!decision_only && !full_reducer) return Status::OK();  // ablation E7b
+  // Upward semijoin pass (Yannakakis Algorithm 1): after it the root is
+  // empty iff the join is empty.
+  for (int j : tree->bottom_up) {
+    int u = tree->parent[j];
+    if (u < 0) continue;
+    (*cur)[u] = MakeSemijoin((*cur)[u], (*cur)[j]);
+  }
+  if (!decision_only) {
+    // Downward pass: the relations become globally consistent.
+    for (int j : tree->top_down) {
+      int u = tree->parent[j];
+      if (u < 0) continue;
+      (*cur)[j] = MakeSemijoin((*cur)[j], (*cur)[u]);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<size_t> GreedyAtomOrder(
+    const std::vector<const std::vector<AttrId>*>& attrs,
+    const std::vector<size_t>& sizes, int num_vars, int pinned_first) {
+  size_t n = attrs.size();
+  std::vector<bool> used(n, false);
+  std::vector<bool> bound(std::max(1, num_vars), false);
+  std::vector<size_t> order;
+  order.reserve(n);
+  if (pinned_first >= 0 && static_cast<size_t>(pinned_first) < n) {
+    used[pinned_first] = true;
+    for (AttrId a : *attrs[pinned_first]) bound[a] = true;
+    order.push_back(static_cast<size_t>(pinned_first));
+  }
+  while (order.size() < n) {
+    int best = -1;
+    bool best_connected = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      bool connected = false;
+      for (AttrId a : *attrs[i]) {
+        if (bound[a]) {
+          connected = true;
+          break;
+        }
+      }
+      if (best < 0 || (connected && !best_connected) ||
+          (connected == best_connected && sizes[i] < sizes[best])) {
+        best = static_cast<int>(i);
+        best_connected = connected;
+      }
+    }
+    used[best] = true;
+    for (AttrId a : *attrs[best]) bound[a] = true;
+    order.push_back(static_cast<size_t>(best));
+  }
+  return order;
+}
+
+std::vector<size_t> GreedyAtomOrder(const std::vector<NamedRelation>& rels,
+                                    int num_vars, int pinned_first) {
+  std::vector<const std::vector<AttrId>*> attrs;
+  std::vector<size_t> sizes;
+  attrs.reserve(rels.size());
+  sizes.reserve(rels.size());
+  int max_var = num_vars;
+  for (const NamedRelation& r : rels) {
+    attrs.push_back(&r.attrs());
+    sizes.push_back(r.size());
+    for (AttrId a : r.attrs()) max_var = std::max(max_var, a + 1);
+  }
+  return GreedyAtomOrder(attrs, sizes, max_var, pinned_first);
+}
+
+Result<PhysicalPlan> PlanAcyclicCq(const Database& db,
+                                   const ConjunctiveQuery& q,
+                                   const PlannerOptions& options) {
+  PhysicalPlan plan;
+  plan.head = q.head;
+  plan.vars = q.vars;
+  std::vector<PlanNodePtr> cur;
+  JoinTree tree;
+  PQ_RETURN_NOT_OK(PrepareAcyclic(db, q, options.full_reducer,
+                                  /*decision_only=*/false, &plan, &cur,
+                                  &tree));
+
+  // Head variables contributed by each subtree (the projection sets Z_j).
+  std::vector<VarId> head_vars = q.HeadVariables();
+  auto is_head = [&head_vars](AttrId a) {
+    return std::find(head_vars.begin(), head_vars.end(), a) !=
+           head_vars.end();
+  };
+  size_t m = tree.size();
+  std::vector<std::vector<AttrId>> subtree_head(m);
+  for (int j : tree.bottom_up) {
+    std::vector<AttrId> acc;
+    for (AttrId a : cur[j]->attrs) {
+      if (is_head(a)) acc.push_back(a);
+    }
+    for (int c : tree.children[j]) {
+      for (AttrId a : subtree_head[c]) acc.push_back(a);
+    }
+    std::sort(acc.begin(), acc.end());
+    acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
+    subtree_head[j] = std::move(acc);
+  }
+
+  // Upward join-and-project pass: P_u := P_u ⋈ π_{Z_j}(P_j) with
+  // Z_j = (U_j ∩ U_u) ∪ (Z ∩ at(T[j])).
+  for (int j : tree.bottom_up) {
+    int u = tree.parent[j];
+    if (u < 0) continue;
+    std::vector<AttrId> zj;
+    for (AttrId a : cur[j]->attrs) {
+      if (std::find(cur[u]->attrs.begin(), cur[u]->attrs.end(), a) !=
+          cur[u]->attrs.end()) {
+        zj.push_back(a);
+      }
+    }
+    for (AttrId a : subtree_head[j]) {
+      if (std::find(zj.begin(), zj.end(), a) == zj.end()) zj.push_back(a);
+    }
+    cur[u] = MakeHashJoin(cur[u], MakeProject(cur[j], zj, /*dedup=*/true));
+  }
+  plan.root = MakeProject(cur[tree.root], head_vars, /*dedup=*/true);
+  return plan;
+}
+
+Result<PhysicalPlan> PlanAcyclicDecision(const Database& db,
+                                         const ConjunctiveQuery& q,
+                                         const PlannerOptions& options) {
+  PhysicalPlan plan;
+  plan.head = q.head;
+  plan.vars = q.vars;
+  std::vector<PlanNodePtr> cur;
+  JoinTree tree;
+  PQ_RETURN_NOT_OK(PrepareAcyclic(db, q, options.full_reducer,
+                                  /*decision_only=*/true, &plan, &cur,
+                                  &tree));
+  plan.root = cur[tree.root];
+  return plan;
+}
+
+Result<PhysicalPlan> PlanCyclicCq(const Database& db,
+                                  const ConjunctiveQuery& q,
+                                  const PlannerOptions& options) {
+  PQ_RETURN_NOT_OK(q.Validate());
+  PhysicalPlan plan;
+  plan.head = q.head;
+  plan.vars = q.vars;
+  std::vector<VarId> head_vars = q.HeadVariables();
+
+  // Constant/constant comparisons are decided now; one false comparison
+  // refutes the query on every database.
+  std::vector<const CompareAtom*> pending;
+  for (const CompareAtom& c : q.comparisons) {
+    if (c.lhs.is_const() && c.rhs.is_const()) {
+      if (!CompareAtom::Apply(c.op, c.lhs.value(), c.rhs.value())) {
+        plan.inputs.emplace_back(head_vars);
+        plan.root = MakeScan(0, head_vars, "inconsistent comparison", 0.0);
+        return plan;
+      }
+      continue;  // tautology
+    }
+    pending.push_back(&c);
+  }
+
+  if (q.body.empty()) {
+    // Constant-only head (safety): one empty binding row.
+    plan.inputs.push_back(BooleanTrue());
+    plan.root = MakeScan(0, {}, "true", 1.0);
+    return plan;
+  }
+
+  std::vector<PlanNodePtr> scans;
+  PQ_RETURN_NOT_OK(BuildAtomScans(db, q, &plan, &scans));
+  std::vector<size_t> order;
+  if (options.reorder) {
+    order = GreedyAtomOrder(plan.inputs, q.NumVariables());
+  } else {
+    for (size_t i = 0; i < scans.size(); ++i) order.push_back(i);
+  }
+
+  // Left-deep chain; each comparison becomes a Select at the first point
+  // where all of its variables are bound.
+  std::vector<bool> applied(pending.size(), false);
+  PlanNodePtr node;
+  auto apply_selects = [&]() -> Status {
+    Predicate pred;
+    for (size_t c = 0; c < pending.size(); ++c) {
+      if (applied[c] || !CompareBound(node->attrs, *pending[c])) continue;
+      PQ_ASSIGN_OR_RETURN(Constraint cons,
+                          CompareToConstraint(node->attrs, *pending[c]));
+      pred.Add(cons);
+      applied[c] = true;
+    }
+    if (!pred.empty()) node = MakeSelect(std::move(node), std::move(pred));
+    return Status::OK();
+  };
+  for (size_t k = 0; k < order.size(); ++k) {
+    node = (k == 0) ? scans[order[0]]
+                    : MakeHashJoin(std::move(node), scans[order[k]]);
+    PQ_RETURN_NOT_OK(apply_selects());
+  }
+  plan.root =
+      MakeDedup(MakeProject(std::move(node), head_vars, /*dedup=*/false));
+  return plan;
+}
+
+Result<PhysicalPlan> PlanConjunctive(const Database& db,
+                                     const ConjunctiveQuery& q,
+                                     const PlannerOptions& options) {
+  if (!q.HasComparisons() && !q.body.empty() && q.IsAcyclic()) {
+    return PlanAcyclicCq(db, q, options);
+  }
+  return PlanCyclicCq(db, q, options);
+}
+
+Result<NamedRelation> ExecutePhysicalPlan(PhysicalPlan& plan,
+                                          const ResourceLimits& limits,
+                                          PlanStats* stats) {
+  if (stats != nullptr) stats->shared_atom_storage += plan.shared_atom_storage;
+  std::vector<const NamedRelation*> ptrs;
+  ptrs.reserve(plan.inputs.size());
+  for (const NamedRelation& r : plan.inputs) ptrs.push_back(&r);
+  ExecContext ctx{ptrs, limits, stats};
+  return ExecutePlan(*plan.root, ctx);
+}
+
+Result<PlanNodePtr> PlanRuleBody(const DatalogRule& rule,
+                                 const std::vector<std::vector<AttrId>>& attrs,
+                                 const std::vector<size_t>& sizes,
+                                 const std::vector<JoinIndexCache*>& caches,
+                                 int delta_pos) {
+  if (rule.body.empty()) {
+    return Status::InvalidArgument("cannot plan an empty rule body");
+  }
+  std::vector<PlanNodePtr> scans;
+  int num_vars = rule.vars.size();
+  std::vector<const std::vector<AttrId>*> attr_ptrs;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    std::string label = AtomText(rule.body[i], rule.vars);
+    if (static_cast<int>(i) == delta_pos) label += " [delta]";
+    scans.push_back(MakeScan(static_cast<int>(i), attrs[i], std::move(label),
+                             static_cast<double>(sizes[i]), caches[i]));
+    attr_ptrs.push_back(&attrs[i]);
+  }
+  std::vector<size_t> order =
+      GreedyAtomOrder(attr_ptrs, sizes, num_vars, delta_pos);
+  PlanNodePtr node = scans[order[0]];
+  for (size_t k = 1; k < order.size(); ++k) {
+    node = MakeHashJoin(std::move(node), scans[order[k]]);
+  }
+  std::vector<AttrId> head_vars;
+  for (const Term& t : rule.head.terms) {
+    if (t.is_var() && std::find(head_vars.begin(), head_vars.end(),
+                                t.var()) == head_vars.end()) {
+      head_vars.push_back(t.var());
+    }
+  }
+  return MakeProject(std::move(node), head_vars, /*dedup=*/true);
+}
+
+}  // namespace paraquery

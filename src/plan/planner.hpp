@@ -1,0 +1,111 @@
+// Cost-aware lowering from classified queries to physical plans.
+//
+//   * Acyclic comparison-free CQs lower along a GYO join tree to the exact
+//     Yannakakis schedule: upward semijoins, downward semijoins (the full
+//     reducer), then the upward join-and-project pass — one Semijoin/HashJoin
+//     node per legacy operator call, so PlanStats reproduces the historical
+//     AcyclicStats counts.
+//   * Cyclic CQs (and any CQ with comparison atoms) lower to a left-deep
+//     HashJoin chain in the greedy smallest-relation-first connected order,
+//     with comparison atoms applied as Select nodes at the earliest point
+//     where all their variables are bound, and a Project+Dedup head.
+//   * Datalog rule bodies lower to reusable left-deep plans over slot-bound
+//     scans (slot i = body position i) so the semi-naive engine plans each
+//     (rule, delta position) variant once and re-executes it every iteration.
+#ifndef PARAQUERY_PLAN_PLANNER_H_
+#define PARAQUERY_PLAN_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "plan/plan.hpp"
+#include "query/conjunctive_query.hpp"
+#include "query/datalog.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+
+struct PlannerOptions {
+  /// Acyclic plans: include the downward semijoin pass (ablation knob,
+  /// mirrors AcyclicOptions::full_reducer).
+  bool full_reducer = true;
+  /// Cyclic plans: apply the greedy atom ordering. Off = join in the query's
+  /// textual atom order (the seed-order baseline bench_planner measures).
+  bool reorder = true;
+};
+
+/// A lowered plan plus everything needed to run it: the slot-bound input
+/// relations (the S_j materializations; scans reference them by slot), the
+/// head terms for mapping bindings to answers, and the query's variable
+/// names for rendering.
+struct PhysicalPlan {
+  PlanNodePtr root;
+  std::vector<NamedRelation> inputs;
+  std::vector<Term> head;
+  VarTable vars;
+  /// Inputs bound to zero-copy views of stored relations (plan-time stat,
+  /// merged into PlanStats::shared_atom_storage on execution).
+  size_t shared_atom_storage = 0;
+
+  std::string Render() const { return RenderPlan(*root, &vars); }
+};
+
+/// Routes to PlanAcyclicCq for acyclic comparison-free queries with a
+/// nonempty body, PlanCyclicCq otherwise.
+Result<PhysicalPlan> PlanConjunctive(const Database& db,
+                                     const ConjunctiveQuery& q,
+                                     const PlannerOptions& options = {});
+
+/// Full-evaluation Yannakakis plan (rejects comparisons / cyclic queries).
+Result<PhysicalPlan> PlanAcyclicCq(const Database& db,
+                                   const ConjunctiveQuery& q,
+                                   const PlannerOptions& options = {});
+
+/// Decision plan: the upward semijoin pass only; the root's result is
+/// nonempty iff Q(d) is nonempty.
+Result<PhysicalPlan> PlanAcyclicDecision(const Database& db,
+                                         const ConjunctiveQuery& q,
+                                         const PlannerOptions& options = {});
+
+/// Left-deep greedy plan for arbitrary (incl. cyclic) CQs with comparisons.
+Result<PhysicalPlan> PlanCyclicCq(const Database& db,
+                                  const ConjunctiveQuery& q,
+                                  const PlannerOptions& options = {});
+
+/// Binds `plan`'s input slots and runs the shared executor. Returns the
+/// root's binding relation (attributes = head variables for CQ plans);
+/// callers map it through the head with BindingsToAnswers.
+Result<NamedRelation> ExecutePhysicalPlan(PhysicalPlan& plan,
+                                          const ResourceLimits& limits,
+                                          PlanStats* stats = nullptr);
+
+/// The greedy atom order shared by the cyclic planner and the naive
+/// backtracking search: repeatedly pick the smallest not-yet-chosen atom
+/// among those sharing a bound variable (falling back to the smallest
+/// remaining when none connects). `pinned_first` (when >= 0) is forced to
+/// the front — the semi-naive delta position. Returns a permutation of
+/// [0, attrs.size()).
+std::vector<size_t> GreedyAtomOrder(
+    const std::vector<const std::vector<AttrId>*>& attrs,
+    const std::vector<size_t>& sizes, int num_vars, int pinned_first = -1);
+
+/// Convenience overload over materialized atom relations.
+std::vector<size_t> GreedyAtomOrder(const std::vector<NamedRelation>& rels,
+                                    int num_vars, int pinned_first = -1);
+
+/// Lowers one Datalog rule body to a reusable left-deep plan over slot-bound
+/// scans (slot i = body position i; `attrs[i]`/`sizes[i]` describe the input
+/// occupying that slot at build time, `caches[i]` is the shared join-index
+/// memo for static EDB atoms or null). The root projects to the rule's
+/// distinct head variables. `delta_pos` (or -1) is pinned first in the join
+/// order. The body must be nonempty.
+Result<PlanNodePtr> PlanRuleBody(const DatalogRule& rule,
+                                 const std::vector<std::vector<AttrId>>& attrs,
+                                 const std::vector<size_t>& sizes,
+                                 const std::vector<JoinIndexCache*>& caches,
+                                 int delta_pos);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_PLAN_PLANNER_H_

@@ -6,7 +6,9 @@
 //   .insert NAME v...   insert a tuple (integers or strings)
 //   .rels               list relations
 //   .dump NAME          print a relation as CSV
-//   .explain QUERY      parametrized-complexity report for a query
+//   .explain QUERY      parametrized-complexity report + physical plan
+//   .plan QUERY         print the physical plan without executing
+//   .stats              evaluator/plan counters of the previous query
 //   .help               this text
 //   .quit               exit
 //
@@ -67,7 +69,9 @@ std::vector<std::string> Split(const std::string& line) {
 
 const char* kHelp =
     ".load NAME FILE | .rel NAME ARITY | .insert NAME v... | .rels |\n"
-    ".dump NAME | .explain QUERY | .help | .quit\n"
+    ".dump NAME | .explain QUERY | .plan QUERY | .stats | .help | .quit\n"
+    ".plan prints the physical plan without executing; .stats prints the\n"
+    "evaluator/plan counters of the previous query.\n"
     "Anything else is evaluated as a query (':-' rules or ':=' formulas).\n";
 
 }  // namespace
@@ -167,6 +171,14 @@ int main(int argc, char** argv) {
         std::cout << (report.ok() ? report.value()
                                   : "error: " + report.status().ToString())
                   << "\n";
+      } else if (cmd == ".plan") {
+        std::string query = trimmed.substr(5);
+        auto plan = engine.PlanText(query, &db.dict());
+        std::cout << (plan.ok() ? plan.value()
+                                : "error: " + plan.status().ToString())
+                  << "\n";
+      } else if (cmd == ".stats") {
+        std::cout << engine.last_stats().ToString();
       } else {
         std::cout << "unknown command; try .help\n";
       }

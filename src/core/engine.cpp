@@ -52,7 +52,8 @@ std::string EngineStats::ToString() const {
         << " edb_index_builds=" << datalog.edb_index_builds
         << " edb_index_hits=" << datalog.edb_index_hits
         << "\n  plans_built=" << datalog.plans_built
-        << " plan_reuses=" << datalog.plan_reuses << "\n";
+        << " plan_reuses=" << datalog.plan_reuses
+        << " replans=" << datalog.replans << "\n";
   }
   if (ucq.disjuncts_expanded > 0) {
     oss << "ucq: disjuncts_expanded=" << ucq.disjuncts_expanded
@@ -62,6 +63,24 @@ std::string EngineStats::ToString() const {
         << " naive=" << ucq.naive_disjuncts << "\n";
   }
   return oss.str();
+}
+
+RuntimeOptions Engine::Runtime() const {
+  size_t want = options_.threads == 0 ? TaskScheduler::HardwareConcurrency()
+                                      : options_.threads;
+  // Sanity bound: an absurd width would die spawning real threads.
+  want = std::min<size_t>(want, 1024);
+  RuntimeOptions runtime;
+  runtime.morsel_rows = options_.morsel_rows;
+  if (want <= 1) {
+    scheduler_.reset();  // back to sequential: drop the idle pool
+    return runtime;
+  }
+  if (scheduler_ == nullptr || scheduler_->threads() != want) {
+    scheduler_ = std::make_unique<TaskScheduler>(want);
+  }
+  runtime.scheduler = scheduler_.get();
+  return runtime;
 }
 
 Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
@@ -87,6 +106,7 @@ Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
       AcyclicOptions eff = options_.acyclic;
       eff.limits = Overlay(options_.limits, eff.EffectiveLimits());
       eff.max_rows = 0;
+      eff.runtime = Runtime();
       return AcyclicEvaluate(*db_, *effective, eff, &stats_.acyclic,
                              &stats_.plan);
     }
@@ -101,6 +121,7 @@ Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
   NaiveOptions eff = options_.naive;
   eff.limits = Overlay(options_.limits, eff.EffectiveLimits());
   eff.max_steps = 0;
+  eff.runtime = Runtime();
   return NaiveEvaluateCq(*db_, *effective, eff, &stats_.plan);
 }
 
@@ -109,6 +130,7 @@ Result<Relation> Engine::Run(const PositiveQuery& q) const {
   UcqOptions eff = options_.ucq;
   eff.limits = Overlay(options_.limits, eff.EffectiveLimits());
   eff.naive_max_steps = 0;
+  eff.runtime = Runtime();
   auto result = EvaluatePositive(*db_, q, eff, &stats_.ucq);
   stats_.plan = stats_.ucq.plan;
   return result;
@@ -130,6 +152,7 @@ Result<Relation> Engine::Run(const DatalogProgram& p) const {
   DatalogOptions eff = options_.datalog;
   eff.limits = Overlay(options_.limits, eff.EffectiveLimits());
   eff.max_rows = 0;
+  eff.runtime = Runtime();
   auto result = EvaluateDatalog(*db_, p, eff, &stats_.datalog);
   stats_.plan = stats_.datalog.plan;
   return result;

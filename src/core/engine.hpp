@@ -17,6 +17,7 @@
 #ifndef PARAQUERY_CORE_ENGINE_H_
 #define PARAQUERY_CORE_ENGINE_H_
 
+#include <memory>
 #include <string>
 
 #include "core/classifier.hpp"
@@ -28,6 +29,7 @@
 #include "eval/ucq.hpp"
 #include "plan/plan.hpp"
 #include "relational/database.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace paraquery {
 
@@ -40,6 +42,20 @@ struct EngineOptions {
   /// the color-coding (IneqOptions) and active-domain (FoOptions) engines,
   /// which are not plan-routed and therefore ignore max_steps.
   ResourceLimits limits;
+  /// Execution width of the parallel runtime: 1 (default) runs every plan
+  /// sequentially — exactly the historical engine; 0 means hardware
+  /// concurrency; N > 1 runs plan-routed queries on an N-thread
+  /// work-stealing scheduler (src/runtime/). Successful results are
+  /// byte-identical to threads = 1; when ResourceLimits are set, parallel
+  /// execution is speculative about the sequential empty-input
+  /// short-circuit, so a query near its limit can exhaust it at N threads
+  /// where threads = 1 squeaked by (see plan/executor.hpp). The
+  /// non-plan-routed engines (color coding, active-domain algebra) stay
+  /// sequential.
+  size_t threads = 1;
+  /// Rows per morsel for the data-parallel operators (mainly a test knob;
+  /// the default suits real workloads).
+  size_t morsel_rows = kDefaultMorselRows;
   AcyclicOptions acyclic;
   IneqOptions inequality;
   NaiveOptions naive;
@@ -105,8 +121,14 @@ class Engine {
   const EngineStats& last_stats() const { return stats_; }
 
  private:
+  /// The parallel-runtime binding options().threads selects: a null
+  /// scheduler for threads == 1, otherwise a lazily created (and reused)
+  /// TaskScheduler of the resolved width. Rebuilt when the option changes.
+  RuntimeOptions Runtime() const;
+
   const Database* db_;
   EngineOptions options_;
+  mutable std::unique_ptr<TaskScheduler> scheduler_;
   mutable EngineStats stats_;
 };
 

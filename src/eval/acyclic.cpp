@@ -35,7 +35,8 @@ Result<NamedRelation> PlanAndExecute(const Database& db,
   // Execute into a local so only THIS call's counters are mirrored and
   // merged — callers may reuse the same out-params across a workload.
   PlanStats local;
-  auto result = ExecutePhysicalPlan(plan, options.EffectiveLimits(), &local);
+  auto result = ExecutePhysicalPlan(plan, options.EffectiveLimits(), &local,
+                                    options.runtime);
   if (plan_stats != nullptr) plan_stats->Merge(local);
   MirrorStats(local, stats);
   return result;

@@ -17,6 +17,7 @@
 #include "plan/plan.hpp"
 #include "query/conjunctive_query.hpp"
 #include "relational/database.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace paraquery {
 
@@ -24,6 +25,8 @@ namespace paraquery {
 struct AcyclicOptions {
   /// Unified resource guard (preferred; see ResourceLimits).
   ResourceLimits limits;
+  /// Parallel runtime binding (default: sequential plan execution).
+  RuntimeOptions runtime;
   /// DEPRECATED alias for limits.max_rows: abort operators whose output
   /// exceeds this many rows (0 = off). Used only when limits.max_rows == 0.
   uint64_t max_rows = 0;

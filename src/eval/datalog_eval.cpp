@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "eval/common.hpp"
@@ -59,9 +62,28 @@ std::string AtomSignature(RelId id, const Atom& atom) {
   return sig;
 }
 
+// One cached (rule, delta position) body plan plus the delta size it was
+// planned at, for the >10x drift re-planning trigger.
+struct VariantPlan {
+  PlanNodePtr plan;
+  size_t planned_delta_rows = 0;
+};
+
+// Tuples one variant firing derived (fired == false: skipped because a body
+// atom was empty). Materialized — holds no views of IDB storage — so the
+// round barrier can apply results after concurrent firings completed.
+struct FiringResult {
+  bool fired = false;
+  Relation derived{0};
+};
+
 // One semi-naive fixpoint run: IDB state, the EDB atom cache, and the cached
 // per-(rule, delta position) body plans the shared executor re-runs every
-// iteration.
+// iteration. With a scheduler bound (DatalogOptions::runtime), each round's
+// variants fire as concurrent tasks: firings read the round-stable IDB/delta
+// state and return materialized FiringResults, which the round barrier
+// applies in variant order — so the derived tuple sets (and the fixpoint)
+// are exactly the sequential ones.
 class DatalogRun {
  public:
   DatalogRun(const Database& db, const DatalogProgram& program,
@@ -89,10 +111,11 @@ class DatalogRun {
     for (const auto& [name, rel] : delta_) {
       next_delta.emplace(name, Relation(rel.arity()));
     }
+    std::vector<std::pair<size_t, int>> variants;
     for (size_t ri = 0; ri < program_.rules.size(); ++ri) {
-      PQ_RETURN_NOT_OK(FireVariant(ri, /*delta_pos=*/-1, &next_delta,
-                                   &changed));
+      variants.emplace_back(ri, /*delta_pos=*/-1);
     }
+    PQ_RETURN_NOT_OK(FireRound(variants, &next_delta, &changed));
     delta_ = std::move(next_delta);
     size_t iterations = 1;
 
@@ -108,6 +131,7 @@ class DatalogRun {
       for (const auto& [name, rel] : delta_) {
         next_delta.emplace(name, Relation(rel.arity()));
       }
+      variants.clear();
       for (size_t ri = 0; ri < program_.rules.size(); ++ri) {
         const DatalogRule& rule = program_.rules[ri];
         std::vector<size_t> idb_positions;
@@ -117,10 +141,10 @@ class DatalogRun {
         if (idb_positions.empty()) continue;  // saturated at round 0
         for (size_t dpos : idb_positions) {
           if (delta_.at(rule.body[dpos].relation).empty()) continue;
-          PQ_RETURN_NOT_OK(FireVariant(ri, static_cast<int>(dpos),
-                                       &next_delta, &changed));
+          variants.emplace_back(ri, static_cast<int>(dpos));
         }
       }
+      PQ_RETURN_NOT_OK(FireRound(variants, &next_delta, &changed));
       delta_ = std::move(next_delta);
       ++iterations;
       if (max_total_rows != 0) {
@@ -150,10 +174,17 @@ class DatalogRun {
   // Lazily binds (rule, position) to the program-wide EDB cache. Resolution
   // stays lazy (body order, short-circuited by empty earlier atoms) so that
   // rules which can never fire do not turn a dangling EDB reference into an
-  // error — matching per-firing resolution.
+  // error — matching per-firing resolution. Cache and slot state are
+  // guarded by edb_mutex_, but the O(n) materialization itself runs outside
+  // the lock so concurrent firings (e.g. the whole first round) build
+  // DISTINCT atoms in parallel; a same-signature race costs one discarded
+  // duplicate materialization, decided by a re-check under the lock.
   Result<RuleAtomView*> ResolveEdb(size_t ri, size_t pi) {
-    RuleAtomView& slot = edb_views_[ri][pi];
-    if (slot.entry != nullptr) return &slot;
+    {
+      std::lock_guard<std::mutex> lock(edb_mutex_);
+      RuleAtomView& slot = edb_views_[ri][pi];
+      if (slot.entry != nullptr) return &slot;
+    }
     const Atom& a = program_.rules[ri].body[pi];
     auto found = db_.FindRelation(a.relation);
     if (!found.ok()) {
@@ -165,22 +196,34 @@ class DatalogRun {
           "EDB relation '", a.relation, "' arity mismatch"));
     }
     std::string sig = AtomSignature(found.value(), a);
-    EdbAtomEntry* entry;
-    auto it = edb_by_signature_.find(sig);
-    if (it != edb_by_signature_.end()) {
-      entry = it->second;
-      if (stats_ != nullptr) ++stats_->edb_cache_hits;
-    } else {
+    EdbAtomEntry* entry = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(edb_mutex_);
+      auto it = edb_by_signature_.find(sig);
+      if (it != edb_by_signature_.end()) {
+        entry = it->second;
+        if (stats_ != nullptr) ++stats_->edb_cache_hits;
+      }
+    }
+    if (entry == nullptr) {
       PQ_ASSIGN_OR_RETURN(NamedRelation rel,
                           AtomToRelation(db_.relation(found.value()), a));
       // The cache lives for the whole fixpoint; drop the full-base-relation
       // capacity AtomToRelation reserved in case the selection kept few rows
       // (a no-op when the materialization is a view of the stored relation).
       rel.rel().ShrinkToFit();
-      edb_storage_.push_back(EdbAtomEntry{std::move(rel), {}});
-      entry = &edb_storage_.back();
-      edb_by_signature_.emplace(std::move(sig), entry);
-      if (stats_ != nullptr) ++stats_->edb_materializations;
+      std::lock_guard<std::mutex> lock(edb_mutex_);
+      auto it = edb_by_signature_.find(sig);
+      if (it != edb_by_signature_.end()) {
+        entry = it->second;  // lost the race: another firing built it
+        if (stats_ != nullptr) ++stats_->edb_cache_hits;
+      } else {
+        edb_storage_.emplace_back();  // in place: the index cache is immovable
+        edb_storage_.back().rel = std::move(rel);
+        entry = &edb_storage_.back();
+        edb_by_signature_.emplace(std::move(sig), entry);
+        if (stats_ != nullptr) ++stats_->edb_materializations;
+      }
     }
     // This atom's view: same shared rows, this rule's variable names. The
     // canonical entry and the atom have the same variable pattern, so the
@@ -192,8 +235,12 @@ class DatalogRun {
         vars.push_back(t.var());
       }
     }
-    slot.view = entry->rel.WithAttrs(std::move(vars));
-    slot.entry = entry;
+    std::lock_guard<std::mutex> lock(edb_mutex_);
+    RuleAtomView& slot = edb_views_[ri][pi];
+    if (slot.entry == nullptr) {  // delta variants of one rule share a slot
+      slot.view = entry->rel.WithAttrs(std::move(vars));
+      slot.entry = entry;
+    }
     return &slot;
   }
 
@@ -210,26 +257,38 @@ class DatalogRun {
     }
   }
 
+  // Bumps a DatalogStats counter (concurrent firings share the struct).
+  void Count(size_t DatalogStats::* counter) {
+    if (stats_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++(stats_->*counter);
+  }
+
   // Fires rule `ri`, reading the delta at body position `delta_pos` (or the
-  // full IDB state everywhere when -1). The (rule, delta position) body plan
-  // is built on the variant's first feasible firing and re-executed on the
-  // re-bound input slots afterwards.
-  Status FireVariant(size_t ri, int delta_pos,
-                     std::unordered_map<std::string, Relation>* next_delta,
-                     bool* changed) {
+  // full IDB state everywhere when -1), WITHOUT touching IDB state: the
+  // result is materialized and applied by the caller. The (rule, delta
+  // position) body plan is built on the variant's first feasible firing,
+  // re-executed on the re-bound input slots afterwards, and rebuilt when
+  // the observed delta size drifts >10x from the size it was planned at.
+  // `plan_stats` (nullable) receives this firing's executor counters.
+  Result<FiringResult> ComputeVariant(size_t ri, int delta_pos,
+                                      PlanStats* plan_stats) {
     const DatalogRule& rule = program_.rules[ri];
+    FiringResult out;
     if (rule.body.empty()) {
       // Constant-only head (safety): derive it directly.
-      if (stats_ != nullptr) ++stats_->rule_firings;
+      Count(&DatalogStats::rule_firings);
       NamedRelation truth = BooleanTrue();
-      Relation derived =
+      out.fired = true;
+      out.derived =
           BindingsToAnswers(truth, rule.head.terms, /*sort_output=*/false);
-      AddNew(rule.head.relation, derived, next_delta, changed);
-      return Status::OK();
+      return out;
     }
     // Resolve the body inputs in order; an empty atom skips the firing (and
-    // leaves later atoms unresolved).
-    idb_scratch_.clear();
+    // leaves later atoms unresolved). The views live in a local scratch —
+    // they may share storage with the round-stable IDB state, which no
+    // firing mutates.
+    std::deque<NamedRelation> scratch;
     std::vector<const NamedRelation*> inputs(rule.body.size(), nullptr);
     std::vector<JoinIndexCache*> caches(rule.body.size(), nullptr);
     bool feasible = true;
@@ -240,8 +299,8 @@ class DatalogRun {
                                   ? delta_.at(a.relation)
                                   : idb_.at(a.relation).rel();
         PQ_ASSIGN_OR_RETURN(NamedRelation rel, AtomToRelation(src, a));
-        idb_scratch_.push_back(std::move(rel));
-        inputs[i] = &idb_scratch_.back();
+        scratch.push_back(std::move(rel));
+        inputs[i] = &scratch.back();
       } else {
         PQ_ASSIGN_OR_RETURN(RuleAtomView * slot, ResolveEdb(ri, i));
         inputs[i] = &slot->view;
@@ -253,38 +312,107 @@ class DatalogRun {
       }
     }
     if (!feasible) {
-      if (stats_ != nullptr) ++stats_->skipped_firings;
-      idb_scratch_.clear();
-      return Status::OK();
+      Count(&DatalogStats::skipped_firings);
+      return out;
     }
-    PlanNodePtr& plan = plans_[ri][delta_pos];
-    if (plan == nullptr) {
+    // Concurrent firings touch distinct variants; the map node was created
+    // before the round fan-out (FireRound), so this lookup is read-only.
+    VariantPlan& variant = plans_[ri].at(delta_pos);
+    size_t observed =
+        delta_pos >= 0 ? inputs[delta_pos]->size() : 0;
+    bool drifted =
+        variant.plan != nullptr && delta_pos >= 0 &&
+        (observed > 10 * variant.planned_delta_rows ||
+         10 * observed < variant.planned_delta_rows);
+    if (variant.plan == nullptr || drifted) {
       std::vector<std::vector<AttrId>> attrs;
       std::vector<size_t> sizes;
+      std::vector<std::vector<double>> distinct;
       for (const NamedRelation* in : inputs) {
         attrs.push_back(in->attrs());
         sizes.push_back(in->size());
+        std::vector<double> d;
+        d.reserve(in->arity());
+        for (size_t c = 0; c < in->arity(); ++c) {
+          d.push_back(static_cast<double>(in->rel().DistinctCount(c)));
+        }
+        distinct.push_back(std::move(d));
       }
-      PQ_ASSIGN_OR_RETURN(plan,
-                          PlanRuleBody(rule, attrs, sizes, caches, delta_pos));
-      if (stats_ != nullptr) ++stats_->plans_built;
-    } else if (stats_ != nullptr) {
-      ++stats_->plan_reuses;
+      Count(variant.plan == nullptr ? &DatalogStats::plans_built
+                                    : &DatalogStats::replans);
+      PQ_ASSIGN_OR_RETURN(
+          variant.plan,
+          PlanRuleBody(rule, attrs, sizes, caches, delta_pos, distinct));
+      variant.planned_delta_rows = observed;
+    } else {
+      Count(&DatalogStats::plan_reuses);
     }
-    if (stats_ != nullptr) ++stats_->rule_firings;
+    Count(&DatalogStats::rule_firings);
     // Both guard members apply inside a firing (per-operator rows and the
     // step meter); max_rows additionally bounds the total derived tuples,
     // checked per iteration in Run().
-    ExecContext ctx{inputs, options_.EffectiveLimits(),
-                    stats_ != nullptr ? &stats_->plan : nullptr};
-    PQ_ASSIGN_OR_RETURN(NamedRelation bindings, ExecutePlan(*plan, ctx));
-    Relation derived =
+    ExecContext ctx{inputs, options_.EffectiveLimits(), plan_stats,
+                    options_.runtime};
+    PQ_ASSIGN_OR_RETURN(NamedRelation bindings, ExecutePlan(*variant.plan, ctx));
+    out.fired = true;
+    out.derived =
         BindingsToAnswers(bindings, rule.head.terms, /*sort_output=*/false);
-    // Release the IDB views (which may share storage with the IDB state)
-    // before inserting, so AddNew never triggers a copy-on-write clone.
-    bindings = NamedRelation();
-    idb_scratch_.clear();
-    AddNew(rule.head.relation, derived, next_delta, changed);
+    return out;
+  }
+
+  // Fires the round's variants — sequentially without a scheduler
+  // (derivations apply after each firing, exactly the historical
+  // behavior), as concurrent tasks otherwise (derivations apply in variant
+  // order after the barrier). The first error in variant order wins and
+  // cancels outstanding tasks.
+  Status FireRound(const std::vector<std::pair<size_t, int>>& variants,
+                   std::unordered_map<std::string, Relation>* next_delta,
+                   bool* changed) {
+    // Materialize the variant plan slots up front so concurrent firings
+    // never mutate a rule's variant map structurally.
+    for (const auto& [ri, dpos] : variants) plans_[ri].try_emplace(dpos);
+    if (!options_.runtime.parallel() || variants.size() <= 1) {
+      for (const auto& [ri, dpos] : variants) {
+        PQ_ASSIGN_OR_RETURN(
+            FiringResult fr,
+            ComputeVariant(ri, dpos,
+                           stats_ != nullptr ? &stats_->plan : nullptr));
+        if (fr.fired) {
+          AddNew(program_.rules[ri].head.relation, fr.derived, next_delta,
+                 changed);
+        }
+      }
+      return Status::OK();
+    }
+    std::vector<std::optional<Result<FiringResult>>> results(variants.size());
+    std::vector<PlanStats> local(variants.size());
+    {
+      TaskGroup group(options_.runtime.scheduler);
+      for (size_t i = 0; i < variants.size(); ++i) {
+        group.Spawn([&, i] {
+          auto [ri, dpos] = variants[i];
+          results[i].emplace(ComputeVariant(
+              ri, dpos, stats_ != nullptr ? &local[i] : nullptr));
+          if (!results[i]->ok()) group.Cancel();
+        });
+      }
+      group.Wait();
+    }
+    if (stats_ != nullptr) {
+      stats_->plan.parallel_tasks += variants.size();
+      for (const PlanStats& ps : local) stats_->plan.Merge(ps);
+    }
+    for (const std::optional<Result<FiringResult>>& r : results) {
+      if (r.has_value()) PQ_RETURN_NOT_OK(r->status());
+    }
+    for (size_t i = 0; i < variants.size(); ++i) {
+      if (!results[i].has_value()) continue;
+      const FiringResult& fr = results[i]->value();
+      if (fr.fired) {
+        AddNew(program_.rules[variants[i].first].head.relation, fr.derived,
+               next_delta, changed);
+      }
+    }
     return Status::OK();
   }
 
@@ -296,12 +424,15 @@ class DatalogRun {
   std::unordered_map<std::string, RowHashSet> idb_;
   std::unordered_map<std::string, Relation> delta_;
 
+  /// Serializes lazy EDB resolution across concurrent firings.
+  std::mutex edb_mutex_;
+  /// Serializes DatalogStats counter bumps across concurrent firings.
+  std::mutex stats_mutex_;
   std::deque<EdbAtomEntry> edb_storage_;
   std::unordered_map<std::string, EdbAtomEntry*> edb_by_signature_;
   std::vector<std::vector<RuleAtomView>> edb_views_;
   /// plans_[rule][delta_pos] (-1 = the round-0 full-state variant).
-  std::vector<std::map<int, PlanNodePtr>> plans_;
-  std::deque<NamedRelation> idb_scratch_;
+  std::vector<std::map<int, VariantPlan>> plans_;
 };
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include "plan/plan.hpp"
 #include "query/datalog.hpp"
 #include "relational/database.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace paraquery {
 
@@ -25,6 +26,15 @@ namespace paraquery {
 struct DatalogOptions {
   /// Abort after this many fixpoint iterations (0 = off).
   uint64_t max_iterations = 0;
+  /// Parallel runtime binding. With a scheduler, the independent (rule,
+  /// delta position) firings of one semi-naive round run as concurrent
+  /// tasks — newly derived tuples are applied to the IDB state in variant
+  /// order after the round's barrier — and each firing's plan may execute
+  /// morsel-parallel. The fixpoint (and the goal relation) is identical to
+  /// the single-threaded run; iteration/firing counts may differ, because
+  /// the sequential engine lets a firing observe tuples derived earlier in
+  /// the same round while the parallel round is a pure Jacobi step.
+  RuntimeOptions runtime;
   /// Unified resource guard: limits.max_rows bounds the total derived IDB
   /// tuples, and both members are forwarded to every rule-plan execution.
   ResourceLimits limits;
@@ -55,9 +65,12 @@ struct DatalogStats {
   size_t edb_index_builds = 0;
   size_t edb_index_hits = 0;
   /// Rule-body plans built (one per fired (rule, delta position) variant)
-  /// vs firings answered by re-executing a cached plan.
+  /// vs firings answered by re-executing a cached plan vs plans rebuilt
+  /// because the observed delta size drifted >10x from the size the variant
+  /// was planned at (rule_firings = plans_built + plan_reuses + replans).
   size_t plans_built = 0;
   size_t plan_reuses = 0;
+  size_t replans = 0;
   /// Shared plan-executor counters aggregated over every rule firing.
   PlanStats plan;
 };

@@ -169,9 +169,9 @@ Result<Relation> NaiveEvaluateCq(const Database& db, const ConjunctiveQuery& q,
                                  const NaiveOptions& options,
                                  PlanStats* plan_stats) {
   PQ_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanCyclicCq(db, q));
-  PQ_ASSIGN_OR_RETURN(
-      NamedRelation bindings,
-      ExecutePhysicalPlan(plan, options.EffectiveLimits(), plan_stats));
+  PQ_ASSIGN_OR_RETURN(NamedRelation bindings,
+                      ExecutePhysicalPlan(plan, options.EffectiveLimits(),
+                                          plan_stats, options.runtime));
   return BindingsToAnswers(bindings, q.head);
 }
 

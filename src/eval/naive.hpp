@@ -25,6 +25,7 @@
 #include "plan/plan.hpp"
 #include "query/conjunctive_query.hpp"
 #include "relational/database.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace paraquery {
 
@@ -34,6 +35,9 @@ struct NaiveOptions {
   /// backtracking entry points max_steps counts search steps; for the
   /// plan-based evaluator it counts rows produced by operators.
   ResourceLimits limits;
+  /// Parallel runtime binding for the plan-based evaluator (ignored by the
+  /// backtracking entry points, which are inherently sequential searches).
+  RuntimeOptions runtime;
   /// DEPRECATED alias for limits.max_steps: abort with ResourceExhausted
   /// after this many steps (0 = off). Used only when limits.max_steps == 0.
   uint64_t max_steps = 0;

@@ -1,6 +1,7 @@
 #include "eval/ucq.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -71,11 +72,13 @@ Result<Relation> EvaluateDisjunct(const Database& db,
     if (stats != nullptr) ++stats->acyclic_disjuncts;
     AcyclicOptions acyclic;
     acyclic.limits = options.EffectiveLimits();
+    acyclic.runtime = options.runtime;
     return AcyclicEvaluate(db, cq, acyclic, /*stats=*/nullptr, plan);
   }
   if (stats != nullptr) ++stats->naive_disjuncts;
   NaiveOptions naive;
   naive.limits = options.EffectiveLimits();
+  naive.runtime = options.runtime;
   return NaiveEvaluateCq(db, cq, naive, plan);
 }
 
@@ -87,12 +90,29 @@ Result<bool> DisjunctNonempty(const Database& db, const ConjunctiveQuery& cq,
     if (stats != nullptr) ++stats->acyclic_disjuncts;
     AcyclicOptions acyclic;
     acyclic.limits = options.EffectiveLimits();
+    acyclic.runtime = options.runtime;
     return AcyclicNonempty(db, cq, acyclic, /*stats=*/nullptr, plan);
   }
   if (stats != nullptr) ++stats->naive_disjuncts;
+  // The backtracking decision search is inherently sequential; the runtime
+  // only parallelizes across disjuncts here.
   NaiveOptions naive;
   naive.limits = options.EffectiveLimits();
   return NaiveCqNonempty(db, cq, naive);
+}
+
+// Folds per-task disjunct stats (in disjunct order) into `stats` after a
+// parallel fan-out of `tasks` disjuncts.
+void MergeDisjunctStats(UcqStats* stats, const std::vector<UcqStats>& parts,
+                        size_t tasks) {
+  if (stats == nullptr) return;
+  stats->plan.parallel_tasks += tasks;
+  for (const UcqStats& ps : parts) {
+    stats->disjuncts_evaluated += ps.disjuncts_evaluated;
+    stats->acyclic_disjuncts += ps.acyclic_disjuncts;
+    stats->naive_disjuncts += ps.naive_disjuncts;
+    stats->plan.Merge(ps.plan);
+  }
 }
 
 }  // namespace
@@ -102,10 +122,37 @@ Result<Relation> EvaluatePositive(const Database& db, const PositiveQuery& q,
   PQ_ASSIGN_OR_RETURN(auto cqs,
                       ExpandDedupedDisjuncts(q, options.max_disjuncts, stats));
   Relation answers(q.fo().head.size());
-  for (const ConjunctiveQuery& cq : cqs) {
-    PQ_ASSIGN_OR_RETURN(Relation part,
-                        EvaluateDisjunct(db, cq, options, stats));
-    for (size_t r = 0; r < part.size(); ++r) answers.Add(part.Row(r));
+  if (options.runtime.parallel() && cqs.size() > 1) {
+    // Structural parallelism: one task per disjunct. Per-task stats merge
+    // and answers accumulate in disjunct order after the barrier, so both
+    // the result (sorted + deduplicated below anyway) and the counters
+    // match the sequential evaluation; the first error in disjunct order
+    // wins and cancels the remaining tasks.
+    std::vector<std::optional<Result<Relation>>> parts(cqs.size());
+    std::vector<UcqStats> part_stats(cqs.size());
+    TaskGroup group(options.runtime.scheduler);
+    for (size_t i = 0; i < cqs.size(); ++i) {
+      group.Spawn([&, i] {
+        parts[i].emplace(EvaluateDisjunct(
+            db, cqs[i], options, stats != nullptr ? &part_stats[i] : nullptr));
+        if (!parts[i]->ok()) group.Cancel();
+      });
+    }
+    group.Wait();
+    MergeDisjunctStats(stats, part_stats, cqs.size());
+    for (const std::optional<Result<Relation>>& part : parts) {
+      if (part.has_value()) PQ_RETURN_NOT_OK(part->status());
+    }
+    for (const std::optional<Result<Relation>>& part : parts) {
+      const Relation& rel = part->value();
+      for (size_t r = 0; r < rel.size(); ++r) answers.Add(rel.Row(r));
+    }
+  } else {
+    for (const ConjunctiveQuery& cq : cqs) {
+      PQ_ASSIGN_OR_RETURN(Relation part,
+                          EvaluateDisjunct(db, cq, options, stats));
+      for (size_t r = 0; r < part.size(); ++r) answers.Add(part.Row(r));
+    }
   }
   answers.SortAndDedup();
   return answers;
@@ -115,6 +162,34 @@ Result<bool> PositiveNonempty(const Database& db, const PositiveQuery& q,
                               const UcqOptions& options, UcqStats* stats) {
   PQ_ASSIGN_OR_RETURN(auto cqs,
                       ExpandDedupedDisjuncts(q, options.max_disjuncts, stats));
+  if (options.runtime.parallel() && cqs.size() > 1) {
+    // Concurrent disjunct decisions, cancelling on the first witness (a
+    // true answer decides the union regardless of the other disjuncts, so
+    // dropping unstarted tasks is the parallel analogue of the sequential
+    // short-circuit). Errors do NOT cancel: every started disjunct reports,
+    // and the resolution scan below picks the earliest decisive disjunct in
+    // index order — the outcome a sequential evaluation would reach, except
+    // that a disjunct skipped by a witness's cancellation is treated as
+    // false (sequentially it might have errored first).
+    std::vector<std::optional<Result<bool>>> parts(cqs.size());
+    std::vector<UcqStats> part_stats(cqs.size());
+    TaskGroup group(options.runtime.scheduler);
+    for (size_t i = 0; i < cqs.size(); ++i) {
+      group.Spawn([&, i] {
+        parts[i].emplace(DisjunctNonempty(
+            db, cqs[i], options, stats != nullptr ? &part_stats[i] : nullptr));
+        if (parts[i]->ok() && parts[i]->value()) group.Cancel();
+      });
+    }
+    group.Wait();
+    MergeDisjunctStats(stats, part_stats, cqs.size());
+    for (const std::optional<Result<bool>>& part : parts) {
+      if (!part.has_value()) continue;  // cancelled before it ran
+      PQ_RETURN_NOT_OK(part->status());
+      if (part->value()) return true;
+    }
+    return false;
+  }
   for (const ConjunctiveQuery& cq : cqs) {
     PQ_ASSIGN_OR_RETURN(bool nonempty,
                         DisjunctNonempty(db, cq, options, stats));

@@ -14,6 +14,7 @@
 #include "plan/plan.hpp"
 #include "query/positive_query.hpp"
 #include "relational/database.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace paraquery {
 
@@ -24,6 +25,11 @@ struct UcqOptions {
   /// Route acyclic disjuncts through the Yannakakis evaluator instead of
   /// naive backtracking.
   bool use_acyclic_evaluator = true;
+  /// Parallel runtime binding: with a scheduler, disjuncts evaluate as
+  /// concurrent tasks (results are merged in disjunct order, so the answer
+  /// is identical to the sequential evaluation) and each disjunct's plan
+  /// may itself execute morsel-parallel.
+  RuntimeOptions runtime;
   /// Unified resource guard, forwarded to every disjunct evaluation.
   ResourceLimits limits;
   /// DEPRECATED alias for limits.max_steps (historically only applied to

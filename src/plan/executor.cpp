@@ -1,10 +1,18 @@
 #include "plan/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 
+#include "common/timer.hpp"
 #include "relational/ops.hpp"
 #include "relational/row_index.hpp"
+#include "runtime/parallel_ops.hpp"
 
 namespace paraquery {
 
@@ -14,26 +22,61 @@ class Executor {
  public:
   explicit Executor(const ExecContext& ctx) : ctx_(ctx) {}
 
+  // Evaluates `n` exactly once per execution, even when independent
+  // parallel subtrees reach a shared node concurrently: the first arrival
+  // computes, later arrivals block on the node's condition variable. The
+  // wait graph follows plan edges, and the plan is a DAG, so these waits
+  // cannot cycle.
   Result<NamedRelation> Exec(PlanNode& n) {
-    auto it = memo_.find(&n);
-    if (it != memo_.end()) return it->second;
-    PQ_ASSIGN_OR_RETURN(NamedRelation out, Compute(n));
-    n.actual_rows = out.size();
-    memo_.emplace(&n, out);
-    return out;
+    NodeState* state;
+    {
+      std::lock_guard<std::mutex> lock(states_mutex_);
+      std::unique_ptr<NodeState>& slot = states_[&n];
+      if (slot == nullptr) slot = std::make_unique<NodeState>();
+      state = slot.get();
+    }
+    std::unique_lock<std::mutex> lock(state->mutex);
+    if (state->started) {
+      state->cv.wait(lock, [state] { return state->result.has_value(); });
+      return *state->result;
+    }
+    state->started = true;
+    lock.unlock();
+    Result<NamedRelation> result = Compute(n);
+    if (result.ok()) n.actual_rows = result.value().size();
+    lock.lock();
+    state->result = result;
+    lock.unlock();
+    state->cv.notify_all();
+    return result;
   }
 
  private:
-  // Tallies an executed operator's output against limits and stats.
-  Status Account(size_t* counter, const NamedRelation& out) {
+  struct NodeState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool started = false;
+    std::optional<Result<NamedRelation>> result;
+  };
+
+  bool Parallel() const { return ctx_.runtime.parallel(); }
+
+  // Tallies an executed operator's output against limits and stats. The row
+  // budget is one atomic shared by every task of this execution, so limits
+  // hold across concurrent operators.
+  Status Account(PlanNode& n, size_t PlanStats::* counter,
+                 const NamedRelation& out, size_t op_morsels = 0) {
+    n.actual_morsels = op_morsels;
     if (ctx_.stats != nullptr) {
-      ++*counter;
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++(ctx_.stats->*counter);
       ctx_.stats->peak_intermediate_rows =
           std::max(ctx_.stats->peak_intermediate_rows, out.size());
       ctx_.stats->rows_produced += out.size();
+      ctx_.stats->morsels += op_morsels;
     }
-    rows_produced_ += out.size();
-    if (ctx_.limits.max_steps != 0 && rows_produced_ > ctx_.limits.max_steps) {
+    uint64_t produced = rows_produced_.fetch_add(out.size()) + out.size();
+    if (ctx_.limits.max_steps != 0 && produced > ctx_.limits.max_steps) {
       return Status::ResourceExhausted(
           "plan execution step limit (rows produced) exceeded");
     }
@@ -44,93 +87,182 @@ class Executor {
     return Status::OK();
   }
 
-  // No-op counter target for ops that only need the row/step accounting.
-  size_t scratch_ = 0;
+  // Evaluates a binary node's children, concurrently when a scheduler is
+  // bound and the right side is not a plain scan (scans are slot reads —
+  // not worth a task). Sequentially the right child is skipped when the
+  // left comes out empty; in parallel it is speculative.
+  Status ExecChildren(PlanNode& n, Result<NamedRelation>* left,
+                      Result<NamedRelation>* right) {
+    if (Parallel() && n.children[1]->op != PlanOp::kScan) {
+      std::optional<Result<NamedRelation>> right_result;
+      {
+        TaskGroup group(ctx_.runtime.scheduler);
+        PlanNode* rchild = n.children[1].get();
+        group.Spawn([this, rchild, &right_result] {
+          right_result.emplace(Exec(*rchild));
+        });
+        if (ctx_.stats != nullptr) {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++ctx_.stats->parallel_tasks;
+        }
+        *left = Exec(*n.children[0]);
+      }  // group destructor waits
+      // The group is never cancelled, so the spawned task always ran.
+      PQ_DCHECK(right_result.has_value(), "right-child task did not run");
+      *right = std::move(*right_result);
+      return Status::OK();
+    }
+    *left = Exec(*n.children[0]);
+    if (left->ok() && !left->value().empty()) *right = Exec(*n.children[1]);
+    return Status::OK();
+  }
 
   Result<NamedRelation> Compute(PlanNode& n) {
-    PlanStats* stats = ctx_.stats;
     switch (n.op) {
       case PlanOp::kScan: {
         if (n.input_slot < 0 ||
             static_cast<size_t>(n.input_slot) >= ctx_.inputs.size()) {
           return Status::Internal("plan scan references an unbound slot");
         }
-        if (stats != nullptr) ++stats->scans;
+        if (ctx_.stats != nullptr) {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++ctx_.stats->scans;
+        }
         return *ctx_.inputs[n.input_slot];
       }
       case PlanOp::kSelect: {
         PQ_ASSIGN_OR_RETURN(NamedRelation in, Exec(*n.children[0]));
-        NamedRelation out = Select(in, n.predicate);
-        PQ_RETURN_NOT_OK(
-            Account(stats != nullptr ? &stats->selects : &scratch_, out));
+        size_t morsels = 0;
+        NamedRelation out =
+            (!n.predicate.empty() && in.arity() > 0 &&
+             ctx_.runtime.ShouldMorsel(in.size()))
+                ? ParallelSelect(in, n.predicate, ctx_.runtime, &morsels)
+                : Select(in, n.predicate);
+        PQ_RETURN_NOT_OK(Account(n, &PlanStats::selects, out, morsels));
         return out;
       }
       case PlanOp::kProject: {
         PQ_ASSIGN_OR_RETURN(NamedRelation in, Exec(*n.children[0]));
-        NamedRelation out = Project(in, n.attrs, n.dedup);
-        if (stats != nullptr && out.rel().SharesStorageWith(in.rel())) {
-          ++stats->zero_copy_projections;
+        size_t morsels = 0;
+        NamedRelation out =
+            (!n.attrs.empty() && n.attrs != in.attrs() &&
+             ctx_.runtime.ShouldMorsel(in.size()))
+                ? ParallelProject(in, n.attrs, n.dedup, ctx_.runtime, &morsels)
+                : Project(in, n.attrs, n.dedup);
+        if (ctx_.stats != nullptr && out.rel().SharesStorageWith(in.rel())) {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++ctx_.stats->zero_copy_projections;
         }
-        PQ_RETURN_NOT_OK(
-            Account(stats != nullptr ? &stats->projections : &scratch_, out));
+        PQ_RETURN_NOT_OK(Account(n, &PlanStats::projections, out, morsels));
         return out;
       }
       case PlanOp::kHashJoin: {
-        PQ_ASSIGN_OR_RETURN(NamedRelation left, Exec(*n.children[0]));
+        Result<NamedRelation> lres = NamedRelation{n.attrs};
+        Result<NamedRelation> rres = NamedRelation{n.attrs};
+        PQ_RETURN_NOT_OK(ExecChildren(n, &lres, &rres));
+        PQ_ASSIGN_OR_RETURN(NamedRelation left, std::move(lres));
         if (left.empty()) return NamedRelation{n.attrs};
-        PQ_ASSIGN_OR_RETURN(NamedRelation right, Exec(*n.children[1]));
+        PQ_ASSIGN_OR_RETURN(NamedRelation right, std::move(rres));
         if (right.empty()) return NamedRelation{n.attrs};
         JoinOptions jo;
         jo.max_output_rows = ctx_.limits.max_rows;
+        JoinIndexCache* cache = n.children[1]->index_cache;
+        bool cached_scan = n.children[1]->op == PlanOp::kScan && cache != nullptr;
+        size_t morsels = 0;
         Result<NamedRelation> joined = [&]() -> Result<NamedRelation> {
-          JoinIndexCache* cache = n.children[1]->index_cache;
-          if (n.children[1]->op == PlanOp::kScan && cache != nullptr) {
+          // Morsel-parallel probe: the fast path only (no row cap, nonzero
+          // output arity); the sequential kernel keeps the filtered/limited
+          // cases.
+          if (jo.max_output_rows == 0 && !n.attrs.empty() &&
+              ctx_.runtime.ShouldMorsel(left.size())) {
+            if (cached_scan) {
+              const Relation& stable =
+                  ctx_.inputs[n.children[1]->input_slot]->rel();
+              const RowIndex& idx = cache->GetOrBuild(
+                  stable, JoinKeyColumns(left, right), ctx_.stats);
+              return ParallelJoin(left, right, idx, ctx_.runtime, &morsels);
+            }
+            RowIndex idx(right.rel(), JoinKeyColumns(left, right));
+            return ParallelJoin(left, right, idx, ctx_.runtime, &morsels);
+          }
+          if (cached_scan) {
             // Build over the caller-owned slot relation, NOT the local
             // `right` copy: the cache (and the RowIndex's Relation pointer)
             // outlives this call, and the slot input is the one relation
             // guaranteed to outlive the cache.
             const Relation& stable =
                 ctx_.inputs[n.children[1]->input_slot]->rel();
-            const RowIndex& idx =
-                cache->GetOrBuild(stable, JoinKeyColumns(left, right), stats);
+            const RowIndex& idx = cache->GetOrBuild(
+                stable, JoinKeyColumns(left, right), ctx_.stats);
             return NaturalJoin(left, right, idx, jo);
           }
           return NaturalJoin(left, right, jo);
         }();
         PQ_RETURN_NOT_OK(joined.status());
-        PQ_RETURN_NOT_OK(Account(stats != nullptr ? &stats->joins : &scratch_,
-                                 joined.value()));
+        PQ_RETURN_NOT_OK(
+            Account(n, &PlanStats::joins, joined.value(), morsels));
         return std::move(joined).value();
       }
       case PlanOp::kSemijoin: {
-        PQ_ASSIGN_OR_RETURN(NamedRelation left, Exec(*n.children[0]));
+        Result<NamedRelation> lres = NamedRelation{n.attrs};
+        Result<NamedRelation> rres = NamedRelation{n.attrs};
+        PQ_RETURN_NOT_OK(ExecChildren(n, &lres, &rres));
+        PQ_ASSIGN_OR_RETURN(NamedRelation left, std::move(lres));
         if (left.empty()) return NamedRelation{n.attrs};
-        PQ_ASSIGN_OR_RETURN(NamedRelation right, Exec(*n.children[1]));
+        PQ_ASSIGN_OR_RETURN(NamedRelation right, std::move(rres));
         if (right.empty()) return NamedRelation{n.attrs};
-        NamedRelation out = Semijoin(left, right);
-        PQ_RETURN_NOT_OK(
-            Account(stats != nullptr ? &stats->semijoins : &scratch_, out));
+        size_t morsels = 0;
+        NamedRelation out =
+            ctx_.runtime.ShouldMorsel(left.size())
+                ? ParallelSemijoin(left, right, ctx_.runtime, &morsels)
+                : Semijoin(left, right);
+        PQ_RETURN_NOT_OK(Account(n, &PlanStats::semijoins, out, morsels));
         return out;
       }
       case PlanOp::kUnion: {
         if (n.children.empty()) {
           return Status::Internal("union plan node has no children");
         }
-        PQ_ASSIGN_OR_RETURN(NamedRelation acc, Exec(*n.children[0]));
-        for (size_t i = 1; i < n.children.size(); ++i) {
-          PQ_ASSIGN_OR_RETURN(NamedRelation next, Exec(*n.children[i]));
-          acc = UnionSet(acc, next);
+        std::vector<Result<NamedRelation>> parts;
+        if (Parallel() && n.children.size() > 1) {
+          // Structural parallelism: every branch is an independent task;
+          // the merge below runs in branch order, so the result matches
+          // the sequential left-to-right union exactly.
+          parts.assign(n.children.size(), NamedRelation{});
+          {
+            TaskGroup group(ctx_.runtime.scheduler);
+            for (size_t i = 1; i < n.children.size(); ++i) {
+              PlanNode* child = n.children[i].get();
+              Result<NamedRelation>* slot = &parts[i];
+              group.Spawn([this, child, slot] { *slot = Exec(*child); });
+            }
+            if (ctx_.stats != nullptr) {
+              std::lock_guard<std::mutex> lock(stats_mutex_);
+              ctx_.stats->parallel_tasks += n.children.size() - 1;
+            }
+            parts[0] = Exec(*n.children[0]);
+          }  // group destructor waits
+        } else {
+          for (const PlanNodePtr& c : n.children) {
+            parts.push_back(Exec(*c));
+            if (!parts.back().ok()) break;  // sequential: stop at first error
+          }
         }
-        PQ_RETURN_NOT_OK(
-            Account(stats != nullptr ? &stats->unions : &scratch_, acc));
+        for (const Result<NamedRelation>& p : parts) {
+          PQ_RETURN_NOT_OK(p.status());
+        }
+        NamedRelation acc = parts[0].value();
+        for (size_t i = 1; i < parts.size(); ++i) {
+          acc = UnionSet(acc, parts[i].value());
+        }
+        PQ_RETURN_NOT_OK(Account(n, &PlanStats::unions, acc));
         return acc;
       }
       case PlanOp::kDedup: {
         PQ_ASSIGN_OR_RETURN(NamedRelation in, Exec(*n.children[0]));
         NamedRelation out = in;
         out.rel().HashDedup();
-        PQ_RETURN_NOT_OK(
-            Account(stats != nullptr ? &stats->dedups : &scratch_, out));
+        PQ_RETURN_NOT_OK(Account(n, &PlanStats::dedups, out));
         return out;
       }
       case PlanOp::kFixpoint:
@@ -142,16 +274,21 @@ class Executor {
   }
 
   const ExecContext& ctx_;
-  std::unordered_map<const PlanNode*, NamedRelation> memo_;
-  uint64_t rows_produced_ = 0;
+  std::mutex states_mutex_;
+  std::unordered_map<const PlanNode*, std::unique_ptr<NodeState>> states_;
+  std::mutex stats_mutex_;
+  std::atomic<uint64_t> rows_produced_{0};
 };
 
 }  // namespace
 
 Result<NamedRelation> ExecutePlan(PlanNode& root, const ExecContext& ctx) {
   root.ResetActuals();
+  Timer timer;
   Executor ex(ctx);
-  return ex.Exec(root);
+  auto result = ex.Exec(root);
+  if (ctx.stats != nullptr) ctx.stats->wall_seconds += timer.Seconds();
+  return result;
 }
 
 }  // namespace paraquery

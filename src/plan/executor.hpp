@@ -1,6 +1,22 @@
 // The one plan executor shared by every evaluator: runs a PlanNode DAG on
 // the RowBlock/RowIndex kernels (relational/ops.hpp), enforcing
 // ResourceLimits and filling PlanStats plus per-node actual row counts.
+//
+// With a TaskScheduler bound through ExecContext::runtime the executor goes
+// parallel on two axes, with results bit-identical to sequential runs:
+//   * structural — the two inputs of a HashJoin/Semijoin and the branches
+//     of a Union (independent subtrees of the DAG, e.g. Yannakakis sibling
+//     semijoin subtrees) execute as concurrent tasks, with shared nodes
+//     still computed exactly once;
+//   * morsel — Select, Project, the hash-join probe, and the semijoin probe
+//     split their input rows into morsels processed by scheduler tasks into
+//     per-worker buffers merged in deterministic morsel order
+//     (runtime/parallel_ops.hpp).
+// ResourceLimits stay enforced through one atomic row budget shared by all
+// tasks of the execution. Note that parallel execution is speculative about
+// the sequential empty-input short-circuit: a subtree the sequential
+// executor would skip (because its sibling came out empty) may run — and
+// count toward limits — under a scheduler.
 #ifndef PARAQUERY_PLAN_EXECUTOR_H_
 #define PARAQUERY_PLAN_EXECUTOR_H_
 
@@ -9,24 +25,28 @@
 #include "common/status.hpp"
 #include "plan/plan.hpp"
 #include "relational/named_relation.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace paraquery {
 
-/// Per-execution environment: the scan slot table, limits, and stats sink.
+/// Per-execution environment: the scan slot table, limits, stats sink, and
+/// the (optional) parallel runtime.
 struct ExecContext {
   /// Scan nodes read `*inputs[input_slot]`; relations must outlive the call.
   std::span<const NamedRelation* const> inputs;
   ResourceLimits limits;
   PlanStats* stats = nullptr;  // optional
+  RuntimeOptions runtime;      // default: sequential execution
 };
 
 /// Executes `root` once (shared nodes are evaluated a single time) and
 /// returns its result relation. Empty operator inputs short-circuit: the
 /// dependent operator returns its (statically known) empty output without
 /// running — and without counting — downstream kernels, reproducing the
-/// early-exit behavior of the hand-rolled evaluators this replaced.
-/// Fixpoint nodes are rejected (their iteration belongs to the Datalog
-/// engine, which executes the per-rule child plans itself).
+/// early-exit behavior of the hand-rolled evaluators this replaced (under a
+/// scheduler, concurrently started sibling subtrees may already have run;
+/// see above). Fixpoint nodes are rejected (their iteration belongs to the
+/// Datalog engine, which executes the per-rule child plans itself).
 Result<NamedRelation> ExecutePlan(PlanNode& root, const ExecContext& ctx);
 
 }  // namespace paraquery

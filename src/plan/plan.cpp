@@ -12,16 +12,34 @@ namespace paraquery {
 
 namespace {
 
-// Join cardinality: containment-style guess with V(attr) ≈ relation size.
-// Deliberately coarse — ordering decisions use real input sizes, estimates
-// exist so EXPLAIN can show est vs actual drift.
-double EstimateJoin(double l, double r, size_t common_attrs) {
-  if (l < 0 || r < 0) return -1.0;
-  if (common_attrs == 0) return l * r;
-  double est = l * r / std::max(1.0, std::max(l, r));
-  // Every extra shared attribute filters further.
-  for (size_t i = 1; i < common_attrs; ++i) est *= 0.1;
-  return est;
+// Distinct-value estimate of attribute `a` at node `n` (< 0 = unknown).
+double DistinctOf(const PlanNode& n, AttrId a) {
+  if (n.attr_distinct.size() != n.attrs.size()) return -1.0;
+  for (size_t i = 0; i < n.attrs.size(); ++i) {
+    if (n.attrs[i] == a) return n.attr_distinct[i];
+  }
+  return -1.0;
+}
+
+// Caps a distinct-value count at the node's row estimate (a column cannot
+// have more distinct values than the relation has rows).
+double CapDistinct(double v, double est) {
+  if (v < 0) return v;
+  return est >= 0 ? std::min(v, est) : v;
+}
+
+// Upper bound on a deduplicated output: the product of the kept columns'
+// distinct counts. Falls back to `est` when a count is unknown or the
+// product already exceeds it.
+double DedupCardinalityCap(const std::vector<double>& attr_distinct,
+                           double est) {
+  if (est < 0) return est;
+  double cap = 1.0;
+  for (double v : attr_distinct) {
+    if (v < 0 || cap > est) return est;
+    cap *= std::max(1.0, v);
+  }
+  return std::min(est, cap);
 }
 
 double EstimateSelect(double in, const Predicate& pred) {
@@ -84,6 +102,9 @@ void PlanStats::Merge(const PlanStats& o) {
   zero_copy_projections += o.zero_copy_projections;
   index_builds += o.index_builds;
   index_hits += o.index_hits;
+  parallel_tasks += o.parallel_tasks;
+  morsels += o.morsels;
+  wall_seconds += o.wall_seconds;
 }
 
 std::string PlanStats::ToString() const {
@@ -95,13 +116,16 @@ std::string PlanStats::ToString() const {
       << " peak_intermediate_rows=" << peak_intermediate_rows
       << "\nshared_atom_storage=" << shared_atom_storage
       << " zero_copy_projections=" << zero_copy_projections
-      << " index_builds=" << index_builds << " index_hits=" << index_hits;
+      << " index_builds=" << index_builds << " index_hits=" << index_hits
+      << "\nparallel_tasks=" << parallel_tasks << " morsels=" << morsels
+      << " wall_ms=" << wall_seconds * 1e3;
   return oss.str();
 }
 
 const RowIndex& JoinIndexCache::GetOrBuild(const Relation& rel,
                                            const std::vector<int>& cols,
                                            PlanStats* stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [key, idx] : indexes_) {
     if (key == cols) {
       if (stats != nullptr) ++stats->index_hits;
@@ -115,11 +139,13 @@ const RowIndex& JoinIndexCache::GetOrBuild(const Relation& rel,
 
 void PlanNode::ResetActuals() {
   actual_rows = kNotExecuted;
+  actual_morsels = 0;
   for (const PlanNodePtr& c : children) c->ResetActuals();
 }
 
 PlanNodePtr MakeScan(int slot, std::vector<AttrId> attrs, std::string label,
-                     double est_rows, JoinIndexCache* cache) {
+                     double est_rows, JoinIndexCache* cache,
+                     std::vector<double> attr_distinct) {
   auto n = std::make_shared<PlanNode>();
   n->op = PlanOp::kScan;
   n->attrs = std::move(attrs);
@@ -127,6 +153,9 @@ PlanNodePtr MakeScan(int slot, std::vector<AttrId> attrs, std::string label,
   n->est_rows = est_rows;
   n->input_slot = slot;
   n->index_cache = cache;
+  if (attr_distinct.size() == n->attrs.size()) {
+    n->attr_distinct = std::move(attr_distinct);
+  }
   return n;
 }
 
@@ -136,6 +165,10 @@ PlanNodePtr MakeSelect(PlanNodePtr child, Predicate predicate) {
   n->attrs = child->attrs;
   n->label = predicate.ToString();
   n->est_rows = EstimateSelect(child->est_rows, predicate);
+  if (!child->attr_distinct.empty()) {
+    n->attr_distinct = child->attr_distinct;
+    for (double& v : n->attr_distinct) v = CapDistinct(v, n->est_rows);
+  }
   n->predicate = std::move(predicate);
   n->children.push_back(std::move(child));
   return n;
@@ -147,6 +180,14 @@ PlanNodePtr MakeProject(PlanNodePtr child, std::vector<AttrId> attrs,
   n->op = PlanOp::kProject;
   n->attrs = std::move(attrs);
   n->est_rows = child->est_rows;
+  if (!child->attr_distinct.empty()) {
+    n->attr_distinct.reserve(n->attrs.size());
+    for (AttrId a : n->attrs) n->attr_distinct.push_back(DistinctOf(*child, a));
+    if (dedup) {
+      n->est_rows = DedupCardinalityCap(n->attr_distinct, n->est_rows);
+    }
+    for (double& v : n->attr_distinct) v = CapDistinct(v, n->est_rows);
+  }
   n->dedup = dedup;
   n->children.push_back(std::move(child));
   return n;
@@ -156,15 +197,44 @@ PlanNodePtr MakeHashJoin(PlanNodePtr left, PlanNodePtr right) {
   auto n = std::make_shared<PlanNode>();
   n->op = PlanOp::kHashJoin;
   n->attrs = left->attrs;
-  size_t common = 0;
+  std::vector<AttrId> common;
   for (AttrId a : right->attrs) {
     if (std::find(n->attrs.begin(), n->attrs.end(), a) != n->attrs.end()) {
-      ++common;
+      common.push_back(a);
     } else {
       n->attrs.push_back(a);
     }
   }
-  n->est_rows = EstimateJoin(left->est_rows, right->est_rows, common);
+  double l = left->est_rows, r = right->est_rows;
+  if (l < 0 || r < 0) {
+    n->est_rows = -1.0;
+  } else {
+    // System R: |L ⋈ R| ≈ |L|·|R| / Π_a max(V_L(a), V_R(a)) over the shared
+    // attributes, using the real per-column distinct counts seeded at the
+    // scans. Where a count is unknown, fall back to the historical
+    // containment guess (divide by max(|L|, |R|) once, then by 10 per extra
+    // shared attribute).
+    double est = l * r;
+    for (size_t i = 0; i < common.size(); ++i) {
+      double vl = DistinctOf(*left, common[i]);
+      double vr = DistinctOf(*right, common[i]);
+      double divisor = (vl > 0 && vr > 0)
+                           ? std::max(vl, vr)
+                           : (i == 0 ? std::max({l, r, 1.0}) : 10.0);
+      est /= std::max(divisor, 1.0);
+    }
+    n->est_rows = est;
+  }
+  // Propagated distinct counts: shared attributes keep the smaller side's
+  // count, exclusive attributes their source's, all capped at the estimate.
+  if (!left->attr_distinct.empty() || !right->attr_distinct.empty()) {
+    n->attr_distinct.reserve(n->attrs.size());
+    for (AttrId a : n->attrs) {
+      double vl = DistinctOf(*left, a), vr = DistinctOf(*right, a);
+      double v = vl < 0 ? vr : (vr < 0 ? vl : std::min(vl, vr));
+      n->attr_distinct.push_back(CapDistinct(v, n->est_rows));
+    }
+  }
   n->children.push_back(std::move(left));
   n->children.push_back(std::move(right));
   return n;
@@ -175,6 +245,10 @@ PlanNodePtr MakeSemijoin(PlanNodePtr left, PlanNodePtr right) {
   n->op = PlanOp::kSemijoin;
   n->attrs = left->attrs;
   n->est_rows = left->est_rows < 0 ? -1.0 : left->est_rows * 0.5;
+  if (!left->attr_distinct.empty()) {
+    n->attr_distinct = left->attr_distinct;
+    for (double& v : n->attr_distinct) v = CapDistinct(v, n->est_rows);
+  }
   n->children.push_back(std::move(left));
   n->children.push_back(std::move(right));
   return n;
@@ -203,6 +277,11 @@ PlanNodePtr MakeDedup(PlanNodePtr child) {
   n->op = PlanOp::kDedup;
   n->attrs = child->attrs;
   n->est_rows = child->est_rows;
+  if (!child->attr_distinct.empty()) {
+    n->attr_distinct = child->attr_distinct;
+    n->est_rows = DedupCardinalityCap(n->attr_distinct, n->est_rows);
+    for (double& v : n->attr_distinct) v = CapDistinct(v, n->est_rows);
+  }
   n->children.push_back(std::move(child));
   return n;
 }
@@ -263,6 +342,7 @@ struct Renderer {
       }
       if (n.actual_rows != PlanNode::kNotExecuted) {
         out << " actual=" << n.actual_rows;
+        if (n.actual_morsels > 0) out << " morsels=" << n.actual_morsels;
       }
     }
     auto it = refs->find(&n);

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -89,6 +90,13 @@ struct PlanStats {
   /// JoinIndexCache activity (memoized join indexes over cached scans).
   size_t index_builds = 0;
   size_t index_hits = 0;
+  /// Parallel runtime activity (all zero on single-threaded executions):
+  /// structural tasks handed to the scheduler (plan subtrees, UCQ
+  /// disjuncts, Datalog rule firings), morsels processed by data-parallel
+  /// operators, and wall-clock seconds summed over plan executions.
+  size_t parallel_tasks = 0;
+  size_t morsels = 0;
+  double wall_seconds = 0;
 
   void Merge(const PlanStats& o);
   std::string ToString() const;
@@ -101,10 +109,14 @@ struct PlanStats {
 /// for the cache's lifetime; any storage-sharing view may probe it.
 class JoinIndexCache {
  public:
+  /// Thread-safe: concurrent Datalog rule firings share one cache per EDB
+  /// materialization. Returned references stay valid (deque storage) for
+  /// the cache's lifetime.
   const RowIndex& GetOrBuild(const Relation& rel, const std::vector<int>& cols,
                              PlanStats* stats);
 
  private:
+  std::mutex mutex_;
   std::deque<std::pair<std::vector<int>, RowIndex>> indexes_;
 };
 
@@ -125,6 +137,11 @@ struct PlanNode {
   std::string label;
   /// Planner's cardinality estimate (< 0: unknown, rendered as "?").
   double est_rows = -1.0;
+  /// Per-attribute distinct-value estimates parallel to `attrs` (empty =
+  /// unknown, entries < 0 = unknown). Scans seed them from
+  /// Relation::DistinctCount; Make* constructors propagate them and use
+  /// them for System-R style join selectivities.
+  std::vector<double> attr_distinct;
 
   // --- kScan payload ---
   int input_slot = -1;
@@ -138,13 +155,18 @@ struct PlanNode {
 
   /// Filled by the executor (rows of the computed result).
   uint64_t actual_rows = kNotExecuted;
+  /// Morsels the executor processed for this operator (0 = it ran
+  /// sequentially); rendered next to actual_rows for parallel executions.
+  uint64_t actual_morsels = 0;
 
-  /// Clears actual_rows recursively (before re-executing a cached plan).
+  /// Clears actual_rows/actual_morsels recursively (before re-executing a
+  /// cached plan).
   void ResetActuals();
 };
 
 PlanNodePtr MakeScan(int slot, std::vector<AttrId> attrs, std::string label,
-                     double est_rows, JoinIndexCache* cache = nullptr);
+                     double est_rows, JoinIndexCache* cache = nullptr,
+                     std::vector<double> attr_distinct = {});
 PlanNodePtr MakeSelect(PlanNodePtr child, Predicate predicate);
 PlanNodePtr MakeProject(PlanNodePtr child, std::vector<AttrId> attrs,
                         bool dedup);

@@ -84,6 +84,21 @@ bool CompareBound(const std::vector<AttrId>& attrs, const CompareAtom& cmp) {
   return ok(cmp.lhs) && ok(cmp.rhs);
 }
 
+// Per-column distinct counts of `rel` (real statistics, computed lazily and
+// cached on the shared RowBlock — see Relation::DistinctCount), seeding the
+// planner's join selectivities. For zero-copy atom views this hits the
+// stored relation's cache across queries; a fresh S_j materialization pays
+// one O(rows) pass per column at plan time (estimates feed EXPLAIN and the
+// est-vs-actual drift surface — join ORDER still comes from input sizes).
+std::vector<double> ScanDistinctCounts(const NamedRelation& rel) {
+  std::vector<double> distinct;
+  distinct.reserve(rel.arity());
+  for (size_t c = 0; c < rel.arity(); ++c) {
+    distinct.push_back(static_cast<double>(rel.rel().DistinctCount(c)));
+  }
+  return distinct;
+}
+
 // Builds the slot-bound S_j scan for each body atom. Counts zero-copy views.
 Status BuildAtomScans(const Database& db, const ConjunctiveQuery& q,
                       PhysicalPlan* plan, std::vector<PlanNodePtr>* scans) {
@@ -95,7 +110,8 @@ Status BuildAtomScans(const Database& db, const ConjunctiveQuery& q,
     }
     int slot = static_cast<int>(plan->inputs.size());
     scans->push_back(MakeScan(slot, rel.attrs(), AtomText(a, q.vars),
-                              static_cast<double>(rel.size())));
+                              static_cast<double>(rel.size()),
+                              /*cache=*/nullptr, ScanDistinctCounts(rel)));
     plan->inputs.push_back(std::move(rel));
   }
   return Status::OK();
@@ -351,20 +367,21 @@ Result<PhysicalPlan> PlanConjunctive(const Database& db,
 
 Result<NamedRelation> ExecutePhysicalPlan(PhysicalPlan& plan,
                                           const ResourceLimits& limits,
-                                          PlanStats* stats) {
+                                          PlanStats* stats,
+                                          const RuntimeOptions& runtime) {
   if (stats != nullptr) stats->shared_atom_storage += plan.shared_atom_storage;
   std::vector<const NamedRelation*> ptrs;
   ptrs.reserve(plan.inputs.size());
   for (const NamedRelation& r : plan.inputs) ptrs.push_back(&r);
-  ExecContext ctx{ptrs, limits, stats};
+  ExecContext ctx{ptrs, limits, stats, runtime};
   return ExecutePlan(*plan.root, ctx);
 }
 
-Result<PlanNodePtr> PlanRuleBody(const DatalogRule& rule,
-                                 const std::vector<std::vector<AttrId>>& attrs,
-                                 const std::vector<size_t>& sizes,
-                                 const std::vector<JoinIndexCache*>& caches,
-                                 int delta_pos) {
+Result<PlanNodePtr> PlanRuleBody(
+    const DatalogRule& rule, const std::vector<std::vector<AttrId>>& attrs,
+    const std::vector<size_t>& sizes,
+    const std::vector<JoinIndexCache*>& caches, int delta_pos,
+    const std::vector<std::vector<double>>& distinct) {
   if (rule.body.empty()) {
     return Status::InvalidArgument("cannot plan an empty rule body");
   }
@@ -374,8 +391,10 @@ Result<PlanNodePtr> PlanRuleBody(const DatalogRule& rule,
   for (size_t i = 0; i < rule.body.size(); ++i) {
     std::string label = AtomText(rule.body[i], rule.vars);
     if (static_cast<int>(i) == delta_pos) label += " [delta]";
-    scans.push_back(MakeScan(static_cast<int>(i), attrs[i], std::move(label),
-                             static_cast<double>(sizes[i]), caches[i]));
+    scans.push_back(MakeScan(
+        static_cast<int>(i), attrs[i], std::move(label),
+        static_cast<double>(sizes[i]), caches[i],
+        i < distinct.size() ? distinct[i] : std::vector<double>{}));
     attr_ptrs.push_back(&attrs[i]);
   }
   std::vector<size_t> order =

@@ -23,6 +23,7 @@
 #include "query/conjunctive_query.hpp"
 #include "query/datalog.hpp"
 #include "relational/database.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace paraquery {
 
@@ -75,10 +76,12 @@ Result<PhysicalPlan> PlanCyclicCq(const Database& db,
 
 /// Binds `plan`'s input slots and runs the shared executor. Returns the
 /// root's binding relation (attributes = head variables for CQ plans);
-/// callers map it through the head with BindingsToAnswers.
+/// callers map it through the head with BindingsToAnswers. `runtime` binds
+/// the parallel task scheduler (default: sequential execution).
 Result<NamedRelation> ExecutePhysicalPlan(PhysicalPlan& plan,
                                           const ResourceLimits& limits,
-                                          PlanStats* stats = nullptr);
+                                          PlanStats* stats = nullptr,
+                                          const RuntimeOptions& runtime = {});
 
 /// The greedy atom order shared by the cyclic planner and the naive
 /// backtracking search: repeatedly pick the smallest not-yet-chosen atom
@@ -99,12 +102,13 @@ std::vector<size_t> GreedyAtomOrder(const std::vector<NamedRelation>& rels,
 /// occupying that slot at build time, `caches[i]` is the shared join-index
 /// memo for static EDB atoms or null). The root projects to the rule's
 /// distinct head variables. `delta_pos` (or -1) is pinned first in the join
-/// order. The body must be nonempty.
-Result<PlanNodePtr> PlanRuleBody(const DatalogRule& rule,
-                                 const std::vector<std::vector<AttrId>>& attrs,
-                                 const std::vector<size_t>& sizes,
-                                 const std::vector<JoinIndexCache*>& caches,
-                                 int delta_pos);
+/// order. `distinct` (optional, per slot per column) seeds the cardinality
+/// model. The body must be nonempty.
+Result<PlanNodePtr> PlanRuleBody(
+    const DatalogRule& rule, const std::vector<std::vector<AttrId>>& attrs,
+    const std::vector<size_t>& sizes,
+    const std::vector<JoinIndexCache*>& caches, int delta_pos,
+    const std::vector<std::vector<double>>& distinct = {});
 
 }  // namespace paraquery
 

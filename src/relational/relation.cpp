@@ -15,8 +15,7 @@ const std::shared_ptr<RowBlock>& Relation::EmptyBlock() {
 }
 
 Relation::Relation(size_t arity, std::vector<Value> data)
-    : arity_(arity),
-      block_(std::make_shared<RowBlock>(RowBlock{std::move(data)})) {
+    : arity_(arity), block_(std::make_shared<RowBlock>(std::move(data))) {
   PQ_CHECK(arity > 0, "Relation buffer constructor requires arity > 0");
   PQ_CHECK(block_->values.size() % arity == 0,
            "Relation buffer size is not a multiple of the arity");
@@ -115,6 +114,20 @@ bool Relation::Contains(std::span<const Value> row) const {
   return false;
 }
 
+size_t Relation::DistinctCount(size_t col) const {
+  PQ_CHECK(col < arity_, "DistinctCount: column out of range");
+  // Empty relations share the one global block across all arities; never
+  // touch its stats (and the answer is trivially 0).
+  if (empty()) return 0;
+  std::lock_guard<std::mutex> lock(block_->stats_mutex);
+  std::vector<size_t>& counts = block_->distinct_counts;
+  if (counts.size() != arity_) counts.assign(arity_, RowBlock::kStatUnknown);
+  if (counts[col] == RowBlock::kStatUnknown) {
+    counts[col] = RowIndex(*this, {static_cast<int>(col)}).distinct_keys();
+  }
+  return counts[col];
+}
+
 bool Relation::EqualsAsSet(const Relation& other) const {
   if (arity_ != other.arity_) return false;
   Relation a = *this;
@@ -128,6 +141,7 @@ bool Relation::EqualsAsSet(const Relation& other) const {
 void Relation::Clear() {
   if (block_.use_count() == 1) {
     block_->values.clear();  // keep the exclusive buffer's capacity
+    block_->distinct_counts.clear();
   } else {
     block_ = EmptyBlock();
   }

@@ -19,6 +19,7 @@
 
 #include <initializer_list>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -31,8 +32,30 @@ namespace paraquery {
 /// Ref-counted flat row-major buffer shared between Relation views.
 /// Logically immutable while shared: Relation's copy-on-write gate clones it
 /// before the first mutation through any alias.
+///
+/// Besides the rows the block carries lazily computed per-column statistics
+/// (currently distinct-value counts, see Relation::DistinctCount). Keeping
+/// them here — not on the Relation view — means every storage-sharing view
+/// of one materialization sees the same cache, and copy-on-write naturally
+/// invalidates: a clone starts with empty stats, an in-place mutation clears
+/// them (see Relation::MutableValues).
 struct RowBlock {
   std::vector<Value> values;
+
+  /// Guards `distinct_counts` (stats are computed lazily, possibly from
+  /// concurrent read-only views of the same block).
+  std::mutex stats_mutex;
+  /// Per-column distinct-value counts; empty until first computed, entries
+  /// of kStatUnknown not yet computed. Sized to the owning relation's arity.
+  std::vector<size_t> distinct_counts;
+
+  static constexpr size_t kStatUnknown = ~size_t{0};
+
+  RowBlock() = default;
+  explicit RowBlock(std::vector<Value> v) : values(std::move(v)) {}
+  /// Clones only the rows; the copy recomputes its stats lazily.
+  RowBlock(const RowBlock& o) : values(o.values) {}
+  RowBlock& operator=(const RowBlock&) = delete;
 };
 
 /// A fixed-arity table of Values with set or multiset semantics.
@@ -112,6 +135,13 @@ class Relation {
   /// Set equality (sorts copies of both sides; duplicates ignored).
   bool EqualsAsSet(const Relation& other) const;
 
+  /// Number of distinct values in column `col`, computed lazily with one
+  /// RowIndex pass and cached on the shared RowBlock — storage-sharing views
+  /// share the cache, and any mutation (copy-on-write or in-place)
+  /// invalidates it. Thread-safe against concurrent reads; feeds the
+  /// planner's join cardinality estimates.
+  size_t DistinctCount(size_t col) const;
+
   /// Removes all rows. Detaches from shared storage instead of clearing it.
   void Clear();
 
@@ -147,16 +177,21 @@ class Relation {
 
   /// Copy-on-write gate: clones the block if any other view shares it,
   /// then returns the (now exclusively owned) buffer. Callers must Sync()
-  /// after mutating the returned vector.
+  /// after mutating the returned vector. In-place mutation of an exclusive
+  /// block invalidates its cached column stats (a clone starts empty).
   std::vector<Value>& MutableValues() {
-    if (block_.use_count() > 1) block_ = std::make_shared<RowBlock>(*block_);
+    if (block_.use_count() > 1) {
+      block_ = std::make_shared<RowBlock>(*block_);
+    } else {
+      block_->distinct_counts.clear();
+    }
     return block_->values;
   }
 
   /// Replaces the storage with a freshly owned buffer (no clone of the old
   /// contents; other views keep the previous block alive).
   void ReplaceValues(std::vector<Value> values) {
-    block_ = std::make_shared<RowBlock>(RowBlock{std::move(values)});
+    block_ = std::make_shared<RowBlock>(std::move(values));
     Sync();
   }
 
@@ -166,6 +201,7 @@ class Relation {
   void AppendRowUnchecked(std::span<const Value> row) {
     PQ_DCHECK(block_.use_count() == 1,
               "AppendRowUnchecked requires exclusive storage");
+    block_->distinct_counts.clear();
     block_->values.insert(block_->values.end(), row.begin(), row.end());
     Sync();
     sorted_ = false;

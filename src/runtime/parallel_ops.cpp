@@ -1,0 +1,216 @@
+#include "runtime/parallel_ops.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "relational/ops.hpp"
+#include "relational/row_index.hpp"
+
+namespace paraquery {
+
+namespace {
+
+// Positions of the common attributes, as (left column, right column) pairs
+// in left-attribute order (the sequential kernels' CommonColumns).
+std::vector<std::pair<int, int>> CommonColumns(const NamedRelation& left,
+                                               const NamedRelation& right) {
+  std::vector<std::pair<int, int>> out;
+  for (size_t i = 0; i < left.attrs().size(); ++i) {
+    int rc = right.ColumnOf(left.attrs()[i]);
+    if (rc >= 0) out.emplace_back(static_cast<int>(i), rc);
+  }
+  return out;
+}
+
+// Concatenates per-morsel buffers (in morsel order) into one flat relation.
+NamedRelation MergeMorsels(std::vector<AttrId> attrs, size_t arity,
+                           const std::vector<std::vector<Value>>& bufs) {
+  size_t total = 0;
+  for (const std::vector<Value>& b : bufs) total += b.size();
+  std::vector<Value> out(total);
+  Value* dst = out.data();
+  for (const std::vector<Value>& b : bufs) {
+    std::copy(b.begin(), b.end(), dst);
+    dst += b.size();
+  }
+  return NamedRelation{std::move(attrs), Relation(arity, std::move(out))};
+}
+
+// Exclusive prefix sum of per-chunk row counts; returns the total.
+size_t PrefixOffsets(std::vector<size_t>* counts) {
+  size_t total = 0;
+  for (size_t& c : *counts) {
+    size_t n = c;
+    c = total;
+    total += n;
+  }
+  return total;
+}
+
+}  // namespace
+
+NamedRelation ParallelSelect(const NamedRelation& in, const Predicate& pred,
+                             const RuntimeOptions& runtime, size_t* morsels) {
+  if (pred.empty()) return in;  // identity selection: zero-copy view
+  size_t n = in.size(), arity = in.arity();
+  std::vector<std::vector<Value>> bufs(ChunkCount(n, runtime.morsel_rows));
+  size_t chunks = ParallelChunks(
+      runtime.scheduler, n, runtime.morsel_rows,
+      [&](size_t c, size_t begin, size_t end) {
+        std::vector<Value>& buf = bufs[c];
+        for (size_t r = begin; r < end; ++r) {
+          auto row = in.rel().Row(r);
+          if (pred.Eval(row)) buf.insert(buf.end(), row.begin(), row.end());
+        }
+      });
+  if (morsels != nullptr) *morsels += chunks;
+  return MergeMorsels(in.attrs(), arity, bufs);
+}
+
+NamedRelation ParallelProject(const NamedRelation& in,
+                              const std::vector<AttrId>& attrs, bool dedup,
+                              const RuntimeOptions& runtime, size_t* morsels) {
+  if (attrs == in.attrs()) return Project(in, attrs, dedup);  // view path
+  std::vector<int> cols(attrs.size());
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    int c = in.ColumnOf(attrs[i]);
+    PQ_CHECK(c >= 0, "ParallelProject: attribute not present in input");
+    cols[i] = c;
+  }
+  size_t n = in.size(), out_arity = attrs.size();
+  std::vector<std::vector<Value>> bufs(ChunkCount(n, runtime.morsel_rows));
+  size_t chunks = ParallelChunks(
+      runtime.scheduler, n, runtime.morsel_rows,
+      [&](size_t c, size_t begin, size_t end) {
+        std::vector<Value>& buf = bufs[c];
+        buf.reserve((end - begin) * out_arity);
+        for (size_t r = begin; r < end; ++r) {
+          for (int col : cols) buf.push_back(in.rel().At(r, col));
+        }
+      });
+  if (morsels != nullptr) *morsels += chunks;
+  NamedRelation out = MergeMorsels(attrs, out_arity, bufs);
+  // Same order as the sequential kernel, so first-occurrence dedup keeps
+  // identical rows in identical positions.
+  if (dedup) out.rel().HashDedup();
+  return out;
+}
+
+NamedRelation ParallelJoin(const NamedRelation& left,
+                           const NamedRelation& right,
+                           const RowIndex& right_index,
+                           const RuntimeOptions& runtime, size_t* morsels) {
+  PQ_DCHECK((right.arity() == 0 ||
+             right_index.rel().SharesStorageWith(right.rel())) &&
+                right_index.key_cols() == JoinKeyColumns(left, right),
+            "ParallelJoin: index does not match the join's key columns");
+  auto common = CommonColumns(left, right);
+  std::vector<int> lcols;
+  for (auto [lc, rc] : common) lcols.push_back(lc);
+  std::vector<AttrId> out_attrs = left.attrs();
+  std::vector<int> right_extra;
+  for (size_t i = 0; i < right.attrs().size(); ++i) {
+    if (!left.HasAttr(right.attrs()[i])) {
+      out_attrs.push_back(right.attrs()[i]);
+      right_extra.push_back(static_cast<int>(i));
+    }
+  }
+  size_t larity = left.arity();
+  size_t out_arity = out_attrs.size();
+  PQ_CHECK(out_arity > 0, "ParallelJoin requires a nonempty output schema");
+
+  // Probe pass over left morsels: chain heads and per-morsel output sizes.
+  size_t nl = left.size();
+  std::vector<uint32_t> first(nl);
+  std::vector<size_t> offsets(ChunkCount(nl, runtime.morsel_rows), 0);
+  size_t chunks = ParallelChunks(
+      runtime.scheduler, nl, runtime.morsel_rows,
+      [&](size_t c, size_t begin, size_t end) {
+        size_t total = 0;
+        for (size_t lr = begin; lr < end; ++lr) {
+          uint32_t rr = right_index.Find(left.rel(), lr, lcols);
+          first[lr] = rr;
+          if (rr != RowIndex::kNone) total += right_index.MatchCount(rr);
+        }
+        offsets[c] = total;
+      });
+  size_t total = PrefixOffsets(&offsets);
+
+  // Emit pass: every morsel writes its disjoint slice of one allocation.
+  std::vector<Value> out_data(total * out_arity);
+  const std::vector<Value>& ldata = left.rel().data();
+  const std::vector<Value>& rdata = right.rel().data();
+  size_t rarity = right.arity();
+  ParallelChunks(
+      runtime.scheduler, nl, runtime.morsel_rows,
+      [&](size_t c, size_t begin, size_t end) {
+        Value* dst = out_data.data() + offsets[c] * out_arity;
+        for (size_t lr = begin; lr < end; ++lr) {
+          uint32_t rr = first[lr];
+          if (rr == RowIndex::kNone) continue;
+          const Value* lrow = ldata.data() + lr * larity;
+          for (; rr != RowIndex::kNone; rr = right_index.Next(rr)) {
+            for (size_t i = 0; i < larity; ++i) *dst++ = lrow[i];
+            const Value* rrow =
+                rdata.data() + static_cast<size_t>(rr) * rarity;
+            for (int col : right_extra) *dst++ = rrow[col];
+          }
+        }
+      });
+  if (morsels != nullptr) *morsels += chunks;
+  return NamedRelation{std::move(out_attrs),
+                       Relation(out_arity, std::move(out_data))};
+}
+
+NamedRelation ParallelSemijoin(const NamedRelation& left,
+                               const NamedRelation& right,
+                               const RuntimeOptions& runtime,
+                               size_t* morsels) {
+  auto common = CommonColumns(left, right);
+  std::vector<int> lcols, rcols;
+  for (auto [lc, rc] : common) {
+    lcols.push_back(lc);
+    rcols.push_back(rc);
+  }
+  if (common.empty()) {
+    // Degenerate semijoin: keep left iff right is nonempty (zero-copy).
+    return right.empty() ? NamedRelation{left.attrs()} : left;
+  }
+  RowIndex index(right.rel(), std::move(rcols));
+  size_t nl = left.size();
+  std::vector<uint8_t> keep(nl, 0);
+  std::vector<size_t> offsets(ChunkCount(nl, runtime.morsel_rows), 0);
+  size_t chunks = ParallelChunks(
+      runtime.scheduler, nl, runtime.morsel_rows,
+      [&](size_t c, size_t begin, size_t end) {
+        size_t kept = 0;
+        for (size_t lr = begin; lr < end; ++lr) {
+          if (index.Contains(left.rel(), lr, lcols)) {
+            keep[lr] = 1;
+            ++kept;
+          }
+        }
+        offsets[c] = kept;
+      });
+  size_t total = PrefixOffsets(&offsets);
+  if (morsels != nullptr) *morsels += chunks;
+  // Every row survived: the result IS left — share its storage.
+  if (total == nl) return left;
+  size_t arity = left.arity();
+  std::vector<Value> out_data(total * arity);
+  const Value* src = left.rel().data().data();
+  ParallelChunks(
+      runtime.scheduler, nl, runtime.morsel_rows,
+      [&](size_t c, size_t begin, size_t end) {
+        Value* dst = out_data.data() + offsets[c] * arity;
+        for (size_t lr = begin; lr < end; ++lr) {
+          if (!keep[lr]) continue;
+          const Value* row = src + lr * arity;
+          for (size_t i = 0; i < arity; ++i) *dst++ = row[i];
+        }
+      });
+  return NamedRelation{left.attrs(), Relation(arity, std::move(out_data))};
+}
+
+}  // namespace paraquery

@@ -1,0 +1,60 @@
+// Morsel-driven data-parallel relational operators: row-range morsels of the
+// input RowBlock are processed by scheduler tasks into per-morsel output
+// buffers, which are then merged in morsel order — so each operator's output
+// holds exactly the rows, in exactly the order, its sequential counterpart
+// in relational/ops.hpp produces. Join and semijoin probe a shared
+// read-only RowIndex over the build side (built once, sequentially); the
+// morsels split only the probe side.
+//
+// Callers (the plan executor) choose when to engage these via
+// RuntimeOptions::ShouldMorsel; every function degrades to one inline chunk
+// under a null/width-1 scheduler.
+#ifndef PARAQUERY_RUNTIME_PARALLEL_OPS_H_
+#define PARAQUERY_RUNTIME_PARALLEL_OPS_H_
+
+#include <vector>
+
+#include "relational/named_relation.hpp"
+#include "relational/predicate.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace paraquery {
+
+class RowIndex;
+
+/// Morsel-parallel σ. Output identical to Select(in, pred), including the
+/// zero-copy view for an empty predicate. `morsels` (optional) accumulates
+/// the number of morsels processed.
+NamedRelation ParallelSelect(const NamedRelation& in, const Predicate& pred,
+                             const RuntimeOptions& runtime,
+                             size_t* morsels = nullptr);
+
+/// Morsel-parallel π. Output identical to Project(in, attrs, dedup),
+/// including the zero-copy view for a no-op projection (deduplication of
+/// the merged output runs sequentially, preserving first occurrences).
+NamedRelation ParallelProject(const NamedRelation& in,
+                              const std::vector<AttrId>& attrs, bool dedup,
+                              const RuntimeOptions& runtime,
+                              size_t* morsels = nullptr);
+
+/// Morsel-parallel ⋈ against a prebuilt index over `right` (see the indexed
+/// NaturalJoin overload for the validity conditions). Implements the
+/// unfiltered, unlimited fast path only — callers fall back to the
+/// sequential kernel when a post filter or row cap applies. Output is
+/// identical (rows and order) to NaturalJoin(left, right, right_index).
+NamedRelation ParallelJoin(const NamedRelation& left,
+                           const NamedRelation& right,
+                           const RowIndex& right_index,
+                           const RuntimeOptions& runtime,
+                           size_t* morsels = nullptr);
+
+/// Morsel-parallel ⋉. Output identical to Semijoin(left, right), including
+/// the zero-copy all-survivors and nonempty-right degenerate paths.
+NamedRelation ParallelSemijoin(const NamedRelation& left,
+                               const NamedRelation& right,
+                               const RuntimeOptions& runtime,
+                               size_t* morsels = nullptr);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_RUNTIME_PARALLEL_OPS_H_

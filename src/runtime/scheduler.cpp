@@ -1,0 +1,198 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+
+namespace paraquery {
+
+/// Shared state of one TaskGroup. Ref-counted separately from the TaskGroup
+/// object because scheduler deques may still hold (stale) tokens for a group
+/// whose tasks all completed and whose TaskGroup has been destroyed; a
+/// popped stale token just finds an empty queue and is dropped.
+struct TaskScheduler::GroupCore {
+  std::mutex mutex;  // guards queue and status
+  std::deque<std::function<void()>> queue;
+  std::condition_variable done_cv;
+  std::atomic<size_t> unfinished{0};
+  std::atomic<bool> cancelled{false};
+  Status status;
+
+  /// Runs (or, when cancelled, drops) one queued task. False if the queue
+  /// is empty.
+  bool RunOne() {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (queue.empty()) return false;
+      fn = std::move(queue.front());
+      queue.pop_front();
+    }
+    if (!cancelled.load(std::memory_order_relaxed)) fn();
+    if (unfinished.fetch_sub(1) == 1) {
+      // Empty lock pairs the notification with Wait's predicate check.
+      { std::lock_guard<std::mutex> lock(mutex); }
+      done_cv.notify_all();
+    }
+    return true;
+  }
+};
+
+namespace {
+// Identifies worker threads of a pool so Announce can push to the local
+// deque (work-stealing locality) instead of round-robin.
+thread_local TaskScheduler* tls_scheduler = nullptr;
+thread_local size_t tls_queue_id = 0;
+}  // namespace
+
+size_t TaskScheduler::HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+TaskScheduler::TaskScheduler(size_t threads)
+    : threads_(std::max<size_t>(1, threads)) {
+  // Queue 0 belongs to external (non-worker) threads; 1..threads-1 to the
+  // spawned workers.
+  queues_.reserve(threads_);
+  for (size_t i = 0; i < threads_; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(threads_ - 1);
+  for (size_t i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  stop_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+  }
+  idle_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void TaskScheduler::Announce(std::shared_ptr<GroupCore> core) {
+  size_t q = tls_scheduler == this
+                 ? tls_queue_id
+                 : next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                       queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mutex);
+    queues_[q]->tokens.push_back(std::move(core));
+  }
+  pending_tokens_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+  }
+  idle_cv_.notify_one();
+}
+
+bool TaskScheduler::RunOneToken(size_t home) {
+  std::shared_ptr<GroupCore> core;
+  for (size_t k = 0; k < queues_.size() && core == nullptr; ++k) {
+    size_t q = (home + k) % queues_.size();
+    WorkerQueue& wq = *queues_[q];
+    std::lock_guard<std::mutex> lock(wq.mutex);
+    if (wq.tokens.empty()) continue;
+    if (k == 0) {  // own deque: LIFO for locality
+      core = std::move(wq.tokens.back());
+      wq.tokens.pop_back();
+    } else {  // steal: FIFO
+      core = std::move(wq.tokens.front());
+      wq.tokens.pop_front();
+    }
+  }
+  if (core == nullptr) return false;
+  pending_tokens_.fetch_sub(1);
+  core->RunOne();  // false (stale token) is fine: the task ran elsewhere
+  return true;
+}
+
+void TaskScheduler::WorkerLoop(size_t id) {
+  tls_scheduler = this;
+  tls_queue_id = id;
+  for (;;) {
+    if (RunOneToken(id)) continue;
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    idle_cv_.wait(lock, [this] {
+      return stop_.load() || pending_tokens_.load() > 0;
+    });
+    if (stop_.load()) return;
+  }
+}
+
+TaskGroup::TaskGroup(TaskScheduler* scheduler)
+    : scheduler_(scheduler != nullptr && scheduler->threads() > 1 ? scheduler
+                                                                  : nullptr),
+      core_(std::make_shared<TaskScheduler::GroupCore>()) {}
+
+TaskGroup::~TaskGroup() { Wait(); }
+
+void TaskGroup::Spawn(std::function<void()> fn) {
+  if (scheduler_ == nullptr) {  // inline: exactly the sequential behavior
+    if (!core_->cancelled.load(std::memory_order_relaxed)) fn();
+    return;
+  }
+  core_->unfinished.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(core_->mutex);
+    core_->queue.push_back(std::move(fn));
+  }
+  core_->done_cv.notify_one();  // a Wait()er may be parked on an empty queue
+  scheduler_->Announce(core_);
+}
+
+void TaskGroup::Wait() {
+  for (;;) {
+    if (core_->RunOne()) continue;
+    std::unique_lock<std::mutex> lock(core_->mutex);
+    if (core_->unfinished.load() == 0) return;
+    if (!core_->queue.empty()) continue;  // a running task spawned more
+    core_->done_cv.wait(lock, [this] {
+      return core_->unfinished.load() == 0 || !core_->queue.empty();
+    });
+    if (core_->unfinished.load() == 0 && core_->queue.empty()) return;
+  }
+}
+
+void TaskGroup::Cancel() {
+  core_->cancelled.store(true, std::memory_order_relaxed);
+}
+
+bool TaskGroup::cancelled() const {
+  return core_->cancelled.load(std::memory_order_relaxed);
+}
+
+void TaskGroup::RecordError(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(core_->mutex);
+    if (core_->status.ok()) core_->status = std::move(status);
+  }
+  Cancel();
+}
+
+Status TaskGroup::status() const {
+  std::lock_guard<std::mutex> lock(core_->mutex);
+  return core_->status;
+}
+
+size_t ParallelChunks(TaskScheduler* scheduler, size_t n, size_t grain,
+                      const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (grain == 0) grain = 1;
+  size_t chunks = ChunkCount(n, grain);
+  if (scheduler == nullptr || scheduler->threads() <= 1 || chunks <= 1) {
+    for (size_t c = 0; c < chunks; ++c) {
+      fn(c, c * grain, std::min(n, (c + 1) * grain));
+    }
+    return chunks;
+  }
+  TaskGroup group(scheduler);
+  for (size_t c = 0; c < chunks; ++c) {
+    size_t begin = c * grain, end = std::min(n, (c + 1) * grain);
+    group.Spawn([&fn, c, begin, end] { fn(c, begin, end); });
+  }
+  group.Wait();
+  return chunks;
+}
+
+}  // namespace paraquery

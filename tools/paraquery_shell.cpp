@@ -9,6 +9,7 @@
 //   .explain QUERY      parametrized-complexity report + physical plan
 //   .plan QUERY         print the physical plan without executing
 //   .stats              evaluator/plan counters of the previous query
+//   .threads N          parallel runtime width (1 = sequential, 0 = auto)
 //   .help               this text
 //   .quit               exit
 //
@@ -22,6 +23,7 @@
 //   .insert EP 1 101
 //   g(e) :- EP(e, p), EP(e, q), p != q.
 #include <cctype>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -30,6 +32,7 @@
 
 #include "core/engine.hpp"
 #include "relational/csv.hpp"
+#include "runtime/scheduler.hpp"
 
 using namespace paraquery;
 
@@ -69,9 +72,13 @@ std::vector<std::string> Split(const std::string& line) {
 
 const char* kHelp =
     ".load NAME FILE | .rel NAME ARITY | .insert NAME v... | .rels |\n"
-    ".dump NAME | .explain QUERY | .plan QUERY | .stats | .help | .quit\n"
+    ".dump NAME | .explain QUERY | .plan QUERY | .stats | .threads N |\n"
+    ".help | .quit\n"
     ".plan prints the physical plan without executing; .stats prints the\n"
-    "evaluator/plan counters of the previous query.\n"
+    "evaluator/plan counters of the previous query (incl. parallel tasks,\n"
+    "morsels, and wall time); .threads N sets the parallel runtime width\n"
+    "(1 = sequential, 0 = hardware concurrency) — successful results are\n"
+    "identical at any width.\n"
     "Anything else is evaluated as a query (':-' rules or ':=' formulas).\n";
 
 }  // namespace
@@ -179,6 +186,24 @@ int main(int argc, char** argv) {
                   << "\n";
       } else if (cmd == ".stats") {
         std::cout << engine.last_stats().ToString();
+      } else if (cmd == ".threads" && args.size() == 2) {
+        constexpr unsigned long kMaxThreads = 256;
+        char* end = nullptr;
+        unsigned long n = std::strtoul(args[1].c_str(), &end, 10);
+        bool digits = !args[1].empty() &&
+                      args[1].find_first_not_of("0123456789") ==
+                          std::string::npos;
+        if (!digits || end == nullptr || *end != '\0' || n > kMaxThreads) {
+          std::cout << "error: .threads expects an integer in [0, "
+                    << kMaxThreads << "]\n";
+        } else {
+          engine.options().threads = static_cast<size_t>(n);
+          size_t effective = n == 0 ? TaskScheduler::HardwareConcurrency()
+                                    : static_cast<size_t>(n);
+          std::cout << "parallel runtime: " << effective
+                    << (effective == 1 ? " thread (sequential)\n"
+                                       : " threads\n");
+        }
       } else {
         std::cout << "unknown command; try .help\n";
       }

@@ -60,6 +60,11 @@ void ExpectIdentical(const char* bench, const Relation& reference,
 Engine MakeEngine(const Database& db, size_t threads) {
   EngineOptions options;
   options.threads = threads;
+  // This bench compares the RUNTIME against the runtime-free evaluator
+  // path, so every rep must pay identical planning work: the plan cache
+  // would let the engine impls skip planning that the "sequential"
+  // baseline repeats (bench_plan_cache measures that win separately).
+  options.use_plan_cache = false;
   return Engine(db, options);
 }
 

@@ -42,6 +42,14 @@ ResourceLimits Overlay(const ResourceLimits& engine,
 std::string EngineStats::ToString() const {
   std::ostringstream oss;
   oss << "plan: " << plan.ToString() << "\n";
+  oss << "plan_cache: " << plan_cache.ToString() << "\n";
+  if (ineq.family_size > 0) {
+    oss << "ineq: k=" << ineq.k << " i1_atoms=" << ineq.i1_atoms
+        << " i2_atoms=" << ineq.i2_atoms
+        << " family_size=" << ineq.family_size << " trials=" << ineq.trials
+        << " certified=" << (ineq.certified ? "yes" : "no")
+        << " peak_rows=" << ineq.peak_rows << "\n";
+  }
   if (datalog.iterations > 0) {
     oss << "datalog: iterations=" << datalog.iterations
         << " derived_tuples=" << datalog.derived_tuples
@@ -85,12 +93,21 @@ RuntimeOptions Engine::Runtime() const {
 
 Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
   stats_ = EngineStats{};
-  PQ_RETURN_NOT_OK(q.Validate());
+  // Every exit refreshes the cumulative cache counters, error and
+  // early-return paths included — .stats must never show stale zeros for a
+  // cache that still holds entries.
+  auto finish = [this](Result<Relation> r) {
+    stats_.plan_cache = plan_cache_.stats();
+    return r;
+  };
+  if (Status s = q.Validate(); !s.ok()) return finish(std::move(s));
   const ConjunctiveQuery* effective = &q;
   ComparisonClosure closure;
   if (q.HasComparisons() && !q.HasOnlyInequalities()) {
-    PQ_ASSIGN_OR_RETURN(closure, CollapseComparisons(q));
-    if (!closure.consistent) return Relation(q.head.size());
+    auto collapsed = CollapseComparisons(q);
+    if (!collapsed.ok()) return finish(collapsed.status());
+    closure = std::move(collapsed).value();
+    if (!closure.consistent) return finish(Relation(q.head.size()));
     effective = &closure.rewritten;
   }
   if (effective->body.empty()) {
@@ -99,7 +116,7 @@ Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
     ValueVec row;
     for (const Term& t : effective->head) row.push_back(t.value());
     out.Add(row);
-    return out;
+    return finish(std::move(out));
   }
   if (effective->IsAcyclic()) {
     if (!effective->HasComparisons()) {
@@ -107,22 +124,29 @@ Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
       eff.limits = Overlay(options_.limits, eff.EffectiveLimits());
       eff.max_rows = 0;
       eff.runtime = Runtime();
-      return AcyclicEvaluate(*db_, *effective, eff, &stats_.acyclic,
-                             &stats_.plan);
+      eff.plan_cache = options_.use_plan_cache ? &plan_cache_ : nullptr;
+      return finish(AcyclicEvaluate(*db_, *effective, eff, &stats_.acyclic,
+                                    &stats_.plan));
     }
     if (effective->HasOnlyInequalities()) {
+      // Theorem 2 route: since the plan lowering, this is plan-routed too —
+      // it inherits the unified limits, the parallel runtime, and the plan
+      // cache (one residual plan per query, re-executed per coloring).
       IneqOptions ineq = options_.inequality;
-      if (options_.limits.max_rows != 0) {
-        ineq.max_rows = options_.limits.max_rows;
-      }
-      return IneqEvaluate(*db_, *effective, ineq);
+      ineq.limits = Overlay(options_.limits, ineq.EffectiveLimits());
+      ineq.max_rows = 0;
+      ineq.runtime = Runtime();
+      ineq.plan_cache = options_.use_plan_cache ? &plan_cache_ : nullptr;
+      return finish(
+          IneqEvaluate(*db_, *effective, ineq, &stats_.ineq, &stats_.plan));
     }
   }
   NaiveOptions eff = options_.naive;
   eff.limits = Overlay(options_.limits, eff.EffectiveLimits());
   eff.max_steps = 0;
   eff.runtime = Runtime();
-  return NaiveEvaluateCq(*db_, *effective, eff, &stats_.plan);
+  eff.plan_cache = options_.use_plan_cache ? &plan_cache_ : nullptr;
+  return finish(NaiveEvaluateCq(*db_, *effective, eff, &stats_.plan));
 }
 
 Result<Relation> Engine::Run(const PositiveQuery& q) const {
@@ -131,8 +155,10 @@ Result<Relation> Engine::Run(const PositiveQuery& q) const {
   eff.limits = Overlay(options_.limits, eff.EffectiveLimits());
   eff.naive_max_steps = 0;
   eff.runtime = Runtime();
+  eff.plan_cache = options_.use_plan_cache ? &plan_cache_ : nullptr;
   auto result = EvaluatePositive(*db_, q, eff, &stats_.ucq);
   stats_.plan = stats_.ucq.plan;
+  stats_.plan_cache = plan_cache_.stats();
   return result;
 }
 
@@ -144,7 +170,9 @@ Result<Relation> Engine::Run(const FirstOrderQuery& q) const {
   }
   FoOptions fo = options_.fo;
   if (options_.limits.max_rows != 0) fo.max_rows = options_.limits.max_rows;
-  return EvaluateFirstOrder(*db_, q, fo);
+  auto result = EvaluateFirstOrder(*db_, q, fo);
+  stats_.plan_cache = plan_cache_.stats();
+  return result;
 }
 
 Result<Relation> Engine::Run(const DatalogProgram& p) const {
@@ -153,8 +181,10 @@ Result<Relation> Engine::Run(const DatalogProgram& p) const {
   eff.limits = Overlay(options_.limits, eff.EffectiveLimits());
   eff.max_rows = 0;
   eff.runtime = Runtime();
+  eff.plan_cache = options_.use_plan_cache ? &plan_cache_ : nullptr;
   auto result = EvaluateDatalog(*db_, p, eff, &stats_.datalog);
   stats_.plan = stats_.datalog.plan;
+  stats_.plan_cache = plan_cache_.stats();
   return result;
 }
 

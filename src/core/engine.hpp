@@ -28,6 +28,7 @@
 #include "eval/naive.hpp"
 #include "eval/ucq.hpp"
 #include "plan/plan.hpp"
+#include "plan/plan_cache.hpp"
 #include "relational/database.hpp"
 #include "runtime/scheduler.hpp"
 
@@ -38,24 +39,29 @@ struct EngineOptions {
   /// Unified resource guard, forwarded to every evaluator. Nonzero members
   /// override the per-evaluator legacy aliases (AcyclicOptions::max_rows,
   /// NaiveOptions::max_steps, UcqOptions::naive_max_steps,
-  /// DatalogOptions::max_rows); max_rows also overrides the row guards of
-  /// the color-coding (IneqOptions) and active-domain (FoOptions) engines,
-  /// which are not plan-routed and therefore ignore max_steps.
+  /// DatalogOptions::max_rows, IneqOptions::max_rows). The color-coding
+  /// engine is plan-routed since the Theorem 2 lowering, so both members
+  /// apply to it (max_steps per coloring execution); only the active-domain
+  /// algebra (FoOptions) still honors max_rows alone.
   ResourceLimits limits;
   /// Execution width of the parallel runtime: 1 (default) runs every plan
   /// sequentially — exactly the historical engine; 0 means hardware
   /// concurrency; N > 1 runs plan-routed queries on an N-thread
   /// work-stealing scheduler (src/runtime/). Successful results are
-  /// byte-identical to threads = 1; when ResourceLimits are set, parallel
-  /// execution is speculative about the sequential empty-input
-  /// short-circuit, so a query near its limit can exhaust it at N threads
-  /// where threads = 1 squeaked by (see plan/executor.hpp). The
-  /// non-plan-routed engines (color coding, active-domain algebra) stay
-  /// sequential.
+  /// byte-identical to threads = 1, and speculative subtree work is charged
+  /// tentatively, so a query that passes its ResourceLimits at threads = 1
+  /// passes them at any width (see plan/executor.hpp). Plan-routed engines
+  /// (now including Theorem 2 color coding, whose per-coloring plans
+  /// execute on the runtime) go parallel; only the active-domain algebra
+  /// stays sequential.
   size_t threads = 1;
   /// Rows per morsel for the data-parallel operators (mainly a test knob;
   /// the default suits real workloads).
   size_t morsel_rows = kDefaultMorselRows;
+  /// Engine-owned cross-query plan cache (see Engine::plan_cache()). Off
+  /// disables all lookups/inserts — for memory-constrained embeddings and
+  /// benchmarks that must pay full per-query planning on every run.
+  bool use_plan_cache = true;
   AcyclicOptions acyclic;
   IneqOptions inequality;
   NaiveOptions naive;
@@ -75,6 +81,13 @@ struct EngineStats {
   DatalogStats datalog;
   AcyclicStats acyclic;
   UcqStats ucq;
+  /// Theorem 2 color-coding instrumentation (set when the last call routed
+  /// through the inequality engine).
+  IneqStats ineq;
+  /// Program-wide plan cache counters. Unlike the sections above these are
+  /// CUMULATIVE over the engine's lifetime (the cache outlives queries —
+  /// that is its point); refreshed on every Run/RunText.
+  PlanCacheStats plan_cache;
 
   std::string ToString() const;
 };
@@ -120,6 +133,14 @@ class Engine {
   /// the shared plan-executor counters, the Datalog EDB-cache hit counters).
   const EngineStats& last_stats() const { return stats_; }
 
+  /// The engine-owned cross-query plan cache: compiled CQ/UCQ-disjunct
+  /// plans, Theorem 2 residual compilations, and Datalog rule-variant plans
+  /// keyed by canonical signature. Entries are stamped with the database
+  /// generation; any mutation of the database (an `.insert`, a LoadCsv —
+  /// anything reaching a mutable Database::relation handle) bumps the
+  /// generation and the next lookup flushes the cache.
+  const PlanCache& plan_cache() const { return plan_cache_; }
+
  private:
   /// The parallel-runtime binding options().threads selects: a null
   /// scheduler for threads == 1, otherwise a lazily created (and reused)
@@ -129,6 +150,7 @@ class Engine {
   const Database* db_;
   EngineOptions options_;
   mutable std::unique_ptr<TaskScheduler> scheduler_;
+  mutable PlanCache plan_cache_;
   mutable EngineStats stats_;
 };
 

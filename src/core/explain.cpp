@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "eval/inequality.hpp"
 #include "eval/ucq.hpp"
 #include "plan/planner.hpp"
 #include "query/comparison_closure.hpp"
@@ -71,9 +72,18 @@ Result<std::string> RenderConjunctivePlan(const Database& db,
       effective->IsAcyclic();
   if (acyclic_route) {
     oss << "-- route: Yannakakis join-tree schedule (GYO order)\n";
-  } else if (effective->IsAcyclic() && effective->HasOnlyInequalities()) {
-    oss << "-- route: Theorem 2 color coding; relational fallback plan "
-           "shown\n";
+  } else if (effective->IsAcyclic() && effective->HasOnlyInequalities() &&
+             !effective->body.empty()) {
+    // Theorem 2 route: show the real lowered residual plan (falling back to
+    // the relational plan if the color-coding compiler rejects the query).
+    oss << "-- route: Theorem 2 color coding\n";
+    auto ineq = IneqPlanText(db, *effective);
+    if (ineq.ok()) {
+      oss << ineq.value();
+      return oss.str();
+    }
+    oss << "-- (color-coding plan unavailable: " << ineq.status().message()
+        << "; relational fallback shown)\n";
   } else {
     oss << "-- route: greedy left-deep join order (smallest connected atom "
            "first)\n";

@@ -22,20 +22,49 @@ void MirrorStats(const PlanStats& plan, AcyclicStats* stats) {
   stats->zero_copy_projections += plan.zero_copy_projections;
 }
 
+// `head_out`, when non-null, receives the head terms the execution's
+// binding attributes refer to (the canonical head when a cached plan was
+// used — cached plans carry canonical variable ids).
 Result<NamedRelation> PlanAndExecute(const Database& db,
                                      const ConjunctiveQuery& q,
                                      const AcyclicOptions& options,
                                      bool decision_only, AcyclicStats* stats,
-                                     PlanStats* plan_stats) {
+                                     PlanStats* plan_stats,
+                                     std::vector<Term>* head_out) {
   PlannerOptions popt;
   popt.full_reducer = options.full_reducer;
-  PQ_ASSIGN_OR_RETURN(PhysicalPlan plan,
-                      decision_only ? PlanAcyclicDecision(db, q, popt)
-                                    : PlanAcyclicCq(db, q, popt));
+  if (head_out != nullptr) *head_out = q.head;
+  std::shared_ptr<PhysicalPlan> plan;
+  if (options.plan_cache != nullptr) {
+    // Cache route: compile (or fetch) the plan of the CANONICAL query, so
+    // every renaming-equivalent query — re-expanded UCQ disjuncts included —
+    // shares one entry. The binding attributes come back as canonical ids;
+    // answers are mapped through the canonical head.
+    CanonicalCq canonical = CanonicalizeCq(q);
+    std::string key =
+        internal::StrCat(decision_only ? "cq-dec:" : "cq-eval:",
+                         options.full_reducer ? "" : "nored|",
+                         canonical.signature);
+    plan = options.plan_cache->Lookup<PhysicalPlan>(key, db.generation());
+    if (plan == nullptr) {
+      PQ_ASSIGN_OR_RETURN(
+          PhysicalPlan built,
+          decision_only ? PlanAcyclicDecision(db, canonical.query, popt)
+                        : PlanAcyclicCq(db, canonical.query, popt));
+      plan = std::make_shared<PhysicalPlan>(std::move(built));
+      options.plan_cache->Insert(key, db.generation(), plan);
+    }
+    if (head_out != nullptr) *head_out = canonical.query.head;
+  } else {
+    PQ_ASSIGN_OR_RETURN(PhysicalPlan built,
+                        decision_only ? PlanAcyclicDecision(db, q, popt)
+                                      : PlanAcyclicCq(db, q, popt));
+    plan = std::make_shared<PhysicalPlan>(std::move(built));
+  }
   // Execute into a local so only THIS call's counters are mirrored and
   // merged — callers may reuse the same out-params across a workload.
   PlanStats local;
-  auto result = ExecutePhysicalPlan(plan, options.EffectiveLimits(), &local,
+  auto result = ExecutePhysicalPlan(*plan, options.EffectiveLimits(), &local,
                                     options.runtime);
   if (plan_stats != nullptr) plan_stats->Merge(local);
   MirrorStats(local, stats);
@@ -49,17 +78,18 @@ Result<bool> AcyclicNonempty(const Database& db, const ConjunctiveQuery& q,
                              AcyclicStats* stats, PlanStats* plan_stats) {
   PQ_ASSIGN_OR_RETURN(NamedRelation root,
                       PlanAndExecute(db, q, options, /*decision_only=*/true,
-                                     stats, plan_stats));
+                                     stats, plan_stats, /*head_out=*/nullptr));
   return !root.empty();
 }
 
 Result<Relation> AcyclicEvaluate(const Database& db, const ConjunctiveQuery& q,
                                  const AcyclicOptions& options,
                                  AcyclicStats* stats, PlanStats* plan_stats) {
+  std::vector<Term> head;
   PQ_ASSIGN_OR_RETURN(NamedRelation bindings,
                       PlanAndExecute(db, q, options, /*decision_only=*/false,
-                                     stats, plan_stats));
-  return BindingsToAnswers(bindings, q.head);
+                                     stats, plan_stats, &head));
+  return BindingsToAnswers(bindings, head);
 }
 
 }  // namespace paraquery

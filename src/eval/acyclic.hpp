@@ -15,6 +15,7 @@
 
 #include "common/status.hpp"
 #include "plan/plan.hpp"
+#include "plan/plan_cache.hpp"
 #include "query/conjunctive_query.hpp"
 #include "relational/database.hpp"
 #include "runtime/scheduler.hpp"
@@ -27,6 +28,11 @@ struct AcyclicOptions {
   ResourceLimits limits;
   /// Parallel runtime binding (default: sequential plan execution).
   RuntimeOptions runtime;
+  /// Cross-query plan cache (optional, engine-owned): when set, the query
+  /// is canonicalized and its Yannakakis plan — inputs, join tree, and all —
+  /// is fetched/stored under its CanonicalCqSignature and the database
+  /// generation, skipping S_j materialization and planning on a hit.
+  PlanCache* plan_cache = nullptr;
   /// DEPRECATED alias for limits.max_rows: abort operators whose output
   /// exceeds this many rows (0 = off). Used only when limits.max_rows == 0.
   uint64_t max_rows = 0;

@@ -69,6 +69,57 @@ struct VariantPlan {
   size_t planned_delta_rows = 0;
 };
 
+// Cross-run cache payload (PlanCache, key "rule:<canonical sig>|d<pos>"):
+// the body plan with attribute ids remapped onto the rule's CANONICAL
+// variable numbering, so any renaming-equivalent rule in any program can
+// claim it, plus the delta size it was planned at (the drift trigger
+// carries across runs).
+struct CachedRulePlan {
+  PlanNodePtr plan;
+  size_t planned_delta_rows = 0;
+  /// Per-slot input sizes at planning time: a consuming run whose inputs
+  /// (IDB state included — another program may shape it very differently)
+  /// drift >10x from these re-plans instead of adopting a pessimal join
+  /// order keyed only on the rule's syntax.
+  std::vector<size_t> planned_sizes;
+};
+
+// Canonical form of a rule body viewed as a CQ (head terms + body atoms; a
+// DatalogRule has no comparison atoms). One call yields both the cache-key
+// signature and the renaming (CanonicalCq::order maps canonical id -> rule
+// VarId), so the key and the attribute remap can never desynchronize.
+CanonicalCq CanonicalizeRule(const DatalogRule& rule) {
+  ConjunctiveQuery cq;
+  cq.head = rule.head.terms;
+  cq.body = rule.body;
+  return CanonicalizeCq(cq);
+}
+
+// In-place attribute renaming over a freshly cloned plan DAG (map[old] =
+// new id; every attr of a rule plan is a rule body variable, so the map is
+// total for them).
+void RemapPlanAttrs(PlanNode* n, const std::vector<AttrId>& map,
+                    std::unordered_map<const PlanNode*, bool>* visited) {
+  if ((*visited)[n]) return;
+  (*visited)[n] = true;
+  for (AttrId& a : n->attrs) {
+    if (a >= 0 && static_cast<size_t>(a) < map.size()) a = map[a];
+  }
+  for (const PlanNodePtr& c : n->children) {
+    RemapPlanAttrs(c.get(), map, visited);
+  }
+}
+
+// Clones `plan` and renames its attributes through `map` (rebinding scan
+// join-index pointers to `slot_caches` when given).
+PlanNodePtr CloneRemapped(const PlanNode& plan, const std::vector<AttrId>& map,
+                          const std::vector<JoinIndexCache*>* slot_caches) {
+  PlanNodePtr out = ClonePlan(plan, slot_caches);
+  std::unordered_map<const PlanNode*, bool> visited;
+  RemapPlanAttrs(out.get(), map, &visited);
+  return out;
+}
+
 // Tuples one variant firing derived (fired == false: skipped because a body
 // atom was empty). Materialized — holds no views of IDB storage — so the
 // round barrier can apply results after concurrent firings completed.
@@ -325,25 +376,85 @@ class DatalogRun {
         (observed > 10 * variant.planned_delta_rows ||
          10 * observed < variant.planned_delta_rows);
     if (variant.plan == nullptr || drifted) {
-      std::vector<std::vector<AttrId>> attrs;
-      std::vector<size_t> sizes;
-      std::vector<std::vector<double>> distinct;
-      for (const NamedRelation* in : inputs) {
-        attrs.push_back(in->attrs());
-        sizes.push_back(in->size());
-        std::vector<double> d;
-        d.reserve(in->arity());
-        for (size_t c = 0; c < in->arity(); ++c) {
-          d.push_back(static_cast<double>(in->rel().DistinctCount(c)));
+      bool first_build = variant.plan == nullptr;
+      // Cross-run reuse: a previous program (or a previous run of this one)
+      // may have compiled a renaming-equivalent variant. The hit is cloned
+      // into this run with canonical ids mapped onto this rule's variables
+      // and join-index pointers rebound; a hit whose recorded delta size
+      // already drifts >10x from what we observe is ignored (we re-plan).
+      std::string cache_key;
+      CanonicalCq canonical;
+      bool from_cache = false;
+      if (options_.plan_cache != nullptr) {
+        canonical = CanonicalizeRule(rule);
+        cache_key =
+            internal::StrCat("rule:", canonical.signature, "|d", delta_pos);
+        if (first_build) {
+          auto cached = options_.plan_cache->Lookup<CachedRulePlan>(
+              cache_key, db_.generation());
+          if (cached != nullptr) {
+            // Reject the hit if ANY input slot — not just the delta — has
+            // drifted >10x from the sizes the plan was costed at.
+            bool cache_drift =
+                cached->planned_sizes.size() != inputs.size();
+            for (size_t i = 0; !cache_drift && i < inputs.size(); ++i) {
+              size_t planned = cached->planned_sizes[i];
+              size_t now = inputs[i]->size();
+              cache_drift = now > 10 * planned || 10 * now < planned;
+            }
+            if (!cache_drift) {
+              variant.plan =
+                  CloneRemapped(*cached->plan, canonical.order, &caches);
+              variant.planned_delta_rows = cached->planned_delta_rows;
+              from_cache = true;
+            }
+          }
         }
-        distinct.push_back(std::move(d));
       }
-      Count(variant.plan == nullptr ? &DatalogStats::plans_built
-                                    : &DatalogStats::replans);
-      PQ_ASSIGN_OR_RETURN(
-          variant.plan,
-          PlanRuleBody(rule, attrs, sizes, caches, delta_pos, distinct));
-      variant.planned_delta_rows = observed;
+      if (!from_cache) {
+        std::vector<std::vector<AttrId>> attrs;
+        std::vector<size_t> sizes;
+        std::vector<std::vector<double>> distinct;
+        for (const NamedRelation* in : inputs) {
+          attrs.push_back(in->attrs());
+          sizes.push_back(in->size());
+          std::vector<double> d;
+          d.reserve(in->arity());
+          for (size_t c = 0; c < in->arity(); ++c) {
+            d.push_back(static_cast<double>(in->rel().DistinctCount(c)));
+          }
+          distinct.push_back(std::move(d));
+        }
+        PQ_ASSIGN_OR_RETURN(
+            variant.plan,
+            PlanRuleBody(rule, attrs, sizes, caches, delta_pos, distinct));
+        variant.planned_delta_rows = observed;
+        if (options_.plan_cache != nullptr) {
+          // Publish the canonical form: rule var -> canonical id is the
+          // inverse of the canonical order.
+          std::vector<AttrId> inverse(rule.vars.size(), -1);
+          for (size_t i = 0; i < canonical.order.size(); ++i) {
+            inverse[canonical.order[i]] = static_cast<AttrId>(i);
+          }
+          auto entry = std::make_shared<CachedRulePlan>();
+          // Strip the run-local join-index pointers from the published copy
+          // (an empty slot table rebinds every scan to nullptr); the hit
+          // path binds the consuming run's own caches.
+          static const std::vector<JoinIndexCache*> kNoCaches;
+          entry->plan = CloneRemapped(*variant.plan, inverse, &kNoCaches);
+          entry->planned_delta_rows = observed;
+          entry->planned_sizes = sizes;
+          options_.plan_cache->Insert(cache_key, db_.generation(),
+                                      std::move(entry));
+        }
+      }
+      // A cross-run cache hit built nothing (it cloned) — that is a reuse;
+      // plans_built keeps meaning "PlanRuleBody invocations". The firing
+      // identity rule_firings = plans_built + plan_reuses + replans holds
+      // either way.
+      Count(from_cache ? &DatalogStats::plan_reuses
+                       : (first_build ? &DatalogStats::plans_built
+                                      : &DatalogStats::replans));
     } else {
       Count(&DatalogStats::plan_reuses);
     }

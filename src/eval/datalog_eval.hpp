@@ -16,6 +16,7 @@
 
 #include "common/status.hpp"
 #include "plan/plan.hpp"
+#include "plan/plan_cache.hpp"
 #include "query/datalog.hpp"
 #include "relational/database.hpp"
 #include "runtime/scheduler.hpp"
@@ -38,6 +39,15 @@ struct DatalogOptions {
   /// Unified resource guard: limits.max_rows bounds the total derived IDB
   /// tuples, and both members are forwarded to every rule-plan execution.
   ResourceLimits limits;
+  /// Cross-query plan cache (optional, engine-owned): a variant's first
+  /// firing fetches the rule-body plan compiled by a previous program run
+  /// (keyed by the rule's canonical signature + delta position + database
+  /// generation) instead of re-running PlanRuleBody. Hits are CLONED into
+  /// the run — concurrent firings never share mutable plan nodes — with
+  /// their Scan join-index pointers rebound to this run's EDB caches; the
+  /// >10x delta-drift re-planning still applies on top and refreshes the
+  /// cached entry.
+  PlanCache* plan_cache = nullptr;
   /// DEPRECATED alias for limits.max_rows. Used when limits.max_rows == 0.
   uint64_t max_rows = 0;
 
@@ -64,10 +74,11 @@ struct DatalogStats {
   /// plan.index_builds / plan.index_hits).
   size_t edb_index_builds = 0;
   size_t edb_index_hits = 0;
-  /// Rule-body plans built (one per fired (rule, delta position) variant)
-  /// vs firings answered by re-executing a cached plan vs plans rebuilt
-  /// because the observed delta size drifted >10x from the size the variant
-  /// was planned at (rule_firings = plans_built + plan_reuses + replans).
+  /// Rule-body plans built (PlanRuleBody invocations) vs firings answered
+  /// by a reused plan (re-execution across iterations, or a variant served
+  /// by the cross-run plan cache) vs plans rebuilt because the observed
+  /// delta size drifted >10x from the size the variant was planned at
+  /// (rule_firings = plans_built + plan_reuses + replans).
   size_t plans_built = 0;
   size_t plan_reuses = 0;
   size_t replans = 0;

@@ -1,11 +1,14 @@
 #include "eval/inequality.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <set>
+#include <sstream>
 
 #include "eval/common.hpp"
 #include "hashing/coloring.hpp"
 #include "hypergraph/join_tree.hpp"
+#include "plan/executor.hpp"
 #include "query/ineq_formula.hpp"
 #include "relational/ops.hpp"
 
@@ -315,6 +318,9 @@ NamedRelation ExtendHashed(const Plan& p, const NamedRelation& s,
       attrs.push_back(Prime(*p.q, s.attrs()[i]));
     }
   }
+  // No V1 column: S'_j = S_j for every coloring — share the rows instead of
+  // copying them per coloring.
+  if (v1_cols.empty()) return s;
   NamedRelation out{attrs};
   out.rel().Reserve(s.size());
   ValueVec row(attrs.size());
@@ -379,7 +385,7 @@ Result<bool> Algorithm1(const Plan& p, const ColoringFamily& family,
       return -1;
     };
     JoinOptions join_options;
-    join_options.max_output_rows = options.max_rows;
+    join_options.max_output_rows = options.EffectiveLimits().max_rows;
     if (p.formula == nullptr) {
       const std::vector<VarId> u_vars = p.q->body[u].Variables();
       auto in_uprime_u = [&](AttrId primed) {
@@ -462,7 +468,7 @@ Result<Relation> Algorithm2(const Plan& p, const IneqOptions& options,
   }
   // Step 2: upward join-and-project with Z_j = (Y_j ∩ Y_u) ∪ (Z ∩ at(T[j])).
   JoinOptions join_options;
-  join_options.max_output_rows = options.max_rows;
+  join_options.max_output_rows = options.EffectiveLimits().max_rows;
   for (int j : p.tree.bottom_up) {
     int u = p.tree.parent[j];
     if (u < 0) continue;
@@ -482,9 +488,10 @@ Result<Relation> Algorithm2(const Plan& p, const IneqOptions& options,
   return BindingsToAnswers(bindings, q.head);
 }
 
-// Shared decision driver: try colorings until one succeeds.
-Result<bool> DriveNonempty(const Plan& p, const IneqOptions& options,
-                           IneqStats* stats) {
+// Hand-rolled decision driver (the *Oracle entry points): try colorings
+// until one succeeds.
+Result<bool> DriveNonemptyOracle(const Plan& p, const IneqOptions& options,
+                                 IneqStats* stats) {
   if (p.always_false) return false;
   PQ_ASSIGN_OR_RETURN(ColoringFamily family, MakeFamily(p, options, stats));
   std::vector<NamedRelation> rels;
@@ -497,9 +504,10 @@ Result<bool> DriveNonempty(const Plan& p, const IneqOptions& options,
   return false;
 }
 
-// Shared evaluation driver: union Q_h(d) over the whole family.
-Result<Relation> DriveEvaluate(const Plan& p, const IneqOptions& options,
-                               IneqStats* stats) {
+// Hand-rolled evaluation driver (the *Oracle entry points): union Q_h(d)
+// over the whole family.
+Result<Relation> DriveEvaluateOracle(const Plan& p, const IneqOptions& options,
+                                     IneqStats* stats) {
   Relation answers(p.q->head.size());
   if (p.always_false) return answers;
   PQ_ASSIGN_OR_RETURN(ColoringFamily family, MakeFamily(p, options, stats));
@@ -516,35 +524,468 @@ Result<Relation> DriveEvaluate(const Plan& p, const IneqOptions& options,
   return answers;
 }
 
+// ---------------------------------------------------------------------------
+// Plan lowering: the default path. The analysis (Plan) is computed once per
+// query, Algorithms 1+2 compile into PlanNode DAGs over slot-bound hashed
+// inputs S'_j, and every coloring re-executes those DAGs through the shared
+// executor. The whole compilation is cacheable across queries (IneqCompiled
+// owns its canonical query/formula copies, so the analysis pointers stay
+// valid for the cache entry's lifetime).
+// ---------------------------------------------------------------------------
+
+struct IneqCompiled {
+  ConjunctiveQuery query;   // owned copy the analysis points into
+  IneqFormula formula;      // owned copy (formula mode only)
+  bool formula_mode = false;
+  Plan analysis;            // q/formula point at the members above
+  // Lowered DAGs over scan slots 0..m-1 = S'_j (ExtendHashed order):
+  // Algorithm 1 (upward joins + I1 selects) and the full evaluation
+  // (+ downward semijoins + upward join-and-project + head projection).
+  PlanNodePtr decision_root;
+  PlanNodePtr eval_root;
+  // Formula evaluation mode only: the φ-filtered root binds to this extra
+  // input slot of eval_root (the upward pass cannot see φ, so the driver
+  // filters between the passes).
+  int phi_slot = -1;
+  // Query variables plus primed names (x') for rendering the DAGs.
+  VarTable render_vars;
+};
+
+// S'_j scan attrs: the base S_j attrs followed by the primed columns, in
+// ExtendHashed's order.
+std::vector<AttrId> HashedSlotAttrs(const Plan& p, size_t j) {
+  const NamedRelation& s = p.base[j];
+  std::vector<AttrId> attrs = s.attrs();
+  for (size_t i = 0; i < s.attrs().size(); ++i) {
+    if (IsV1(p, s.attrs()[i])) attrs.push_back(Prime(*p.q, s.attrs()[i]));
+  }
+  return attrs;
+}
+
+std::string ScanLabel(const Plan& p, size_t j) {
+  const ConjunctiveQuery& q = *p.q;
+  const Atom& a = q.body[j];
+  std::string out = "S'(" + a.relation + "(";
+  for (size_t i = 0; i < a.terms.size(); ++i) {
+    if (i > 0) out += ", ";
+    const Term& t = a.terms[i];
+    if (t.is_const()) {
+      out += internal::StrCat(t.value());
+    } else if (t.var() >= 0 && t.var() < q.vars.size()) {
+      out += q.vars.name(t.var());
+    } else {
+      out += internal::StrCat("$", t.var());
+    }
+  }
+  return out + "))";
+}
+
+// Lowers Algorithm 1 (decision) and Algorithms 1+2 (evaluation) to plan
+// DAGs, reproducing the hand-rolled operator schedule: the I1 checks that
+// were join post-filters become Select nodes right above the joins (same
+// rows downstream).
+Status LowerPlans(IneqCompiled* c) {
+  const Plan& p = c->analysis;
+  const ConjunctiveQuery& q = *p.q;
+  const int nv = q.NumVariables();
+  const size_t m = p.tree.size();
+
+  std::vector<PlanNodePtr> cur(m);
+  for (size_t j = 0; j < m; ++j) {
+    cur[j] = MakeScan(static_cast<int>(j), HashedSlotAttrs(p, j),
+                      ScanLabel(p, j),
+                      static_cast<double>(p.base[j].size()));
+  }
+
+  // Algorithm 1: P_u := σ_F(P_u ⋈ π_{Y_j ∩ Y_u}(P_j)), bottom-up.
+  for (int j : p.tree.bottom_up) {
+    int u = p.tree.parent[j];
+    if (u < 0) continue;
+    std::vector<AttrId> shared;
+    std::set_intersection(p.y[j].begin(), p.y[j].end(), p.y[u].begin(),
+                          p.y[u].end(), std::back_inserter(shared));
+    const std::vector<AttrId> pu_attrs = cur[u]->attrs;  // before this child
+    // The join's output attrs (left, then right-only), needed to index the
+    // pushed filter before the node exists.
+    std::vector<AttrId> out_attrs = pu_attrs;
+    for (AttrId a : shared) {
+      if (std::find(out_attrs.begin(), out_attrs.end(), a) ==
+          out_attrs.end()) {
+        out_attrs.push_back(a);
+      }
+    }
+    Predicate pred;
+    if (p.formula == nullptr) {
+      // Primed pairs x'_i != x'_l with (x_i, x_l) ∈ I1, x'_i arriving from
+      // j (∉ U'_u) and x'_l already in P_u but not in Y_j — the least
+      // common ancestor of the endpoints' subtrees (Lemma 1). Pushed into
+      // the join kernel (σ_F(P_u ⋈ ...) in one pass, like the oracle).
+      auto col_of = [&out_attrs](AttrId a) {
+        for (size_t i = 0; i < out_attrs.size(); ++i) {
+          if (out_attrs[i] == a) return static_cast<int>(i);
+        }
+        return -1;
+      };
+      const std::vector<VarId> u_vars = q.body[u].Variables();
+      for (AttrId aj : shared) {
+        if (aj < nv) continue;  // only primed attrs carry I1 checks
+        VarId xi = aj - nv;
+        if (std::find(u_vars.begin(), u_vars.end(), xi) != u_vars.end()) {
+          continue;  // x'_i ∈ U'_u: checked elsewhere
+        }
+        for (AttrId al : pu_attrs) {
+          if (al < nv) continue;
+          if (std::binary_search(p.y[j].begin(), p.y[j].end(), al)) continue;
+          VarId xl = al - nv;
+          if (!IsI1Pair(p, xi, xl)) continue;
+          pred.Add(Constraint::NeqCols(col_of(al), col_of(aj)));
+        }
+      }
+    }
+    cur[u] = MakeHashJoin(cur[u], MakeProject(cur[j], shared, /*dedup=*/true),
+                          std::move(pred));
+  }
+#ifndef NDEBUG
+  for (size_t j = 0; j < m; ++j) {
+    std::vector<AttrId> sorted = cur[j]->attrs;
+    std::sort(sorted.begin(), sorted.end());
+    PQ_DCHECK(sorted == p.y[j],
+              "lowered P_j attributes must equal Y_j (Lemma 1)");
+  }
+#endif
+  c->decision_root = cur[p.tree.root];
+
+  // Algorithm 2, step 1: downward semijoins from the (possibly φ-filtered)
+  // root. In formula mode the filtered root arrives through an extra slot.
+  std::vector<PlanNodePtr> red(m);
+  if (c->formula_mode) {
+    c->phi_slot = static_cast<int>(m);
+    red[p.tree.root] = MakeScan(c->phi_slot, c->decision_root->attrs,
+                                "sigma_phi(root)", /*est_rows=*/-1.0);
+  } else {
+    red[p.tree.root] = cur[p.tree.root];
+  }
+  for (int j : p.tree.top_down) {
+    int u = p.tree.parent[j];
+    if (u < 0) continue;
+    red[j] = MakeSemijoin(cur[j], red[u]);
+  }
+
+  // Step 2: upward join-and-project with Z_j = (Y_j ∩ Y_u) ∪ (Z ∩ at(T[j])).
+  std::vector<VarId> head_vars = q.HeadVariables();
+  Hypergraph h = q.BuildHypergraph();
+  std::vector<std::vector<AttrId>> subtree_head(m);
+  for (int j : p.tree.bottom_up) {
+    std::vector<AttrId> acc;
+    for (VarId x : h.edge(j)) {
+      if (std::find(head_vars.begin(), head_vars.end(), x) !=
+          head_vars.end()) {
+        acc.push_back(x);
+      }
+    }
+    for (int ch : p.tree.children[j]) {
+      acc.insert(acc.end(), subtree_head[ch].begin(), subtree_head[ch].end());
+    }
+    std::sort(acc.begin(), acc.end());
+    acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
+    subtree_head[j] = std::move(acc);
+  }
+  for (int j : p.tree.bottom_up) {
+    int u = p.tree.parent[j];
+    if (u < 0) continue;
+    std::vector<AttrId> zj;
+    for (AttrId a : red[j]->attrs) {
+      if (std::find(red[u]->attrs.begin(), red[u]->attrs.end(), a) !=
+          red[u]->attrs.end()) {
+        zj.push_back(a);
+      }
+    }
+    for (AttrId a : subtree_head[j]) {
+      if (std::find(zj.begin(), zj.end(), a) == zj.end()) zj.push_back(a);
+    }
+    red[u] = MakeHashJoin(red[u], MakeProject(red[j], zj, /*dedup=*/true));
+  }
+  // Step 3: project the root onto the head variables (the driver maps the
+  // bindings through the head terms).
+  c->eval_root = MakeProject(red[p.tree.root], head_vars, /*dedup=*/true);
+  return Status::OK();
+}
+
+void BuildRenderVars(IneqCompiled* c) {
+  const ConjunctiveQuery& q = c->query;
+  for (VarId v = 0; v < q.NumVariables(); ++v) {
+    c->render_vars.Intern(q.vars.name(v));
+  }
+  for (VarId v = 0; v < q.NumVariables(); ++v) {
+    std::string primed = q.vars.name(v) + "'";
+    while (c->render_vars.Find(primed) >= 0) primed += "'";
+    c->render_vars.Intern(primed);
+  }
+}
+
+// Compiles a query (and optional formula) without consulting any cache.
+Result<std::shared_ptr<IneqCompiled>> BuildCompiled(const Database& db,
+                                                    const ConjunctiveQuery& q,
+                                                    const IneqFormula* phi) {
+  auto c = std::make_shared<IneqCompiled>();
+  c->query = q;
+  if (phi != nullptr) {
+    c->formula = *phi;
+    c->formula_mode = true;
+  }
+  PQ_ASSIGN_OR_RETURN(c->analysis,
+                      c->formula_mode
+                          ? BuildFormulaPlan(db, c->query, c->formula)
+                          : BuildPlan(db, c->query));
+  if (!c->analysis.always_false) PQ_RETURN_NOT_OK(LowerPlans(c.get()));
+  BuildRenderVars(c.get());
+  return c;
+}
+
+// `phi` renamed onto canonical variable ids (out-of-range ids map to -1 and
+// are rejected by the downstream validation, exactly like the original).
+IneqFormula RemapFormula(const IneqFormula& phi,
+                         const std::vector<AttrId>& inverse) {
+  IneqFormula out = phi;
+  auto remap = [&inverse](Term& t) {
+    if (!t.is_var()) return;
+    VarId v = t.var();
+    t = Term::Var((v >= 0 && static_cast<size_t>(v) < inverse.size())
+                      ? inverse[v]
+                      : -1);
+  };
+  for (IneqFormula::Node& n : out.nodes) {
+    if (n.kind == IneqFormula::NodeKind::kAtom) {
+      remap(n.atom.lhs);
+      remap(n.atom.rhs);
+    }
+  }
+  return out;
+}
+
+// Structural signature of a canonical-renamed formula (cache key suffix).
+std::string FormulaSignature(const IneqFormula& phi) {
+  std::string s;
+  auto term = [](const Term& t) {
+    return t.is_var() ? internal::StrCat("v", t.var())
+                      : internal::StrCat("c", t.value());
+  };
+  for (const IneqFormula::Node& n : phi.nodes) {
+    switch (n.kind) {
+      case IneqFormula::NodeKind::kAtom:
+        s += "a" + term(n.atom.lhs) + ":" + term(n.atom.rhs) + ";";
+        break;
+      case IneqFormula::NodeKind::kAnd:
+      case IneqFormula::NodeKind::kOr:
+        s += n.kind == IneqFormula::NodeKind::kAnd ? "&" : "|";
+        for (int ch : n.children) s += internal::StrCat(ch, ",");
+        s += ";";
+        break;
+    }
+  }
+  return s + internal::StrCat("r", phi.root);
+}
+
+// Fetches (or compiles and caches) the compiled form. With a cache, the
+// query is canonicalized first so renaming-equivalent queries share one
+// compilation; without one, the query compiles as-is.
+Result<std::shared_ptr<IneqCompiled>> GetCompiled(const Database& db,
+                                                  const ConjunctiveQuery& q,
+                                                  const IneqFormula* phi,
+                                                  const IneqOptions& options) {
+  if (options.plan_cache == nullptr) return BuildCompiled(db, q, phi);
+  CanonicalCq canonical = CanonicalizeCq(q);
+  std::string key = internal::StrCat("ineq:", canonical.signature);
+  IneqFormula renamed;
+  if (phi != nullptr) {
+    std::vector<AttrId> inverse(std::max(1, q.NumVariables()), -1);
+    for (size_t i = 0; i < canonical.order.size(); ++i) {
+      if (canonical.order[i] >= 0 &&
+          static_cast<size_t>(canonical.order[i]) < inverse.size()) {
+        inverse[canonical.order[i]] = static_cast<AttrId>(i);
+      }
+    }
+    renamed = RemapFormula(*phi, inverse);
+    key += "|phi:" + FormulaSignature(renamed);
+  }
+  auto cached =
+      options.plan_cache->Lookup<IneqCompiled>(key, db.generation());
+  if (cached != nullptr) return cached;
+  PQ_ASSIGN_OR_RETURN(
+      auto compiled,
+      BuildCompiled(db, canonical.query, phi != nullptr ? &renamed : nullptr));
+  options.plan_cache->Insert(key, db.generation(), compiled);
+  return compiled;
+}
+
+// Hash-extended inputs S'_j for one coloring (slot order = body order).
+std::vector<NamedRelation> HashedInputs(const Plan& p,
+                                        const ColoringFamily& family,
+                                        size_t member) {
+  std::vector<NamedRelation> inputs;
+  inputs.reserve(p.base.size());
+  for (const NamedRelation& s : p.base) {
+    inputs.push_back(ExtendHashed(p, s, family, member));
+  }
+  return inputs;
+}
+
+// φ applied at the root, on the primed (color) columns; constants take
+// their color under the same member.
+NamedRelation FilterByFormula(const Plan& p, const NamedRelation& root,
+                              const ColoringFamily& family, size_t member) {
+  std::vector<int> col_of_var(p.q->NumVariables(), -1);
+  for (VarId x : p.v1) {
+    col_of_var[x] = root.ColumnOf(Prime(*p.q, x));
+    PQ_CHECK(col_of_var[x] >= 0,
+             "formula variable's primed attribute missing at the root");
+  }
+  NamedRelation filtered{root.attrs()};
+  for (size_t r = 0; r < root.size(); ++r) {
+    auto row = root.rel().Row(r);
+    auto value_of = [&](const Term& t) -> Value {
+      return t.is_var() ? row[col_of_var[t.var()]]
+                        : family.Color(member, t.value());
+    };
+    if (p.formula->Evaluate(value_of)) filtered.rel().Add(row);
+  }
+  return filtered;
+}
+
+// Plan-routed decision driver.
+Result<bool> PlanDriveNonempty(const Database& db, IneqCompiled& c,
+                               const IneqOptions& options, IneqStats* stats,
+                               PlanStats* plan_stats) {
+  const Plan& p = c.analysis;
+  if (p.always_false) return false;
+  PQ_ASSIGN_OR_RETURN(ColoringFamily family, MakeFamily(p, options, stats));
+  const ResourceLimits limits = options.EffectiveLimits();
+  PlanStats local;
+  size_t executed = 0;
+  bool found = false;
+  for (size_t m = 0; m < family.size() && !found; ++m) {
+    if (stats != nullptr) stats->trials = m + 1;
+    std::vector<NamedRelation> inputs = HashedInputs(p, family, m);
+    std::vector<const NamedRelation*> ptrs;
+    ptrs.reserve(inputs.size());
+    for (const NamedRelation& in : inputs) ptrs.push_back(&in);
+    ExecContext ctx{ptrs, limits, &local, options.runtime};
+    PQ_ASSIGN_OR_RETURN(NamedRelation root, ExecutePlan(*c.decision_root, ctx));
+    ++executed;
+    if (c.formula_mode && !root.empty()) {
+      root = FilterByFormula(p, root, family, m);
+      if (stats != nullptr) {
+        stats->peak_rows = std::max(stats->peak_rows, root.size());
+      }
+    }
+    found = !root.empty();
+  }
+  if (options.plan_cache != nullptr && executed > 1) {
+    options.plan_cache->NoteReuse(executed - 1);
+  }
+  if (stats != nullptr) {
+    stats->peak_rows = std::max(stats->peak_rows, local.peak_intermediate_rows);
+  }
+  if (plan_stats != nullptr) plan_stats->Merge(local);
+  (void)db;
+  return found;
+}
+
+// Plan-routed evaluation driver.
+Result<Relation> PlanDriveEvaluate(const Database& db, IneqCompiled& c,
+                                   const IneqOptions& options,
+                                   IneqStats* stats, PlanStats* plan_stats) {
+  const Plan& p = c.analysis;
+  Relation answers(c.query.head.size());
+  if (p.always_false) return answers;
+  PQ_ASSIGN_OR_RETURN(ColoringFamily family, MakeFamily(p, options, stats));
+  const ResourceLimits limits = options.EffectiveLimits();
+  PlanStats local;
+  size_t colorings_run = 0;
+  for (size_t m = 0; m < family.size(); ++m) {
+    if (stats != nullptr) stats->trials = m + 1;
+    std::vector<NamedRelation> inputs = HashedInputs(p, family, m);
+    if (c.formula_mode) {
+      // Pass 1, then φ at the root, then the evaluation DAG reading the
+      // filtered root through its extra slot. One ExecSession per coloring:
+      // the evaluation pass reuses every P_j the upward pass computed.
+      inputs.emplace_back();  // φ-slot placeholder, bound after the filter
+      std::vector<const NamedRelation*> ptrs;
+      ptrs.reserve(inputs.size());
+      for (const NamedRelation& in : inputs) ptrs.push_back(&in);
+      ExecContext ctx{ptrs, limits, &local, options.runtime};
+      ExecSession session(ctx);
+      PQ_ASSIGN_OR_RETURN(NamedRelation root, session.Run(*c.decision_root));
+      ++colorings_run;
+      if (root.empty()) continue;
+      NamedRelation filtered = FilterByFormula(p, root, family, m);
+      if (stats != nullptr) {
+        stats->peak_rows = std::max(stats->peak_rows, filtered.size());
+      }
+      if (filtered.empty()) continue;
+      inputs.back() = std::move(filtered);
+      PQ_ASSIGN_OR_RETURN(NamedRelation bindings, session.Run(*c.eval_root));
+      Relation qh = BindingsToAnswers(bindings, c.query.head);
+      for (size_t r = 0; r < qh.size(); ++r) answers.Add(qh.Row(r));
+    } else {
+      std::vector<const NamedRelation*> ptrs;
+      ptrs.reserve(inputs.size());
+      for (const NamedRelation& in : inputs) ptrs.push_back(&in);
+      ExecContext ctx{ptrs, limits, &local, options.runtime};
+      PQ_ASSIGN_OR_RETURN(NamedRelation bindings,
+                          ExecutePlan(*c.eval_root, ctx));
+      ++colorings_run;
+      Relation qh = BindingsToAnswers(bindings, c.query.head);
+      for (size_t r = 0; r < qh.size(); ++r) answers.Add(qh.Row(r));
+    }
+  }
+  // One compile, `colorings_run` executions: every re-binding past the
+  // first is the cache's per-coloring reuse (counted per coloring, not per
+  // plan pass).
+  if (options.plan_cache != nullptr && colorings_run > 1) {
+    options.plan_cache->NoteReuse(colorings_run - 1);
+  }
+  if (stats != nullptr) {
+    stats->peak_rows = std::max(stats->peak_rows, local.peak_intermediate_rows);
+  }
+  if (plan_stats != nullptr) plan_stats->Merge(local);
+  (void)db;
+  answers.SortAndDedup();
+  return answers;
+}
+
 }  // namespace
 
 Result<bool> IneqNonempty(const Database& db, const ConjunctiveQuery& q,
-                          const IneqOptions& options, IneqStats* stats) {
-  PQ_ASSIGN_OR_RETURN(Plan p, BuildPlan(db, q));
-  return DriveNonempty(p, options, stats);
+                          const IneqOptions& options, IneqStats* stats,
+                          PlanStats* plan_stats) {
+  PQ_ASSIGN_OR_RETURN(auto compiled, GetCompiled(db, q, nullptr, options));
+  return PlanDriveNonempty(db, *compiled, options, stats, plan_stats);
 }
 
 Result<Relation> IneqEvaluate(const Database& db, const ConjunctiveQuery& q,
-                              const IneqOptions& options, IneqStats* stats) {
-  PQ_ASSIGN_OR_RETURN(Plan p, BuildPlan(db, q));
-  return DriveEvaluate(p, options, stats);
+                              const IneqOptions& options, IneqStats* stats,
+                              PlanStats* plan_stats) {
+  PQ_ASSIGN_OR_RETURN(auto compiled, GetCompiled(db, q, nullptr, options));
+  return PlanDriveEvaluate(db, *compiled, options, stats, plan_stats);
 }
 
 Result<bool> IneqFormulaNonempty(const Database& db, const ConjunctiveQuery& q,
                                  const IneqFormula& phi,
-                                 const IneqOptions& options,
-                                 IneqStats* stats) {
-  PQ_ASSIGN_OR_RETURN(Plan p, BuildFormulaPlan(db, q, phi));
-  return DriveNonempty(p, options, stats);
+                                 const IneqOptions& options, IneqStats* stats,
+                                 PlanStats* plan_stats) {
+  PQ_ASSIGN_OR_RETURN(auto compiled, GetCompiled(db, q, &phi, options));
+  return PlanDriveNonempty(db, *compiled, options, stats, plan_stats);
 }
 
 Result<Relation> IneqFormulaEvaluate(const Database& db,
                                      const ConjunctiveQuery& q,
                                      const IneqFormula& phi,
                                      const IneqOptions& options,
-                                     IneqStats* stats) {
-  PQ_ASSIGN_OR_RETURN(Plan p, BuildFormulaPlan(db, q, phi));
-  return DriveEvaluate(p, options, stats);
+                                     IneqStats* stats,
+                                     PlanStats* plan_stats) {
+  PQ_ASSIGN_OR_RETURN(auto compiled, GetCompiled(db, q, &phi, options));
+  return PlanDriveEvaluate(db, *compiled, options, stats, plan_stats);
 }
 
 Result<bool> IneqContains(const Database& db, const ConjunctiveQuery& q,
@@ -554,6 +995,56 @@ Result<bool> IneqContains(const Database& db, const ConjunctiveQuery& q,
     return Status::InvalidArgument("tuple arity does not match query head");
   }
   return IneqNonempty(db, q.BindHead(tuple), options, stats);
+}
+
+Result<bool> IneqNonemptyOracle(const Database& db, const ConjunctiveQuery& q,
+                                const IneqOptions& options, IneqStats* stats) {
+  PQ_ASSIGN_OR_RETURN(Plan p, BuildPlan(db, q));
+  return DriveNonemptyOracle(p, options, stats);
+}
+
+Result<Relation> IneqEvaluateOracle(const Database& db,
+                                    const ConjunctiveQuery& q,
+                                    const IneqOptions& options,
+                                    IneqStats* stats) {
+  PQ_ASSIGN_OR_RETURN(Plan p, BuildPlan(db, q));
+  return DriveEvaluateOracle(p, options, stats);
+}
+
+Result<bool> IneqFormulaNonemptyOracle(const Database& db,
+                                       const ConjunctiveQuery& q,
+                                       const IneqFormula& phi,
+                                       const IneqOptions& options,
+                                       IneqStats* stats) {
+  PQ_ASSIGN_OR_RETURN(Plan p, BuildFormulaPlan(db, q, phi));
+  return DriveNonemptyOracle(p, options, stats);
+}
+
+Result<Relation> IneqFormulaEvaluateOracle(const Database& db,
+                                           const ConjunctiveQuery& q,
+                                           const IneqFormula& phi,
+                                           const IneqOptions& options,
+                                           IneqStats* stats) {
+  PQ_ASSIGN_OR_RETURN(Plan p, BuildFormulaPlan(db, q, phi));
+  return DriveEvaluateOracle(p, options, stats);
+}
+
+Result<std::string> IneqPlanText(const Database& db,
+                                 const ConjunctiveQuery& q) {
+  PQ_ASSIGN_OR_RETURN(auto compiled, BuildCompiled(db, q, nullptr));
+  if (compiled->analysis.always_false) {
+    return std::string(
+        "(empty plan: a comparison atom is refuted on every database)\n");
+  }
+  std::ostringstream oss;
+  oss << "-- Theorem 2 color coding: k=" << compiled->analysis.k
+      << " (|V1|), I1=" << compiled->analysis.i1.size()
+      << " hash-checked atom(s), I2=" << compiled->analysis.i2_count
+      << " pushed into scans;\n"
+      << "-- one residual plan compiled, re-executed per coloring on "
+         "re-bound S' inputs (primed columns = colors)\n";
+  oss << RenderPlan(*compiled->eval_root, &compiled->render_vars);
+  return oss.str();
 }
 
 }  // namespace paraquery

@@ -23,14 +23,29 @@
 // Complexity: O(g(k) · q · n log n) per coloring for the decision problem,
 // and output-sensitive for evaluation — the parameter never multiplies into
 // the exponent of n.
+//
+// Since the plan-cache PR, steps 4–5 are LOWERED onto the physical plan IR:
+// the residual query of a coloring compiles once into a PlanNode DAG
+// (upward joins with the I1 checks as Select nodes, downward semijoins,
+// upward join-and-project), and every coloring re-executes that one plan
+// through the shared executor on re-bound hash-extended inputs S'_j — so
+// the Theorem 2 engine inherits morsel parallelism, ResourceLimits,
+// PlanStats, and .plan rendering, and the per-coloring re-execution is the
+// plan cache's headline win (one plan compiled, k^k colorings executed).
+// The historical hand-rolled evaluation survives as the *Oracle entry
+// points (differential-test ground truth, like BacktrackEvaluateCq).
 #ifndef PARAQUERY_EVAL_INEQUALITY_H_
 #define PARAQUERY_EVAL_INEQUALITY_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/status.hpp"
+#include "plan/plan.hpp"
+#include "plan/plan_cache.hpp"
 #include "query/conjunctive_query.hpp"
 #include "relational/database.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace paraquery {
 
@@ -51,11 +66,30 @@ struct IneqOptions {
   /// witness.
   double mc_error_exponent = 4.0;
   uint64_t seed = 0xC0FFEE;
-  /// Join-size guard (0 = off).
+  /// Unified resource guard, enforced by the shared executor on EVERY
+  /// per-coloring plan execution (each coloring gets a fresh max_steps
+  /// budget: the bound is per residual query, not per family).
+  ResourceLimits limits;
+  /// Parallel runtime binding: each coloring's plan execution may go
+  /// morsel/structurally parallel; the coloring loop itself is sequential
+  /// (decision mode short-circuits at the first witness coloring).
+  RuntimeOptions runtime;
+  /// Cross-query plan cache (optional, engine-owned): the compiled residual
+  /// plan — S_j inputs, join tree, Y sets, lowered DAGs — is keyed by the
+  /// canonical query signature (+ formula) and database generation. Each
+  /// additional coloring executed against the compiled plan is credited as
+  /// a cache hit (PlanCache::NoteReuse). Ignored by the *Oracle paths.
+  PlanCache* plan_cache = nullptr;
+  /// DEPRECATED alias for limits.max_rows (the historical per-join guard).
+  /// Used only when limits.max_rows == 0.
   uint64_t max_rows = 0;
   /// Certification budget: max number of k-subsets of the ground set.
   uint64_t certified_max_subsets = 2'000'000;
   size_t certified_max_members = 100'000;
+
+  ResourceLimits EffectiveLimits() const {
+    return limits.MergedWith(max_rows, /*legacy_max_steps=*/0);
+  }
 };
 
 /// Instrumentation reported by the engine.
@@ -72,21 +106,46 @@ struct IneqStats {
 /// Decides Q(d) != {} for an acyclic conjunctive query with ≠ atoms.
 /// With a certified family the answer is exact; with Monte Carlo a `false`
 /// is wrong with probability <= e^-c (a `true` is always sound).
+/// `plan_stats`, when given, receives the shared executor's counters
+/// aggregated over every coloring executed.
 Result<bool> IneqNonempty(const Database& db, const ConjunctiveQuery& q,
                           const IneqOptions& options = {},
-                          IneqStats* stats = nullptr);
+                          IneqStats* stats = nullptr,
+                          PlanStats* plan_stats = nullptr);
 
 /// Computes Q(d). With a certified family the result is exact; with Monte
 /// Carlo each answer tuple is missed with probability <= e^-c.
 Result<Relation> IneqEvaluate(const Database& db, const ConjunctiveQuery& q,
                               const IneqOptions& options = {},
-                              IneqStats* stats = nullptr);
+                              IneqStats* stats = nullptr,
+                              PlanStats* plan_stats = nullptr);
 
 /// Decides t ∈ Q(d).
 Result<bool> IneqContains(const Database& db, const ConjunctiveQuery& q,
                           const std::vector<Value>& tuple,
                           const IneqOptions& options = {},
                           IneqStats* stats = nullptr);
+
+/// The historical hand-rolled evaluation (per-coloring relational algebra
+/// calls instead of plan execution). Kept temporarily as the differential-
+/// test oracle for the plan lowering, like BacktrackEvaluateCq for the
+/// cyclic planner; ignores runtime/plan_cache. Scheduled for removal once
+/// the lowered path has soaked.
+Result<bool> IneqNonemptyOracle(const Database& db, const ConjunctiveQuery& q,
+                                const IneqOptions& options = {},
+                                IneqStats* stats = nullptr);
+Result<Relation> IneqEvaluateOracle(const Database& db,
+                                    const ConjunctiveQuery& q,
+                                    const IneqOptions& options = {},
+                                    IneqStats* stats = nullptr);
+
+/// Renders the lowered Theorem 2 evaluation plan (the coloring-independent
+/// residual DAG: upward joins + I1 selects, downward semijoins, upward
+/// join-and-project) without executing it. Primed hash columns render as
+/// name' next to their base variable. Fails where the engine would (cyclic
+/// body, non-≠ comparisons).
+Result<std::string> IneqPlanText(const Database& db,
+                                 const ConjunctiveQuery& q);
 
 class IneqFormula;
 
@@ -100,14 +159,32 @@ class IneqFormula;
 Result<bool> IneqFormulaNonempty(const Database& db, const ConjunctiveQuery& q,
                                  const IneqFormula& phi,
                                  const IneqOptions& options = {},
-                                 IneqStats* stats = nullptr);
+                                 IneqStats* stats = nullptr,
+                                 PlanStats* plan_stats = nullptr);
 
-/// Full evaluation under the formula extension.
+/// Full evaluation under the formula extension. The relational passes run
+/// through the shared executor; φ itself is applied at the root as a
+/// per-coloring row filter (an ∧/∨ formula is not a conjunctive Predicate,
+/// and its constants take per-coloring colors, so it cannot live inside the
+/// cached coloring-independent plan).
 Result<Relation> IneqFormulaEvaluate(const Database& db,
                                      const ConjunctiveQuery& q,
                                      const IneqFormula& phi,
                                      const IneqOptions& options = {},
-                                     IneqStats* stats = nullptr);
+                                     IneqStats* stats = nullptr,
+                                     PlanStats* plan_stats = nullptr);
+
+/// Hand-rolled formula-mode oracles (see IneqEvaluateOracle).
+Result<bool> IneqFormulaNonemptyOracle(const Database& db,
+                                       const ConjunctiveQuery& q,
+                                       const IneqFormula& phi,
+                                       const IneqOptions& options = {},
+                                       IneqStats* stats = nullptr);
+Result<Relation> IneqFormulaEvaluateOracle(const Database& db,
+                                           const ConjunctiveQuery& q,
+                                           const IneqFormula& phi,
+                                           const IneqOptions& options = {},
+                                           IneqStats* stats = nullptr);
 
 }  // namespace paraquery
 

@@ -168,6 +168,26 @@ Result<Search> Prepare(const Database& db, const ConjunctiveQuery& q,
 Result<Relation> NaiveEvaluateCq(const Database& db, const ConjunctiveQuery& q,
                                  const NaiveOptions& options,
                                  PlanStats* plan_stats) {
+  if (options.plan_cache != nullptr) {
+    // Cached route: plan the canonical query once per database generation;
+    // renaming-equivalent repeats (and UCQ disjuncts) reuse it. Binding
+    // attributes are canonical ids, so answers map through the canonical
+    // head.
+    CanonicalCq canonical = CanonicalizeCq(q);
+    std::string key = internal::StrCat("cq-cyc:", canonical.signature);
+    std::shared_ptr<PhysicalPlan> plan =
+        options.plan_cache->Lookup<PhysicalPlan>(key, db.generation());
+    if (plan == nullptr) {
+      PQ_ASSIGN_OR_RETURN(PhysicalPlan built,
+                          PlanCyclicCq(db, canonical.query));
+      plan = std::make_shared<PhysicalPlan>(std::move(built));
+      options.plan_cache->Insert(key, db.generation(), plan);
+    }
+    PQ_ASSIGN_OR_RETURN(NamedRelation bindings,
+                        ExecutePhysicalPlan(*plan, options.EffectiveLimits(),
+                                            plan_stats, options.runtime));
+    return BindingsToAnswers(bindings, canonical.query.head);
+  }
   PQ_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanCyclicCq(db, q));
   PQ_ASSIGN_OR_RETURN(NamedRelation bindings,
                       ExecutePhysicalPlan(plan, options.EffectiveLimits(),

@@ -23,6 +23,7 @@
 
 #include "common/status.hpp"
 #include "plan/plan.hpp"
+#include "plan/plan_cache.hpp"
 #include "query/conjunctive_query.hpp"
 #include "relational/database.hpp"
 #include "runtime/scheduler.hpp"
@@ -38,6 +39,10 @@ struct NaiveOptions {
   /// Parallel runtime binding for the plan-based evaluator (ignored by the
   /// backtracking entry points, which are inherently sequential searches).
   RuntimeOptions runtime;
+  /// Cross-query plan cache (optional, engine-owned), used by the
+  /// plan-based evaluator only: repeated cyclic queries reuse their greedy
+  /// left-deep plan under the CanonicalCqSignature + database generation.
+  PlanCache* plan_cache = nullptr;
   /// DEPRECATED alias for limits.max_steps: abort with ResourceExhausted
   /// after this many steps (0 = off). Used only when limits.max_steps == 0.
   uint64_t max_steps = 0;

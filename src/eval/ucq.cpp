@@ -11,33 +11,8 @@
 
 namespace paraquery {
 
-// ToUnionOfCqs standardizes variables apart, so duplicate disjuncts produced
-// by the ∧/∨ distribution differ only in variable ids — exactly what this
-// signature ignores.
-std::string CanonicalCqSignature(const ConjunctiveQuery& cq) {
-  std::vector<VarId> seen;
-  auto canon = [&seen](const Term& t) -> std::string {
-    if (t.is_const()) return internal::StrCat("c", t.value());
-    auto it = std::find(seen.begin(), seen.end(), t.var());
-    size_t idx = static_cast<size_t>(it - seen.begin());
-    if (it == seen.end()) seen.push_back(t.var());
-    return internal::StrCat("v", idx);
-  };
-  std::string sig = "h:";
-  for (const Term& t : cq.head) sig += canon(t) + ",";
-  sig += "|b:";
-  for (const Atom& a : cq.body) {
-    sig += a.relation + "(";
-    for (const Term& t : a.terms) sig += canon(t) + ",";
-    sig += ")";
-  }
-  sig += "|c:";
-  for (const CompareAtom& c : cq.comparisons) {
-    sig += internal::StrCat(static_cast<int>(c.op), ":", canon(c.lhs), ":",
-                            canon(c.rhs), ",");
-  }
-  return sig;
-}
+// CanonicalCqSignature lives in plan/plan_cache.{hpp,cpp} now: the UCQ
+// dedup and the program-wide plan cache share one notion of query identity.
 
 Result<std::vector<ConjunctiveQuery>> ExpandDedupedDisjuncts(
     const PositiveQuery& q, uint64_t max_disjuncts, UcqStats* stats) {
@@ -73,12 +48,14 @@ Result<Relation> EvaluateDisjunct(const Database& db,
     AcyclicOptions acyclic;
     acyclic.limits = options.EffectiveLimits();
     acyclic.runtime = options.runtime;
+    acyclic.plan_cache = options.plan_cache;
     return AcyclicEvaluate(db, cq, acyclic, /*stats=*/nullptr, plan);
   }
   if (stats != nullptr) ++stats->naive_disjuncts;
   NaiveOptions naive;
   naive.limits = options.EffectiveLimits();
   naive.runtime = options.runtime;
+  naive.plan_cache = options.plan_cache;
   return NaiveEvaluateCq(db, cq, naive, plan);
 }
 
@@ -91,6 +68,7 @@ Result<bool> DisjunctNonempty(const Database& db, const ConjunctiveQuery& cq,
     AcyclicOptions acyclic;
     acyclic.limits = options.EffectiveLimits();
     acyclic.runtime = options.runtime;
+    acyclic.plan_cache = options.plan_cache;
     return AcyclicNonempty(db, cq, acyclic, /*stats=*/nullptr, plan);
   }
   if (stats != nullptr) ++stats->naive_disjuncts;

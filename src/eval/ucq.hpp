@@ -12,6 +12,7 @@
 
 #include "common/status.hpp"
 #include "plan/plan.hpp"
+#include "plan/plan_cache.hpp"
 #include "query/positive_query.hpp"
 #include "relational/database.hpp"
 #include "runtime/scheduler.hpp"
@@ -32,6 +33,11 @@ struct UcqOptions {
   RuntimeOptions runtime;
   /// Unified resource guard, forwarded to every disjunct evaluation.
   ResourceLimits limits;
+  /// Cross-query plan cache (optional, engine-owned), forwarded to every
+  /// disjunct evaluation: re-expanded disjuncts of repeated positive queries
+  /// reuse their compiled plans. Safe under parallel disjunct evaluation
+  /// because disjuncts are signature-deduplicated first.
+  PlanCache* plan_cache = nullptr;
   /// DEPRECATED alias for limits.max_steps (historically only applied to
   /// cyclic disjuncts). Used only when limits.max_steps == 0.
   uint64_t naive_max_steps = 0;
@@ -64,11 +70,8 @@ Result<bool> PositiveNonempty(const Database& db, const PositiveQuery& q,
                               const UcqOptions& options = {},
                               UcqStats* stats = nullptr);
 
-/// Canonical text of a CQ with variables renamed to first-occurrence
-/// indexes: two queries map to the same string iff they are syntactically
-/// identical up to variable naming. Used to deduplicate UCQ disjuncts (and
-/// by EXPLAIN's plan rendering).
-std::string CanonicalCqSignature(const ConjunctiveQuery& cq);
+// CanonicalCqSignature moved to plan/plan_cache.hpp (included above): the
+// disjunct dedup and the plan cache share one notion of query identity.
 
 /// Expands `q` into at most `max_disjuncts` CQs and drops syntactic
 /// duplicates (CanonicalCqSignature). The single expansion path shared by

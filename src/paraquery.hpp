@@ -53,9 +53,10 @@
 #include "query/positive_query.hpp"
 #include "query/term.hpp"
 
-// Physical plan IR, planner, and the shared executor.
+// Physical plan IR, planner, the shared executor, and the plan cache.
 #include "plan/executor.hpp"
 #include "plan/plan.hpp"
+#include "plan/plan_cache.hpp"
 #include "plan/planner.hpp"
 
 // Evaluation engines.

@@ -22,34 +22,7 @@ class Executor {
  public:
   explicit Executor(const ExecContext& ctx) : ctx_(ctx) {}
 
-  // Evaluates `n` exactly once per execution, even when independent
-  // parallel subtrees reach a shared node concurrently: the first arrival
-  // computes, later arrivals block on the node's condition variable. The
-  // wait graph follows plan edges, and the plan is a DAG, so these waits
-  // cannot cycle.
-  Result<NamedRelation> Exec(PlanNode& n) {
-    NodeState* state;
-    {
-      std::lock_guard<std::mutex> lock(states_mutex_);
-      std::unique_ptr<NodeState>& slot = states_[&n];
-      if (slot == nullptr) slot = std::make_unique<NodeState>();
-      state = slot.get();
-    }
-    std::unique_lock<std::mutex> lock(state->mutex);
-    if (state->started) {
-      state->cv.wait(lock, [state] { return state->result.has_value(); });
-      return *state->result;
-    }
-    state->started = true;
-    lock.unlock();
-    Result<NamedRelation> result = Compute(n);
-    if (result.ok()) n.actual_rows = result.value().size();
-    lock.lock();
-    state->result = result;
-    lock.unlock();
-    state->cv.notify_all();
-    return result;
-  }
+  Result<NamedRelation> Run(PlanNode& root) { return Exec(root, nullptr); }
 
  private:
   struct NodeState {
@@ -59,13 +32,92 @@ class Executor {
     std::optional<Result<NamedRelation>> result;
   };
 
+  // Where an operator's produced rows are charged against the max_steps
+  // budget. A null Charge is the committed execution; a speculatively
+  // executed subtree (the right child of a join/semijoin started before its
+  // sibling's emptiness is known) charges a tentative accumulator instead,
+  // which its spawner COMMITS into the parent charge only when the result is
+  // actually consumed — the short-circuit that skips the subtree drops the
+  // charge, so a query that passes its limits at threads=1 never fails them
+  // at threads=N. Speculative executions still CHECK the budget (committed +
+  // the tentative chain) so a runaway subtree aborts instead of exhausting
+  // memory; such an error can only fire where the sequential total would
+  // also exceed the budget. (Caveat: a node SHARED between a rolled-back
+  // speculative subtree and a committed path keeps the first arrival's
+  // charge and result — its rows may be attributed tentatively and dropped,
+  // an under-count in the safe direction.)
+  struct Charge {
+    Charge* parent = nullptr;
+    std::atomic<uint64_t> tentative{0};
+  };
+
+  void AddRows(Charge* charge, uint64_t n) {
+    if (charge == nullptr) {
+      rows_produced_.fetch_add(n);
+    } else {
+      charge->tentative.fetch_add(n);
+    }
+  }
+
+  uint64_t TotalRows(const Charge* charge) const {
+    uint64_t total = rows_produced_.load();
+    for (; charge != nullptr; charge = charge->parent) {
+      total += charge->tentative.load();
+    }
+    return total;
+  }
+
+  // Evaluates `n` at most once per execution, even when independent
+  // parallel subtrees reach a shared node concurrently: the first arrival
+  // computes, later arrivals block on the node's condition variable. The
+  // wait graph follows plan edges, and the plan is a DAG, so these waits
+  // cannot cycle.
+  //
+  // One exception to compute-once: a ResourceExhausted produced under a
+  // TENTATIVE charge is not published — its budget check included sibling
+  // rows the sequential executor might have skipped, so replaying it to a
+  // committed consumer could fail a query that passes at threads=1. The
+  // node is reset instead and the next arrival recomputes under its own
+  // charge (a genuine overrun simply errors again there).
+  Result<NamedRelation> Exec(PlanNode& n, Charge* charge) {
+    NodeState* state;
+    {
+      std::lock_guard<std::mutex> lock(states_mutex_);
+      std::unique_ptr<NodeState>& slot = states_[&n];
+      if (slot == nullptr) slot = std::make_unique<NodeState>();
+      state = slot.get();
+    }
+    std::unique_lock<std::mutex> lock(state->mutex);
+    while (state->started && !state->result.has_value()) {
+      state->cv.wait(lock, [state] {
+        return state->result.has_value() || !state->started;
+      });
+    }
+    if (state->result.has_value()) return *state->result;
+    state->started = true;
+    lock.unlock();
+    Result<NamedRelation> result = Compute(n, charge);
+    if (result.ok()) n.actual_rows = result.value().size();
+    lock.lock();
+    if (charge != nullptr && !result.ok() &&
+        result.status().code() == StatusCode::kResourceExhausted) {
+      state->started = false;  // speculative budget error: allow recompute
+    } else {
+      state->result = result;
+    }
+    lock.unlock();
+    state->cv.notify_all();
+    return result;
+  }
+
   bool Parallel() const { return ctx_.runtime.parallel(); }
 
-  // Tallies an executed operator's output against limits and stats. The row
-  // budget is one atomic shared by every task of this execution, so limits
-  // hold across concurrent operators.
+  // Tallies an executed operator's output against limits and stats. Stats
+  // record all performed work (speculative included); the max_steps budget
+  // is charged through `charge` so speculative rows stay tentative.
   Status Account(PlanNode& n, size_t PlanStats::* counter,
-                 const NamedRelation& out, size_t op_morsels = 0) {
+                 const NamedRelation& out, Charge* charge,
+                 size_t op_morsels = 0) {
     n.actual_morsels = op_morsels;
     if (ctx_.stats != nullptr) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -75,8 +127,8 @@ class Executor {
       ctx_.stats->rows_produced += out.size();
       ctx_.stats->morsels += op_morsels;
     }
-    uint64_t produced = rows_produced_.fetch_add(out.size()) + out.size();
-    if (ctx_.limits.max_steps != 0 && produced > ctx_.limits.max_steps) {
+    AddRows(charge, out.size());
+    if (ctx_.limits.max_steps != 0 && TotalRows(charge) > ctx_.limits.max_steps) {
       return Status::ResourceExhausted(
           "plan execution step limit (rows produced) exceeded");
     }
@@ -90,34 +142,54 @@ class Executor {
   // Evaluates a binary node's children, concurrently when a scheduler is
   // bound and the right side is not a plain scan (scans are slot reads —
   // not worth a task). Sequentially the right child is skipped when the
-  // left comes out empty; in parallel it is speculative.
+  // left comes out empty; in parallel it runs speculatively under a
+  // tentative charge that is committed only when the left side is nonempty
+  // (i.e. exactly when sequential execution would have run it).
   Status ExecChildren(PlanNode& n, Result<NamedRelation>* left,
-                      Result<NamedRelation>* right) {
+                      Result<NamedRelation>* right, Charge* charge) {
     if (Parallel() && n.children[1]->op != PlanOp::kScan) {
       std::optional<Result<NamedRelation>> right_result;
+      Charge speculative;
+      speculative.parent = charge;
       {
         TaskGroup group(ctx_.runtime.scheduler);
         PlanNode* rchild = n.children[1].get();
-        group.Spawn([this, rchild, &right_result] {
-          right_result.emplace(Exec(*rchild));
+        Charge* spec = &speculative;
+        group.Spawn([this, rchild, spec, &right_result] {
+          right_result.emplace(Exec(*rchild, spec));
         });
         if (ctx_.stats != nullptr) {
           std::lock_guard<std::mutex> lock(stats_mutex_);
           ++ctx_.stats->parallel_tasks;
         }
-        *left = Exec(*n.children[0]);
+        *left = Exec(*n.children[0], charge);
       }  // group destructor waits
       // The group is never cancelled, so the spawned task always ran.
       PQ_DCHECK(right_result.has_value(), "right-child task did not run");
       *right = std::move(*right_result);
+      if (left->ok() && !left->value().empty()) {
+        // The sequential executor would have run the right subtree: commit
+        // its speculative rows to the parent charge and re-check the budget.
+        AddRows(charge, speculative.tentative.load());
+        if (ctx_.limits.max_steps != 0 &&
+            TotalRows(charge) > ctx_.limits.max_steps) {
+          return Status::ResourceExhausted(
+              "plan execution step limit (rows produced) exceeded");
+        }
+      }
+      // Left empty (or failed): the tentative charge is dropped, matching
+      // the sequential short-circuit; the consuming operator also discards
+      // any speculative error below.
       return Status::OK();
     }
-    *left = Exec(*n.children[0]);
-    if (left->ok() && !left->value().empty()) *right = Exec(*n.children[1]);
+    *left = Exec(*n.children[0], charge);
+    if (left->ok() && !left->value().empty()) {
+      *right = Exec(*n.children[1], charge);
+    }
     return Status::OK();
   }
 
-  Result<NamedRelation> Compute(PlanNode& n) {
+  Result<NamedRelation> Compute(PlanNode& n, Charge* charge) {
     switch (n.op) {
       case PlanOp::kScan: {
         if (n.input_slot < 0 ||
@@ -131,18 +203,18 @@ class Executor {
         return *ctx_.inputs[n.input_slot];
       }
       case PlanOp::kSelect: {
-        PQ_ASSIGN_OR_RETURN(NamedRelation in, Exec(*n.children[0]));
+        PQ_ASSIGN_OR_RETURN(NamedRelation in, Exec(*n.children[0], charge));
         size_t morsels = 0;
         NamedRelation out =
             (!n.predicate.empty() && in.arity() > 0 &&
              ctx_.runtime.ShouldMorsel(in.size()))
                 ? ParallelSelect(in, n.predicate, ctx_.runtime, &morsels)
                 : Select(in, n.predicate);
-        PQ_RETURN_NOT_OK(Account(n, &PlanStats::selects, out, morsels));
+        PQ_RETURN_NOT_OK(Account(n, &PlanStats::selects, out, charge, morsels));
         return out;
       }
       case PlanOp::kProject: {
-        PQ_ASSIGN_OR_RETURN(NamedRelation in, Exec(*n.children[0]));
+        PQ_ASSIGN_OR_RETURN(NamedRelation in, Exec(*n.children[0], charge));
         size_t morsels = 0;
         NamedRelation out =
             (!n.attrs.empty() && n.attrs != in.attrs() &&
@@ -153,28 +225,30 @@ class Executor {
           std::lock_guard<std::mutex> lock(stats_mutex_);
           ++ctx_.stats->zero_copy_projections;
         }
-        PQ_RETURN_NOT_OK(Account(n, &PlanStats::projections, out, morsels));
+        PQ_RETURN_NOT_OK(
+            Account(n, &PlanStats::projections, out, charge, morsels));
         return out;
       }
       case PlanOp::kHashJoin: {
         Result<NamedRelation> lres = NamedRelation{n.attrs};
         Result<NamedRelation> rres = NamedRelation{n.attrs};
-        PQ_RETURN_NOT_OK(ExecChildren(n, &lres, &rres));
+        PQ_RETURN_NOT_OK(ExecChildren(n, &lres, &rres, charge));
         PQ_ASSIGN_OR_RETURN(NamedRelation left, std::move(lres));
         if (left.empty()) return NamedRelation{n.attrs};
         PQ_ASSIGN_OR_RETURN(NamedRelation right, std::move(rres));
         if (right.empty()) return NamedRelation{n.attrs};
         JoinOptions jo;
         jo.max_output_rows = ctx_.limits.max_rows;
+        jo.post_filter = n.predicate;  // pushed σ_F (empty = plain join)
         JoinIndexCache* cache = n.children[1]->index_cache;
         bool cached_scan = n.children[1]->op == PlanOp::kScan && cache != nullptr;
         size_t morsels = 0;
         Result<NamedRelation> joined = [&]() -> Result<NamedRelation> {
-          // Morsel-parallel probe: the fast path only (no row cap, nonzero
-          // output arity); the sequential kernel keeps the filtered/limited
-          // cases.
-          if (jo.max_output_rows == 0 && !n.attrs.empty() &&
-              ctx_.runtime.ShouldMorsel(left.size())) {
+          // Morsel-parallel probe: the fast path only (no row cap, no
+          // pushed filter, nonzero output arity); the sequential kernel
+          // keeps the filtered/limited cases.
+          if (jo.max_output_rows == 0 && jo.post_filter.empty() &&
+              !n.attrs.empty() && ctx_.runtime.ShouldMorsel(left.size())) {
             if (cached_scan) {
               const Relation& stable =
                   ctx_.inputs[n.children[1]->input_slot]->rel();
@@ -200,13 +274,13 @@ class Executor {
         }();
         PQ_RETURN_NOT_OK(joined.status());
         PQ_RETURN_NOT_OK(
-            Account(n, &PlanStats::joins, joined.value(), morsels));
+            Account(n, &PlanStats::joins, joined.value(), charge, morsels));
         return std::move(joined).value();
       }
       case PlanOp::kSemijoin: {
         Result<NamedRelation> lres = NamedRelation{n.attrs};
         Result<NamedRelation> rres = NamedRelation{n.attrs};
-        PQ_RETURN_NOT_OK(ExecChildren(n, &lres, &rres));
+        PQ_RETURN_NOT_OK(ExecChildren(n, &lres, &rres, charge));
         PQ_ASSIGN_OR_RETURN(NamedRelation left, std::move(lres));
         if (left.empty()) return NamedRelation{n.attrs};
         PQ_ASSIGN_OR_RETURN(NamedRelation right, std::move(rres));
@@ -216,7 +290,8 @@ class Executor {
             ctx_.runtime.ShouldMorsel(left.size())
                 ? ParallelSemijoin(left, right, ctx_.runtime, &morsels)
                 : Semijoin(left, right);
-        PQ_RETURN_NOT_OK(Account(n, &PlanStats::semijoins, out, morsels));
+        PQ_RETURN_NOT_OK(
+            Account(n, &PlanStats::semijoins, out, charge, morsels));
         return out;
       }
       case PlanOp::kUnion: {
@@ -227,24 +302,28 @@ class Executor {
         if (Parallel() && n.children.size() > 1) {
           // Structural parallelism: every branch is an independent task;
           // the merge below runs in branch order, so the result matches
-          // the sequential left-to-right union exactly.
+          // the sequential left-to-right union exactly. Branches are not
+          // speculative w.r.t. limits — the sequential executor runs every
+          // branch regardless of sibling emptiness — so they charge the
+          // current context directly.
           parts.assign(n.children.size(), NamedRelation{});
           {
             TaskGroup group(ctx_.runtime.scheduler);
             for (size_t i = 1; i < n.children.size(); ++i) {
               PlanNode* child = n.children[i].get();
               Result<NamedRelation>* slot = &parts[i];
-              group.Spawn([this, child, slot] { *slot = Exec(*child); });
+              group.Spawn(
+                  [this, child, slot, charge] { *slot = Exec(*child, charge); });
             }
             if (ctx_.stats != nullptr) {
               std::lock_guard<std::mutex> lock(stats_mutex_);
               ctx_.stats->parallel_tasks += n.children.size() - 1;
             }
-            parts[0] = Exec(*n.children[0]);
+            parts[0] = Exec(*n.children[0], charge);
           }  // group destructor waits
         } else {
           for (const PlanNodePtr& c : n.children) {
-            parts.push_back(Exec(*c));
+            parts.push_back(Exec(*c, charge));
             if (!parts.back().ok()) break;  // sequential: stop at first error
           }
         }
@@ -255,14 +334,14 @@ class Executor {
         for (size_t i = 1; i < parts.size(); ++i) {
           acc = UnionSet(acc, parts[i].value());
         }
-        PQ_RETURN_NOT_OK(Account(n, &PlanStats::unions, acc));
+        PQ_RETURN_NOT_OK(Account(n, &PlanStats::unions, acc, charge));
         return acc;
       }
       case PlanOp::kDedup: {
-        PQ_ASSIGN_OR_RETURN(NamedRelation in, Exec(*n.children[0]));
+        PQ_ASSIGN_OR_RETURN(NamedRelation in, Exec(*n.children[0], charge));
         NamedRelation out = in;
         out.rel().HashDedup();
-        PQ_RETURN_NOT_OK(Account(n, &PlanStats::dedups, out));
+        PQ_RETURN_NOT_OK(Account(n, &PlanStats::dedups, out, charge));
         return out;
       }
       case PlanOp::kFixpoint:
@@ -277,6 +356,8 @@ class Executor {
   std::mutex states_mutex_;
   std::unordered_map<const PlanNode*, std::unique_ptr<NodeState>> states_;
   std::mutex stats_mutex_;
+  /// Committed max_steps meter (speculative rows live in Charge chains
+  /// until their consumer commits them).
   std::atomic<uint64_t> rows_produced_{0};
 };
 
@@ -286,8 +367,29 @@ Result<NamedRelation> ExecutePlan(PlanNode& root, const ExecContext& ctx) {
   root.ResetActuals();
   Timer timer;
   Executor ex(ctx);
-  auto result = ex.Exec(root);
+  auto result = ex.Run(root);
   if (ctx.stats != nullptr) ctx.stats->wall_seconds += timer.Seconds();
+  return result;
+}
+
+struct ExecSession::Impl {
+  explicit Impl(const ExecContext& ctx) : executor(ctx), ctx(ctx) {}
+  Executor executor;
+  const ExecContext& ctx;
+};
+
+ExecSession::ExecSession(const ExecContext& ctx)
+    : impl_(std::make_unique<Impl>(ctx)) {}
+
+ExecSession::~ExecSession() = default;
+
+Result<NamedRelation> ExecSession::Run(PlanNode& root) {
+  root.ResetActuals();
+  Timer timer;
+  auto result = impl_->executor.Run(root);
+  if (impl_->ctx.stats != nullptr) {
+    impl_->ctx.stats->wall_seconds += timer.Seconds();
+  }
   return result;
 }
 

@@ -13,13 +13,19 @@
 //     per-worker buffers merged in deterministic morsel order
 //     (runtime/parallel_ops.hpp).
 // ResourceLimits stay enforced through one atomic row budget shared by all
-// tasks of the execution. Note that parallel execution is speculative about
-// the sequential empty-input short-circuit: a subtree the sequential
-// executor would skip (because its sibling came out empty) may run — and
-// count toward limits — under a scheduler.
+// tasks of the execution. Parallel execution is speculative about the
+// sequential empty-input short-circuit — a subtree the sequential executor
+// would skip (because its sibling came out empty) may still run — but its
+// rows are charged to a TENTATIVE budget that is committed only when the
+// subtree's result is actually consumed, so a query that passes its limits
+// at threads=1 never fails them at threads=N; speculative work that is
+// dropped by the short-circuit is never charged (its errors are discarded
+// with it). PlanStats::rows_produced still records all performed work,
+// speculative included.
 #ifndef PARAQUERY_PLAN_EXECUTOR_H_
 #define PARAQUERY_PLAN_EXECUTOR_H_
 
+#include <memory>
 #include <span>
 
 #include "common/status.hpp"
@@ -48,6 +54,27 @@ struct ExecContext {
 /// see above). Fixpoint nodes are rejected (their iteration belongs to the
 /// Datalog engine, which executes the per-rule child plans itself).
 Result<NamedRelation> ExecutePlan(PlanNode& root, const ExecContext& ctx);
+
+/// Multi-root execution over ONE node memoization: subplans shared between
+/// roots run once across the whole session (ExecutePlan shares only within
+/// a single call). Used by the Theorem 2 formula mode, whose φ filter runs
+/// between the upward-pass root and the evaluation DAG — the second Run
+/// reuses every P_j the first already computed instead of recomputing the
+/// upward pass. `ctx` (and the relations behind its input slots) must
+/// outlive the session; slots may be bound lazily as long as each is set
+/// before the first Run whose plan scans it. Limits span the session: one
+/// max_steps budget, actuals reset per session (not per Run).
+class ExecSession {
+ public:
+  explicit ExecSession(const ExecContext& ctx);
+  ~ExecSession();
+
+  Result<NamedRelation> Run(PlanNode& root);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace paraquery
 

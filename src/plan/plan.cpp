@@ -193,7 +193,8 @@ PlanNodePtr MakeProject(PlanNodePtr child, std::vector<AttrId> attrs,
   return n;
 }
 
-PlanNodePtr MakeHashJoin(PlanNodePtr left, PlanNodePtr right) {
+PlanNodePtr MakeHashJoin(PlanNodePtr left, PlanNodePtr right,
+                         Predicate post_filter) {
   auto n = std::make_shared<PlanNode>();
   n->op = PlanOp::kHashJoin;
   n->attrs = left->attrs;
@@ -224,6 +225,11 @@ PlanNodePtr MakeHashJoin(PlanNodePtr left, PlanNodePtr right) {
       est /= std::max(divisor, 1.0);
     }
     n->est_rows = est;
+  }
+  if (!post_filter.empty()) {
+    n->label = post_filter.ToString();
+    n->est_rows = EstimateSelect(n->est_rows, post_filter);
+    n->predicate = std::move(post_filter);
   }
   // Propagated distinct counts: shared attributes keep the smaller side's
   // count, exclusive attributes their source's, all capped at the estimate.
@@ -297,6 +303,36 @@ PlanNodePtr MakeFixpoint(std::vector<PlanNodePtr> rule_plans,
 
 namespace {
 
+PlanNodePtr CloneRec(
+    const PlanNode& n, const std::vector<JoinIndexCache*>* slot_caches,
+    std::unordered_map<const PlanNode*, PlanNodePtr>* memo) {
+  auto it = memo->find(&n);
+  if (it != memo->end()) return it->second;
+  auto out = std::make_shared<PlanNode>();
+  out->op = n.op;
+  out->attrs = n.attrs;
+  out->label = n.label;
+  out->est_rows = n.est_rows;
+  out->attr_distinct = n.attr_distinct;
+  out->input_slot = n.input_slot;
+  out->index_cache = n.index_cache;
+  out->predicate = n.predicate;
+  out->dedup = n.dedup;
+  if (slot_caches != nullptr && n.op == PlanOp::kScan) {
+    out->index_cache =
+        (n.input_slot >= 0 &&
+         static_cast<size_t>(n.input_slot) < slot_caches->size())
+            ? (*slot_caches)[n.input_slot]
+            : nullptr;
+  }
+  out->children.reserve(n.children.size());
+  for (const PlanNodePtr& c : n.children) {
+    out->children.push_back(CloneRec(*c, slot_caches, memo));
+  }
+  memo->emplace(&n, out);
+  return out;
+}
+
 void CountRefs(const PlanNode& node,
                std::unordered_map<const PlanNode*, int>* refs) {
   if (++(*refs)[&node] > 1) return;  // children already counted once
@@ -362,6 +398,12 @@ struct Renderer {
 };
 
 }  // namespace
+
+PlanNodePtr ClonePlan(const PlanNode& root,
+                      const std::vector<JoinIndexCache*>* slot_caches) {
+  std::unordered_map<const PlanNode*, PlanNodePtr> memo;
+  return CloneRec(root, slot_caches, &memo);
+}
 
 std::string RenderPlan(const PlanNode& root, const VarTable* vars) {
   std::unordered_map<const PlanNode*, int> refs;

@@ -148,6 +148,9 @@ struct PlanNode {
   JoinIndexCache* index_cache = nullptr;
 
   // --- kSelect payload (columns index this node's attrs) ---
+  // Also carried by kHashJoin as a pushed post-filter: the kernel drops
+  // failing rows during the probe (σ_F(L ⋈ R) without materializing the
+  // unfiltered join — the paper's Algorithm 1 step).
   Predicate predicate;
 
   // --- kProject payload ---
@@ -170,13 +173,28 @@ PlanNodePtr MakeScan(int slot, std::vector<AttrId> attrs, std::string label,
 PlanNodePtr MakeSelect(PlanNodePtr child, Predicate predicate);
 PlanNodePtr MakeProject(PlanNodePtr child, std::vector<AttrId> attrs,
                         bool dedup);
-PlanNodePtr MakeHashJoin(PlanNodePtr left, PlanNodePtr right);
+/// `post_filter` (columns index the OUTPUT attrs: left then right-only) is
+/// applied inside the join kernel; non-empty filters disable the
+/// morsel-parallel probe fast path for this node.
+PlanNodePtr MakeHashJoin(PlanNodePtr left, PlanNodePtr right,
+                         Predicate post_filter = {});
 PlanNodePtr MakeSemijoin(PlanNodePtr left, PlanNodePtr right);
 PlanNodePtr MakeUnion(std::vector<PlanNodePtr> children,
                       std::vector<AttrId> attrs);
 PlanNodePtr MakeDedup(PlanNodePtr child);
 PlanNodePtr MakeFixpoint(std::vector<PlanNodePtr> rule_plans,
                          std::string label);
+
+/// Deep-copies a plan DAG (shared subplans stay shared within the clone),
+/// with actual_rows/actual_morsels reset. When `slot_caches` is non-null,
+/// each cloned Scan's index_cache is rebound to (*slot_caches)[input_slot]
+/// (nullptr when the slot is out of range) — cross-run reuse of cached rule
+/// plans must not keep join-index pointers into a finished run. The source
+/// nodes' structure (op, children, attrs, predicate) is read but never
+/// written, so cloning may race only with executor writes to actuals, which
+/// the clone does not read.
+PlanNodePtr ClonePlan(const PlanNode& root,
+                      const std::vector<JoinIndexCache*>* slot_caches = nullptr);
 
 /// Renders the plan as an indented tree, one node per line:
 ///

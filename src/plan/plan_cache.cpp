@@ -1,0 +1,140 @@
+#include "plan/plan_cache.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace paraquery {
+
+// ToUnionOfCqs standardizes variables apart, so duplicate disjuncts produced
+// by the ∧/∨ distribution differ only in variable ids — exactly what this
+// signature ignores.
+std::string CanonicalCqSignature(const ConjunctiveQuery& cq) {
+  std::vector<VarId> seen;
+  auto canon = [&seen](const Term& t) -> std::string {
+    if (t.is_const()) return internal::StrCat("c", t.value());
+    auto it = std::find(seen.begin(), seen.end(), t.var());
+    size_t idx = static_cast<size_t>(it - seen.begin());
+    if (it == seen.end()) seen.push_back(t.var());
+    return internal::StrCat("v", idx);
+  };
+  std::string sig = "h:";
+  for (const Term& t : cq.head) sig += canon(t) + ",";
+  sig += "|b:";
+  for (const Atom& a : cq.body) {
+    sig += a.relation + "(";
+    for (const Term& t : a.terms) sig += canon(t) + ",";
+    sig += ")";
+  }
+  sig += "|c:";
+  for (const CompareAtom& c : cq.comparisons) {
+    sig += internal::StrCat(static_cast<int>(c.op), ":", canon(c.lhs), ":",
+                            canon(c.rhs), ",");
+  }
+  return sig;
+}
+
+CanonicalCq CanonicalizeCq(const ConjunctiveQuery& q) {
+  CanonicalCq out;
+  out.signature = CanonicalCqSignature(q);
+  // Rebuild the query with variables renumbered in the signature's
+  // first-occurrence order, keeping the original names where possible (the
+  // canonical plan renders with the first query's names; execution only
+  // cares about the ids).
+  std::vector<VarId> seen;
+  auto canon_id = [&](VarId v) -> VarId {
+    auto it = std::find(seen.begin(), seen.end(), v);
+    if (it != seen.end()) return static_cast<VarId>(it - seen.begin());
+    seen.push_back(v);
+    return static_cast<VarId>(seen.size() - 1);
+  };
+  auto canon_term = [&](const Term& t) {
+    return t.is_const() ? t : Term::Var(canon_id(t.var()));
+  };
+  ConjunctiveQuery& c = out.query;
+  for (const Term& t : q.head) c.head.push_back(canon_term(t));
+  for (const Atom& a : q.body) {
+    Atom atom{a.relation, {}};
+    atom.terms.reserve(a.terms.size());
+    for (const Term& t : a.terms) atom.terms.push_back(canon_term(t));
+    c.body.push_back(std::move(atom));
+  }
+  for (const CompareAtom& cmp : q.comparisons) {
+    c.comparisons.push_back(
+        {cmp.op, canon_term(cmp.lhs), canon_term(cmp.rhs)});
+  }
+  // Variable table in canonical order; duplicate or missing original names
+  // fall back to a positional name so ids and names stay 1:1.
+  for (size_t i = 0; i < seen.size(); ++i) {
+    std::string name = (seen[i] >= 0 && seen[i] < q.vars.size())
+                           ? q.vars.name(seen[i])
+                           : internal::StrCat("v", i);
+    if (c.vars.Find(name) >= 0) name = internal::StrCat("v", i);
+    c.vars.Intern(name);
+  }
+  out.order = std::move(seen);
+  return out;
+}
+
+std::string PlanCacheStats::ToString() const {
+  std::ostringstream oss;
+  oss << "plan_cache_hits=" << hits << " plan_cache_misses=" << misses
+      << " plan_cache_invalidations=" << invalidations
+      << " plan_cache_entries=" << entries;
+  return oss.str();
+}
+
+void PlanCache::SyncGenerationLocked(uint64_t generation) {
+  if (generation == generation_) return;
+  if (!entries_.empty()) {
+    entries_.clear();
+    ++stats_.invalidations;
+  }
+  generation_ = generation;
+}
+
+std::shared_ptr<void> PlanCache::LookupErased(const std::string& key,
+                                              uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SyncGenerationLocked(generation);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void PlanCache::InsertErased(const std::string& key, uint64_t generation,
+                             std::shared_ptr<void> value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SyncGenerationLocked(generation);
+  if (entries_.size() >= kMaxEntries && entries_.count(key) == 0) {
+    entries_.clear();  // capacity backstop: flush rather than grow unbounded
+    ++stats_.invalidations;
+  }
+  entries_[key] = std::move(value);
+}
+
+void PlanCache::NoteReuse(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.hits += n;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PlanCacheStats out = stats_;
+  out.entries = entries_.size();
+  return out;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!entries_.empty()) {
+    entries_.clear();
+    ++stats_.invalidations;  // every whole-cache flush is counted
+  }
+}
+
+}  // namespace paraquery

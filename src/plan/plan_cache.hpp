@@ -1,0 +1,135 @@
+// Program-wide plan cache: compiled plans keyed by a renaming-invariant
+// query signature plus the database's data generation.
+//
+// The fixed-query regime of the paper makes per-query compilation (S_j
+// materialization, GYO/join-tree construction, per-column statistics, plan
+// node building) a constant — but on small-data/many-query workloads that
+// constant dominates (Durand–Grandjean; Mengel's survey). The cache removes
+// it: repeated conjunctive queries, UCQ disjuncts re-expanded across calls,
+// Datalog rule variants shared between programs, and — the headline — the
+// k^k per-coloring re-executions of one Theorem 2 residual plan all reuse
+// one compiled artifact.
+//
+// Keys are built from CanonicalCqSignature (moved here from eval/ucq.* — it
+// identifies queries up to variable renaming), namespaced by a short route
+// prefix ("cq-eval:", "cq-dec:", "cq-cyc:", "ineq:", "rule:") because each
+// route caches a different artifact type. Because signatures equate queries
+// that differ only in variable ids, cached plans are compiled from the
+// CANONICAL form of the query (CanonicalizeCq) so their attribute ids are
+// renaming-independent.
+//
+// Invalidation: every entry is stamped with the Database::generation() it
+// was compiled against. The first access under a newer generation flushes
+// the whole cache (mutations are rare; queries are many) and counts one
+// invalidation. The Engine owns one cache per database and threads it to
+// the evaluators through their options.
+//
+// Thread-safety: Lookup/Insert/stats are mutex-guarded (concurrent UCQ
+// disjuncts and Datalog rule firings share the cache). The cached ARTIFACTS
+// are not: a cached PhysicalPlan carries executor-written actual_rows, so a
+// given entry must not be executed by two threads at once. Within one
+// engine call that cannot happen (UCQ disjuncts are signature-deduplicated;
+// the Datalog engine clones rule plans per variant); across calls the
+// engine is sequential.
+#ifndef PARAQUERY_PLAN_PLAN_CACHE_H_
+#define PARAQUERY_PLAN_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "plan/plan.hpp"
+#include "query/conjunctive_query.hpp"
+
+namespace paraquery {
+
+/// Canonical text of a CQ with variables renamed to first-occurrence
+/// indexes: two queries map to the same string iff they are syntactically
+/// identical up to variable naming. Used to deduplicate UCQ disjuncts, as
+/// the plan-cache key, and by EXPLAIN's plan rendering. (Moved from
+/// eval/ucq.hpp when the cache made it a cross-evaluator concern.)
+std::string CanonicalCqSignature(const ConjunctiveQuery& cq);
+
+/// A query rewritten onto canonical variable ids (first occurrence over
+/// head, then body, then comparisons — the CanonicalCqSignature traversal),
+/// plus that signature. Plans compiled from `query` carry attribute ids
+/// that any renaming-equivalent original can reuse; `query.vars` keeps the
+/// original's variable names for rendering. Answer relations are unchanged
+/// by canonicalization (head terms keep their positions and constants).
+struct CanonicalCq {
+  std::string signature;
+  ConjunctiveQuery query;
+  /// order[canonical id] = original VarId (the renaming, for callers that
+  /// must rename satellite structures — e.g. an IneqFormula — consistently).
+  std::vector<VarId> order;
+};
+CanonicalCq CanonicalizeCq(const ConjunctiveQuery& q);
+
+/// Cumulative cache counters (engine lifetime, not per query).
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Whole-cache flushes: a database generation change, or the capacity
+  /// backstop (kMaxEntries) tripping on insert.
+  uint64_t invalidations = 0;
+  size_t entries = 0;
+
+  std::string ToString() const;
+};
+
+/// The cache proper: type-erased entries (each key prefix stores exactly one
+/// artifact type) stamped with the database generation they were built at.
+class PlanCache {
+ public:
+  /// Capacity backstop: entries hold data-sized artifacts (materialized S_j
+  /// inputs), so a long-lived engine over a static database receiving a
+  /// stream of DISTINCT queries must not grow without bound. Reaching the
+  /// cap flushes the whole cache (counted as an invalidation) — crude, but
+  /// bounded; a real LRU is a ROADMAP item.
+  static constexpr size_t kMaxEntries = 4096;
+
+  /// Returns the entry for `key` compiled at `generation`, or nullptr (a
+  /// counted miss). A generation older than `generation` flushes every
+  /// entry first and counts one invalidation.
+  template <typename T>
+  std::shared_ptr<T> Lookup(const std::string& key, uint64_t generation) {
+    return std::static_pointer_cast<T>(LookupErased(key, generation));
+  }
+
+  /// Stores `value` under `key` for `generation` (replacing any previous
+  /// entry). Insert does not change hit/miss counters.
+  template <typename T>
+  void Insert(const std::string& key, uint64_t generation,
+              std::shared_ptr<T> value) {
+    InsertErased(key, generation, std::move(value));
+  }
+
+  /// Credits `n` reuses of a compiled artifact that bypass Lookup — the
+  /// Theorem 2 driver compiles one residual plan and re-executes it per
+  /// coloring, which is the cache's headline win even on a cold cache.
+  void NoteReuse(uint64_t n);
+
+  PlanCacheStats stats() const;
+  void Clear();
+
+ private:
+  std::shared_ptr<void> LookupErased(const std::string& key,
+                                     uint64_t generation);
+  void InsertErased(const std::string& key, uint64_t generation,
+                    std::shared_ptr<void> value);
+  /// Flushes when `generation` moved past the cache's stamp. Caller holds
+  /// mutex_.
+  void SyncGenerationLocked(uint64_t generation);
+
+  mutable std::mutex mutex_;
+  uint64_t generation_ = 0;
+  std::unordered_map<std::string, std::shared_ptr<void>> entries_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_PLAN_PLAN_CACHE_H_

@@ -5,13 +5,81 @@
 
 namespace paraquery {
 
+Database::Database(const Database& o)
+    : dict_(o.dict_),
+      generation_(std::make_unique<uint64_t>(*o.generation_)),
+      relations_(o.relations_),
+      names_(o.names_),
+      index_(o.index_) {
+  // Relation's copy constructor deliberately drops mutation bindings (a
+  // copy is a view); a copied DATABASE owns its relations, so rebind them
+  // to the copy's own counter.
+  for (Relation& r : relations_) r.BindMutationCounter(generation_.get());
+}
+
+Database& Database::operator=(const Database& o) {
+  if (this == &o) return *this;
+  dict_ = o.dict_;
+  // Destroy the old relations BEFORE replacing the counter box: they are
+  // bound to it, and element-wise copy-assignment would Bump() through the
+  // freed pointer. Fresh elements copy-construct unbound and are rebound
+  // below. The new stamp moves past BOTH histories so plan-cache entries
+  // stamped under either old value can never match the new content.
+  relations_.clear();
+  generation_ =
+      std::make_unique<uint64_t>(std::max(*generation_, *o.generation_) + 1);
+  relations_ = o.relations_;
+  names_ = o.names_;
+  index_ = o.index_;
+  for (Relation& r : relations_) r.BindMutationCounter(generation_.get());
+  return *this;
+}
+
+Database::Database(Database&& o)
+    : dict_(std::move(o.dict_)),
+      generation_(std::move(o.generation_)),
+      relations_(std::move(o.relations_)),
+      names_(std::move(o.names_)),
+      index_(std::move(o.index_)) {
+  // Leave the source usable: an empty database with its own fresh counter
+  // (the old all-value Database had a safe moved-from state; keep that).
+  o.generation_ = std::make_unique<uint64_t>(1);
+}
+
+Database& Database::operator=(Database&& o) {
+  if (this == &o) return *this;
+  dict_ = std::move(o.dict_);
+  // Drop our relations before our counter box: Relation destructors never
+  // touch their binding, but keeping the teardown ordered costs nothing.
+  uint64_t old_generation = *generation_;
+  relations_.clear();
+  generation_ = std::move(o.generation_);
+  relations_ = std::move(o.relations_);
+  names_ = std::move(o.names_);
+  index_ = std::move(o.index_);
+  o.generation_ = std::make_unique<uint64_t>(1);
+  // Like copy-assignment: move past BOTH histories, or a plan cache stamped
+  // with this database's old generation could coincide with the adopted
+  // counter and serve plans compiled over the replaced contents. Written
+  // through the adopted box so the moved-in relations stay bound to it.
+  *generation_ = std::max(old_generation, *generation_) + 1;
+  return *this;
+}
+
 Result<RelId> Database::AddRelation(const std::string& name, size_t arity) {
   if (index_.count(name) != 0) {
     return Status::AlreadyExists(
         internal::StrCat("relation '", name, "' already exists"));
   }
   RelId id = static_cast<RelId>(relations_.size());
+  ++*generation_;
   relations_.emplace_back(arity);
+  // Stored relations report every content mutation to the database
+  // generation — even through retained Relation& handles. Relation moves
+  // deliberately do NOT carry the binding (an escaping relation must not
+  // point into this database's lifetime), so vector growth strands it on
+  // relocated elements: rebind them all (relation counts are tiny).
+  for (Relation& r : relations_) r.BindMutationCounter(generation_.get());
   names_.push_back(name);
   index_.emplace(name, id);
   return id;

@@ -3,6 +3,7 @@
 #ifndef PARAQUERY_RELATIONAL_DATABASE_H_
 #define PARAQUERY_RELATIONAL_DATABASE_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -20,6 +21,17 @@ using RelId = int;
 /// In-memory relational database instance.
 class Database {
  public:
+  Database() = default;
+  // The generation counter lives behind a stable heap pointer the stored
+  // relations are bound to, so moving a Database keeps the bindings valid
+  // (they travel with the box). Copies get their own counter and rebind
+  // their relation copies to it; a moved-from Database is reset to a valid
+  // empty database (fresh counter), never a null one.
+  Database(const Database& o);
+  Database& operator=(const Database& o);
+  Database(Database&& o);
+  Database& operator=(Database&& o);
+
   /// Creates an empty relation; fails with AlreadyExists on duplicate name.
   Result<RelId> AddRelation(const std::string& name, size_t arity);
 
@@ -29,6 +41,10 @@ class Database {
   bool HasRelation(const std::string& name) const;
 
   size_t relation_count() const { return relations_.size(); }
+  /// Stored relations carry the database's generation counter bound as
+  /// their mutation hook (Relation::BindMutationCounter), so any content
+  /// mutation — including through a RETAINED `Relation&` handle — bumps
+  /// generation() and invalidates every cached artifact keyed by it.
   Relation& relation(RelId id) { return relations_[id]; }
   const Relation& relation(RelId id) const { return relations_[id]; }
   const std::string& relation_name(RelId id) const { return names_[id]; }
@@ -52,8 +68,18 @@ class Database {
   /// plus one per relation so empty databases have nonzero size.
   size_t SizeMeasure() const;
 
+  /// Monotone data-version stamp: bumped by AddRelation and by every
+  /// content mutation of a stored relation (the relations carry it as
+  /// their bound mutation counter, so mutations through retained handles
+  /// count too). Query results are a pure function of (query, generation),
+  /// which is what lets plan caches key compiled artifacts by it.
+  /// Dictionary interning does NOT bump: new string codes never change
+  /// existing rows.
+  uint64_t generation() const { return *generation_; }
+
  private:
   Dictionary dict_;
+  std::unique_ptr<uint64_t> generation_ = std::make_unique<uint64_t>(1);
   std::vector<Relation> relations_;
   std::vector<std::string> names_;
   std::unordered_map<std::string, RelId> index_;

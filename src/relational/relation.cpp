@@ -27,24 +27,28 @@ void Relation::Add(std::span<const Value> row) {
   if (arity_ == 0) {
     ++zero_ary_rows_;
     sorted_ = false;
+    Bump();
     return;
   }
   std::vector<Value>& values = MutableValues();
   values.insert(values.end(), row.begin(), row.end());
   Sync();
   sorted_ = false;
+  Bump();
 }
 
 void Relation::AddEmptyRow() {
   PQ_DCHECK(arity_ == 0, "AddEmptyRow requires arity 0");
   ++zero_ary_rows_;
   sorted_ = false;
+  Bump();
 }
 
 void Relation::SortAndDedup() {
   if (arity_ == 0) {
     zero_ary_rows_ = zero_ary_rows_ > 0 ? 1 : 0;
     sorted_ = true;
+    Bump();
     return;
   }
   size_t n = size();
@@ -69,12 +73,14 @@ void Relation::SortAndDedup() {
   }
   ReplaceValues(std::move(out));
   sorted_ = true;
+  Bump();
 }
 
 void Relation::HashDedup() {
   if (arity_ == 0) {
     zero_ary_rows_ = zero_ary_rows_ > 0 ? 1 : 0;
     sorted_ = true;
+    Bump();
     return;
   }
   if (sorted_) return;  // already deduplicated (and sorted)
@@ -86,6 +92,7 @@ void Relation::HashDedup() {
   if (set.size() != n) {
     block_ = std::move(set.TakeRelation().block_);
     Sync();
+    Bump();
   }
   sorted_ = size() <= 1;
 }
@@ -148,6 +155,7 @@ void Relation::Clear() {
   Sync();
   zero_ary_rows_ = 0;
   sorted_ = false;
+  Bump();
 }
 
 std::string Relation::ToString() const {

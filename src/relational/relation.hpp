@@ -17,6 +17,7 @@
 #ifndef PARAQUERY_RELATIONAL_RELATION_H_
 #define PARAQUERY_RELATIONAL_RELATION_H_
 
+#include <cstdint>
 #include <initializer_list>
 #include <memory>
 #include <mutex>
@@ -75,6 +76,65 @@ class Relation {
   explicit Relation(size_t arity) : arity_(arity), block_(EmptyBlock()) {
     Sync();
   }
+
+  // Copying produces an independent VIEW: it shares rows but never the
+  // mutation counter — a view's copy-on-write mutations change its own
+  // content, not the bound owner's. Copy-assignment, by contrast, REPLACES
+  // this relation's content, so a bound target reports the mutation.
+  // Moves NEVER transfer the binding: a relation moved out of a Database
+  // slot must not carry a pointer into the Database's lifetime (its later
+  // mutations are its own business), while the emptied source stays bound
+  // and reports the theft. Database rebinds its elements after vector
+  // growth, the one place relocation would otherwise strand bindings.
+  Relation(const Relation& o)
+      : arity_(o.arity_),
+        block_(o.block_),
+        base_(o.base_),
+        nvalues_(o.nvalues_),
+        zero_ary_rows_(o.zero_ary_rows_),
+        sorted_(o.sorted_) {}
+  Relation& operator=(const Relation& o) {
+    arity_ = o.arity_;
+    block_ = o.block_;
+    base_ = o.base_;
+    nvalues_ = o.nvalues_;
+    zero_ary_rows_ = o.zero_ary_rows_;
+    sorted_ = o.sorted_;
+    Bump();
+    return *this;
+  }
+  Relation(Relation&& o) noexcept
+      : arity_(o.arity_),
+        block_(std::move(o.block_)),
+        base_(o.base_),
+        nvalues_(o.nvalues_),
+        zero_ary_rows_(o.zero_ary_rows_),
+        sorted_(o.sorted_) {
+    o.block_ = EmptyBlock();
+    o.Sync();
+    o.zero_ary_rows_ = 0;
+    o.Bump();  // the source was emptied (a content change where bound)
+  }
+  Relation& operator=(Relation&& o) noexcept {
+    arity_ = o.arity_;
+    block_ = std::move(o.block_);
+    base_ = o.base_;
+    nvalues_ = o.nvalues_;
+    zero_ary_rows_ = o.zero_ary_rows_;
+    sorted_ = o.sorted_;
+    o.block_ = EmptyBlock();
+    o.Sync();
+    o.zero_ary_rows_ = 0;
+    o.Bump();  // source emptied
+    Bump();    // this relation's content replaced
+    return *this;
+  }
+
+  /// Binds a mutation counter (Database::generation): every content
+  /// mutation THROUGH THIS RELATION — including via a retained `Relation&`
+  /// handle — increments it, which is what invalidates plan caches.
+  /// Copies (zero-copy views) do not inherit the binding.
+  void BindMutationCounter(uint64_t* counter) { on_mutate_ = counter; }
 
   /// Wraps a prefilled row-major buffer (`data.size()` must be a multiple of
   /// `arity`; arity 0 is not supported here). Used by operators that emit
@@ -205,6 +265,12 @@ class Relation {
     block_->values.insert(block_->values.end(), row.begin(), row.end());
     Sync();
     sorted_ = false;
+    Bump();
+  }
+
+  /// Reports a content mutation to the bound counter (no-op when unbound).
+  void Bump() {
+    if (on_mutate_ != nullptr) ++*on_mutate_;
   }
 
   friend class RowHashSet;
@@ -215,6 +281,9 @@ class Relation {
   size_t nvalues_ = 0;               // cached block_->values.size()
   size_t zero_ary_rows_ = 0;         // row count for arity-0 relations
   bool sorted_ = false;
+  /// Bound mutation counter (Database::generation) or null. Not copied to
+  /// views; transferred by moves.
+  uint64_t* on_mutate_ = nullptr;
 };
 
 }  // namespace paraquery

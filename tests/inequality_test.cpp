@@ -5,6 +5,7 @@
 #include "eval/inequality.hpp"
 #include "eval/naive.hpp"
 #include "graph/generators.hpp"
+#include "query/ineq_formula.hpp"
 #include "query/parser.hpp"
 
 namespace paraquery {
@@ -244,6 +245,169 @@ TEST_P(IneqPropertyTest, MatchesNaiveOnRandomAcyclicNeqQueries) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IneqPropertyTest,
                          ::testing::Range<uint64_t>(1, 61));
+
+// ---------------------------------------------------------------------------
+// Plan lowering vs the hand-rolled oracle: since the plan-cache PR, the
+// default entry points execute every coloring's residual query through the
+// shared plan executor; the historical per-coloring relational-algebra code
+// survives as the *Oracle entry points. Same options + same seed = same
+// coloring family, so the results must be BYTE-identical (both paths sort +
+// dedup their output).
+// ---------------------------------------------------------------------------
+
+// Byte-level equality: same arity, same row bytes in the same order.
+void ExpectByteIdentical(const Relation& a, const Relation& b,
+                         const std::string& context) {
+  ASSERT_EQ(a.arity(), b.arity()) << context;
+  ASSERT_EQ(a.size(), b.size()) << context;
+  EXPECT_TRUE(a.data() == b.data()) << context;
+}
+
+class IneqLoweringDifferentialTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IneqLoweringDifferentialTest, PlanMatchesOracleByteForByte) {
+  Rng rng(GetParam() * 7919 + 13);
+  Database db;
+  const char* names[] = {"R0", "R1"};
+  for (const char* name : names) {
+    RelId id = db.AddRelation(name, 2).ValueOrDie();
+    int rows = 8 + static_cast<int>(rng.Below(20));
+    for (int i = 0; i < rows; ++i) {
+      db.relation(id).Add({rng.Range(0, 6), rng.Range(0, 6)});
+    }
+  }
+  // Random acyclic tree query with a random mix of I1/I2/var-const ≠ atoms
+  // (same generator family as the MatchesNaive suite).
+  ConjunctiveQuery q;
+  int num_atoms = 2 + static_cast<int>(rng.Below(4));
+  std::vector<VarId> pool = {q.vars.Intern("v0")};
+  for (int i = 0; i < num_atoms; ++i) {
+    VarId shared = pool[rng.Below(pool.size())];
+    VarId fresh = q.vars.Intern(std::string("v") + std::to_string(i + 1));
+    Atom a{names[rng.Below(2)], {Term::Var(shared), Term::Var(fresh)}};
+    if (rng.Chance(0.5)) std::swap(a.terms[0], a.terms[1]);
+    q.body.push_back(a);
+    pool.push_back(fresh);
+  }
+  int num_neq = 1 + static_cast<int>(rng.Below(4));
+  for (int i = 0; i < num_neq; ++i) {
+    VarId x = pool[rng.Below(pool.size())];
+    if (rng.Chance(0.2)) {
+      q.comparisons.push_back(
+          {CompareOp::kNeq, Term::Var(x), Term::Const(rng.Range(0, 6))});
+    } else {
+      VarId y = pool[rng.Below(pool.size())];
+      if (x == y) continue;
+      q.comparisons.push_back({CompareOp::kNeq, Term::Var(x), Term::Var(y)});
+    }
+  }
+  q.head = {Term::Var(pool[0]), Term::Var(pool[pool.size() / 2])};
+  ASSERT_TRUE(q.IsAcyclic());
+
+  for (auto driver :
+       {IneqOptions::Driver::kCertified, IneqOptions::Driver::kMonteCarlo}) {
+    IneqOptions options;
+    options.driver = driver;
+    options.mc_error_exponent = 2.0;
+    options.seed = GetParam();
+    auto planned = IneqEvaluate(db, q, options);
+    auto oracle = IneqEvaluateOracle(db, q, options);
+    ASSERT_TRUE(planned.ok()) << planned.status();
+    ASSERT_TRUE(oracle.ok()) << oracle.status();
+    ExpectByteIdentical(planned.value(), oracle.value(), q.ToString());
+    EXPECT_EQ(IneqNonempty(db, q, options).ValueOrDie(),
+              IneqNonemptyOracle(db, q, options).ValueOrDie());
+    // A warm plan cache must not change a single byte either.
+    PlanCache cache;
+    options.plan_cache = &cache;
+    for (int round = 0; round < 2; ++round) {
+      auto cached = IneqEvaluate(db, q, options);
+      ASSERT_TRUE(cached.ok()) << cached.status();
+      ExpectByteIdentical(cached.value(), oracle.value(),
+                          q.ToString() + " (cached)");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IneqLoweringDifferentialTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+TEST(IneqTest, FormulaModePlanMatchesOracle) {
+  Rng rng(4242);
+  Database db;
+  RelId r = db.AddRelation("R", 2).ValueOrDie();
+  for (int i = 0; i < 40; ++i) {
+    db.relation(r).Add({rng.Range(0, 5), rng.Range(0, 5)});
+  }
+  // Acyclic chain body, ∧/∨ formula over its variables + one constant.
+  auto q = ParseConjunctive("ans(a, c) :- R(a, b), R(b, c), R(c, d).")
+               .ValueOrDie();
+  IneqFormula phi;
+  int ab = phi.AddAtom({CompareOp::kNeq, Term::Var(0), Term::Var(1)});
+  int cd = phi.AddAtom({CompareOp::kNeq, Term::Var(2), Term::Var(3)});
+  int ac3 = phi.AddAtom({CompareOp::kNeq, Term::Var(0), Term::Const(3)});
+  phi.root = phi.AddAnd({phi.AddOr({ab, cd}), phi.AddOr({cd, ac3})});
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    IneqOptions options;
+    options.seed = seed;
+    auto planned = IneqFormulaEvaluate(db, q, phi, options);
+    auto oracle = IneqFormulaEvaluateOracle(db, q, phi, options);
+    ASSERT_TRUE(planned.ok()) << planned.status();
+    ASSERT_TRUE(oracle.ok()) << oracle.status();
+    ExpectByteIdentical(planned.value(), oracle.value(), "formula mode");
+    EXPECT_EQ(IneqFormulaNonempty(db, q, phi, options).ValueOrDie(),
+              IneqFormulaNonemptyOracle(db, q, phi, options).ValueOrDie());
+    // Cached formula compilation: same bytes again.
+    PlanCache cache;
+    options.plan_cache = &cache;
+    auto cached = IneqFormulaEvaluate(db, q, phi, options);
+    ASSERT_TRUE(cached.ok()) << cached.status();
+    ExpectByteIdentical(cached.value(), oracle.value(), "formula cached");
+  }
+}
+
+TEST(IneqTest, LoweredPathReportsPlanStats) {
+  Database db = GraphDb(GnpRandom(20, 0.3, 3));
+  auto q = ParseConjunctive("ans(a) :- E(a, b), E(b, c), a != c.")
+               .ValueOrDie();
+  IneqStats stats;
+  PlanStats plan;
+  auto out = IneqEvaluate(db, q, Certified(), &stats, &plan).ValueOrDie();
+  EXPECT_GT(plan.joins + plan.semijoins, 0u);  // went through the executor
+  EXPECT_GT(plan.scans, 0u);
+  auto naive = NaiveEvaluateCq(db, q).ValueOrDie();
+  EXPECT_TRUE(out.EqualsAsSet(naive));
+}
+
+TEST(IneqTest, LoweredPathHonorsResourceLimits) {
+  // A tight per-operator row cap must abort the plan execution, exactly as
+  // the engine-level unified limits promise.
+  Database db = GraphDb(CompleteGraph(14));
+  auto q = ParseConjunctive(
+               "ans(a, d) :- E(a, b), E(b, c), E(c, d), a != d.")
+               .ValueOrDie();
+  IneqOptions options;
+  options.limits.max_rows = 10;
+  EXPECT_EQ(IneqEvaluate(db, q, options).status().code(),
+            StatusCode::kResourceExhausted);
+  options.limits.max_rows = 0;
+  options.limits.max_steps = 20;
+  EXPECT_EQ(IneqEvaluate(db, q, options).status().code(),
+            StatusCode::kResourceExhausted);
+  options.limits.max_steps = 0;
+  EXPECT_TRUE(IneqEvaluate(db, q, options).ok());
+}
+
+TEST(IneqTest, PlanTextRendersLoweredDag) {
+  Database db = GraphDb(PathGraph(5));
+  auto q = ParseConjunctive("g(e) :- E(e, p), E(e, q), p != q.").ValueOrDie();
+  std::string text = IneqPlanText(db, q).ValueOrDie();
+  EXPECT_NE(text.find("Theorem 2 color coding"), std::string::npos);
+  EXPECT_NE(text.find("HashJoin"), std::string::npos);
+  EXPECT_NE(text.find("p'"), std::string::npos);  // primed hash column
+  EXPECT_NE(text.find("!="), std::string::npos);  // the I1 select
+}
 
 // Deeper trees with several I1 inequalities crossing subtrees.
 TEST(IneqTest, DeepTreeCrossSubtreeInequalities) {

@@ -266,5 +266,209 @@ TEST(DatabaseTest, SchemaReflectsRelations) {
   EXPECT_EQ(schema.MaxArity(), 3u);
 }
 
+TEST(DatabaseTest, GenerationBumpsOnMutationAndAddRelation) {
+  Database db;
+  uint64_t g0 = db.generation();
+  RelId r = db.AddRelation("R", 2).ValueOrDie();
+  EXPECT_GT(db.generation(), g0);
+  uint64_t g1 = db.generation();
+  db.relation(r).Add({1, 2});
+  EXPECT_GT(db.generation(), g1);
+  uint64_t g2 = db.generation();
+  // Reads never bump — not even through a mutable handle: cached plans
+  // stay valid across pure queries.
+  (void)db.relation(r).size();
+  const Database& cdb = db;
+  (void)cdb.FindRelation("R");
+  EXPECT_EQ(db.generation(), g2);
+  // The load-bearing case: a RETAINED mutable handle still reports its
+  // mutations (the stored relation carries the database's counter), so a
+  // cached plan can never serve stale rows.
+  Relation& handle = db.relation(r);
+  handle.Add({3, 4});
+  EXPECT_GT(db.generation(), g2);
+  uint64_t g3 = db.generation();
+  handle.Clear();
+  EXPECT_GT(db.generation(), g3);
+  uint64_t g4 = db.generation();
+  // Views copied out of the database are NOT bound: their copy-on-write
+  // mutations do not change the stored relation and must not invalidate.
+  Relation view = db.relation(r);
+  EXPECT_EQ(db.generation(), g4);
+  view.Add({7, 8});
+  EXPECT_EQ(db.generation(), g4);
+  // A moved Database keeps valid bindings (the counter box travels), and
+  // the moved-from object is a usable empty database, not a nulled husk.
+  Database moved = std::move(db);
+  uint64_t g5 = moved.generation();
+  moved.relation(r).Add({5, 6});
+  EXPECT_GT(moved.generation(), g5);
+  EXPECT_EQ(db.relation_count(), 0u);
+  EXPECT_EQ(db.generation(), 1u);
+  RelId r2 = db.AddRelation("S", 1).ValueOrDie();
+  db.relation(r2).Add({1});
+  EXPECT_GT(db.generation(), 1u);
+  Database copy_of_moved_from = db;  // must not dereference a null counter
+  EXPECT_EQ(copy_of_moved_from.relation_count(), 1u);
+}
+
+TEST(DatabaseTest, CopyAssignmentRebindsAndAdvancesGeneration) {
+  // Copy-assignment onto a database with bound relations must not write
+  // through the replaced counter (historically a use-after-free), and the
+  // new stamp must move past BOTH histories so plan caches keyed by the
+  // target's old generation can never serve the old content.
+  Database a;
+  RelId ar = a.AddRelation("R", 1).ValueOrDie();
+  a.relation(ar).Add({1});
+  a.relation(ar).Add({2});  // a's generation runs ahead
+  uint64_t a_gen = a.generation();
+  Database b;
+  RelId br = b.AddRelation("R", 1).ValueOrDie();
+  b.relation(br).Add({9});
+  a = b;
+  EXPECT_GT(a.generation(), a_gen);
+  EXPECT_EQ(a.relation(ar).size(), 1u);
+  // The copy's relations are rebound to ITS counter: mutations through the
+  // copy bump the copy, not the source.
+  uint64_t b_gen = b.generation();
+  uint64_t a_gen2 = a.generation();
+  a.relation(ar).Add({7});
+  EXPECT_GT(a.generation(), a_gen2);
+  EXPECT_EQ(b.generation(), b_gen);
+}
+
+TEST(DatabaseTest, MoveAssignmentAdvancesPastBothHistories) {
+  // Like copy-assignment: adopting a source whose generation happens to
+  // coincide with the target's would let caches stamped with the target's
+  // old generation serve plans over the replaced contents.
+  Database a;
+  RelId ar = a.AddRelation("R", 1).ValueOrDie();
+  for (Value v = 0; v < 5; ++v) a.relation(ar).Add({v});
+  uint64_t a_gen = a.generation();
+  Database b;
+  RelId br = b.AddRelation("R", 1).ValueOrDie();
+  b.relation(br).Add({42});
+  a = std::move(b);
+  EXPECT_GT(a.generation(), a_gen);
+  EXPECT_EQ(a.relation(ar).size(), 1u);
+  uint64_t g = a.generation();
+  a.relation(ar).Add({7});  // adopted relations stay bound
+  EXPECT_GT(a.generation(), g);
+}
+
+TEST(DatabaseTest, MovedOutRelationLeavesSlotBoundAndEscapesCleanly) {
+  // Stealing a stored relation empties the slot (a content change: bumped);
+  // the slot stays bound, while the STOLEN relation escapes UNBOUND — it
+  // must be safe to mutate even after the database is gone (a carried
+  // binding would dangle into the dead database's counter).
+  Relation stolen(1);
+  {
+    Database db;
+    RelId r = db.AddRelation("R", 1).ValueOrDie();
+    db.relation(r).Add({1});
+    uint64_t g0 = db.generation();
+    stolen = std::move(db.relation(r));
+    EXPECT_GT(db.generation(), g0);  // the slot was emptied
+    EXPECT_EQ(db.relation(r).size(), 0u);
+    uint64_t g1 = db.generation();
+    db.relation(r).Add({2});  // the emptied slot still reports
+    EXPECT_GT(db.generation(), g1);
+    uint64_t g2 = db.generation();
+    stolen.Add({3});  // escaped: its mutations are its own
+    EXPECT_EQ(db.generation(), g2);
+  }
+  stolen.Add({4});  // database destroyed: must not touch freed memory
+  EXPECT_EQ(stolen.size(), 3u);
+}
+
+// --- Relation::DistinctCount invalidation audit -------------------------
+// The counts cache on the shared RowBlock; every mutation path must either
+// clear them (in-place mutation of exclusive storage) or land on a block
+// without them (copy-on-write clone, storage replacement), so zero-copy
+// views can never read counts computed for different rows.
+
+TEST(RelationTest, DistinctCountComputesAndCaches) {
+  Relation r(2);
+  r.Add({1, 10});
+  r.Add({1, 20});
+  r.Add({2, 10});
+  EXPECT_EQ(r.DistinctCount(0), 2u);
+  EXPECT_EQ(r.DistinctCount(1), 2u);
+  r.Add({3, 30});  // in-place mutation must invalidate the cached counts
+  EXPECT_EQ(r.DistinctCount(0), 3u);
+  EXPECT_EQ(r.DistinctCount(1), 3u);
+}
+
+TEST(RelationTest, DistinctCountSurvivesCowSplit) {
+  // View and original share one block; counts computed through the view
+  // must stay correct for the view after the ORIGINAL is COW-mutated, and
+  // the original must recompute fresh counts — never serve the view's.
+  NamedRelation orig({0, 1});
+  orig.rel().Add({1, 10});
+  orig.rel().Add({2, 10});
+  NamedRelation view = orig.WithAttrs({7, 9});
+  ASSERT_TRUE(view.rel().SharesStorageWith(orig.rel()));
+  EXPECT_EQ(view.rel().DistinctCount(1), 1u);  // cached on the shared block
+  orig.rel().Add({3, 30});                     // COW: orig detaches
+  EXPECT_FALSE(view.rel().SharesStorageWith(orig.rel()));
+  EXPECT_EQ(orig.rel().DistinctCount(1), 2u);  // fresh counts, not stale 1
+  EXPECT_EQ(view.rel().DistinctCount(1), 1u);  // view's rows are unchanged
+  EXPECT_EQ(view.rel().DistinctCount(0), 2u);
+}
+
+TEST(RelationTest, DistinctCountViewMutationDetachesFromSharedCache) {
+  // The mirror case: the VIEW mutates after counts were cached by the
+  // original; the original must keep serving correct values.
+  Relation a(1);
+  a.Add({1});
+  a.Add({2});
+  Relation b = a;
+  EXPECT_EQ(a.DistinctCount(0), 2u);
+  b.Add({2});  // b detaches; its clone starts without cached stats
+  EXPECT_EQ(b.DistinctCount(0), 2u);  // {1,2,2}
+  b.Add({5});
+  EXPECT_EQ(b.DistinctCount(0), 3u);
+  EXPECT_EQ(a.DistinctCount(0), 2u);
+}
+
+TEST(RelationTest, DistinctCountAfterDedupAndClear) {
+  Relation r(1);
+  r.Add({4});
+  r.Add({4});
+  r.Add({9});
+  EXPECT_EQ(r.DistinctCount(0), 2u);
+  r.SortAndDedup();  // replaces storage; counts must not go stale
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.DistinctCount(0), 2u);
+  r.Clear();
+  EXPECT_EQ(r.DistinctCount(0), 0u);
+  r.Add({7});
+  EXPECT_EQ(r.DistinctCount(0), 1u);
+  // HashDedup on an already-duplicate-free relation keeps storage AND the
+  // (still valid) counts.
+  Relation s(1);
+  s.Add({1});
+  s.Add({2});
+  EXPECT_EQ(s.DistinctCount(0), 2u);
+  s.HashDedup();
+  EXPECT_EQ(s.DistinctCount(0), 2u);
+}
+
+TEST(RelationTest, DistinctCountStaleAliasCannotPoisonLaterReaders) {
+  // A chain of relabeled views over one materialization: counts cached by
+  // any of them serve all of them, and dropping the original leaves the
+  // survivors with a consistent cache.
+  NamedRelation base({0, 1});
+  for (Value v = 0; v < 10; ++v) base.rel().Add({v % 2, v});
+  NamedRelation v1 = base.WithAttrs({3, 4});
+  NamedRelation v2 = v1.WithAttrs({5, 6});
+  EXPECT_EQ(v2.rel().DistinctCount(0), 2u);
+  EXPECT_EQ(base.rel().DistinctCount(0), 2u);  // served from the same cache
+  v1.rel().Add({42, 42});  // v1 detaches with fresh stats
+  EXPECT_EQ(v1.rel().DistinctCount(0), 3u);
+  EXPECT_EQ(v2.rel().DistinctCount(0), 2u);
+  EXPECT_EQ(base.rel().DistinctCount(0), 2u);
+}
+
 }  // namespace
 }  // namespace paraquery

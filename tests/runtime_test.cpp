@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
 #include "core/engine.hpp"
+#include "plan/executor.hpp"
 #include "query/parser.hpp"
 #include "relational/ops.hpp"
 #include "relational/row_index.hpp"
@@ -290,6 +291,156 @@ TEST(RuntimeLimitsTest, DatalogRowLimitFiresUnderConcurrency) {
       "tc(x, y) :- E(x, y).\n"
       "tc(x, y) :- E(x, z), tc(z, y).\n");
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+// The speculative-limits accounting fix: the right subtree of a join runs
+// speculatively under a scheduler before the left side's emptiness is
+// known, but its rows are charged TENTATIVELY and dropped when the
+// short-circuit fires — so a query that passes limits at threads=1 never
+// fails them at threads=N.
+TEST(RuntimeLimitsTest, SpeculativeWorkIsNotChargedOnShortCircuit) {
+  // Plan: HashJoin( Scan(empty), HashJoin(Scan(B1), Scan(B2)) ).
+  // Sequentially the big right join never runs (left is empty) and the
+  // execution produces 0 rows; speculatively it produces ~400 rows, far
+  // past max_steps = 50.
+  NamedRelation empty({0});
+  NamedRelation b1({1, 2});
+  NamedRelation b2({2, 3});
+  for (Value v = 0; v < 20; ++v) {
+    for (Value w = 0; w < 20; ++w) b1.rel().Add({v, w});
+    b2.rel().Add({v, v});
+  }
+  // The Project above the join accounts AFTER the short-circuit: before the
+  // fix it saw the speculative 400 rows in the shared budget and errored.
+  auto make_plan = [&] {
+    return MakeProject(
+        MakeHashJoin(
+            MakeScan(0, {0}, "empty", 0.0),
+            MakeHashJoin(MakeScan(1, {1, 2}, "B1", 400.0),
+                         MakeScan(2, {2, 3}, "B2", 20.0))),
+        {0}, /*dedup=*/false);
+  };
+  std::vector<const NamedRelation*> inputs = {&empty, &b1, &b2};
+  ResourceLimits limits;
+  limits.max_steps = 50;
+
+  // threads = 1: the short-circuit skips the right join entirely.
+  {
+    PlanNodePtr plan = make_plan();
+    ExecContext ctx{inputs, limits, nullptr, RuntimeOptions{}};
+    auto result = ExecutePlan(*plan, ctx);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result.value().empty());
+  }
+  // threads = 4: the right join runs speculatively; its ~400 rows must be
+  // rolled back, not charged (this failed before the accounting fix).
+  TaskScheduler scheduler(4);
+  for (int rep = 0; rep < 10; ++rep) {
+    PlanNodePtr plan = make_plan();
+    RuntimeOptions runtime{&scheduler, /*morsel_rows=*/64};
+    PlanStats stats;
+    ExecContext ctx{inputs, limits, &stats, runtime};
+    auto result = ExecutePlan(*plan, ctx);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result.value().empty());
+  }
+}
+
+TEST(RuntimeLimitsTest, CommittedSpeculativeWorkStillCounts) {
+  // Same shape but the left side is NONEMPTY: the speculative subtree's
+  // rows must be committed once consumed, and the limit must fire at every
+  // width (the fix must not turn limits off).
+  NamedRelation left({0, 1});
+  left.rel().Add({0, 0});
+  NamedRelation b1({1, 2});
+  NamedRelation b2({2, 3});
+  for (Value v = 0; v < 20; ++v) {
+    for (Value w = 0; w < 20; ++w) b1.rel().Add({v, w});
+    b2.rel().Add({v, v});
+  }
+  auto make_plan = [&] {
+    return MakeHashJoin(
+        MakeScan(0, {0, 1}, "L", 1.0),
+        MakeHashJoin(MakeScan(1, {1, 2}, "B1", 400.0),
+                     MakeScan(2, {2, 3}, "B2", 20.0)));
+  };
+  std::vector<const NamedRelation*> inputs = {&left, &b1, &b2};
+  ResourceLimits limits;
+  limits.max_steps = 50;
+  {
+    PlanNodePtr plan = make_plan();
+    ExecContext ctx{inputs, limits, nullptr, RuntimeOptions{}};
+    EXPECT_EQ(ExecutePlan(*plan, ctx).status().code(),
+              StatusCode::kResourceExhausted);
+  }
+  TaskScheduler scheduler(4);
+  {
+    PlanNodePtr plan = make_plan();
+    RuntimeOptions runtime{&scheduler, /*morsel_rows=*/64};
+    ExecContext ctx{inputs, limits, nullptr, runtime};
+    EXPECT_EQ(ExecutePlan(*plan, ctx).status().code(),
+              StatusCode::kResourceExhausted);
+  }
+}
+
+// Engine-level acceptance shape: a query whose plan contains an empty-left
+// join with an expensive sibling passes tight limits at threads=1, so it
+// must pass at threads=4 as well.
+TEST(RuntimeLimitsTest, PassingQueryPassesAtAnyWidth) {
+  Database db;
+  RelId a = db.AddRelation("A", 2).ValueOrDie();
+  RelId big = db.AddRelation("BIG", 2).ValueOrDie();
+  (void)a;  // A stays empty
+  for (Value v = 0; v < 40; ++v) {
+    for (Value w = 0; w < 10; ++w) db.relation(big).Add({v, w});
+  }
+  // Cyclic-planner route (the order comparison forces it; ≠ alone would
+  // route to color coding, which legitimately joins the BIG atoms before
+  // consulting A): greedy order starts from the smallest (empty) atom, so
+  // sequential execution is all short-circuit.
+  auto q = ParseConjunctive(
+               "ans(x) :- A(x, y), BIG(y, z), BIG(z, w), x < w.")
+               .ValueOrDie();
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    EngineOptions options;
+    options.threads = threads;
+    options.morsel_rows = 16;
+    options.limits.max_steps = 30;
+    Engine engine(db, options);
+    auto result = engine.Run(q);
+    ASSERT_TRUE(result.ok())
+        << "threads=" << threads << ": " << result.status();
+    EXPECT_TRUE(result.value().empty());
+  }
+}
+
+// Shared-DAG stress for the speculative accounting: the Theorem 2 eval DAG
+// shares its pass-1 nodes between the committed left spine and speculative
+// right subtrees, so a speculative budget error must never be cached into a
+// node a committed consumer will read (the executor recomputes instead).
+// Property: ANY max_steps that passes at threads=1 passes at threads=4.
+TEST(RuntimeLimitsTest, SharedNodeSpeculationCannotPoisonLimits) {
+  Database db = GraphDatabase(GnpRandom(60, 0.08, 9));
+  auto q = ParseConjunctive(
+               "ans(a, d) :- E(a, b), E(b, c), E(c, d), a != c, b != d.")
+               .ValueOrDie();
+  for (uint64_t steps : {uint64_t{30}, uint64_t{100}, uint64_t{400},
+                         uint64_t{2000}, uint64_t{20000}}) {
+    EngineOptions options;
+    options.threads = 1;
+    options.limits.max_steps = steps;
+    Engine sequential(db, options);
+    if (!sequential.Run(q).ok()) continue;  // fails sequentially too: fine
+    options.threads = 4;
+    options.morsel_rows = 16;
+    Engine parallel(db, options);
+    for (int rep = 0; rep < 5; ++rep) {
+      auto result = parallel.Run(q);
+      EXPECT_TRUE(result.ok())
+          << "max_steps=" << steps << " rep=" << rep << ": "
+          << result.status();
+    }
+  }
 }
 
 TEST(RuntimeLimitsTest, EngineSurvivesRepeatedErrorRuns) {

@@ -74,11 +74,13 @@ const char* kHelp =
     ".load NAME FILE | .rel NAME ARITY | .insert NAME v... | .rels |\n"
     ".dump NAME | .explain QUERY | .plan QUERY | .stats | .threads N |\n"
     ".help | .quit\n"
-    ".plan prints the physical plan without executing; .stats prints the\n"
+    ".plan prints the physical plan without executing (inequality queries\n"
+    "show the Theorem 2 color-coding plan); .stats prints the\n"
     "evaluator/plan counters of the previous query (incl. parallel tasks,\n"
-    "morsels, and wall time); .threads N sets the parallel runtime width\n"
-    "(1 = sequential, 0 = hardware concurrency) — successful results are\n"
-    "identical at any width.\n"
+    "morsels, wall time, and the cumulative plan_cache hit/miss/invalidation\n"
+    "counters — .insert and .load invalidate the cache); .threads N sets\n"
+    "the parallel runtime width (1 = sequential, 0 = hardware concurrency)\n"
+    "— successful results are identical at any width.\n"
     "Anything else is evaluated as a query (':-' rules or ':=' formulas).\n";
 
 }  // namespace

@@ -1,0 +1,239 @@
+// Hardened-execution benchmark with machine-readable JSON output: CI gates
+// the overhead of the always-on hardening plumbing (deadline/cancellation
+// polling at the check sites plus RowBlock memory accounting) and reports
+// how fast a deadline abort actually lands.
+//
+//   * cyclic_join / ucq_mix (from bench_parallel): each runs "baseline"
+//     (no deadline, no budget — the polling still exists but the
+//     QueryContext is null, the production default) against "hardened"
+//     (a generous deadline + memory budget armed, so every check site pays
+//     the full armed-path cost and every RowBlock is accounted). The CI
+//     gate requires hardened/baseline <= 1.05 on best-of times.
+//   * abort_latency: a multi-million-row join is given a deadline far
+//     shorter than its runtime; "seconds" reports the overshoot past the
+//     deadline (how long after the deadline the clean error surfaced).
+//
+// Output: a JSON array of
+// {"bench", "impl", "rows", "seconds", "output_rows", "rows_per_sec"}.
+//
+// Usage: bench_robustness [--quick] [--threads N]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/engine.hpp"
+#include "query/parser.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+namespace {
+
+struct Entry {
+  std::string bench, impl;
+  size_t rows = 0;
+  double seconds = 0;
+  size_t output_rows = 0;
+  double rows_per_sec = 0;
+};
+
+std::vector<Entry> g_entries;
+
+void ExpectIdentical(const char* bench, const Relation& reference,
+                     const Relation& candidate) {
+  if (reference.arity() == candidate.arity() &&
+      reference.size() == candidate.size() &&
+      reference.data() == candidate.data()) {
+    return;
+  }
+  std::fprintf(stderr, "FATAL: %s: output is not byte-identical\n", bench);
+  std::exit(1);
+}
+
+Engine MakeEngine(const Database& db, size_t threads, bool hardened) {
+  EngineOptions options;
+  options.threads = threads;
+  // Both impls pay identical planning: the comparison is check-site +
+  // accounting overhead, not cache effects.
+  options.use_plan_cache = false;
+  if (hardened) {
+    options.limits.max_wall_ms = 600000;     // 10 min: never trips
+    options.limits.max_bytes = 1ull << 40;   // 1 TiB: never trips
+  }
+  return Engine(db, options);
+}
+
+// One bench: the same parsed query through a baseline engine and a hardened
+// engine (generous limits, so the full armed cost is paid on every check
+// site and allocation, but nothing ever aborts). Answers must stay
+// byte-identical; interleaved best-of reps feed the overhead gate.
+template <typename Query>
+void RunBench(const std::string& name, const Database& db, const Query& q,
+              size_t rows, int reps, size_t threads) {
+  const std::string bench = name + "_t" + std::to_string(threads);
+  Engine baseline = MakeEngine(db, threads, /*hardened=*/false);
+  Engine hardened = MakeEngine(db, threads, /*hardened=*/true);
+  Relation reference = std::move(baseline.Run(q)).ValueOrDie();
+  Relation guarded = std::move(hardened.Run(q)).ValueOrDie();
+  ExpectIdentical(bench.c_str(), reference, guarded);
+  double best_base = 1e300, best_hard = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    {
+      Timer t;
+      reference = std::move(baseline.Run(q)).ValueOrDie();
+      best_base = std::min(best_base, t.Seconds());
+    }
+    {
+      Timer t;
+      guarded = std::move(hardened.Run(q)).ValueOrDie();
+      best_hard = std::min(best_hard, t.Seconds());
+    }
+  }
+  auto push = [&](const std::string& impl, double best, const Relation& out) {
+    g_entries.push_back(Entry{bench, impl, rows, best, out.size(),
+                              static_cast<double>(rows) / best});
+  };
+  push("baseline", best_base, reference);
+  push("hardened", best_hard, guarded);
+}
+
+// Shared workload shapes (seeds and queries match bench_parallel, so the
+// overhead numbers are comparable with the speedup numbers CI already
+// tracks).
+
+void BenchCyclicJoin(size_t scale, int reps, size_t threads) {
+  Rng rng(314159);
+  const Value domain = 2000;
+  Database db;
+  RelId a = db.AddRelation("A", 2).ValueOrDie();
+  RelId b = db.AddRelation("B", 2).ValueOrDie();
+  RelId c = db.AddRelation("C", 2).ValueOrDie();
+  auto fill = [&](RelId id, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      db.relation(id).Add(
+          {rng.Range(0, domain - 1), rng.Range(0, domain - 1)});
+    }
+  };
+  size_t na = 3 * scale, nb = 2 * scale, nc = 3 * scale;
+  fill(a, na);
+  fill(b, nb);
+  fill(c, nc);
+  auto q = ParseConjunctive("ans(x, y) :- B(y, z), C(z, x), A(x, y), x != z.")
+               .ValueOrDie();
+  RunBench("cyclic_join", db, q, na + nb + nc, reps, threads);
+}
+
+void BenchUcqMix(size_t scale, int reps, size_t threads) {
+  Rng rng(271828);
+  const Value domain = 1500;
+  Database db;
+  RelId a = db.AddRelation("A", 2).ValueOrDie();
+  RelId b = db.AddRelation("B", 2).ValueOrDie();
+  RelId c = db.AddRelation("C", 2).ValueOrDie();
+  auto fill = [&](RelId id, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      db.relation(id).Add(
+          {rng.Range(0, domain - 1), rng.Range(0, domain - 1)});
+    }
+  };
+  fill(a, scale);
+  fill(b, scale);
+  fill(c, scale);
+  auto q = ParsePositive(
+               "ans(x) := exists y . exists z . ((A(x, y) and B(y, z)) or "
+               "(B(x, y) and C(y, z)) or (A(x, y) and C(y, z)) or "
+               "(C(x, y) and A(y, z))).")
+               .ValueOrDie();
+  RunBench("ucq_mix", db, q, 3 * scale, reps, threads);
+}
+
+// abort_latency: arm a deadline a long-running join cannot meet; report how
+// far past the deadline the abort surfaced (best over reps). The
+// acceptance shape: within one scheduling quantum, i.e. milliseconds, not
+// the seconds the full join would take.
+void BenchAbortLatency(size_t scale, int reps, size_t threads) {
+  Rng rng(161803);
+  const Value domain = 500;  // dense: the triangle join goes superlinear
+  Database db;
+  RelId a = db.AddRelation("A", 2).ValueOrDie();
+  RelId b = db.AddRelation("B", 2).ValueOrDie();
+  auto fill = [&](RelId id, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      db.relation(id).Add(
+          {rng.Range(0, domain - 1), rng.Range(0, domain - 1)});
+    }
+  };
+  fill(a, scale);
+  fill(b, scale);
+  auto q = ParseConjunctive("ans(x, w) :- A(x, y), B(y, z), A(z, w).")
+               .ValueOrDie();
+  const uint64_t deadline_ms = 25;
+  EngineOptions options;
+  options.threads = threads;
+  options.use_plan_cache = false;
+  options.limits.max_wall_ms = deadline_ms;
+  Engine engine(db, options);
+  double best_overshoot = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    auto result = engine.Run(q);
+    double elapsed = t.Seconds();
+    if (result.ok()) {
+      std::fprintf(stderr,
+                   "FATAL: abort_latency workload finished before its "
+                   "deadline; grow the scale\n");
+      std::exit(1);
+    }
+    if (result.status().code() != StatusCode::kDeadlineExceeded) {
+      std::fprintf(stderr, "FATAL: abort_latency: unexpected status %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    best_overshoot = std::min(
+        best_overshoot,
+        std::max(0.0, elapsed - static_cast<double>(deadline_ms) / 1000.0));
+  }
+  g_entries.push_back(Entry{"abort_latency",
+                            "threads" + std::to_string(threads), scale,
+                            best_overshoot, 0, 0});
+}
+
+void PrintJson() {
+  std::printf("[\n");
+  for (size_t i = 0; i < g_entries.size(); ++i) {
+    const Entry& e = g_entries[i];
+    std::printf("  {\"bench\": \"%s\", \"impl\": \"%s\", \"rows\": %zu, "
+                "\"seconds\": %.6f, \"output_rows\": %zu, "
+                "\"rows_per_sec\": %.0f}%s\n",
+                e.bench.c_str(), e.impl.c_str(), e.rows, e.seconds,
+                e.output_rows, e.rows_per_sec,
+                i + 1 < g_entries.size() ? "," : "");
+  }
+  std::printf("]\n");
+}
+
+}  // namespace
+}  // namespace paraquery
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  size_t threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  paraquery::BenchCyclicJoin(quick ? 30000 : 60000, quick ? 5 : 7, 1);
+  paraquery::BenchCyclicJoin(quick ? 30000 : 60000, quick ? 5 : 7, threads);
+  paraquery::BenchUcqMix(quick ? 150000 : 300000, quick ? 5 : 7, 1);
+  paraquery::BenchUcqMix(quick ? 150000 : 300000, quick ? 5 : 7, threads);
+  paraquery::BenchAbortLatency(quick ? 200000 : 400000, quick ? 3 : 5,
+                               threads);
+  paraquery::PrintJson();
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "common/fault_injection.hpp"
+
+#include <mutex>
+
+namespace paraquery {
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+namespace {
+
+// All slow-path state lives behind one mutex; the armed_ flag outside is the
+// only thing probes touch when disarmed.
+struct InjectorState {
+  std::mutex mu;
+  bool recording = false;
+  std::vector<std::string> recorded;
+  uint64_t hit_count = 0;
+  bool fired = false;
+  // Nth-hit arming: fail when hit_count reaches nth_target (0 = off).
+  uint64_t nth_target = 0;
+  // Named arming: fail on the point_countdown-th hit of point_name
+  // (empty name = off).
+  std::string point_name;
+  uint64_t point_countdown = 0;
+};
+
+InjectorState& State() {
+  static InjectorState state;
+  return state;
+}
+
+}  // namespace
+
+Status FaultInjector::Hit(const char* point) {
+  InjectorState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.hit_count;
+  if (s.recording) s.recorded.emplace_back(point);
+  bool inject = false;
+  if (s.nth_target != 0 && s.hit_count == s.nth_target) {
+    inject = true;
+  } else if (!s.point_name.empty() && s.point_name == point &&
+             s.point_countdown > 0 && --s.point_countdown == 0) {
+    inject = true;
+  }
+  if (inject) {
+    s.fired = true;
+    return Status::Internal(
+        internal::StrCat("injected fault at ", point));
+  }
+  return Status::OK();
+}
+
+void FaultInjector::StartRecording() {
+  InjectorState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.recording = true;
+  s.recorded.clear();
+  s.hit_count = 0;
+  s.fired = false;
+  s.nth_target = 0;
+  s.point_name.clear();
+  s.point_countdown = 0;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+std::vector<std::string> FaultInjector::StopRecording() {
+  InjectorState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.recording = false;
+  std::vector<std::string> out = std::move(s.recorded);
+  s.recorded.clear();
+  bool still_armed = s.nth_target != 0 || !s.point_name.empty();
+  armed_.store(still_armed, std::memory_order_relaxed);
+  return out;
+}
+
+void FaultInjector::ArmNth(uint64_t k) {
+  InjectorState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.hit_count = 0;
+  s.fired = false;
+  s.nth_target = k;
+  s.point_name.clear();
+  s.point_countdown = 0;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmPoint(std::string point, uint64_t countdown) {
+  InjectorState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.hit_count = 0;
+  s.fired = false;
+  s.nth_target = 0;
+  s.point_name = std::move(point);
+  s.point_countdown = countdown == 0 ? 1 : countdown;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() {
+  InjectorState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.recording = false;
+  s.recorded.clear();
+  s.hit_count = 0;
+  s.fired = false;
+  s.nth_target = 0;
+  s.point_name.clear();
+  s.point_countdown = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::hits() {
+  InjectorState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.hit_count;
+}
+
+bool FaultInjector::fired() {
+  InjectorState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.fired;
+}
+
+}  // namespace paraquery

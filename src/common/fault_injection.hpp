@@ -1,0 +1,80 @@
+// Deterministic fault injection for exercising error-unwind paths.
+//
+// Library code marks recoverable failure sites with PQ_FAULT_POINT("name");
+// when the injector is disarmed (the default, including all production use)
+// each probe costs one relaxed atomic load of a global flag. Tests arm the
+// injector to make the k-th probe hit — or the k-th hit of one named probe —
+// return Status::Internal, then assert that the failure surfaces as a clean
+// Status and that the engine remains usable.
+//
+// The registry is process-global and mutex-guarded on the armed slow path, so
+// sweeps are deterministic at threads=1 and well-defined (first-arrival) at
+// higher thread counts. Typical sweep shape:
+//
+//   FaultInjector::StartRecording();
+//   RunWorkload();                                  // count the probes
+//   auto points = FaultInjector::StopRecording();
+//   for (uint64_t k = 1; k <= points.size(); ++k) {
+//     FaultInjector::ArmNth(k);
+//     ExpectCleanFailureOrVerifiedOk(RunWorkload());
+//     FaultInjector::Disarm();
+//     ExpectBaselineAnswer(RunWorkload());          // engine still healthy
+//   }
+#ifndef PARAQUERY_COMMON_FAULT_INJECTION_H_
+#define PARAQUERY_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace paraquery {
+
+/// Process-global fault-injection registry. All methods are thread-safe.
+class FaultInjector {
+ public:
+  /// Fast path checked by PQ_FAULT_POINT: true iff recording or armed.
+  static bool armed() { return armed_.load(std::memory_order_relaxed); }
+
+  /// Slow path: registers a probe hit; returns the injected failure when
+  /// this hit is the armed one, OK otherwise.
+  static Status Hit(const char* point);
+
+  /// Starts recording probe-hit names (clears previous recording).
+  static void StartRecording();
+  /// Stops recording and returns the hit names in arrival order.
+  static std::vector<std::string> StopRecording();
+
+  /// Arms the k-th probe hit (1-based, counted globally from now) to fail.
+  static void ArmNth(uint64_t k);
+  /// Arms the `countdown`-th hit (1-based) of the named probe to fail.
+  static void ArmPoint(std::string point, uint64_t countdown);
+
+  /// Disarms everything and clears counters; probes return to the cheap path.
+  static void Disarm();
+
+  /// Total probe hits since the last Disarm/Arm*/StartRecording.
+  static uint64_t hits();
+  /// True iff an armed fault has actually fired since arming.
+  static bool fired();
+
+ private:
+  static std::atomic<bool> armed_;
+};
+
+}  // namespace paraquery
+
+/// Marks a recoverable failure site inside a Status-returning function.
+/// Near-zero cost when the injector is disarmed.
+#define PQ_FAULT_POINT(point_name)                                       \
+  do {                                                                   \
+    if (::paraquery::FaultInjector::armed()) {                           \
+      ::paraquery::Status _pq_fault =                                    \
+          ::paraquery::FaultInjector::Hit(point_name);                   \
+      if (!_pq_fault.ok()) return _pq_fault;                             \
+    }                                                                    \
+  } while (false)
+
+#endif  // PARAQUERY_COMMON_FAULT_INJECTION_H_

@@ -22,6 +22,8 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kResourceExhausted,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -62,6 +64,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -78,6 +78,7 @@ RuntimeOptions Engine::Runtime() const {
                                       : options_.threads;
   // Sanity bound: an absurd width would die spawning real threads.
   want = std::min<size_t>(want, 1024);
+  plan_cache_.set_capacity(options_.plan_cache_capacity);
   RuntimeOptions runtime;
   runtime.morsel_rows = options_.morsel_rows;
   if (want <= 1) {
@@ -93,6 +94,11 @@ RuntimeOptions Engine::Runtime() const {
 
 Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
   stats_ = EngineStats{};
+  // Hardening: arm the query context (deadline / memory budget /
+  // cancellation token) and account every RowBlock allocated on this thread
+  // — worker threads inherit the accountant through TaskGroup::Spawn.
+  QueryContext* qc = ArmQueryContext();
+  ScopedMemoryAccounting accounting(qc != nullptr ? qc->memory() : nullptr);
   // Every exit refreshes the cumulative cache counters, error and
   // early-return paths included — .stats must never show stale zeros for a
   // cache that still holds entries.
@@ -124,6 +130,7 @@ Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
       eff.limits = Overlay(options_.limits, eff.EffectiveLimits());
       eff.max_rows = 0;
       eff.runtime = Runtime();
+      eff.runtime.query_ctx = qc;
       eff.plan_cache = options_.use_plan_cache ? &plan_cache_ : nullptr;
       return finish(AcyclicEvaluate(*db_, *effective, eff, &stats_.acyclic,
                                     &stats_.plan));
@@ -136,6 +143,7 @@ Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
       ineq.limits = Overlay(options_.limits, ineq.EffectiveLimits());
       ineq.max_rows = 0;
       ineq.runtime = Runtime();
+      ineq.runtime.query_ctx = qc;
       ineq.plan_cache = options_.use_plan_cache ? &plan_cache_ : nullptr;
       return finish(
           IneqEvaluate(*db_, *effective, ineq, &stats_.ineq, &stats_.plan));
@@ -145,16 +153,20 @@ Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
   eff.limits = Overlay(options_.limits, eff.EffectiveLimits());
   eff.max_steps = 0;
   eff.runtime = Runtime();
+  eff.runtime.query_ctx = qc;
   eff.plan_cache = options_.use_plan_cache ? &plan_cache_ : nullptr;
   return finish(NaiveEvaluateCq(*db_, *effective, eff, &stats_.plan));
 }
 
 Result<Relation> Engine::Run(const PositiveQuery& q) const {
   stats_ = EngineStats{};
+  QueryContext* qc = ArmQueryContext();
+  ScopedMemoryAccounting accounting(qc != nullptr ? qc->memory() : nullptr);
   UcqOptions eff = options_.ucq;
   eff.limits = Overlay(options_.limits, eff.EffectiveLimits());
   eff.naive_max_steps = 0;
   eff.runtime = Runtime();
+  eff.runtime.query_ctx = qc;
   eff.plan_cache = options_.use_plan_cache ? &plan_cache_ : nullptr;
   auto result = EvaluatePositive(*db_, q, eff, &stats_.ucq);
   stats_.plan = stats_.ucq.plan;
@@ -168,6 +180,8 @@ Result<Relation> Engine::Run(const FirstOrderQuery& q) const {
     auto positive = PositiveQuery::FromFirstOrder(q);
     if (positive.ok()) return Run(positive.value());
   }
+  // The non-positive path runs on the active-domain algebra, which is not
+  // hardened: only max_rows applies, not deadlines/cancellation/budgets.
   FoOptions fo = options_.fo;
   if (options_.limits.max_rows != 0) fo.max_rows = options_.limits.max_rows;
   auto result = EvaluateFirstOrder(*db_, q, fo);
@@ -177,10 +191,13 @@ Result<Relation> Engine::Run(const FirstOrderQuery& q) const {
 
 Result<Relation> Engine::Run(const DatalogProgram& p) const {
   stats_ = EngineStats{};
+  QueryContext* qc = ArmQueryContext();
+  ScopedMemoryAccounting accounting(qc != nullptr ? qc->memory() : nullptr);
   DatalogOptions eff = options_.datalog;
   eff.limits = Overlay(options_.limits, eff.EffectiveLimits());
   eff.max_rows = 0;
   eff.runtime = Runtime();
+  eff.runtime.query_ctx = qc;
   eff.plan_cache = options_.use_plan_cache ? &plan_cache_ : nullptr;
   auto result = EvaluateDatalog(*db_, p, eff, &stats_.datalog);
   stats_.plan = stats_.datalog.plan;
@@ -204,6 +221,23 @@ Result<Relation> Engine::RunText(const std::string& text, Dictionary* dict) {
     }
   }
   return Status::Internal("unreachable");
+}
+
+QueryContext* Engine::ArmQueryContext() const {
+  const uint64_t wall = options_.limits.max_wall_ms;
+  const uint64_t bytes = options_.limits.max_bytes;
+  if (options_.query_ctx != nullptr) {
+    QueryContext* qc = options_.query_ctx;
+    if (wall != 0) qc->ArmDeadline(wall);
+    if (bytes != 0) qc->ArmMemory(bytes);
+    return qc;  // caller controls cancellation; sticky until caller Reset()s
+  }
+  if (wall == 0 && bytes == 0) return nullptr;
+  if (run_ctx_ == nullptr) run_ctx_ = std::make_unique<QueryContext>();
+  run_ctx_->Reset();
+  if (wall != 0) run_ctx_->ArmDeadline(wall);
+  if (bytes != 0) run_ctx_->ArmMemory(bytes);
+  return run_ctx_.get();
 }
 
 Result<std::string> Engine::ExplainText(const std::string& text) {

@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "common/query_context.hpp"
 #include "core/classifier.hpp"
 #include "eval/acyclic.hpp"
 #include "eval/datalog_eval.hpp"
@@ -62,6 +63,14 @@ struct EngineOptions {
   /// disables all lookups/inserts — for memory-constrained embeddings and
   /// benchmarks that must pay full per-query planning on every run.
   bool use_plan_cache = true;
+  /// LRU capacity of the plan cache in entries (0 = unlimited). Applied on
+  /// the next Run; shrinking evicts immediately.
+  size_t plan_cache_capacity = PlanCache::kDefaultCapacity;
+  /// Caller-owned cancellation/abort token. When set, every Run arms THIS
+  /// context (deadline/memory from `limits`) instead of an engine-internal
+  /// one, so another thread may Cancel() it mid-query. The caller controls
+  /// its lifecycle: cancellation is sticky until QueryContext::Reset().
+  QueryContext* query_ctx = nullptr;
   AcyclicOptions acyclic;
   IneqOptions inequality;
   NaiveOptions naive;
@@ -135,10 +144,12 @@ class Engine {
 
   /// The engine-owned cross-query plan cache: compiled CQ/UCQ-disjunct
   /// plans, Theorem 2 residual compilations, and Datalog rule-variant plans
-  /// keyed by canonical signature. Entries are stamped with the database
-  /// generation; any mutation of the database (an `.insert`, a LoadCsv —
-  /// anything reaching a mutable Database::relation handle) bumps the
-  /// generation and the next lookup flushes the cache.
+  /// keyed by canonical signature. Entries record the per-relation
+  /// generation stamps of the stored relations they read; a mutation of the
+  /// database (an `.insert`, a LoadCsv — anything reaching a mutable
+  /// Database::relation handle) stales exactly the entries that read the
+  /// mutated relation, dropped at their next lookup. Capacity-bounded LRU
+  /// (EngineOptions::plan_cache_capacity).
   const PlanCache& plan_cache() const { return plan_cache_; }
 
  private:
@@ -147,9 +158,16 @@ class Engine {
   /// TaskScheduler of the resolved width. Rebuilt when the option changes.
   RuntimeOptions Runtime() const;
 
+  /// The QueryContext for one Run: the caller's (options().query_ctx) if
+  /// set, else a lazily created engine-owned context when `limits` arms a
+  /// deadline or memory budget, else null (unhardened). Engine-owned
+  /// contexts are Reset() and re-armed per Run.
+  QueryContext* ArmQueryContext() const;
+
   const Database* db_;
   EngineOptions options_;
   mutable std::unique_ptr<TaskScheduler> scheduler_;
+  mutable std::unique_ptr<QueryContext> run_ctx_;
   mutable PlanCache plan_cache_;
   mutable EngineStats stats_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.hpp"
 #include "eval/common.hpp"
 #include "plan/executor.hpp"
 #include "plan/planner.hpp"
@@ -31,6 +32,7 @@ Result<NamedRelation> PlanAndExecute(const Database& db,
                                      bool decision_only, AcyclicStats* stats,
                                      PlanStats* plan_stats,
                                      std::vector<Term>* head_out) {
+  PQ_FAULT_POINT("acyclic.plan");
   PlannerOptions popt;
   popt.full_reducer = options.full_reducer;
   if (head_out != nullptr) *head_out = q.head;
@@ -45,14 +47,15 @@ Result<NamedRelation> PlanAndExecute(const Database& db,
         internal::StrCat(decision_only ? "cq-dec:" : "cq-eval:",
                          options.full_reducer ? "" : "nored|",
                          canonical.signature);
-    plan = options.plan_cache->Lookup<PhysicalPlan>(key, db.generation());
+    plan = options.plan_cache->Lookup<PhysicalPlan>(key, db);
     if (plan == nullptr) {
       PQ_ASSIGN_OR_RETURN(
           PhysicalPlan built,
           decision_only ? PlanAcyclicDecision(db, canonical.query, popt)
                         : PlanAcyclicCq(db, canonical.query, popt));
       plan = std::make_shared<PhysicalPlan>(std::move(built));
-      options.plan_cache->Insert(key, db.generation(), plan);
+      PQ_FAULT_POINT("acyclic.cache.insert");
+      options.plan_cache->Insert(key, db, canonical.query, plan);
     }
     if (head_out != nullptr) *head_out = canonical.query.head;
   } else {

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.hpp"
 #include "eval/common.hpp"
 #include "plan/executor.hpp"
 #include "plan/planner.hpp"
@@ -173,6 +174,9 @@ class DatalogRun {
     // Semi-naive loop: a rule with IDB body atoms re-fires once per IDB body
     // position, substituting the delta at that position.
     while (changed) {
+      // Round-boundary poll: a deadline/cancel/budget abort ends the
+      // fixpoint within one semi-naive round.
+      PQ_RETURN_NOT_OK(options_.runtime.CheckInterrupt());
       if (options_.max_iterations != 0 &&
           iterations >= options_.max_iterations) {
         return Status::ResourceExhausted("Datalog iteration limit exceeded");
@@ -231,6 +235,7 @@ class DatalogRun {
   // DISTINCT atoms in parallel; a same-signature race costs one discarded
   // duplicate materialization, decided by a re-check under the lock.
   Result<RuleAtomView*> ResolveEdb(size_t ri, size_t pi) {
+    PQ_FAULT_POINT("datalog.edb");
     {
       std::lock_guard<std::mutex> lock(edb_mutex_);
       RuleAtomView& slot = edb_views_[ri][pi];
@@ -324,6 +329,7 @@ class DatalogRun {
   // `plan_stats` (nullable) receives this firing's executor counters.
   Result<FiringResult> ComputeVariant(size_t ri, int delta_pos,
                                       PlanStats* plan_stats) {
+    PQ_FAULT_POINT("datalog.firing");
     const DatalogRule& rule = program_.rules[ri];
     FiringResult out;
     if (rule.body.empty()) {
@@ -391,7 +397,7 @@ class DatalogRun {
             internal::StrCat("rule:", canonical.signature, "|d", delta_pos);
         if (first_build) {
           auto cached = options_.plan_cache->Lookup<CachedRulePlan>(
-              cache_key, db_.generation());
+              cache_key, db_);
           if (cached != nullptr) {
             // Reject the hit if ANY input slot — not just the delta — has
             // drifted >10x from the sizes the plan was costed at.
@@ -444,7 +450,11 @@ class DatalogRun {
           entry->plan = CloneRemapped(*variant.plan, inverse, &kNoCaches);
           entry->planned_delta_rows = observed;
           entry->planned_sizes = sizes;
-          options_.plan_cache->Insert(cache_key, db_.generation(),
+          PQ_FAULT_POINT("datalog.cache.insert");
+          // Dependency stamps come from the rule's EDB body atoms (IDB
+          // names do not resolve and carry no stamp — their content is
+          // run-local, not the database's).
+          options_.plan_cache->Insert(cache_key, db_, canonical.query,
                                       std::move(entry));
         }
       }
@@ -479,6 +489,7 @@ class DatalogRun {
   Status FireRound(const std::vector<std::pair<size_t, int>>& variants,
                    std::unordered_map<std::string, Relation>* next_delta,
                    bool* changed) {
+    PQ_FAULT_POINT("datalog.round");
     // Materialize the variant plan slots up front so concurrent firings
     // never mutate a rule's variant map structurally.
     for (const auto& [ri, dpos] : variants) plans_[ri].try_emplace(dpos);

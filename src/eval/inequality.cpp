@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/fault_injection.hpp"
 #include "eval/common.hpp"
 #include "hashing/coloring.hpp"
 #include "hypergraph/join_tree.hpp"
@@ -793,6 +794,7 @@ Result<std::shared_ptr<IneqCompiled>> GetCompiled(const Database& db,
                                                   const ConjunctiveQuery& q,
                                                   const IneqFormula* phi,
                                                   const IneqOptions& options) {
+  PQ_FAULT_POINT("ineq.compile");
   if (options.plan_cache == nullptr) return BuildCompiled(db, q, phi);
   CanonicalCq canonical = CanonicalizeCq(q);
   std::string key = internal::StrCat("ineq:", canonical.signature);
@@ -808,13 +810,12 @@ Result<std::shared_ptr<IneqCompiled>> GetCompiled(const Database& db,
     renamed = RemapFormula(*phi, inverse);
     key += "|phi:" + FormulaSignature(renamed);
   }
-  auto cached =
-      options.plan_cache->Lookup<IneqCompiled>(key, db.generation());
+  auto cached = options.plan_cache->Lookup<IneqCompiled>(key, db);
   if (cached != nullptr) return cached;
   PQ_ASSIGN_OR_RETURN(
       auto compiled,
       BuildCompiled(db, canonical.query, phi != nullptr ? &renamed : nullptr));
-  options.plan_cache->Insert(key, db.generation(), compiled);
+  options.plan_cache->Insert(key, db, canonical.query, compiled);
   return compiled;
 }
 
@@ -864,6 +865,10 @@ Result<bool> PlanDriveNonempty(const Database& db, IneqCompiled& c,
   size_t executed = 0;
   bool found = false;
   for (size_t m = 0; m < family.size() && !found; ++m) {
+    // Per-coloring poll: Theorem 2's k^k loop is the longest-running site
+    // in the engine, so deadline aborts must land between colorings.
+    PQ_RETURN_NOT_OK(options.runtime.CheckInterrupt());
+    PQ_FAULT_POINT("ineq.coloring");
     if (stats != nullptr) stats->trials = m + 1;
     std::vector<NamedRelation> inputs = HashedInputs(p, family, m);
     std::vector<const NamedRelation*> ptrs;
@@ -903,6 +908,8 @@ Result<Relation> PlanDriveEvaluate(const Database& db, IneqCompiled& c,
   PlanStats local;
   size_t colorings_run = 0;
   for (size_t m = 0; m < family.size(); ++m) {
+    PQ_RETURN_NOT_OK(options.runtime.CheckInterrupt());
+    PQ_FAULT_POINT("ineq.coloring");
     if (stats != nullptr) stats->trials = m + 1;
     std::vector<NamedRelation> inputs = HashedInputs(p, family, m);
     if (c.formula_mode) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.hpp"
 #include "eval/common.hpp"
 #include "plan/planner.hpp"
 #include "relational/ops.hpp"
@@ -41,6 +42,11 @@ struct Search {
   NamedRelation* out_bindings = nullptr;
   std::vector<VarId> out_vars;
 
+  // Abort state of the running query (null = unhardened). Polled every
+  // 1024 search steps, so deadline/cancel aborts interrupt even a search
+  // whose step budget is off.
+  const QueryContext* qc = nullptr;
+
   bool CompareOk(const CompareAtom& c) const {
     auto value_of = [this](const Term& t, Value* v) {
       if (t.is_const()) {
@@ -68,8 +74,13 @@ struct Search {
   // Returns true when the search should stop (witness found in decision
   // mode, or abort).
   bool Dfs(size_t atom_idx) {
-    if (max_steps != 0 && ++steps > max_steps) {
+    ++steps;
+    if (max_steps != 0 && steps > max_steps) {
       status = Status::ResourceExhausted("naive evaluation step limit");
+      return true;
+    }
+    if ((steps & 1023) == 0 && qc != nullptr && qc->Aborted()) {
+      status = qc->Check();
       return true;
     }
     if (atom_idx == atom_rels.size()) {
@@ -111,6 +122,7 @@ Result<Search> Prepare(const Database& db, const ConjunctiveQuery& q,
   PQ_RETURN_NOT_OK(q.Validate());
   Search s{q, {}, {}, {}, {}, 0, options.EffectiveLimits().max_steps,
            stop_at_first, Status::OK(), out_bindings, {}};
+  s.qc = options.runtime.query_ctx;
   // S_j per atom. Constant-free, repetition-free atoms come back as zero-copy
   // views over the stored relations (shared row blocks), so a query touching
   // the same relation k times holds one copy of its rows, not k. The
@@ -168,6 +180,7 @@ Result<Search> Prepare(const Database& db, const ConjunctiveQuery& q,
 Result<Relation> NaiveEvaluateCq(const Database& db, const ConjunctiveQuery& q,
                                  const NaiveOptions& options,
                                  PlanStats* plan_stats) {
+  PQ_FAULT_POINT("naive.plan");
   if (options.plan_cache != nullptr) {
     // Cached route: plan the canonical query once per database generation;
     // renaming-equivalent repeats (and UCQ disjuncts) reuse it. Binding
@@ -176,12 +189,12 @@ Result<Relation> NaiveEvaluateCq(const Database& db, const ConjunctiveQuery& q,
     CanonicalCq canonical = CanonicalizeCq(q);
     std::string key = internal::StrCat("cq-cyc:", canonical.signature);
     std::shared_ptr<PhysicalPlan> plan =
-        options.plan_cache->Lookup<PhysicalPlan>(key, db.generation());
+        options.plan_cache->Lookup<PhysicalPlan>(key, db);
     if (plan == nullptr) {
       PQ_ASSIGN_OR_RETURN(PhysicalPlan built,
                           PlanCyclicCq(db, canonical.query));
       plan = std::make_shared<PhysicalPlan>(std::move(built));
-      options.plan_cache->Insert(key, db.generation(), plan);
+      options.plan_cache->Insert(key, db, canonical.query, plan);
     }
     PQ_ASSIGN_OR_RETURN(NamedRelation bindings,
                         ExecutePhysicalPlan(*plan, options.EffectiveLimits(),

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/fault_injection.hpp"
 #include "eval/acyclic.hpp"
 #include "eval/naive.hpp"
 
@@ -41,6 +42,8 @@ bool RouteAcyclic(const ConjunctiveQuery& cq, const UcqOptions& options) {
 Result<Relation> EvaluateDisjunct(const Database& db,
                                   const ConjunctiveQuery& cq,
                                   const UcqOptions& options, UcqStats* stats) {
+  PQ_RETURN_NOT_OK(options.runtime.CheckInterrupt());
+  PQ_FAULT_POINT("ucq.disjunct");
   PlanStats* plan = stats != nullptr ? &stats->plan : nullptr;
   if (stats != nullptr) ++stats->disjuncts_evaluated;
   if (RouteAcyclic(cq, options)) {
@@ -61,6 +64,8 @@ Result<Relation> EvaluateDisjunct(const Database& db,
 
 Result<bool> DisjunctNonempty(const Database& db, const ConjunctiveQuery& cq,
                               const UcqOptions& options, UcqStats* stats) {
+  PQ_RETURN_NOT_OK(options.runtime.CheckInterrupt());
+  PQ_FAULT_POINT("ucq.disjunct");
   PlanStats* plan = stats != nullptr ? &stats->plan : nullptr;
   if (stats != nullptr) ++stats->disjuncts_evaluated;
   if (RouteAcyclic(cq, options)) {
@@ -73,9 +78,11 @@ Result<bool> DisjunctNonempty(const Database& db, const ConjunctiveQuery& cq,
   }
   if (stats != nullptr) ++stats->naive_disjuncts;
   // The backtracking decision search is inherently sequential; the runtime
-  // only parallelizes across disjuncts here.
+  // binding is threaded for its abort polling (query_ctx), not for
+  // parallelism — the runtime only parallelizes across disjuncts here.
   NaiveOptions naive;
   naive.limits = options.EffectiveLimits();
+  naive.runtime = options.runtime;
   return NaiveCqNonempty(db, cq, naive);
 }
 

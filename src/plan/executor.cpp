@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/fault_injection.hpp"
 #include "common/timer.hpp"
 #include "relational/ops.hpp"
 #include "relational/row_index.hpp"
@@ -118,6 +119,10 @@ class Executor {
   Status Account(PlanNode& n, size_t PlanStats::* counter,
                  const NamedRelation& out, Charge* charge,
                  size_t op_morsels = 0) {
+    // Re-check the abort state AFTER the operator ran: morsel lambdas skip
+    // their work when the query aborts mid-operator, so a result assembled
+    // from skipped morsels must be discarded here, never returned truncated.
+    PQ_RETURN_NOT_OK(ctx_.runtime.CheckInterrupt());
     n.actual_morsels = op_morsels;
     if (ctx_.stats != nullptr) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -190,8 +195,13 @@ class Executor {
   }
 
   Result<NamedRelation> Compute(PlanNode& n, Charge* charge) {
+    // One poll per operator: a deadline/cancel/budget abort stops the plan
+    // within one operator (and, via the morsel-lambda early-outs, within
+    // one morsel of an operator already running).
+    PQ_RETURN_NOT_OK(ctx_.runtime.CheckInterrupt());
     switch (n.op) {
       case PlanOp::kScan: {
+        PQ_FAULT_POINT("executor.scan");
         if (n.input_slot < 0 ||
             static_cast<size_t>(n.input_slot) >= ctx_.inputs.size()) {
           return Status::Internal("plan scan references an unbound slot");
@@ -203,6 +213,7 @@ class Executor {
         return *ctx_.inputs[n.input_slot];
       }
       case PlanOp::kSelect: {
+        PQ_FAULT_POINT("executor.select");
         PQ_ASSIGN_OR_RETURN(NamedRelation in, Exec(*n.children[0], charge));
         size_t morsels = 0;
         NamedRelation out =
@@ -214,6 +225,7 @@ class Executor {
         return out;
       }
       case PlanOp::kProject: {
+        PQ_FAULT_POINT("executor.project");
         PQ_ASSIGN_OR_RETURN(NamedRelation in, Exec(*n.children[0], charge));
         size_t morsels = 0;
         NamedRelation out =
@@ -230,6 +242,7 @@ class Executor {
         return out;
       }
       case PlanOp::kHashJoin: {
+        PQ_FAULT_POINT("executor.hashjoin");
         Result<NamedRelation> lres = NamedRelation{n.attrs};
         Result<NamedRelation> rres = NamedRelation{n.attrs};
         PQ_RETURN_NOT_OK(ExecChildren(n, &lres, &rres, charge));
@@ -244,6 +257,7 @@ class Executor {
         bool cached_scan = n.children[1]->op == PlanOp::kScan && cache != nullptr;
         size_t morsels = 0;
         Result<NamedRelation> joined = [&]() -> Result<NamedRelation> {
+          PQ_FAULT_POINT("executor.hashjoin.build");
           // Morsel-parallel probe: the fast path only (no row cap, no
           // pushed filter, nonzero output arity); the sequential kernel
           // keeps the filtered/limited cases.
@@ -278,6 +292,7 @@ class Executor {
         return std::move(joined).value();
       }
       case PlanOp::kSemijoin: {
+        PQ_FAULT_POINT("executor.semijoin");
         Result<NamedRelation> lres = NamedRelation{n.attrs};
         Result<NamedRelation> rres = NamedRelation{n.attrs};
         PQ_RETURN_NOT_OK(ExecChildren(n, &lres, &rres, charge));
@@ -295,6 +310,7 @@ class Executor {
         return out;
       }
       case PlanOp::kUnion: {
+        PQ_FAULT_POINT("executor.union");
         if (n.children.empty()) {
           return Status::Internal("union plan node has no children");
         }
@@ -338,6 +354,7 @@ class Executor {
         return acc;
       }
       case PlanOp::kDedup: {
+        PQ_FAULT_POINT("executor.dedup");
         PQ_ASSIGN_OR_RETURN(NamedRelation in, Exec(*n.children[0], charge));
         NamedRelation out = in;
         out.rel().HashDedup();

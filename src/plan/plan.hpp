@@ -38,6 +38,15 @@ struct ResourceLimits {
   /// Abort (ResourceExhausted) when the total rows produced by all operators
   /// of one plan execution exceed this (0 = off).
   uint64_t max_steps = 0;
+  /// Abort (DeadlineExceeded) when the query has run for this many wall-clock
+  /// milliseconds (0 = off). Armed by the Engine into a QueryContext at the
+  /// start of each Run; evaluators called directly honor it only when the
+  /// caller threads a QueryContext through RuntimeOptions::query_ctx.
+  uint64_t max_wall_ms = 0;
+  /// Abort (ResourceExhausted) when RowBlock storage allocated during the
+  /// query exceeds this many bytes (0 = off). Same arming path as
+  /// max_wall_ms.
+  uint64_t max_bytes = 0;
 
   /// `legacy` wins only where this struct has no value (legacy-alias merge).
   ResourceLimits MergedWith(uint64_t legacy_max_rows,

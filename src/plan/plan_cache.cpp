@@ -80,41 +80,95 @@ std::string PlanCacheStats::ToString() const {
   std::ostringstream oss;
   oss << "plan_cache_hits=" << hits << " plan_cache_misses=" << misses
       << " plan_cache_invalidations=" << invalidations
+      << " plan_cache_stale_entries=" << stale_entries
+      << " plan_cache_evictions=" << evictions
       << " plan_cache_entries=" << entries;
   return oss.str();
 }
 
-void PlanCache::SyncGenerationLocked(uint64_t generation) {
-  if (generation == generation_) return;
-  if (!entries_.empty()) {
-    entries_.clear();
-    ++stats_.invalidations;
+namespace {
+
+// The (relation id, current stamp) dependency set of a query: one pair per
+// distinct stored relation its body reads. Unresolved names (IDB predicates,
+// delta views — not stored relations) contribute nothing: their content is
+// not the database's concern, and the evaluators key such artifacts by
+// content-bearing signatures already.
+std::vector<std::pair<RelId, uint64_t>> DepStamps(const Database& db,
+                                                  const ConjunctiveQuery& q) {
+  std::vector<std::pair<RelId, uint64_t>> deps;
+  for (const Atom& atom : q.body) {
+    Result<RelId> id = db.FindRelation(atom.relation);
+    if (!id.ok()) continue;
+    bool seen = false;
+    for (const auto& dep : deps) seen = seen || dep.first == id.value();
+    if (seen) continue;
+    deps.emplace_back(id.value(), db.relation_generation(id.value()));
   }
-  generation_ = generation;
+  return deps;
 }
 
+}  // namespace
+
 std::shared_ptr<void> PlanCache::LookupErased(const std::string& key,
-                                              uint64_t generation) {
+                                              const Database& db) {
   std::lock_guard<std::mutex> lock(mutex_);
-  SyncGenerationLocked(generation);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
     return nullptr;
   }
+  for (const auto& [id, stamp] : it->second.deps) {
+    bool stale = id < 0 ||
+                 static_cast<size_t>(id) >= db.relation_count() ||
+                 db.relation_generation(id) != stamp;
+    if (stale) {
+      lru_.erase(it->second.lru);
+      entries_.erase(it);
+      ++stats_.stale_entries;
+      ++stats_.misses;
+      return nullptr;
+    }
+  }
   ++stats_.hits;
-  return it->second;
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+  return it->second.value;
 }
 
-void PlanCache::InsertErased(const std::string& key, uint64_t generation,
+void PlanCache::InsertErased(const std::string& key, const Database& db,
+                             const ConjunctiveQuery& reads,
                              std::shared_ptr<void> value) {
   std::lock_guard<std::mutex> lock(mutex_);
-  SyncGenerationLocked(generation);
-  if (entries_.size() >= kMaxEntries && entries_.count(key) == 0) {
-    entries_.clear();  // capacity backstop: flush rather than grow unbounded
-    ++stats_.invalidations;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    lru_.push_front(key);
+    it = entries_.emplace(key, Entry{}).first;
+    it->second.lru = lru_.begin();
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
   }
-  entries_[key] = std::move(value);
+  it->second.value = std::move(value);
+  it->second.deps = DepStamps(db, reads);
+  EvictOverCapacityLocked();
+}
+
+void PlanCache::EvictOverCapacityLocked() {
+  if (capacity_ == 0) return;
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void PlanCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  EvictOverCapacityLocked();
+}
+
+size_t PlanCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
 }
 
 void PlanCache::NoteReuse(uint64_t n) {
@@ -133,6 +187,7 @@ void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!entries_.empty()) {
     entries_.clear();
+    lru_.clear();
     ++stats_.invalidations;  // every whole-cache flush is counted
   }
 }

@@ -18,10 +18,13 @@
 // CANONICAL form of the query (CanonicalizeCq) so their attribute ids are
 // renaming-independent.
 //
-// Invalidation: every entry is stamped with the Database::generation() it
-// was compiled against. The first access under a newer generation flushes
-// the whole cache (mutations are rare; queries are many) and counts one
-// invalidation. The Engine owns one cache per database and threads it to
+// Invalidation is per-relation: every entry records, for each stored
+// relation its query's body actually reads, the Database::relation_generation
+// stamp at compile time. A lookup revalidates those (id, stamp) pairs and
+// drops only entries whose dependencies moved — a hot write to one relation
+// no longer evicts plans that never touch it. Whole-cache flushes remain
+// only for explicit Clear(). Capacity is bounded by a real LRU (see
+// set_capacity). The Engine owns one cache per database and threads it to
 // the evaluators through their options.
 //
 // Thread-safety: Lookup/Insert/stats are mutex-guarded (concurrent UCQ
@@ -35,14 +38,17 @@
 #define PARAQUERY_PLAN_PLAN_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "plan/plan.hpp"
 #include "query/conjunctive_query.hpp"
+#include "relational/database.hpp"
 
 namespace paraquery {
 
@@ -72,39 +78,47 @@ CanonicalCq CanonicalizeCq(const ConjunctiveQuery& q);
 struct PlanCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
-  /// Whole-cache flushes: a database generation change, or the capacity
-  /// backstop (kMaxEntries) tripping on insert.
+  /// Whole-cache flushes (explicit Clear() only).
   uint64_t invalidations = 0;
+  /// Entries dropped at lookup because a relation they read was mutated
+  /// since compilation. Each also counts as a miss.
+  uint64_t stale_entries = 0;
+  /// Entries dropped by the LRU capacity cap.
+  uint64_t evictions = 0;
   size_t entries = 0;
 
   std::string ToString() const;
 };
 
 /// The cache proper: type-erased entries (each key prefix stores exactly one
-/// artifact type) stamped with the database generation they were built at.
+/// artifact type), each stamped with the per-relation generations of the
+/// stored relations its query reads, held in a capacity-bounded LRU.
 class PlanCache {
  public:
-  /// Capacity backstop: entries hold data-sized artifacts (materialized S_j
-  /// inputs), so a long-lived engine over a static database receiving a
-  /// stream of DISTINCT queries must not grow without bound. Reaching the
-  /// cap flushes the whole cache (counted as an invalidation) — crude, but
-  /// bounded; a real LRU is a ROADMAP item.
-  static constexpr size_t kMaxEntries = 4096;
+  /// Default LRU capacity. Entries hold data-sized artifacts (materialized
+  /// S_j inputs), so a long-lived engine receiving a stream of distinct
+  /// queries must not grow without bound; EngineOptions::plan_cache_capacity
+  /// overrides this (0 = unlimited).
+  static constexpr size_t kDefaultCapacity = 4096;
 
-  /// Returns the entry for `key` compiled at `generation`, or nullptr (a
-  /// counted miss). A generation older than `generation` flushes every
-  /// entry first and counts one invalidation.
+  /// Returns the entry for `key`, or nullptr (a counted miss). An entry
+  /// whose recorded dependencies are stale against `db` — any relation it
+  /// reads was mutated since compilation — is dropped (counted as
+  /// stale_entries and a miss). A returned entry becomes most recently used.
   template <typename T>
-  std::shared_ptr<T> Lookup(const std::string& key, uint64_t generation) {
-    return std::static_pointer_cast<T>(LookupErased(key, generation));
+  std::shared_ptr<T> Lookup(const std::string& key, const Database& db) {
+    return std::static_pointer_cast<T>(LookupErased(key, db));
   }
 
-  /// Stores `value` under `key` for `generation` (replacing any previous
-  /// entry). Insert does not change hit/miss counters.
+  /// Stores `value` under `key` (replacing any previous entry), recording
+  /// the current generation of every stored relation that `reads`'s body
+  /// references (unknown relation names — IDB views — carry no stamp; such
+  /// entries depend only on the relations that do resolve). Insert does not
+  /// change hit/miss counters; it may evict LRU entries over capacity.
   template <typename T>
-  void Insert(const std::string& key, uint64_t generation,
-              std::shared_ptr<T> value) {
-    InsertErased(key, generation, std::move(value));
+  void Insert(const std::string& key, const Database& db,
+              const ConjunctiveQuery& reads, std::shared_ptr<T> value) {
+    InsertErased(key, db, reads, std::move(value));
   }
 
   /// Credits `n` reuses of a compiled artifact that bypass Lookup — the
@@ -112,21 +126,34 @@ class PlanCache {
   /// coloring, which is the cache's headline win even on a cold cache.
   void NoteReuse(uint64_t n);
 
+  /// Sets the LRU capacity (0 = unlimited), evicting down if over.
+  void set_capacity(size_t capacity);
+  size_t capacity() const;
+
   PlanCacheStats stats() const;
   void Clear();
 
  private:
+  struct Entry {
+    std::shared_ptr<void> value;
+    /// (relation id, relation_generation at compile time) for every stored
+    /// relation the entry's query reads.
+    std::vector<std::pair<RelId, uint64_t>> deps;
+    std::list<std::string>::iterator lru;
+  };
+
   std::shared_ptr<void> LookupErased(const std::string& key,
-                                     uint64_t generation);
-  void InsertErased(const std::string& key, uint64_t generation,
-                    std::shared_ptr<void> value);
-  /// Flushes when `generation` moved past the cache's stamp. Caller holds
-  /// mutex_.
-  void SyncGenerationLocked(uint64_t generation);
+                                     const Database& db);
+  void InsertErased(const std::string& key, const Database& db,
+                    const ConjunctiveQuery& reads, std::shared_ptr<void> value);
+  /// Evicts LRU-back entries until size <= capacity. Caller holds mutex_.
+  void EvictOverCapacityLocked();
 
   mutable std::mutex mutex_;
-  uint64_t generation_ = 0;
-  std::unordered_map<std::string, std::shared_ptr<void>> entries_;
+  size_t capacity_ = kDefaultCapacity;
+  /// Keys in recency order, most recent first; entries point at their node.
+  std::list<std::string> lru_;
+  std::unordered_map<std::string, Entry> entries_;
   PlanCacheStats stats_;
 };
 

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <vector>
 
+#include "common/fault_injection.hpp"
+
 namespace paraquery {
 
 namespace {
@@ -35,6 +37,7 @@ bool ParseIntegerCell(std::string_view s, Value* out) {
 
 Result<RelId> LoadCsv(Database* db, const std::string& name,
                       std::string_view csv_text) {
+  PQ_FAULT_POINT("csv.load");
   std::vector<ValueVec> rows;
   size_t arity = 0;
   size_t line_no = 0;
@@ -90,6 +93,7 @@ Result<RelId> LoadCsvFile(Database* db, const std::string& name,
   if (!in) {
     return Status::NotFound(internal::StrCat("cannot open '", path, "'"));
   }
+  PQ_FAULT_POINT("csv.open");
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return LoadCsv(db, name, buffer.str());

@@ -9,12 +9,14 @@ Database::Database(const Database& o)
     : dict_(o.dict_),
       generation_(std::make_unique<uint64_t>(*o.generation_)),
       relations_(o.relations_),
+      rel_stamps_(o.rel_stamps_),
       names_(o.names_),
       index_(o.index_) {
   // Relation's copy constructor deliberately drops mutation bindings (a
   // copy is a view); a copied DATABASE owns its relations, so rebind them
-  // to the copy's own counter.
-  for (Relation& r : relations_) r.BindMutationCounter(generation_.get());
+  // to the copy's own counter and stamp slots. The copied stamps stay
+  // valid: the copy's clock starts at the source's value.
+  RebindAll();
 }
 
 Database& Database::operator=(const Database& o) {
@@ -29,9 +31,14 @@ Database& Database::operator=(const Database& o) {
   generation_ =
       std::make_unique<uint64_t>(std::max(*generation_, *o.generation_) + 1);
   relations_ = o.relations_;
+  rel_stamps_ = o.rel_stamps_;
   names_ = o.names_;
   index_ = o.index_;
-  for (Relation& r : relations_) r.BindMutationCounter(generation_.get());
+  // Every relation's content was (potentially) replaced, and the source's
+  // stamps came from a different clock: re-stamp them all past both
+  // histories so no (id, stamp) pair from either database can match.
+  for (uint64_t& stamp : rel_stamps_) stamp = ++*generation_;
+  RebindAll();
   return *this;
 }
 
@@ -39,11 +46,17 @@ Database::Database(Database&& o)
     : dict_(std::move(o.dict_)),
       generation_(std::move(o.generation_)),
       relations_(std::move(o.relations_)),
+      rel_stamps_(std::move(o.rel_stamps_)),
       names_(std::move(o.names_)),
       index_(std::move(o.index_)) {
   // Leave the source usable: an empty database with its own fresh counter
   // (the old all-value Database had a safe moved-from state; keep that).
   o.generation_ = std::make_unique<uint64_t>(1);
+  o.rel_stamps_.clear();
+  // Relation moves drop bindings and deque moves are not guaranteed to
+  // preserve element addresses: rebind explicitly. Stamps stay valid (same
+  // clock traveled with the box).
+  RebindAll();
 }
 
 Database& Database::operator=(Database&& o) {
@@ -55,15 +68,28 @@ Database& Database::operator=(Database&& o) {
   relations_.clear();
   generation_ = std::move(o.generation_);
   relations_ = std::move(o.relations_);
+  rel_stamps_ = std::move(o.rel_stamps_);
   names_ = std::move(o.names_);
   index_ = std::move(o.index_);
   o.generation_ = std::make_unique<uint64_t>(1);
+  o.rel_stamps_.clear();
   // Like copy-assignment: move past BOTH histories, or a plan cache stamped
   // with this database's old generation could coincide with the adopted
   // counter and serve plans compiled over the replaced contents. Written
   // through the adopted box so the moved-in relations stay bound to it.
   *generation_ = std::max(old_generation, *generation_) + 1;
+  // Re-stamp: the adopted stamps were drawn from the adopted clock, but
+  // THIS database's old (id, stamp) pairs also came from values ≤ our old
+  // generation — stamps from either history must never match again.
+  for (uint64_t& stamp : rel_stamps_) stamp = ++*generation_;
+  RebindAll();
   return *this;
+}
+
+void Database::RebindAll() {
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    relations_[i].BindMutationCounter(generation_.get(), &rel_stamps_[i]);
+  }
 }
 
 Result<RelId> Database::AddRelation(const std::string& name, size_t arity) {
@@ -74,12 +100,13 @@ Result<RelId> Database::AddRelation(const std::string& name, size_t arity) {
   RelId id = static_cast<RelId>(relations_.size());
   ++*generation_;
   relations_.emplace_back(arity);
+  rel_stamps_.push_back(*generation_);
   // Stored relations report every content mutation to the database
   // generation — even through retained Relation& handles. Relation moves
   // deliberately do NOT carry the binding (an escaping relation must not
   // point into this database's lifetime), so vector growth strands it on
   // relocated elements: rebind them all (relation counts are tiny).
-  for (Relation& r : relations_) r.BindMutationCounter(generation_.get());
+  RebindAll();
   names_.push_back(name);
   index_.emplace(name, id);
   return id;

@@ -3,6 +3,7 @@
 #ifndef PARAQUERY_RELATIONAL_DATABASE_H_
 #define PARAQUERY_RELATIONAL_DATABASE_H_
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -77,10 +78,24 @@ class Database {
   /// existing rows.
   uint64_t generation() const { return *generation_; }
 
+  /// Per-relation version stamp: the generation() value at which relation
+  /// `id` last changed (its creation counts). Because every stamp is drawn
+  /// from the same monotone clock, (id, stamp) pairs uniquely identify a
+  /// relation state — this is what lets the PlanCache invalidate only the
+  /// plans that actually read a mutated relation.
+  uint64_t relation_generation(RelId id) const { return rel_stamps_[id]; }
+
  private:
+  /// Rebinds every stored relation to this database's clock and its own
+  /// stamp slot (after any operation that may have relocated elements).
+  void RebindAll();
+
   Dictionary dict_;
   std::unique_ptr<uint64_t> generation_ = std::make_unique<uint64_t>(1);
   std::vector<Relation> relations_;
+  /// Stamp slot per relation; deque for stable element addresses (relations
+  /// bind raw pointers to their slot).
+  std::deque<uint64_t> rel_stamps_;
   std::vector<std::string> names_;
   std::unordered_map<std::string, RelId> index_;
 };

@@ -10,7 +10,14 @@
 namespace paraquery {
 
 const std::shared_ptr<RowBlock>& Relation::EmptyBlock() {
-  static const std::shared_ptr<RowBlock> kEmpty = std::make_shared<RowBlock>();
+  // The global empty block is never charged to any query's budget: it is
+  // process-lifetime shared state, and first construction must not capture
+  // whichever accountant happens to be thread-current at that moment.
+  static const std::shared_ptr<RowBlock> kEmpty = [] {
+    auto block = std::make_shared<RowBlock>();
+    block->accountant = nullptr;
+    return block;
+  }();
   return kEmpty;
 }
 

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.hpp"
 #include "common/status.hpp"
 #include "relational/value.hpp"
 
@@ -50,13 +51,43 @@ struct RowBlock {
   /// of kStatUnknown not yet computed. Sized to the owning relation's arity.
   std::vector<size_t> distinct_counts;
 
+  /// Byte accounting for query memory budgets: the thread-current accountant
+  /// at construction time (null outside engine runs), and the capacity bytes
+  /// already charged to it. Account() keeps the charge equal to the buffer's
+  /// capacity; the destructor releases it. Shared blocks never change
+  /// capacity (copy-on-write clones first), so Account() on a shared block
+  /// is a read-only no-op and needs no synchronization.
+  std::shared_ptr<MemoryAccountant> accountant;
+  size_t charged_bytes = 0;
+
   static constexpr size_t kStatUnknown = ~size_t{0};
 
-  RowBlock() = default;
-  explicit RowBlock(std::vector<Value> v) : values(std::move(v)) {}
-  /// Clones only the rows; the copy recomputes its stats lazily.
-  RowBlock(const RowBlock& o) : values(o.values) {}
+  RowBlock() : accountant(MemoryAccountant::Current()) {}
+  explicit RowBlock(std::vector<Value> v)
+      : values(std::move(v)), accountant(MemoryAccountant::Current()) {
+    Account();
+  }
+  /// Clones only the rows; the copy recomputes its stats lazily and charges
+  /// the cloning thread's accountant (not the source's).
+  RowBlock(const RowBlock& o)
+      : values(o.values), accountant(MemoryAccountant::Current()) {
+    Account();
+  }
   RowBlock& operator=(const RowBlock&) = delete;
+  ~RowBlock() {
+    if (accountant) accountant->Charge(-static_cast<int64_t>(charged_bytes));
+  }
+
+  /// Brings the charged byte count up to date with the buffer's capacity.
+  /// Called by Relation::Sync after every mutation.
+  void Account() {
+    if (!accountant) return;
+    size_t cap = values.capacity() * sizeof(Value);
+    if (cap == charged_bytes) return;
+    accountant->Charge(static_cast<int64_t>(cap) -
+                       static_cast<int64_t>(charged_bytes));
+    charged_bytes = cap;
+  }
 };
 
 /// A fixed-arity table of Values with set or multiset semantics.
@@ -132,9 +163,14 @@ class Relation {
 
   /// Binds a mutation counter (Database::generation): every content
   /// mutation THROUGH THIS RELATION — including via a retained `Relation&`
-  /// handle — increments it, which is what invalidates plan caches.
-  /// Copies (zero-copy views) do not inherit the binding.
-  void BindMutationCounter(uint64_t* counter) { on_mutate_ = counter; }
+  /// handle — increments it, which is what invalidates plan caches. When
+  /// `stamp` is given (Database's per-relation stamp slot), each mutation
+  /// also records the new clock value there, so caches can tell WHICH
+  /// relation changed. Copies (zero-copy views) do not inherit the binding.
+  void BindMutationCounter(uint64_t* counter, uint64_t* stamp = nullptr) {
+    on_mutate_ = counter;
+    rel_stamp_ = stamp;
+  }
 
   /// Wraps a prefilled row-major buffer (`data.size()` must be a multiple of
   /// `arity`; arity 0 is not supported here). Used by operators that emit
@@ -229,10 +265,12 @@ class Relation {
   static const std::shared_ptr<RowBlock>& EmptyBlock();
 
   /// Refreshes the read cache after any operation that may have changed the
-  /// block's buffer (COW clone, insert-with-reallocation, replacement).
+  /// block's buffer (COW clone, insert-with-reallocation, replacement), and
+  /// settles the block's byte charge against the query memory budget.
   void Sync() {
     base_ = block_->values.data();
     nvalues_ = block_->values.size();
+    block_->Account();
   }
 
   /// Copy-on-write gate: clones the block if any other view shares it,
@@ -268,9 +306,13 @@ class Relation {
     Bump();
   }
 
-  /// Reports a content mutation to the bound counter (no-op when unbound).
+  /// Reports a content mutation to the bound counter (no-op when unbound),
+  /// stamping the bound per-relation slot with the new clock value.
   void Bump() {
-    if (on_mutate_ != nullptr) ++*on_mutate_;
+    if (on_mutate_ != nullptr) {
+      ++*on_mutate_;
+      if (rel_stamp_ != nullptr) *rel_stamp_ = *on_mutate_;
+    }
   }
 
   friend class RowHashSet;
@@ -281,9 +323,11 @@ class Relation {
   size_t nvalues_ = 0;               // cached block_->values.size()
   size_t zero_ary_rows_ = 0;         // row count for arity-0 relations
   bool sorted_ = false;
-  /// Bound mutation counter (Database::generation) or null. Not copied to
-  /// views; transferred by moves.
+  /// Bound mutation counter (Database::generation) or null, plus the
+  /// per-relation stamp slot it updates. Not copied to views; not
+  /// transferred by moves.
   uint64_t* on_mutate_ = nullptr;
+  uint64_t* rel_stamp_ = nullptr;
 };
 
 }  // namespace paraquery

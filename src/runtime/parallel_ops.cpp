@@ -58,6 +58,9 @@ NamedRelation ParallelSelect(const NamedRelation& in, const Predicate& pred,
   size_t chunks = ParallelChunks(
       runtime.scheduler, n, runtime.morsel_rows,
       [&](size_t c, size_t begin, size_t end) {
+        // Aborted query: skip the morsel. The executor re-checks the abort
+        // after the operator, so a partially filled result never escapes.
+        if (runtime.Interrupted()) return;
         std::vector<Value>& buf = bufs[c];
         for (size_t r = begin; r < end; ++r) {
           auto row = in.rel().Row(r);
@@ -83,6 +86,7 @@ NamedRelation ParallelProject(const NamedRelation& in,
   size_t chunks = ParallelChunks(
       runtime.scheduler, n, runtime.morsel_rows,
       [&](size_t c, size_t begin, size_t end) {
+        if (runtime.Interrupted()) return;  // abort: executor discards below
         std::vector<Value>& buf = bufs[c];
         buf.reserve((end - begin) * out_arity);
         for (size_t r = begin; r < end; ++r) {
@@ -127,6 +131,7 @@ NamedRelation ParallelJoin(const NamedRelation& left,
   size_t chunks = ParallelChunks(
       runtime.scheduler, nl, runtime.morsel_rows,
       [&](size_t c, size_t begin, size_t end) {
+        if (runtime.Interrupted()) return;  // abort: executor discards below
         size_t total = 0;
         for (size_t lr = begin; lr < end; ++lr) {
           uint32_t rr = right_index.Find(left.rel(), lr, lcols);
@@ -145,6 +150,7 @@ NamedRelation ParallelJoin(const NamedRelation& left,
   ParallelChunks(
       runtime.scheduler, nl, runtime.morsel_rows,
       [&](size_t c, size_t begin, size_t end) {
+        if (runtime.Interrupted()) return;  // abort: executor discards below
         Value* dst = out_data.data() + offsets[c] * out_arity;
         for (size_t lr = begin; lr < end; ++lr) {
           uint32_t rr = first[lr];
@@ -184,6 +190,7 @@ NamedRelation ParallelSemijoin(const NamedRelation& left,
   size_t chunks = ParallelChunks(
       runtime.scheduler, nl, runtime.morsel_rows,
       [&](size_t c, size_t begin, size_t end) {
+        if (runtime.Interrupted()) return;  // abort: executor discards below
         size_t kept = 0;
         for (size_t lr = begin; lr < end; ++lr) {
           if (index.Contains(left.rel(), lr, lcols)) {
@@ -203,6 +210,7 @@ NamedRelation ParallelSemijoin(const NamedRelation& left,
   ParallelChunks(
       runtime.scheduler, nl, runtime.morsel_rows,
       [&](size_t c, size_t begin, size_t end) {
+        if (runtime.Interrupted()) return;  // abort: executor discards below
         Value* dst = out_data.data() + offsets[c] * arity;
         for (size_t lr = begin; lr < end; ++lr) {
           if (!keep[lr]) continue;

@@ -133,6 +133,17 @@ void TaskGroup::Spawn(std::function<void()> fn) {
     if (!core_->cancelled.load(std::memory_order_relaxed)) fn();
     return;
   }
+  // The task may run on a worker thread, whose thread-local accountant slot
+  // is empty: carry the spawner's accountant along so RowBlock allocations
+  // inside the task charge the same query budget.
+  if (const std::shared_ptr<MemoryAccountant>& acct =
+          MemoryAccountant::Current();
+      acct != nullptr) {
+    fn = [acct, inner = std::move(fn)] {
+      ScopedMemoryAccounting scope(acct);
+      inner();
+    };
+  }
   core_->unfinished.fetch_add(1);
   {
     std::lock_guard<std::mutex> lock(core_->mutex);

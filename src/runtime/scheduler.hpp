@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/query_context.hpp"
 #include "common/status.hpp"
 
 namespace paraquery {
@@ -147,6 +148,10 @@ inline constexpr size_t kDefaultMorselRows = 4096;
 struct RuntimeOptions {
   TaskScheduler* scheduler = nullptr;  // not owned; null = sequential
   size_t morsel_rows = kDefaultMorselRows;
+  /// Shared abort state (deadline, cancellation, memory budget) of the
+  /// running query, armed by the Engine. Not owned; null = unhardened
+  /// execution with no abort polling.
+  QueryContext* query_ctx = nullptr;
 
   bool parallel() const {
     return scheduler != nullptr && scheduler->threads() > 1;
@@ -156,6 +161,16 @@ struct RuntimeOptions {
   bool ShouldMorsel(size_t rows) const {
     size_t grain = morsel_rows == 0 ? 1 : morsel_rows;
     return parallel() && rows >= 2 * grain;
+  }
+  /// OK unless the bound query context has tripped (cancelled, past its
+  /// deadline, or over its memory budget). Polled at operator, morsel,
+  /// round, disjunct, and coloring boundaries.
+  Status CheckInterrupt() const {
+    return query_ctx == nullptr ? Status::OK() : query_ctx->Check();
+  }
+  /// Status-free form of CheckInterrupt for void contexts (morsel lambdas).
+  bool Interrupted() const {
+    return query_ctx != nullptr && query_ctx->Aborted();
   }
 };
 

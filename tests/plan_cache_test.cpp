@@ -44,28 +44,68 @@ TEST(CanonicalizeCqTest, RenamingEquivalentQueriesShareSignatureAndAnswers) {
   EXPECT_EQ(CanonicalizeCq(c1.query).signature, c1.signature);
 }
 
-TEST(PlanCacheTest, LookupInsertAndGenerationFlush) {
+TEST(PlanCacheTest, LookupInsertAndPerRelationStaleness) {
+  Database db;
+  RelId e = db.AddRelation("E", 2).ValueOrDie();
+  RelId f = db.AddRelation("F", 2).ValueOrDie();
+  db.relation(e).Add({1, 2});
+  db.relation(f).Add({1, 2});
+  auto qe = ParseConjunctive("ans(x, y) :- E(x, y).").ValueOrDie();
+  auto qf = ParseConjunctive("ans(x, y) :- F(x, y).").ValueOrDie();
   PlanCache cache;
-  auto value = std::make_shared<int>(42);
-  EXPECT_EQ(cache.Lookup<int>("k", 1), nullptr);  // miss
-  cache.Insert<int>("k", 1, value);
-  auto hit = cache.Lookup<int>("k", 1);
+  EXPECT_EQ(cache.Lookup<int>("ke", db), nullptr);  // miss
+  cache.Insert("ke", db, qe, std::make_shared<int>(42));
+  cache.Insert("kf", db, qf, std::make_shared<int>(43));
+  auto hit = cache.Lookup<int>("ke", db);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(*hit, 42);
   PlanCacheStats s = cache.stats();
   EXPECT_EQ(s.hits, 1u);
   EXPECT_EQ(s.misses, 1u);
-  EXPECT_EQ(s.invalidations, 0u);
-  EXPECT_EQ(s.entries, 1u);
-  // A newer generation flushes everything (counted once).
-  EXPECT_EQ(cache.Lookup<int>("k", 2), nullptr);
+  EXPECT_EQ(s.stale_entries, 0u);
+  EXPECT_EQ(s.entries, 2u);
+  // Mutating E stales exactly the E-reading entry; the F entry survives.
+  db.relation(e).Add({2, 3});
+  EXPECT_EQ(cache.Lookup<int>("ke", db), nullptr);
+  ASSERT_NE(cache.Lookup<int>("kf", db), nullptr);
   s = cache.stats();
   EXPECT_EQ(s.misses, 2u);
-  EXPECT_EQ(s.invalidations, 1u);
-  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.stale_entries, 1u);
+  EXPECT_EQ(s.entries, 1u);
   // NoteReuse credits hits without a lookup.
   cache.NoteReuse(5);
-  EXPECT_EQ(cache.stats().hits, 6u);
+  EXPECT_EQ(cache.stats().hits, 7u);
+}
+
+TEST(PlanCacheTest, LruCapacityEvictsColdestEntry) {
+  Database db;
+  RelId e = db.AddRelation("E", 2).ValueOrDie();
+  db.relation(e).Add({1, 2});
+  auto q = ParseConjunctive("ans(x, y) :- E(x, y).").ValueOrDie();
+  PlanCache cache;
+  cache.set_capacity(2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  cache.Insert("a", db, q, std::make_shared<int>(1));
+  cache.Insert("b", db, q, std::make_shared<int>(2));
+  // Touch "a" so "b" is the LRU entry when "c" overflows the capacity.
+  ASSERT_NE(cache.Lookup<int>("a", db), nullptr);
+  cache.Insert("c", db, q, std::make_shared<int>(3));
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.Lookup<int>("b", db), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup<int>("a", db), nullptr);
+  EXPECT_NE(cache.Lookup<int>("c", db), nullptr);
+  // Shrinking the capacity evicts immediately, coldest first.
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_NE(cache.Lookup<int>("c", db), nullptr);  // the MRU entry survived
+  // Capacity 0 = unlimited.
+  cache.set_capacity(0);
+  cache.Insert("d", db, q, std::make_shared<int>(4));
+  cache.Insert("e", db, q, std::make_shared<int>(5));
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
 }
 
 TEST(PlanCacheTest, AcyclicRepeatAndRenamedQueryHit) {
@@ -102,13 +142,13 @@ TEST(PlanCacheTest, InsertInvalidatesAndAnswersTrackNewData) {
   EXPECT_EQ(before.size(), 1u);  // (1,3)
   ASSERT_TRUE(engine.Run(q).ok());
   EXPECT_GT(engine.last_stats().plan_cache.hits, 0u);
-  // Mutation through the mutable handle bumps the generation; the next run
-  // must flush the cache and see the new row — a stale cached plan would
-  // keep answering from the old S_j views.
+  // Mutation through the mutable handle bumps E's generation stamp; the
+  // next run must drop the stale entry and see the new row — a stale cached
+  // plan would keep answering from the old S_j views.
   db.relation(e).Add({3, 4});
   auto after = engine.Run(q).ValueOrDie();
   EXPECT_EQ(after.size(), 2u);  // (1,3), (2,4)
-  EXPECT_GT(engine.last_stats().plan_cache.invalidations, 0u);
+  EXPECT_GT(engine.last_stats().plan_cache.stale_entries, 0u);
 }
 
 TEST(PlanCacheTest, RetainedHandleMutationInvalidates) {
@@ -126,7 +166,7 @@ TEST(PlanCacheTest, RetainedHandleMutationInvalidates) {
   handle.Add({3, 4});  // the engine never sees this handle
   auto after = engine.Run(q).ValueOrDie();
   EXPECT_EQ(after.size(), 2u) << "cached plan served stale rows";
-  EXPECT_GT(engine.last_stats().plan_cache.invalidations, 0u);
+  EXPECT_GT(engine.last_stats().plan_cache.stale_entries, 0u);
 }
 
 TEST(PlanCacheTest, CyclicRouteCachesToo) {

@@ -10,6 +10,8 @@
 //   .plan QUERY         print the physical plan without executing
 //   .stats              evaluator/plan counters of the previous query
 //   .threads N          parallel runtime width (1 = sequential, 0 = auto)
+//   .timeout MS         per-query wall-clock deadline in ms (0 = off)
+//   .memlimit BYTES     per-query memory budget in bytes (0 = off)
 //   .help               this text
 //   .quit               exit
 //
@@ -73,14 +75,18 @@ std::vector<std::string> Split(const std::string& line) {
 const char* kHelp =
     ".load NAME FILE | .rel NAME ARITY | .insert NAME v... | .rels |\n"
     ".dump NAME | .explain QUERY | .plan QUERY | .stats | .threads N |\n"
-    ".help | .quit\n"
+    ".timeout MS | .memlimit BYTES | .help | .quit\n"
     ".plan prints the physical plan without executing (inequality queries\n"
     "show the Theorem 2 color-coding plan); .stats prints the\n"
     "evaluator/plan counters of the previous query (incl. parallel tasks,\n"
-    "morsels, wall time, and the cumulative plan_cache hit/miss/invalidation\n"
-    "counters — .insert and .load invalidate the cache); .threads N sets\n"
-    "the parallel runtime width (1 = sequential, 0 = hardware concurrency)\n"
-    "— successful results are identical at any width.\n"
+    "morsels, wall time, and the cumulative plan_cache hit/miss/stale\n"
+    "counters — .insert and .load stale exactly the cached plans reading\n"
+    "the mutated relation); .threads N sets the parallel runtime width\n"
+    "(1 = sequential, 0 = hardware concurrency) — successful results are\n"
+    "identical at any width; .timeout MS arms a per-query wall-clock\n"
+    "deadline and .memlimit BYTES a per-query memory budget (0 disarms;\n"
+    "exceeding either aborts the query with a clean error, and the engine\n"
+    "stays usable).\n"
     "Anything else is evaluated as a query (':-' rules or ':=' formulas).\n";
 
 }  // namespace
@@ -205,6 +211,26 @@ int main(int argc, char** argv) {
           std::cout << "parallel runtime: " << effective
                     << (effective == 1 ? " thread (sequential)\n"
                                        : " threads\n");
+        }
+      } else if ((cmd == ".timeout" || cmd == ".memlimit") &&
+                 args.size() == 2) {
+        char* end = nullptr;
+        unsigned long long n = std::strtoull(args[1].c_str(), &end, 10);
+        bool digits = !args[1].empty() &&
+                      args[1].find_first_not_of("0123456789") ==
+                          std::string::npos;
+        if (!digits || end == nullptr || *end != '\0') {
+          std::cout << "error: " << cmd
+                    << " expects a non-negative integer\n";
+        } else if (cmd == ".timeout") {
+          engine.options().limits.max_wall_ms = static_cast<uint64_t>(n);
+          std::cout << (n == 0 ? "query deadline off\n"
+                               : "query deadline: " + args[1] + " ms\n");
+        } else {
+          engine.options().limits.max_bytes = static_cast<uint64_t>(n);
+          std::cout << (n == 0 ? "query memory budget off\n"
+                               : "query memory budget: " + args[1] +
+                                     " bytes\n");
         }
       } else {
         std::cout << "unknown command; try .help\n";

@@ -9,11 +9,9 @@
 //     in the f(k) factor (number of colorings tried);
 //   * CrossoverVsNaive: naive backtracking loses quickly as n grows;
 //   * OutputSensitiveEvaluation: full answer computation;
-//   * LoweredVsOracle: the plan-lowered per-coloring execution (the default
-//     path since the plan-cache PR) against the hand-rolled oracle — same
-//     coloring family, answers asserted identical, wall-clock expected at
-//     parity or better (the hard timing gate lives in bench_plan_cache,
-//     which CI runs on every build).
+//   * EvalLowered: the plan-lowered per-coloring execution (the only path
+//     since the hand-rolled oracle's removal; the recorded-answer
+//     differential lives in tests/theorem2_recorded.inc).
 // Workload: simple-path queries (the paper's Monien / color-coding special
 // case) on sparse random graphs, plus the employee-project query.
 #include <benchmark/benchmark.h>
@@ -190,34 +188,6 @@ void BM_Theorem2EvalLowered(benchmark::State& state) {
   state.counters["n"] = n;
 }
 BENCHMARK(BM_Theorem2EvalLowered)
-    ->RangeMultiplier(2)
-    ->Range(500, 2000)
-    ->Unit(benchmark::kMillisecond);
-
-void BM_Theorem2EvalOracle(benchmark::State& state) {
-  int n = static_cast<int>(state.range(0));
-  Database db = GraphDatabase(GnpRandom(n, 3.0 / n, /*seed=*/21));
-  ConjunctiveQuery q = SimplePathQuery(3);
-  q.head = {Term::Var(0), Term::Var(3)};
-  // One-time parity assertion: the lowered path and the oracle must agree
-  // exactly on the same family (seed-for-seed).
-  {
-    auto lowered = IneqEvaluate(db, q, McOptions());
-    auto oracle = IneqEvaluateOracle(db, q, McOptions());
-    if (!lowered.ok() || !oracle.ok() ||
-        !lowered.value().EqualsAsSet(oracle.value())) {
-      state.SkipWithError("lowered/oracle answers disagree");
-      return;
-    }
-  }
-  for (auto _ : state) {
-    auto r = IneqEvaluateOracle(db, q, McOptions());
-    if (!r.ok()) state.SkipWithError("evaluation failed");
-    benchmark::DoNotOptimize(r);
-  }
-  state.counters["n"] = n;
-}
-BENCHMARK(BM_Theorem2EvalOracle)
     ->RangeMultiplier(2)
     ->Range(500, 2000)
     ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,46 @@
+// A scheduler-agnostic parallel-for hook for the relational layer.
+//
+// The storage/kernel code in src/relational/ must not depend on the task
+// scheduler in src/runtime/ (the runtime already depends on relational).
+// Data-parallel relational primitives — the partitioned RowIndex build,
+// parallel HashDedup, the row->column transpose — instead accept a
+// ParallelForFn: the runtime binds one over its work-stealing scheduler
+// (MakeParallelFor in runtime/scheduler.hpp), while a null/empty function
+// means "run inline, sequentially, in chunk order".
+//
+// Contract (mirrors runtime/ParallelChunks): the function splits [0, n)
+// into chunks of at most `grain` indices, invokes fn(chunk_index, begin,
+// end) once per chunk, returns the number of chunks, and does not return
+// before every invocation has finished. Callers must produce results that
+// are byte-identical to the sequential in-order execution — per-chunk
+// outputs merged in chunk order, disjoint pre-sized output slices, etc.
+#ifndef PARAQUERY_COMMON_PARALLEL_FOR_H_
+#define PARAQUERY_COMMON_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace paraquery {
+
+/// One chunk of a parallel loop: fn(chunk_index, begin, end).
+using ChunkFn = std::function<void(size_t, size_t, size_t)>;
+
+/// Parallel-for binding; empty = sequential.
+using ParallelForFn = std::function<size_t(size_t, size_t, const ChunkFn&)>;
+
+/// Runs fn over [0, n) in chunks of `grain` through `pfor` when bound, or
+/// inline in chunk order otherwise. Returns the chunk count.
+inline size_t ForChunks(const ParallelForFn& pfor, size_t n, size_t grain,
+                        const ChunkFn& fn) {
+  if (pfor) return pfor(n, grain, fn);
+  if (grain == 0) grain = 1;
+  size_t chunks = 0;
+  for (size_t begin = 0; begin < n; begin += grain, ++chunks) {
+    fn(chunks, begin, begin + grain < n ? begin + grain : n);
+  }
+  return chunks;
+}
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_COMMON_PARALLEL_FOR_H_

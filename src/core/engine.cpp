@@ -155,6 +155,7 @@ Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
   eff.runtime = Runtime();
   eff.runtime.query_ctx = qc;
   eff.plan_cache = options_.use_plan_cache ? &plan_cache_ : nullptr;
+  eff.vectorize = options_.vectorize;
   return finish(NaiveEvaluateCq(*db_, *effective, eff, &stats_.plan));
 }
 
@@ -168,6 +169,7 @@ Result<Relation> Engine::Run(const PositiveQuery& q) const {
   eff.runtime = Runtime();
   eff.runtime.query_ctx = qc;
   eff.plan_cache = options_.use_plan_cache ? &plan_cache_ : nullptr;
+  eff.vectorize = options_.vectorize;
   auto result = EvaluatePositive(*db_, q, eff, &stats_.ucq);
   stats_.plan = stats_.ucq.plan;
   stats_.plan_cache = plan_cache_.stats();
@@ -199,6 +201,7 @@ Result<Relation> Engine::Run(const DatalogProgram& p) const {
   eff.runtime = Runtime();
   eff.runtime.query_ctx = qc;
   eff.plan_cache = options_.use_plan_cache ? &plan_cache_ : nullptr;
+  eff.vectorize = options_.vectorize;
   auto result = EvaluateDatalog(*db_, p, eff, &stats_.datalog);
   stats_.plan = stats_.datalog.plan;
   stats_.plan_cache = plan_cache_.stats();

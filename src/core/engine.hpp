@@ -71,6 +71,11 @@ struct EngineOptions {
   /// one, so another thread may Cancel() it mid-query. The caller controls
   /// its lifecycle: cancellation is sticky until QueryContext::Reset().
   QueryContext* query_ctx = nullptr;
+  /// Master switch for vectorized columnar execution: forwarded onto the
+  /// naive/UCQ/Datalog evaluators, whose planners place Materialize
+  /// boundaries over eligible Select/Project/HashJoin chains. Results are
+  /// byte-identical on or off; off forces row-at-a-time execution.
+  bool vectorize = true;
   AcyclicOptions acyclic;
   IneqOptions inequality;
   NaiveOptions naive;

@@ -394,7 +394,8 @@ class DatalogRun {
       if (options_.plan_cache != nullptr) {
         canonical = CanonicalizeRule(rule);
         cache_key =
-            internal::StrCat("rule:", canonical.signature, "|d", delta_pos);
+            internal::StrCat("rule:", canonical.signature, "|d", delta_pos,
+                             options_.vectorize ? "|vec" : "");
         if (first_build) {
           auto cached = options_.plan_cache->Lookup<CachedRulePlan>(
               cache_key, db_);
@@ -433,7 +434,8 @@ class DatalogRun {
         }
         PQ_ASSIGN_OR_RETURN(
             variant.plan,
-            PlanRuleBody(rule, attrs, sizes, caches, delta_pos, distinct));
+            PlanRuleBody(rule, attrs, sizes, caches, delta_pos, distinct,
+                         options_.vectorize));
         variant.planned_delta_rows = observed;
         if (options_.plan_cache != nullptr) {
           // Publish the canonical form: rule var -> canonical id is the

@@ -48,6 +48,11 @@ struct DatalogOptions {
   /// >10x delta-drift re-planning still applies on top and refreshes the
   /// cached entry.
   PlanCache* plan_cache = nullptr;
+  /// Let PlanRuleBody place Materialize boundaries so eligible rule bodies
+  /// run vectorized over columnar storage (byte-identical fixpoint either
+  /// way). The rule-plan cache key carries the flag, so cached plans never
+  /// leak across toggle states.
+  bool vectorize = true;
   /// DEPRECATED alias for limits.max_rows. Used when limits.max_rows == 0.
   uint64_t max_rows = 0;
 

@@ -343,188 +343,6 @@ bool IsI1Pair(const Plan& p, VarId a, VarId b) {
   return false;
 }
 
-// Algorithm 1 for one coloring. On success, `rels` holds the final P_u's.
-// Returns false if some P_u became empty (Q_h(d) = {}).
-Result<bool> Algorithm1(const Plan& p, const ColoringFamily& family,
-                        size_t member, const IneqOptions& options,
-                        IneqStats* stats, std::vector<NamedRelation>* rels) {
-  int nv = p.q->NumVariables();
-  rels->clear();
-  for (const NamedRelation& s : p.base) {
-    rels->push_back(ExtendHashed(p, s, family, member));
-    if (rels->back().empty()) return false;
-  }
-  for (int j : p.tree.bottom_up) {
-    int u = p.tree.parent[j];
-    if (u < 0) continue;
-    NamedRelation& pj = (*rels)[j];
-    NamedRelation& pu = (*rels)[u];
-#ifndef NDEBUG
-    {
-      std::vector<AttrId> cur = pj.attrs();
-      std::sort(cur.begin(), cur.end());
-      PQ_DCHECK(cur == p.y[j], "P_j attributes must equal Y_j after children");
-    }
-#endif
-    // π_{Y_j ∩ Y_u}(P_j).
-    std::vector<AttrId> shared;
-    std::set_intersection(p.y[j].begin(), p.y[j].end(), p.y[u].begin(),
-                          p.y[u].end(), std::back_inserter(shared));
-    NamedRelation projected = Project(pj, shared);
-
-    // Selection F: primed pairs x'_i != x'_l with (x_i, x_l) ∈ I1,
-    // x'_i ∈ Y_j − U'_u (arriving from j) and x'_l in P_u's current
-    // attributes but not in Y_j.
-    std::vector<AttrId> out_attrs = pu.attrs();
-    for (AttrId a : projected.attrs()) {
-      if (!pu.HasAttr(a)) out_attrs.push_back(a);
-    }
-    auto col_of = [&out_attrs](AttrId a) {
-      for (size_t i = 0; i < out_attrs.size(); ++i) {
-        if (out_attrs[i] == a) return static_cast<int>(i);
-      }
-      return -1;
-    };
-    JoinOptions join_options;
-    join_options.max_output_rows = options.EffectiveLimits().max_rows;
-    if (p.formula == nullptr) {
-      const std::vector<VarId> u_vars = p.q->body[u].Variables();
-      auto in_uprime_u = [&](AttrId primed) {
-        // x' ∈ U'_u iff its base variable lies in U_u.
-        VarId base = primed - nv;
-        return std::find(u_vars.begin(), u_vars.end(), base) != u_vars.end();
-      };
-      for (AttrId aj : shared) {
-        if (aj < nv) continue;  // only primed attrs carry I1 checks
-        if (in_uprime_u(aj)) continue;  // x'_i ∈ U'_u: checked elsewhere
-        VarId xi = aj - nv;
-        for (AttrId al : pu.attrs()) {
-          if (al < nv) continue;
-          if (std::binary_search(p.y[j].begin(), p.y[j].end(), al)) continue;
-          VarId xl = al - nv;
-          if (!IsI1Pair(p, xi, xl)) continue;
-          join_options.post_filter.Add(
-              Constraint::NeqCols(col_of(al), col_of(aj)));
-        }
-      }
-    }
-    PQ_ASSIGN_OR_RETURN(pu, NaturalJoin(pu, projected, join_options));
-    if (stats != nullptr) {
-      stats->peak_rows = std::max(stats->peak_rows, pu.size());
-    }
-    if (pu.empty()) return false;
-  }
-  if (p.formula != nullptr) {
-    // Formula mode: apply φ at the root, on the primed (color) columns.
-    NamedRelation& root = (*rels)[p.tree.root];
-    std::vector<int> col_of_var(p.q->NumVariables(), -1);
-    for (VarId x : p.v1) {
-      col_of_var[x] = root.ColumnOf(Prime(*p.q, x));
-      PQ_CHECK(col_of_var[x] >= 0,
-               "formula variable's primed attribute missing at the root");
-    }
-    NamedRelation filtered{root.attrs()};
-    for (size_t r = 0; r < root.size(); ++r) {
-      auto row = root.rel().Row(r);
-      auto value_of = [&](const Term& t) -> Value {
-        return t.is_var() ? row[col_of_var[t.var()]]
-                          : family.Color(member, t.value());
-      };
-      if (p.formula->Evaluate(value_of)) filtered.rel().Add(row);
-    }
-    root = std::move(filtered);
-    return !root.empty();
-  }
-  return true;
-}
-
-// Algorithm 2 for one coloring: assumes Algorithm 1 succeeded on `rels`.
-Result<Relation> Algorithm2(const Plan& p, const IneqOptions& options,
-                            std::vector<NamedRelation>* rels) {
-  const ConjunctiveQuery& q = *p.q;
-  // Step 1: downward semijoins.
-  for (int j : p.tree.top_down) {
-    int u = p.tree.parent[j];
-    if (u < 0) continue;
-    (*rels)[j] = Semijoin((*rels)[j], (*rels)[u]);
-  }
-  // Head variables per subtree (unprimed).
-  std::vector<VarId> head_vars = q.HeadVariables();
-  size_t m = p.tree.size();
-  std::vector<std::vector<AttrId>> subtree_head(m);
-  Hypergraph h = q.BuildHypergraph();
-  for (int j : p.tree.bottom_up) {
-    std::vector<AttrId> acc;
-    for (VarId x : h.edge(j)) {
-      if (std::find(head_vars.begin(), head_vars.end(), x) != head_vars.end()) {
-        acc.push_back(x);
-      }
-    }
-    for (int c : p.tree.children[j]) {
-      acc.insert(acc.end(), subtree_head[c].begin(), subtree_head[c].end());
-    }
-    std::sort(acc.begin(), acc.end());
-    acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
-    subtree_head[j] = std::move(acc);
-  }
-  // Step 2: upward join-and-project with Z_j = (Y_j ∩ Y_u) ∪ (Z ∩ at(T[j])).
-  JoinOptions join_options;
-  join_options.max_output_rows = options.EffectiveLimits().max_rows;
-  for (int j : p.tree.bottom_up) {
-    int u = p.tree.parent[j];
-    if (u < 0) continue;
-    std::vector<AttrId> zj;
-    for (AttrId a : (*rels)[j].attrs()) {
-      if ((*rels)[u].HasAttr(a)) zj.push_back(a);
-    }
-    for (AttrId a : subtree_head[j]) {
-      if (std::find(zj.begin(), zj.end(), a) == zj.end()) zj.push_back(a);
-    }
-    NamedRelation projected = Project((*rels)[j], zj);
-    PQ_ASSIGN_OR_RETURN((*rels)[u],
-                        NaturalJoin((*rels)[u], projected, join_options));
-  }
-  // Step 3: project the root onto Z and map through the head.
-  NamedRelation bindings = Project((*rels)[p.tree.root], head_vars);
-  return BindingsToAnswers(bindings, q.head);
-}
-
-// Hand-rolled decision driver (the *Oracle entry points): try colorings
-// until one succeeds.
-Result<bool> DriveNonemptyOracle(const Plan& p, const IneqOptions& options,
-                                 IneqStats* stats) {
-  if (p.always_false) return false;
-  PQ_ASSIGN_OR_RETURN(ColoringFamily family, MakeFamily(p, options, stats));
-  std::vector<NamedRelation> rels;
-  for (size_t m = 0; m < family.size(); ++m) {
-    if (stats != nullptr) stats->trials = m + 1;
-    PQ_ASSIGN_OR_RETURN(bool nonempty,
-                        Algorithm1(p, family, m, options, stats, &rels));
-    if (nonempty) return true;
-  }
-  return false;
-}
-
-// Hand-rolled evaluation driver (the *Oracle entry points): union Q_h(d)
-// over the whole family.
-Result<Relation> DriveEvaluateOracle(const Plan& p, const IneqOptions& options,
-                                     IneqStats* stats) {
-  Relation answers(p.q->head.size());
-  if (p.always_false) return answers;
-  PQ_ASSIGN_OR_RETURN(ColoringFamily family, MakeFamily(p, options, stats));
-  std::vector<NamedRelation> rels;
-  for (size_t m = 0; m < family.size(); ++m) {
-    if (stats != nullptr) stats->trials = m + 1;
-    PQ_ASSIGN_OR_RETURN(bool nonempty,
-                        Algorithm1(p, family, m, options, stats, &rels));
-    if (!nonempty) continue;
-    PQ_ASSIGN_OR_RETURN(Relation qh, Algorithm2(p, options, &rels));
-    for (size_t r = 0; r < qh.size(); ++r) answers.Add(qh.Row(r));
-  }
-  answers.SortAndDedup();
-  return answers;
-}
-
 // ---------------------------------------------------------------------------
 // Plan lowering: the default path. The analysis (Plan) is computed once per
 // query, Algorithms 1+2 compile into PlanNode DAGs over slot-bound hashed
@@ -1002,38 +820,6 @@ Result<bool> IneqContains(const Database& db, const ConjunctiveQuery& q,
     return Status::InvalidArgument("tuple arity does not match query head");
   }
   return IneqNonempty(db, q.BindHead(tuple), options, stats);
-}
-
-Result<bool> IneqNonemptyOracle(const Database& db, const ConjunctiveQuery& q,
-                                const IneqOptions& options, IneqStats* stats) {
-  PQ_ASSIGN_OR_RETURN(Plan p, BuildPlan(db, q));
-  return DriveNonemptyOracle(p, options, stats);
-}
-
-Result<Relation> IneqEvaluateOracle(const Database& db,
-                                    const ConjunctiveQuery& q,
-                                    const IneqOptions& options,
-                                    IneqStats* stats) {
-  PQ_ASSIGN_OR_RETURN(Plan p, BuildPlan(db, q));
-  return DriveEvaluateOracle(p, options, stats);
-}
-
-Result<bool> IneqFormulaNonemptyOracle(const Database& db,
-                                       const ConjunctiveQuery& q,
-                                       const IneqFormula& phi,
-                                       const IneqOptions& options,
-                                       IneqStats* stats) {
-  PQ_ASSIGN_OR_RETURN(Plan p, BuildFormulaPlan(db, q, phi));
-  return DriveNonemptyOracle(p, options, stats);
-}
-
-Result<Relation> IneqFormulaEvaluateOracle(const Database& db,
-                                           const ConjunctiveQuery& q,
-                                           const IneqFormula& phi,
-                                           const IneqOptions& options,
-                                           IneqStats* stats) {
-  PQ_ASSIGN_OR_RETURN(Plan p, BuildFormulaPlan(db, q, phi));
-  return DriveEvaluateOracle(p, options, stats);
 }
 
 Result<std::string> IneqPlanText(const Database& db,

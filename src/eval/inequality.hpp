@@ -32,8 +32,8 @@
 // the Theorem 2 engine inherits morsel parallelism, ResourceLimits,
 // PlanStats, and .plan rendering, and the per-coloring re-execution is the
 // plan cache's headline win (one plan compiled, k^k colorings executed).
-// The historical hand-rolled evaluation survives as the *Oracle entry
-// points (differential-test ground truth, like BacktrackEvaluateCq).
+// The historical hand-rolled evaluation is gone; its recorded answers live
+// on as the differential fixture tests/theorem2_recorded.inc.
 #ifndef PARAQUERY_EVAL_INEQUALITY_H_
 #define PARAQUERY_EVAL_INEQUALITY_H_
 
@@ -78,7 +78,7 @@ struct IneqOptions {
   /// plan — S_j inputs, join tree, Y sets, lowered DAGs — is keyed by the
   /// canonical query signature (+ formula) and database generation. Each
   /// additional coloring executed against the compiled plan is credited as
-  /// a cache hit (PlanCache::NoteReuse). Ignored by the *Oracle paths.
+  /// a cache hit (PlanCache::NoteReuse).
   PlanCache* plan_cache = nullptr;
   /// DEPRECATED alias for limits.max_rows (the historical per-join guard).
   /// Used only when limits.max_rows == 0.
@@ -126,19 +126,6 @@ Result<bool> IneqContains(const Database& db, const ConjunctiveQuery& q,
                           const IneqOptions& options = {},
                           IneqStats* stats = nullptr);
 
-/// The historical hand-rolled evaluation (per-coloring relational algebra
-/// calls instead of plan execution). Kept temporarily as the differential-
-/// test oracle for the plan lowering, like BacktrackEvaluateCq for the
-/// cyclic planner; ignores runtime/plan_cache. Scheduled for removal once
-/// the lowered path has soaked.
-Result<bool> IneqNonemptyOracle(const Database& db, const ConjunctiveQuery& q,
-                                const IneqOptions& options = {},
-                                IneqStats* stats = nullptr);
-Result<Relation> IneqEvaluateOracle(const Database& db,
-                                    const ConjunctiveQuery& q,
-                                    const IneqOptions& options = {},
-                                    IneqStats* stats = nullptr);
-
 /// Renders the lowered Theorem 2 evaluation plan (the coloring-independent
 /// residual DAG: upward joins + I1 selects, downward semijoins, upward
 /// join-and-project) without executing it. Primed hash columns render as
@@ -173,18 +160,6 @@ Result<Relation> IneqFormulaEvaluate(const Database& db,
                                      const IneqOptions& options = {},
                                      IneqStats* stats = nullptr,
                                      PlanStats* plan_stats = nullptr);
-
-/// Hand-rolled formula-mode oracles (see IneqEvaluateOracle).
-Result<bool> IneqFormulaNonemptyOracle(const Database& db,
-                                       const ConjunctiveQuery& q,
-                                       const IneqFormula& phi,
-                                       const IneqOptions& options = {},
-                                       IneqStats* stats = nullptr);
-Result<Relation> IneqFormulaEvaluateOracle(const Database& db,
-                                           const ConjunctiveQuery& q,
-                                           const IneqFormula& phi,
-                                           const IneqOptions& options = {},
-                                           IneqStats* stats = nullptr);
 
 }  // namespace paraquery
 

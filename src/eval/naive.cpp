@@ -181,18 +181,22 @@ Result<Relation> NaiveEvaluateCq(const Database& db, const ConjunctiveQuery& q,
                                  const NaiveOptions& options,
                                  PlanStats* plan_stats) {
   PQ_FAULT_POINT("naive.plan");
+  PlannerOptions planner;
+  planner.vectorize = options.vectorize;
   if (options.plan_cache != nullptr) {
     // Cached route: plan the canonical query once per database generation;
     // renaming-equivalent repeats (and UCQ disjuncts) reuse it. Binding
     // attributes are canonical ids, so answers map through the canonical
-    // head.
+    // head. The key carries the vectorize flag — a row-only plan must not
+    // satisfy a vectorized request or vice versa.
     CanonicalCq canonical = CanonicalizeCq(q);
-    std::string key = internal::StrCat("cq-cyc:", canonical.signature);
+    std::string key = internal::StrCat(
+        options.vectorize ? "cq-cyc:" : "cq-cyc-row:", canonical.signature);
     std::shared_ptr<PhysicalPlan> plan =
         options.plan_cache->Lookup<PhysicalPlan>(key, db);
     if (plan == nullptr) {
       PQ_ASSIGN_OR_RETURN(PhysicalPlan built,
-                          PlanCyclicCq(db, canonical.query));
+                          PlanCyclicCq(db, canonical.query, planner));
       plan = std::make_shared<PhysicalPlan>(std::move(built));
       options.plan_cache->Insert(key, db, canonical.query, plan);
     }
@@ -201,7 +205,7 @@ Result<Relation> NaiveEvaluateCq(const Database& db, const ConjunctiveQuery& q,
                                             plan_stats, options.runtime));
     return BindingsToAnswers(bindings, canonical.query.head);
   }
-  PQ_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanCyclicCq(db, q));
+  PQ_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanCyclicCq(db, q, planner));
   PQ_ASSIGN_OR_RETURN(NamedRelation bindings,
                       ExecutePhysicalPlan(plan, options.EffectiveLimits(),
                                           plan_stats, options.runtime));

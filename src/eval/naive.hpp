@@ -43,6 +43,10 @@ struct NaiveOptions {
   /// plan-based evaluator only: repeated cyclic queries reuse their greedy
   /// left-deep plan under the CanonicalCqSignature + database generation.
   PlanCache* plan_cache = nullptr;
+  /// Plan-based evaluator: let the planner place Materialize boundaries so
+  /// eligible chains run vectorized over columnar storage (results are
+  /// byte-identical either way; see PlannerOptions::vectorize).
+  bool vectorize = true;
   /// DEPRECATED alias for limits.max_steps: abort with ResourceExhausted
   /// after this many steps (0 = off). Used only when limits.max_steps == 0.
   uint64_t max_steps = 0;

@@ -59,6 +59,7 @@ Result<Relation> EvaluateDisjunct(const Database& db,
   naive.limits = options.EffectiveLimits();
   naive.runtime = options.runtime;
   naive.plan_cache = options.plan_cache;
+  naive.vectorize = options.vectorize;
   return NaiveEvaluateCq(db, cq, naive, plan);
 }
 

@@ -38,6 +38,10 @@ struct UcqOptions {
   /// reuse their compiled plans. Safe under parallel disjunct evaluation
   /// because disjuncts are signature-deduplicated first.
   PlanCache* plan_cache = nullptr;
+  /// Forwarded to every cyclic disjunct's plan-based evaluation (see
+  /// NaiveOptions::vectorize). Acyclic disjuncts use Semijoin schedules,
+  /// which are never vectorized.
+  bool vectorize = true;
   /// DEPRECATED alias for limits.max_steps (historically only applied to
   /// cyclic disjuncts). Used only when limits.max_steps == 0.
   uint64_t naive_max_steps = 0;

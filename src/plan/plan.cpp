@@ -83,6 +83,8 @@ const char* PlanOpName(PlanOp op) {
       return "Dedup";
     case PlanOp::kFixpoint:
       return "Fixpoint";
+    case PlanOp::kMaterialize:
+      return "Materialize";
   }
   return "?";
 }
@@ -105,6 +107,7 @@ void PlanStats::Merge(const PlanStats& o) {
   parallel_tasks += o.parallel_tasks;
   morsels += o.morsels;
   wall_seconds += o.wall_seconds;
+  vec_batches += o.vec_batches;
 }
 
 std::string PlanStats::ToString() const {
@@ -118,13 +121,14 @@ std::string PlanStats::ToString() const {
       << " zero_copy_projections=" << zero_copy_projections
       << " index_builds=" << index_builds << " index_hits=" << index_hits
       << "\nparallel_tasks=" << parallel_tasks << " morsels=" << morsels
-      << " wall_ms=" << wall_seconds * 1e3;
+      << " vec_batches=" << vec_batches << " wall_ms=" << wall_seconds * 1e3;
   return oss.str();
 }
 
 const RowIndex& JoinIndexCache::GetOrBuild(const Relation& rel,
                                            const std::vector<int>& cols,
-                                           PlanStats* stats) {
+                                           PlanStats* stats,
+                                           const ParallelForFn& pfor) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [key, idx] : indexes_) {
     if (key == cols) {
@@ -133,13 +137,14 @@ const RowIndex& JoinIndexCache::GetOrBuild(const Relation& rel,
     }
   }
   if (stats != nullptr) ++stats->index_builds;
-  indexes_.emplace_back(cols, RowIndex(rel, cols));
+  indexes_.emplace_back(cols, RowIndex(rel, cols, pfor));
   return indexes_.back().second;
 }
 
 void PlanNode::ResetActuals() {
   actual_rows = kNotExecuted;
   actual_morsels = 0;
+  actual_batches = 0;
   for (const PlanNodePtr& c : children) c->ResetActuals();
 }
 
@@ -301,6 +306,16 @@ PlanNodePtr MakeFixpoint(std::vector<PlanNodePtr> rule_plans,
   return n;
 }
 
+PlanNodePtr MakeMaterialize(PlanNodePtr child) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanOp::kMaterialize;
+  n->attrs = child->attrs;
+  n->est_rows = child->est_rows;
+  n->attr_distinct = child->attr_distinct;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
 namespace {
 
 PlanNodePtr CloneRec(
@@ -318,6 +333,7 @@ PlanNodePtr CloneRec(
   out->index_cache = n.index_cache;
   out->predicate = n.predicate;
   out->dedup = n.dedup;
+  out->repr = n.repr;
   if (slot_caches != nullptr && n.op == PlanOp::kScan) {
     out->index_cache =
         (n.input_slot >= 0 &&
@@ -359,6 +375,7 @@ struct Renderer {
       out << AttrName(n.attrs[i]);
     }
     out << ")";
+    if (n.repr == PlanRepr::kColumnar) out << " [vec]";
     if (!n.label.empty()) out << " " << n.label;
     if (reference) {
       out << " see #" << shown.at(&n) << "\n";
@@ -379,6 +396,7 @@ struct Renderer {
       if (n.actual_rows != PlanNode::kNotExecuted) {
         out << " actual=" << n.actual_rows;
         if (n.actual_morsels > 0) out << " morsels=" << n.actual_morsels;
+        if (n.actual_batches > 0) out << " vec=" << n.actual_batches;
       }
     }
     auto it = refs->find(&n);

@@ -72,9 +72,22 @@ enum class PlanOp {
   kDedup,     // explicit set-semantics enforcement
   kFixpoint,  // Datalog marker: children are per-rule body plans; iteration
               // is driven by the semi-naive engine, not the plan executor
+  kMaterialize,  // representation boundary: executes its child chain through
+                 // the vectorized columnar pipeline (selection vectors over
+                 // column stripes) and materializes the result back to rows
+                 // for the row-at-a-time consumer above
 };
 
 const char* PlanOpName(PlanOp op);
+
+/// Physical representation a node executes in. Planner-assigned: nodes on a
+/// chain under a kMaterialize boundary are tagged kColumnar and run as
+/// vectorized stages; everything else stays row-at-a-time. The tag is purely
+/// physical — a columnar node computes exactly the rows its row twin would.
+enum class PlanRepr {
+  kRow,
+  kColumnar,
+};
 
 /// Counters shared by every plan execution. This is the unified home the
 /// per-evaluator AcyclicStats/DatalogStats operator counters folded into;
@@ -106,6 +119,9 @@ struct PlanStats {
   size_t parallel_tasks = 0;
   size_t morsels = 0;
   double wall_seconds = 0;
+  /// Column batches processed by vectorized pipeline stages (0 when every
+  /// operator ran row-at-a-time).
+  size_t vec_batches = 0;
 
   void Merge(const PlanStats& o);
   std::string ToString() const;
@@ -120,9 +136,10 @@ class JoinIndexCache {
  public:
   /// Thread-safe: concurrent Datalog rule firings share one cache per EDB
   /// materialization. Returned references stay valid (deque storage) for
-  /// the cache's lifetime.
+  /// the cache's lifetime. A bound `pfor` parallelizes a cache-miss build
+  /// (the built index is identical either way; see RowIndex).
   const RowIndex& GetOrBuild(const Relation& rel, const std::vector<int>& cols,
-                             PlanStats* stats);
+                             PlanStats* stats, const ParallelForFn& pfor = {});
 
  private:
   std::mutex mutex_;
@@ -165,11 +182,18 @@ struct PlanNode {
   // --- kProject payload ---
   bool dedup = true;
 
+  /// Physical representation (see PlanRepr). Set by the planner; rendered as
+  /// a "[vec]" suffix.
+  PlanRepr repr = PlanRepr::kRow;
+
   /// Filled by the executor (rows of the computed result).
   uint64_t actual_rows = kNotExecuted;
   /// Morsels the executor processed for this operator (0 = it ran
   /// sequentially); rendered next to actual_rows for parallel executions.
   uint64_t actual_morsels = 0;
+  /// Column batches a kMaterialize boundary pushed through its vectorized
+  /// pipeline (0 = not executed vectorized); rendered as "vec=N".
+  uint64_t actual_batches = 0;
 
   /// Clears actual_rows/actual_morsels recursively (before re-executing a
   /// cached plan).
@@ -193,6 +217,10 @@ PlanNodePtr MakeUnion(std::vector<PlanNodePtr> children,
 PlanNodePtr MakeDedup(PlanNodePtr child);
 PlanNodePtr MakeFixpoint(std::vector<PlanNodePtr> rule_plans,
                          std::string label);
+/// Representation boundary over `child` (same attrs/estimates). The executor
+/// runs the chain below it vectorized when eligible (vec_pipeline.hpp) and
+/// falls back to executing the child row-at-a-time otherwise.
+PlanNodePtr MakeMaterialize(PlanNodePtr child);
 
 /// Deep-copies a plan DAG (shared subplans stay shared within the clone),
 /// with actual_rows/actual_morsels reset. When `slot_caches` is non-null,

@@ -5,10 +5,21 @@
 #include "eval/common.hpp"
 #include "hypergraph/join_tree.hpp"
 #include "plan/executor.hpp"
+#include "plan/vec_pipeline.hpp"
 
 namespace paraquery {
 
 namespace {
+
+// Tags the left spine under a Materialize boundary (chain stages plus the
+// source scan) columnar, for the "[vec]" EXPLAIN rendering. Join build
+// sides stay row-represented.
+void TagColumnarChain(PlanNode* n) {
+  for (PlanNode* p = n;; p = p->children[0].get()) {
+    p->repr = PlanRepr::kColumnar;
+    if (p->op == PlanOp::kScan) break;
+  }
+}
 
 std::string TermText(const Term& t, const VarTable& vars) {
   if (t.is_const()) return internal::StrCat(t.value());
@@ -351,8 +362,16 @@ Result<PhysicalPlan> PlanCyclicCq(const Database& db,
                     : MakeHashJoin(std::move(node), scans[order[k]]);
     PQ_RETURN_NOT_OK(apply_selects());
   }
-  plan.root =
-      MakeDedup(MakeProject(std::move(node), head_vars, /*dedup=*/false));
+  // Head projection + dedup. When vectorizable, the Select/Project/HashJoin
+  // chain runs as columnar stages under a Materialize boundary; the Dedup
+  // stays a row operator above it (it reuses the parallel HashDedup).
+  PlanNodePtr proj = MakeProject(std::move(node), head_vars, /*dedup=*/false);
+  if (options.vectorize && VecPipelineEligible(*proj)) {
+    TagColumnarChain(proj.get());
+    plan.root = MakeDedup(MakeMaterialize(std::move(proj)));
+  } else {
+    plan.root = MakeDedup(std::move(proj));
+  }
   return plan;
 }
 
@@ -381,7 +400,7 @@ Result<PlanNodePtr> PlanRuleBody(
     const DatalogRule& rule, const std::vector<std::vector<AttrId>>& attrs,
     const std::vector<size_t>& sizes,
     const std::vector<JoinIndexCache*>& caches, int delta_pos,
-    const std::vector<std::vector<double>>& distinct) {
+    const std::vector<std::vector<double>>& distinct, bool vectorize) {
   if (rule.body.empty()) {
     return Status::InvalidArgument("cannot plan an empty rule body");
   }
@@ -410,7 +429,14 @@ Result<PlanNodePtr> PlanRuleBody(
       head_vars.push_back(t.var());
     }
   }
-  return MakeProject(std::move(node), head_vars, /*dedup=*/true);
+  // The deduplicating head Project is the pipeline's sink stage: dedup runs
+  // on the materialized rows at the boundary.
+  PlanNodePtr proj = MakeProject(std::move(node), head_vars, /*dedup=*/true);
+  if (vectorize && VecPipelineEligible(*proj)) {
+    TagColumnarChain(proj.get());
+    return MakeMaterialize(std::move(proj));
+  }
+  return proj;
 }
 
 }  // namespace paraquery

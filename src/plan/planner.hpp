@@ -34,6 +34,11 @@ struct PlannerOptions {
   /// Cyclic plans: apply the greedy atom ordering. Off = join in the query's
   /// textual atom order (the seed-order baseline bench_planner measures).
   bool reorder = true;
+  /// Place a Materialize boundary over eligible Select/Project/HashJoin
+  /// chains so the executor runs them as vectorized columnar stages
+  /// (plan/vec_pipeline.hpp). Results are byte-identical either way; off
+  /// forces row-at-a-time execution everywhere.
+  bool vectorize = true;
 };
 
 /// A lowered plan plus everything needed to run it: the slot-bound input
@@ -104,11 +109,14 @@ std::vector<size_t> GreedyAtomOrder(const std::vector<NamedRelation>& rels,
 /// distinct head variables. `delta_pos` (or -1) is pinned first in the join
 /// order. `distinct` (optional, per slot per column) seeds the cardinality
 /// model. The body must be nonempty.
+/// With `vectorize` the root becomes a Materialize boundary over the
+/// (columnar-tagged) chain when it is vectorizable.
 Result<PlanNodePtr> PlanRuleBody(
     const DatalogRule& rule, const std::vector<std::vector<AttrId>>& attrs,
     const std::vector<size_t>& sizes,
     const std::vector<JoinIndexCache*>& caches, int delta_pos,
-    const std::vector<std::vector<double>>& distinct = {});
+    const std::vector<std::vector<double>>& distinct = {},
+    bool vectorize = true);
 
 }  // namespace paraquery
 

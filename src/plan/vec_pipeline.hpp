@@ -1,0 +1,45 @@
+// Columnar pipeline compiler: decides whether the chain under a kMaterialize
+// boundary can execute as vectorized stages, and flattens it for the
+// stage-at-a-time runner (runtime/vectorized_exec.hpp).
+//
+// An eligible chain is a left spine of
+//
+//   Materialize -> [Project(dedup) as the final stage]? -> (Select | Project
+//   | HashJoin)* -> Scan
+//
+// where every HashJoin carries no pushed post-filter (its right child is an
+// arbitrary subtree, executed row-at-a-time as the build side), a
+// deduplicating Project appears only directly under the boundary, and every
+// schema along the spine is non-empty. Anything else is rejected and the
+// executor falls back to running the child chain row-at-a-time — the chain
+// nodes are ordinary row operators, so the fallback needs no plan rewrite.
+#ifndef PARAQUERY_PLAN_VEC_PIPELINE_H_
+#define PARAQUERY_PLAN_VEC_PIPELINE_H_
+
+#include <vector>
+
+#include "plan/plan.hpp"
+
+namespace paraquery {
+
+/// A compiled columnar chain: the leaf scan plus the stages above it in
+/// source-to-sink order. Nodes are borrowed from the plan.
+struct VecPipeline {
+  PlanNode* materialize = nullptr;
+  PlanNode* source = nullptr;        // the kScan leaf
+  std::vector<PlanNode*> stages;     // source-to-sink, excluding the scan
+};
+
+/// Compiles the chain under `materialize` (a kMaterialize node). Returns
+/// true and fills `out` iff every node is vectorizable; on false the caller
+/// must execute the child row-at-a-time.
+bool CompileVecPipeline(PlanNode& materialize, VecPipeline* out);
+
+/// Planner-side eligibility probe over the would-be chain root (the node a
+/// Materialize would be placed above). Equivalent to CompileVecPipeline
+/// succeeding, without building the stage list.
+bool VecPipelineEligible(const PlanNode& chain_root);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_PLAN_VEC_PIPELINE_H_

@@ -1,0 +1,69 @@
+#include "relational/column_block.hpp"
+
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace paraquery {
+
+namespace {
+// Rows per transpose chunk. Matches the runtime's default morsel size so a
+// parallel transpose produces the same work granularity as the operators
+// that consume it.
+constexpr size_t kTransposeGrain = 4096;
+}  // namespace
+
+std::shared_ptr<const ColumnarTable> ColumnarTable::FromRelation(
+    const Relation& rel, const ParallelForFn& pfor) {
+  PQ_CHECK(rel.arity() > 0, "ColumnarTable requires arity > 0");
+  const size_t arity = rel.arity();
+  const size_t rows = rel.size();
+  auto table = std::shared_ptr<ColumnarTable>(new ColumnarTable());
+  table->rows_ = rows;
+  table->cols_.reserve(arity);
+  std::vector<Value*> out(arity);
+  for (size_t c = 0; c < arity; ++c) {
+    auto block = std::make_shared<ColumnBlock>(std::vector<Value>(rows));
+    out[c] = block->values.data();
+    table->cols_.push_back(std::move(block));
+  }
+  const Value* base = rel.data().data();
+  ForChunks(pfor, rows, kTransposeGrain,
+            [&](size_t /*chunk*/, size_t begin, size_t end) {
+              for (size_t r = begin; r < end; ++r) {
+                const Value* row = base + r * arity;
+                for (size_t c = 0; c < arity; ++c) out[c][r] = row[c];
+              }
+            });
+  return table;
+}
+
+std::shared_ptr<const ColumnarTable> ColumnarTable::FromColumns(
+    std::vector<std::shared_ptr<const ColumnBlock>> cols, size_t rows) {
+  for (const auto& c : cols) {
+    PQ_DCHECK(c != nullptr && c->values.size() == rows,
+              "ColumnarTable::FromColumns: column length mismatch");
+  }
+  auto table = std::shared_ptr<ColumnarTable>(new ColumnarTable());
+  table->cols_ = std::move(cols);
+  table->rows_ = rows;
+  return table;
+}
+
+std::shared_ptr<const ColumnarTable> Relation::ColumnarView(
+    const ParallelForFn& pfor) const {
+  if (arity_ == 0 || empty()) return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(block_->stats_mutex);
+    if (block_->columnar != nullptr) return block_->columnar;
+  }
+  // Build outside the lock: concurrent views of one block may race to build
+  // the same mirror; the loser's copy is discarded by the re-check below.
+  std::shared_ptr<const ColumnarTable> mirror =
+      ColumnarTable::FromRelation(*this, pfor);
+  std::lock_guard<std::mutex> lock(block_->stats_mutex);
+  if (block_->columnar == nullptr) block_->columnar = mirror;
+  return block_->columnar;
+}
+
+}  // namespace paraquery

@@ -1,0 +1,104 @@
+// Column-major storage mirror for vectorized execution.
+//
+// Values are already dictionary codes (strings intern through Dictionary
+// into dense Value codes), so a column of codes IS the dictionary-encoded
+// representation: one contiguous `std::vector<Value>` per attribute. A
+// ColumnarTable is a read-only transpose of a Relation's row-major RowBlock,
+// built once per mutation epoch and cached on the RowBlock itself
+// (Relation::ColumnarView) so every storage-sharing view — relabels,
+// aliases, snapshot pins — shares one mirror, exactly like the per-block
+// distinct-count stat cache. Any mutation of the relation drops the cache
+// along with the stats; a copy-on-write clone starts without one.
+//
+// ColumnBlocks are individually ref-counted so a projection can share a
+// column subset of another table without copying (the columnar analogue of
+// RowBlock view sharing), and each block settles its capacity bytes against
+// the thread-current MemoryAccountant, mirroring RowBlock's budget
+// accounting: the mirror is charged to the query that builds it and
+// released when the owning relation mutates or dies.
+#ifndef PARAQUERY_RELATIONAL_COLUMN_BLOCK_H_
+#define PARAQUERY_RELATIONAL_COLUMN_BLOCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/parallel_for.hpp"
+#include "common/query_context.hpp"
+#include "relational/relation.hpp"
+#include "relational/value.hpp"
+
+namespace paraquery {
+
+/// One immutable column of Values. Byte-accounted like RowBlock: charges
+/// the thread-current accountant at construction, releases on destruction.
+struct ColumnBlock {
+  std::vector<Value> values;
+
+  std::shared_ptr<MemoryAccountant> accountant;
+  size_t charged_bytes = 0;
+
+  ColumnBlock() : accountant(MemoryAccountant::Current()) {}
+  explicit ColumnBlock(std::vector<Value> v)
+      : values(std::move(v)), accountant(MemoryAccountant::Current()) {
+    Account();
+  }
+  ColumnBlock(const ColumnBlock&) = delete;
+  ColumnBlock& operator=(const ColumnBlock&) = delete;
+  ~ColumnBlock() {
+    if (accountant) accountant->Charge(-static_cast<int64_t>(charged_bytes));
+  }
+
+  /// Brings the charged byte count up to date with the buffer's capacity.
+  void Account() {
+    if (!accountant) return;
+    size_t cap = values.capacity() * sizeof(Value);
+    if (cap == charged_bytes) return;
+    accountant->Charge(static_cast<int64_t>(cap) -
+                       static_cast<int64_t>(charged_bytes));
+    charged_bytes = cap;
+  }
+};
+
+/// An immutable column-major table: one ref-counted ColumnBlock per
+/// attribute, all of the same length. Tables may share ColumnBlocks
+/// (FromColumns), so column-subset projections are zero-copy.
+class ColumnarTable {
+ public:
+  /// Transposes `rel` (arity > 0). The transpose morsels over row chunks
+  /// through `pfor` when bound (byte-identical to the sequential order —
+  /// every chunk writes disjoint ranges of the pre-sized columns).
+  static std::shared_ptr<const ColumnarTable> FromRelation(
+      const Relation& rel, const ParallelForFn& pfor = {});
+
+  /// Wraps existing column blocks (each of length `rows`) without copying.
+  static std::shared_ptr<const ColumnarTable> FromColumns(
+      std::vector<std::shared_ptr<const ColumnBlock>> cols, size_t rows);
+
+  size_t rows() const { return rows_; }
+  size_t arity() const { return cols_.size(); }
+
+  /// Raw contiguous column data, length rows().
+  const Value* col(size_t c) const { return cols_[c]->values.data(); }
+
+  /// The ref-counted block behind column `c`, for zero-copy sharing.
+  const std::shared_ptr<const ColumnBlock>& col_block(size_t c) const {
+    return cols_[c];
+  }
+
+  /// True iff column `c` of this table and column `o` of `other` are views
+  /// of the same ColumnBlock.
+  bool SharesColumnWith(size_t c, const ColumnarTable& other, size_t o) const {
+    return cols_[c] == other.cols_[o];
+  }
+
+ private:
+  ColumnarTable() = default;
+
+  std::vector<std::shared_ptr<const ColumnBlock>> cols_;
+  size_t rows_ = 0;
+};
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_RELATIONAL_COLUMN_BLOCK_H_

@@ -83,7 +83,27 @@ void Relation::SortAndDedup() {
   Bump();
 }
 
-void Relation::HashDedup() {
+namespace {
+
+size_t DedupNextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Rows per chunk of the partitioned parallel dedup passes. Every pass must
+/// chunk identically, so this is fixed rather than taken from the runtime's
+/// morsel knob.
+constexpr size_t kDedupGrain = 4096;
+/// Below this the sequential single-pass dedup wins outright.
+constexpr size_t kParallelDedupMinRows = size_t{1} << 13;
+/// Hash-prefix partition count (top 6 bits of the row hash).
+constexpr size_t kDedupParts = 64;
+constexpr int kDedupPartShift = 58;
+
+}  // namespace
+
+void Relation::HashDedup(const ParallelForFn& pfor) {
   if (arity_ == 0) {
     zero_ary_rows_ = zero_ary_rows_ > 0 ? 1 : 0;
     sorted_ = true;
@@ -92,16 +112,127 @@ void Relation::HashDedup() {
   }
   if (sorted_) return;  // already deduplicated (and sorted)
   size_t n = size();
-  RowHashSet set(arity_);
-  set.Reserve(n);
-  for (size_t r = 0; r < n; ++r) set.Insert(Row(r));
-  // Duplicate-free input keeps its (possibly shared) storage untouched.
-  if (set.size() != n) {
-    block_ = std::move(set.TakeRelation().block_);
-    Sync();
-    Bump();
+  if (!pfor || n < kParallelDedupMinRows) {
+    RowHashSet set(arity_);
+    set.Reserve(n);
+    for (size_t r = 0; r < n; ++r) set.Insert(Row(r));
+    // Duplicate-free input keeps its (possibly shared) storage untouched.
+    if (set.size() != n) {
+      block_ = std::move(set.TakeRelation().block_);
+      Sync();
+      Bump();
+    }
+    sorted_ = size() <= 1;
+    return;
   }
+
+  // Partitioned parallel dedup. Duplicates of a row share its full-row hash
+  // and therefore its hash-prefix partition; the scatter below keeps row ids
+  // increasing within each partition, so marking the first occurrence per
+  // partition marks exactly the rows the sequential RowHashSet pass keeps.
+  const Value* base = base_;
+  const size_t arity = arity_;
+  std::vector<uint64_t> hashes(n);
+  size_t chunks =
+      ForChunks(pfor, n, kDedupGrain, [&](size_t, size_t b, size_t e) {
+        for (size_t r = b; r < e; ++r) {
+          hashes[r] =
+              HashRow(std::span<const Value>(base + r * arity, arity));
+        }
+      });
+  // Per-(chunk, partition) counts -> deterministic scatter offsets.
+  std::vector<size_t> counts(chunks * kDedupParts, 0);
+  ForChunks(pfor, n, kDedupGrain, [&](size_t c, size_t b, size_t e) {
+    size_t* local = counts.data() + c * kDedupParts;
+    for (size_t r = b; r < e; ++r) ++local[hashes[r] >> kDedupPartShift];
+  });
+  std::vector<size_t> part_start(kDedupParts + 1, 0);
+  for (size_t c = 0; c < chunks; ++c) {
+    for (size_t p = 0; p < kDedupParts; ++p) {
+      part_start[p + 1] += counts[c * kDedupParts + p];
+    }
+  }
+  for (size_t p = 0; p < kDedupParts; ++p) part_start[p + 1] += part_start[p];
+  std::vector<size_t> offs(chunks * kDedupParts);
+  for (size_t p = 0; p < kDedupParts; ++p) {
+    size_t acc = part_start[p];
+    for (size_t c = 0; c < chunks; ++c) {
+      offs[c * kDedupParts + p] = acc;
+      acc += counts[c * kDedupParts + p];
+    }
+  }
+  std::vector<uint32_t> part_rows(n);
+  ForChunks(pfor, n, kDedupGrain, [&](size_t c, size_t b, size_t e) {
+    size_t local[kDedupParts];
+    std::copy(offs.begin() + c * kDedupParts,
+              offs.begin() + (c + 1) * kDedupParts, local);
+    for (size_t r = b; r < e; ++r) {
+      part_rows[local[hashes[r] >> kDedupPartShift]++] =
+          static_cast<uint32_t>(r);
+    }
+  });
+  // Each partition dedups independently (disjoint keep[] entries).
+  std::vector<uint8_t> keep(n, 0);
+  std::vector<size_t> part_kept(kDedupParts, 0);
+  ForChunks(pfor, kDedupParts, 1, [&](size_t, size_t pb, size_t pe) {
+    for (size_t p = pb; p < pe; ++p) {
+      size_t pbegin = part_start[p], pend = part_start[p + 1];
+      if (pbegin == pend) continue;
+      size_t cap = DedupNextPowerOfTwo(std::max<size_t>(
+          (pend - pbegin) * 2, 16));
+      uint64_t mask = cap - 1;
+      std::vector<uint32_t> slots(cap, UINT32_MAX);
+      size_t kept = 0;
+      for (size_t i = pbegin; i < pend; ++i) {
+        uint32_t r = part_rows[i];
+        uint64_t h = hashes[r];
+        size_t s = h & mask;
+        bool dup = false;
+        while (slots[s] != UINT32_MAX) {
+          uint32_t o = slots[s];
+          if (hashes[o] == h &&
+              std::equal(base + size_t{o} * arity,
+                         base + (size_t{o} + 1) * arity,
+                         base + size_t{r} * arity)) {
+            dup = true;
+            break;
+          }
+          s = (s + 1) & mask;
+        }
+        if (!dup) {
+          slots[s] = r;
+          keep[r] = 1;
+          ++kept;
+        }
+      }
+      part_kept[p] = kept;
+    }
+  });
+  size_t total = 0;
+  for (size_t p = 0; p < kDedupParts; ++p) total += part_kept[p];
+  if (total == n) {  // duplicate-free: keep the (possibly shared) storage
+    sorted_ = size() <= 1;
+    return;
+  }
+  // Ordered compaction of the survivors into a fresh flat buffer.
+  std::vector<size_t> chunk_off(chunks + 1, 0);
+  ForChunks(pfor, n, kDedupGrain, [&](size_t c, size_t b, size_t e) {
+    size_t k = 0;
+    for (size_t r = b; r < e; ++r) k += keep[r];
+    chunk_off[c + 1] = k;
+  });
+  for (size_t c = 0; c < chunks; ++c) chunk_off[c + 1] += chunk_off[c];
+  std::vector<Value> out(total * arity);
+  ForChunks(pfor, n, kDedupGrain, [&](size_t c, size_t b, size_t e) {
+    Value* dst = out.data() + chunk_off[c] * arity;
+    for (size_t r = b; r < e; ++r) {
+      if (!keep[r]) continue;
+      dst = std::copy(base + r * arity, base + (r + 1) * arity, dst);
+    }
+  });
+  ReplaceValues(std::move(out));
   sorted_ = size() <= 1;
+  Bump();
 }
 
 bool Relation::Contains(std::span<const Value> row) const {
@@ -156,6 +287,7 @@ void Relation::Clear() {
   if (block_.use_count() == 1) {
     block_->values.clear();  // keep the exclusive buffer's capacity
     block_->distinct_counts.clear();
+    block_->columnar.reset();
   } else {
     block_ = EmptyBlock();
   }

@@ -25,11 +25,14 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel_for.hpp"
 #include "common/query_context.hpp"
 #include "common/status.hpp"
 #include "relational/value.hpp"
 
 namespace paraquery {
+
+class ColumnarTable;
 
 /// Ref-counted flat row-major buffer shared between Relation views.
 /// Logically immutable while shared: Relation's copy-on-write gate clones it
@@ -50,6 +53,13 @@ struct RowBlock {
   /// Per-column distinct-value counts; empty until first computed, entries
   /// of kStatUnknown not yet computed. Sized to the owning relation's arity.
   std::vector<size_t> distinct_counts;
+
+  /// Cached column-major mirror of this block (see Relation::ColumnarView),
+  /// guarded by `stats_mutex` like the stats. Invalidated wherever
+  /// `distinct_counts` is — any in-place mutation — and not copied by the
+  /// copy-on-write clone (the user-defined copy constructor below copies
+  /// only the rows).
+  std::shared_ptr<const ColumnarTable> columnar;
 
   /// Byte accounting for query memory budgets: the thread-current accountant
   /// at construction time (null outside engine runs), and the capacity bytes
@@ -220,7 +230,24 @@ class Relation {
   /// of each row in its original position (no sorting). Preferred over
   /// SortAndDedup wherever the caller needs only set semantics, not a
   /// sorted order. A duplicate-free relation keeps its shared storage.
-  void HashDedup();
+  void HashDedup() { HashDedup({}); }
+
+  /// As HashDedup(); with `pfor` bound, large inputs deduplicate with a
+  /// hash-partitioned parallel pass (hash rows, scatter row ids into
+  /// partitions by hash prefix, dedup each partition independently, compact
+  /// survivors in row order). Duplicates of a row share its hash and
+  /// therefore its partition, and within a partition row ids stay
+  /// increasing, so the survivor set — first occurrence of each row — is
+  /// exactly the sequential one: results are byte-identical at any width.
+  void HashDedup(const ParallelForFn& pfor);
+
+  /// The cached column-major mirror of this relation's storage, transposing
+  /// on first use (morselized through `pfor` when bound) and cached on the
+  /// shared RowBlock — storage-sharing views share one mirror, and any
+  /// mutation invalidates it, exactly like the distinct-count stats. Null
+  /// for arity-0 or empty relations.
+  std::shared_ptr<const ColumnarTable> ColumnarView(
+      const ParallelForFn& pfor = {}) const;
 
   /// True if SortAndDedup has run and no row was added since.
   bool sorted() const { return sorted_; }
@@ -282,6 +309,7 @@ class Relation {
       block_ = std::make_shared<RowBlock>(*block_);
     } else {
       block_->distinct_counts.clear();
+      block_->columnar.reset();
     }
     return block_->values;
   }
@@ -300,6 +328,7 @@ class Relation {
     PQ_DCHECK(block_.use_count() == 1,
               "AppendRowUnchecked requires exclusive storage");
     block_->distinct_counts.clear();
+    block_->columnar.reset();
     block_->values.insert(block_->values.end(), row.begin(), row.end());
     Sync();
     sorted_ = false;

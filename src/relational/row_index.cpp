@@ -20,9 +20,20 @@ uint64_t HashRowAt(const Relation& rel, size_t row, std::span<const int> cols) {
   return h;
 }
 
+/// Rows per chunk of the parallel build passes (hash, count, scatter); all
+/// passes must chunk identically.
+constexpr size_t kBuildGrain = 4096;
+/// Partition count switches from 1 to kBuildParts at this row count — a
+/// function of the input only, so the table layout never depends on the
+/// execution width.
+constexpr size_t kPartitionedBuildMinRows = size_t{1} << 15;
+constexpr size_t kBuildParts = 64;
+constexpr int kBuildPartShift = 58;
+
 }  // namespace
 
-RowIndex::RowIndex(const Relation& rel, std::vector<int> key_cols)
+RowIndex::RowIndex(const Relation& rel, std::vector<int> key_cols,
+                   const ParallelForFn& pfor)
     : rel_(&rel),
       base_(rel.data().data()),
       rel_arity_(rel.arity()),
@@ -32,34 +43,118 @@ RowIndex::RowIndex(const Relation& rel, std::vector<int> key_cols)
   hashes_.resize(n);
   next_.assign(n, kNone);
   counts_.assign(n, 0);
-  size_t cap = NextPowerOfTwo(std::max<size_t>(n * 2, 8));
-  slots_.assign(cap, kNone);
-  mask_ = cap - 1;
-  // Per-slot chain tail, so same-key rows append in increasing row order.
-  // Scratch only; discarded after the build.
-  std::vector<uint32_t> tails(cap, kNone);
-  for (size_t r = 0; r < n; ++r) {
-    uint64_t h = HashRowAt(rel, r, key_cols_);
-    hashes_[r] = h;
-    size_t s = h & mask_;
-    for (;;) {
-      uint32_t head = slots_[s];
-      if (head == kNone) {
-        slots_[s] = static_cast<uint32_t>(r);
-        tails[s] = static_cast<uint32_t>(r);
-        counts_[r] = 1;
-        ++distinct_;
-        break;
+  size_t chunks =
+      ForChunks(pfor, n, kBuildGrain, [&](size_t, size_t b, size_t e) {
+        for (size_t r = b; r < e; ++r) {
+          hashes_[r] = HashRowAt(*rel_, r, key_cols_);
+        }
+      });
+
+  // Shared per-partition insert loop: walks rows of one slot region in
+  // increasing row order, appending same-key rows to their chain tail.
+  // With part_count_ == 1 (region = whole table, every row) this is exactly
+  // the historical sequential build.
+  auto insert_rows = [&](size_t slot_base, uint64_t mask,
+                         auto&& next_row) -> size_t {
+    std::vector<uint32_t> tails(mask + 1, kNone);
+    size_t distinct = 0;
+    for (uint32_t r = next_row(); r != kNone; r = next_row()) {
+      uint64_t h = hashes_[r];
+      size_t s = slot_base + (h & mask);
+      for (;;) {
+        uint32_t head = slots_[s];
+        if (head == kNone) {
+          slots_[s] = r;
+          tails[s - slot_base] = r;
+          counts_[r] = 1;
+          ++distinct;
+          break;
+        }
+        if (hashes_[head] == h && RowKeysEqual(head, r)) {
+          next_[tails[s - slot_base]] = r;
+          tails[s - slot_base] = r;
+          ++counts_[head];
+          break;
+        }
+        s = slot_base + ((s - slot_base + 1) & mask);
       }
-      if (hashes_[head] == h && RowKeysEqual(head, static_cast<uint32_t>(r))) {
-        next_[tails[s]] = static_cast<uint32_t>(r);
-        tails[s] = static_cast<uint32_t>(r);
-        ++counts_[head];
-        break;
-      }
-      s = (s + 1) & mask_;
+    }
+    return distinct;
+  };
+
+  if (n < kPartitionedBuildMinRows) {
+    size_t cap = NextPowerOfTwo(std::max<size_t>(n * 2, 8));
+    slots_.assign(cap, kNone);
+    mask_ = cap - 1;
+    uint32_t r = 0;
+    distinct_ = insert_rows(0, mask_, [&]() -> uint32_t {
+      return r < n ? r++ : kNone;
+    });
+    return;
+  }
+
+  // Partitioned build: scatter row ids into hash-prefix partitions (stable,
+  // so within a partition row ids stay increasing), then fill disjoint
+  // sub-table regions of the flat slots_ array — in parallel when `pfor` is
+  // bound, with a layout independent of the width either way.
+  part_count_ = kBuildParts;
+  std::vector<size_t> counts(chunks * kBuildParts, 0);
+  ForChunks(pfor, n, kBuildGrain, [&](size_t c, size_t b, size_t e) {
+    size_t* local = counts.data() + c * kBuildParts;
+    for (size_t r = b; r < e; ++r) ++local[hashes_[r] >> kBuildPartShift];
+  });
+  std::vector<size_t> part_rows_start(kBuildParts + 1, 0);
+  for (size_t c = 0; c < chunks; ++c) {
+    for (size_t p = 0; p < kBuildParts; ++p) {
+      part_rows_start[p + 1] += counts[c * kBuildParts + p];
     }
   }
+  for (size_t p = 0; p < kBuildParts; ++p) {
+    part_rows_start[p + 1] += part_rows_start[p];
+  }
+  std::vector<size_t> offs(chunks * kBuildParts);
+  for (size_t p = 0; p < kBuildParts; ++p) {
+    size_t acc = part_rows_start[p];
+    for (size_t c = 0; c < chunks; ++c) {
+      offs[c * kBuildParts + p] = acc;
+      acc += counts[c * kBuildParts + p];
+    }
+  }
+  std::vector<uint32_t> part_rows(n);
+  ForChunks(pfor, n, kBuildGrain, [&](size_t c, size_t b, size_t e) {
+    size_t local[kBuildParts];
+    std::copy(offs.begin() + c * kBuildParts,
+              offs.begin() + (c + 1) * kBuildParts, local);
+    for (size_t r = b; r < e; ++r) {
+      part_rows[local[hashes_[r] >> kBuildPartShift]++] =
+          static_cast<uint32_t>(r);
+    }
+  });
+  // Size each sub-table to its own partition's content (load <= 1/2 holds
+  // per region regardless of skew) and lay the regions out back to back.
+  part_base_.assign(kBuildParts, 0);
+  part_mask_.assign(kBuildParts, 0);
+  size_t total_cap = 0;
+  for (size_t p = 0; p < kBuildParts; ++p) {
+    size_t rows_p = part_rows_start[p + 1] - part_rows_start[p];
+    size_t cap = NextPowerOfTwo(std::max<size_t>(rows_p * 2, 8));
+    part_base_[p] = total_cap;
+    part_mask_[p] = cap - 1;
+    total_cap += cap;
+  }
+  slots_.assign(total_cap, kNone);
+  std::vector<size_t> part_distinct(kBuildParts, 0);
+  ForChunks(pfor, kBuildParts, 1, [&](size_t, size_t pb, size_t pe) {
+    for (size_t p = pb; p < pe; ++p) {
+      size_t i = part_rows_start[p];
+      const size_t end = part_rows_start[p + 1];
+      part_distinct[p] =
+          insert_rows(part_base_[p], part_mask_[p], [&]() -> uint32_t {
+            return i < end ? part_rows[i++] : kNone;
+          });
+    }
+  });
+  for (size_t p = 0; p < kBuildParts; ++p) distinct_ += part_distinct[p];
 }
 
 bool RowIndex::RowKeysEqual(uint32_t a, uint32_t b) const {
@@ -71,11 +166,18 @@ bool RowIndex::RowKeysEqual(uint32_t a, uint32_t b) const {
 
 template <typename KeyEq>
 uint32_t RowIndex::Probe(uint64_t h, KeyEq key_eq) const {
-  size_t s = h & mask_;
+  size_t base = 0;
+  uint64_t mask = mask_;
+  if (part_count_ > 1) {
+    size_t p = h >> kBuildPartShift;
+    base = part_base_[p];
+    mask = part_mask_[p];
+  }
+  size_t s = base + (h & mask);
   while (slots_[s] != kNone) {
     uint32_t head = slots_[s];
     if (hashes_[head] == h && key_eq(head)) return head;
-    s = (s + 1) & mask_;
+    s = base + ((s - base + 1) & mask);
   }
   return kNone;
 }
@@ -103,6 +205,37 @@ uint32_t RowIndex::Find(const Relation& probe, size_t probe_row,
     }
     return true;
   });
+}
+
+void RowIndex::BatchFind(std::span<const Value* const> probe_cols,
+                         std::span<const uint32_t> sel, uint32_t* heads,
+                         uint64_t* hash_scratch) const {
+  PQ_DCHECK(probe_cols.size() == key_cols_.size(),
+            "RowIndex::BatchFind: key arity");
+  const size_t m = sel.size();
+  if (slots_.empty()) {
+    std::fill(heads, heads + m, kNone);
+    return;
+  }
+  // Stripe hashing: fold each key column over every selected position
+  // before touching a slot — identical fold order to HashRowAt, so the
+  // hashes (and therefore the probes) match the scalar path bit for bit.
+  for (size_t i = 0; i < m; ++i) hash_scratch[i] = kRowHashSeed;
+  for (size_t j = 0; j < probe_cols.size(); ++j) {
+    const Value* col = probe_cols[j];
+    for (size_t i = 0; i < m; ++i) {
+      hash_scratch[i] = MixRowHash(hash_scratch[i], col[sel[i]]);
+    }
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const uint32_t row = sel[i];
+    heads[i] = Probe(hash_scratch[i], [&](uint32_t head) {
+      for (size_t j = 0; j < key_cols_.size(); ++j) {
+        if (IndexedAt(head, key_cols_[j]) != probe_cols[j][row]) return false;
+      }
+      return true;
+    });
+  }
 }
 
 RowHashSet::RowHashSet(size_t arity) : rel_(arity) {

@@ -41,6 +41,7 @@
 #include <span>
 #include <vector>
 
+#include "common/parallel_for.hpp"
 #include "relational/relation.hpp"
 #include "relational/value.hpp"
 
@@ -55,7 +56,17 @@ class RowIndex {
   /// Builds the index over `rel` keyed on `key_cols` (each must be a valid
   /// column of `rel`). An empty `key_cols` keys every row to the same value,
   /// which makes Find enumerate all rows — the degenerate cross-product case.
-  RowIndex(const Relation& rel, std::vector<int> key_cols);
+  ///
+  /// Large inputs build partitioned: the hash pass morsels over row chunks,
+  /// rows scatter into hash-prefix partitions, and each partition fills its
+  /// own sub-table region of the one flat `slots_` array (sized to its own
+  /// content, so skew can never overflow a region). The partition count is a
+  /// pure function of the row count — never of the thread count — so the
+  /// layout, and a fortiori every observable probe result (chain heads,
+  /// increasing-row-order chains, MatchCount, distinct_keys), is identical
+  /// at any execution width, `pfor` bound or not.
+  RowIndex(const Relation& rel, std::vector<int> key_cols,
+           const ParallelForFn& pfor = {});
 
   /// First row of `rel` whose key equals `key` (values in key_cols order),
   /// or kNone. Follow the chain with Next for further matches.
@@ -78,6 +89,18 @@ class RowIndex {
                 std::span<const int> probe_cols) const {
     return Find(probe, probe_row, probe_cols) != kNone;
   }
+
+  /// Vectorized probe for the columnar kernels: for each selected probe
+  /// position `sel[i]`, reads the key from the column stripes `probe_cols`
+  /// (raw column pointers parallel to this index's key columns), and writes
+  /// the matching chain-head row — or kNone — to `heads[i]`. Hashing runs a
+  /// column stripe at a time through `hash_scratch` (caller-provided, length
+  /// >= sel.size()), folding MixRowHash over each key column for all
+  /// selected positions before any slot is touched; results are exactly
+  /// Find()'s, position by position.
+  void BatchFind(std::span<const Value* const> probe_cols,
+                 std::span<const uint32_t> sel, uint32_t* heads,
+                 uint64_t* hash_scratch) const;
 
   /// Number of distinct keys in the indexed relation.
   size_t distinct_keys() const { return distinct_; }
@@ -108,8 +131,14 @@ class RowIndex {
   std::vector<uint32_t> slots_;   // open-addressing table of chain heads
   std::vector<uint32_t> next_;    // per-row same-key chain
   std::vector<uint32_t> counts_;  // chain length, valid at chain-head rows
-  uint64_t mask_ = 0;             // slots_.size() - 1
+  uint64_t mask_ = 0;             // slots_.size() - 1 (single-partition)
   size_t distinct_ = 0;
+  /// Partitioned layout (part_count_ > 1): partition p of hash h is its top
+  /// bits (h >> kPartShift); its sub-table occupies
+  /// slots_[part_base_[p] .. part_base_[p] + part_mask_[p]].
+  size_t part_count_ = 1;
+  std::vector<size_t> part_base_;
+  std::vector<uint64_t> part_mask_;
 };
 
 /// Incrementally grown set of distinct rows, backed by an owned Relation.

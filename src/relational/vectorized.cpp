@@ -1,0 +1,115 @@
+#include "relational/vectorized.hpp"
+
+namespace paraquery {
+namespace vec {
+
+namespace {
+
+// Runs `pred(position)` over a dense range, appending survivors.
+template <typename Pred>
+inline void DenseLoop(Pred pred, size_t begin, size_t end,
+                      std::vector<SelIdx>& out) {
+  for (size_t r = begin; r < end; ++r) {
+    if (pred(r)) out.push_back(static_cast<SelIdx>(r));
+  }
+}
+
+// Runs `pred(position)` over an existing selection, compacting survivors to
+// the front without reordering.
+template <typename Pred>
+inline size_t SelLoop(Pred pred, SelIdx* sel, size_t n) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    SelIdx r = sel[i];
+    sel[k] = r;
+    k += pred(static_cast<size_t>(r)) ? 1 : 0;
+  }
+  return k;
+}
+
+// Dispatches the Kind switch exactly once, handing `fn` a position predicate
+// bound to the right stripe(s)/constant.
+template <typename Fn>
+inline auto WithPredicate(const Constraint& c, const Value* const* cols,
+                          Fn&& fn) {
+  const Value* a = cols[c.lhs];
+  switch (c.kind) {
+    case Constraint::Kind::kEqConst: {
+      Value v = c.value;
+      return fn([a, v](size_t r) { return a[r] == v; });
+    }
+    case Constraint::Kind::kNeqConst: {
+      Value v = c.value;
+      return fn([a, v](size_t r) { return a[r] != v; });
+    }
+    case Constraint::Kind::kLtConst: {
+      Value v = c.value;
+      return fn([a, v](size_t r) { return a[r] < v; });
+    }
+    case Constraint::Kind::kLeConst: {
+      Value v = c.value;
+      return fn([a, v](size_t r) { return a[r] <= v; });
+    }
+    case Constraint::Kind::kGtConst: {
+      Value v = c.value;
+      return fn([a, v](size_t r) { return a[r] > v; });
+    }
+    case Constraint::Kind::kGeConst: {
+      Value v = c.value;
+      return fn([a, v](size_t r) { return a[r] >= v; });
+    }
+    case Constraint::Kind::kEqCols: {
+      const Value* b = cols[c.rhs];
+      return fn([a, b](size_t r) { return a[r] == b[r]; });
+    }
+    case Constraint::Kind::kNeqCols: {
+      const Value* b = cols[c.rhs];
+      return fn([a, b](size_t r) { return a[r] != b[r]; });
+    }
+    case Constraint::Kind::kLtCols: {
+      const Value* b = cols[c.rhs];
+      return fn([a, b](size_t r) { return a[r] < b[r]; });
+    }
+    case Constraint::Kind::kLeCols: {
+      const Value* b = cols[c.rhs];
+      return fn([a, b](size_t r) { return a[r] <= b[r]; });
+    }
+  }
+  // Unreachable: the switch covers every Kind.
+  return fn([](size_t) { return false; });
+}
+
+}  // namespace
+
+void FilterDense(const Constraint& c, const Value* const* cols, size_t begin,
+                 size_t end, std::vector<SelIdx>& out) {
+  WithPredicate(c, cols,
+                [&](auto pred) { DenseLoop(pred, begin, end, out); });
+}
+
+size_t FilterSel(const Constraint& c, const Value* const* cols, SelIdx* sel,
+                 size_t n) {
+  return WithPredicate(c, cols,
+                       [&](auto pred) { return SelLoop(pred, sel, n); });
+}
+
+void FilterRange(const std::vector<Constraint>& cs, const Value* const* cols,
+                 size_t begin, size_t end, std::vector<SelIdx>& out) {
+  out.clear();
+  if (cs.empty()) {
+    out.reserve(end - begin);
+    for (size_t r = begin; r < end; ++r) out.push_back(static_cast<SelIdx>(r));
+    return;
+  }
+  FilterDense(cs[0], cols, begin, end, out);
+  for (size_t i = 1; i < cs.size() && !out.empty(); ++i) {
+    out.resize(FilterSel(cs[i], cols, out.data(), out.size()));
+  }
+}
+
+void Gather(const Value* col, const SelIdx* sel, size_t n, Value* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = col[sel[i]];
+}
+
+}  // namespace vec
+}  // namespace paraquery

@@ -1,0 +1,54 @@
+// Vectorized selection-vector kernels over column stripes.
+//
+// The columnar execution path (plan/vec_pipeline.hpp) moves batches between
+// stages as a set of raw column pointers plus a *selection vector*: the row
+// ids (ascending) that survive the filters so far. Nothing is materialized
+// between a Select and the stage that consumes it — a filter only narrows the
+// selection, and a gather densifies survivors just once, at a pipeline's
+// materialization boundary.
+//
+// Every kernel here is branch-light: the Constraint::Kind switch runs once
+// per constraint (not once per row), and the inner loops touch one or two
+// column stripes sequentially. Outputs are exact — positions are kept in
+// ascending order, so downstream results are byte-identical to the row-at-a-
+// time operators they replace.
+#ifndef PARAQUERY_RELATIONAL_VECTORIZED_H_
+#define PARAQUERY_RELATIONAL_VECTORIZED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/predicate.hpp"
+#include "relational/value.hpp"
+
+namespace paraquery {
+namespace vec {
+
+/// Row position within a columnar batch.
+using SelIdx = uint32_t;
+
+/// Applies one constraint to the dense row range [begin, end) of the column
+/// stripes `cols` (indexed by the constraint's column ids), appending the
+/// passing positions to `out` in ascending order.
+void FilterDense(const Constraint& c, const Value* const* cols, size_t begin,
+                 size_t end, std::vector<SelIdx>& out);
+
+/// Refines an existing selection in place: keeps `sel[i]` iff the constraint
+/// holds at that position. Returns the surviving count; survivors are
+/// compacted to the front of `sel`, order preserved.
+size_t FilterSel(const Constraint& c, const Value* const* cols, SelIdx* sel,
+                 size_t n);
+
+/// Applies a whole conjunction to [begin, end): the first constraint emits
+/// into `out` (cleared first), each further constraint refines it in place.
+/// An empty predicate selects every position.
+void FilterRange(const std::vector<Constraint>& cs, const Value* const* cols,
+                 size_t begin, size_t end, std::vector<SelIdx>& out);
+
+/// Densifies one column through a selection: out[i] = col[sel[i]].
+void Gather(const Value* col, const SelIdx* sel, size_t n, Value* out);
+
+}  // namespace vec
+}  // namespace paraquery
+
+#endif  // PARAQUERY_RELATIONAL_VECTORIZED_H_

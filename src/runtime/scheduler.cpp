@@ -206,4 +206,11 @@ size_t ParallelChunks(TaskScheduler* scheduler, size_t n, size_t grain,
   return chunks;
 }
 
+ParallelForFn MakeParallelFor(TaskScheduler* scheduler) {
+  if (scheduler == nullptr || scheduler->threads() <= 1) return {};
+  return [scheduler](size_t n, size_t grain, const ChunkFn& fn) {
+    return ParallelChunks(scheduler, n, grain, fn);
+  };
+}
+
 }  // namespace paraquery

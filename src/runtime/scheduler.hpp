@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/parallel_for.hpp"
 #include "common/query_context.hpp"
 #include "common/status.hpp"
 
@@ -138,6 +139,12 @@ inline size_t ChunkCount(size_t n, size_t grain) {
   if (grain == 0) grain = 1;
   return n == 0 ? 0 : (n + grain - 1) / grain;
 }
+
+/// Binds the scheduler into the relational layer's scheduler-agnostic
+/// parallel-for hook (common/parallel_for.hpp): the returned function runs
+/// ParallelChunks over `scheduler`. A null/width-1 scheduler returns an
+/// empty function, selecting the callers' inline sequential path.
+ParallelForFn MakeParallelFor(TaskScheduler* scheduler);
 
 /// Default rows per morsel for the data-parallel operators.
 inline constexpr size_t kDefaultMorselRows = 4096;

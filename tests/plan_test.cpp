@@ -157,13 +157,14 @@ TEST(PlanGoldenTest, CyclicTriangleWithInequality) {
   // (Relation::DistinctCount) — for GoldenDb's E, V(col0)=3 and V(col1)=4.
   EXPECT_EQ(plan.Render(),
             "Dedup(x) est=1\n"
-            "  Project(x) est=1\n"
-            "    HashJoin(x, y, z) est=1\n"
-            "      HashJoin(x, y, z) est=4\n"
-            "        Select(x, y) $0!=$1 est=4\n"
-            "          Scan(x, y) E(x, y) rows=4\n"
-            "        Scan(y, z) E(y, z) rows=4\n"
-            "      Scan(z, x) E(z, x) rows=4\n");
+            "  Materialize(x) est=1\n"
+            "    Project(x) [vec] est=1\n"
+            "      HashJoin(x, y, z) [vec] est=1\n"
+            "        HashJoin(x, y, z) [vec] est=4\n"
+            "          Select(x, y) [vec] $0!=$1 est=4\n"
+            "            Scan(x, y) [vec] E(x, y) rows=4\n"
+            "          Scan(y, z) E(y, z) rows=4\n"
+            "        Scan(z, x) E(z, x) rows=4\n");
 }
 
 TEST(PlanGoldenTest, DatalogTransitiveClosure) {
@@ -173,13 +174,15 @@ TEST(PlanGoldenTest, DatalogTransitiveClosure) {
             "Fixpoint(tc) [semi-naive, 2 rules; delta-substituted variants "
             "are planned at first firing]\n"
             "  rule 0: tc(x,y) :- E(x,y).\n"
-            "    Project(x, y) est=4\n"
-            "      Scan(x, y) E(x, y) rows=4\n"
+            "    Materialize(x, y) est=4\n"
+            "      Project(x, y) [vec] est=4\n"
+            "        Scan(x, y) [vec] E(x, y) rows=4\n"
             "  rule 1: tc(x,y) :- E(x,z), tc(z,y).\n"
-            "    Project(x, y) est=?\n"
-            "      HashJoin(z, y, x) est=?\n"
-            "        Scan(z, y) tc(z, y) rows=?\n"
-            "        Scan(x, z) E(x, z) rows=4\n");
+            "    Materialize(x, y) est=?\n"
+            "      Project(x, y) [vec] est=?\n"
+            "        HashJoin(z, y, x) [vec] est=?\n"
+            "          Scan(z, y) [vec] tc(z, y) rows=?\n"
+            "          Scan(x, z) E(x, z) rows=4\n");
 }
 
 // ---------------------------------------------------------------------------

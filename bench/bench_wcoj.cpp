@@ -1,0 +1,215 @@
+// Worst-case-optimal join benchmark with machine-readable JSON output: CI
+// gates the SCALING EXPONENT, not a constant speedup — doubling the input
+// must grow binary-join time ~4x (any pairwise join of the cyclic atoms
+// goes through the hub: Theta(k^2) intermediate) while the leapfrog
+// multiway path grows ~2x (near-linear in input + output on this family).
+//
+// The instance is the classic bad case for binary plans: a star with a
+// ring. Hub 0 is connected to k leaves in both directions, and ring edges
+// i -> i+1 close ~k directed triangles (0, i, i+1). Every pairwise join of
+// two triangle atoms produces the k^2 leaf-hub-leaf paths before the third
+// atom can prune them; the AGM bound for the triangle is m^1.5, and the
+// leapfrog intersection never materializes the quadratic intermediate.
+//
+//   * triangle  : ans(x,y,z) :- E(x,y), E(y,z), E(z,x).       [gated]
+//   * four_clique: directed 4-clique over the same E.          [reported]
+//   * tri_tail  : triangle core + acyclic tail T(z,t) — the hypertree
+//     planner runs Yannakakis over two bags with leapfrog inside the
+//     cyclic one.                                              [reported]
+//
+// Each bench runs "binary" (EngineOptions::wcoj = false, the left-deep
+// hash-join chains) against "wcoj" at two scales. The binary itself exits
+// nonzero if answers diverge anywhere (user-facing answers are sorted, so
+// byte-identity is required), if the wcoj engine did not actually execute
+// a MultiwayJoin operator, or if the binary engine did.
+//
+// Output: a JSON array of
+// {"bench", "impl", "rows", "seconds", "output_rows", "rows_per_sec"}.
+//
+// Usage: bench_wcoj [--quick] [--threads N]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/engine.hpp"
+#include "query/parser.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+namespace {
+
+struct Entry {
+  std::string bench, impl;
+  size_t rows = 0;
+  double seconds = 0;
+  size_t output_rows = 0;
+  double rows_per_sec = 0;
+};
+
+std::vector<Entry> g_entries;
+
+void ExpectIdentical(const char* bench, const Relation& reference,
+                     const Relation& candidate) {
+  if (reference.arity() == candidate.arity() &&
+      reference.size() == candidate.size() &&
+      reference.data() == candidate.data()) {
+    return;
+  }
+  std::fprintf(stderr, "FATAL: %s: wcoj answer is not byte-identical\n",
+               bench);
+  std::exit(1);
+}
+
+Engine MakeEngine(const Database& db, bool wcoj, size_t threads) {
+  EngineOptions options;
+  options.threads = threads;
+  options.wcoj = wcoj;
+  // Plan every run: the scaling measurement is execution, and the bench
+  // relies on the query's textual atom order reaching the planner intact.
+  options.use_plan_cache = false;
+  return Engine(db, options);
+}
+
+// Star-with-ring: hub 0 <-> leaves 1..k (both directions) plus ring edges
+// i -> i+1, giving ~k directed triangles through the hub. Optionally a tail
+// relation T fanning every leaf into a small value set.
+Database StarWithRing(size_t k, bool with_tail) {
+  Database db;
+  RelId e = db.AddRelation("E", 2).ValueOrDie();
+  Relation& edges = db.relation(e);
+  for (size_t i = 1; i <= k; ++i) {
+    Value leaf = static_cast<Value>(i);
+    edges.Add({0, leaf});
+    edges.Add({leaf, 0});
+    if (i < k) edges.Add({leaf, static_cast<Value>(i + 1)});
+  }
+  if (with_tail) {
+    RelId t = db.AddRelation("T", 2).ValueOrDie();
+    Relation& tail = db.relation(t);
+    for (size_t i = 1; i <= k; ++i) {
+      tail.Add({static_cast<Value>(i), static_cast<Value>(k + 1 + i % 16)});
+    }
+  }
+  return db;
+}
+
+// One (bench, scale) cell: the same query through a binary-only engine and
+// a wcoj engine; answers must be byte-identical, and the plan statistics
+// must show the multiway operator ran exactly on the wcoj side.
+void RunCell(const std::string& bench, const Database& db,
+             const ConjunctiveQuery& q, int reps, size_t threads) {
+  Engine binary = MakeEngine(db, /*wcoj=*/false, threads);
+  Engine wcoj = MakeEngine(db, /*wcoj=*/true, threads);
+  size_t rows = 0;
+  for (size_t r = 0; r < db.relation_count(); ++r) {
+    rows += db.relation(static_cast<RelId>(r)).size();
+  }
+  Relation reference = std::move(binary.Run(q)).ValueOrDie();
+  if (binary.last_stats().plan.multiway_joins != 0) {
+    std::fprintf(stderr, "FATAL: %s: binary engine ran a MultiwayJoin\n",
+                 bench.c_str());
+    std::exit(1);
+  }
+  Relation candidate = std::move(wcoj.Run(q)).ValueOrDie();
+  if (wcoj.last_stats().plan.multiway_joins == 0) {
+    std::fprintf(stderr, "FATAL: %s: wcoj engine never ran a MultiwayJoin\n",
+                 bench.c_str());
+    std::exit(1);
+  }
+  ExpectIdentical(bench.c_str(), reference, candidate);
+  double best_binary = 1e300, best_wcoj = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    {
+      Timer t;
+      reference = std::move(binary.Run(q)).ValueOrDie();
+      best_binary = std::min(best_binary, t.Seconds());
+    }
+    {
+      Timer t;
+      candidate = std::move(wcoj.Run(q)).ValueOrDie();
+      best_wcoj = std::min(best_wcoj, t.Seconds());
+    }
+  }
+  auto push = [&](const std::string& impl, double best, const Relation& out) {
+    g_entries.push_back(Entry{bench, impl, rows, best, out.size(),
+                              static_cast<double>(rows) / best});
+  };
+  push("binary", best_binary, reference);
+  push("wcoj", best_wcoj, candidate);
+}
+
+void BenchTriangle(size_t k, int reps, size_t threads) {
+  Database db = StarWithRing(k, /*with_tail=*/false);
+  auto q = ParseConjunctive("ans(x, y, z) :- E(x, y), E(y, z), E(z, x).")
+               .ValueOrDie();
+  RunCell("triangle_t" + std::to_string(threads), db, q, reps, threads);
+}
+
+// Atom order matters to the binary baseline: with E(x, y) third, the greedy
+// bound-variable order closes the (w,x,y) triangle before touching z, so
+// the binary intermediates stay Theta(k^2) rather than k^3 — the gate
+// compares against the best reasonable binary plan, not a strawman.
+void BenchFourClique(size_t k, int reps, size_t threads) {
+  Database db = StarWithRing(k, /*with_tail=*/false);
+  auto q = ParseConjunctive(
+               "ans(w, x, y, z) :- E(w, x), E(w, y), E(x, y), E(w, z), "
+               "E(x, z), E(y, z).")
+               .ValueOrDie();
+  RunCell("four_clique_t" + std::to_string(threads), db, q, reps, threads);
+}
+
+void BenchTriangleTail(size_t k, int reps, size_t threads) {
+  Database db = StarWithRing(k, /*with_tail=*/true);
+  auto q = ParseConjunctive(
+               "ans(x, t) :- E(x, y), E(y, z), E(z, x), T(z, t).")
+               .ValueOrDie();
+  RunCell("tri_tail_t" + std::to_string(threads), db, q, reps, threads);
+}
+
+void PrintJson() {
+  std::printf("[\n");
+  for (size_t i = 0; i < g_entries.size(); ++i) {
+    const Entry& e = g_entries[i];
+    std::printf("  {\"bench\": \"%s\", \"impl\": \"%s\", \"rows\": %zu, "
+                "\"seconds\": %.6f, \"output_rows\": %zu, "
+                "\"rows_per_sec\": %.0f}%s\n",
+                e.bench.c_str(), e.impl.c_str(), e.rows, e.seconds,
+                e.output_rows, e.rows_per_sec,
+                i + 1 < g_entries.size() ? "," : "");
+  }
+  std::printf("]\n");
+}
+
+}  // namespace
+}  // namespace paraquery
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  size_t threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  // Two scales per bench, a factor of 2 apart: the CI gate compares the
+  // growth RATIO of each impl, so both cells of a pair must run in the
+  // same process on the same machine.
+  const size_t tri = quick ? 1500 : 2000;
+  const int reps = quick ? 5 : 7;
+  paraquery::BenchTriangle(tri, reps, 1);
+  paraquery::BenchTriangle(tri * 2, reps, 1);
+  paraquery::BenchFourClique(quick ? 800 : 1200, reps, 1);
+  paraquery::BenchFourClique((quick ? 800 : 1200) * 2, reps, 1);
+  paraquery::BenchTriangleTail(tri, reps, 1);
+  paraquery::BenchTriangleTail(tri * 2, reps, 1);
+  // One parallel cell: exercises the morsel-partitioned leapfrog path and
+  // its byte-identity against both the binary plan and threads=1.
+  paraquery::BenchTriangle(tri * 2, reps, threads);
+  paraquery::PrintJson();
+  return 0;
+}

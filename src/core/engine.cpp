@@ -81,6 +81,7 @@ RuntimeOptions Engine::Runtime() const {
   plan_cache_.set_capacity(options_.plan_cache_capacity);
   RuntimeOptions runtime;
   runtime.morsel_rows = options_.morsel_rows;
+  runtime.vec_min_source_rows = options_.vec_min_source_rows;
   if (want <= 1) {
     scheduler_.reset();  // back to sequential: drop the idle pool
     return runtime;
@@ -156,6 +157,7 @@ Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
   eff.runtime.query_ctx = qc;
   eff.plan_cache = options_.use_plan_cache ? &plan_cache_ : nullptr;
   eff.vectorize = options_.vectorize;
+  eff.wcoj = options_.wcoj;
   return finish(NaiveEvaluateCq(*db_, *effective, eff, &stats_.plan));
 }
 
@@ -182,10 +184,16 @@ Result<Relation> Engine::Run(const FirstOrderQuery& q) const {
     auto positive = PositiveQuery::FromFirstOrder(q);
     if (positive.ok()) return Run(positive.value());
   }
-  // The non-positive path runs on the active-domain algebra, which is not
-  // hardened: only max_rows applies, not deadlines/cancellation/budgets.
+  // The non-positive path runs on the active-domain algebra. It is hardened
+  // like the plan-routed engines: the armed QueryContext carries deadlines,
+  // cancellation, and the memory budget (polled inside FoEval), and every
+  // RowBlock allocated during evaluation is charged to the accountant.
+  QueryContext* qc = ArmQueryContext();
+  ScopedMemoryAccounting accounting(qc != nullptr ? qc->memory() : nullptr);
   FoOptions fo = options_.fo;
   if (options_.limits.max_rows != 0) fo.max_rows = options_.limits.max_rows;
+  fo.runtime = Runtime();
+  fo.runtime.query_ctx = qc;
   auto result = EvaluateFirstOrder(*db_, q, fo);
   stats_.plan_cache = plan_cache_.stats();
   return result;

@@ -42,8 +42,9 @@ struct EngineOptions {
   /// NaiveOptions::max_steps, UcqOptions::naive_max_steps,
   /// DatalogOptions::max_rows, IneqOptions::max_rows). The color-coding
   /// engine is plan-routed since the Theorem 2 lowering, so both members
-  /// apply to it (max_steps per coloring execution); only the active-domain
-  /// algebra (FoOptions) still honors max_rows alone.
+  /// apply to it (max_steps per coloring execution); the active-domain
+  /// algebra (FoOptions) honors max_rows plus the deadline/memory members
+  /// through its polled QueryContext (max_steps does not apply there).
   ResourceLimits limits;
   /// Execution width of the parallel runtime: 1 (default) runs every plan
   /// sequentially — exactly the historical engine; 0 means hardware
@@ -76,6 +77,16 @@ struct EngineOptions {
   /// boundaries over eligible Select/Project/HashJoin chains. Results are
   /// byte-identical on or off; off forces row-at-a-time execution.
   bool vectorize = true;
+  /// Master switch for worst-case-optimal multiway joins: comparison-free
+  /// cyclic CQs route through a generalized hypertree decomposition with
+  /// leapfrog-triejoin bags (PlannerOptions::wcoj). Results are
+  /// byte-identical on or off; off keeps the binary left-deep chains.
+  bool wcoj = true;
+  /// Minimum source rows for a Materialize boundary to engage the vectorized
+  /// columnar pipeline; below it the chain runs row-at-a-time (batch setup
+  /// costs more than it saves on small inputs — e.g. Datalog delta batches).
+  /// The default (256) matches the previously hard-coded executor threshold.
+  size_t vec_min_source_rows = 256;
   AcyclicOptions acyclic;
   IneqOptions inequality;
   NaiveOptions naive;

@@ -85,8 +85,19 @@ Result<std::string> RenderConjunctivePlan(const Database& db,
     oss << "-- (color-coding plan unavailable: " << ineq.status().message()
         << "; relational fallback shown)\n";
   } else {
-    oss << "-- route: greedy left-deep join order (smallest connected atom "
-           "first)\n";
+    // Cyclic route: the planner picks multiway (WCOJ) or binary per bag, so
+    // report what the rendered plan actually contains.
+    PQ_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanConjunctive(db, *effective));
+    std::string rendered = plan.Render();
+    if (rendered.find("MultiwayJoin") != std::string::npos) {
+      oss << "-- route: worst-case-optimal multiway join "
+             "(Yannakakis over a hypertree decomposition)\n";
+    } else {
+      oss << "-- route: greedy left-deep join order (smallest connected "
+             "atom first)\n";
+    }
+    oss << rendered;
+    return oss.str();
   }
   PQ_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanConjunctive(db, *effective));
   oss << plan.Render();

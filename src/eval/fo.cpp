@@ -88,7 +88,7 @@ struct FoEval {
 
   // Division: tuples t over attrs−{x} such that for EVERY value v in adom,
   // t extended with x=v belongs to `rel`. Requires x ∈ attrs(rel).
-  NamedRelation Divide(const NamedRelation& rel, AttrId x) {
+  Result<NamedRelation> Divide(const NamedRelation& rel, AttrId x) {
     int xcol = rel.ColumnOf(x);
     PQ_CHECK(xcol >= 0, "Divide: attribute missing");
     std::vector<AttrId> rest;
@@ -108,7 +108,13 @@ struct FoEval {
     size_t n = sorted.size();
     size_t need = adom.size();
     size_t i = 0;
+    size_t groups = 0;
     while (i < n) {
+      // The group scan is the evaluator's longest uninterruptible stretch
+      // (up to |adom|^arity rows): poll the abort state every ~1k groups.
+      if ((++groups & 1023) == 0) {
+        PQ_RETURN_NOT_OK(options.runtime.CheckInterrupt());
+      }
       size_t j = i;
       auto same_group = [&](size_t a, size_t b) {
         for (size_t c = 0; c + 1 < order.size(); ++c) {
@@ -130,6 +136,9 @@ struct FoEval {
   }
 
   Result<NamedRelation> Eval(int id) {
+    // One poll per subformula: a deadline/cancel/memory abort stops the
+    // recursion within one algebra operation.
+    PQ_RETURN_NOT_OK(options.runtime.CheckInterrupt());
     auto it = memo.find(id);
     if (it != memo.end()) return it->second;
     using Kind = FirstOrderQuery::NodeKind;
@@ -220,13 +229,19 @@ struct FoEval {
         PQ_ASSIGN_OR_RETURN(NamedRelation inner, Eval(node.children[0]));
         result = std::move(inner);
         for (VarId x : node.bound) {
-          if (result.HasAttr(x)) result = Divide(result, x);
+          if (result.HasAttr(x)) {
+            PQ_ASSIGN_OR_RETURN(result, Divide(result, x));
+          }
           // ∀x φ with x not free in φ ≡ φ over a nonempty domain.
         }
         if (result.arity() == 0 && !result.empty()) result = BooleanTrue();
         break;
       }
     }
+    // Exit poll: an abort raised DURING this node's own algebra work
+    // (domain-power padding, complement, division sort) must surface here —
+    // entry polls only observe aborts raised before the node started.
+    PQ_RETURN_NOT_OK(options.runtime.CheckInterrupt());
     memo.emplace(id, result);
     return result;
   }
@@ -260,6 +275,9 @@ Result<Relation> EvaluateFirstOrder(const Database& db,
                         DomainPower(missing, ev.adom, options.max_rows));
     PQ_ASSIGN_OR_RETURN(root, CrossProduct(root, pad, options.max_rows));
   }
+  // Final poll covers the head padding above (the last uninterruptible
+  // stretch before answers are handed back).
+  PQ_RETURN_NOT_OK(options.runtime.CheckInterrupt());
   return BindingsToAnswers(root, q.head);
 }
 

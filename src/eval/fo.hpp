@@ -12,6 +12,7 @@
 #include "common/status.hpp"
 #include "query/first_order_query.hpp"
 #include "relational/database.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace paraquery {
 
@@ -20,6 +21,11 @@ struct FoOptions {
   /// Cap on any intermediate relation (complements/domain powers can reach
   /// |adom|^arity rows). Exceeding it fails with ResourceExhausted.
   uint64_t max_rows = 10'000'000;
+  /// Hardening binding: runtime.query_ctx (deadline, cancellation, memory
+  /// budget) is polled at every subformula and inside the division group
+  /// scan, so a runaway active-domain evaluation aborts cooperatively. The
+  /// evaluator itself stays sequential — the scheduler is unused here.
+  RuntimeOptions runtime;
 };
 
 /// Computes Q(d) over the active domain of `db`. Fails with InvalidArgument

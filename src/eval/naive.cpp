@@ -183,15 +183,17 @@ Result<Relation> NaiveEvaluateCq(const Database& db, const ConjunctiveQuery& q,
   PQ_FAULT_POINT("naive.plan");
   PlannerOptions planner;
   planner.vectorize = options.vectorize;
+  planner.wcoj = options.wcoj;
   if (options.plan_cache != nullptr) {
     // Cached route: plan the canonical query once per database generation;
     // renaming-equivalent repeats (and UCQ disjuncts) reuse it. Binding
     // attributes are canonical ids, so answers map through the canonical
-    // head. The key carries the vectorize flag — a row-only plan must not
-    // satisfy a vectorized request or vice versa.
+    // head. The key carries the vectorize and wcoj flags — a plan built for
+    // one physical configuration must not satisfy a request for another.
     CanonicalCq canonical = CanonicalizeCq(q);
     std::string key = internal::StrCat(
-        options.vectorize ? "cq-cyc:" : "cq-cyc-row:", canonical.signature);
+        options.vectorize ? "cq-cyc:" : "cq-cyc-row:",
+        options.wcoj ? "" : "nowcoj:", canonical.signature);
     std::shared_ptr<PhysicalPlan> plan =
         options.plan_cache->Lookup<PhysicalPlan>(key, db);
     if (plan == nullptr) {

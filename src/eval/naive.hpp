@@ -47,6 +47,10 @@ struct NaiveOptions {
   /// eligible chains run vectorized over columnar storage (results are
   /// byte-identical either way; see PlannerOptions::vectorize).
   bool vectorize = true;
+  /// Plan-based evaluator: route comparison-free cyclic queries through the
+  /// hypertree decomposition + worst-case-optimal multiway join (results are
+  /// byte-identical either way; see PlannerOptions::wcoj).
+  bool wcoj = true;
   /// DEPRECATED alias for limits.max_steps: abort with ResourceExhausted
   /// after this many steps (0 = off). Used only when limits.max_steps == 0.
   uint64_t max_steps = 0;

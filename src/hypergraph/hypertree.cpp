@@ -1,0 +1,340 @@
+#include "hypergraph/hypertree.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace paraquery {
+
+size_t HypertreeDecomposition::width() const {
+  size_t w = 0;
+  for (const HypertreeBag& b : bags) w = std::max(w, b.cover_width);
+  return w;
+}
+
+namespace {
+
+bool SortedContains(const std::vector<int>& haystack, int needle) {
+  return std::binary_search(haystack.begin(), haystack.end(), needle);
+}
+
+bool SortedSubset(const std::vector<int>& sub, const std::vector<int>& sup) {
+  return std::includes(sup.begin(), sup.end(), sub.begin(), sub.end());
+}
+
+std::vector<int> SortedUnion(const std::vector<int>& a,
+                             const std::vector<int>& b) {
+  std::vector<int> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+/// Mutable bag during construction (before compaction).
+struct RawBag {
+  std::vector<int> chi;  // sorted
+  int parent = -1;
+  bool dead = false;
+};
+
+}  // namespace
+
+Result<HypertreeDecomposition> BuildHypertreeDecomposition(
+    const Hypergraph& h) {
+  if (h.num_edges() == 0) {
+    return Status::InvalidArgument(
+        "hypertree decomposition requires at least one hyperedge");
+  }
+  const int n = h.num_vertices();
+
+  // Primal graph: u ~ v iff they co-occur in some hyperedge. Dense adjacency
+  // matrix — n is the number of query variables, which is small.
+  std::vector<uint8_t> adj(static_cast<size_t>(n) * n, 0);
+  std::vector<uint8_t> present(n, 0);
+  for (size_t e = 0; e < h.num_edges(); ++e) {
+    const std::vector<int>& vs = h.edge(static_cast<int>(e));
+    for (int u : vs) present[u] = 1;
+    for (size_t i = 0; i < vs.size(); ++i) {
+      for (size_t j = i + 1; j < vs.size(); ++j) {
+        adj[static_cast<size_t>(vs[i]) * n + vs[j]] = 1;
+        adj[static_cast<size_t>(vs[j]) * n + vs[i]] = 1;
+      }
+    }
+  }
+
+  // Min-fill elimination: repeatedly eliminate the vertex whose neighborhood
+  // needs the fewest fill edges to become a clique (ties to the smallest
+  // vertex id, for determinism), recording {v} + neighbors as a bag.
+  std::vector<uint8_t> eliminated(n, 0);
+  std::vector<int> elim_step(n, -1);   // vertex -> elimination step
+  std::vector<RawBag> raw;
+  std::vector<int> bag_of_step;        // elimination step -> raw bag id
+  int remaining = 0;
+  for (int v = 0; v < n; ++v) {
+    if (present[v]) ++remaining;
+  }
+  while (remaining > 0) {
+    int best = -1;
+    long best_fill = -1;
+    for (int v = 0; v < n; ++v) {
+      if (!present[v] || eliminated[v]) continue;
+      std::vector<int> nbrs;
+      for (int u = 0; u < n; ++u) {
+        if (!eliminated[u] && adj[static_cast<size_t>(v) * n + u]) {
+          nbrs.push_back(u);
+        }
+      }
+      long fill = 0;
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        for (size_t j = i + 1; j < nbrs.size(); ++j) {
+          if (!adj[static_cast<size_t>(nbrs[i]) * n + nbrs[j]]) ++fill;
+        }
+      }
+      if (best == -1 || fill < best_fill) {
+        best = v;
+        best_fill = fill;
+      }
+    }
+    std::vector<int> chi;
+    chi.push_back(best);
+    for (int u = 0; u < n; ++u) {
+      if (u != best && !eliminated[u] &&
+          adj[static_cast<size_t>(best) * n + u]) {
+        chi.push_back(u);
+      }
+    }
+    std::sort(chi.begin(), chi.end());
+    // Connect the neighborhood into a clique (the fill edges).
+    for (size_t i = 0; i < chi.size(); ++i) {
+      for (size_t j = i + 1; j < chi.size(); ++j) {
+        adj[static_cast<size_t>(chi[i]) * n + chi[j]] = 1;
+        adj[static_cast<size_t>(chi[j]) * n + chi[i]] = 1;
+      }
+    }
+    eliminated[best] = 1;
+    elim_step[best] = static_cast<int>(raw.size());
+    bag_of_step.push_back(static_cast<int>(raw.size()));
+    raw.push_back(RawBag{std::move(chi), -1, false});
+    --remaining;
+  }
+  if (raw.empty()) {
+    // Only empty hyperedges (constant-only atoms): a single empty bag homes
+    // them all.
+    raw.push_back(RawBag{{}, -1, false});
+  }
+
+  // Tree shape: bag k's parent is the bag of its first-eliminated vertex
+  // other than v_k (all of them are eliminated after step k). Bags with no
+  // later vertices are component roots; extra roots attach to the first so
+  // the result is one tree (as the join-tree builder does for forests).
+  int first_root = -1;
+  for (size_t k = 0; k < raw.size(); ++k) {
+    int parent_step = -1;
+    for (int u : raw[k].chi) {
+      if (elim_step[u] == static_cast<int>(k)) continue;
+      if (parent_step == -1 || elim_step[u] < parent_step) {
+        parent_step = elim_step[u];
+      }
+    }
+    if (parent_step != -1) {
+      raw[k].parent = bag_of_step[parent_step];
+    } else if (first_root == -1) {
+      first_root = static_cast<int>(k);
+    } else {
+      raw[k].parent = first_root;
+    }
+  }
+
+  // Absorb subsumed bags: merge a bag into its parent whenever one chi
+  // contains the other. Keeps acyclic inputs at width 1 (their elimination
+  // bags are cliques of a chordal primal graph, nested along the tree).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t k = 0; k < raw.size(); ++k) {
+      if (raw[k].dead || raw[k].parent == -1) continue;
+      int p = raw[k].parent;
+      if (SortedSubset(raw[k].chi, raw[p].chi) ||
+          SortedSubset(raw[p].chi, raw[k].chi)) {
+        raw[p].chi = SortedUnion(raw[p].chi, raw[k].chi);
+        for (RawBag& other : raw) {
+          if (!other.dead && other.parent == static_cast<int>(k)) {
+            other.parent = p;
+          }
+        }
+        raw[k].dead = true;
+        changed = true;
+      }
+    }
+  }
+
+  // Compact surviving bags into the final decomposition.
+  HypertreeDecomposition d;
+  std::vector<int> new_id(raw.size(), -1);
+  for (size_t k = 0; k < raw.size(); ++k) {
+    if (raw[k].dead) continue;
+    new_id[k] = static_cast<int>(d.bags.size());
+    d.bags.push_back(HypertreeBag{raw[k].chi, {}, {}});
+  }
+  d.parent.assign(d.bags.size(), -1);
+  d.children.assign(d.bags.size(), {});
+  for (size_t k = 0; k < raw.size(); ++k) {
+    if (raw[k].dead) continue;
+    int b = new_id[k];
+    if (raw[k].parent != -1) {
+      int p = new_id[raw[k].parent];
+      d.parent[b] = p;
+      d.children[p].push_back(b);
+    } else {
+      d.root = b;
+    }
+  }
+
+  // Greedy edge cover per bag: repeatedly take the hyperedge covering the
+  // most still-uncovered chi vertices (ties to the smallest edge id).
+  for (HypertreeBag& bag : d.bags) {
+    std::vector<int> uncovered = bag.vertices;
+    while (!uncovered.empty()) {
+      int best_e = -1;
+      size_t best_hits = 0;
+      for (size_t e = 0; e < h.num_edges(); ++e) {
+        if (std::find(bag.cover.begin(), bag.cover.end(),
+                      static_cast<int>(e)) != bag.cover.end()) {
+          continue;
+        }
+        size_t hits = 0;
+        for (int u : h.edge(static_cast<int>(e))) {
+          if (SortedContains(uncovered, u)) ++hits;
+        }
+        if (hits > best_hits) {
+          best_e = static_cast<int>(e);
+          best_hits = hits;
+        }
+      }
+      PQ_CHECK(best_e != -1, "hypertree bag vertex covered by no hyperedge");
+      bag.cover.push_back(best_e);
+      std::vector<int> rest;
+      for (int u : uncovered) {
+        if (!SortedContains(h.edge(best_e), u)) rest.push_back(u);
+      }
+      uncovered = std::move(rest);
+    }
+    bag.cover_width = bag.cover.size();  // homed edges added below don't count
+  }
+
+  // Home every hyperedge at the first bag whose chi contains it. One exists:
+  // a hyperedge is a clique of the primal graph, and the elimination bag of
+  // its first-eliminated vertex contains the whole clique (absorption only
+  // grows chi sets). Homed edges join the bag's cover so the bag relation
+  // keeps all their attributes.
+  for (size_t e = 0; e < h.num_edges(); ++e) {
+    int home = -1;
+    for (size_t b = 0; b < d.bags.size(); ++b) {
+      if (SortedSubset(h.edge(static_cast<int>(e)), d.bags[b].vertices)) {
+        home = static_cast<int>(b);
+        break;
+      }
+    }
+    PQ_CHECK(home != -1, "hyperedge contained in no hypertree bag");
+    d.bags[home].home_edges.push_back(static_cast<int>(e));
+    if (std::find(d.bags[home].cover.begin(), d.bags[home].cover.end(),
+                  static_cast<int>(e)) == d.bags[home].cover.end()) {
+      d.bags[home].cover.push_back(static_cast<int>(e));
+    }
+  }
+
+  // Bottom-up / top-down traversal orders.
+  d.top_down.reserve(d.bags.size());
+  d.top_down.push_back(d.root);
+  for (size_t i = 0; i < d.top_down.size(); ++i) {
+    for (int c : d.children[d.top_down[i]]) d.top_down.push_back(c);
+  }
+  d.bottom_up.assign(d.top_down.rbegin(), d.top_down.rend());
+  PQ_CHECK(d.top_down.size() == d.bags.size(),
+           "hypertree decomposition is not a single tree");
+  return d;
+}
+
+bool VerifyHypertreeDecomposition(const Hypergraph& h,
+                                  const HypertreeDecomposition& d) {
+  const size_t nb = d.bags.size();
+  if (nb == 0 || d.root < 0 || static_cast<size_t>(d.root) >= nb) return false;
+  if (d.parent.size() != nb || d.children.size() != nb) return false;
+  if (d.bottom_up.size() != nb || d.top_down.size() != nb) return false;
+  // Tree shape and traversal orders.
+  std::vector<int> depth(nb, -1);
+  if (d.parent[d.root] != -1) return false;
+  std::vector<size_t> pos(nb, 0);
+  for (size_t i = 0; i < nb; ++i) {
+    int b = d.top_down[i];
+    if (b < 0 || static_cast<size_t>(b) >= nb) return false;
+    pos[b] = i;
+    if (b == d.root) {
+      if (i != 0) return false;
+      depth[b] = 0;
+    } else {
+      int p = d.parent[b];
+      if (p < 0 || depth[p] < 0) return false;  // parent must come first
+      depth[b] = depth[p] + 1;
+    }
+  }
+  for (size_t i = 0; i < nb; ++i) {
+    if (d.bottom_up[i] != d.top_down[nb - 1 - i]) return false;
+  }
+  for (size_t b = 0; b < nb; ++b) {
+    for (int c : d.children[b]) {
+      if (c < 0 || static_cast<size_t>(c) >= nb) return false;
+      if (d.parent[c] != static_cast<int>(b)) return false;
+    }
+  }
+  // Running intersection: for every vertex, exactly one "topmost" bag among
+  // those containing it (every other such bag's parent contains it too).
+  for (int v = 0; v < h.num_vertices(); ++v) {
+    int topmost = 0;
+    bool seen = false;
+    for (size_t b = 0; b < nb; ++b) {
+      if (!SortedContains(d.bags[b].vertices, v)) continue;
+      seen = true;
+      int p = d.parent[b];
+      if (p == -1 || !SortedContains(d.bags[p].vertices, v)) ++topmost;
+    }
+    if (seen && topmost != 1) return false;
+  }
+  // Covers and homes.
+  std::vector<int> homed(h.num_edges(), 0);
+  for (size_t b = 0; b < nb; ++b) {
+    const HypertreeBag& bag = d.bags[b];
+    if (!std::is_sorted(bag.vertices.begin(), bag.vertices.end())) {
+      return false;
+    }
+    for (int e : bag.cover) {
+      if (e < 0 || static_cast<size_t>(e) >= h.num_edges()) return false;
+    }
+    // The greedy cover is the prefix of `cover` before homed edges were
+    // appended; the prefix alone must already cover chi.
+    if (bag.cover_width > bag.cover.size()) return false;
+    for (int v : bag.vertices) {
+      bool covered = false;
+      for (size_t i = 0; i < bag.cover_width; ++i) {
+        if (SortedContains(h.edge(bag.cover[i]), v)) covered = true;
+      }
+      if (!covered) return false;
+    }
+    for (int e : bag.home_edges) {
+      if (e < 0 || static_cast<size_t>(e) >= h.num_edges()) return false;
+      ++homed[e];
+      if (!SortedSubset(h.edge(e), bag.vertices)) return false;
+      if (std::find(bag.cover.begin(), bag.cover.end(), e) ==
+          bag.cover.end()) {
+        return false;
+      }
+    }
+  }
+  for (size_t e = 0; e < h.num_edges(); ++e) {
+    if (homed[e] != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace paraquery

@@ -1,0 +1,81 @@
+// Generalized hypertree decompositions (GHDs) for cyclic queries.
+//
+// A GHD covers the query hypergraph with a tree of *bags*. Each bag b has a
+// vertex set chi(b) and an edge cover lambda(b) with chi(b) contained in the
+// union of the covered hyperedges; the bags containing any given vertex form
+// a connected subtree (running intersection); and every hyperedge e is
+// assigned a *home* bag with e contained in chi(home(e)). The home
+// assignment makes the decomposition evaluation-complete: joining, inside
+// each bag, the covered relations projected to chi(b) — with homed atoms
+// participating with all their attributes — yields bag relations whose join
+// over the tree equals the query, so the Yannakakis semijoin program of the
+// acyclic case runs unchanged over the bag tree, with a worst-case-optimal
+// multiway join inside each cyclic bag. Width max_b |lambda(b)| interpolates
+// between acyclicity (width 1, every bag a single atom) and full cyclicity.
+//
+// Construction is the classic heuristic: a min-fill elimination order on the
+// primal graph yields tree-decomposition bags ({v} union its not-yet-
+// eliminated neighbors); subsumed bags are absorbed; each bag then greedily
+// picks a cover from the hyperedges it intersects. Min-fill is not optimal
+// (computing hypertree width is NP-hard) but recovers width 1 on acyclic
+// inputs and small covers on the clique/cycle cores the planner cares about.
+#ifndef PARAQUERY_HYPERGRAPH_HYPERTREE_H_
+#define PARAQUERY_HYPERGRAPH_HYPERTREE_H_
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace paraquery {
+
+/// One bag of a generalized hypertree decomposition.
+struct HypertreeBag {
+  /// chi: sorted distinct vertex ids covered by this bag.
+  std::vector<int> vertices;
+  /// lambda: hyperedge ids whose union covers `vertices`.
+  std::vector<int> cover;
+  /// Hyperedges homed at this bag (each edge of the hypergraph is homed at
+  /// exactly one bag whose chi contains it). Always a subset of `cover`.
+  std::vector<int> home_edges;
+  /// |lambda| as picked by the greedy cover, BEFORE homed edges were folded
+  /// into `cover`. This is the covering set the formal width counts: homed
+  /// edges beyond it ride along for evaluation completeness but do not
+  /// enlarge the cover needed for chi.
+  size_t cover_width = 0;
+};
+
+/// Rooted generalized hypertree decomposition.
+struct HypertreeDecomposition {
+  std::vector<HypertreeBag> bags;
+  int root = -1;
+  /// parent[b] = parent bag id, or -1 for the root.
+  std::vector<int> parent;
+  std::vector<std::vector<int>> children;
+  /// Bag ids, children strictly before parents (bottom-up order).
+  std::vector<int> bottom_up;
+  /// Bag ids, parents strictly before children (top-down order).
+  std::vector<int> top_down;
+
+  size_t size() const { return bags.size(); }
+  /// Generalized hypertree width realized by this decomposition:
+  /// max over bags of the greedy cover size (HypertreeBag::cover_width).
+  /// Acyclic inputs realize 1; a triangle or clique of binary atoms, 2.
+  size_t width() const;
+};
+
+/// Builds a GHD for `h` (min-fill elimination + greedy covers). Fails with
+/// InvalidArgument when `h` has no edges. Acyclic inputs yield width 1.
+Result<HypertreeDecomposition> BuildHypertreeDecomposition(
+    const Hypergraph& h);
+
+/// Verifies all GHD invariants of `d` against `h`: tree shape, running
+/// intersection on chi, chi covered by lambda's union, every hyperedge homed
+/// at exactly one bag with its vertices inside that bag's chi, and
+/// home_edges subset-of cover. Used by tests and debug checks.
+bool VerifyHypertreeDecomposition(const Hypergraph& h,
+                                  const HypertreeDecomposition& d);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_HYPERGRAPH_HYPERTREE_H_

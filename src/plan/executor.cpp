@@ -12,19 +12,16 @@
 #include "common/fault_injection.hpp"
 #include "common/timer.hpp"
 #include "plan/vec_pipeline.hpp"
+#include "relational/leapfrog.hpp"
 #include "relational/ops.hpp"
 #include "relational/row_index.hpp"
+#include "relational/trie_index.hpp"
 #include "runtime/parallel_ops.hpp"
 #include "runtime/vectorized_exec.hpp"
 
 namespace paraquery {
 
 namespace {
-
-/// Below this many source rows the columnar pipeline's transpose and batch
-/// setup cost more than they save (typical Datalog delta batches); the
-/// Materialize boundary falls back to row-at-a-time execution of its chain.
-constexpr size_t kVecMinSourceRows = 256;
 
 class Executor {
  public:
@@ -388,7 +385,8 @@ class Executor {
         VecPipeline pipe;
         if (CompileVecPipeline(n, &pipe) && pipe.source->input_slot >= 0 &&
             static_cast<size_t>(pipe.source->input_slot) < ctx_.inputs.size() &&
-            ctx_.inputs[pipe.source->input_slot]->size() >= kVecMinSourceRows) {
+            ctx_.inputs[pipe.source->input_slot]->size() >=
+                ctx_.runtime.vec_min_source_rows) {
           Result<NamedRelation> out = ExecVectorized(n, pipe, charge);
           if (out.ok() && ctx_.stats != nullptr) {
             std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -400,6 +398,68 @@ class Executor {
         // operators, so just execute the child row-at-a-time.
         return Exec(*n.children[0], charge);
       }
+      case PlanOp::kMultiwayJoin: {
+        PQ_FAULT_POINT("executor.multiway");
+        if (n.children.empty() || n.attrs.empty()) {
+          return Status::Internal(
+              "multiway join requires children and attributes");
+        }
+        // Children run sequentially left to right: any empty input empties
+        // the whole intersection, matching the sequential short-circuit.
+        std::vector<NamedRelation> ins;
+        ins.reserve(n.children.size());
+        for (const PlanNodePtr& c : n.children) {
+          PQ_ASSIGN_OR_RETURN(NamedRelation in, Exec(*c, charge));
+          if (in.empty()) {
+            NamedRelation out{n.attrs};
+            PQ_RETURN_NOT_OK(
+                Account(n, &PlanStats::multiway_joins, out, charge));
+            return out;
+          }
+          ins.push_back(std::move(in));
+        }
+        auto rank_of = [&n](AttrId a) -> int {
+          auto it = std::find(n.attrs.begin(), n.attrs.end(), a);
+          return it == n.attrs.end()
+                     ? -1
+                     : static_cast<int>(it - n.attrs.begin());
+        };
+        // Per-input sorted trie over its columns in ascending global rank.
+        // TrieView caches on the shared RowBlock, so scans over stored
+        // relations (and their zero-copy views) build each trie once and
+        // reuse it across queries.
+        std::vector<LeapfrogInput> inputs;
+        inputs.reserve(ins.size());
+        for (const NamedRelation& in : ins) {
+          std::vector<std::pair<int, int>> by_rank;  // (global rank, column)
+          for (size_t c = 0; c < in.attrs().size(); ++c) {
+            int r = rank_of(in.attrs()[c]);
+            if (r < 0) {
+              return Status::Internal(
+                  "multiway child attribute missing from the global order");
+            }
+            by_rank.emplace_back(r, static_cast<int>(c));
+          }
+          std::sort(by_rank.begin(), by_rank.end());
+          LeapfrogInput li;
+          std::vector<int> cols;
+          for (const auto& [r, c] : by_rank) {
+            cols.push_back(c);
+            li.attr_of_level.push_back(r);
+          }
+          li.trie = in.rel().TrieView(cols, pfor_);
+          inputs.push_back(std::move(li));
+        }
+        size_t morsels = 0;
+        PQ_ASSIGN_OR_RETURN(
+            Relation joined,
+            LeapfrogJoin(inputs, n.attrs.size(), ctx_.runtime,
+                         ctx_.limits.max_rows, &morsels));
+        NamedRelation out{n.attrs, std::move(joined)};
+        PQ_RETURN_NOT_OK(
+            Account(n, &PlanStats::multiway_joins, out, charge, morsels));
+        return out;
+      }
     }
     return Status::Internal("unknown plan operator");
   }
@@ -409,7 +469,7 @@ class Executor {
   // and only when the probe side is nonempty — the sequential operation
   // order), and every stage tallies through AccountRows in chain order, so
   // limit decisions match the row path decision for decision.
-  Result<NamedRelation> ExecVectorized(PlanNode& n, const VecPipeline& pipe,
+  Result<NamedRelation> ExecVectorized(PlanNode& /*n*/, const VecPipeline& pipe,
                                        Charge* charge) {
     VecExecEnv env;
     env.inputs = ctx_.inputs;

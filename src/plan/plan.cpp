@@ -85,6 +85,8 @@ const char* PlanOpName(PlanOp op) {
       return "Fixpoint";
     case PlanOp::kMaterialize:
       return "Materialize";
+    case PlanOp::kMultiwayJoin:
+      return "MultiwayJoin";
   }
   return "?";
 }
@@ -97,6 +99,7 @@ void PlanStats::Merge(const PlanStats& o) {
   joins += o.joins;
   unions += o.unions;
   dedups += o.dedups;
+  multiway_joins += o.multiway_joins;
   peak_intermediate_rows =
       std::max(peak_intermediate_rows, o.peak_intermediate_rows);
   rows_produced += o.rows_produced;
@@ -114,7 +117,8 @@ std::string PlanStats::ToString() const {
   std::ostringstream oss;
   oss << "scans=" << scans << " selects=" << selects
       << " projections=" << projections << " semijoins=" << semijoins
-      << " joins=" << joins << " unions=" << unions << " dedups=" << dedups
+      << " joins=" << joins << " multiway_joins=" << multiway_joins
+      << " unions=" << unions << " dedups=" << dedups
       << "\nrows_produced=" << rows_produced
       << " peak_intermediate_rows=" << peak_intermediate_rows
       << "\nshared_atom_storage=" << shared_atom_storage
@@ -303,6 +307,48 @@ PlanNodePtr MakeFixpoint(std::vector<PlanNodePtr> rule_plans,
   n->op = PlanOp::kFixpoint;
   n->label = std::move(label);
   n->children = std::move(rule_plans);
+  return n;
+}
+
+PlanNodePtr MakeMultiwayJoin(std::vector<PlanNodePtr> children,
+                             std::vector<AttrId> attrs) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanOp::kMultiwayJoin;
+  n->attrs = std::move(attrs);
+  // AGM-flavored estimate: (Π|R_i|)^x with x = v/2m clamped to [·, 1]. For
+  // the triangle (v=3, m=3) this is (N^3)^{1/2} = N^{3/2}; for the 4-clique
+  // (v=4, m=6) it is (N^6)^{1/3} = N^2 — the worst-case output bounds.
+  double product = 1.0;
+  bool known = !children.empty();
+  for (const PlanNodePtr& c : children) {
+    if (c->est_rows < 0) {
+      known = false;
+      break;
+    }
+    product *= std::max(1.0, c->est_rows);
+  }
+  if (known) {
+    double x = std::min(
+        1.0, static_cast<double>(n->attrs.size()) / (2.0 * children.size()));
+    n->est_rows = std::pow(product, x);
+  }
+  // Shared attributes keep the smallest participating distinct count.
+  bool any_distinct = false;
+  for (const PlanNodePtr& c : children) {
+    if (!c->attr_distinct.empty()) any_distinct = true;
+  }
+  if (any_distinct) {
+    n->attr_distinct.reserve(n->attrs.size());
+    for (AttrId a : n->attrs) {
+      double v = -1.0;
+      for (const PlanNodePtr& c : children) {
+        double vc = DistinctOf(*c, a);
+        if (vc >= 0 && (v < 0 || vc < v)) v = vc;
+      }
+      n->attr_distinct.push_back(CapDistinct(v, n->est_rows));
+    }
+  }
+  n->children = std::move(children);
   return n;
 }
 

@@ -76,6 +76,11 @@ enum class PlanOp {
                  // the vectorized columnar pipeline (selection vectors over
                  // column stripes) and materializes the result back to rows
                  // for the row-at-a-time consumer above
+  kMultiwayJoin,  // worst-case-optimal n-ary join: intersects all children
+                  // attribute-by-attribute with leapfrog triejoin over
+                  // per-child sorted tries (relational/leapfrog.hpp). attrs
+                  // is the global attribute order; every child's attrs must
+                  // be a subset of it
 };
 
 const char* PlanOpName(PlanOp op);
@@ -101,6 +106,8 @@ struct PlanStats {
   size_t joins = 0;
   size_t unions = 0;
   size_t dedups = 0;
+  /// Worst-case-optimal multiway joins executed (leapfrog triejoin).
+  size_t multiway_joins = 0;
   /// Largest operator output (scans excluded) seen during execution.
   size_t peak_intermediate_rows = 0;
   /// Total rows produced by operators (the ResourceLimits::max_steps meter).
@@ -221,6 +228,14 @@ PlanNodePtr MakeFixpoint(std::vector<PlanNodePtr> rule_plans,
 /// runs the chain below it vectorized when eligible (vec_pipeline.hpp) and
 /// falls back to executing the child row-at-a-time otherwise.
 PlanNodePtr MakeMaterialize(PlanNodePtr child);
+/// Worst-case-optimal multiway join of `children` over the global attribute
+/// order `attrs` (every child's attrs must be a subset). The cardinality
+/// estimate is an AGM-flavored fractional power of the product of the child
+/// estimates — (Π|R_i|)^(v/2m) for v attributes over m children — which
+/// lands on the worst-case bounds of the standard cores (N^{3/2} for the
+/// triangle, N^2 for the 4-clique) instead of the binary chain's N^2 / N^3.
+PlanNodePtr MakeMultiwayJoin(std::vector<PlanNodePtr> children,
+                             std::vector<AttrId> attrs);
 
 /// Deep-copies a plan DAG (shared subplans stay shared within the clone),
 /// with actual_rows/actual_morsels reset. When `slot_caches` is non-null,

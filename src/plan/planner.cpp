@@ -1,8 +1,10 @@
 #include "plan/planner.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "eval/common.hpp"
+#include "hypergraph/hypertree.hpp"
 #include "hypergraph/join_tree.hpp"
 #include "plan/executor.hpp"
 #include "plan/vec_pipeline.hpp"
@@ -177,6 +179,149 @@ Status PrepareAcyclic(const Database& db, const ConjunctiveQuery& q,
   return Status::OK();
 }
 
+// --- Worst-case-optimal route for comparison-free cyclic CQs -------------
+//
+// The query hypergraph is covered by a generalized hypertree decomposition
+// (hypergraph/hypertree.hpp). Each bag joins its covered atoms — homed atoms
+// with all their attributes, others projected to the bag — with a leapfrog
+// multiway join when the bag's core is cyclic, a binary chain otherwise.
+// Because every atom is homed (unprojected) at exactly one bag, the join of
+// the bag relations over the tree equals the query, and the tree has the
+// running-intersection property, so the acyclic Yannakakis schedule runs
+// unchanged on top: upward reduction (fused into the multiway intersections
+// as sideways information passing), the downward semijoin pass, and the
+// upward join-and-project pass.
+
+// Sorted-vector intersection of the two bags' attribute sets.
+std::vector<AttrId> SharedAttrs(const std::vector<int>& a,
+                                const std::vector<int>& b) {
+  std::vector<AttrId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+Result<PlanNodePtr> PlanWcojRoot(const ConjunctiveQuery& q,
+                                 const std::vector<PlanNodePtr>& scans,
+                                 const std::vector<AttrId>& head_vars,
+                                 bool full_reducer) {
+  Hypergraph h = q.BuildHypergraph();
+  PQ_ASSIGN_OR_RETURN(HypertreeDecomposition d,
+                      BuildHypertreeDecomposition(h));
+  const size_t nb = d.size();
+  std::vector<PlanNodePtr> cur(nb);
+  for (int b : d.bottom_up) {
+    const HypertreeBag& bag = d.bags[b];
+    // One contribution per cover edge: the homed atoms keep every attribute
+    // (all inside chi by construction), the rest project down to the bag.
+    std::vector<PlanNodePtr> contrib;
+    Hypergraph core(q.NumVariables());
+    for (int e : bag.cover) {
+      PlanNodePtr s = scans[e];
+      bool homed = std::find(bag.home_edges.begin(), bag.home_edges.end(),
+                             e) != bag.home_edges.end();
+      if (!homed) {
+        std::vector<AttrId> keep;
+        for (AttrId a : s->attrs) {
+          if (std::binary_search(bag.vertices.begin(), bag.vertices.end(),
+                                 a)) {
+            keep.push_back(a);
+          }
+        }
+        if (keep.size() != s->attrs.size()) {
+          s = MakeProject(std::move(s), keep, /*dedup=*/true);
+        }
+      }
+      core.AddEdge(std::vector<int>(s->attrs.begin(), s->attrs.end()));
+      contrib.push_back(std::move(s));
+    }
+    // Cost model: the leapfrog kernel wins exactly when the bag's core is
+    // genuinely cyclic (>= 3 atoms whose cover hypergraph has no join tree);
+    // an acyclic core keeps the cheaper binary chain.
+    const bool cyclic_core = contrib.size() >= 3 && !BuildJoinTree(core).ok();
+    if (cyclic_core) {
+      // SIP: each child bag's reduced output joins the intersection directly
+      // (projected to the shared attributes), fusing the upward semijoin of
+      // the Yannakakis reduction into the multiway operator.
+      for (int c : d.children[b]) {
+        std::vector<AttrId> shared =
+            SharedAttrs(d.bags[c].vertices, bag.vertices);
+        if (shared.empty()) continue;  // the upward join pass still links it
+        contrib.push_back(MakeProject(cur[c], std::move(shared),
+                                      /*dedup=*/true));
+      }
+      cur[b] = MakeMultiwayJoin(
+          std::move(contrib),
+          std::vector<AttrId>(bag.vertices.begin(), bag.vertices.end()));
+    } else {
+      std::vector<const std::vector<AttrId>*> attr_ptrs;
+      std::vector<size_t> sizes;
+      attr_ptrs.reserve(contrib.size());
+      sizes.reserve(contrib.size());
+      for (const PlanNodePtr& cn : contrib) {
+        attr_ptrs.push_back(&cn->attrs);
+        sizes.push_back(cn->est_rows >= 0
+                            ? static_cast<size_t>(cn->est_rows)
+                            : std::numeric_limits<size_t>::max());
+      }
+      std::vector<size_t> order =
+          GreedyAtomOrder(attr_ptrs, sizes, q.NumVariables());
+      PlanNodePtr node = contrib[order[0]];
+      for (size_t k = 1; k < order.size(); ++k) {
+        node = MakeHashJoin(std::move(node), contrib[order[k]]);
+      }
+      // Upward Yannakakis reduction by the already-reduced children.
+      for (int c : d.children[b]) {
+        node = MakeSemijoin(std::move(node), cur[c]);
+      }
+      cur[b] = std::move(node);
+    }
+  }
+  if (full_reducer) {
+    // Downward pass: bag relations become globally consistent.
+    for (int b : d.top_down) {
+      int u = d.parent[b];
+      if (u < 0) continue;
+      cur[b] = MakeSemijoin(cur[b], cur[u]);
+    }
+  }
+  // Upward join-and-project pass over the bag tree (the PlanAcyclicCq
+  // schedule verbatim, with bags in place of atoms).
+  auto is_head = [&head_vars](AttrId a) {
+    return std::find(head_vars.begin(), head_vars.end(), a) !=
+           head_vars.end();
+  };
+  std::vector<std::vector<AttrId>> subtree_head(nb);
+  for (int b : d.bottom_up) {
+    std::vector<AttrId> acc;
+    for (AttrId a : cur[b]->attrs) {
+      if (is_head(a)) acc.push_back(a);
+    }
+    for (int c : d.children[b]) {
+      for (AttrId a : subtree_head[c]) acc.push_back(a);
+    }
+    std::sort(acc.begin(), acc.end());
+    acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
+    subtree_head[b] = std::move(acc);
+  }
+  for (int b : d.bottom_up) {
+    int u = d.parent[b];
+    if (u < 0) continue;
+    std::vector<AttrId> zj;
+    for (AttrId a : cur[b]->attrs) {
+      if (std::find(cur[u]->attrs.begin(), cur[u]->attrs.end(), a) !=
+          cur[u]->attrs.end()) {
+        zj.push_back(a);
+      }
+    }
+    for (AttrId a : subtree_head[b]) {
+      if (std::find(zj.begin(), zj.end(), a) == zj.end()) zj.push_back(a);
+    }
+    cur[u] = MakeHashJoin(cur[u], MakeProject(cur[b], zj, /*dedup=*/true));
+  }
+  return MakeProject(cur[d.root], head_vars, /*dedup=*/true);
+}
+
 }  // namespace
 
 std::vector<size_t> GreedyAtomOrder(
@@ -334,6 +479,25 @@ Result<PhysicalPlan> PlanCyclicCq(const Database& db,
 
   std::vector<PlanNodePtr> scans;
   PQ_RETURN_NOT_OK(BuildAtomScans(db, q, &plan, &scans));
+
+  // Worst-case-optimal route: comparison-free, genuinely cyclic, >= 3 atoms,
+  // every atom with at least one variable (constant-only atoms keep the
+  // binary chain's boolean-gate treatment). Queries with comparisons stay on
+  // the binary chain so pushed Select placement is unchanged.
+  if (options.wcoj && pending.empty() && q.body.size() >= 3 &&
+      !q.IsAcyclic()) {
+    bool all_have_vars = true;
+    for (const NamedRelation& r : plan.inputs) {
+      if (r.attrs().empty()) all_have_vars = false;
+    }
+    if (all_have_vars) {
+      PQ_ASSIGN_OR_RETURN(
+          plan.root,
+          PlanWcojRoot(q, scans, head_vars, options.full_reducer));
+      return plan;
+    }
+  }
+
   std::vector<size_t> order;
   if (options.reorder) {
     order = GreedyAtomOrder(plan.inputs, q.NumVariables());

@@ -39,6 +39,13 @@ struct PlannerOptions {
   /// (plan/vec_pipeline.hpp). Results are byte-identical either way; off
   /// forces row-at-a-time execution everywhere.
   bool vectorize = true;
+  /// Route comparison-free cyclic CQs through a generalized hypertree
+  /// decomposition: Yannakakis over the bag tree with a worst-case-optimal
+  /// leapfrog multiway join inside each cyclic bag (kMultiwayJoin), child
+  /// bag outputs fused into parent intersections (sideways information
+  /// passing). Results are byte-identical to the binary chain; off keeps
+  /// the historical left-deep HashJoin plans everywhere.
+  bool wcoj = true;
 };
 
 /// A lowered plan plus everything needed to run it: the slot-bound input

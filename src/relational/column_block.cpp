@@ -41,6 +41,7 @@ std::shared_ptr<const ColumnarTable> ColumnarTable::FromRelation(
 std::shared_ptr<const ColumnarTable> ColumnarTable::FromColumns(
     std::vector<std::shared_ptr<const ColumnBlock>> cols, size_t rows) {
   for (const auto& c : cols) {
+    (void)c;
     PQ_DCHECK(c != nullptr && c->values.size() == rows,
               "ColumnarTable::FromColumns: column length mismatch");
   }

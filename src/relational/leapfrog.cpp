@@ -1,0 +1,243 @@
+#include "relational/leapfrog.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace paraquery {
+
+namespace {
+
+/// One participant of a level's intersection: the input index and the trie
+/// level its column sits at.
+struct Participant {
+  int input;
+  int trie_level;
+};
+
+/// Recursive enumeration state for one (possibly chunked) span of the join.
+struct Walker {
+  const std::vector<LeapfrogInput>* inputs;
+  const std::vector<std::vector<Participant>>* parts;  // per global level
+  size_t num_attrs;
+  /// Current row range per input, narrowed one trie level per participating
+  /// global level.
+  std::vector<std::pair<size_t, size_t>> range;
+  std::vector<Value> binding;
+  std::vector<Value> out;
+
+  const QueryContext* qc = nullptr;
+  uint64_t max_output_rows = 0;
+  std::atomic<uint64_t>* rows_emitted = nullptr;  // shared across chunks
+  std::atomic<bool>* stop = nullptr;              // shared abort flag
+  uint64_t steps = 0;
+  Status status = Status::OK();
+
+  /// Polled every ~1k intersection steps: cooperative abort (deadline,
+  /// cancellation, memory budget) and cross-chunk stop propagation.
+  bool ShouldStop() {
+    if (stop->load(std::memory_order_relaxed)) return true;
+    if (qc != nullptr && qc->Aborted()) {
+      status = qc->Check();
+      stop->store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  bool Emit() {
+    if (max_output_rows != 0 &&
+        rows_emitted->fetch_add(1, std::memory_order_relaxed) + 1 >
+            max_output_rows) {
+      status = Status::ResourceExhausted(internal::StrCat(
+          "operator output exceeds limit of ", max_output_rows, " rows"));
+      stop->store(true, std::memory_order_relaxed);
+      return false;
+    }
+    out.insert(out.end(), binding.begin(), binding.end());
+    return true;
+  }
+
+  /// Enumerates all bindings of attributes [level, num_attrs) consistent
+  /// with the current ranges. Returns false on abort (status/stop set).
+  /// Invariant: `range` is left exactly as found, on every exit path — a
+  /// sibling subtree at an outer level reads range[i] for inputs that do
+  /// NOT participate at that outer level, so any narrowing this frame (or
+  /// a deeper one) leaves behind would silently drop its answers.
+  bool Recurse(size_t level) {
+    if (level == num_attrs) return Emit();
+    const std::vector<Participant>& ps = (*parts)[level];
+    const size_t m = ps.size();
+    // Local cursor positions within each participant's current range.
+    size_t pos[16];
+    size_t end[16];
+    size_t orig[16];
+    const TrieIndex* trie[16];
+    int tl[16];
+    for (size_t j = 0; j < m; ++j) {
+      const Participant& p = ps[j];
+      trie[j] = (*inputs)[p.input].trie.get();
+      tl[j] = p.trie_level;
+      orig[j] = range[p.input].first;
+      pos[j] = orig[j];
+      end[j] = range[p.input].second;
+      // Nothing narrowed yet: the plain return keeps the invariant.
+      if (pos[j] == end[j]) return true;  // empty intersection
+    }
+    auto leave = [&](bool ok) {
+      for (size_t j = 0; j < m; ++j) {
+        range[ps[j].input] = {orig[j], end[j]};
+      }
+      return ok;
+    };
+    for (;;) {
+      if ((++steps & 1023) == 0 && ShouldStop()) return leave(false);
+      Value maxv = trie[0]->At(pos[0], tl[0]);
+      bool equal = true;
+      for (size_t j = 1; j < m; ++j) {
+        Value v = trie[j]->At(pos[j], tl[j]);
+        if (v != maxv) equal = false;
+        if (v > maxv) maxv = v;
+      }
+      if (!equal) {
+        // Leapfrog: seek every lagging iterator to the current max.
+        for (size_t j = 0; j < m; ++j) {
+          if (trie[j]->At(pos[j], tl[j]) < maxv) {
+            pos[j] = trie[j]->SeekGeq(pos[j], end[j], tl[j], maxv);
+            if (pos[j] == end[j]) return leave(true);  // exhausted: done
+          }
+        }
+        continue;
+      }
+      // All iterators agree on maxv: open the trie edge (narrow each
+      // participant's range to its maxv group) and recurse.
+      size_t group_end[16];
+      for (size_t j = 0; j < m; ++j) {
+        group_end[j] = trie[j]->GroupEnd(pos[j], end[j], tl[j], maxv);
+        range[ps[j].input] = {pos[j], group_end[j]};
+      }
+      binding[level] = maxv;
+      if (!Recurse(level + 1)) return leave(false);
+      for (size_t j = 0; j < m; ++j) {
+        pos[j] = group_end[j];
+        if (pos[j] == end[j]) return leave(true);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Result<Relation> LeapfrogJoin(const std::vector<LeapfrogInput>& inputs,
+                              size_t num_attrs, const RuntimeOptions& runtime,
+                              uint64_t max_output_rows, size_t* morsels) {
+  if (num_attrs == 0 || inputs.empty()) {
+    return Status::Internal("leapfrog join requires attributes and inputs");
+  }
+  std::vector<std::vector<Participant>> parts(num_attrs);
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const LeapfrogInput& in = inputs[i];
+    if (in.trie == nullptr ||
+        in.attr_of_level.size() != in.trie->arity()) {
+      return Status::Internal("leapfrog input trie/level mapping mismatch");
+    }
+    int prev = -1;
+    for (size_t l = 0; l < in.attr_of_level.size(); ++l) {
+      int a = in.attr_of_level[l];
+      if (a <= prev || a >= static_cast<int>(num_attrs)) {
+        return Status::Internal("leapfrog level mapping is not increasing");
+      }
+      prev = a;
+      parts[a].push_back({static_cast<int>(i), static_cast<int>(l)});
+    }
+    if (in.trie->rows() == 0) return Relation(num_attrs);  // empty join
+  }
+  for (size_t a = 0; a < num_attrs; ++a) {
+    if (parts[a].empty()) {
+      return Status::Internal("leapfrog attribute covered by no input");
+    }
+    if (parts[a].size() > 16) {
+      return Status::Internal("leapfrog level has too many participants");
+    }
+  }
+
+  std::atomic<uint64_t> rows_emitted{0};
+  std::atomic<bool> stop{false};
+  auto make_walker = [&]() {
+    Walker w;
+    w.inputs = &inputs;
+    w.parts = &parts;
+    w.num_attrs = num_attrs;
+    w.range.reserve(inputs.size());
+    for (const LeapfrogInput& in : inputs) {
+      w.range.emplace_back(0, in.trie->rows());
+    }
+    w.binding.assign(num_attrs, 0);
+    w.qc = runtime.query_ctx;
+    w.max_output_rows = max_output_rows;
+    w.rows_emitted = &rows_emitted;
+    w.stop = &stop;
+    return w;
+  };
+
+  // Partition the level-0 value groups of the smallest level-0 participant:
+  // the chunks' value spans are disjoint and ascending, so per-chunk outputs
+  // concatenated in chunk order reproduce the sequential enumeration.
+  const Participant split = *std::min_element(
+      parts[0].begin(), parts[0].end(), [&](const Participant& a,
+                                            const Participant& b) {
+        return inputs[a.input].trie->rows() < inputs[b.input].trie->rows();
+      });
+  const TrieIndex& strie = *inputs[split.input].trie;
+  std::vector<size_t> group_start;
+  if (runtime.parallel()) {
+    size_t r = 0, n = strie.rows();
+    while (r < n) {
+      group_start.push_back(r);
+      r = strie.GroupEnd(r, n, 0, strie.At(r, 0));
+    }
+    group_start.push_back(n);
+  }
+  const size_t groups = group_start.empty() ? 0 : group_start.size() - 1;
+  if (!runtime.parallel() || groups < 4) {
+    Walker w = make_walker();
+    bool completed = w.Recurse(0);
+    PQ_RETURN_NOT_OK(w.status);
+    if (!completed) {
+      PQ_RETURN_NOT_OK(runtime.CheckInterrupt());
+      return Status::Internal("leapfrog join stopped without a status");
+    }
+    if (w.out.empty()) return Relation(num_attrs);
+    return Relation(num_attrs, std::move(w.out));
+  }
+
+  const size_t width = runtime.scheduler->threads();
+  const size_t grain =
+      std::max<size_t>(1, (groups + width * 4 - 1) / (width * 4));
+  const size_t chunks = ChunkCount(groups, grain);
+  std::vector<Walker> walkers;
+  walkers.reserve(chunks);
+  for (size_t c = 0; c < chunks; ++c) walkers.push_back(make_walker());
+  ParallelChunks(runtime.scheduler, groups, grain,
+                 [&](size_t c, size_t gb, size_t ge) {
+                   Walker& w = walkers[c];
+                   if (w.stop->load(std::memory_order_relaxed)) return;
+                   w.range[split.input] = {group_start[gb], group_start[ge]};
+                   w.Recurse(0);
+                 });
+  if (morsels != nullptr) *morsels = chunks;
+  for (const Walker& w : walkers) {
+    PQ_RETURN_NOT_OK(w.status);  // first failing chunk, in chunk order
+  }
+  PQ_RETURN_NOT_OK(runtime.CheckInterrupt());
+  size_t total = 0;
+  for (const Walker& w : walkers) total += w.out.size();
+  if (total == 0) return Relation(num_attrs);
+  std::vector<Value> out;
+  out.reserve(total);
+  for (Walker& w : walkers) {
+    out.insert(out.end(), w.out.begin(), w.out.end());
+  }
+  return Relation(num_attrs, std::move(out));
+}
+
+}  // namespace paraquery

@@ -1,0 +1,57 @@
+// Leapfrog triejoin: the worst-case-optimal multi-way join kernel behind
+// PlanOp::kMultiwayJoin.
+//
+// The join is evaluated attribute-by-attribute over a global attribute
+// order 0..num_attrs-1. Each input relation participates at the levels its
+// attributes map to (strictly increasing positions in the global order) and
+// is accessed through a TrieIndex built on its columns in that order. At
+// each level the participating tries' current ranges are intersected with
+// the classic leapfrog loop — repeatedly seek every iterator to the current
+// maximum key (binary-search next-geq within the range) until all agree —
+// and each agreed value narrows the ranges one trie level before recursing.
+// Total work is within log factors of the AGM bound (Ngo–Porat–Ré–Rudra /
+// Veldhuizen), which is what makes triangle/clique cores run in ~N^{3/2}
+// instead of the quadratic binary-join blowup.
+//
+// Parallelism: the kernel partitions the level-0 value groups of the
+// participant with the fewest of them into contiguous chunks; each chunk
+// enumerates its value span independently into its own output buffer, and
+// buffers concatenate in chunk order — ascending level-0 values — so the
+// output is byte-identical to the sequential enumeration at any width. The
+// bound QueryContext is polled every ~1k intersection steps per chunk.
+#ifndef PARAQUERY_RELATIONAL_LEAPFROG_H_
+#define PARAQUERY_RELATIONAL_LEAPFROG_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "relational/relation.hpp"
+#include "relational/trie_index.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace paraquery {
+
+/// One multiway-join input: a trie plus the global attribute position of
+/// each trie level (strictly increasing).
+struct LeapfrogInput {
+  std::shared_ptr<const TrieIndex> trie;
+  std::vector<int> attr_of_level;
+};
+
+/// Intersects the inputs over attributes 0..num_attrs-1 and returns the
+/// distinct result tuples in ascending lexicographic order, one column per
+/// global attribute. Every attribute must be covered by at least one input.
+/// `max_output_rows` (0 = unlimited) aborts with ResourceExhausted;
+/// `runtime` supplies the scheduler, the chunking knob, and the abort
+/// context. `morsels` (optional) receives the number of parallel chunks
+/// processed (0 when the kernel ran sequentially).
+Result<Relation> LeapfrogJoin(const std::vector<LeapfrogInput>& inputs,
+                              size_t num_attrs, const RuntimeOptions& runtime,
+                              uint64_t max_output_rows = 0,
+                              size_t* morsels = nullptr);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_RELATIONAL_LEAPFROG_H_

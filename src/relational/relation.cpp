@@ -264,13 +264,22 @@ size_t Relation::DistinctCount(size_t col) const {
   // Empty relations share the one global block across all arities; never
   // touch its stats (and the answer is trivially 0).
   if (empty()) return 0;
+  {
+    std::lock_guard<std::mutex> lock(block_->stats_mutex);
+    const std::vector<size_t>& counts = block_->distinct_counts;
+    if (counts.size() == arity_ && counts[col] != RowBlock::kStatUnknown) {
+      return counts[col];
+    }
+  }
+  // Compute outside the lock: the RowIndex build peeks the columnar-mirror
+  // cache (CachedColumnarView), which takes stats_mutex itself. Concurrent
+  // misses recompute the same value; last store wins.
+  size_t distinct = RowIndex(*this, {static_cast<int>(col)}).distinct_keys();
   std::lock_guard<std::mutex> lock(block_->stats_mutex);
   std::vector<size_t>& counts = block_->distinct_counts;
   if (counts.size() != arity_) counts.assign(arity_, RowBlock::kStatUnknown);
-  if (counts[col] == RowBlock::kStatUnknown) {
-    counts[col] = RowIndex(*this, {static_cast<int>(col)}).distinct_keys();
-  }
-  return counts[col];
+  counts[col] = distinct;
+  return distinct;
 }
 
 bool Relation::EqualsAsSet(const Relation& other) const {
@@ -288,6 +297,7 @@ void Relation::Clear() {
     block_->values.clear();  // keep the exclusive buffer's capacity
     block_->distinct_counts.clear();
     block_->columnar.reset();
+    block_->tries.clear();
   } else {
     block_ = EmptyBlock();
   }

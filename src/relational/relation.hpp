@@ -33,6 +33,7 @@
 namespace paraquery {
 
 class ColumnarTable;
+class TrieIndex;
 
 /// Ref-counted flat row-major buffer shared between Relation views.
 /// Logically immutable while shared: Relation's copy-on-write gate clones it
@@ -60,6 +61,13 @@ struct RowBlock {
   /// copy-on-write clone (the user-defined copy constructor below copies
   /// only the rows).
   std::shared_ptr<const ColumnarTable> columnar;
+
+  /// Cached sorted-trie indexes of this block, keyed by column order (see
+  /// Relation::TrieView) — the leapfrog multiway-join access path. Guarded
+  /// by `stats_mutex` and invalidated exactly like `columnar`: cleared on
+  /// any in-place mutation, not copied by the copy-on-write clone.
+  std::vector<std::pair<std::vector<int>, std::shared_ptr<const TrieIndex>>>
+      tries;
 
   /// Byte accounting for query memory budgets: the thread-current accountant
   /// at construction time (null outside engine runs), and the capacity bytes
@@ -249,6 +257,25 @@ class Relation {
   std::shared_ptr<const ColumnarTable> ColumnarView(
       const ParallelForFn& pfor = {}) const;
 
+  /// The cached columnar mirror if one has already been built for the
+  /// current mutation epoch, null otherwise — a peek that never pays the
+  /// transpose. Kernels with a row-layout fallback (e.g. the RowIndex hash
+  /// pass) use it to consume the mirror opportunistically.
+  std::shared_ptr<const ColumnarTable> CachedColumnarView() const {
+    if (arity_ == 0 || empty()) return nullptr;
+    std::lock_guard<std::mutex> lock(block_->stats_mutex);
+    return block_->columnar;
+  }
+
+  /// The cached sorted-trie index of this relation's storage over `cols`
+  /// (a column order; see trie_index.hpp), built on first use (morselized
+  /// through `pfor` when bound) and cached on the shared RowBlock —
+  /// storage-sharing views share one trie per column order, and any
+  /// mutation invalidates the cache, exactly like the columnar mirror.
+  /// Empty relations return an uncached empty trie.
+  std::shared_ptr<const TrieIndex> TrieView(const std::vector<int>& cols,
+                                            const ParallelForFn& pfor = {}) const;
+
   /// True if SortAndDedup has run and no row was added since.
   bool sorted() const { return sorted_; }
 
@@ -310,6 +337,7 @@ class Relation {
     } else {
       block_->distinct_counts.clear();
       block_->columnar.reset();
+      block_->tries.clear();
     }
     return block_->values;
   }
@@ -329,6 +357,7 @@ class Relation {
               "AppendRowUnchecked requires exclusive storage");
     block_->distinct_counts.clear();
     block_->columnar.reset();
+    block_->tries.clear();
     block_->values.insert(block_->values.end(), row.begin(), row.end());
     Sync();
     sorted_ = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/status.hpp"
+#include "relational/column_block.hpp"
 
 namespace paraquery {
 
@@ -43,12 +44,35 @@ RowIndex::RowIndex(const Relation& rel, std::vector<int> key_cols,
   hashes_.resize(n);
   next_.assign(n, kNone);
   counts_.assign(n, 0);
-  size_t chunks =
-      ForChunks(pfor, n, kBuildGrain, [&](size_t, size_t b, size_t e) {
-        for (size_t r = b; r < e; ++r) {
-          hashes_[r] = HashRowAt(*rel_, r, key_cols_);
-        }
-      });
+  // Hash pass. When a columnar mirror is already cached for this storage
+  // (a prior vectorized pipeline paid the transpose), fold the hashes from
+  // the contiguous key-column stripes instead of striding the row-major
+  // buffer — same values, same per-column fold order as HashRowAt, so the
+  // hashes and therefore the whole table layout are byte-identical; only
+  // the memory access pattern changes.
+  std::shared_ptr<const ColumnarTable> mirror = rel.CachedColumnarView();
+  size_t chunks;
+  if (mirror != nullptr && mirror->rows() == n && !key_cols_.empty()) {
+    std::vector<const Value*> stripes;
+    stripes.reserve(key_cols_.size());
+    for (int c : key_cols_) stripes.push_back(mirror->col(c));
+    chunks =
+        ForChunks(pfor, n, kBuildGrain, [&](size_t, size_t b, size_t e) {
+          for (size_t r = b; r < e; ++r) hashes_[r] = kRowHashSeed;
+          for (const Value* col : stripes) {
+            for (size_t r = b; r < e; ++r) {
+              hashes_[r] = MixRowHash(hashes_[r], col[r]);
+            }
+          }
+        });
+  } else {
+    chunks =
+        ForChunks(pfor, n, kBuildGrain, [&](size_t, size_t b, size_t e) {
+          for (size_t r = b; r < e; ++r) {
+            hashes_[r] = HashRowAt(*rel_, r, key_cols_);
+          }
+        });
+  }
 
   // Shared per-partition insert loop: walks rows of one slot region in
   // increasing row order, appending same-key rows to their chain tail.

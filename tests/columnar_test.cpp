@@ -287,11 +287,16 @@ TEST(RowVsColumnarDifferentialTest, VectorizedPathActuallyRuns) {
   ASSERT_GE(db.relation(0).size(), 256u);
   auto q = ParseConjunctive("ans(x) :- E(x, y), E(y, z), E(z, x).")
                .ValueOrDie();
-  Engine vec_engine(db);
+  // The cyclic triangle routes to the multiway-join plan by default, which
+  // has no Materialize boundary; force the binary chain this test is about.
+  EngineOptions vec_options;
+  vec_options.wcoj = false;
+  Engine vec_engine(db, vec_options);
   ASSERT_TRUE(vec_engine.Run(q).ok());
   EXPECT_GT(vec_engine.last_stats().plan.vec_batches, 0u);
   EngineOptions row_options;
   row_options.vectorize = false;
+  row_options.wcoj = false;
   Engine row_engine(db, row_options);
   ASSERT_TRUE(row_engine.Run(q).ok());
   EXPECT_EQ(row_engine.last_stats().plan.vec_batches, 0u);
@@ -358,7 +363,11 @@ TEST(RowVsColumnarDifferentialTest, RandomCqsByteIdentical) {
 
 TEST(ColumnarFaultTest, MaterializeProbeFailsCleanlyAndRecovers) {
   Database db = GraphDatabase(GnpRandom(150, 4.0 / 150, 5));
-  Engine engine(db);
+  // Force the binary vectorized route: the default multiway-join plan for
+  // the cyclic triangle never reaches the Materialize fault point.
+  EngineOptions options;
+  options.wcoj = false;
+  Engine engine(db, options);
   const char* text = "ans(x) :- E(x, y), E(y, z), E(z, x).";
   auto baseline = engine.RunText(text).ValueOrDie();
   // The probe sits at the top of the executor's Materialize case; arming it

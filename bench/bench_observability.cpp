@@ -1,0 +1,251 @@
+// Observability-overhead benchmark with machine-readable JSON output: CI
+// gates tracing-off overhead (instrumentation compiled in but disabled —
+// one null-pointer test per site) at <= 2% and tracing-on overhead at
+// <= 5% against an identically configured baseline engine, on the
+// bench_parallel workload mix:
+//
+//   * cyclic_join: triangle join with an inequality — a large
+//     morsel-parallel probe pipeline (millions of intermediate rows).
+//   * ucq_mix: four two-atom disjuncts — structural parallelism, many
+//     small operator executions (the per-span cost ceiling).
+//
+// "baseline" and "tracing_off" are BOTH trace-disabled engines: their
+// ratio is an honest same-configuration noise floor for the gate (the
+// instrumentation cannot be compiled out — what the off-gate bounds is
+// the enabled-but-dormant path plus measurement noise). "tracing_on"
+// records the full span hierarchy every rep.
+//
+// The binary exits nonzero if any impl's answer differs byte-for-byte
+// from the baseline's.
+//
+// Output: a JSON array of {"bench", "impl", "rows", "seconds",
+// "output_rows", "overhead_vs_baseline"}.
+//
+// Usage: bench_observability [--quick] [--threads N] [--trace-out FILE]
+//   --trace-out FILE also runs a 4-thread Datalog fixpoint with tracing
+//   on (row-at-a-time operators, small morsels), writes its Chrome
+//   trace-event JSON to FILE, and asserts the trace carries per-round,
+//   per-firing, and per-morsel spans.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/engine.hpp"
+#include "query/parser.hpp"
+#include "relational/database.hpp"
+
+namespace paraquery {
+namespace {
+
+struct Entry {
+  std::string bench, impl;
+  size_t rows = 0;
+  double seconds = 0;
+  size_t output_rows = 0;
+  double overhead = 0;  // best seconds / baseline best seconds
+};
+
+std::vector<Entry> g_entries;
+
+void ExpectIdentical(const char* bench, const Relation& reference,
+                     const Relation& candidate) {
+  if (reference.arity() == candidate.arity() &&
+      reference.size() == candidate.size() &&
+      reference.data() == candidate.data()) {
+    return;
+  }
+  std::fprintf(stderr, "FATAL: %s: output is not byte-identical\n", bench);
+  std::exit(1);
+}
+
+Engine MakeEngine(const Database& db, size_t threads, bool trace) {
+  EngineOptions options;
+  options.threads = threads;
+  options.trace = trace;
+  // Every impl must pay identical planning work per rep; the plan cache
+  // would hide the planning side of the instrumentation cost.
+  options.use_plan_cache = false;
+  return Engine(db, options);
+}
+
+// One bench: the same pre-parsed query through three engines — baseline
+// (trace off), tracing_off (trace off, a second identically configured
+// engine: the noise control), tracing_on — interleaved round-robin so
+// load/frequency drift hits all three alike; the gate compares best-of.
+template <typename Query>
+void RunBench(const std::string& bench, const Database& db, const Query& q,
+              size_t rows, int reps, size_t threads) {
+  Engine baseline = MakeEngine(db, threads, false);
+  Engine off = MakeEngine(db, threads, false);
+  Engine on = MakeEngine(db, threads, true);
+  Relation reference = std::move(baseline.Run(q)).ValueOrDie();
+  ExpectIdentical(bench.c_str(), reference,
+                  std::move(off.Run(q)).ValueOrDie());
+  ExpectIdentical(bench.c_str(), reference,
+                  std::move(on.Run(q)).ValueOrDie());
+  double best_base = 1e300, best_off = 1e300, best_on = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    {
+      Timer t;
+      Relation out = std::move(baseline.Run(q)).ValueOrDie();
+      best_base = std::min(best_base, t.Seconds());
+      ExpectIdentical(bench.c_str(), reference, out);
+    }
+    {
+      Timer t;
+      Relation out = std::move(off.Run(q)).ValueOrDie();
+      best_off = std::min(best_off, t.Seconds());
+      ExpectIdentical(bench.c_str(), reference, out);
+    }
+    {
+      Timer t;
+      Relation out = std::move(on.Run(q)).ValueOrDie();
+      best_on = std::min(best_on, t.Seconds());
+      ExpectIdentical(bench.c_str(), reference, out);
+    }
+  }
+  auto push = [&](const std::string& impl, double best) {
+    g_entries.push_back(
+        Entry{bench, impl, rows, best, reference.size(), best / best_base});
+  };
+  push("baseline", best_base);
+  push("tracing_off", best_off);
+  push("tracing_on", best_on);
+}
+
+// The bench_parallel workload mix (same seeds, same shapes).
+
+void BenchCyclicJoin(size_t scale, int reps, size_t threads) {
+  Rng rng(314159);
+  const Value domain = 2000;
+  Database db;
+  RelId a = db.AddRelation("A", 2).ValueOrDie();
+  RelId b = db.AddRelation("B", 2).ValueOrDie();
+  RelId c = db.AddRelation("C", 2).ValueOrDie();
+  auto fill = [&](RelId id, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      db.relation(id).Add(
+          {rng.Range(0, domain - 1), rng.Range(0, domain - 1)});
+    }
+  };
+  size_t na = 3 * scale, nb = 2 * scale, nc = 3 * scale;
+  fill(a, na);
+  fill(b, nb);
+  fill(c, nc);
+  auto q = ParseConjunctive("ans(x, y) :- B(y, z), C(z, x), A(x, y), x != z.")
+               .ValueOrDie();
+  RunBench("cyclic_join", db, q, na + nb + nc, reps, threads);
+}
+
+void BenchUcqMix(size_t scale, int reps, size_t threads) {
+  Rng rng(271828);
+  const Value domain = 1500;
+  Database db;
+  RelId a = db.AddRelation("A", 2).ValueOrDie();
+  RelId b = db.AddRelation("B", 2).ValueOrDie();
+  RelId c = db.AddRelation("C", 2).ValueOrDie();
+  auto fill = [&](RelId id, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      db.relation(id).Add(
+          {rng.Range(0, domain - 1), rng.Range(0, domain - 1)});
+    }
+  };
+  fill(a, scale);
+  fill(b, scale);
+  fill(c, scale);
+  auto q = ParsePositive(
+               "ans(x) := exists y . exists z . ((A(x, y) and B(y, z)) or "
+               "(B(x, y) and C(y, z)) or (A(x, y) and C(y, z)) or "
+               "(C(x, y) and A(y, z))).")
+               .ValueOrDie();
+  RunBench("ucq_mix", db, q, 3 * scale, reps, threads);
+}
+
+// --trace-out: export a real 4-thread Datalog fixpoint trace and assert
+// the span hierarchy the Perfetto acceptance check relies on.
+int ExportDatalogTrace(const std::string& path) {
+  Rng rng(161803);
+  Database db;
+  RelId e = db.AddRelation("E", 2).ValueOrDie();
+  for (size_t i = 0; i < 900; ++i) {
+    db.relation(e).Add({rng.Range(0, 199), rng.Range(0, 199)});
+  }
+  EngineOptions options;
+  options.threads = 4;
+  options.trace = true;
+  // Row-at-a-time operators and small morsels: the trace must show the
+  // morsel tier, not just vectorized batches.
+  options.vectorize = false;
+  options.morsel_rows = 256;
+  Engine engine(db, options);
+  auto result = engine.RunText(
+      "path(x, y) :- E(x, y).\n"
+      "path(x, y) :- path(x, z), E(z, y).\n"
+      "@goal path.\n");
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL: trace fixpoint failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::string json = engine.tracer()->ChromeTraceJson();
+  for (const char* needle : {"\"round\"", "\"firing\"", "morsel."}) {
+    if (json.find(needle) == std::string::npos) {
+      std::fprintf(stderr, "FATAL: exported trace lacks %s spans\n", needle);
+      return 1;
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "FATAL: cannot write '%s'\n", path.c_str());
+    return 1;
+  }
+  out << json;
+  std::fprintf(stderr, "trace: %zu spans -> %s\n",
+               engine.tracer()->event_count(), path.c_str());
+  return 0;
+}
+
+void PrintJson() {
+  std::printf("[\n");
+  for (size_t i = 0; i < g_entries.size(); ++i) {
+    const Entry& e = g_entries[i];
+    std::printf("  {\"bench\": \"%s\", \"impl\": \"%s\", \"rows\": %zu, "
+                "\"seconds\": %.6f, \"output_rows\": %zu, "
+                "\"overhead_vs_baseline\": %.4f}%s\n",
+                e.bench.c_str(), e.impl.c_str(), e.rows, e.seconds,
+                e.output_rows, e.overhead,
+                i + 1 < g_entries.size() ? "," : "");
+  }
+  std::printf("]\n");
+}
+
+}  // namespace
+}  // namespace paraquery
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  size_t threads = 4;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[i + 1];
+    }
+  }
+  // Best-of over many interleaved reps: the CI gate compares ratios in the
+  // low single-digit percent range, and best-of-5 still carries ~3% noise
+  // on a loaded machine; best-of-13 keeps the gate stable.
+  paraquery::BenchCyclicJoin(quick ? 30000 : 60000, quick ? 13 : 15, threads);
+  paraquery::BenchUcqMix(quick ? 150000 : 300000, quick ? 13 : 15, threads);
+  paraquery::PrintJson();
+  if (!trace_out.empty()) return paraquery::ExportDatalogTrace(trace_out);
+  return 0;
+}

@@ -7,6 +7,16 @@
 
 namespace paraquery {
 
+/// Monotonic nanosecond timestamp (steady_clock). The span clock of the
+/// tracing layer (obs/trace.hpp): span endpoints taken on different threads
+/// are directly comparable.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Monotonic stopwatch started at construction.
 class Timer {
  public:

@@ -1,12 +1,15 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
+#include "common/timer.hpp"
 #include "core/explain.hpp"
 #include "eval/acyclic.hpp"
 #include "query/comparison_closure.hpp"
 #include "query/parser.hpp"
+#include "relational/storage_cache_stats.hpp"
 
 namespace paraquery {
 
@@ -41,6 +44,11 @@ ResourceLimits Overlay(const ResourceLimits& engine,
 
 std::string EngineStats::ToString() const {
   std::ostringstream oss;
+  char wall[64];
+  std::snprintf(wall, sizeof(wall), "%.3f", wall_seconds * 1e3);
+  oss << "query: wall_ms=" << wall;
+  if (!abort_reason.empty()) oss << " abort=" << abort_reason;
+  oss << "\n";
   oss << "plan: " << plan.ToString() << "\n";
   oss << "plan_cache: " << plan_cache.ToString() << "\n";
   if (ineq.family_size > 0) {
@@ -73,6 +81,56 @@ std::string EngineStats::ToString() const {
   return oss.str();
 }
 
+Engine::Engine(const Database& db, EngineOptions options)
+    : db_(&db), options_(std::move(options)) {
+  m_.queries = &metrics_.counter("pq_queries_total", "queries run");
+  m_.latency_us = &metrics_.histogram("pq_query_latency_us",
+                                      "end-to-end query wall time (us)");
+  m_.peak_bytes = &metrics_.histogram(
+      "pq_query_peak_bytes", "peak accounted bytes per hardened query");
+  m_.aborts_cancelled =
+      &metrics_.counter("pq_aborts_cancelled_total", "queries cancelled");
+  m_.aborts_deadline = &metrics_.counter("pq_aborts_deadline_total",
+                                         "queries past their deadline");
+  m_.aborts_resource = &metrics_.counter(
+      "pq_aborts_resource_exhausted_total",
+      "queries over a row/step/memory budget");
+  m_.rows_produced = &metrics_.counter("pq_operator_rows_total",
+                                       "rows produced by plan operators");
+  m_.morsels = &metrics_.counter("pq_morsels_total",
+                                 "morsels processed by parallel operators");
+  m_.vec_batches = &metrics_.counter(
+      "pq_vec_batches_total", "column batches through vectorized stages");
+  m_.plan_cache_hits =
+      &metrics_.counter("pq_plan_cache_hits_total", "plan cache hits");
+  m_.plan_cache_misses =
+      &metrics_.counter("pq_plan_cache_misses_total", "plan cache misses");
+  m_.plan_cache_stale = &metrics_.counter(
+      "pq_plan_cache_stale_total", "plan cache entries dropped as stale");
+  m_.plan_cache_evictions = &metrics_.counter("pq_plan_cache_evictions_total",
+                                              "plan cache LRU evictions");
+  m_.plan_cache_entries =
+      &metrics_.gauge("pq_plan_cache_entries", "live plan cache entries");
+  m_.sched_tasks =
+      &metrics_.counter("pq_scheduler_tasks_total", "scheduler tasks run");
+  m_.sched_steals =
+      &metrics_.counter("pq_scheduler_steals_total", "work-stealing pops");
+  m_.sched_idle_sleeps = &metrics_.counter("pq_scheduler_idle_sleeps_total",
+                                           "worker parks on an empty pool");
+  m_.sched_queue_depth = &metrics_.gauge("pq_scheduler_queue_depth",
+                                         "tasks queued at last scrape");
+  m_.trie_hits =
+      &metrics_.counter("pq_trie_cache_hits_total", "trie view cache hits");
+  m_.trie_builds =
+      &metrics_.counter("pq_trie_cache_builds_total", "trie view builds");
+  m_.columnar_hits = &metrics_.counter("pq_columnar_cache_hits_total",
+                                       "columnar mirror cache hits");
+  m_.columnar_builds = &metrics_.counter("pq_columnar_cache_builds_total",
+                                         "columnar mirror builds");
+  query_metrics_.operator_rows = &metrics_.histogram(
+      "pq_operator_rows", "rows produced per executed plan operator");
+}
+
 RuntimeOptions Engine::Runtime() const {
   size_t want = options_.threads == 0 ? TaskScheduler::HardwareConcurrency()
                                       : options_.threads;
@@ -82,6 +140,12 @@ RuntimeOptions Engine::Runtime() const {
   RuntimeOptions runtime;
   runtime.morsel_rows = options_.morsel_rows;
   runtime.vec_min_source_rows = options_.vec_min_source_rows;
+  runtime.metrics = &query_metrics_;
+  runtime.analyze = analyze_;
+  if (options_.trace) {
+    if (tracer_ == nullptr) tracer_ = std::make_unique<Tracer>();
+    runtime.tracer = tracer_.get();
+  }
   if (want <= 1) {
     scheduler_.reset();  // back to sequential: drop the idle pool
     return runtime;
@@ -95,6 +159,8 @@ RuntimeOptions Engine::Runtime() const {
 
 Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
   stats_ = EngineStats{};
+  TraceSpan query_span(PrepareTracer(), "query", "cq");
+  Timer timer;
   // Hardening: arm the query context (deadline / memory budget /
   // cancellation token) and account every RowBlock allocated on this thread
   // — worker threads inherit the accountant through TaskGroup::Spawn.
@@ -103,8 +169,9 @@ Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
   // Every exit refreshes the cumulative cache counters, error and
   // early-return paths included — .stats must never show stale zeros for a
   // cache that still holds entries.
-  auto finish = [this](Result<Relation> r) {
+  auto finish = [&](Result<Relation> r) {
     stats_.plan_cache = plan_cache_.stats();
+    FinishQuery(timer.Seconds(), r.status(), qc);
     return r;
   };
   if (Status s = q.Validate(); !s.ok()) return finish(std::move(s));
@@ -163,6 +230,8 @@ Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
 
 Result<Relation> Engine::Run(const PositiveQuery& q) const {
   stats_ = EngineStats{};
+  TraceSpan query_span(PrepareTracer(), "query", "ucq");
+  Timer timer;
   QueryContext* qc = ArmQueryContext();
   ScopedMemoryAccounting accounting(qc != nullptr ? qc->memory() : nullptr);
   UcqOptions eff = options_.ucq;
@@ -175,6 +244,7 @@ Result<Relation> Engine::Run(const PositiveQuery& q) const {
   auto result = EvaluatePositive(*db_, q, eff, &stats_.ucq);
   stats_.plan = stats_.ucq.plan;
   stats_.plan_cache = plan_cache_.stats();
+  FinishQuery(timer.Seconds(), result.status(), qc);
   return result;
 }
 
@@ -188,6 +258,8 @@ Result<Relation> Engine::Run(const FirstOrderQuery& q) const {
   // like the plan-routed engines: the armed QueryContext carries deadlines,
   // cancellation, and the memory budget (polled inside FoEval), and every
   // RowBlock allocated during evaluation is charged to the accountant.
+  TraceSpan query_span(PrepareTracer(), "query", "fo");
+  Timer timer;
   QueryContext* qc = ArmQueryContext();
   ScopedMemoryAccounting accounting(qc != nullptr ? qc->memory() : nullptr);
   FoOptions fo = options_.fo;
@@ -196,11 +268,14 @@ Result<Relation> Engine::Run(const FirstOrderQuery& q) const {
   fo.runtime.query_ctx = qc;
   auto result = EvaluateFirstOrder(*db_, q, fo);
   stats_.plan_cache = plan_cache_.stats();
+  FinishQuery(timer.Seconds(), result.status(), qc);
   return result;
 }
 
 Result<Relation> Engine::Run(const DatalogProgram& p) const {
   stats_ = EngineStats{};
+  TraceSpan query_span(PrepareTracer(), "query", "datalog");
+  Timer timer;
   QueryContext* qc = ArmQueryContext();
   ScopedMemoryAccounting accounting(qc != nullptr ? qc->memory() : nullptr);
   DatalogOptions eff = options_.datalog;
@@ -213,6 +288,7 @@ Result<Relation> Engine::Run(const DatalogProgram& p) const {
   auto result = EvaluateDatalog(*db_, p, eff, &stats_.datalog);
   stats_.plan = stats_.datalog.plan;
   stats_.plan_cache = plan_cache_.stats();
+  FinishQuery(timer.Seconds(), result.status(), qc);
   return result;
 }
 
@@ -232,6 +308,65 @@ Result<Relation> Engine::RunText(const std::string& text, Dictionary* dict) {
     }
   }
   return Status::Internal("unreachable");
+}
+
+Tracer* Engine::PrepareTracer() const {
+  if (!options_.trace) return nullptr;
+  if (tracer_ == nullptr) tracer_ = std::make_unique<Tracer>();
+  tracer_->Clear();
+  return tracer_.get();
+}
+
+void Engine::FinishQuery(double seconds, const Status& status,
+                         const QueryContext* qc) const {
+  stats_.wall_seconds = seconds;
+  m_.queries->Increment();
+  m_.latency_us->Observe(static_cast<uint64_t>(seconds * 1e6));
+  switch (status.code()) {
+    case StatusCode::kCancelled:
+      stats_.abort_reason = "cancelled";
+      m_.aborts_cancelled->Increment();
+      break;
+    case StatusCode::kDeadlineExceeded:
+      stats_.abort_reason = "deadline_exceeded";
+      m_.aborts_deadline->Increment();
+      break;
+    case StatusCode::kResourceExhausted:
+      stats_.abort_reason = "resource_exhausted";
+      m_.aborts_resource->Increment();
+      break;
+    default:
+      break;
+  }
+  // memory() is null unless a byte budget was armed.
+  if (qc != nullptr && qc->memory() != nullptr) {
+    m_.peak_bytes->Observe(qc->memory()->peak());
+  }
+  m_.rows_produced->Add(stats_.plan.rows_produced);
+  m_.morsels->Add(stats_.plan.morsels);
+  m_.vec_batches->Add(stats_.plan.vec_batches);
+  // Scrapes of external monotonic sources (Counter::Set, not Add): the
+  // plan cache, the scheduler, and the process-wide storage caches all
+  // keep their own cumulative counters.
+  const PlanCacheStats pc = plan_cache_.stats();
+  m_.plan_cache_hits->Set(pc.hits);
+  m_.plan_cache_misses->Set(pc.misses);
+  m_.plan_cache_stale->Set(pc.stale_entries);
+  m_.plan_cache_evictions->Set(pc.evictions);
+  m_.plan_cache_entries->Set(static_cast<int64_t>(pc.entries));
+  if (scheduler_ != nullptr) {
+    const TaskScheduler::Counters& c = scheduler_->counters();
+    m_.sched_tasks->Set(c.tasks_run.load(std::memory_order_relaxed));
+    m_.sched_steals->Set(c.steals.load(std::memory_order_relaxed));
+    m_.sched_idle_sleeps->Set(c.idle_sleeps.load(std::memory_order_relaxed));
+    m_.sched_queue_depth->Set(
+        static_cast<int64_t>(scheduler_->QueuedTokens()));
+  }
+  const StorageCacheStats& sc = GlobalStorageCacheStats();
+  m_.trie_hits->Set(sc.trie_hits.load(std::memory_order_relaxed));
+  m_.trie_builds->Set(sc.trie_builds.load(std::memory_order_relaxed));
+  m_.columnar_hits->Set(sc.columnar_hits.load(std::memory_order_relaxed));
+  m_.columnar_builds->Set(sc.columnar_builds.load(std::memory_order_relaxed));
 }
 
 QueryContext* Engine::ArmQueryContext() const {
@@ -267,6 +402,26 @@ Result<std::string> Engine::ExplainText(const std::string& text) {
     }
   }
   return Status::Internal("unreachable");
+}
+
+Result<std::string> Engine::AnalyzeText(const std::string& text,
+                                        Dictionary* dict) {
+  PlanCapture capture;
+  analyze_ = &capture;
+  auto result = RunText(text, dict);
+  analyze_ = nullptr;
+  if (!result.ok()) return result.status();
+  std::ostringstream oss;
+  char wall[64];
+  std::snprintf(wall, sizeof(wall), "%.3f", stats_.wall_seconds * 1e3);
+  oss << "rows=" << result.value().size() << " wall_ms=" << wall << "\n";
+  if (capture.plan_count() == 0) {
+    oss << "(no plan-routed execution: the query ran on the active-domain "
+           "algebra, or produced its answer without executing a plan)\n";
+  } else {
+    oss << capture.Report();
+  }
+  return oss.str();
 }
 
 Result<std::string> Engine::PlanText(const std::string& text,

@@ -22,6 +22,9 @@
 
 #include "common/query_context.hpp"
 #include "core/classifier.hpp"
+#include "obs/analyze.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "eval/acyclic.hpp"
 #include "eval/datalog_eval.hpp"
 #include "eval/fo.hpp"
@@ -87,6 +90,13 @@ struct EngineOptions {
   /// costs more than it saves on small inputs — e.g. Datalog delta batches).
   /// The default (256) matches the previously hard-coded executor threshold.
   size_t vec_min_source_rows = 256;
+  /// Query tracing: when on, every Run records hierarchical spans (query →
+  /// route → fixpoint round / disjunct / coloring → plan operator → morsel)
+  /// into the engine-owned Tracer, cleared at the start of each Run and
+  /// exportable afterwards through Engine::tracer() (Chrome trace-event
+  /// JSON or text profile). Results are byte-identical on or off; off costs
+  /// one null-pointer test per instrumentation site.
+  bool trace = false;
   AcyclicOptions acyclic;
   IneqOptions inequality;
   NaiveOptions naive;
@@ -100,6 +110,16 @@ struct EngineOptions {
 /// evaluator that actually ran populates its members — so counters never
 /// carry over from an earlier query.
 struct EngineStats {
+  /// End-to-end wall clock of the last Run, measured at the engine: covers
+  /// planning, routing, and execution on EVERY route — including the
+  /// active-domain algebra and plan-cache-hit paths, which PlanStats'
+  /// per-plan-execution wall_seconds does not see.
+  double wall_seconds = 0;
+  /// Why the last Run aborted ("cancelled", "deadline_exceeded",
+  /// "resource_exhausted"), empty on success and on other errors. The
+  /// cumulative per-reason counts live in Engine::metrics()
+  /// (pq_aborts_*_total).
+  std::string abort_reason;
   /// Shared plan-executor counters for whatever plan(s) the last call ran
   /// (the unified home of the former per-evaluator operator counters).
   PlanStats plan;
@@ -120,8 +140,7 @@ struct EngineStats {
 /// Facade bound to one database instance (not owned).
 class Engine {
  public:
-  explicit Engine(const Database& db, EngineOptions options = {})
-      : db_(&db), options_(std::move(options)) {}
+  explicit Engine(const Database& db, EngineOptions options = {});
 
   /// Evaluates a conjunctive query (with any comparison atoms) using the
   /// best applicable algorithm.
@@ -151,6 +170,15 @@ class Engine {
   Result<std::string> PlanText(const std::string& text,
                                Dictionary* dict = nullptr);
 
+  /// EXPLAIN ANALYZE: executes `text` and returns the executed plan(s)
+  /// annotated with per-node actual rows and wall time (self and
+  /// cumulative), plus the result cardinality and end-to-end wall clock.
+  /// Datalog programs report each distinct rule plan with its execution
+  /// count; non-positive first-order queries execute but have no plan to
+  /// render (the active-domain algebra is not plan-routed).
+  Result<std::string> AnalyzeText(const std::string& text,
+                                  Dictionary* dict = nullptr);
+
   const Database& db() const { return *db_; }
   EngineOptions& options() { return options_; }
 
@@ -168,6 +196,18 @@ class Engine {
   /// (EngineOptions::plan_cache_capacity).
   const PlanCache& plan_cache() const { return plan_cache_; }
 
+  /// The engine-wide metrics registry: query counts/latency, per-operator
+  /// row histograms, abort reasons, scheduler activity, plan-cache and
+  /// trie/columnar cache hit rates. Cumulative over the engine's lifetime
+  /// (storage-cache counters are process-wide); scraped/refreshed at the
+  /// end of every Run.
+  MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The spans of the most recent traced Run (EngineOptions::trace); null
+  /// until the first traced query. Export with Tracer::ChromeTraceJson()
+  /// or Tracer::TextProfile(); stable until the next traced Run.
+  Tracer* tracer() const { return tracer_.get(); }
+
  private:
   /// The parallel-runtime binding options().threads selects: a null
   /// scheduler for threads == 1, otherwise a lazily created (and reused)
@@ -180,12 +220,58 @@ class Engine {
   /// contexts are Reset() and re-armed per Run.
   QueryContext* ArmQueryContext() const;
 
+  /// When tracing is on: ensures the tracer exists, Clear()s it for the new
+  /// query, and returns it (the calling thread becomes track 0). Returns
+  /// null when tracing is off. Called once at the top of each Run overload.
+  Tracer* PrepareTracer() const;
+
+  /// End-of-Run bookkeeping shared by every route: records the engine-level
+  /// wall clock and abort reason into stats_, and updates/scrapes the
+  /// metrics registry (latency and peak-bytes histograms, per-reason abort
+  /// counters, plan-cache / scheduler / storage-cache gauges).
+  void FinishQuery(double seconds, const Status& status,
+                   const QueryContext* qc) const;
+
+  /// Pre-resolved registry handles (see QueryMetrics: hot paths must not
+  /// pay name lookups).
+  struct MetricHandles {
+    Counter* queries = nullptr;
+    Histogram* latency_us = nullptr;
+    Histogram* peak_bytes = nullptr;
+    Counter* aborts_cancelled = nullptr;
+    Counter* aborts_deadline = nullptr;
+    Counter* aborts_resource = nullptr;
+    Counter* rows_produced = nullptr;
+    Counter* morsels = nullptr;
+    Counter* vec_batches = nullptr;
+    Counter* plan_cache_hits = nullptr;
+    Counter* plan_cache_misses = nullptr;
+    Counter* plan_cache_stale = nullptr;
+    Counter* plan_cache_evictions = nullptr;
+    Gauge* plan_cache_entries = nullptr;
+    Counter* sched_tasks = nullptr;
+    Counter* sched_steals = nullptr;
+    Counter* sched_idle_sleeps = nullptr;
+    Gauge* sched_queue_depth = nullptr;
+    Counter* trie_hits = nullptr;
+    Counter* trie_builds = nullptr;
+    Counter* columnar_hits = nullptr;
+    Counter* columnar_builds = nullptr;
+  };
+
   const Database* db_;
   EngineOptions options_;
   mutable std::unique_ptr<TaskScheduler> scheduler_;
   mutable std::unique_ptr<QueryContext> run_ctx_;
   mutable PlanCache plan_cache_;
   mutable EngineStats stats_;
+  mutable MetricsRegistry metrics_;
+  mutable std::unique_ptr<Tracer> tracer_;
+  MetricHandles m_;
+  QueryMetrics query_metrics_;
+  /// Armed by AnalyzeText for the duration of one RunText; bound into
+  /// RuntimeOptions::analyze by Runtime().
+  mutable PlanCapture* analyze_ = nullptr;
 };
 
 }  // namespace paraquery

@@ -4,6 +4,7 @@
 
 #include "common/fault_injection.hpp"
 #include "eval/common.hpp"
+#include "obs/trace.hpp"
 #include "plan/executor.hpp"
 #include "plan/planner.hpp"
 
@@ -33,6 +34,7 @@ Result<NamedRelation> PlanAndExecute(const Database& db,
                                      PlanStats* plan_stats,
                                      std::vector<Term>* head_out) {
   PQ_FAULT_POINT("acyclic.plan");
+  TraceSpan route_span(options.runtime.tracer, "route.acyclic");
   PlannerOptions popt;
   popt.full_reducer = options.full_reducer;
   if (head_out != nullptr) *head_out = q.head;

@@ -12,6 +12,7 @@
 
 #include "common/fault_injection.hpp"
 #include "eval/common.hpp"
+#include "obs/trace.hpp"
 #include "plan/executor.hpp"
 #include "plan/planner.hpp"
 #include "relational/ops.hpp"
@@ -143,6 +144,7 @@ class DatalogRun {
       : db_(db), program_(program), options_(options), stats_(stats) {}
 
   Result<Relation> Run() {
+    TraceSpan route_span(options_.runtime.tracer, "route.datalog");
     PQ_RETURN_NOT_OK(program_.Validate());
     for (const std::string& name : program_.IdbRelations()) {
       size_t arity = static_cast<size_t>(program_.ArityOf(name));
@@ -331,6 +333,11 @@ class DatalogRun {
                                       PlanStats* plan_stats) {
     PQ_FAULT_POINT("datalog.firing");
     const DatalogRule& rule = program_.rules[ri];
+    TraceSpan firing_span(
+        options_.runtime.tracer, "firing",
+        options_.runtime.tracer != nullptr
+            ? internal::StrCat(rule.head.relation, " delta=", delta_pos)
+            : std::string());
     FiringResult out;
     if (rule.body.empty()) {
       // Constant-only head (safety): derive it directly.
@@ -492,6 +499,12 @@ class DatalogRun {
                    std::unordered_map<std::string, Relation>* next_delta,
                    bool* changed) {
     PQ_FAULT_POINT("datalog.round");
+    TraceSpan round_span(
+        options_.runtime.tracer, "round",
+        options_.runtime.tracer != nullptr
+            ? internal::StrCat("round=", rounds_fired_++,
+                               " variants=", variants.size())
+            : std::string());
     // Materialize the variant plan slots up front so concurrent firings
     // never mutate a rule's variant map structurally.
     for (const auto& [ri, dpos] : variants) plans_[ri].try_emplace(dpos);
@@ -557,6 +570,8 @@ class DatalogRun {
   std::vector<std::vector<RuleAtomView>> edb_views_;
   /// plans_[rule][delta_pos] (-1 = the round-0 full-state variant).
   std::vector<std::map<int, VariantPlan>> plans_;
+  /// Round ordinal for the tracer's per-round span details.
+  size_t rounds_fired_ = 0;
 };
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "common/fault_injection.hpp"
 #include "eval/common.hpp"
 #include "hashing/coloring.hpp"
+#include "obs/trace.hpp"
 #include "hypergraph/join_tree.hpp"
 #include "plan/executor.hpp"
 #include "query/ineq_formula.hpp"
@@ -677,6 +678,7 @@ Result<bool> PlanDriveNonempty(const Database& db, IneqCompiled& c,
                                PlanStats* plan_stats) {
   const Plan& p = c.analysis;
   if (p.always_false) return false;
+  TraceSpan route_span(options.runtime.tracer, "route.theorem2");
   PQ_ASSIGN_OR_RETURN(ColoringFamily family, MakeFamily(p, options, stats));
   const ResourceLimits limits = options.EffectiveLimits();
   PlanStats local;
@@ -687,6 +689,10 @@ Result<bool> PlanDriveNonempty(const Database& db, IneqCompiled& c,
     // in the engine, so deadline aborts must land between colorings.
     PQ_RETURN_NOT_OK(options.runtime.CheckInterrupt());
     PQ_FAULT_POINT("ineq.coloring");
+    TraceSpan coloring_span(
+        options.runtime.tracer, "coloring",
+        options.runtime.tracer != nullptr ? internal::StrCat("m=", m)
+                                          : std::string());
     if (stats != nullptr) stats->trials = m + 1;
     std::vector<NamedRelation> inputs = HashedInputs(p, family, m);
     std::vector<const NamedRelation*> ptrs;
@@ -721,6 +727,7 @@ Result<Relation> PlanDriveEvaluate(const Database& db, IneqCompiled& c,
   const Plan& p = c.analysis;
   Relation answers(c.query.head.size());
   if (p.always_false) return answers;
+  TraceSpan route_span(options.runtime.tracer, "route.theorem2");
   PQ_ASSIGN_OR_RETURN(ColoringFamily family, MakeFamily(p, options, stats));
   const ResourceLimits limits = options.EffectiveLimits();
   PlanStats local;
@@ -728,6 +735,10 @@ Result<Relation> PlanDriveEvaluate(const Database& db, IneqCompiled& c,
   for (size_t m = 0; m < family.size(); ++m) {
     PQ_RETURN_NOT_OK(options.runtime.CheckInterrupt());
     PQ_FAULT_POINT("ineq.coloring");
+    TraceSpan coloring_span(
+        options.runtime.tracer, "coloring",
+        options.runtime.tracer != nullptr ? internal::StrCat("m=", m)
+                                          : std::string());
     if (stats != nullptr) stats->trials = m + 1;
     std::vector<NamedRelation> inputs = HashedInputs(p, family, m);
     if (c.formula_mode) {

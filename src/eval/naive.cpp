@@ -4,6 +4,7 @@
 
 #include "common/fault_injection.hpp"
 #include "eval/common.hpp"
+#include "obs/trace.hpp"
 #include "plan/planner.hpp"
 #include "relational/ops.hpp"
 #include "relational/row_index.hpp"
@@ -181,6 +182,7 @@ Result<Relation> NaiveEvaluateCq(const Database& db, const ConjunctiveQuery& q,
                                  const NaiveOptions& options,
                                  PlanStats* plan_stats) {
   PQ_FAULT_POINT("naive.plan");
+  TraceSpan route_span(options.runtime.tracer, "route.cyclic");
   PlannerOptions planner;
   planner.vectorize = options.vectorize;
   planner.wcoj = options.wcoj;
@@ -217,6 +219,7 @@ Result<Relation> NaiveEvaluateCq(const Database& db, const ConjunctiveQuery& q,
 Result<Relation> BacktrackEvaluateCq(const Database& db,
                                      const ConjunctiveQuery& q,
                                      const NaiveOptions& options) {
+  TraceSpan route_span(options.runtime.tracer, "route.backtrack");
   NamedRelation bindings{q.HeadVariables()};
   PQ_ASSIGN_OR_RETURN(
       Search s, Prepare(db, q, options, /*stop_at_first=*/false, &bindings));
@@ -231,6 +234,7 @@ Result<Relation> BacktrackEvaluateCq(const Database& db,
 
 Result<bool> NaiveCqNonempty(const Database& db, const ConjunctiveQuery& q,
                              const NaiveOptions& options) {
+  TraceSpan route_span(options.runtime.tracer, "route.backtrack");
   PQ_ASSIGN_OR_RETURN(
       Search s, Prepare(db, q, options, /*stop_at_first=*/true, nullptr));
   if (!s.AllComparesOk()) return false;

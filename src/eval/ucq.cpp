@@ -8,6 +8,7 @@
 
 #include "common/fault_injection.hpp"
 #include "eval/acyclic.hpp"
+#include "obs/trace.hpp"
 #include "eval/naive.hpp"
 
 namespace paraquery {
@@ -44,6 +45,7 @@ Result<Relation> EvaluateDisjunct(const Database& db,
                                   const UcqOptions& options, UcqStats* stats) {
   PQ_RETURN_NOT_OK(options.runtime.CheckInterrupt());
   PQ_FAULT_POINT("ucq.disjunct");
+  TraceSpan span(options.runtime.tracer, "disjunct");
   PlanStats* plan = stats != nullptr ? &stats->plan : nullptr;
   if (stats != nullptr) ++stats->disjuncts_evaluated;
   if (RouteAcyclic(cq, options)) {
@@ -67,6 +69,7 @@ Result<bool> DisjunctNonempty(const Database& db, const ConjunctiveQuery& cq,
                               const UcqOptions& options, UcqStats* stats) {
   PQ_RETURN_NOT_OK(options.runtime.CheckInterrupt());
   PQ_FAULT_POINT("ucq.disjunct");
+  TraceSpan span(options.runtime.tracer, "disjunct");
   PlanStats* plan = stats != nullptr ? &stats->plan : nullptr;
   if (stats != nullptr) ++stats->disjuncts_evaluated;
   if (RouteAcyclic(cq, options)) {
@@ -105,6 +108,7 @@ void MergeDisjunctStats(UcqStats* stats, const std::vector<UcqStats>& parts,
 
 Result<Relation> EvaluatePositive(const Database& db, const PositiveQuery& q,
                                   const UcqOptions& options, UcqStats* stats) {
+  TraceSpan route_span(options.runtime.tracer, "route.ucq");
   PQ_ASSIGN_OR_RETURN(auto cqs,
                       ExpandDedupedDisjuncts(q, options.max_disjuncts, stats));
   Relation answers(q.fo().head.size());
@@ -146,6 +150,7 @@ Result<Relation> EvaluatePositive(const Database& db, const PositiveQuery& q,
 
 Result<bool> PositiveNonempty(const Database& db, const PositiveQuery& q,
                               const UcqOptions& options, UcqStats* stats) {
+  TraceSpan route_span(options.runtime.tracer, "route.ucq");
   PQ_ASSIGN_OR_RETURN(auto cqs,
                       ExpandDedupedDisjuncts(q, options.max_disjuncts, stats));
   if (options.runtime.parallel() && cqs.size() > 1) {

@@ -1,0 +1,149 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace paraquery {
+
+uint64_t Histogram::count() const {
+  uint64_t n = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    n += counts_[i].load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+uint64_t Histogram::ApproxQuantile(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (target >= total) target = total - 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i].load(std::memory_order_relaxed);
+    if (seen > target) return BucketBound(i);
+  }
+  return BucketBound(kBuckets - 1);
+}
+
+MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(std::string_view name,
+                                                      std::string_view help,
+                                                      Kind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& e : entries_) {
+    if (e.name == name) return e;  // kind mismatch: caller bug, first wins
+  }
+  entries_.emplace_back();
+  Entry& e = entries_.back();
+  e.name = std::string(name);
+  e.help = std::string(help);
+  e.kind = kind;
+  return e;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help) {
+  return FindOrCreate(name, help, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  return FindOrCreate(name, help, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help) {
+  return FindOrCreate(name, help, Kind::kHistogram).histogram;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::vector<const Entry*> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Entry& e : entries_) sorted.push_back(&e);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry* a, const Entry* b) { return a->name < b->name; });
+  std::ostringstream out;
+  for (const Entry* e : sorted) {
+    if (!e->help.empty()) {
+      out << "# HELP " << e->name << " " << e->help << "\n";
+    }
+    switch (e->kind) {
+      case Kind::kCounter:
+        out << "# TYPE " << e->name << " counter\n";
+        out << e->name << " " << e->counter.value() << "\n";
+        break;
+      case Kind::kGauge:
+        out << "# TYPE " << e->name << " gauge\n";
+        out << e->name << " " << e->gauge.value() << "\n";
+        break;
+      case Kind::kHistogram: {
+        out << "# TYPE " << e->name << " histogram\n";
+        const Histogram& h = e->histogram;
+        // Highest non-empty bucket bounds the emitted tail.
+        size_t top = 0;
+        for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+          if (h.bucket(i) > 0) top = i;
+        }
+        uint64_t cum = 0;
+        for (size_t i = 0; i <= top; ++i) {
+          cum += h.bucket(i);
+          out << e->name << "_bucket{le=\"" << Histogram::BucketBound(i)
+              << "\"} " << cum << "\n";
+        }
+        out << e->name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+        out << e->name << "_sum " << h.sum() << "\n";
+        out << e->name << "_count " << h.count() << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::JsonDump() const {
+  std::vector<const Entry*> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Entry& e : entries_) sorted.push_back(&e);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry* a, const Entry* b) { return a->name < b->name; });
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const Entry* e : sorted) {
+    out << (first ? "" : ",") << "\"" << e->name << "\":";
+    first = false;
+    switch (e->kind) {
+      case Kind::kCounter:
+        out << e->counter.value();
+        break;
+      case Kind::kGauge:
+        out << e->gauge.value();
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = e->histogram;
+        out << "{\"count\":" << h.count() << ",\"sum\":" << h.sum()
+            << ",\"p50\":" << h.ApproxQuantile(0.50)
+            << ",\"p90\":" << h.ApproxQuantile(0.90)
+            << ",\"p99\":" << h.ApproxQuantile(0.99) << ",\"buckets\":[";
+        bool bfirst = true;
+        for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+          uint64_t n = h.bucket(i);
+          if (n == 0) continue;
+          out << (bfirst ? "" : ",") << "{\"le\":"
+              << Histogram::BucketBound(i) << ",\"count\":" << n << "}";
+          bfirst = false;
+        }
+        out << "]}";
+        break;
+      }
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace paraquery

@@ -1,0 +1,123 @@
+// Engine-wide metrics registry: named counters, gauges, and log-scale
+// histograms with Prometheus-style text exposition and a JSON dump.
+//
+// Instruments are created once through the registry (find-or-create under a
+// mutex, stable addresses) and then updated lock-free through relaxed
+// atomics — hot paths hold a pre-resolved pointer, never a name lookup.
+// Histograms use log2 buckets (bucket i holds values with bit_width i, so
+// upper bounds 0, 1, 3, 7, ... 2^i - 1): constant-time observation, ~2x
+// resolution, 65 buckets covering the full uint64 range — the standard
+// trade for latency/row-count distributions.
+#ifndef PARAQUERY_OBS_METRICS_H_
+#define PARAQUERY_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace paraquery {
+
+/// Monotonically increasing count. Set() exists for scraping an external
+/// monotonic source (e.g. PlanCacheStats) into the registry.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Set(uint64_t value) { value_.store(value, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed value (queue depth, live threads).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log2-bucketed histogram over non-negative integer observations.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;  // bucket i: bit_width(v) == i
+
+  void Observe(uint64_t value) {
+    counts_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const;
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  /// Upper bound of bucket i (inclusive): 0, 1, 3, 7, ... 2^i - 1.
+  static uint64_t BucketBound(size_t i) {
+    return i >= 64 ? UINT64_MAX : (uint64_t{1} << i) - 1;
+  }
+  /// Upper bound of the bucket holding the q-quantile observation (0 when
+  /// empty). Accurate to the bucket's factor-of-2 resolution.
+  uint64_t ApproxQuantile(double q) const;
+
+ private:
+  std::atomic<uint64_t> counts_[kBuckets]{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Name → instrument map. Instruments live as long as the registry;
+/// returned references are stable.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name, std::string_view help = "");
+  Gauge& gauge(std::string_view name, std::string_view help = "");
+  Histogram& histogram(std::string_view name, std::string_view help = "");
+
+  /// Prometheus text exposition (HELP/TYPE comments, cumulative `le`
+  /// buckets, `_sum`/`_count`), instruments sorted by name.
+  std::string PrometheusText() const;
+  /// One JSON object keyed by metric name; histograms include count, sum,
+  /// approximate p50/p90/p99, and per-bucket counts.
+  std::string JsonDump() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind;
+    Counter counter;
+    Gauge gauge;
+    Histogram histogram;
+  };
+
+  Entry& FindOrCreate(std::string_view name, std::string_view help,
+                      Kind kind);
+
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;  // deque: stable addresses
+};
+
+/// Pre-resolved instrument handles for the per-query hot paths (Datalog
+/// fires thousands of small plans per query; a registry lookup per plan
+/// would dominate). Threaded through RuntimeOptions; all-null when metrics
+/// are disabled.
+struct QueryMetrics {
+  Histogram* operator_rows = nullptr;  // rows produced per executed operator
+};
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_OBS_METRICS_H_

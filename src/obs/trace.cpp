@@ -1,0 +1,209 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace paraquery {
+
+namespace {
+
+/// Epoch source shared by all tracers: a (tracer address, epoch) pair cached
+/// in a thread-local can never alias a different tracer instance or a
+/// cleared generation, because no two generations ever share an epoch.
+std::atomic<uint64_t> g_epoch_source{1};
+
+struct TlsTrack {
+  const void* tracer = nullptr;
+  uint64_t epoch = 0;
+  void* buffer = nullptr;
+};
+thread_local TlsTrack tls_track;
+
+void AppendJsonEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string FormatMillis(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(g_epoch_source.fetch_add(1) + 1) {}
+
+Tracer::~Tracer() = default;
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.clear();
+  by_thread_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  uint64_t epoch = g_epoch_source.fetch_add(1) + 1;
+  epoch_.store(epoch, std::memory_order_release);
+  // The clearing thread (the query thread) becomes track 0 so the outer
+  // query/route spans render first in the export.
+  buffers_.push_back(Buffer{0, {}});
+  Buffer* buf = &buffers_.back();
+  by_thread_[std::this_thread::get_id()] = buf;
+  tls_track = {this, epoch, buf};
+}
+
+Tracer::Buffer* Tracer::RegisterThisThread(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Buffer* buf;
+  auto it = by_thread_.find(std::this_thread::get_id());
+  if (it != by_thread_.end()) {
+    buf = it->second;
+  } else {
+    buffers_.push_back(Buffer{static_cast<uint32_t>(buffers_.size()), {}});
+    buf = &buffers_.back();
+    by_thread_[std::this_thread::get_id()] = buf;
+  }
+  tls_track = {this, epoch, buf};
+  return buf;
+}
+
+void Tracer::Record(const char* name, std::string detail, uint64_t start_ns,
+                    uint64_t end_ns) {
+  uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  Buffer* buf =
+      tls_track.tracer == this && tls_track.epoch == epoch
+          ? static_cast<Buffer*>(tls_track.buffer)
+          : RegisterThisThread(epoch);
+  if (buf->events.size() >= kMaxEventsPerTrack) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf->events.push_back(TraceEvent{name, std::move(detail), start_ns, end_ns});
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (const Buffer& b : buffers_) n += b.events.size();
+  return n;
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t base = UINT64_MAX;
+  for (const Buffer& b : buffers_) {
+    for (const TraceEvent& e : b.events) base = std::min(base, e.start_ns);
+  }
+  if (base == UINT64_MAX) base = 0;
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  for (const Buffer& b : buffers_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":"
+                  "\"thread_name\",\"args\":{\"name\":\"%s %u\"}}",
+                  first ? "" : ",", b.track,
+                  b.track == 0 ? "query" : "worker", b.track);
+    out += buf;
+    first = false;
+    for (const TraceEvent& e : b.events) {
+      double ts_us = static_cast<double>(e.start_ns - base) / 1e3;
+      double dur_us = static_cast<double>(e.end_ns - e.start_ns) / 1e3;
+      std::snprintf(buf, sizeof(buf),
+                    ",{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"name\":\"",
+                    b.track, ts_us, dur_us);
+      out += buf;
+      AppendJsonEscaped(out, e.name);
+      out += '"';
+      if (!e.detail.empty()) {
+        out += ",\"args\":{\"detail\":\"";
+        AppendJsonEscaped(out, e.detail);
+        out += "\"}";
+      }
+      out += '}';
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Tracer::TextProfile(size_t max_lines) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Per-name aggregate: count and total wall.
+  std::map<std::string, std::pair<uint64_t, uint64_t>> by_name;
+  size_t total_events = 0;
+  for (const Buffer& b : buffers_) {
+    for (const TraceEvent& e : b.events) {
+      auto& agg = by_name[e.name];
+      ++agg.first;
+      agg.second += e.end_ns - e.start_ns;
+      ++total_events;
+    }
+  }
+  std::ostringstream out;
+  out << "== spans (" << total_events << " events";
+  if (uint64_t d = dropped_.load(std::memory_order_relaxed); d > 0) {
+    out << ", " << d << " dropped";
+  }
+  out << ") ==\n";
+  for (const auto& [name, agg] : by_name) {
+    out << "  " << name << "  count=" << agg.first
+        << "  total_ms=" << FormatMillis(agg.second) << "\n";
+  }
+  // Per-track timeline, indented by containment: spans sorted by
+  // (start asc, end desc) so an enclosing span precedes everything inside
+  // it; a stack of open end-times gives the nesting depth.
+  size_t lines = 0, suppressed = 0;
+  for (const Buffer& b : buffers_) {
+    if (b.events.empty()) continue;
+    out << "== track " << b.track << (b.track == 0 ? " (query)" : "")
+        << " ==\n";
+    std::vector<const TraceEvent*> sorted;
+    sorted.reserve(b.events.size());
+    for (const TraceEvent& e : b.events) sorted.push_back(&e);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const TraceEvent* a, const TraceEvent* b) {
+                if (a->start_ns != b->start_ns) {
+                  return a->start_ns < b->start_ns;
+                }
+                return a->end_ns > b->end_ns;
+              });
+    std::vector<uint64_t> open;
+    for (const TraceEvent* e : sorted) {
+      while (!open.empty() && e->start_ns >= open.back()) open.pop_back();
+      if (lines < max_lines) {
+        for (size_t i = 0; i <= open.size(); ++i) out << "  ";
+        out << e->name;
+        if (!e->detail.empty()) out << " [" << e->detail << "]";
+        out << "  " << FormatMillis(e->end_ns - e->start_ns) << " ms\n";
+        ++lines;
+      } else {
+        ++suppressed;
+      }
+      open.push_back(e->end_ns);
+    }
+  }
+  if (suppressed > 0) {
+    out << "  ... (" << suppressed << " more spans)\n";
+  }
+  return out.str();
+}
+
+}  // namespace paraquery

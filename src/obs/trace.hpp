@@ -1,0 +1,138 @@
+// Query tracer: hierarchical wall-clock spans (query → route → round /
+// disjunct / coloring → plan operator → morsel batch) recorded into
+// per-thread buffers and exportable as Chrome trace-event JSON (loadable in
+// chrome://tracing or Perfetto) or as an indented text profile.
+//
+// Design
+// ------
+// Recording must not perturb the execution it measures, so the hot path is
+// lock-free per thread: each recording thread owns one append-only buffer,
+// found through a thread-local cache keyed by (tracer address, epoch). The
+// epoch comes from a process-global monotonic counter and is bumped on every
+// Clear(), so a stale cache entry — from a destroyed tracer reallocated at
+// the same address, or from a previous query — can never alias a live
+// buffer. Only registration of a new thread takes the tracer mutex.
+//
+// Spans are recorded at *close* time by the TraceSpan RAII guard, complete
+// with both endpoints. A query that aborts mid-flight (deadline, cancel,
+// fault injection) unwinds through the guards, so an exported trace is
+// always well-formed — there are no dangling "begin" events to balance.
+//
+// Lifecycle: the Engine owns one Tracer, Clear()s it at the start of each
+// traced query (single-threaded point; the clearing thread becomes track 0),
+// and exports after the query returns. Clear()/export must not race with
+// recording; recording from many threads concurrently is the point.
+#ifndef PARAQUERY_OBS_TRACE_H_
+#define PARAQUERY_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/timer.hpp"
+
+namespace paraquery {
+
+/// One closed span. `name` must be a string literal (or otherwise outlive
+/// the tracer's current epoch); `detail` is an optional free-form payload
+/// shown in the export ("round 3", "rows=1024").
+struct TraceEvent {
+  const char* name;
+  std::string detail;
+  uint64_t start_ns;
+  uint64_t end_ns;
+};
+
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Drops all recorded spans and thread registrations and registers the
+  /// calling thread as track 0. Call between queries, never concurrently
+  /// with recording.
+  void Clear();
+
+  /// Records one closed span on the calling thread's track. Lock-free after
+  /// the thread's first event of the current epoch.
+  void Record(const char* name, uint64_t start_ns, uint64_t end_ns) {
+    Record(name, std::string(), start_ns, end_ns);
+  }
+  void Record(const char* name, std::string detail, uint64_t start_ns,
+              uint64_t end_ns);
+
+  /// Chrome trace-event JSON ("X" complete events, one tid per recording
+  /// thread, timestamps in microseconds relative to the earliest span).
+  std::string ChromeTraceJson() const;
+
+  /// Indented text profile: a per-name summary followed by per-track span
+  /// timelines indented by nesting (capped at `max_lines` timeline lines).
+  std::string TextProfile(size_t max_lines = 2000) const;
+
+  /// Total spans currently recorded (stitched across all tracks).
+  size_t event_count() const;
+  /// Spans dropped because a track hit its buffer cap.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  /// Cap per track; a runaway query degrades to dropped-span counting
+  /// instead of unbounded memory growth.
+  static constexpr size_t kMaxEventsPerTrack = 1 << 20;
+
+  struct Buffer {
+    uint32_t track = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  Buffer* RegisterThisThread(uint64_t epoch);
+
+  mutable std::mutex mutex_;  // guards buffers_/by_thread_ shape, not appends
+  std::deque<Buffer> buffers_;  // deque: stable addresses across registration
+  std::unordered_map<std::thread::id, Buffer*> by_thread_;
+  std::atomic<uint64_t> epoch_;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+/// RAII span: opens at construction, records at destruction. A null tracer
+/// makes every operation a no-op, so instrumentation sites pay one branch
+/// when tracing is off.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, const char* name)
+      : tracer_(tracer), name_(name),
+        start_ns_(tracer != nullptr ? NowNanos() : 0) {}
+  TraceSpan(Tracer* tracer, const char* name, std::string detail)
+      : tracer_(tracer), name_(name), detail_(std::move(detail)),
+        start_ns_(tracer != nullptr ? NowNanos() : 0) {}
+  ~TraceSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->Record(name_, std::move(detail_), start_ns_, NowNanos());
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches or replaces the detail payload (e.g. a row count known only
+  /// once the work is done).
+  void set_detail(std::string detail) {
+    if (tracer_ != nullptr) detail_ = std::move(detail);
+  }
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  std::string detail_;
+  uint64_t start_ns_;
+};
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_OBS_TRACE_H_

@@ -11,6 +11,9 @@
 
 #include "common/fault_injection.hpp"
 #include "common/timer.hpp"
+#include "obs/analyze.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "plan/vec_pipeline.hpp"
 #include "relational/leapfrog.hpp"
 #include "relational/ops.hpp"
@@ -102,7 +105,7 @@ class Executor {
     if (state->result.has_value()) return *state->result;
     state->started = true;
     lock.unlock();
-    Result<NamedRelation> result = Compute(n, charge);
+    Result<NamedRelation> result = ComputeTimed(n, charge);
     if (result.ok()) n.actual_rows = result.value().size();
     lock.lock();
     if (charge != nullptr && !result.ok() &&
@@ -117,6 +120,26 @@ class Executor {
   }
 
   bool Parallel() const { return ctx_.runtime.parallel(); }
+
+  // Compute wrapped with per-node wall timing (EXPLAIN ANALYZE) and an
+  // operator span when the run is traced; clock-free otherwise, so the
+  // default path is exactly the pre-observability executor. The compute
+  // recursion runs through the children, so actual_ns is cumulative. Scans
+  // are slot reads — timed (they bound a node's self time) but not worth a
+  // span each.
+  Result<NamedRelation> ComputeTimed(PlanNode& n, Charge* charge) {
+    if (ctx_.runtime.tracer == nullptr && ctx_.runtime.analyze == nullptr) {
+      return Compute(n, charge);
+    }
+    const uint64_t t0 = NowNanos();
+    Result<NamedRelation> result = Compute(n, charge);
+    const uint64_t t1 = NowNanos();
+    n.actual_ns += t1 - t0;
+    if (ctx_.runtime.tracer != nullptr && n.op != PlanOp::kScan) {
+      ctx_.runtime.tracer->Record(PlanOpName(n.op), t0, t1);
+    }
+    return result;
+  }
 
   // Tallies an executed operator's output against limits and stats. Stats
   // record all performed work (speculative included); the max_steps budget
@@ -137,6 +160,10 @@ class Executor {
           ctx_.stats->peak_intermediate_rows, static_cast<size_t>(rows));
       ctx_.stats->rows_produced += rows;
       ctx_.stats->morsels += op_morsels;
+    }
+    if (ctx_.runtime.metrics != nullptr &&
+        ctx_.runtime.metrics->operator_rows != nullptr) {
+      ctx_.runtime.metrics->operator_rows->Observe(rows);
     }
     AddRows(charge, rows);
     if (ctx_.limits.max_steps != 0 && TotalRows(charge) > ctx_.limits.max_steps) {
@@ -532,6 +559,9 @@ Result<NamedRelation> ExecutePlan(PlanNode& root, const ExecContext& ctx) {
   Executor ex(ctx);
   auto result = ex.Run(root);
   if (ctx.stats != nullptr) ctx.stats->wall_seconds += timer.Seconds();
+  // Snapshot the analyzed render before the next execution resets the
+  // actuals — on failure too (an aborted plan shows the work it did).
+  if (ctx.runtime.analyze != nullptr) ctx.runtime.analyze->Note(root, ctx.vars);
   return result;
 }
 
@@ -552,6 +582,9 @@ Result<NamedRelation> ExecSession::Run(PlanNode& root) {
   auto result = impl_->executor.Run(root);
   if (impl_->ctx.stats != nullptr) {
     impl_->ctx.stats->wall_seconds += timer.Seconds();
+  }
+  if (impl_->ctx.runtime.analyze != nullptr) {
+    impl_->ctx.runtime.analyze->Note(root, impl_->ctx.vars);
   }
   return result;
 }

@@ -43,6 +43,9 @@ struct ExecContext {
   ResourceLimits limits;
   PlanStats* stats = nullptr;  // optional
   RuntimeOptions runtime;      // default: sequential execution
+  /// Variable names for the EXPLAIN ANALYZE capture's renders (optional;
+  /// ids render as $k without it). Only read when runtime.analyze is bound.
+  const VarTable* vars = nullptr;
 };
 
 /// Executes `root` once (shared nodes are evaluated a single time) and

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -149,6 +150,7 @@ void PlanNode::ResetActuals() {
   actual_rows = kNotExecuted;
   actual_morsels = 0;
   actual_batches = 0;
+  actual_ns = 0;
   for (const PlanNodePtr& c : children) c->ResetActuals();
 }
 
@@ -404,6 +406,7 @@ void CountRefs(const PlanNode& node,
 struct Renderer {
   const VarTable* vars;
   const std::unordered_map<const PlanNode*, int>* refs;
+  bool analyzed = false;  // append time=/self= from actual_ns
   std::unordered_map<const PlanNode*, int> shown;  // node -> shared id
   int next_id = 1;
   std::ostringstream out;
@@ -445,6 +448,17 @@ struct Renderer {
         if (n.actual_batches > 0) out << " vec=" << n.actual_batches;
       }
     }
+    if (analyzed && n.actual_ns > 0) {
+      uint64_t children_ns = 0;
+      for (const PlanNodePtr& c : n.children) children_ns += c->actual_ns;
+      uint64_t self_ns =
+          children_ns >= n.actual_ns ? 0 : n.actual_ns - children_ns;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " time=%.3fms self=%.3fms",
+                    static_cast<double>(n.actual_ns) / 1e6,
+                    static_cast<double>(self_ns) / 1e6);
+      out << buf;
+    }
     auto it = refs->find(&n);
     if (it != refs->end() && it->second > 1) {
       shown[&n] = next_id;
@@ -472,7 +486,15 @@ PlanNodePtr ClonePlan(const PlanNode& root,
 std::string RenderPlan(const PlanNode& root, const VarTable* vars) {
   std::unordered_map<const PlanNode*, int> refs;
   CountRefs(root, &refs);
-  Renderer r{vars, &refs, {}, 1, {}};
+  Renderer r{vars, &refs, false, {}, 1, {}};
+  r.Walk(root, 0);
+  return r.out.str();
+}
+
+std::string RenderAnalyzedPlan(const PlanNode& root, const VarTable* vars) {
+  std::unordered_map<const PlanNode*, int> refs;
+  CountRefs(root, &refs);
+  Renderer r{vars, &refs, true, {}, 1, {}};
   r.Walk(root, 0);
   return r.out.str();
 }

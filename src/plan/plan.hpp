@@ -201,6 +201,11 @@ struct PlanNode {
   /// Column batches a kMaterialize boundary pushed through its vectorized
   /// pipeline (0 = not executed vectorized); rendered as "vec=N".
   uint64_t actual_batches = 0;
+  /// Cumulative wall nanoseconds spent computing this node, children
+  /// included (the compute recursion runs through the children). Filled only
+  /// when the executor runs with timing armed (tracing or EXPLAIN ANALYZE);
+  /// 0 otherwise. Summed across executions of a reused plan.
+  uint64_t actual_ns = 0;
 
   /// Clears actual_rows/actual_morsels recursively (before re-executing a
   /// cached plan).
@@ -259,6 +264,14 @@ PlanNodePtr ClonePlan(const PlanNode& root,
 /// Attributes print as variable names when `vars` is given, ids otherwise.
 /// Shared subplans are printed once; later references render as "see #k".
 std::string RenderPlan(const PlanNode& root, const VarTable* vars = nullptr);
+
+/// EXPLAIN ANALYZE render: RenderPlan plus per-node wall time when the
+/// executor ran with timing armed — "time=" is cumulative (children
+/// included), "self=" subtracts the children's cumulative time (clamped at
+/// 0; a shared subplan's time is subtracted under each parent that names
+/// it). A separate function so EXPLAIN golden renders stay byte-stable.
+std::string RenderAnalyzedPlan(const PlanNode& root,
+                               const VarTable* vars = nullptr);
 
 }  // namespace paraquery
 

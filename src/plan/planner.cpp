@@ -556,7 +556,7 @@ Result<NamedRelation> ExecutePhysicalPlan(PhysicalPlan& plan,
   std::vector<const NamedRelation*> ptrs;
   ptrs.reserve(plan.inputs.size());
   for (const NamedRelation& r : plan.inputs) ptrs.push_back(&r);
-  ExecContext ctx{ptrs, limits, stats, runtime};
+  ExecContext ctx{ptrs, limits, stats, runtime, &plan.vars};
   return ExecutePlan(*plan.root, ctx);
 }
 

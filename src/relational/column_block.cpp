@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/status.hpp"
+#include "relational/storage_cache_stats.hpp"
 
 namespace paraquery {
 
@@ -54,14 +55,19 @@ std::shared_ptr<const ColumnarTable> ColumnarTable::FromColumns(
 std::shared_ptr<const ColumnarTable> Relation::ColumnarView(
     const ParallelForFn& pfor) const {
   if (arity_ == 0 || empty()) return nullptr;
+  StorageCacheStats& cache_stats = GlobalStorageCacheStats();
   {
     std::lock_guard<std::mutex> lock(block_->stats_mutex);
-    if (block_->columnar != nullptr) return block_->columnar;
+    if (block_->columnar != nullptr) {
+      cache_stats.columnar_hits.fetch_add(1, std::memory_order_relaxed);
+      return block_->columnar;
+    }
   }
   // Build outside the lock: concurrent views of one block may race to build
   // the same mirror; the loser's copy is discarded by the re-check below.
   std::shared_ptr<const ColumnarTable> mirror =
       ColumnarTable::FromRelation(*this, pfor);
+  cache_stats.columnar_builds.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(block_->stats_mutex);
   if (block_->columnar == nullptr) block_->columnar = mirror;
   return block_->columnar;

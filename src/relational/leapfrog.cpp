@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/trace.hpp"
+
 namespace paraquery {
 
 namespace {
@@ -199,6 +201,7 @@ Result<Relation> LeapfrogJoin(const std::vector<LeapfrogInput>& inputs,
   }
   const size_t groups = group_start.empty() ? 0 : group_start.size() - 1;
   if (!runtime.parallel() || groups < 4) {
+    TraceSpan span(runtime.tracer, "leapfrog");
     Walker w = make_walker();
     bool completed = w.Recurse(0);
     PQ_RETURN_NOT_OK(w.status);
@@ -221,6 +224,7 @@ Result<Relation> LeapfrogJoin(const std::vector<LeapfrogInput>& inputs,
                  [&](size_t c, size_t gb, size_t ge) {
                    Walker& w = walkers[c];
                    if (w.stop->load(std::memory_order_relaxed)) return;
+                   TraceSpan span(runtime.tracer, "leapfrog.chunk");
                    w.range[split.input] = {group_start[gb], group_start[ge]};
                    w.Recurse(0);
                  });

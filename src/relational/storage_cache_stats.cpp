@@ -1,0 +1,10 @@
+#include "relational/storage_cache_stats.hpp"
+
+namespace paraquery {
+
+StorageCacheStats& GlobalStorageCacheStats() {
+  static StorageCacheStats stats;
+  return stats;
+}
+
+}  // namespace paraquery

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/status.hpp"
+#include "relational/storage_cache_stats.hpp"
 
 namespace paraquery {
 
@@ -96,15 +97,20 @@ std::shared_ptr<const TrieIndex> Relation::TrieView(
   // Empty relations all share the one global block; never cache on it (the
   // build below is trivially cheap there anyway).
   if (arity_ == 0 || empty()) return TrieIndex::Build(*this, cols, pfor);
+  StorageCacheStats& cache_stats = GlobalStorageCacheStats();
   {
     std::lock_guard<std::mutex> lock(block_->stats_mutex);
     for (const auto& [key, trie] : block_->tries) {
-      if (key == cols) return trie;
+      if (key == cols) {
+        cache_stats.trie_hits.fetch_add(1, std::memory_order_relaxed);
+        return trie;
+      }
     }
   }
   // Build outside the lock: concurrent views may race to build the same
   // trie; the loser's copy is discarded by the re-check below.
   std::shared_ptr<const TrieIndex> built = TrieIndex::Build(*this, cols, pfor);
+  cache_stats.trie_builds.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(block_->stats_mutex);
   for (const auto& [key, trie] : block_->tries) {
     if (key == cols) return trie;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "relational/ops.hpp"
 #include "relational/row_index.hpp"
 
@@ -61,6 +62,7 @@ NamedRelation ParallelSelect(const NamedRelation& in, const Predicate& pred,
         // Aborted query: skip the morsel. The executor re-checks the abort
         // after the operator, so a partially filled result never escapes.
         if (runtime.Interrupted()) return;
+        TraceSpan span(runtime.tracer, "morsel.select");
         std::vector<Value>& buf = bufs[c];
         for (size_t r = begin; r < end; ++r) {
           auto row = in.rel().Row(r);
@@ -87,6 +89,7 @@ NamedRelation ParallelProject(const NamedRelation& in,
       runtime.scheduler, n, runtime.morsel_rows,
       [&](size_t c, size_t begin, size_t end) {
         if (runtime.Interrupted()) return;  // abort: executor discards below
+        TraceSpan span(runtime.tracer, "morsel.project");
         std::vector<Value>& buf = bufs[c];
         buf.reserve((end - begin) * out_arity);
         for (size_t r = begin; r < end; ++r) {
@@ -132,6 +135,7 @@ NamedRelation ParallelJoin(const NamedRelation& left,
       runtime.scheduler, nl, runtime.morsel_rows,
       [&](size_t c, size_t begin, size_t end) {
         if (runtime.Interrupted()) return;  // abort: executor discards below
+        TraceSpan span(runtime.tracer, "morsel.join");
         size_t total = 0;
         for (size_t lr = begin; lr < end; ++lr) {
           uint32_t rr = right_index.Find(left.rel(), lr, lcols);
@@ -151,6 +155,7 @@ NamedRelation ParallelJoin(const NamedRelation& left,
       runtime.scheduler, nl, runtime.morsel_rows,
       [&](size_t c, size_t begin, size_t end) {
         if (runtime.Interrupted()) return;  // abort: executor discards below
+        TraceSpan span(runtime.tracer, "morsel.join");
         Value* dst = out_data.data() + offsets[c] * out_arity;
         for (size_t lr = begin; lr < end; ++lr) {
           uint32_t rr = first[lr];
@@ -191,6 +196,7 @@ NamedRelation ParallelSemijoin(const NamedRelation& left,
       runtime.scheduler, nl, runtime.morsel_rows,
       [&](size_t c, size_t begin, size_t end) {
         if (runtime.Interrupted()) return;  // abort: executor discards below
+        TraceSpan span(runtime.tracer, "morsel.semijoin");
         size_t kept = 0;
         for (size_t lr = begin; lr < end; ++lr) {
           if (index.Contains(left.rel(), lr, lcols)) {
@@ -211,6 +217,7 @@ NamedRelation ParallelSemijoin(const NamedRelation& left,
       runtime.scheduler, nl, runtime.morsel_rows,
       [&](size_t c, size_t begin, size_t end) {
         if (runtime.Interrupted()) return;  // abort: executor discards below
+        TraceSpan span(runtime.tracer, "morsel.semijoin");
         Value* dst = out_data.data() + offsets[c] * arity;
         for (size_t lr = begin; lr < end; ++lr) {
           if (!keep[lr]) continue;

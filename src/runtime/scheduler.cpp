@@ -100,10 +100,12 @@ bool TaskScheduler::RunOneToken(size_t home) {
     } else {  // steal: FIFO
       core = std::move(wq.tokens.front());
       wq.tokens.pop_front();
+      counters_.steals.fetch_add(1, std::memory_order_relaxed);
     }
   }
   if (core == nullptr) return false;
   pending_tokens_.fetch_sub(1);
+  counters_.tasks_run.fetch_add(1, std::memory_order_relaxed);
   core->RunOne();  // false (stale token) is fine: the task ran elsewhere
   return true;
 }
@@ -113,6 +115,7 @@ void TaskScheduler::WorkerLoop(size_t id) {
   tls_queue_id = id;
   for (;;) {
     if (RunOneToken(id)) continue;
+    counters_.idle_sleeps.fetch_add(1, std::memory_order_relaxed);
     std::unique_lock<std::mutex> lock(idle_mutex_);
     idle_cv_.wait(lock, [this] {
       return stop_.load() || pending_tokens_.load() > 0;

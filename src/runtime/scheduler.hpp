@@ -44,6 +44,9 @@
 namespace paraquery {
 
 class TaskGroup;
+class Tracer;       // obs/trace.hpp
+class PlanCapture;  // obs/analyze.hpp
+struct QueryMetrics;  // obs/metrics.hpp
 
 /// Fixed pool of workers with per-worker deques and work stealing.
 class TaskScheduler {
@@ -61,6 +64,19 @@ class TaskScheduler {
   /// std::thread::hardware_concurrency with a floor of 1 (the meaning of
   /// EngineOptions.threads == 0).
   static size_t HardwareConcurrency();
+
+  /// Worker-pool counters, bumped with relaxed atomics by the pool and
+  /// scraped into the metrics registry by the engine after each query.
+  struct Counters {
+    std::atomic<uint64_t> tasks_run{0};    // tokens claimed and executed
+    std::atomic<uint64_t> steals{0};       // tokens taken from foreign deques
+    std::atomic<uint64_t> idle_sleeps{0};  // worker parks on the idle cv
+  };
+  const Counters& counters() const { return counters_; }
+
+  /// Racy snapshot of queued-but-unclaimed task tokens (the instantaneous
+  /// backlog across all deques).
+  size_t QueuedTokens() const { return pending_tokens_.load(); }
 
  private:
   friend class TaskGroup;
@@ -87,6 +103,7 @@ class TaskScheduler {
   std::atomic<size_t> pending_tokens_{0};
   std::atomic<size_t> next_queue_{0};  // round-robin for external spawns
   std::atomic<bool> stop_{false};
+  Counters counters_;
 };
 
 /// A set of tasks that complete together. Groups nest freely (a task may
@@ -164,6 +181,14 @@ struct RuntimeOptions {
   /// running query, armed by the Engine. Not owned; null = unhardened
   /// execution with no abort polling.
   QueryContext* query_ctx = nullptr;
+  /// Observability hooks, bound by the Engine (obs/). All optional and not
+  /// owned; null = that facility is off and the instrumentation sites cost
+  /// one pointer test. `tracer` collects spans; `metrics` carries
+  /// pre-resolved histogram handles for hot-path observations; `analyze`
+  /// snapshots executed-plan renders for EXPLAIN ANALYZE.
+  Tracer* tracer = nullptr;
+  const QueryMetrics* metrics = nullptr;
+  PlanCapture* analyze = nullptr;
 
   bool parallel() const {
     return scheduler != nullptr && scheduler->threads() > 1;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "relational/column_block.hpp"
 #include "relational/vectorized.hpp"
 
@@ -55,6 +56,7 @@ size_t FilterStage(Batch& cur, const Predicate& pred, const VecExecEnv& env,
   const Value* const* cols = cur.cols.data();
   ForChunks(env.pfor, m, grain, [&](size_t c, size_t b, size_t e) {
     if (env.runtime.Interrupted()) return;  // partial result discarded later
+    TraceSpan span(env.runtime.tracer, "batch.filter");
     std::vector<vec::SelIdx>& out = parts[c];
     if (cur.dense) {
       vec::FilterRange(pred.constraints(), cols, b, e, out);
@@ -123,6 +125,7 @@ Status JoinStage(Batch& cur, PlanNode& sn, const NamedRelation& right,
   std::vector<size_t> chunk_rows(nchunks, 0);
   ForChunks(env.pfor, m, grain, [&](size_t c, size_t b, size_t e) {
     if (env.runtime.Interrupted()) return;
+    TraceSpan span(env.runtime.tracer, "batch.probe");
     std::vector<uint64_t> scratch(e - b);
     idx.BatchFind(key_ptrs, std::span<const uint32_t>(sel.data() + b, e - b),
                   heads.data() + b, scratch.data());
@@ -145,6 +148,7 @@ Status JoinStage(Batch& cur, PlanNode& sn, const NamedRelation& right,
   std::vector<uint32_t> rrow(total);
   ForChunks(env.pfor, m, grain, [&](size_t c, size_t b, size_t e) {
     if (env.runtime.Interrupted()) return;
+    TraceSpan span(env.runtime.tracer, "batch.expand");
     size_t off = chunk_off[c];
     for (size_t i = b; i < e; ++i) {
       uint32_t rr = heads[i];
@@ -170,6 +174,7 @@ Status JoinStage(Batch& cur, PlanNode& sn, const NamedRelation& right,
   const size_t rarity = right.arity();
   ForChunks(env.pfor, total, grain, [&](size_t, size_t b, size_t e) {
     if (env.runtime.Interrupted()) return;
+    TraceSpan span(env.runtime.tracer, "batch.gather");
     for (size_t j = 0; j < larity; ++j) {
       const Value* src = cur.cols[j];
       Value* dst = outv[j].data();
@@ -212,6 +217,7 @@ Result<NamedRelation> Transpose(const Batch& cur, const VecExecEnv& env,
   *chunks_out = nchunks;
   ForChunks(env.pfor, m, grain, [&](size_t, size_t b, size_t e) {
     if (env.runtime.Interrupted()) return;
+    TraceSpan span(env.runtime.tracer, "batch.transpose");
     Value* dst = out.data() + b * arity;
     if (cur.dense) {
       for (size_t i = b; i < e; ++i) {
@@ -257,6 +263,7 @@ Result<NamedRelation> ExecuteVecPipeline(const VecPipeline& pipe,
   for (PlanNode* stage : pipe.stages) {
     PlanNode& sn = *stage;
     PQ_RETURN_NOT_OK(env.runtime.CheckInterrupt());
+    TraceSpan stage_span(env.runtime.tracer, "vec.stage", PlanOpName(sn.op));
     switch (sn.op) {
       case PlanOp::kSelect: {
         size_t chunks = FilterStage(cur, sn.predicate, env, grain);

@@ -8,7 +8,14 @@
 //   .dump NAME          print a relation as CSV
 //   .explain QUERY      parametrized-complexity report + physical plan
 //   .plan QUERY         print the physical plan without executing
+//   .analyze QUERY      EXPLAIN ANALYZE: execute, then print the plan(s)
+//                       with per-node actual rows and wall time
 //   .stats              evaluator/plan counters of the previous query
+//   .trace FILE|off     record per-query spans; export Chrome trace-event
+//                       JSON (chrome://tracing / Perfetto) to FILE after
+//                       each query. ".trace" alone prints the text profile
+//                       of the last traced query
+//   .metrics [json]     engine metrics registry (Prometheus text or JSON)
 //   .threads N          parallel runtime width (1 = sequential, 0 = auto)
 //   .timeout MS         per-query wall-clock deadline in ms (0 = off)
 //   .memlimit BYTES     per-query memory budget in bytes (0 = off)
@@ -74,14 +81,23 @@ std::vector<std::string> Split(const std::string& line) {
 
 const char* kHelp =
     ".load NAME FILE | .rel NAME ARITY | .insert NAME v... | .rels |\n"
-    ".dump NAME | .explain QUERY | .plan QUERY | .stats | .threads N |\n"
-    ".timeout MS | .memlimit BYTES | .help | .quit\n"
+    ".dump NAME | .explain QUERY | .plan QUERY | .analyze QUERY | .stats |\n"
+    ".trace FILE|off | .metrics [json] | .threads N | .timeout MS |\n"
+    ".memlimit BYTES | .help | .quit\n"
     ".plan prints the physical plan without executing (inequality queries\n"
-    "show the Theorem 2 color-coding plan); .stats prints the\n"
-    "evaluator/plan counters of the previous query (incl. parallel tasks,\n"
-    "morsels, wall time, and the cumulative plan_cache hit/miss/stale\n"
-    "counters — .insert and .load stale exactly the cached plans reading\n"
-    "the mutated relation); .threads N sets the parallel runtime width\n"
+    "show the Theorem 2 color-coding plan); .analyze executes the query\n"
+    "and prints the executed plan(s) with per-node actual rows plus wall\n"
+    "time (cumulative and self); .stats prints the evaluator/plan counters\n"
+    "of the previous query (incl. end-to-end wall time, abort reason,\n"
+    "parallel tasks, morsels, and the cumulative plan_cache\n"
+    "hit/miss/stale counters — .insert and .load stale exactly the cached\n"
+    "plans reading the mutated relation); .trace FILE records spans\n"
+    "(query -> route -> round/disjunct/coloring -> operator -> morsel) for\n"
+    "every following query and exports Chrome trace-event JSON to FILE\n"
+    "(open in chrome://tracing or Perfetto; '.trace off' stops, bare\n"
+    "'.trace' prints the last traced query as a text profile); .metrics\n"
+    "dumps the engine-wide metrics registry (Prometheus text, or JSON\n"
+    "with 'json'); .threads N sets the parallel runtime width\n"
     "(1 = sequential, 0 = hardware concurrency) — successful results are\n"
     "identical at any width; .timeout MS arms a per-query wall-clock\n"
     "deadline and .memlimit BYTES a per-query memory budget (0 disarms;\n"
@@ -108,6 +124,17 @@ int main(int argc, char** argv) {
   }
 
   std::string line;
+  std::string trace_path;  // empty = tracing off
+  // Writes the spans of the query that just ran (tracing must be on).
+  auto export_trace = [&]() {
+    if (trace_path.empty() || engine.tracer() == nullptr) return;
+    std::ofstream out(trace_path, std::ios::trunc);
+    if (!out) {
+      std::cout << "error: cannot write trace file '" << trace_path << "'\n";
+      return;
+    }
+    out << engine.tracer()->ChromeTraceJson();
+  };
   std::string pending;  // multi-line query buffer (Datalog programs)
   auto flush_pending = [&]() {
     if (pending.empty()) return;
@@ -117,6 +144,7 @@ int main(int argc, char** argv) {
     } else {
       std::cout << "error: " << result.status() << "\n";
     }
+    export_trace();
     pending.clear();
   };
 
@@ -192,8 +220,37 @@ int main(int argc, char** argv) {
         std::cout << (plan.ok() ? plan.value()
                                 : "error: " + plan.status().ToString())
                   << "\n";
+      } else if (cmd == ".analyze") {
+        std::string query = trimmed.substr(8);
+        auto report = engine.AnalyzeText(query, &db.dict());
+        std::cout << (report.ok() ? report.value()
+                                  : "error: " + report.status().ToString() +
+                                        "\n");
+        export_trace();
       } else if (cmd == ".stats") {
         std::cout << engine.last_stats().ToString();
+      } else if (cmd == ".trace" && args.size() <= 2) {
+        if (args.size() == 1) {
+          if (engine.tracer() == nullptr) {
+            std::cout << "no traced query yet; .trace FILE to start\n";
+          } else {
+            std::cout << engine.tracer()->TextProfile();
+          }
+        } else if (args[1] == "off") {
+          engine.options().trace = false;
+          trace_path.clear();
+          std::cout << "tracing off\n";
+        } else {
+          engine.options().trace = true;
+          trace_path = args[1];
+          std::cout << "tracing on: Chrome trace JSON -> " << trace_path
+                    << " after each query\n";
+        }
+      } else if (cmd == ".metrics" &&
+                 (args.size() == 1 ||
+                  (args.size() == 2 && args[1] == "json"))) {
+        std::cout << (args.size() == 2 ? engine.metrics().JsonDump()
+                                       : engine.metrics().PrometheusText());
       } else if (cmd == ".threads" && args.size() == 2) {
         constexpr unsigned long kMaxThreads = 256;
         char* end = nullptr;

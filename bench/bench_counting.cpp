@@ -1,0 +1,278 @@
+// Counting benchmark with machine-readable JSON output: CI gates the
+// tentpole claim — answering an acyclic COUNT(*) with counting Yannakakis
+// (upward multiplicity folding, the join output never materialized) must be
+// >= 3x faster than materialize-then-count on a star join whose output is
+// orders of magnitude larger than its inputs.
+//
+// The instance is a star join: R0(c, x1), R1(c, x2), R2(c, x3) over H hub
+// values with fanout f per arm. The join output has H * f^3 rows while the
+// inputs hold 3 * H * f; the counting plan's peak intermediate stays at the
+// input scale (asserted here via PlanStats::peak_intermediate_rows).
+//
+//   * star_count   : COUNT(*) counting vs materialize-then-count  [gated]
+//   * star_grouped : COUNT(c) per-hub counts vs brute force       [reported]
+//
+// Before timing anything, a parity sweep runs 20 random acyclic counting
+// queries (scalar and grouped) at threads 1 and 4 and exits nonzero unless
+// every answer is byte-identical to brute-force enumeration + group-count.
+//
+// Output: a JSON array of
+// {"bench", "impl", "rows", "seconds", "output_rows", "rows_per_sec"}.
+//
+// Usage: bench_counting [--quick] [--threads N]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/engine.hpp"
+#include "query/parser.hpp"
+#include "relational/database.hpp"
+#include "workload/generators.hpp"
+
+namespace paraquery {
+namespace {
+
+struct Entry {
+  std::string bench, impl;
+  size_t rows = 0;
+  double seconds = 0;
+  size_t output_rows = 0;
+  double rows_per_sec = 0;
+};
+
+std::vector<Entry> g_entries;
+
+Engine MakeEngine(const Database& db, size_t threads) {
+  EngineOptions options;
+  options.threads = threads;
+  // Plan every run: the comparison is execution + planning, not cache hits.
+  options.use_plan_cache = false;
+  return Engine(db, options);
+}
+
+void ExpectIdentical(const char* bench, const Relation& reference,
+                     const Relation& candidate) {
+  if (reference.arity() == candidate.arity() &&
+      reference.size() == candidate.size() &&
+      reference.data() == candidate.data()) {
+    return;
+  }
+  std::fprintf(stderr, "FATAL: %s: counting answer is not byte-identical\n",
+               bench);
+  std::exit(1);
+}
+
+// Brute-force reference: enumerate the distinct assignments to ALL body
+// variables (tuple mode), then group-count by the counting query's keys.
+Relation BruteForceCount(const Database& db, const ConjunctiveQuery& q) {
+  ConjunctiveQuery enumq = q;
+  enumq.answer = AnswerSpec::Tuples();
+  enumq.head.clear();
+  for (VarId v = 0; v < enumq.vars.size(); ++v) {
+    enumq.head.push_back(Term::Var(v));
+  }
+  Relation rows = std::move(MakeEngine(db, 1).Run(enumq)).ValueOrDie();
+  rows.SortAndDedup();
+  std::vector<size_t> gcols;
+  for (const Term& t : q.head) gcols.push_back(static_cast<size_t>(t.var()));
+  if (gcols.empty()) {
+    Relation out(1);
+    out.Add(std::vector<Value>{static_cast<Value>(rows.size())});
+    return out;
+  }
+  std::map<std::vector<Value>, Value> groups;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::vector<Value> key;
+    for (size_t c : gcols) key.push_back(rows.At(r, c));
+    ++groups[key];
+  }
+  Relation out(gcols.size() + 1);
+  for (const auto& [key, count] : groups) {
+    std::vector<Value> row = key;
+    row.push_back(count);
+    out.Add(row);
+  }
+  return out;
+}
+
+// Parity sweep: random acyclic counting queries, scalar and grouped, at
+// threads 1 and 4, each checked byte-for-byte against brute force.
+void ParitySweep(uint64_t seeds) {
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    Database db = RandomBinaryDatabase(3, 120, 14, seed);
+    ConjunctiveQuery base = RandomAcyclicNeqQuery(3, 4, 0, seed * 23);
+    base.head.clear();
+    for (VarId v = 0; v < base.vars.size(); ++v) {
+      base.head.push_back(Term::Var(v));
+    }
+    for (size_t keys = 0; keys <= 2; ++keys) {
+      ConjunctiveQuery q = CountingVariant(base, keys);
+      Relation want = BruteForceCount(db, q);
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        Relation got = std::move(MakeEngine(db, threads).Run(q)).ValueOrDie();
+        ExpectIdentical("parity_sweep", want, got);
+      }
+    }
+  }
+}
+
+// Star database: H hub values, each arm relation Ri holds (hub, leaf) for
+// `fanout` distinct leaves per hub. Join output: hubs * fanout^3 rows.
+Database StarDatabase(size_t hubs, size_t fanout) {
+  Database db;
+  for (int i = 0; i < 3; ++i) {
+    RelId r = db.AddRelation("R" + std::to_string(i), 2).ValueOrDie();
+    Relation& rel = db.relation(r);
+    for (size_t h = 0; h < hubs; ++h) {
+      for (size_t v = 0; v < fanout; ++v) {
+        rel.Add({static_cast<Value>(h),
+                 static_cast<Value>(1'000'000 * (i + 1) + h * fanout + v)});
+      }
+    }
+  }
+  return db;
+}
+
+size_t InputRows(const Database& db) {
+  size_t rows = 0;
+  for (size_t r = 0; r < db.relation_count(); ++r) {
+    rows += db.relation(static_cast<RelId>(r)).size();
+  }
+  return rows;
+}
+
+void Push(const std::string& bench, const std::string& impl, size_t rows,
+          double seconds, size_t output_rows) {
+  g_entries.push_back(Entry{bench, impl, rows, seconds, output_rows,
+                            static_cast<double>(rows) / seconds});
+}
+
+// The gated cell: COUNT(*) on the star join, counting Yannakakis vs
+// materialize-then-count (the same engine evaluating the full-head tuple
+// query and counting its rows).
+void BenchStarCount(size_t hubs, size_t fanout, int reps, size_t threads) {
+  const std::string bench = "star_count_t" + std::to_string(threads);
+  Database db = StarDatabase(hubs, fanout);
+  const size_t rows = InputRows(db);
+  ConjunctiveQuery count_q = StarCountQuery(3);
+  ConjunctiveQuery enum_q = count_q;
+  enum_q.answer = AnswerSpec::Tuples();
+  for (VarId v = 0; v < enum_q.vars.size(); ++v) {
+    enum_q.head.push_back(Term::Var(v));
+  }
+  Engine engine = MakeEngine(db, threads);
+  const size_t expect =
+      hubs * fanout * fanout * fanout;  // every arm combination per hub
+  Relation counted = std::move(engine.Run(count_q)).ValueOrDie();
+  if (counted.size() != 1 ||
+      counted.At(0, 0) != static_cast<Value>(expect)) {
+    std::fprintf(stderr, "FATAL: %s: wrong count\n", bench.c_str());
+    std::exit(1);
+  }
+  if (engine.last_stats().plan.aggregates == 0 ||
+      engine.last_stats().plan.semijoin_counts == 0) {
+    std::fprintf(stderr,
+                 "FATAL: %s: counting plan never ran Aggregate/SemijoinCount\n",
+                 bench.c_str());
+    std::exit(1);
+  }
+  // The tentpole bound: the join output (hubs * fanout^3 rows) never
+  // exists; the peak intermediate stays at input scale.
+  if (engine.last_stats().plan.peak_intermediate_rows > rows) {
+    std::fprintf(stderr, "FATAL: %s: counting materialized an intermediate "
+                         "larger than the inputs (%zu > %zu)\n",
+                 bench.c_str(),
+                 engine.last_stats().plan.peak_intermediate_rows, rows);
+    std::exit(1);
+  }
+  Relation materialized = std::move(engine.Run(enum_q)).ValueOrDie();
+  if (materialized.size() != expect) {
+    std::fprintf(stderr, "FATAL: %s: wrong materialized cardinality\n",
+                 bench.c_str());
+    std::exit(1);
+  }
+  double best_count = 1e300, best_mat = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    {
+      Timer t;
+      counted = std::move(engine.Run(count_q)).ValueOrDie();
+      best_count = std::min(best_count, t.Seconds());
+    }
+    {
+      Timer t;
+      materialized = std::move(engine.Run(enum_q)).ValueOrDie();
+      best_mat = std::min(best_mat, t.Seconds());
+    }
+  }
+  Push(bench, "counting", rows, best_count, counted.size());
+  Push(bench, "materialize", rows, best_mat, materialized.size());
+}
+
+// Reported: per-hub grouped counts against brute force.
+void BenchStarGrouped(size_t hubs, size_t fanout, int reps, size_t threads) {
+  const std::string bench = "star_grouped_t" + std::to_string(threads);
+  Database db = StarDatabase(hubs, fanout);
+  ConjunctiveQuery q = CountingVariant(
+      [] {
+        ConjunctiveQuery s = StarCountQuery(3);
+        s.head.push_back(Term::Var(0));  // the hub variable c
+        return s;
+      }(),
+      1);
+  Relation want = BruteForceCount(db, q);
+  Engine engine = MakeEngine(db, threads);
+  Relation got = std::move(engine.Run(q)).ValueOrDie();
+  ExpectIdentical(bench.c_str(), want, got);
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    got = std::move(engine.Run(q)).ValueOrDie();
+    best = std::min(best, t.Seconds());
+  }
+  Push(bench, "counting", InputRows(db), best, got.size());
+}
+
+void PrintJson() {
+  std::printf("[\n");
+  for (size_t i = 0; i < g_entries.size(); ++i) {
+    const Entry& e = g_entries[i];
+    std::printf("  {\"bench\": \"%s\", \"impl\": \"%s\", \"rows\": %zu, "
+                "\"seconds\": %.6f, \"output_rows\": %zu, "
+                "\"rows_per_sec\": %.0f}%s\n",
+                e.bench.c_str(), e.impl.c_str(), e.rows, e.seconds,
+                e.output_rows, e.rows_per_sec,
+                i + 1 < g_entries.size() ? "," : "");
+  }
+  std::printf("]\n");
+}
+
+}  // namespace
+}  // namespace paraquery
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  size_t threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  paraquery::ParitySweep(20);
+  const size_t hubs = quick ? 12 : 16;
+  const size_t fanout = quick ? 36 : 48;
+  const int reps = quick ? 5 : 7;
+  paraquery::BenchStarCount(hubs, fanout, reps, 1);
+  paraquery::BenchStarGrouped(hubs, fanout, reps, 1);
+  // Parallel cells: the morsel-partitioned aggregation path, byte-identical
+  // to threads=1 (the parity sweep covers both widths too).
+  paraquery::BenchStarCount(hubs, fanout, reps, threads);
+  paraquery::BenchStarGrouped(hubs, fanout, reps, threads);
+  paraquery::PrintJson();
+  return 0;
+}

@@ -32,6 +32,9 @@ const char* EngineChoiceName(EngineChoice engine) {
       return "active-domain relational calculus";
     case EngineChoice::kDatalog:
       return "semi-naive fixpoint";
+    case EngineChoice::kCounting:
+      return "counting (Yannakakis multiplicity folding / "
+             "enumerate-then-aggregate)";
   }
   return "?";
 }
@@ -74,6 +77,27 @@ Classification ClassifyConjunctive(const ConjunctiveQuery& q) {
     c.basis = "Theorem 1, row 1 (conjunctive queries)";
     c.engine = EngineChoice::kNaive;
   }
+  if (q.answer.counting()) {
+    // The decision classification above still governs; counting adds its
+    // own verdict. These are FULL counts (every body variable is either a
+    // group key or counted — nothing is projected away before counting),
+    // the tractable side of the counting trichotomy.
+    c.counting = true;
+    c.engine = EngineChoice::kCounting;
+    if (c.acyclic && !q.HasComparisons()) {
+      c.counting_class =
+          "FP: counting Yannakakis, poly(n) without materializing the join "
+          "(full acyclic #CQ; Pichler-Skritek / Chen-Mengel trichotomy)";
+    } else if (!q.HasComparisons()) {
+      c.counting_class =
+          "poly(n^{ghw}): multiplicity folding over the hypertree "
+          "decomposition (bounded generalized hypertree width)";
+    } else {
+      c.counting_class =
+          "enumeration-bound: distinct assignments enumerated under the "
+          "decision class above, then aggregated";
+    }
+  }
   return c;
 }
 
@@ -108,6 +132,13 @@ Classification ClassifyPositive(const PositiveQuery& q) {
       c.prenex ? "W[SAT]-complete (prenex)" : "W[SAT]-hard";
   c.basis = "Theorem 1, row 2 (positive queries)";
   c.engine = EngineChoice::kUcq;
+  if (q.fo().answer.counting()) {
+    c.counting = true;
+    c.counting_class =
+        "union counted by inclusion-exclusion over disjunct subsets (each "
+        "deduplicated disjunct evaluated once; the union itself is never "
+        "materialized)";
+  }
   return c;
 }
 
@@ -125,6 +156,12 @@ Classification ClassifyFirstOrder(const FirstOrderQuery& q) {
   c.class_under_v = "W[P]-hard (AW[P]-hard with alternation)";
   c.basis = "Theorem 1, row 3 (first-order queries)";
   c.engine = EngineChoice::kFo;
+  if (q.answer.counting()) {
+    c.counting = true;
+    c.counting_class =
+        "active-domain enumeration of free-variable assignments, then "
+        "group-count (no counting shortcut for general first-order queries)";
+  }
   return c;
 }
 
@@ -169,6 +206,7 @@ std::string Classification::ToString() const {
   oss << "fixed-parameter tractable here: "
       << (fixed_parameter_tractable ? "yes" : "no") << "\n";
   oss << "basis: " << basis << "\n";
+  if (counting) oss << "counting: " << counting_class << "\n";
   oss << "engine: " << EngineChoiceName(engine) << "\n";
   return oss.str();
 }

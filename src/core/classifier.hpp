@@ -26,6 +26,7 @@ enum class EngineChoice {
   kUcq,         // positive via union of CQs
   kFo,          // active-domain relational calculus
   kDatalog,     // semi-naive fixpoint
+  kCounting,    // counting Yannakakis / aggregate-at-root (COUNT heads)
 };
 
 const char* QueryLanguageName(QueryLanguage lang);
@@ -42,6 +43,16 @@ struct Classification {
   bool has_order = false;        // < / ≤ atoms
   bool prenex = false;           // for positive/FO queries
   int max_idb_arity = 0;         // for Datalog
+
+  /// Counting workload (AnswerSpec is COUNT(*) or a grouped count): the
+  /// query asks for answer counts, not answer tuples.
+  bool counting = false;
+  /// Counting-tractability verdict. The engine's COUNT counts assignments
+  /// to ALL body variables (group keys select, nothing is projected away
+  /// before counting), which is the tractable side of the Pichler–Skritek /
+  /// Chen–Mengel counting trichotomy for acyclic queries; quantified
+  /// (projected) counting would be #P-hard even on acyclic queries.
+  std::string counting_class;
 
   /// True if this library evaluates the query in f.p. polynomial time
   /// (g(parameter) · poly(n)).

@@ -7,6 +7,7 @@
 #include "common/timer.hpp"
 #include "core/explain.hpp"
 #include "eval/acyclic.hpp"
+#include "eval/counting.hpp"
 #include "query/comparison_closure.hpp"
 #include "query/parser.hpp"
 #include "relational/storage_cache_stats.hpp"
@@ -38,6 +39,24 @@ TextKind SniffKind(const std::string& text) {
 ResourceLimits Overlay(const ResourceLimits& engine,
                        const ResourceLimits& evaluator) {
   return engine.MergedWith(evaluator.max_rows, evaluator.max_steps);
+}
+
+// The empty answer in the query's answer shape: no rows for tuple and
+// grouped-count queries (arity = group keys + count), the single [0] row
+// for a scalar COUNT(*).
+Relation EmptyAnswer(const ConjunctiveQuery& q) {
+  switch (q.answer.kind) {
+    case AnswerSpec::Kind::kCount: {
+      Relation out(1);
+      out.Add(std::vector<Value>{0});
+      return out;
+    }
+    case AnswerSpec::Kind::kGroupedCount:
+      return Relation(q.head.size() + 1);
+    case AnswerSpec::Kind::kTuples:
+      break;
+  }
+  return Relation(q.head.size());
 }
 
 }  // namespace
@@ -76,7 +95,12 @@ std::string EngineStats::ToString() const {
         << " deduped=" << ucq.disjuncts_deduped
         << " evaluated=" << ucq.disjuncts_evaluated
         << " acyclic=" << ucq.acyclic_disjuncts
-        << " naive=" << ucq.naive_disjuncts << "\n";
+        << " naive=" << ucq.naive_disjuncts;
+    if (ucq.ie_subsets > 0) {
+      oss << " ie_subsets=" << ucq.ie_subsets
+          << " ie_pruned=" << ucq.ie_pruned;
+    }
+    oss << "\n";
   }
   return oss.str();
 }
@@ -84,6 +108,10 @@ std::string EngineStats::ToString() const {
 Engine::Engine(const Database& db, EngineOptions options)
     : db_(&db), options_(std::move(options)) {
   m_.queries = &metrics_.counter("pq_queries_total", "queries run");
+  m_.counting_queries = &metrics_.counter(
+      "pq_counting_queries_total", "counting (COUNT head) queries run");
+  m_.count_groups = &metrics_.histogram(
+      "pq_counting_groups", "groups returned per grouped counting query");
   m_.latency_us = &metrics_.histogram("pq_query_latency_us",
                                       "end-to-end query wall time (us)");
   m_.peak_bytes = &metrics_.histogram(
@@ -181,8 +209,29 @@ Result<Relation> Engine::Run(const ConjunctiveQuery& q) const {
     auto collapsed = CollapseComparisons(q);
     if (!collapsed.ok()) return finish(collapsed.status());
     closure = std::move(collapsed).value();
-    if (!closure.consistent) return finish(Relation(q.head.size()));
+    if (!closure.consistent) return finish(EmptyAnswer(q));
     effective = &closure.rewritten;
+    // The collapse is count-preserving (merging equal variables bijects the
+    // satisfying assignments), but it can merge or constant-fold a GROUP
+    // key, leaving an invalid counting head; count over the original query
+    // then — the enumeration route applies the comparisons directly.
+    if (q.answer.counting() && !effective->Validate().ok()) effective = &q;
+  }
+  if (q.answer.counting()) {
+    m_.counting_queries->Increment();
+    CountingOptions cnt;
+    cnt.limits = Overlay(options_.limits, options_.acyclic.EffectiveLimits());
+    cnt.runtime = Runtime();
+    cnt.runtime.query_ctx = qc;
+    cnt.plan_cache = options_.use_plan_cache ? &plan_cache_ : nullptr;
+    cnt.full_reducer = options_.acyclic.full_reducer;
+    cnt.vectorize = options_.vectorize;
+    cnt.wcoj = options_.wcoj;
+    auto result = CountingEvaluate(*db_, *effective, cnt, &stats_.plan);
+    if (result.ok() && q.answer.kind == AnswerSpec::Kind::kGroupedCount) {
+      m_.count_groups->Observe(result.value().size());
+    }
+    return finish(std::move(result));
   }
   if (effective->body.empty()) {
     // No relational atoms: the head must be constant-only (safety).
@@ -241,7 +290,14 @@ Result<Relation> Engine::Run(const PositiveQuery& q) const {
   eff.runtime.query_ctx = qc;
   eff.plan_cache = options_.use_plan_cache ? &plan_cache_ : nullptr;
   eff.vectorize = options_.vectorize;
-  auto result = EvaluatePositive(*db_, q, eff, &stats_.ucq);
+  const bool counting = q.fo().answer.counting();
+  if (counting) m_.counting_queries->Increment();
+  auto result = counting ? EvaluatePositiveCount(*db_, q, eff, &stats_.ucq)
+                         : EvaluatePositive(*db_, q, eff, &stats_.ucq);
+  if (counting && result.ok() &&
+      q.fo().answer.kind == AnswerSpec::Kind::kGroupedCount) {
+    m_.count_groups->Observe(result.value().size());
+  }
   stats_.plan = stats_.ucq.plan;
   stats_.plan_cache = plan_cache_.stats();
   FinishQuery(timer.Seconds(), result.status(), qc);
@@ -266,10 +322,37 @@ Result<Relation> Engine::Run(const FirstOrderQuery& q) const {
   if (options_.limits.max_rows != 0) fo.max_rows = options_.limits.max_rows;
   fo.runtime = Runtime();
   fo.runtime.query_ctx = qc;
-  auto result = EvaluateFirstOrder(*db_, q, fo);
-  stats_.plan_cache = plan_cache_.stats();
-  FinishQuery(timer.Seconds(), result.status(), qc);
-  return result;
+  auto finish = [&](Result<Relation> r) {
+    stats_.plan_cache = plan_cache_.stats();
+    FinishQuery(timer.Seconds(), r.status(), qc);
+    return r;
+  };
+  if (q.answer.counting()) {
+    // Active-domain counting: evaluate the formula once over the FULL
+    // free-variable head (the distinct satisfying assignments), then group
+    // by the head's group keys in memory — the algebra itself needs no
+    // counting operators.
+    if (Status s = q.Validate(); !s.ok()) return finish(std::move(s));
+    m_.counting_queries->Increment();
+    const std::vector<VarId> free_vars = q.FreeVariables();
+    FirstOrderQuery enum_q = q;
+    enum_q.answer = AnswerSpec::Tuples();
+    enum_q.head.clear();
+    for (VarId v : free_vars) enum_q.head.push_back(Term::Var(v));
+    auto rows = EvaluateFirstOrder(*db_, enum_q, fo);
+    if (!rows.ok()) return finish(rows.status());
+    std::vector<int> gcols;
+    for (const Term& t : q.head) {
+      auto it = std::find(free_vars.begin(), free_vars.end(), t.var());
+      gcols.push_back(static_cast<int>(it - free_vars.begin()));
+    }
+    Relation counts = GroupCountRows(rows.value(), gcols);
+    if (q.answer.kind == AnswerSpec::Kind::kGroupedCount) {
+      m_.count_groups->Observe(counts.size());
+    }
+    return finish(std::move(counts));
+  }
+  return finish(EvaluateFirstOrder(*db_, q, fo));
 }
 
 Result<Relation> Engine::Run(const DatalogProgram& p) const {

@@ -236,6 +236,8 @@ class Engine {
   /// pay name lookups).
   struct MetricHandles {
     Counter* queries = nullptr;
+    Counter* counting_queries = nullptr;
+    Histogram* count_groups = nullptr;
     Histogram* latency_us = nullptr;
     Histogram* peak_bytes = nullptr;
     Counter* aborts_cancelled = nullptr;

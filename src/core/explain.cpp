@@ -67,6 +67,30 @@ Result<std::string> RenderConjunctivePlan(const Database& db,
     effective = &closure.rewritten;
     oss << "-- after comparison closure: " << effective->ToString() << "\n";
   }
+  if (q.answer.counting()) {
+    // Mirror the engine: if the closure merged or constant-folded a group
+    // key, the collapsed query is no longer a valid counting head, and the
+    // engine evaluates the original query instead.
+    if (!effective->Validate().ok()) effective = &q;
+    if (effective->body.empty()) {
+      return std::string(
+          "(no plan: empty body, the count is answered directly)\n");
+    }
+    PQ_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanConjunctive(db, *effective));
+    std::string rendered = plan.Render();
+    if (!effective->HasComparisons() && effective->IsAcyclic()) {
+      oss << "-- route: counting Yannakakis (upward multiplicity folding; "
+             "the join output is never materialized)\n";
+    } else if (rendered.find("SemijoinCount") != std::string::npos) {
+      oss << "-- route: counting over the hypertree decomposition "
+             "(multiplicity folding across bags)\n";
+    } else {
+      oss << "-- route: enumerate distinct assignments, aggregate at the "
+             "root\n";
+    }
+    oss << rendered;
+    return oss.str();
+  }
   bool acyclic_route =
       !effective->HasComparisons() && !effective->body.empty() &&
       effective->IsAcyclic();

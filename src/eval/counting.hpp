@@ -1,0 +1,65 @@
+// Counting evaluation for conjunctive queries: answers COUNT(*) and
+// per-group counting queries (AnswerSpec) without materializing the join
+// output. Acyclic comparison-free queries run the counting-Yannakakis
+// schedule (semijoin reducer passes, then an upward multiplicity-folding
+// pass of Aggregate + SemijoinCount nodes); comparison-free cyclic queries
+// run the same pass over the hypertree-decomposition bag tree; everything
+// else enumerates the distinct body-variable assignments through the
+// general planner and aggregates at the root — all under the caller's
+// ResourceLimits, all through the shared plan executor.
+#ifndef PARAQUERY_EVAL_COUNTING_H_
+#define PARAQUERY_EVAL_COUNTING_H_
+
+#include "common/status.hpp"
+#include "plan/plan.hpp"
+#include "plan/plan_cache.hpp"
+#include "query/conjunctive_query.hpp"
+#include "relational/database.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace paraquery {
+
+/// Options for the counting evaluator.
+struct CountingOptions {
+  /// Unified resource guard (row caps, step budget, deadline, memory).
+  ResourceLimits limits;
+  /// Parallel runtime binding (default: sequential plan execution).
+  RuntimeOptions runtime;
+  /// Cross-query plan cache (optional, engine-owned): counting plans are
+  /// cached under "cq-cnt:" + CanonicalCqSignature — the signature carries
+  /// the answer shape, so a counting plan is never served for a tuple query
+  /// over the same text (or vice versa).
+  PlanCache* plan_cache = nullptr;
+  /// Acyclic plans: include the downward semijoin pass (ablation knob).
+  bool full_reducer = true;
+  /// Forwarded to the enumeration fallback's planner.
+  bool vectorize = true;
+  /// Comparison-free cyclic queries: count over the hypertree-decomposition
+  /// bag tree (leapfrog bags) instead of enumerate-then-aggregate.
+  bool wcoj = true;
+};
+
+/// Evaluates a counting CQ (`q.answer.counting()` must hold). The result is
+/// the counting answer shape: COUNT(*) yields a single-column single-row
+/// relation holding the count (a 0 row when the query is empty); a grouped
+/// count yields one row per nonempty group — the group keys in head order
+/// plus the trailing count — sorted by group. `plan_stats`, when given,
+/// receives the shared executor's counters (peak_intermediate_rows stays
+/// bounded by the input and semijoin sizes on the counting-Yannakakis route).
+Result<Relation> CountingEvaluate(const Database& db,
+                                  const ConjunctiveQuery& q,
+                                  const CountingOptions& options = {},
+                                  PlanStats* plan_stats = nullptr);
+
+/// Groups `distinct_rows` (assumed duplicate-free) by the value tuple at
+/// `group_cols` and returns one row per group — the group values followed by
+/// the member count — sorted by group. Empty `group_cols` yields the scalar
+/// shape: a single [n] row (including [0] for an empty input). Shared by the
+/// active-domain and union-of-CQs counting routes, which count materialized
+/// enumerations.
+Relation GroupCountRows(const Relation& distinct_rows,
+                        const std::vector<int>& group_cols);
+
+}  // namespace paraquery
+
+#endif  // PARAQUERY_EVAL_COUNTING_H_

@@ -60,6 +60,11 @@ struct UcqStats {
   size_t disjuncts_evaluated = 0;
   size_t acyclic_disjuncts = 0;  // routed to the Yannakakis plan
   size_t naive_disjuncts = 0;    // routed to the cyclic plan
+  /// Counting route (EvaluatePositiveCount): inclusion–exclusion subset
+  /// intersections actually computed, and subsets skipped because a
+  /// sub-subset's intersection was already known empty.
+  size_t ie_subsets = 0;
+  size_t ie_pruned = 0;
   /// Plan-executor counters aggregated over all evaluated disjuncts.
   PlanStats plan;
 };
@@ -73,6 +78,23 @@ Result<Relation> EvaluatePositive(const Database& db, const PositiveQuery& q,
 Result<bool> PositiveNonempty(const Database& db, const PositiveQuery& q,
                               const UcqOptions& options = {},
                               UcqStats* stats = nullptr);
+
+/// Counting evaluation of a positive query whose AnswerSpec is counting
+/// (`q.fo().answer`): counts the distinct free-variable assignments
+/// satisfying the formula, grouped by the head's group keys (COUNT(*) for
+/// an empty head). Each signature-deduplicated disjunct is evaluated ONCE,
+/// in tuples mode over the full free-variable head; the per-group sizes of
+/// the union then come from inclusion–exclusion over disjunct subsets
+/// (increasing popcount, pruning supersets of empty intersections) — the
+/// union itself is never materialized on that path. Degenerate shapes (one
+/// disjunct, no free variables) and expansions beyond the subset budget
+/// fall back to counting the materialized union directly; both paths give
+/// identical answers. Result shape matches CountingEvaluate: [count] for
+/// COUNT(*) (a [0] row when empty), else group keys + count sorted by group.
+Result<Relation> EvaluatePositiveCount(const Database& db,
+                                       const PositiveQuery& q,
+                                       const UcqOptions& options = {},
+                                       UcqStats* stats = nullptr);
 
 // CanonicalCqSignature moved to plan/plan_cache.hpp (included above): the
 // disjunct dedup and the plan cache share one notion of query identity.

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <utility>
 
@@ -425,6 +426,41 @@ class Executor {
         // operators, so just execute the child row-at-a-time.
         return Exec(*n.children[0], charge);
       }
+      case PlanOp::kAggregate: {
+        PQ_FAULT_POINT("executor.aggregate");
+        if (n.children.size() != 1 || n.attrs.empty() ||
+            n.attrs.back() != kCountAttr) {
+          return Status::Internal(
+              "aggregate plan node requires one child and a trailing count "
+              "attribute");
+        }
+        PQ_ASSIGN_OR_RETURN(NamedRelation in, Exec(*n.children[0], charge));
+        size_t morsels = 0;
+        PQ_ASSIGN_OR_RETURN(NamedRelation out, AggregateCounts(n, in, &morsels));
+        PQ_RETURN_NOT_OK(
+            Account(n, &PlanStats::aggregates, out, charge, morsels));
+        return out;
+      }
+      case PlanOp::kSemijoinCount: {
+        PQ_FAULT_POINT("executor.semijoin_count");
+        if (n.attrs.empty() || n.attrs.back() != kCountAttr) {
+          return Status::Internal(
+              "semijoin-count plan node requires a trailing count attribute");
+        }
+        Result<NamedRelation> lres = NamedRelation{n.attrs};
+        Result<NamedRelation> rres = NamedRelation{n.attrs};
+        PQ_RETURN_NOT_OK(ExecChildren(n, &lres, &rres, charge));
+        PQ_ASSIGN_OR_RETURN(NamedRelation left, std::move(lres));
+        if (left.empty()) return NamedRelation{n.attrs};
+        PQ_ASSIGN_OR_RETURN(NamedRelation right, std::move(rres));
+        if (right.empty()) return NamedRelation{n.attrs};
+        size_t morsels = 0;
+        PQ_ASSIGN_OR_RETURN(NamedRelation out,
+                            SemijoinCounts(n, left, right, &morsels));
+        PQ_RETURN_NOT_OK(
+            Account(n, &PlanStats::semijoin_counts, out, charge, morsels));
+        return out;
+      }
       case PlanOp::kMultiwayJoin: {
         PQ_FAULT_POINT("executor.multiway");
         if (n.children.empty() || n.attrs.empty()) {
@@ -489,6 +525,168 @@ class Executor {
       }
     }
     return Status::Internal("unknown plan operator");
+  }
+
+  // Concatenates per-morsel value buffers in morsel order into one relation —
+  // the same rows in the same order the sequential walk produces.
+  static NamedRelation MergeCountMorsels(const std::vector<AttrId>& attrs,
+                                         std::vector<std::vector<Value>> bufs) {
+    size_t total = 0;
+    for (const std::vector<Value>& b : bufs) total += b.size();
+    std::vector<Value> out;
+    out.reserve(total);
+    for (const std::vector<Value>& b : bufs) {
+      out.insert(out.end(), b.begin(), b.end());
+    }
+    return NamedRelation{attrs, Relation(attrs.size(), std::move(out))};
+  }
+
+  // Runs `emit(buf, r)` for every row of [0, nrows), morsel-parallel when the
+  // input is large enough, merging per-morsel buffers in morsel order; the
+  // output is byte-identical at any thread count because emit() decides
+  // per-row (via the shared RowIndex, whose layout is width-independent)
+  // whether row r contributes.
+  template <typename EmitFn>
+  NamedRelation RowWalk(const std::vector<AttrId>& attrs, size_t nrows,
+                        size_t* morsels, const EmitFn& emit) {
+    if (ctx_.runtime.ShouldMorsel(nrows)) {
+      std::vector<std::vector<Value>> bufs(
+          ChunkCount(nrows, ctx_.runtime.morsel_rows));
+      size_t chunks = ParallelChunks(
+          ctx_.runtime.scheduler, nrows, ctx_.runtime.morsel_rows,
+          [&](size_t c, size_t begin, size_t end) {
+            // Aborted query: skip the morsel; the executor re-checks the
+            // abort in AccountRows, so a partial result never escapes.
+            if (ctx_.runtime.Interrupted()) return;
+            for (size_t r = begin; r < end; ++r) emit(bufs[c], r);
+          });
+      if (morsels != nullptr) *morsels += chunks;
+      return MergeCountMorsels(attrs, std::move(bufs));
+    }
+    std::vector<Value> buf;
+    for (size_t r = 0; r < nrows; ++r) emit(buf, r);
+    return NamedRelation{attrs, Relation(attrs.size(), std::move(buf))};
+  }
+
+  // Multiplicity-aware hash aggregation: groups the child's rows on the
+  // node's group attributes (attrs minus the trailing #count), summing the
+  // child's #count column per group — or counting rows when the child has
+  // none (every row carries multiplicity 1). Output rows appear in
+  // first-occurrence group order: row r contributes iff the RowIndex chain
+  // head for its key IS r, and chains enumerate a key's rows in increasing
+  // row order at any build width. A scalar aggregate (no group attributes)
+  // emits one [total] row — or NO row on empty input, so a downstream
+  // SemijoinCount sees emptiness rather than a spurious 0-count group (the
+  // eval layer supplies the 0 row for a genuinely empty scalar query).
+  Result<NamedRelation> AggregateCounts(PlanNode& n, const NamedRelation& in,
+                                        size_t* morsels) {
+    const int mult_col = in.ColumnOf(kCountAttr);
+    const size_t ngroup = n.attrs.size() - 1;
+    if (ngroup == 0) {
+      if (in.empty()) return NamedRelation{n.attrs};
+      Value total = 0;
+      if (mult_col < 0) {
+        total = static_cast<Value>(in.size());
+      } else {
+        for (size_t r = 0; r < in.size(); ++r) {
+          total += in.rel().At(r, mult_col);
+        }
+      }
+      return NamedRelation{n.attrs, Relation(1, {total})};
+    }
+    std::vector<int> gcols(ngroup);
+    for (size_t i = 0; i < ngroup; ++i) {
+      gcols[i] = in.ColumnOf(n.attrs[i]);
+      if (gcols[i] < 0) {
+        return Status::Internal(
+            "aggregate group attribute missing from its input");
+      }
+    }
+    RowIndex idx(in.rel(), gcols, pfor_);
+    std::span<const int> gspan(gcols);
+    return RowWalk(
+        n.attrs, in.size(), morsels,
+        [&](std::vector<Value>& buf, size_t r) {
+          uint32_t head = idx.Find(in.rel(), r, gspan);
+          if (head != static_cast<uint32_t>(r)) return;  // not first occurrence
+          Value total = 0;
+          if (mult_col < 0) {
+            total = static_cast<Value>(idx.MatchCount(head));
+          } else {
+            for (uint32_t row = head; row != RowIndex::kNone;
+                 row = idx.Next(row)) {
+              total += in.rel().At(row, mult_col);
+            }
+          }
+          for (int c : gcols) buf.push_back(in.rel().At(r, c));
+          buf.push_back(total);
+        });
+  }
+
+  // Counting semijoin: per left row matching the right side on their shared
+  // regular attributes, emits the left row's regular values extended by each
+  // matching distinct right extension, with multiplicity left × right; a
+  // non-matching left row is dropped (the semijoin filter). With no
+  // right-only attributes the matches collapse to one output row whose
+  // multiplicity sums the right side's. Left rows probe in row order
+  // (morsel-parallel like ParallelJoin), so output order is deterministic.
+  Result<NamedRelation> SemijoinCounts(PlanNode& n, const NamedRelation& left,
+                                       const NamedRelation& right,
+                                       size_t* morsels) {
+    const int lmult = left.ColumnOf(kCountAttr);
+    const int rmult = right.ColumnOf(kCountAttr);
+    std::vector<int> lregular;  // left regular columns, in left attr order
+    std::vector<int> lkey, rkey;  // shared regular columns (probe/build keys)
+    for (size_t i = 0; i < left.attrs().size(); ++i) {
+      AttrId a = left.attrs()[i];
+      if (a == kCountAttr) continue;
+      lregular.push_back(static_cast<int>(i));
+      int rc = right.ColumnOf(a);
+      if (rc >= 0) {
+        lkey.push_back(static_cast<int>(i));
+        rkey.push_back(rc);
+      }
+    }
+    std::vector<int> rextra;  // right-only regular columns, in right order
+    for (size_t i = 0; i < right.attrs().size(); ++i) {
+      AttrId a = right.attrs()[i];
+      if (a == kCountAttr || left.ColumnOf(a) >= 0) continue;
+      rextra.push_back(static_cast<int>(i));
+    }
+    if (n.attrs.size() != lregular.size() + rextra.size() + 1) {
+      return Status::Internal(
+          "semijoin-count output attributes do not match its inputs");
+    }
+    RowIndex idx(right.rel(), rkey, pfor_);
+    std::span<const int> lkey_span(lkey);
+    return RowWalk(
+        n.attrs, left.size(), morsels,
+        [&](std::vector<Value>& buf, size_t r) {
+          uint32_t head = idx.Find(left.rel(), r, lkey_span);
+          if (head == RowIndex::kNone) return;  // filtered out
+          const Value lm = lmult < 0 ? 1 : left.rel().At(r, lmult);
+          if (rextra.empty()) {
+            Value rsum = 0;
+            if (rmult < 0) {
+              rsum = static_cast<Value>(idx.MatchCount(head));
+            } else {
+              for (uint32_t row = head; row != RowIndex::kNone;
+                   row = idx.Next(row)) {
+                rsum += right.rel().At(row, rmult);
+              }
+            }
+            for (int c : lregular) buf.push_back(left.rel().At(r, c));
+            buf.push_back(lm * rsum);
+            return;
+          }
+          for (uint32_t row = head; row != RowIndex::kNone;
+               row = idx.Next(row)) {
+            const Value rm = rmult < 0 ? 1 : right.rel().At(row, rmult);
+            for (int c : lregular) buf.push_back(left.rel().At(r, c));
+            for (int c : rextra) buf.push_back(right.rel().At(row, c));
+            buf.push_back(lm * rm);
+          }
+        });
   }
 
   // Runs a compiled columnar pipeline under this execution's budget: build

@@ -88,6 +88,10 @@ const char* PlanOpName(PlanOp op) {
       return "Materialize";
     case PlanOp::kMultiwayJoin:
       return "MultiwayJoin";
+    case PlanOp::kAggregate:
+      return "Aggregate";
+    case PlanOp::kSemijoinCount:
+      return "SemijoinCount";
   }
   return "?";
 }
@@ -101,6 +105,8 @@ void PlanStats::Merge(const PlanStats& o) {
   unions += o.unions;
   dedups += o.dedups;
   multiway_joins += o.multiway_joins;
+  aggregates += o.aggregates;
+  semijoin_counts += o.semijoin_counts;
   peak_intermediate_rows =
       std::max(peak_intermediate_rows, o.peak_intermediate_rows);
   rows_produced += o.rows_produced;
@@ -120,6 +126,7 @@ std::string PlanStats::ToString() const {
       << " projections=" << projections << " semijoins=" << semijoins
       << " joins=" << joins << " multiway_joins=" << multiway_joins
       << " unions=" << unions << " dedups=" << dedups
+      << " aggregates=" << aggregates << " semijoin_counts=" << semijoin_counts
       << "\nrows_produced=" << rows_produced
       << " peak_intermediate_rows=" << peak_intermediate_rows
       << "\nshared_atom_storage=" << shared_atom_storage
@@ -354,6 +361,63 @@ PlanNodePtr MakeMultiwayJoin(std::vector<PlanNodePtr> children,
   return n;
 }
 
+PlanNodePtr MakeAggregate(PlanNodePtr child, std::vector<AttrId> group_attrs) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanOp::kAggregate;
+  n->attrs = std::move(group_attrs);
+  // Output cardinality = # distinct group keys (1 for the scalar count).
+  if (n->attrs.empty()) {
+    n->est_rows = 1.0;
+  } else if (!child->attr_distinct.empty()) {
+    std::vector<double> dd;
+    dd.reserve(n->attrs.size());
+    for (AttrId a : n->attrs) dd.push_back(DistinctOf(*child, a));
+    n->est_rows = DedupCardinalityCap(dd, child->est_rows);
+    n->attr_distinct = std::move(dd);
+    for (double& v : n->attr_distinct) v = CapDistinct(v, n->est_rows);
+  } else {
+    n->est_rows = child->est_rows;
+  }
+  n->attrs.push_back(kCountAttr);
+  if (!n->attr_distinct.empty()) n->attr_distinct.push_back(-1.0);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanNodePtr MakeSemijoinCount(PlanNodePtr left, PlanNodePtr right) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanOp::kSemijoinCount;
+  for (AttrId a : left->attrs) {
+    if (a != kCountAttr) n->attrs.push_back(a);
+  }
+  size_t left_regular = n->attrs.size();
+  for (AttrId a : right->attrs) {
+    if (a != kCountAttr &&
+        std::find(n->attrs.begin(), n->attrs.end(), a) == n->attrs.end()) {
+      n->attrs.push_back(a);
+    }
+  }
+  bool extends = n->attrs.size() > left_regular;
+  // Like a semijoin when the right adds no attrs; otherwise a (filtered)
+  // join on the distinct right extensions.
+  if (left->est_rows >= 0) {
+    n->est_rows = extends ? left->est_rows : left->est_rows * 0.5;
+  }
+  if (!left->attr_distinct.empty() || !right->attr_distinct.empty()) {
+    n->attr_distinct.reserve(n->attrs.size() + 1);
+    for (AttrId a : n->attrs) {
+      double vl = DistinctOf(*left, a), vr = DistinctOf(*right, a);
+      double v = vl < 0 ? vr : (vr < 0 ? vl : std::min(vl, vr));
+      n->attr_distinct.push_back(CapDistinct(v, n->est_rows));
+    }
+    n->attr_distinct.push_back(-1.0);
+  }
+  n->attrs.push_back(kCountAttr);
+  n->children.push_back(std::move(left));
+  n->children.push_back(std::move(right));
+  return n;
+}
+
 PlanNodePtr MakeMaterialize(PlanNodePtr child) {
   auto n = std::make_shared<PlanNode>();
   n->op = PlanOp::kMaterialize;
@@ -412,6 +476,7 @@ struct Renderer {
   std::ostringstream out;
 
   std::string AttrName(AttrId a) const {
+    if (a == kCountAttr) return "#count";
     if (vars != nullptr && a >= 0 && a < vars->size()) return vars->name(a);
     return internal::StrCat("$", a);
   }

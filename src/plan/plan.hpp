@@ -81,9 +81,27 @@ enum class PlanOp {
                   // per-child sorted tries (relational/leapfrog.hpp). attrs
                   // is the global attribute order; every child's attrs must
                   // be a subset of it
+  kAggregate,      // group by `attrs` minus the trailing kCountAttr column
+                   // and emit per-group counts: sums the child's kCountAttr
+                   // multiplicity column when present, else counts rows.
+                   // Output rows appear in first-occurrence group order.
+  kSemijoinCount,  // multiplicity-weighted semijoin: left rows that match
+                   // the right on the shared REGULAR attributes survive,
+                   // with multiplicity = left mult x (sum of matching right
+                   // mult). The counting-Yannakakis upward step.
 };
 
 const char* PlanOpName(PlanOp op);
+
+/// Reserved attribute id of the implicit multiplicity/count column carried
+/// by counting plans (kAggregate output, kSemijoinCount output). Negative so
+/// it can never collide with a query variable id; renders as "#count".
+inline constexpr AttrId kCountAttr = -2;
+
+/// True iff `attrs` ends with the multiplicity column.
+inline bool HasCountAttr(const std::vector<AttrId>& attrs) {
+  return !attrs.empty() && attrs.back() == kCountAttr;
+}
 
 /// Physical representation a node executes in. Planner-assigned: nodes on a
 /// chain under a kMaterialize boundary are tagged kColumnar and run as
@@ -108,6 +126,9 @@ struct PlanStats {
   size_t dedups = 0;
   /// Worst-case-optimal multiway joins executed (leapfrog triejoin).
   size_t multiway_joins = 0;
+  /// Counting operators executed (counting-Yannakakis / COUNT plans).
+  size_t aggregates = 0;
+  size_t semijoin_counts = 0;
   /// Largest operator output (scans excluded) seen during execution.
   size_t peak_intermediate_rows = 0;
   /// Total rows produced by operators (the ResourceLimits::max_steps meter).
@@ -241,6 +262,20 @@ PlanNodePtr MakeMaterialize(PlanNodePtr child);
 /// triangle, N^2 for the 4-clique) instead of the binary chain's N^2 / N^3.
 PlanNodePtr MakeMultiwayJoin(std::vector<PlanNodePtr> children,
                              std::vector<AttrId> attrs);
+/// Hash aggregation: group `child` by `group_attrs` (each must be a regular
+/// attr of the child) and append the kCountAttr count column. When the child
+/// itself carries a kCountAttr column its values are summed per group;
+/// otherwise each row counts 1. A scalar COUNT(*) is `group_attrs = {}` —
+/// note it emits NO row for an empty input (the eval layer supplies the 0).
+PlanNodePtr MakeAggregate(PlanNodePtr child, std::vector<AttrId> group_attrs);
+/// Counting semijoin `left ⋉# right`: output attrs are left's regular attrs,
+/// then right's regular attrs absent from left, then kCountAttr. For each
+/// left row matching the right on the shared regular attrs, emits one row
+/// per matching DISTINCT right row extension with multiplicity
+/// left_mult x right_mult; when the right adds no new regular attrs the
+/// matches collapse to one output row with the right multiplicities summed.
+/// Non-matching left rows are dropped (the semijoin filter).
+PlanNodePtr MakeSemijoinCount(PlanNodePtr left, PlanNodePtr right);
 
 /// Deep-copies a plan DAG (shared subplans stay shared within the clone),
 /// with actual_rows/actual_morsels reset. When `slot_caches` is non-null,

@@ -31,6 +31,12 @@ std::string CanonicalCqSignature(const ConjunctiveQuery& cq) {
     sig += internal::StrCat(static_cast<int>(c.op), ":", canon(c.lhs), ":",
                             canon(c.rhs), ",");
   }
+  // The answer shape is part of the query's identity: a counting plan (no
+  // materialized join output, trailing #count column) must never be served
+  // for a tuple query over the same text, or vice versa.
+  if (cq.answer.counting()) {
+    sig += cq.answer.kind == AnswerSpec::Kind::kCount ? "|a:cnt" : "|a:grp";
+  }
   return sig;
 }
 
@@ -52,6 +58,7 @@ CanonicalCq CanonicalizeCq(const ConjunctiveQuery& q) {
     return t.is_const() ? t : Term::Var(canon_id(t.var()));
   };
   ConjunctiveQuery& c = out.query;
+  c.answer = q.answer;
   for (const Term& t : q.head) c.head.push_back(canon_term(t));
   for (const Atom& a : q.body) {
     Atom atom{a.relation, {}};

@@ -201,10 +201,17 @@ std::vector<AttrId> SharedAttrs(const std::vector<int>& a,
   return out;
 }
 
-Result<PlanNodePtr> PlanWcojRoot(const ConjunctiveQuery& q,
-                                 const std::vector<PlanNodePtr>& scans,
-                                 const std::vector<AttrId>& head_vars,
-                                 bool full_reducer) {
+// Shared prefix of the wcoj tuple and counting routes: the decomposition,
+// per-bag join nodes (leapfrog inside cyclic cores), the upward reduction,
+// and the optional downward pass. `cur[b]` ends as bag b's reduced relation.
+struct BagTreePlan {
+  HypertreeDecomposition d;
+  std::vector<PlanNodePtr> cur;
+};
+
+Result<BagTreePlan> BuildBagTreePlan(const ConjunctiveQuery& q,
+                                     const std::vector<PlanNodePtr>& scans,
+                                     bool full_reducer) {
   Hypergraph h = q.BuildHypergraph();
   PQ_ASSIGN_OR_RETURN(HypertreeDecomposition d,
                       BuildHypertreeDecomposition(h));
@@ -285,6 +292,18 @@ Result<PlanNodePtr> PlanWcojRoot(const ConjunctiveQuery& q,
       cur[b] = MakeSemijoin(cur[b], cur[u]);
     }
   }
+  return BagTreePlan{std::move(d), std::move(cur)};
+}
+
+Result<PlanNodePtr> PlanWcojRoot(const ConjunctiveQuery& q,
+                                 const std::vector<PlanNodePtr>& scans,
+                                 const std::vector<AttrId>& head_vars,
+                                 bool full_reducer) {
+  PQ_ASSIGN_OR_RETURN(BagTreePlan bags,
+                      BuildBagTreePlan(q, scans, full_reducer));
+  HypertreeDecomposition& d = bags.d;
+  std::vector<PlanNodePtr>& cur = bags.cur;
+  const size_t nb = d.size();
   // Upward join-and-project pass over the bag tree (the PlanAcyclicCq
   // schedule verbatim, with bags in place of atoms).
   auto is_head = [&head_vars](AttrId a) {
@@ -320,6 +339,42 @@ Result<PlanNodePtr> PlanWcojRoot(const ConjunctiveQuery& q,
     cur[u] = MakeHashJoin(cur[u], MakeProject(cur[b], zj, /*dedup=*/true));
   }
   return MakeProject(cur[d.root], head_vars, /*dedup=*/true);
+}
+
+// Counting-Yannakakis upward pass over a reduced join tree (GYO atom tree or
+// hypertree bag tree). Bottom-up, each node j folds into its parent u as
+// per-key multiplicities: j is aggregated to the attributes it shares with u
+// plus any group variables it carries (by induction, a node's attribute set
+// already contains every group variable of its subtree — SemijoinCount
+// unions the right side's extra regular attributes in), and the parent picks
+// the counts up with a multiplicity-weighted semijoin. The invariant is that
+// after its children are folded in, node j's multiplicity column counts the
+// distinct assignments to its subtree's remaining (projected-away)
+// variables; running intersection makes the per-child counts independent, so
+// the products are exact. The root aggregates to the group keys in head
+// order. The full join is never materialized: every intermediate is bounded
+// by an input/semijoin size plus the group-key fan-out.
+PlanNodePtr CountingUpwardPass(std::vector<PlanNodePtr> cur,
+                               const std::vector<int>& bottom_up,
+                               const std::vector<int>& parent, int root,
+                               const std::vector<AttrId>& group_vars) {
+  auto in_group = [&group_vars](AttrId a) {
+    return std::find(group_vars.begin(), group_vars.end(), a) !=
+           group_vars.end();
+  };
+  for (int j : bottom_up) {
+    int u = parent[j];
+    if (u < 0) continue;
+    std::vector<AttrId> keys;
+    for (AttrId a : cur[j]->attrs) {
+      if (a == kCountAttr) continue;
+      bool shared = std::find(cur[u]->attrs.begin(), cur[u]->attrs.end(),
+                              a) != cur[u]->attrs.end();
+      if (shared || in_group(a)) keys.push_back(a);
+    }
+    cur[u] = MakeSemijoinCount(cur[u], MakeAggregate(cur[j], std::move(keys)));
+  }
+  return MakeAggregate(cur[root], group_vars);
 }
 
 }  // namespace
@@ -539,9 +594,78 @@ Result<PhysicalPlan> PlanCyclicCq(const Database& db,
   return plan;
 }
 
+Result<PhysicalPlan> PlanCountingCq(const Database& db,
+                                    const ConjunctiveQuery& q,
+                                    const PlannerOptions& options) {
+  PQ_RETURN_NOT_OK(q.Validate());
+  if (!q.answer.counting()) {
+    return Status::InvalidArgument("PlanCountingCq: query is not a counting "
+                                   "query");
+  }
+  if (q.body.empty()) {
+    return Status::InvalidArgument(
+        "PlanCountingCq: empty body (the caller answers it directly)");
+  }
+  std::vector<AttrId> group_vars = q.HeadVariables();
+
+  if (!q.HasComparisons() && q.IsAcyclic()) {
+    // Counting Yannakakis over the GYO join tree.
+    PhysicalPlan plan;
+    plan.head = q.head;
+    plan.vars = q.vars;
+    std::vector<PlanNodePtr> cur;
+    JoinTree tree;
+    PQ_RETURN_NOT_OK(PrepareAcyclic(db, q, options.full_reducer,
+                                    /*decision_only=*/false, &plan, &cur,
+                                    &tree));
+    plan.root = CountingUpwardPass(std::move(cur), tree.bottom_up,
+                                   tree.parent, tree.root, group_vars);
+    return plan;
+  }
+
+  // Comparison-free cyclic core: the same counting pass over the hypertree
+  // bag tree, with leapfrog multiway joins inside cyclic bags. Eligibility
+  // mirrors the tuple route's wcoj gate.
+  if (!q.HasComparisons() && options.wcoj && q.body.size() >= 3) {
+    PhysicalPlan plan;
+    plan.head = q.head;
+    plan.vars = q.vars;
+    std::vector<PlanNodePtr> scans;
+    PQ_RETURN_NOT_OK(BuildAtomScans(db, q, &plan, &scans));
+    bool all_have_vars = true;
+    for (const NamedRelation& r : plan.inputs) {
+      if (r.attrs().empty()) all_have_vars = false;
+    }
+    if (all_have_vars) {
+      PQ_ASSIGN_OR_RETURN(BagTreePlan bags,
+                          BuildBagTreePlan(q, scans, options.full_reducer));
+      plan.root =
+          CountingUpwardPass(std::move(bags.cur), bags.d.bottom_up,
+                             bags.d.parent, bags.d.root, group_vars);
+      return plan;
+    }
+  }
+
+  // Fallback: enumerate the distinct assignments to all body variables
+  // through the general planner (comparisons become Selects there), then
+  // aggregate at the root. Runs under the same ResourceLimits as any plan.
+  ConjunctiveQuery enum_q = q;
+  enum_q.answer = AnswerSpec::Tuples();
+  enum_q.head.clear();
+  for (VarId v : q.BodyVariables()) enum_q.head.push_back(Term::Var(v));
+  PQ_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanCyclicCq(db, enum_q, options));
+  plan.head = q.head;
+  plan.vars = q.vars;
+  plan.root = MakeAggregate(std::move(plan.root), std::move(group_vars));
+  return plan;
+}
+
 Result<PhysicalPlan> PlanConjunctive(const Database& db,
                                      const ConjunctiveQuery& q,
                                      const PlannerOptions& options) {
+  if (q.answer.counting() && !q.body.empty()) {
+    return PlanCountingCq(db, q, options);
+  }
   if (!q.HasComparisons() && !q.body.empty() && q.IsAcyclic()) {
     return PlanAcyclicCq(db, q, options);
   }

@@ -86,6 +86,23 @@ Result<PhysicalPlan> PlanCyclicCq(const Database& db,
                                   const ConjunctiveQuery& q,
                                   const PlannerOptions& options = {});
 
+/// Counting plan for a CQ with `answer.counting()`. Acyclic comparison-free
+/// queries get the counting-Yannakakis schedule: the semijoin reducer passes,
+/// then an upward pass where each subtree folds into its parent as per-key
+/// multiplicities (Aggregate + SemijoinCount) — the full join output is never
+/// materialized, so peak intermediate rows stay bounded by the input and
+/// semijoin sizes. Comparison-free cyclic queries run the same counting pass
+/// over the hypertree-decomposition bag tree (leapfrog multiway joins inside
+/// cyclic bags). Everything else falls back to enumerating the distinct
+/// assignments to all body variables through the general planner and
+/// aggregating at the root, under the same ResourceLimits.
+/// The executed root's columns are the group keys in head order plus the
+/// trailing count column; a scalar COUNT(*) emits one row — or none when the
+/// query is empty (the eval layer supplies the 0 row).
+Result<PhysicalPlan> PlanCountingCq(const Database& db,
+                                    const ConjunctiveQuery& q,
+                                    const PlannerOptions& options = {});
+
 /// Binds `plan`'s input slots and runs the shared executor. Returns the
 /// root's binding relation (attributes = head variables for CQ plans);
 /// callers map it through the head with BindingsToAnswers. `runtime` binds

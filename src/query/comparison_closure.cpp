@@ -106,6 +106,7 @@ Result<ComparisonClosure> CollapseComparisons(const ConjunctiveQuery& query) {
   };
   ConjunctiveQuery& rq = out.rewritten;
   rq.vars = query.vars;
+  rq.answer = query.answer;
   for (const Term& t : query.head) rq.head.push_back(subst(t));
   for (const Atom& a : query.body) {
     Atom na;

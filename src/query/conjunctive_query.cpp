@@ -88,6 +88,27 @@ Status ConjunctiveQuery::Validate() const {
           "' does not occur in any relational atom"));
     }
   }
+  if (answer.counting()) {
+    std::set<VarId> seen;
+    for (const Term& t : head) {
+      if (t.is_const()) {
+        return Status::InvalidArgument(
+            "counting query: COUNT group keys must be variables");
+      }
+      if (!seen.insert(t.var()).second) {
+        return Status::InvalidArgument(internal::StrCat(
+            "counting query: repeated group key '", vars.name(t.var()), "'"));
+      }
+    }
+    if (answer.kind == AnswerSpec::Kind::kCount && !head.empty()) {
+      return Status::InvalidArgument(
+          "counting query: COUNT(*) takes no group keys");
+    }
+    if (answer.kind == AnswerSpec::Kind::kGroupedCount && head.empty()) {
+      return Status::InvalidArgument(
+          "counting query: grouped COUNT needs at least one group key");
+    }
+  }
   for (const CompareAtom& c : comparisons) {
     PQ_RETURN_NOT_OK(check_var(c.lhs));
     PQ_RETURN_NOT_OK(check_var(c.rhs));

@@ -14,6 +14,28 @@
 
 namespace paraquery {
 
+/// What shape of answer a query asks for. The default (kTuples) is the
+/// classical contract: a materialized relation of head tuples. Counting
+/// queries (`COUNT(*) :- ...` / `COUNT(x, y) :- ...`) instead ask for the
+/// NUMBER of satisfying assignments — total or per group — and the engine is
+/// free to answer them without ever materializing the join output.
+struct AnswerSpec {
+  enum class Kind {
+    kTuples,        ///< materialized head tuples (the classical contract)
+    kCount,         ///< one scalar: # assignments to all body variables
+    kGroupedCount,  ///< per head-tuple group: (group values..., count)
+  };
+  Kind kind = Kind::kTuples;
+
+  bool counting() const { return kind != Kind::kTuples; }
+
+  static AnswerSpec Tuples() { return {Kind::kTuples}; }
+  static AnswerSpec Count() { return {Kind::kCount}; }
+  static AnswerSpec GroupedCount() { return {Kind::kGroupedCount}; }
+
+  bool operator==(const AnswerSpec& o) const { return kind == o.kind; }
+};
+
 /// A conjunctive query with optional comparison atoms.
 class ConjunctiveQuery {
  public:
@@ -26,6 +48,10 @@ class ConjunctiveQuery {
   std::vector<CompareAtom> comparisons;
   /// Variable names (ids index into this table).
   VarTable vars;
+  /// Requested answer shape. For counting queries the head holds the group
+  /// keys (empty for the scalar `COUNT(*)`), the count column is implicit,
+  /// and the count ranges over assignments to the REMAINING body variables.
+  AnswerSpec answer;
 
   /// Number of distinct variables v (the paper's second parameter).
   int NumVariables() const { return vars.size(); }
@@ -59,6 +85,9 @@ class ConjunctiveQuery {
 
   /// Safety / well-formedness: head variables and comparison variables occur
   /// in relational atoms; term arities are positive; variable ids in range.
+  /// Counting queries additionally require the head (the group keys) to be a
+  /// list of DISTINCT VARIABLES — constants and repeats have no grouping
+  /// meaning.
   Status Validate() const;
 
   /// Substitutes constants for variables (used to turn the decision problem

@@ -201,17 +201,36 @@ Status FirstOrderQuery::Validate() const {
       stack.pop_back();
     }
   }
-  // Head covers the free variables of the root.
+  // Head covers the free variables of the root (tuples mode); counting heads
+  // are distinct variables selecting a subset of the free variables instead.
   std::set<VarId> head_vars;
   for (const Term& t : head) {
     if (t.is_var()) {
       if (t.var() < 0 || t.var() >= vars.size()) {
         return Status::InvalidArgument("head variable id out of range");
       }
+      if (answer.counting() && head_vars.count(t.var())) {
+        return Status::InvalidArgument(internal::StrCat(
+            "counting query: repeated group key '", vars.name(t.var()), "'"));
+      }
       head_vars.insert(t.var());
+    } else if (answer.counting()) {
+      return Status::InvalidArgument(
+          "counting query: COUNT group keys must be variables");
     }
   }
-  for (VarId v : FreeVariables(root)) {
+  std::vector<VarId> free = FreeVariables(root);
+  if (answer.counting()) {
+    for (VarId v : head_vars) {
+      if (std::find(free.begin(), free.end(), v) == free.end()) {
+        return Status::InvalidArgument(internal::StrCat(
+            "counting query: group key '", vars.name(v),
+            "' is not a free variable of the formula"));
+      }
+    }
+    return Status::OK();
+  }
+  for (VarId v : free) {
     if (head_vars.count(v) == 0) {
       return Status::InvalidArgument(internal::StrCat(
           "free variable '", vars.name(v), "' missing from the head"));

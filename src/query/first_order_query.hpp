@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "query/conjunctive_query.hpp"
 #include "query/term.hpp"
 
 namespace paraquery {
@@ -41,6 +42,10 @@ class FirstOrderQuery {
   std::vector<Node> nodes;
   int root = -1;
   VarTable vars;
+  /// Requested answer shape. For counting formulas (`COUNT(...) := φ`) the
+  /// head holds the group keys (a subset of the free variables; empty for
+  /// `COUNT(*)`), and the count ranges over the remaining free variables.
+  AnswerSpec answer;
 
   // -- construction helpers (return the new node id) --
   int AddAtomNode(Atom atom);
@@ -65,7 +70,10 @@ class FirstOrderQuery {
 
   /// Checks: root set, child ids in range and acyclic (children < parent is
   /// NOT required; an explicit DAG check runs instead), quantifiers bind at
-  /// least one variable, free(root) ⊆ head variables.
+  /// least one variable, free(root) ⊆ head variables. Counting formulas
+  /// instead require head variables ⊆ free(root) (the group keys select a
+  /// subset of the free variables; the rest are counted over) and a head of
+  /// distinct variables.
   Status Validate() const;
 
   /// True if φ uses only kAtom, kAnd, kOr, kExists (a positive query).

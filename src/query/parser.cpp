@@ -23,6 +23,7 @@ enum class TokKind {
   kNeq,        // !=
   kLt,         // <
   kLe,         // <=
+  kStar,       // * (only valid inside a COUNT head)
   kAtGoal,     // @goal
   kEnd,
 };
@@ -133,6 +134,10 @@ class Lexer {
           break;
         case '=':
           out.push_back({TokKind::kEq, "=", 0, start});
+          ++i;
+          break;
+        case '*':
+          out.push_back({TokKind::kStar, "*", 0, start});
           ++i;
           break;
         case '!':
@@ -295,12 +300,48 @@ class Parser {
     return false;
   }
 
-  // rule := atom ':-' bodyitem (',' bodyitem)* '.'  (body may be empty)
+  // A counting head: the exact (all-caps) token COUNT followed by '('.
+  // Lowercase "count" stays available as an ordinary relation name.
+  bool AtCountHead() const {
+    return At(TokKind::kIdent) && Peek().text == "COUNT" &&
+           tokens_[pos_ + 1].kind == TokKind::kLParen;
+  }
+
+  // count head := 'COUNT' '(' ('*' | term (',' term)*) ')'
+  // `COUNT(*)` asks for the scalar count; `COUNT(x, ...)` for per-group
+  // counts keyed on the listed variables (distinctness checked by Validate).
+  Status ParseCountHead(VarTable* vars, std::vector<Term>* head,
+                        AnswerSpec* answer) {
+    Next();  // COUNT
+    PQ_RETURN_NOT_OK(Expect(TokKind::kLParen, "'('"));
+    if (Accept(TokKind::kStar)) {
+      PQ_RETURN_NOT_OK(Expect(TokKind::kRParen, "')' after '*'"));
+      head->clear();
+      *answer = AnswerSpec::Count();
+      return Status::OK();
+    }
+    for (;;) {
+      PQ_ASSIGN_OR_RETURN(Term t, ParseTerm(vars));
+      head->push_back(t);
+      if (Accept(TokKind::kRParen)) break;
+      PQ_RETURN_NOT_OK(Expect(TokKind::kComma, "','"));
+    }
+    *answer = AnswerSpec::GroupedCount();
+    return Status::OK();
+  }
+
+  // rule := (atom | counthead) ':-' bodyitem (',' bodyitem)* '.'
+  // (body may be empty)
   Result<ConjunctiveQuery> ParseRule() {
     ConjunctiveQuery q;
-    PQ_ASSIGN_OR_RETURN(Atom head, ParseAtom(&q.vars));
-    q.head = head.terms;
-    head_relation_ = head.relation;
+    if (AtCountHead()) {
+      PQ_RETURN_NOT_OK(ParseCountHead(&q.vars, &q.head, &q.answer));
+      head_relation_ = "COUNT";
+    } else {
+      PQ_ASSIGN_OR_RETURN(Atom head, ParseAtom(&q.vars));
+      q.head = head.terms;
+      head_relation_ = head.relation;
+    }
     PQ_RETURN_NOT_OK(Expect(TokKind::kRuleArrow, "':-'"));
     if (!Accept(TokKind::kDot)) {
       for (;;) {
@@ -399,8 +440,12 @@ class Parser {
 
   Result<FirstOrderQuery> ParseFoQuery() {
     FirstOrderQuery q;
-    PQ_ASSIGN_OR_RETURN(Atom head, ParseAtom(&q.vars));
-    q.head = head.terms;
+    if (AtCountHead()) {
+      PQ_RETURN_NOT_OK(ParseCountHead(&q.vars, &q.head, &q.answer));
+    } else {
+      PQ_ASSIGN_OR_RETURN(Atom head, ParseAtom(&q.vars));
+      q.head = head.terms;
+    }
     PQ_RETURN_NOT_OK(Expect(TokKind::kDefArrow, "':='"));
     PQ_ASSIGN_OR_RETURN(q.root, ParseOr(&q));
     PQ_RETURN_NOT_OK(Expect(TokKind::kDot, "'.'"));
@@ -459,6 +504,10 @@ Result<DatalogProgram> ParseDatalog(std::string_view text, Dictionary* dict) {
     if (!cq.comparisons.empty()) {
       return Status::Unimplemented(
           "comparison atoms are not supported in Datalog rules");
+    }
+    if (cq.answer.counting()) {
+      return Status::Unimplemented(
+          "COUNT heads are not supported in Datalog rules");
     }
     DatalogRule rule;
     rule.head.relation = p.head_relation();

@@ -33,6 +33,22 @@ void PrintTerm(std::ostringstream& oss, const VarTable& vars, const Term& t) {
   }
 }
 
+// Head prefix "name(" or "COUNT(" / "COUNT(*" for counting queries.
+void PrintHead(std::ostringstream& oss, const VarTable& vars,
+               const std::vector<Term>& head, const AnswerSpec& answer,
+               const char* tuple_name) {
+  oss << (answer.counting() ? "COUNT" : tuple_name) << "(";
+  if (answer.kind == AnswerSpec::Kind::kCount) {
+    oss << "*";
+  } else {
+    for (size_t i = 0; i < head.size(); ++i) {
+      if (i > 0) oss << ",";
+      PrintTerm(oss, vars, head[i]);
+    }
+  }
+  oss << ")";
+}
+
 void PrintAtom(std::ostringstream& oss, const VarTable& vars, const Atom& a) {
   oss << a.relation << "(";
   for (size_t i = 0; i < a.terms.size(); ++i) {
@@ -46,12 +62,8 @@ void PrintAtom(std::ostringstream& oss, const VarTable& vars, const Atom& a) {
 
 std::string ConjunctiveQuery::ToString() const {
   std::ostringstream oss;
-  oss << "ans(";
-  for (size_t i = 0; i < head.size(); ++i) {
-    if (i > 0) oss << ",";
-    PrintTerm(oss, vars, head[i]);
-  }
-  oss << ") :- ";
+  PrintHead(oss, vars, head, answer, "ans");
+  oss << " :- ";
   bool first = true;
   for (const Atom& a : body) {
     if (!first) oss << ", ";
@@ -71,12 +83,8 @@ std::string ConjunctiveQuery::ToString() const {
 
 std::string FirstOrderQuery::ToString() const {
   std::ostringstream oss;
-  oss << "q(";
-  for (size_t i = 0; i < head.size(); ++i) {
-    if (i > 0) oss << ",";
-    PrintTerm(oss, vars, head[i]);
-  }
-  oss << ") := ";
+  PrintHead(oss, vars, head, answer, "q");
+  oss << " := ";
   auto print = [&](auto&& self, int id) -> void {
     const Node& n = nodes[id];
     switch (n.kind) {

@@ -227,4 +227,36 @@ ConjunctiveQuery RandomAcyclicNeqQuery(int relations, int atoms, int neq_atoms,
   return q;
 }
 
+ConjunctiveQuery CountingVariant(ConjunctiveQuery q, size_t keep_keys) {
+  std::vector<Term> keys;
+  std::vector<VarId> seen;
+  for (const Term& t : q.head) {
+    if (keys.size() >= keep_keys) break;
+    if (!t.is_var()) continue;
+    if (std::find(seen.begin(), seen.end(), t.var()) != seen.end()) continue;
+    seen.push_back(t.var());
+    keys.push_back(t);
+  }
+  q.head = std::move(keys);
+  q.answer =
+      q.head.empty() ? AnswerSpec::Count() : AnswerSpec::GroupedCount();
+  return q;
+}
+
+ConjunctiveQuery StarCountQuery(int arms) {
+  PQ_CHECK(arms >= 1, "StarCountQuery: need at least one arm");
+  ConjunctiveQuery q;
+  VarId hub = q.vars.Intern("c");
+  for (int i = 0; i < arms; ++i) {
+    std::string rel = "R";
+    rel += std::to_string(i);
+    std::string name = "x";
+    name += std::to_string(i + 1);
+    VarId leaf = q.vars.Intern(name);
+    q.body.push_back(Atom{rel, {Term::Var(hub), Term::Var(leaf)}});
+  }
+  q.answer = AnswerSpec::Count();
+  return q;
+}
+
 }  // namespace paraquery

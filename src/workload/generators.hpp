@@ -75,6 +75,19 @@ Database RandomBinaryDatabase(int count, int rows_each, Value domain,
 ConjunctiveQuery RandomAcyclicNeqQuery(int relations, int atoms, int neq_atoms,
                                        uint64_t seed);
 
+/// Rewrites `q` into its counting variant: the first `keep_keys` distinct
+/// head variables become the group keys (`COUNT(k1, ..)`); `keep_keys == 0`
+/// yields the scalar `COUNT(*)`. Comparisons and body are untouched, so the
+/// counting answer agrees with group-counting the tuple answer of the full
+/// query (all body variables in the head).
+ConjunctiveQuery CountingVariant(ConjunctiveQuery q, size_t keep_keys);
+
+/// Star join over R0..R{arms-1} sharing a hub variable:
+///   COUNT(*) :- R0(c, x1), R1(c, x2), ..., R{arms-1}(c, x_arms).
+/// Acyclic, comparison-free; the tuple output is the product of per-hub
+/// fanouts, while counting Yannakakis never materializes it.
+ConjunctiveQuery StarCountQuery(int arms);
+
 }  // namespace paraquery
 
 #endif  // PARAQUERY_WORKLOAD_GENERATORS_H_

@@ -281,6 +281,39 @@ TEST(PlanCacheTest, CachedAnswersMatchUncachedAcrossRandomQueries) {
   EXPECT_GT(cached.last_stats().plan_cache.hits, 0u);
 }
 
+TEST(PlanCacheTest, CountingAndTupleModesNeverCrossServe) {
+  // Same body text, alternating answer shapes: the cache must key on the
+  // AnswerSpec (a cached tuple plan must never answer a COUNT and vice
+  // versa), and repeated counting runs must hit their own entry.
+  Database db = SmallGraphDb(14, 0.3, 41);
+  Engine engine(db);
+  auto tuples = ParseConjunctive("ans(x, z) :- E(x, y), E(y, z).").ValueOrDie();
+  auto scalar = ParseConjunctive("COUNT(*) :- E(x, y), E(y, z).").ValueOrDie();
+  auto grouped = ParseConjunctive("COUNT(x) :- E(x, y), E(y, z).").ValueOrDie();
+  EXPECT_NE(CanonicalCqSignature(tuples), CanonicalCqSignature(scalar));
+  EXPECT_NE(CanonicalCqSignature(scalar), CanonicalCqSignature(grouped));
+  Relation base_tuples = engine.Run(tuples).ValueOrDie();
+  Relation base_scalar = engine.Run(scalar).ValueOrDie();
+  Relation base_grouped = engine.Run(grouped).ValueOrDie();
+  // COUNT(*) counts assignments to ALL body variables — the full-head
+  // enumeration, not the projected tuple answer.
+  auto full =
+      ParseConjunctive("ans(x, y, z) :- E(x, y), E(y, z).").ValueOrDie();
+  Relation full_rows = engine.Run(full).ValueOrDie();
+  ASSERT_EQ(base_scalar.size(), 1u);
+  EXPECT_EQ(base_scalar.At(0, 0), static_cast<Value>(full_rows.size()));
+  size_t misses_after_warmup = engine.last_stats().plan_cache.misses;
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_TRUE(engine.Run(tuples).ValueOrDie().EqualsAsSet(base_tuples));
+    EXPECT_TRUE(engine.Run(scalar).ValueOrDie().EqualsAsSet(base_scalar));
+    EXPECT_TRUE(engine.Run(grouped).ValueOrDie().EqualsAsSet(base_grouped));
+  }
+  // Alternation after warm-up is pure hits: three distinct entries, no
+  // cross-shape stomping.
+  EXPECT_EQ(engine.last_stats().plan_cache.misses, misses_after_warmup);
+  EXPECT_GT(engine.last_stats().plan_cache.hits, 0u);
+}
+
 TEST(PlanCacheTest, ParallelUcqSharesCacheSafely) {
   // Concurrent disjunct evaluation all consults one cache (mutex-guarded);
   // results must stay byte-identical to sequential, warm or cold.

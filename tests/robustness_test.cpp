@@ -501,6 +501,9 @@ TEST(HardenedExecutionTest, FaultSweepAllWorkloads) {
       {"cyclic", "ans(x) :- E(x, y), E(y, z), E(z, x)."},
       {"theorem2", "ans(x, y) :- E(x, y), x != y."},
       {"ucq", "ans(x) := exists y . (E(x, y) or E(y, x))."},
+      {"counting", "COUNT(x) :- E(x, y), E(y, z)."},
+      {"counting-scalar", "COUNT(*) :- E(x, y), E(y, z), E(z, x)."},
+      {"counting-ucq", "COUNT(x) := exists y . (E(x, y) or E(y, x))."},
       {"datalog",
        "tc(x, y) :- E(x, y).\ntc(x, y) :- E(x, z), tc(z, y).\n"},
   };

@@ -103,7 +103,14 @@ const char* kHelp =
     "deadline and .memlimit BYTES a per-query memory budget (0 disarms;\n"
     "exceeding either aborts the query with a clean error, and the engine\n"
     "stays usable).\n"
-    "Anything else is evaluated as a query (':-' rules or ':=' formulas).\n";
+    "Anything else is evaluated as a query (':-' rules or ':=' formulas).\n"
+    "Counting heads: 'COUNT(*) :- body.' returns the number of distinct\n"
+    "assignments to the body variables as a single row; 'COUNT(x, y) :-\n"
+    "body.' returns one (x, y, count) row per group. The same heads work\n"
+    "on formulas ('COUNT(x) := exists y. R(x, y) or S(x, y).' — group keys\n"
+    "must be free variables; 'COUNT(*)' counts free-variable assignments).\n"
+    "Acyclic comparison-free counting runs in poly(n) without ever\n"
+    "materializing the join (counting Yannakakis); see '.plan COUNT...'.\n";
 
 }  // namespace
 
